@@ -1,0 +1,88 @@
+"""Ablation: the double signature / device token (freshness).
+
+The attack of Sect. II: an adversary holds a *validly signed but
+outdated* image (captured earlier, or published with a known
+vulnerability) and replays it.  A single-signature chain (mcumgr +
+mcuboot, no downgrade prevention) installs the downgrade; UpKit's
+update-server signature over the device token makes every image
+single-use, so the replay dies at VERIFY_MANIFEST.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import McubootBootloader, McumgrAgent
+from repro.core import DeviceToken, FeedStatus, UpdateError
+from repro.sim import Testbed
+
+IMAGE_SIZE = 48 * 1024
+DEVICE_ID = 0x11223344
+
+
+def run_replay(firmware_gen, baseline: bool):
+    base = firmware_gen.firmware(IMAGE_SIZE, image_id=60)
+    bed = Testbed.create(slot_configuration="b", slot_size=96 * 1024,
+                         initial_firmware=base,
+                         supports_differential=False)
+    if baseline:
+        device = bed.device
+        device.agent = McumgrAgent(device.profile, device.layout)
+        device.bootloader = McubootBootloader(
+            device.profile, device.layout, bed.anchors, device.backend)
+
+    # The attacker captures a legitimately signed v1 image.
+    captured = bed.server.prepare_update(
+        DeviceToken(device_id=DEVICE_ID, nonce=0, current_version=0))
+
+    # The device is meanwhile updated to v2 (the fixed firmware).
+    bed.release(firmware_gen.firmware(IMAGE_SIZE, image_id=61), 2)
+    assert bed.push_update().booted_version == 2
+
+    # Replay the captured old image.
+    agent = bed.device.agent
+    agent.request_token()
+    rejected_at_agent = False
+    try:
+        status = agent.feed(captured.pack())
+    except UpdateError:
+        rejected_at_agent = True
+        status = None
+    if status is FeedStatus.FIRMWARE_COMPLETE:
+        result = bed.device.reboot()
+        final_version = result.version
+    else:
+        agent.cancel()
+        final_version = bed.device.bootloader.boot().version
+    return {
+        "rejected_at_agent": rejected_at_agent,
+        "final_version": final_version,
+    }
+
+
+def test_ablation_double_signature(benchmark, report, firmware_gen):
+    def run_both():
+        return (run_replay(firmware_gen, baseline=False),
+                run_replay(firmware_gen, baseline=True))
+
+    upkit, baseline = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    report(
+        "ablation_double_signature",
+        "Ablation: replay of a validly-signed OLD image "
+        "(freshness / downgrade protection)",
+        ("architecture", "rejected at agent", "version after attack"),
+        [
+            ("upkit (double signature)",
+             "yes" if upkit["rejected_at_agent"] else "no",
+             upkit["final_version"]),
+            ("mcumgr+mcuboot (single signature)",
+             "yes" if baseline["rejected_at_agent"] else "no",
+             baseline["final_version"]),
+        ],
+    )
+
+    # UpKit refuses the replay immediately and stays on v2.
+    assert upkit["rejected_at_agent"]
+    assert upkit["final_version"] == 2
+    # The single-signature chain installs the downgrade to v1.
+    assert not baseline["rejected_at_agent"]
+    assert baseline["final_version"] == 1

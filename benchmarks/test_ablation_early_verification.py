@@ -1,0 +1,91 @@
+"""Ablation: agent-side (early) verification — UpKit's headline claim.
+
+The Fig. 1 baseline architecture (mcumgr + mcuboot) verifies only in
+the bootloader, so an invalid update costs a full download, flash
+writes, and a reboot before being rejected.  UpKit's agent-side checks
+reject a tampered manifest after ~200 bytes, and a tampered payload
+before any reboot.
+
+This bench delivers the same tampered updates to both architectures
+and compares wasted time, energy, bytes over the air, and reboots.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import McubootBootloader, McumgrAgent
+from repro.net import ManifestTamperer, PayloadBitFlipper
+from repro.sim import Testbed
+
+IMAGE_SIZE = 64 * 1024
+
+
+def make_bed(firmware_gen, baseline: bool):
+    base = firmware_gen.firmware(IMAGE_SIZE, image_id=50)
+    bed = Testbed.create(slot_configuration="b", slot_size=128 * 1024,
+                         initial_firmware=base,
+                         supports_differential=False)
+    if baseline:
+        device = bed.device
+        device.agent = McumgrAgent(device.profile, device.layout)
+        device.bootloader = McubootBootloader(
+            device.profile, device.layout, bed.anchors, device.backend)
+    bed.release(firmware_gen.firmware(IMAGE_SIZE, image_id=51), 2)
+    return bed
+
+
+def deliver_tampered(bed, interceptor):
+    return bed.push_update(interceptor=interceptor)
+
+
+def test_ablation_early_verification(benchmark, report, firmware_gen):
+    def run_all():
+        out = {}
+        for arch in ("upkit", "baseline"):
+            for attack_name, attack in (
+                ("bad-manifest", ManifestTamperer()),
+                ("bad-payload", PayloadBitFlipper(flips=64)),
+            ):
+                bed = make_bed(firmware_gen, baseline=arch == "baseline")
+                out[(arch, attack_name)] = deliver_tampered(bed, attack)
+        return out
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    for (arch, attack), outcome in sorted(results.items()):
+        rows.append((
+            arch, attack,
+            "%.1f" % outcome.total_seconds,
+            "%.0f" % outcome.total_energy_mj,
+            outcome.bytes_over_air,
+            "yes" if outcome.rebooted else "no",
+            outcome.booted_version,
+        ))
+    report(
+        "ablation_early_verification",
+        "Ablation: cost of delivering an invalid update "
+        "(agent-side verification vs. bootloader-only)",
+        ("architecture", "attack", "time(s)", "energy(mJ)",
+         "bytes-over-air", "rebooted", "running-version"),
+        rows,
+    )
+
+    # Neither architecture ever runs tampered firmware.
+    for outcome in results.values():
+        assert outcome.booted_version == 1
+
+    # Tampered manifest: UpKit aborts after the envelope, the baseline
+    # downloads everything and reboots.
+    upkit_m = results[("upkit", "bad-manifest")]
+    base_m = results[("baseline", "bad-manifest")]
+    assert upkit_m.bytes_over_air < 300
+    assert base_m.bytes_over_air > IMAGE_SIZE
+    assert not upkit_m.rebooted and base_m.rebooted
+    assert upkit_m.total_energy_mj < base_m.total_energy_mj / 5
+    assert upkit_m.total_seconds < base_m.total_seconds / 10
+
+    # Tampered payload: both download, but only the baseline reboots.
+    upkit_p = results[("upkit", "bad-payload")]
+    base_p = results[("baseline", "bad-payload")]
+    assert not upkit_p.rebooted and base_p.rebooted
+    assert upkit_p.total_seconds < base_p.total_seconds

@@ -1,0 +1,38 @@
+"""Fig. 7a: UpKit bootloader vs. mcuboot (Zephyr, tinycrypt, nRF52840).
+
+Paper: UpKit's bootloader needs 1600 B less flash and 716 B less RAM
+than mcuboot, with both configured for ECDSA/secp256r1 + SHA-256.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import mcuboot_build
+from repro.crypto import TINYCRYPT
+from repro.footprint import bootloader_build
+from repro.platform import ZEPHYR
+
+
+def test_fig7a_bootloader_vs_mcuboot(benchmark, report):
+    def build_both():
+        return bootloader_build(ZEPHYR, TINYCRYPT), mcuboot_build()
+
+    upkit, mcuboot = benchmark(build_both)
+
+    report(
+        "fig7a", "Fig. 7a: bootloader footprint, UpKit vs. mcuboot "
+        "(Zephyr + tinycrypt)",
+        ("build", "flash", "ram"),
+        [
+            ("upkit-bootloader", upkit.flash, upkit.ram),
+            ("mcuboot", mcuboot.flash, mcuboot.ram),
+            ("delta (mcuboot - upkit)", mcuboot.flash - upkit.flash,
+             mcuboot.ram - upkit.ram),
+            ("paper delta", 1600, 716),
+        ],
+    )
+
+    assert mcuboot.flash - upkit.flash == 1600
+    assert mcuboot.ram - upkit.ram == 716
+    # UpKit wins on both axes despite the extra double-signature check.
+    assert upkit.flash < mcuboot.flash
+    assert upkit.ram < mcuboot.ram

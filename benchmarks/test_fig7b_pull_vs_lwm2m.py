@@ -1,0 +1,35 @@
+"""Fig. 7b: UpKit pull agent vs. LwM2M (Zephyr, nRF52840).
+
+Paper: UpKit needs 4.8 kB less flash and 2.4 kB less RAM than the
+LwM2M client with all non-update services disabled.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import lwm2m_build
+from repro.footprint import agent_build
+from repro.platform import ZEPHYR
+
+
+def test_fig7b_pull_vs_lwm2m(benchmark, report):
+    def build_both():
+        return agent_build(ZEPHYR, "pull"), lwm2m_build()
+
+    upkit, lwm2m = benchmark(build_both)
+
+    report(
+        "fig7b", "Fig. 7b: pull-agent footprint, UpKit vs. LwM2M (Zephyr)",
+        ("build", "flash", "ram"),
+        [
+            ("upkit-agent (pull)", upkit.flash, upkit.ram),
+            ("lwm2m", lwm2m.flash, lwm2m.ram),
+            ("delta (lwm2m - upkit)", lwm2m.flash - upkit.flash,
+             lwm2m.ram - upkit.ram),
+            ("paper delta", 4800, 2400),
+        ],
+    )
+
+    assert lwm2m.flash - upkit.flash == 4800
+    assert lwm2m.ram - upkit.ram == 2400
+    assert upkit.flash < lwm2m.flash
+    assert upkit.ram < lwm2m.ram

@@ -1,0 +1,100 @@
+"""Fig. 8a: time to complete a 100 kB full-image update, push vs. pull.
+
+Paper (nRF52840 + Zephyr, static slots): push 61.5 s total, pull
+69.1 s; propagation dominates (47.7 s / 41.7 s); verification is
+1.78% / 1.72% of the total; loading is 20.6% / 37.9% — larger for
+pull because the installed pull build is far bigger (Table II), so
+the bootloader swaps more sectors.
+
+Reproduction setup: the device initially runs an image of the Table II
+build size for its approach (81 918 B push / 218 472 B pull) and
+receives a 100 kB full image.  The bootloader swaps
+``max(old, new)`` extents, reproducing the loading asymmetry.
+"""
+
+from __future__ import annotations
+
+from repro.platform import NRF52840, ZEPHYR
+from repro.sim import Testbed
+
+NEW_IMAGE = 100 * 1024
+PUSH_BUILD = 81918    # Table II: Zephyr push build
+PULL_BUILD = 218472   # Table II: Zephyr pull build
+
+PAPER = {
+    "push": {"total": 61.5, "propagation": 47.7, "verification": 0.0178,
+             "loading": 0.206},
+    "pull": {"total": 69.1, "propagation": 41.7, "verification": 0.0172,
+             "loading": 0.379},
+}
+
+
+def run_one(firmware_gen, approach: str):
+    initial_size = PUSH_BUILD if approach == "push" else PULL_BUILD
+    initial = firmware_gen.firmware(initial_size, image_id=10)
+    bed = Testbed.create(
+        board=NRF52840, os_profile=ZEPHYR,
+        slot_configuration="b",            # static slots: swap on install
+        slot_size=256 * 1024,
+        initial_firmware=initial,
+        supports_differential=False,       # full-image update, as in Fig. 8a
+    )
+    bed.release(firmware_gen.firmware(NEW_IMAGE, image_id=20), 2)
+    outcome = (bed.push_update() if approach == "push"
+               else bed.pull_update())
+    assert outcome.success and outcome.booted_version == 2
+    return outcome
+
+
+def test_fig8a_push_vs_pull(benchmark, report, firmware_gen):
+    def run_both():
+        return run_one(firmware_gen, "push"), run_one(firmware_gen, "pull")
+
+    push, pull = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    rows = []
+    for name, outcome in (("push", push), ("pull", pull)):
+        paper = PAPER[name]
+        phases = outcome.phases
+        total = outcome.total_seconds
+        rows.append((
+            name,
+            "%.1f" % paper["total"], "%.1f" % total,
+            "%.1f" % paper["propagation"],
+            "%.1f" % phases.get("propagation", 0.0),
+            "%.2f%%" % (100 * paper["verification"]),
+            "%.2f%%" % (100 * phases.get("verification", 0.0) / total),
+            "%.1f%%" % (100 * paper["loading"]),
+            "%.1f%%" % (100 * phases.get("loading", 0.0) / total),
+        ))
+    report(
+        "fig8a", "Fig. 8a: 100 kB full-image update, push vs. pull "
+        "(nRF52840 + Zephyr, static slots)",
+        ("approach", "total(p)", "total(r)", "prop(p)", "prop(r)",
+         "verif(p)", "verif(r)", "load(p)", "load(r)"),
+        rows,
+    )
+
+    # -- shape assertions -------------------------------------------------
+    # Push completes faster overall.
+    assert push.total_seconds < pull.total_seconds
+    # Absolute totals land within 25% of the paper's.
+    assert abs(push.total_seconds - 61.5) / 61.5 < 0.25
+    assert abs(pull.total_seconds - 69.1) / 69.1 < 0.25
+
+    for name, outcome in (("push", push), ("pull", pull)):
+        phases = outcome.phases
+        total = outcome.total_seconds
+        # Propagation dominates.
+        assert phases["propagation"] / total > 0.6
+        # Propagation times match the paper closely (link calibration).
+        assert abs(phases["propagation"] - PAPER[name]["propagation"]) \
+            / PAPER[name]["propagation"] < 0.05
+        # Verification is a tiny, ~2% slice.
+        assert 0.005 < phases["verification"] / total < 0.04
+
+    # Pull's loading phase is the heavier one (bigger image to swap),
+    # both absolutely and as a fraction.
+    assert pull.phases["loading"] > 1.5 * push.phases["loading"]
+    assert (pull.phases["loading"] / pull.total_seconds
+            > push.phases["loading"] / push.total_seconds)

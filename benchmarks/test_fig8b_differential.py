@@ -1,0 +1,94 @@
+"""Fig. 8b: impact of differential updates on total update time.
+
+Paper (pull approach): compared with a full-image update, differential
+updates cut the overall update time by up to 66% for an OS version
+change (e.g. Zephyr v1.2 → v1.3) and up to 82% for an application
+functionality change (~1000 bytes of difference).  The time is saved
+exclusively in the propagation phase — verification and loading still
+operate on the full reconstructed image.
+"""
+
+from __future__ import annotations
+
+from repro.platform import NRF52840, ZEPHYR
+from repro.sim import Testbed
+
+IMAGE_SIZE = 100 * 1024
+PAPER_REDUCTIONS = {"os-change": 0.66, "app-change": 0.82}
+
+
+def run_case(firmware_gen, case: str):
+    base = firmware_gen.firmware(IMAGE_SIZE, image_id=30)
+    if case == "os-change":
+        new = firmware_gen.os_version_change(base, revision=2)
+    else:
+        new = firmware_gen.app_functionality_change(base,
+                                                    changed_bytes=1000,
+                                                    revision=2)
+    results = {}
+    for mode, differential in (("full", False), ("delta", True)):
+        bed = Testbed.create(
+            board=NRF52840, os_profile=ZEPHYR,
+            slot_configuration="a",        # A/B: loading phase constant
+            slot_size=256 * 1024,
+            initial_firmware=base,
+            supports_differential=differential,
+        )
+        bed.release(new, 2)
+        outcome = bed.pull_update()
+        assert outcome.success and outcome.booted_version == 2
+        results[mode] = outcome
+    return results
+
+
+def test_fig8b_differential_updates(benchmark, report, firmware_gen):
+    def run_all():
+        return {case: run_case(firmware_gen, case)
+                for case in ("os-change", "app-change")}
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    reductions = {}
+    for case, outcomes in results.items():
+        full = outcomes["full"]
+        delta = outcomes["delta"]
+        reduction = 1 - delta.total_seconds / full.total_seconds
+        reductions[case] = reduction
+        rows.append((
+            case,
+            "%.1f" % full.total_seconds,
+            "%.1f" % delta.total_seconds,
+            "%.0f%%" % (100 * reduction),
+            "%.0f%%" % (100 * PAPER_REDUCTIONS[case]),
+            delta.bytes_over_air,
+            full.bytes_over_air,
+        ))
+    report(
+        "fig8b", "Fig. 8b: differential vs. full-image update time "
+        "(pull, 100 kB image, A/B slots)",
+        ("case", "full(s)", "delta(s)", "reduction", "paper",
+         "delta-bytes", "full-bytes"),
+        rows,
+    )
+
+    # -- shape assertions --------------------------------------------------
+    for case, outcomes in results.items():
+        full = outcomes["full"]
+        delta = outcomes["delta"]
+        # Differential always wins, and the saving is in propagation.
+        assert delta.total_seconds < full.total_seconds
+        assert (delta.phases["propagation"]
+                < 0.5 * full.phases["propagation"])
+        # Verification + loading are NOT reduced (full image is verified
+        # and loaded either way).
+        assert delta.phases["verification"] == \
+            __import__("pytest").approx(full.phases["verification"],
+                                        rel=0.2)
+        assert delta.phases["loading"] == \
+            __import__("pytest").approx(full.phases["loading"], rel=0.2)
+
+    # The app change saves more than the OS change; both are large.
+    assert reductions["app-change"] > reductions["os-change"]
+    assert 0.50 < reductions["os-change"] < 0.85
+    assert 0.75 < reductions["app-change"] < 0.97

@@ -1,0 +1,61 @@
+"""Table I: memory footprint of UpKit's bootloader.
+
+Paper: flash is comparable across OSes for a given crypto library;
+Zephyr needs ~15% less flash but ~20% more RAM (run-time stack);
+TinyDTLS builds are ~1.1 kB smaller than tinycrypt builds; the
+CryptoAuthLib+ATECC508 build is ~10% smaller than Contiki+TinyDTLS;
+~91% of the bootloader code is platform-independent.
+"""
+
+from __future__ import annotations
+
+from repro.footprint import PAPER_TABLE1, bootloader_build, table1_rows
+from repro.crypto import TINYDTLS
+from repro.platform import CONTIKI, RIOT, ZEPHYR
+
+
+def test_table1_bootloader_footprint(benchmark, report):
+    rows = benchmark(table1_rows)
+
+    table = []
+    for os_name, crypto, flash, ram in rows:
+        paper_flash, paper_ram = PAPER_TABLE1[(os_name, crypto)]
+        table.append((
+            os_name, crypto,
+            paper_flash, flash, "%+.2f%%" % (100 * (flash - paper_flash)
+                                             / paper_flash),
+            paper_ram, ram,
+        ))
+    report(
+        "table1", "Table I: UpKit bootloader footprint (bytes)",
+        ("os", "crypto-lib", "flash(paper)", "flash(repro)", "dev",
+         "ram(paper)", "ram(repro)"),
+        table,
+    )
+
+    # Shape assertions.
+    by_key = {(os_name, crypto): (flash, ram)
+              for os_name, crypto, flash, ram in rows}
+    for (os_name, crypto), (flash, ram) in by_key.items():
+        paper_flash, paper_ram = PAPER_TABLE1[(os_name, crypto)]
+        assert abs(flash - paper_flash) / paper_flash < 0.005
+        assert ram == paper_ram
+
+    # Zephyr: least flash, most RAM.
+    assert by_key[("zephyr", "tinydtls")][0] < by_key[("riot",
+                                                       "tinydtls")][0]
+    assert by_key[("zephyr", "tinydtls")][1] > by_key[("contiki",
+                                                       "tinydtls")][1]
+    # TinyDTLS < tinycrypt by ~1.1 kB.
+    delta = (by_key[("contiki", "tinycrypt")][0]
+             - by_key[("contiki", "tinydtls")][0])
+    assert 1000 < delta < 1200
+    # CryptoAuthLib saves ~10% vs Contiki+TinyDTLS.
+    saving = 1 - (by_key[("contiki", "cryptoauthlib")][0]
+                  / by_key[("contiki", "tinydtls")][0])
+    assert 0.07 < saving < 0.12
+
+    # Portability: the bulk of every bootloader build is OS-independent.
+    for os_profile in (ZEPHYR, RIOT, CONTIKI):
+        build = bootloader_build(os_profile, TINYDTLS)
+        assert build.platform_independent_fraction > 0.80

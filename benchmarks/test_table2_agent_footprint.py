@@ -1,0 +1,57 @@
+"""Table II: memory footprint of UpKit's update agent.
+
+Paper: pull approach — Contiki smallest (64%/17% less flash and
+73%/36% less RAM than Zephyr/RIOT); push (BLE) on Zephyr far smaller
+than pull on Zephyr, because only the BLE stack is linked instead of
+the full IPv6 + CoAP stack.  On average only 23.5% of the agent's code
+is platform-specific.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.footprint import PAPER_TABLE2, agent_build, table2_rows
+from repro.platform import ZEPHYR
+
+
+def test_table2_agent_footprint(benchmark, report):
+    rows = benchmark(table2_rows)
+
+    table = []
+    for approach, os_name, flash, ram in rows:
+        paper_flash, paper_ram = PAPER_TABLE2[(os_name, approach)]
+        table.append((approach, os_name, paper_flash, flash,
+                      paper_ram, ram))
+    report(
+        "table2", "Table II: UpKit update-agent footprint (bytes)",
+        ("approach", "os", "flash(paper)", "flash(repro)", "ram(paper)",
+         "ram(repro)"),
+        table,
+    )
+
+    by_key = {(approach, os_name): (flash, ram)
+              for approach, os_name, flash, ram in rows}
+    for key, (flash, ram) in by_key.items():
+        approach, os_name = key
+        assert (flash, ram) == PAPER_TABLE2[(os_name, approach)]
+
+    # Contiki smallest pull build, by the paper's stated margins.
+    zephyr_f, zephyr_r = by_key[("pull", "zephyr")]
+    riot_f, riot_r = by_key[("pull", "riot")]
+    contiki_f, contiki_r = by_key[("pull", "contiki")]
+    assert 1 - contiki_f / zephyr_f == pytest.approx(0.64, abs=0.02)
+    assert 1 - contiki_f / riot_f == pytest.approx(0.17, abs=0.02)
+    assert 1 - contiki_r / zephyr_r == pytest.approx(0.73, abs=0.02)
+    assert 1 - contiki_r / riot_r == pytest.approx(0.36, abs=0.03)
+
+    # Push ≪ pull on Zephyr (BLE stack only).
+    push_f, push_r = by_key[("push", "zephyr")]
+    assert push_f < zephyr_f / 2
+    assert push_r < zephyr_r / 3
+
+    # Pipeline/memory module costs the paper quotes (Sect. VI-A).
+    build = agent_build(ZEPHYR, "pull")
+    assert build.component("upkit-pipeline").flash == 1632
+    assert build.component("upkit-pipeline").ram == 2137
+    assert build.component("upkit-memory").flash == 2024

@@ -1,0 +1,123 @@
+"""Attack resilience: UpKit vs. an mcumgr+mcuboot-style baseline.
+
+Replays the threat model of Sect. II/III against both architectures:
+manifest tampering, payload bit-flips, payload substitution,
+truncation, and the replay of a validly-signed old image (the
+freshness attack).  For each, the script reports where the attack was
+stopped and what it cost the device.
+
+Run:  python examples/attack_resilience.py
+"""
+
+from __future__ import annotations
+
+from repro.baselines import McubootBootloader, McumgrAgent
+from repro.core import DeviceToken, FeedStatus, UpdateError
+from repro.footprint import format_table
+from repro.net import (
+    ManifestTamperer,
+    PayloadBitFlipper,
+    PayloadSwapAttacker,
+    TruncatingProxy,
+)
+from repro.sim import Testbed
+from repro.workload import FirmwareGenerator
+
+IMAGE_SIZE = 48 * 1024
+DEVICE_ID = 0x11223344
+
+
+def make_testbed(generator: FirmwareGenerator, baseline: bool,
+                 release_v2: bool = True) -> Testbed:
+    base = generator.firmware(IMAGE_SIZE, image_id=1)
+    bed = Testbed.create(initial_firmware=base, slot_configuration="b",
+                         slot_size=96 * 1024, supports_differential=False)
+    if baseline:
+        device = bed.device
+        device.agent = McumgrAgent(device.profile, device.layout)
+        device.bootloader = McubootBootloader(
+            device.profile, device.layout, bed.anchors, device.backend)
+    if release_v2:
+        bed.release(generator.firmware(IMAGE_SIZE, image_id=2), 2)
+    return bed
+
+
+def in_transit_attacks(generator: FirmwareGenerator):
+    rows = []
+    attacks = (
+        ("manifest tamper", ManifestTamperer()),
+        ("payload bit-flips", PayloadBitFlipper(flips=64)),
+        ("payload substitution", PayloadSwapAttacker()),
+        ("truncation", TruncatingProxy(0.6)),
+    )
+    for arch_name, baseline in (("upkit", False), ("baseline", True)):
+        for attack_name, attack in attacks:
+            bed = make_testbed(generator, baseline)
+            outcome = bed.push_update(interceptor=attack)
+            compromised = outcome.success and outcome.booted_version == 2
+            rows.append((
+                arch_name, attack_name,
+                "compromised!" if compromised else "defended",
+                "yes" if outcome.rebooted else "no",
+                outcome.bytes_over_air,
+                "%.0f" % outcome.total_energy_mj,
+            ))
+    return rows
+
+
+def replay_attack(generator: FirmwareGenerator):
+    rows = []
+    for arch_name, baseline in (("upkit", False), ("baseline", True)):
+        bed = make_testbed(generator, baseline, release_v2=False)
+        # The attacker captures the v1 image while v1 is still current.
+        captured = bed.server.prepare_update(
+            DeviceToken(device_id=DEVICE_ID, nonce=0, current_version=0))
+        bed.release(
+            FirmwareGenerator(seed=b"attack-resilience").firmware(
+                IMAGE_SIZE, image_id=2), 2)
+        assert bed.push_update().booted_version == 2
+
+        agent = bed.device.agent
+        agent.request_token()
+        try:
+            status = agent.feed(captured.pack())
+        except UpdateError as exc:
+            rows.append((arch_name, "replay of old image",
+                         "defended (%s)" % type(exc).__name__, "no", 2))
+            agent.cancel()
+            continue
+        if status is FeedStatus.FIRMWARE_COMPLETE:
+            version = bed.device.reboot().version
+            verdict = ("DOWNGRADED to v%d" % version if version == 1
+                       else "defended at boot")
+            rows.append((arch_name, "replay of old image", verdict,
+                         "yes", version))
+    return rows
+
+
+def main() -> None:
+    generator = FirmwareGenerator(seed=b"attack-resilience")
+
+    print("In-transit attacks (tampered by a compromised proxy):\n")
+    print(format_table(
+        ("architecture", "attack", "verdict", "rebooted", "bytes-o-a",
+         "energy(mJ)"),
+        in_transit_attacks(generator),
+    ))
+
+    print("\nFreshness attack (replay of a validly-signed old image):\n")
+    print(format_table(
+        ("architecture", "attack", "verdict", "rebooted",
+         "running version"),
+        replay_attack(generator),
+    ))
+    print(
+        "\nUpKit stops every attack in the update agent — before a "
+        "reboot,\nand for manifest-level attacks before the download. "
+        "The baseline\nwastes a download and a reboot on each tampered "
+        "image, and installs\nthe replayed downgrade outright."
+    )
+
+
+if __name__ == "__main__":
+    main()

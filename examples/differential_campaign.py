@@ -1,0 +1,76 @@
+"""Differential-update campaign across a long version history.
+
+A device ships with v1 and the vendor releases versions 2..6 over its
+lifetime: alternating OS upgrades (large deltas) and small application
+fixes (tiny deltas).  The script updates step by step and reports, per
+hop, the payload that actually crossed the radio vs. the full-image
+cost — the efficiency argument of Sect. IV-C / Fig. 8b.
+
+Run:  python examples/differential_campaign.py
+"""
+
+from __future__ import annotations
+
+from repro.footprint import format_table
+from repro.sim import Testbed
+from repro.workload import FirmwareGenerator
+
+IMAGE_SIZE = 64 * 1024
+
+
+def main() -> None:
+    generator = FirmwareGenerator(seed=b"campaign")
+    firmware = generator.firmware(IMAGE_SIZE, image_id=1)
+    testbed = Testbed.create(initial_firmware=firmware,
+                             slot_size=128 * 1024)
+
+    # Build a five-release history: OS change, app fix, OS change, ...
+    history = {1: firmware}
+    for version in range(2, 7):
+        if version % 2 == 0:
+            firmware = generator.os_version_change(firmware,
+                                                   revision=version)
+            kind = "OS upgrade"
+        else:
+            firmware = generator.app_functionality_change(
+                firmware, changed_bytes=1000, revision=version)
+            kind = "app fix"
+        history[version] = (firmware, kind)
+
+    rows = []
+    total_delta_bytes = 0
+    total_full_bytes = 0
+    for version in range(2, 7):
+        firmware, kind = history[version]
+        testbed.release(firmware, version)
+        testbed.reset_meters()
+        outcome = testbed.push_update()
+        assert outcome.success and outcome.booted_version == version
+        saving = 1 - outcome.bytes_over_air / len(firmware)
+        total_delta_bytes += outcome.bytes_over_air
+        total_full_bytes += len(firmware)
+        rows.append((
+            "v%d -> v%d" % (version - 1, version), kind,
+            len(firmware), outcome.bytes_over_air,
+            "%.0f%%" % (100 * saving),
+            "%.1f" % outcome.total_seconds,
+        ))
+
+    print("Differential campaign: five releases over one device "
+          "lifetime\n")
+    print(format_table(
+        ("hop", "release kind", "image(B)", "over-air(B)", "saved",
+         "time(s)"),
+        rows,
+    ))
+    overall = 1 - total_delta_bytes / total_full_bytes
+    print("\ncampaign total: %d bytes over the air instead of %d "
+          "(%.0f%% saved)" % (total_delta_bytes, total_full_bytes,
+                              100 * overall))
+    print("small app fixes are nearly free; even OS upgrades ship as a "
+          "fraction\nof the image — with no extra flash slot, thanks to "
+          "the streaming pipeline.")
+
+
+if __name__ == "__main__":
+    main()

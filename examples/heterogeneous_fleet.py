@@ -1,0 +1,70 @@
+"""Heterogeneous fleet update: UpKit's portability in one campaign.
+
+Updates a small fleet spanning all three evaluated hardware platforms
+(nRF52840, CC2650, CC2538), all three OSes (Zephyr, RIOT, Contiki) and
+all three crypto backends (TinyDTLS, tinycrypt, CryptoAuthLib/HSM),
+mixing push and pull transports and A/B vs. static slot layouts — the
+heterogeneity argument of Sect. I/V.
+
+Run:  python examples/heterogeneous_fleet.py
+"""
+
+from __future__ import annotations
+
+from repro.footprint import format_table
+from repro.platform import CC2538, CC2650, CONTIKI, NRF52840, RIOT, ZEPHYR
+from repro.sim import Testbed
+from repro.workload import FirmwareGenerator
+
+FLEET = [
+    # (name, board, os, crypto, slots, transport)
+    ("sensor-01", NRF52840, ZEPHYR, "tinycrypt", "a", "push"),
+    ("sensor-02", NRF52840, ZEPHYR, "tinydtls", "b", "pull"),
+    ("actuator-01", CC2538, RIOT, "tinydtls", "a", "pull"),
+    ("actuator-02", CC2538, RIOT, "tinycrypt", "b", "pull"),
+    ("lock-01", CC2650, CONTIKI, "cryptoauthlib", "b", "pull"),
+]
+
+IMAGE_SIZE = 40 * 1024
+
+
+def main() -> None:
+    generator = FirmwareGenerator(seed=b"fleet")
+    firmware_v1 = generator.firmware(IMAGE_SIZE, image_id=1)
+    firmware_v2 = generator.os_version_change(firmware_v1, revision=2)
+
+    rows = []
+    for index, (name, board, os_profile, crypto, slots,
+                transport) in enumerate(FLEET):
+        bed = Testbed.create(
+            board=board, os_profile=os_profile, crypto_library=crypto,
+            slot_configuration=slots, slot_size=64 * 1024,
+            initial_firmware=firmware_v1, device_id=0x1000 + index,
+        )
+        bed.release(firmware_v2, 2)
+        outcome = (bed.push_update() if transport == "push"
+                   else bed.pull_update())
+        assert outcome.success, "%s failed: %s" % (name, outcome.error)
+        rows.append((
+            name, board.name, os_profile.name, crypto,
+            "A/B" if slots == "a" else "static", transport,
+            outcome.booted_version,
+            "delta" if outcome.bytes_over_air < IMAGE_SIZE // 2 else "full",
+            outcome.bytes_over_air,
+            "%.1f" % outcome.total_seconds,
+            "%.0f" % outcome.total_energy_mj,
+        ))
+
+    print("Fleet campaign: v1 -> v2 across every platform/OS/crypto "
+          "combination\n")
+    print(format_table(
+        ("device", "board", "os", "crypto", "slots", "transport",
+         "version", "payload", "bytes", "time(s)", "energy(mJ)"),
+        rows,
+    ))
+    print("\nEvery device accepted the same vendor release: only the "
+          "platform-\nspecific modules of Fig. 3 differ between ports.")
+
+
+if __name__ == "__main__":
+    main()

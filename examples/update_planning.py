@@ -1,0 +1,79 @@
+"""Update planning: battery-lifetime impact of update strategies.
+
+Feeds the simulator's measured per-update energy into a battery model
+and compares strategies an operator could pick: full vs. differential
+payloads, push vs. pull transports, monthly vs. weekly cadence — the
+energy-budget motivation of the paper, expressed in years of battery.
+
+Run:  python examples/update_planning.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import BatteryModel, UpdatePlan, compare_plans, \
+    lifetime_years, updates_per_percent
+from repro.footprint import format_table
+from repro.sim import Testbed
+from repro.workload import FirmwareGenerator
+
+IMAGE_SIZE = 100 * 1024
+
+
+def measure(name: str, differential: bool, transport: str,
+            generator: FirmwareGenerator) -> UpdatePlan:
+    base = generator.firmware(IMAGE_SIZE, image_id=1)
+    bed = Testbed.create(initial_firmware=base, slot_size=256 * 1024,
+                         supports_differential=differential)
+    bed.release(generator.os_version_change(base, revision=2), 2)
+    outcome = (bed.push_update() if transport == "push"
+               else bed.pull_update())
+    assert outcome.success
+    return UpdatePlan(name, outcome.total_energy_mj, updates_per_year=12)
+
+
+def main() -> None:
+    generator = FirmwareGenerator(seed=b"planning")
+    battery = BatteryModel(capacity_mah=1500)
+    sleep_ua = 10.0  # duty-cycled sensing application
+
+    plans = [
+        measure("monthly delta, push", True, "push", generator),
+        measure("monthly delta, pull", True, "pull", generator),
+        measure("monthly full, push", False, "push", generator),
+        measure("monthly full, pull", False, "pull", generator),
+    ]
+    # A weekly cadence variant of the best and worst options.
+    plans.append(UpdatePlan("weekly delta, push",
+                            plans[0].energy_per_update_mj, 52))
+    plans.append(UpdatePlan("weekly full, pull",
+                            plans[3].energy_per_update_mj, 52))
+
+    rows = []
+    for entry in compare_plans(battery, sleep_ua, plans):
+        rows.append((
+            entry["name"],
+            "%.0f" % entry["energy_per_update_mj"],
+            "%.0f" % entry["updates_per_year"],
+            "%.2f" % entry["lifetime_years"],
+            "%.2f" % entry["lifetime_cost_years"],
+            "%.1f%%" % (100 * entry["battery_fraction_for_updates"]),
+        ))
+
+    baseline = lifetime_years(battery, sleep_ua)
+    print("Battery: 1500 mAh @ 3 V; application sleep floor 10 uA")
+    print("Lifetime with no updates at all: %.2f years\n" % baseline)
+    print(format_table(
+        ("strategy", "mJ/update", "updates/yr", "lifetime(yr)",
+         "cost(yr)", "battery for updates"),
+        rows,
+    ))
+    best = compare_plans(battery, sleep_ua, plans)[0]
+    print("\n1%% of this battery pays for %.0f updates of the best "
+          "strategy." % updates_per_percent(
+              battery, best["energy_per_update_mj"]))
+    print("Differential updates keep even a weekly cadence close to the "
+          "no-update\nlifetime; full-image pulls dominate the budget.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""repro: a reproduction of UpKit (ICDCS 2019).
+
+UpKit is an open-source, portable, lightweight software-update
+framework for constrained IoT devices (Langiu, Boano, Schuß, Römer).
+This package reimplements the complete system in Python — update
+generation and double signing, the device-side update agent FSM with
+its on-the-fly pipeline, the bootloader, and every substrate (crypto,
+LZSS, bsdiff, simulated flash, radio links, device simulation) — plus
+the baselines (mcuboot, mcumgr, LwM2M) and the evaluation harness for
+every table and figure in the paper.
+
+Quickstart::
+
+    from repro import Testbed
+
+    testbed = Testbed.create(initial_firmware=b"v1" * 512)
+    testbed.release(b"v2" * 600, version=2)
+    outcome = testbed.push_update()
+    assert outcome.success and outcome.booted_version == 2
+"""
+
+from .core import (
+    Bootloader,
+    DeviceProfile,
+    DeviceToken,
+    Manifest,
+    PayloadKind,
+    SignedManifest,
+    TrustAnchors,
+    UpdateAgent,
+    UpdateError,
+    UpdateImage,
+    UpdateServer,
+    VendorServer,
+    VerificationError,
+    Verifier,
+    make_test_identities,
+)
+from .sim import SimulatedDevice, Testbed
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Bootloader",
+    "DeviceProfile",
+    "DeviceToken",
+    "Manifest",
+    "PayloadKind",
+    "SignedManifest",
+    "SimulatedDevice",
+    "Testbed",
+    "TrustAnchors",
+    "UpdateAgent",
+    "UpdateError",
+    "UpdateImage",
+    "UpdateServer",
+    "VendorServer",
+    "VerificationError",
+    "Verifier",
+    "__version__",
+    "make_test_identities",
+]

@@ -1,0 +1,21 @@
+"""Analysis helpers: battery-lifetime impact of update strategies."""
+
+from .availability import AvailabilityImpact, ReportingService, assess
+from .battery import (
+    BatteryModel,
+    UpdatePlan,
+    compare_plans,
+    lifetime_years,
+    updates_per_percent,
+)
+
+__all__ = [
+    "AvailabilityImpact",
+    "BatteryModel",
+    "ReportingService",
+    "UpdatePlan",
+    "assess",
+    "compare_plans",
+    "lifetime_years",
+    "updates_per_percent",
+]

@@ -1,0 +1,110 @@
+"""Battery-lifetime analysis of update strategies.
+
+The paper's motivation is energy: battery-powered smart objects run
+"for several years" and every update eats into that budget.  This
+module turns the simulator's per-update energy numbers into the
+figures an operator actually plans with — how much battery a year of
+updates costs, and how the update strategy (full vs. differential,
+push vs. pull, A/B vs. static) moves device lifetime.
+
+Model: a primary cell of ``capacity_mah`` at ``nominal_volts``, a
+baseline load of ``sleep_ua`` (the device's idle draw) plus periodic
+update energy, with an optional annual self-discharge fraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..net import UpdateOutcome
+
+__all__ = ["BatteryModel", "UpdatePlan", "lifetime_years",
+           "updates_per_percent", "compare_plans"]
+
+_SECONDS_PER_YEAR = 365.25 * 24 * 3600
+
+
+@dataclass(frozen=True)
+class BatteryModel:
+    """A primary cell (defaults: CR123A-class 3 V lithium)."""
+
+    capacity_mah: float = 1500.0
+    nominal_volts: float = 3.0
+    self_discharge_per_year: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.capacity_mah <= 0 or self.nominal_volts <= 0:
+            raise ValueError("capacity and voltage must be positive")
+        if not (0.0 <= self.self_discharge_per_year < 1.0):
+            raise ValueError("self-discharge must be in [0, 1)")
+
+    @property
+    def capacity_mj(self) -> float:
+        # mAh → mC (×3600) → mJ (×V)
+        return self.capacity_mah * 3600.0 * self.nominal_volts
+
+    @property
+    def self_discharge_mj_per_year(self) -> float:
+        return self.capacity_mj * self.self_discharge_per_year
+
+
+@dataclass(frozen=True)
+class UpdatePlan:
+    """An update strategy: energy per update × cadence."""
+
+    name: str
+    energy_per_update_mj: float
+    updates_per_year: float
+
+    @property
+    def annual_energy_mj(self) -> float:
+        return self.energy_per_update_mj * self.updates_per_year
+
+    @classmethod
+    def from_outcome(cls, name: str, outcome: UpdateOutcome,
+                     updates_per_year: float) -> "UpdatePlan":
+        return cls(name=name,
+                   energy_per_update_mj=outcome.total_energy_mj,
+                   updates_per_year=updates_per_year)
+
+
+def lifetime_years(battery: BatteryModel, sleep_ua: float,
+                   plan: "UpdatePlan | None" = None) -> float:
+    """Device lifetime on one battery under a sleep load + update plan."""
+    if sleep_ua < 0:
+        raise ValueError("sleep current must be non-negative")
+    sleep_mj_per_year = (sleep_ua / 1000.0) * battery.nominal_volts \
+        * _SECONDS_PER_YEAR
+    annual = (sleep_mj_per_year + battery.self_discharge_mj_per_year
+              + (plan.annual_energy_mj if plan else 0.0))
+    if annual <= 0:
+        raise ValueError("annual consumption must be positive")
+    return battery.capacity_mj / annual
+
+
+def updates_per_percent(battery: BatteryModel,
+                        energy_per_update_mj: float) -> float:
+    """How many updates consume 1% of the battery."""
+    if energy_per_update_mj <= 0:
+        raise ValueError("update energy must be positive")
+    return (battery.capacity_mj / 100.0) / energy_per_update_mj
+
+
+def compare_plans(battery: BatteryModel, sleep_ua: float,
+                  plans: "list[UpdatePlan]") -> "list[dict]":
+    """Lifetime table for several strategies, sorted best-first."""
+    baseline = lifetime_years(battery, sleep_ua)
+    rows = []
+    for plan in plans:
+        years = lifetime_years(battery, sleep_ua, plan)
+        rows.append({
+            "name": plan.name,
+            "energy_per_update_mj": plan.energy_per_update_mj,
+            "updates_per_year": plan.updates_per_year,
+            "lifetime_years": years,
+            "lifetime_cost_years": baseline - years,
+            "battery_fraction_for_updates":
+                plan.annual_energy_mj * years / battery.capacity_mj,
+        })
+    rows.sort(key=lambda row: -row["lifetime_years"])
+    return rows

@@ -1,0 +1,27 @@
+"""Baseline systems the paper compares against: mcuboot, mcumgr, LwM2M."""
+
+from .footprints import lwm2m_build, mcuboot_build, mcumgr_build
+from .lwm2m import Lwm2mAgent, Lwm2mChannel, TlsAbort
+from .mcuboot import McubootBootloader
+from .mcumgr import McumgrAgent
+from .smp import (
+    SmpError,
+    SmpHeader,
+    SmpImageServer,
+    smp_upload,
+)
+
+__all__ = [
+    "Lwm2mAgent",
+    "Lwm2mChannel",
+    "McubootBootloader",
+    "McumgrAgent",
+    "SmpError",
+    "SmpHeader",
+    "SmpImageServer",
+    "TlsAbort",
+    "lwm2m_build",
+    "mcuboot_build",
+    "smp_upload",
+    "mcumgr_build",
+]

@@ -1,0 +1,108 @@
+"""Footprint models of the baseline builds (Fig. 7).
+
+Each baseline shares the OS/crypto/network components with the
+corresponding UpKit build and differs only in its own machinery, with
+the deltas taken from the paper's measurements:
+
+* mcuboot: +1600 B flash, +716 B RAM vs. UpKit's bootloader (Fig. 7a,
+  Zephyr + tinycrypt);
+* LwM2M: +4.8 kB flash, +2.4 kB RAM vs. UpKit's pull agent (Fig. 7b) —
+  its embedded M2M object machinery, with non-update services disabled;
+* mcumgr: +426 B flash, −1200 B RAM vs. UpKit's push agent (Fig. 7c) —
+  no pipeline/verifier, but its own mgmt framework.
+"""
+
+from __future__ import annotations
+
+from ..crypto.backends import CryptoProfile, TINYCRYPT, TINYDTLS
+from ..footprint.model import (
+    AGENT_GLUE_FLASH,
+    BuildFootprint,
+    Component,
+    UPKIT_BOOT_COMMON,
+)
+from ..platform import OSProfile, ZEPHYR
+
+__all__ = ["mcuboot_build", "mcumgr_build", "lwm2m_build"]
+
+_MCUBOOT_EXTRA_FLASH = 1600
+_MCUBOOT_EXTRA_RAM = 716
+_LWM2M_EXTRA_FLASH = 4800
+_LWM2M_EXTRA_RAM = 2400
+_MCUMGR_EXTRA_FLASH = 426
+_MCUMGR_RAM_SAVING = 1200
+
+# UpKit's common agent modules, summed (fsm + pipeline + memory + verifier).
+_UPKIT_AGENT_FLASH = 5756
+_UPKIT_AGENT_RAM = 2937
+
+
+def mcuboot_build(os_profile: OSProfile = ZEPHYR,
+                  crypto: CryptoProfile = TINYCRYPT) -> BuildFootprint:
+    """mcuboot bootloader: UpKit's boot components replaced by its own."""
+    return BuildFootprint(
+        name="mcuboot/%s/%s" % (os_profile.name, crypto.name),
+        components=[
+            Component("crypto-%s" % crypto.name, crypto.flash_bytes,
+                      crypto.ram_bytes),
+            Component(
+                "mcuboot-core",
+                UPKIT_BOOT_COMMON.flash + _MCUBOOT_EXTRA_FLASH,
+                UPKIT_BOOT_COMMON.ram + _MCUBOOT_EXTRA_RAM,
+            ),
+            Component("%s-boot-support" % os_profile.name,
+                      os_profile.boot_glue_flash, os_profile.boot_ram,
+                      platform_independent=False),
+        ],
+    )
+
+
+def lwm2m_build(os_profile: OSProfile = ZEPHYR,
+                crypto: CryptoProfile = TINYDTLS) -> BuildFootprint:
+    """LwM2M pull client (firmware object only, other services disabled)."""
+    return BuildFootprint(
+        name="lwm2m/%s" % os_profile.name,
+        components=[
+            Component("%s-kernel" % os_profile.name, os_profile.kernel_flash,
+                      os_profile.kernel_ram, platform_independent=False),
+            Component("%s-stack-ram" % os_profile.name, 0,
+                      os_profile.runtime_stack_ram,
+                      platform_independent=False),
+            Component("6lowpan-ipv6", os_profile.ipv6_stack_flash,
+                      os_profile.ipv6_stack_ram, platform_independent=False),
+            Component("coap-%s" % os_profile.coap_library,
+                      os_profile.coap_flash, os_profile.coap_ram,
+                      platform_independent=False),
+            Component("crypto-%s" % crypto.name, crypto.flash_bytes,
+                      crypto.ram_bytes),
+            Component("lwm2m-client",
+                      _UPKIT_AGENT_FLASH + _LWM2M_EXTRA_FLASH,
+                      _UPKIT_AGENT_RAM + _LWM2M_EXTRA_RAM),
+            Component("agent-glue", AGENT_GLUE_FLASH, 0,
+                      platform_independent=False),
+        ],
+    )
+
+
+def mcumgr_build(os_profile: OSProfile = ZEPHYR,
+                 crypto: CryptoProfile = TINYDTLS) -> BuildFootprint:
+    """mcumgr push agent (fs/log/OS-management features disabled)."""
+    return BuildFootprint(
+        name="mcumgr/%s" % os_profile.name,
+        components=[
+            Component("%s-kernel" % os_profile.name, os_profile.kernel_flash,
+                      os_profile.kernel_ram, platform_independent=False),
+            Component("%s-stack-ram" % os_profile.name, 0,
+                      os_profile.runtime_stack_ram,
+                      platform_independent=False),
+            Component("ble-gatt", os_profile.ble_stack_flash,
+                      os_profile.ble_stack_ram, platform_independent=False),
+            Component("crypto-%s" % crypto.name, crypto.flash_bytes,
+                      crypto.ram_bytes),
+            Component("mcumgr-mgmt",
+                      _UPKIT_AGENT_FLASH + _MCUMGR_EXTRA_FLASH,
+                      _UPKIT_AGENT_RAM - _MCUMGR_RAM_SAVING),
+            Component("agent-glue", AGENT_GLUE_FLASH, 0,
+                      platform_independent=False),
+        ],
+    )

@@ -1,0 +1,63 @@
+"""LwM2M-style baseline update agent (pull, TLS-based freshness).
+
+LwM2M exposes a firmware object over CoAP and relies on **transport
+layer security** for freshness (Sect. II): when a secure end-to-end
+channel between server and device exists, an on-path attacker cannot
+replay or tamper; when an intermediary (gateway, smartphone) breaks
+end-to-end security, nothing protects freshness, and image validation
+still waits for the bootloader.
+
+:class:`Lwm2mAgent` therefore behaves like mcumgr on the device (store,
+don't verify), and :class:`Lwm2mChannel` models the transport: with
+``end_to_end_tls=True`` an interceptor's modification aborts the
+session (TLS record MAC failure); with a gateway in the path the
+modified bytes reach the device unchecked.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..core import UpdateError
+from ..net.transports import Interceptor
+from .mcumgr import McumgrAgent
+
+__all__ = ["Lwm2mAgent", "Lwm2mChannel", "TlsAbort"]
+
+
+class TlsAbort(UpdateError):
+    """The (D)TLS channel detected in-transit modification."""
+
+
+class Lwm2mAgent(McumgrAgent):
+    """Device-side behaviour matches mcumgr: store now, verify at boot.
+
+    The difference between the two baselines lives in the transport
+    (CoAP pull + optional DTLS, vs. BLE push) and in the footprint
+    model (LwM2M's M2M machinery, Fig. 7b).
+    """
+
+
+class Lwm2mChannel:
+    """Wraps an interceptor with the transport-security semantics.
+
+    Use as the ``interceptor`` of a :class:`repro.net.PullTransport`.
+    """
+
+    def __init__(self, interceptor: Optional[Interceptor] = None,
+                 end_to_end_tls: bool = True) -> None:
+        self.interceptor = interceptor
+        self.end_to_end_tls = end_to_end_tls
+        self.aborted = False
+
+    def __call__(self, envelope: bytes, payload: bytes) -> Tuple[bytes, bytes]:
+        if self.interceptor is None:
+            return envelope, payload
+        new_envelope, new_payload = self.interceptor(envelope, payload)
+        modified = (new_envelope != envelope or new_payload != payload)
+        if modified and self.end_to_end_tls:
+            # DTLS authenticates every record end-to-end: the device's
+            # stack drops the session before any byte reaches the agent.
+            self.aborted = True
+            raise TlsAbort("DTLS record verification failed in transit")
+        return new_envelope, new_payload

@@ -1,0 +1,78 @@
+"""mcuboot-style baseline bootloader.
+
+mcuboot is the state-of-the-art portable bootloader the paper compares
+against (Sect. II, Fig. 7a).  Functional differences from UpKit's
+bootloader, all modeled here:
+
+* **single signature** — only the vendor/image signature is checked;
+  there is no update-server signature and no token binding, so a
+  replayed old-but-valid image verifies;
+* **no downgrade prevention** (mcuboot's default configuration): a
+  valid staged image is installed regardless of its version;
+* verification happens **only at boot** — the companion agents
+  (:mod:`repro.baselines.mcumgr`, :mod:`repro.baselines.lwm2m`) store
+  whatever arrives, so invalid images cost a full download *and* a
+  reboot before rejection (the inefficiency Sect. II describes).
+
+After a successful swap the staging slot's header is invalidated
+(modeling mcuboot's swap-confirm trailer) so repeated boots do not
+ping-pong between images.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core import (
+    Bootloader,
+    BootResult,
+    SignedManifest,
+    VerificationError,
+)
+from ..core.agent import inspect_slot
+from ..core.errors import SignatureInvalid
+from ..core.image import ENVELOPE_SIZE
+from ..memory import Slot
+
+__all__ = ["McubootBootloader"]
+
+
+class McubootBootloader(Bootloader):
+    """Vendor-signature-only, boot-time-only verification."""
+
+    require_newer_staged = False
+
+    def verify_slot(self, slot: Slot) -> Optional[SignedManifest]:
+        envelope = inspect_slot(slot)
+        if envelope is None:
+            return None
+        try:
+            self._verify_vendor_only(envelope)
+            self.verifier.verify_firmware(
+                envelope.manifest,
+                lambda offset, length: slot.read(ENVELOPE_SIZE + offset,
+                                                 length),
+            )
+        except VerificationError:
+            return None
+        return envelope
+
+    def _verify_vendor_only(self, envelope: SignedManifest) -> None:
+        """mcuboot checks one image signature; nothing binds the request."""
+        ok = self.verifier.backend.verify(
+            self.verifier.anchors.vendor,
+            envelope.decoded_vendor_signature(),
+            envelope.manifest.canonical_bytes(),
+        )
+        if not ok:
+            raise SignatureInvalid("vendor")
+
+    def boot(self) -> BootResult:
+        result = super().boot()
+        if result.swapped and not result.rolled_back:
+            staging = self._staging_slot()
+            if staging is not None:
+                # Swap-confirm: drop the test image's header so the next
+                # boot does not swap back.
+                staging.invalidate()
+        return result

@@ -1,0 +1,161 @@
+"""SMP: mcumgr's Simple Management Protocol (image upload subset).
+
+The real mcumgr speaks SMP — an 8-byte header plus a CBOR body — over
+BLE or a SLIP-framed serial shell.  This module implements the image-
+upload command group faithfully enough to drive the
+:class:`repro.baselines.McumgrAgent` with genuine SMP frames (reusing
+the CBOR codec from :mod:`repro.suit`), completing the baseline's
+protocol stack:
+
+* header: ``op | flags | len(2) | group(2) | seq | id`` (big-endian);
+* image upload: ``op=WRITE, group=IMAGE(1), id=UPLOAD(1)`` with body
+  ``{"off": N, "data": bstr}`` (first chunk also carries ``"len"``);
+* response: ``{"rc": 0, "off": next_offset}``.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from ..core import FeedStatus, UpdateError
+from ..suit import CborError, dumps, loads
+from .mcumgr import McumgrAgent
+
+__all__ = ["SmpHeader", "SmpError", "SmpImageServer", "smp_upload",
+           "OP_WRITE", "OP_WRITE_RSP", "GROUP_IMAGE", "CMD_UPLOAD"]
+
+_HEADER = struct.Struct(">BBHHBB")
+
+OP_READ = 0
+OP_READ_RSP = 1
+OP_WRITE = 2
+OP_WRITE_RSP = 3
+
+GROUP_IMAGE = 1
+CMD_UPLOAD = 1
+
+RC_OK = 0
+RC_EINVAL = 3
+RC_BADSTATE = 6
+
+
+class SmpError(ValueError):
+    """Malformed SMP frame."""
+
+
+@dataclass(frozen=True)
+class SmpHeader:
+    """The 8-byte SMP management header."""
+
+    op: int
+    flags: int
+    length: int
+    group: int
+    seq: int
+    command: int
+
+    def pack(self) -> bytes:
+        return _HEADER.pack(self.op, self.flags, self.length,
+                            self.group, self.seq, self.command)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "SmpHeader":
+        if len(data) < _HEADER.size:
+            raise SmpError("frame shorter than the SMP header")
+        return cls(*_HEADER.unpack(data[:_HEADER.size]))
+
+
+def encode_frame(header: SmpHeader, body: dict) -> bytes:
+    payload = dumps(body)
+    fixed = SmpHeader(header.op, header.flags, len(payload),
+                      header.group, header.seq, header.command)
+    return fixed.pack() + payload
+
+
+def decode_frame(frame: bytes) -> "tuple[SmpHeader, dict]":
+    header = SmpHeader.unpack(frame)
+    payload = frame[_HEADER.size:]
+    if len(payload) != header.length:
+        raise SmpError("header declares %d body bytes, frame has %d"
+                       % (header.length, len(payload)))
+    try:
+        body = loads(payload)
+    except CborError as exc:
+        raise SmpError("body is not valid CBOR: %s" % exc) from exc
+    if not isinstance(body, dict):
+        raise SmpError("SMP body must be a CBOR map")
+    return header, body
+
+
+class SmpImageServer:
+    """Device-side SMP endpoint wrapping the mcumgr agent."""
+
+    def __init__(self, agent: McumgrAgent) -> None:
+        self.agent = agent
+        self._expected_offset = 0
+
+    def handle(self, frame: bytes) -> bytes:
+        header, body = decode_frame(frame)
+        if (header.op != OP_WRITE or header.group != GROUP_IMAGE
+                or header.command != CMD_UPLOAD):
+            return self._response(header, {"rc": RC_EINVAL})
+        offset = body.get("off")
+        data = body.get("data")
+        if not isinstance(offset, int) or not isinstance(data, bytes):
+            return self._response(header, {"rc": RC_EINVAL})
+
+        if offset == 0:
+            self.agent.cancel()
+            self.agent.request_token()  # arms the (null-token) agent
+            self._expected_offset = 0
+        if offset != self._expected_offset:
+            return self._response(
+                header, {"rc": RC_EINVAL, "off": self._expected_offset})
+        try:
+            status = self.agent.feed(data)
+        except UpdateError:
+            return self._response(header, {"rc": RC_BADSTATE})
+        self._expected_offset += len(data)
+        response = {"rc": RC_OK, "off": self._expected_offset}
+        if status is FeedStatus.FIRMWARE_COMPLETE:
+            response["match"] = True
+        return self._response(header, response)
+
+    @staticmethod
+    def _response(request: SmpHeader, body: dict) -> bytes:
+        return encode_frame(
+            SmpHeader(OP_WRITE_RSP, 0, 0, request.group, request.seq,
+                      request.command),
+            body,
+        )
+
+
+def smp_upload(server: SmpImageServer, image_bytes: bytes,
+               chunk_size: int = 128,
+               on_exchange=None) -> bool:
+    """Client side: upload ``image_bytes`` chunk by chunk.
+
+    Returns True when the device confirmed the complete image.
+    ``on_exchange(request, response)`` meters each round-trip.
+    """
+    offset = 0
+    seq = 0
+    complete = False
+    while offset < len(image_bytes):
+        chunk = image_bytes[offset:offset + chunk_size]
+        body = {"off": offset, "data": chunk}
+        if offset == 0:
+            body["len"] = len(image_bytes)
+        request = encode_frame(
+            SmpHeader(OP_WRITE, 0, 0, GROUP_IMAGE, seq, CMD_UPLOAD),
+            body)
+        response_bytes = server.handle(request)
+        if on_exchange is not None:
+            on_exchange(request, response_bytes)
+        _, response = decode_frame(response_bytes)
+        if response.get("rc") != RC_OK:
+            return False
+        offset = response["off"]
+        complete = bool(response.get("match"))
+        seq = (seq + 1) & 0xFF
+    return complete

@@ -1,0 +1,21 @@
+"""LZSS compression substrate for differential updates."""
+
+from .lzss import (
+    MAX_MATCH,
+    MIN_MATCH,
+    WINDOW_SIZE,
+    LzssDecoder,
+    LzssError,
+    compress,
+    decompress,
+)
+
+__all__ = [
+    "LzssDecoder",
+    "LzssError",
+    "MAX_MATCH",
+    "MIN_MATCH",
+    "WINDOW_SIZE",
+    "compress",
+    "decompress",
+]

@@ -1,0 +1,226 @@
+"""LZSS compression, as used by UpKit's differential-update pipeline.
+
+The paper (following Stolikj et al. [19]) picks lzss — an LZ77 variant —
+for delta decompression on the device because it needs only a small
+sliding window of RAM and a compact decoder.  The update server
+compresses the bsdiff patch with LZSS; the device decompresses it
+on-the-fly in the first pipeline stage.
+
+Wire format (classic flag-byte framing):
+
+* a *flag byte* announces the kinds of the next 8 items, LSB first:
+  bit set → literal byte; bit clear → a back-reference into the
+  sliding window;
+* back-references pack a 12-bit offset (1-based distance) and a 4-bit
+  length code into 2 bytes.  Length codes 0–14 encode matches of
+  ``MIN_MATCH .. MIN_MATCH+14`` bytes; code 15 is an escape — one more
+  byte follows and the match length is ``MIN_MATCH + 15 + ext``
+  (up to 273 bytes).  The escape matters for bsdiff payloads, whose
+  diff blocks are dominated by long zero runs.
+
+:class:`LzssDecoder` is incremental because firmware chunks arrive from
+the radio in pieces of arbitrary size.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+__all__ = [
+    "compress",
+    "decompress",
+    "LzssDecoder",
+    "LzssError",
+    "WINDOW_SIZE",
+    "MIN_MATCH",
+    "MAX_MATCH",
+]
+
+WINDOW_SIZE = 4096
+MIN_MATCH = 3
+_BASE_MAX = MIN_MATCH + 14        # largest length in the short form
+MAX_MATCH = _BASE_MAX + 1 + 255   # escape form: 273 bytes
+
+
+class LzssError(ValueError):
+    """Raised on malformed LZSS streams."""
+
+
+def compress(data: bytes) -> bytes:
+    """Compress ``data``; greedy longest-match within the sliding window.
+
+    A hash chain over 3-byte prefixes keeps compression roughly linear,
+    which matters because the benchmarks compress 100 kB firmware images
+    many times.
+    """
+    data = bytes(data)
+    n = len(data)
+    out = bytearray()
+    # head[h] -> most recent position with prefix-hash h; prev -> chain
+    head: Dict[int, int] = {}
+    prev: List[int] = [-1] * n
+
+    pos = 0
+    pending_flags = 0
+    pending_count = 0
+    pending_items = bytearray()
+
+    def flush() -> None:
+        nonlocal pending_flags, pending_count, pending_items
+        if pending_count:
+            out.append(pending_flags)
+            out.extend(pending_items)
+            pending_flags = 0
+            pending_count = 0
+            pending_items = bytearray()
+
+    def insert(p: int) -> None:
+        if p + MIN_MATCH <= n:
+            h = _hash3(data, p)
+            prev[p] = head.get(h, -1)
+            head[h] = p
+
+    while pos < n:
+        best_len = 0
+        best_dist = 0
+        if pos + MIN_MATCH <= n:
+            limit = max(0, pos - WINDOW_SIZE)
+            candidate = head.get(_hash3(data, pos), -1)
+            tries = 64  # bounded chain walk keeps worst case linear-ish
+            while candidate >= limit and tries:
+                length = _match_length(data, candidate, pos, n)
+                if length > best_len:
+                    best_len = length
+                    best_dist = pos - candidate
+                    if length >= MAX_MATCH:
+                        break
+                candidate = prev[candidate]
+                tries -= 1
+
+        if best_len >= MIN_MATCH:
+            if best_len <= _BASE_MAX:
+                token = ((best_dist - 1) << 4) | (best_len - MIN_MATCH)
+                pending_items.extend((token >> 8, token & 0xFF))
+            else:
+                token = ((best_dist - 1) << 4) | 0x0F
+                pending_items.extend((token >> 8, token & 0xFF,
+                                      best_len - _BASE_MAX - 1))
+            # Only the match head enters the hash chain: inserting every
+            # covered position would make long zero runs quadratic.
+            insert(pos)
+            step = max(1, best_len // 8)
+            for covered in range(pos + step, pos + best_len, step):
+                insert(covered)
+            pos += best_len
+        else:
+            pending_flags |= 1 << pending_count
+            pending_items.append(data[pos])
+            insert(pos)
+            pos += 1
+
+        pending_count += 1
+        if pending_count == 8:
+            flush()
+
+    flush()
+    return bytes(out)
+
+
+def decompress(data: bytes) -> bytes:
+    """One-shot decompression; see :class:`LzssDecoder` for streaming."""
+    decoder = LzssDecoder()
+    out = decoder.feed(data)
+    decoder.finish()
+    return out
+
+
+class LzssDecoder:
+    """Incremental LZSS decoder with a bounded sliding window.
+
+    RAM usage is dominated by the window (4 KiB), matching the paper's
+    observation that the pipeline's lzss buffer is the module's main RAM
+    cost (2137 bytes of RAM for their smaller window configuration).
+    """
+
+    def __init__(self) -> None:
+        self._window = bytearray()
+        self._flags = 0
+        self._remaining_in_group = 0
+        self._partial = b""  # prefix bytes of a split back-reference
+        self._finished = False
+
+    def feed(self, chunk: bytes) -> bytes:
+        """Decode ``chunk``, returning whatever output it completes."""
+        if self._finished:
+            raise LzssError("decoder already finished")
+        out = bytearray()
+        buf = self._partial + bytes(chunk)
+        self._partial = b""
+        i = 0
+        while i < len(buf):
+            if self._remaining_in_group == 0:
+                self._flags = buf[i]
+                self._remaining_in_group = 8
+                i += 1
+                continue
+            if self._flags & 1:
+                literal = buf[i]
+                i += 1
+                out.append(literal)
+                self._push_byte(literal)
+            else:
+                if i + 2 > len(buf):
+                    self._partial = buf[i:]
+                    break
+                token = (buf[i] << 8) | buf[i + 1]
+                code = token & 0x0F
+                if code == 0x0F:
+                    if i + 3 > len(buf):
+                        self._partial = buf[i:]
+                        break
+                    length = _BASE_MAX + 1 + buf[i + 2]
+                    i += 3
+                else:
+                    length = code + MIN_MATCH
+                    i += 2
+                dist = (token >> 4) + 1
+                if dist > len(self._window):
+                    raise LzssError(
+                        "back-reference distance %d exceeds window %d"
+                        % (dist, len(self._window))
+                    )
+                start = len(self._window) - dist
+                for step in range(length):
+                    byte = self._window[start + step]
+                    out.append(byte)
+                    self._window.append(byte)
+                self._trim()
+            self._flags >>= 1
+            self._remaining_in_group -= 1
+        return bytes(out)
+
+    def finish(self) -> None:
+        """Assert the stream ended on an item boundary."""
+        if self._partial:
+            raise LzssError("truncated LZSS stream (split back-reference)")
+        self._finished = True
+
+    def _push_byte(self, byte: int) -> None:
+        self._window.append(byte)
+        self._trim()
+
+    def _trim(self) -> None:
+        if len(self._window) > 2 * WINDOW_SIZE:
+            del self._window[: len(self._window) - WINDOW_SIZE]
+
+
+def _hash3(data: bytes, pos: int) -> int:
+    return (data[pos] << 16) | (data[pos + 1] << 8) | data[pos + 2]
+
+
+def _match_length(data: bytes, candidate: int, pos: int, n: int) -> int:
+    limit = min(MAX_MATCH, n - pos)
+    length = 0
+    while length < limit and data[candidate + length] == data[pos + length]:
+        length += 1
+    return length

@@ -1,0 +1,128 @@
+"""UpKit core: the paper's primary contribution.
+
+Generation (vendor server) → propagation (update server, double
+signature, device token) → verification (update agent *and*
+bootloader, shared verifier) → loading (static or A/B slots), with the
+on-the-fly pipeline for differential updates.
+"""
+
+from .agent import (
+    AgentState,
+    AgentStats,
+    FeedStatus,
+    UpdateAgent,
+    inspect_slot,
+)
+from .bootloader import Bootloader, BootMode, BootResult
+from .errors import (
+    BootError,
+    DigestMismatch,
+    IncompatibleLinkOffset,
+    ManifestFormatError,
+    NoValidImage,
+    PipelineError,
+    SignatureInvalid,
+    SizeExceeded,
+    StaleVersion,
+    StateError,
+    TokenMismatch,
+    UpdateError,
+    VerificationError,
+    WrongApplication,
+    WrongDevice,
+)
+from .events import EventKind, EventLog, UpdateEvent
+from .factory import (
+    FACTORY_NONCE,
+    install_factory_image,
+    make_factory_image,
+    provision_device,
+)
+from .image import ENVELOPE_SIZE, SIGNATURE_SIZE, SignedManifest, UpdateImage
+from .keys import SigningIdentity, TrustAnchors, make_test_identities
+from .manifest import MANIFEST_SIZE, Manifest, PayloadKind
+from .pipeline import (
+    BufferStage,
+    DecompressionStage,
+    DecryptionStage,
+    PatchingStage,
+    Pipeline,
+    Stage,
+    build_pipeline,
+)
+from .profile import DeviceProfile
+from .rotation import (
+    ROLE_SERVER,
+    ROLE_VENDOR,
+    RotationError,
+    RotationStatement,
+    TrustStore,
+)
+from .server import ServerStats, UpdateServer
+from .token import NO_DIFF_SUPPORT, TOKEN_SIZE, DeviceToken
+from .vendor import VendorRelease, VendorServer
+from .verifier import Verifier
+
+__all__ = [
+    "AgentState",
+    "AgentStats",
+    "BootError",
+    "BootMode",
+    "BootResult",
+    "Bootloader",
+    "BufferStage",
+    "DecompressionStage",
+    "DecryptionStage",
+    "DeviceProfile",
+    "DeviceToken",
+    "DigestMismatch",
+    "ENVELOPE_SIZE",
+    "EventKind",
+    "EventLog",
+    "FACTORY_NONCE",
+    "FeedStatus",
+    "IncompatibleLinkOffset",
+    "MANIFEST_SIZE",
+    "Manifest",
+    "ManifestFormatError",
+    "NO_DIFF_SUPPORT",
+    "NoValidImage",
+    "PatchingStage",
+    "PayloadKind",
+    "Pipeline",
+    "PipelineError",
+    "ROLE_SERVER",
+    "ROLE_VENDOR",
+    "RotationError",
+    "RotationStatement",
+    "ServerStats",
+    "SIGNATURE_SIZE",
+    "SignatureInvalid",
+    "SignedManifest",
+    "SigningIdentity",
+    "SizeExceeded",
+    "StaleVersion",
+    "Stage",
+    "StateError",
+    "TOKEN_SIZE",
+    "TokenMismatch",
+    "TrustAnchors",
+    "TrustStore",
+    "UpdateAgent",
+    "UpdateError",
+    "UpdateEvent",
+    "UpdateImage",
+    "UpdateServer",
+    "VendorRelease",
+    "VendorServer",
+    "VerificationError",
+    "Verifier",
+    "WrongApplication",
+    "WrongDevice",
+    "build_pipeline",
+    "inspect_slot",
+    "install_factory_image",
+    "make_factory_image",
+    "make_test_identities",
+    "provision_device",
+]

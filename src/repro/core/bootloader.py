@@ -1,0 +1,259 @@
+"""The bootloader: second verification and the loading phase.
+
+After reboot the bootloader re-establishes the validity of whatever
+the agent stored — the agent's verdict may be stale (power loss mid-
+propagation, flash corruption), so signatures and the firmware digest
+are checked again (step 16 of Fig. 2).  Then:
+
+* **A/B mode** (Configuration A): activate the newest *valid* bootable
+  slot in place — no copying, which is where the 92% loading-time
+  reduction of Fig. 8c comes from;
+* **static mode** (Configuration B): if the staging slot holds a valid
+  image newer than the bootable slot's, swap the two slots (keeping the
+  old image for rollback), re-verify the bootable slot, and roll back
+  by swapping again if that verification fails.
+
+Updating the bootloader itself is explicitly unsupported (Sect. III-D);
+:meth:`Bootloader.update_self` documents the refusal.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from ..crypto import CryptoBackend
+from ..memory import MemoryLayout, Slot
+from ..memory.swap import ResumableSwap
+from .agent import inspect_slot
+from .errors import BootError, NoValidImage, VerificationError
+from .events import EventKind, EventLog
+from .image import ENVELOPE_SIZE, SignedManifest
+from .keys import TrustAnchors
+from .profile import DeviceProfile
+from .verifier import Verifier
+
+__all__ = ["BootMode", "BootResult", "Bootloader"]
+
+
+class BootMode(enum.Enum):
+    """Loading strategy: single bootable slot vs. A/B dual-boot."""
+
+    STATIC = "static"
+    AB = "ab"
+
+
+@dataclass(frozen=True)
+class BootResult:
+    """Outcome of a boot: which slot runs, what happened on the way."""
+
+    slot: Slot
+    envelope: SignedManifest
+    swapped: bool
+    rolled_back: bool
+
+    @property
+    def version(self) -> int:
+        return self.envelope.manifest.version
+
+
+class Bootloader:
+    """Verify-then-load logic over a memory layout."""
+
+    #: Install a staged image only when strictly newer than the current
+    #: one.  UpKit enforces this; mcuboot's default configuration does
+    #: not (no downgrade prevention), which the baseline overrides.
+    require_newer_staged = True
+
+    def __init__(
+        self,
+        profile: DeviceProfile,
+        layout: MemoryLayout,
+        anchors: TrustAnchors,
+        backend: CryptoBackend,
+        events: Optional[EventLog] = None,
+    ) -> None:
+        self.profile = profile
+        self.layout = layout
+        self.verifier = Verifier(anchors, backend)
+        self.mode = BootMode.AB if layout.is_ab else BootMode.STATIC
+        self.events = events if events is not None else EventLog()
+
+    # -- verification -----------------------------------------------------------
+
+    def verify_slot(self, slot: Slot) -> Optional[SignedManifest]:
+        """Full re-verification of a stored image; None when invalid."""
+        envelope = inspect_slot(slot)
+        if envelope is None:
+            return None
+        try:
+            self.verifier.validate_for_bootloader(envelope, self.profile)
+            self.verifier.verify_firmware(
+                envelope.manifest,
+                lambda offset, length: slot.read(ENVELOPE_SIZE + offset,
+                                                 length),
+            )
+        except VerificationError:
+            return None
+        return envelope
+
+    # -- boot -------------------------------------------------------------------
+
+    def boot(self) -> BootResult:
+        result = (self._boot_ab() if self.mode is BootMode.AB
+                  else self._boot_static())
+        self.events.emit("bootloader", EventKind.BOOT_SELECTED,
+                         slot=result.slot.name, version=result.version,
+                         swapped=result.swapped,
+                         rolled_back=result.rolled_back)
+        return result
+
+    def _boot_ab(self) -> BootResult:
+        """Jump to the newest valid bootable slot; nothing is moved.
+
+        Candidates are tried newest-first (by the *parsed* header
+        version), stopping at the first slot that fully verifies: the
+        common case pays exactly one verification — this is where the
+        92% loading-phase reduction of Fig. 8c comes from.
+        """
+        candidates = []
+        for slot in self.layout.bootable_slots:
+            header = inspect_slot(slot)
+            if header is not None:
+                candidates.append((header.manifest.version, slot))
+        candidates.sort(key=lambda pair: pair[0], reverse=True)
+        for _, slot in candidates:
+            envelope = self.verify_slot(slot)
+            if envelope is not None:
+                return BootResult(slot=slot, envelope=envelope,
+                                  swapped=False, rolled_back=False)
+        raise NoValidImage("no bootable slot verifies")
+
+    def _boot_static(self) -> BootResult:
+        bootable = self.layout.bootable_slots[0]
+        staging = self._staging_slot()
+
+        # Power-loss recovery: an interrupted install leaves a journal in
+        # the status region; complete it before looking at the images.
+        self._resume_interrupted_swap(bootable, staging)
+
+        # Parse headers first (cheap); verify cryptographically only the
+        # image that will actually be booted or installed.
+        current_header = inspect_slot(bootable)
+        staged_header = (inspect_slot(staging)
+                         if staging is not None else None)
+
+        newer_staged = staged_header is not None and (
+            current_header is None
+            or not self.require_newer_staged
+            or (staged_header.manifest.version
+                > current_header.manifest.version)
+        )
+        candidate = None
+        if newer_staged:
+            candidate = self.verify_slot(staging)
+        if candidate is None:
+            # Nothing (valid) to install: boot the current image.
+            current = self.verify_slot(bootable)
+            if current is not None:
+                return BootResult(slot=bootable, envelope=current,
+                                  swapped=False, rolled_back=False)
+            # Recovery: the bootable slot is bad; fall back to whatever
+            # valid image is staged, even an older one.
+            if staging is not None:
+                candidate = self.verify_slot(staging)
+            if candidate is None:
+                return self._boot_from_recovery(bootable)
+        current = current_header  # version info only, for the swap extent
+
+        # Install: swap staging into the bootable slot, keep old for rollback.
+        # Only the sectors actually covered by an image are swapped — this
+        # is why the loading phase scales with image size, not slot size
+        # ("the number of sectors to be swapped ... is smaller", Fig. 8a).
+        assert staging is not None and candidate is not None
+        extent = ENVELOPE_SIZE + candidate.manifest.size
+        if current is not None:
+            extent = max(extent, ENVELOPE_SIZE + current.manifest.size)
+        page = max(bootable.flash.page_size, staging.flash.page_size)
+        extent = min(bootable.size, -(-extent // page) * page)
+        self.events.emit("bootloader", EventKind.SWAP_STARTED,
+                         extent=extent,
+                         new_version=candidate.manifest.version)
+        self._swap(bootable, staging, extent)
+        installed = self.verify_slot(bootable)
+        if installed is not None:
+            return BootResult(slot=bootable, envelope=installed,
+                              swapped=True, rolled_back=False)
+
+        # The copy went wrong — roll back to the previous image.
+        self.events.emit("bootloader", EventKind.ROLLED_BACK,
+                         failed_version=candidate.manifest.version)
+        self._swap(bootable, staging, extent)
+        restored = self.verify_slot(bootable)
+        if restored is None:
+            raise NoValidImage("rollback failed: no valid image remains")
+        return BootResult(slot=bootable, envelope=restored,
+                          swapped=True, rolled_back=True)
+
+    def _swap(self, bootable: Slot, staging: Slot, extent: int) -> None:
+        """Journaled swap when a status region exists, legacy otherwise."""
+        status = self.layout.status_slot
+        if status is not None:
+            ResumableSwap(bootable, staging, status).swap(extent)
+        else:
+            self.layout.swap_slots(bootable, staging, length=extent)
+
+    def _resume_interrupted_swap(self, bootable: Slot,
+                                 staging: Optional[Slot]) -> None:
+        status = self.layout.status_slot
+        if status is None or staging is None:
+            return
+        pending = ResumableSwap.pending(status)
+        if pending is not None:
+            self.events.emit("bootloader", EventKind.SWAP_RESUMED,
+                             pair_count=pending.pair_count,
+                             steps_done=sum(pending.progress))
+            ResumableSwap(bootable, staging, status).resume(pending)
+
+    def _boot_from_recovery(self, bootable: Slot) -> BootResult:
+        """Last resort: reinstall the factory image from the recovery
+        slot (Configuration B with external flash, Fig. 6)."""
+        recovery = self._recovery_slot()
+        if recovery is None:
+            raise NoValidImage("bootable slot invalid, nothing staged")
+        envelope = self.verify_slot(recovery)
+        if envelope is None:
+            raise NoValidImage(
+                "bootable, staging and recovery slots all invalid")
+        extent = ENVELOPE_SIZE + envelope.manifest.size
+        self.events.emit("bootloader", EventKind.RECOVERY_USED,
+                         version=envelope.manifest.version)
+        self.layout.copy_slot(recovery, bootable,
+                              length=min(extent, bootable.size))
+        installed = self.verify_slot(bootable)
+        if installed is None:
+            raise NoValidImage("recovery image failed to install")
+        return BootResult(slot=bootable, envelope=installed,
+                          swapped=True, rolled_back=True)
+
+    def _recovery_slot(self) -> Optional[Slot]:
+        for slot in self.layout.slots:
+            if slot.name == "recovery":
+                return slot
+        return None
+
+    def _staging_slot(self) -> Optional[Slot]:
+        return self.layout.staging_slot
+
+    # -- explicit non-goal ---------------------------------------------------------
+
+    def update_self(self) -> None:
+        """Bootloader self-update is unsupported by design.
+
+        "Also UpKit does not support updating the bootloader, as any
+        failure during this phase would be fatal to the system and
+        brick the device" (Sect. III-D).  Bootloader-verifier bugs are
+        mitigated by updating the *agent's* verifier instead.
+        """
+        raise BootError("bootloader self-update is unsupported by design")

@@ -1,0 +1,92 @@
+"""Typed error surface of the UpKit core.
+
+The FSM maps any :class:`VerificationError` to its *cleaning* state, so
+the hierarchy below is part of the behavioural contract: tests assert
+not just that an invalid update is rejected but *why* (wrong signature
+vs. stale nonce vs. version rollback ...), because each cause maps to a
+distinct attack the paper discusses.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "UpdateError",
+    "VerificationError",
+    "SignatureInvalid",
+    "TokenMismatch",
+    "WrongDevice",
+    "StaleVersion",
+    "WrongApplication",
+    "IncompatibleLinkOffset",
+    "SizeExceeded",
+    "DigestMismatch",
+    "ManifestFormatError",
+    "StateError",
+    "PipelineError",
+    "BootError",
+    "NoValidImage",
+]
+
+
+class UpdateError(Exception):
+    """Base class for every UpKit failure."""
+
+
+class VerificationError(UpdateError):
+    """An update image failed validation (agent- or bootloader-side)."""
+
+
+class SignatureInvalid(VerificationError):
+    """A vendor or update-server ECDSA signature did not verify."""
+
+    def __init__(self, which: str) -> None:
+        super().__init__("%s signature invalid" % which)
+        self.which = which
+
+
+class TokenMismatch(VerificationError):
+    """Manifest nonce does not match the device token (replay attempt)."""
+
+
+class WrongDevice(VerificationError):
+    """Manifest device ID differs from this device's ID."""
+
+
+class StaleVersion(VerificationError):
+    """Manifest version is not strictly greater than the installed one."""
+
+
+class WrongApplication(VerificationError):
+    """Manifest app ID does not match this device's application/platform."""
+
+
+class IncompatibleLinkOffset(VerificationError):
+    """Image was linked for an address this slot cannot satisfy."""
+
+
+class SizeExceeded(VerificationError):
+    """Firmware or payload larger than the manifest / slot allows."""
+
+
+class DigestMismatch(VerificationError):
+    """Computed firmware digest differs from the manifest digest."""
+
+
+class ManifestFormatError(VerificationError):
+    """Manifest bytes are structurally invalid."""
+
+
+class StateError(UpdateError):
+    """An FSM operation was attempted in the wrong state."""
+
+
+class PipelineError(UpdateError):
+    """A pipeline stage failed (bad patch, overflow, decoder error)."""
+
+
+class BootError(UpdateError):
+    """Bootloader-level failure."""
+
+
+class NoValidImage(BootError):
+    """No slot holds a bootable, verifiable image."""

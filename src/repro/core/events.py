@@ -1,0 +1,85 @@
+"""Structured update events: observability for agent and bootloader.
+
+A production update system needs an audit trail — which updates were
+offered, why one was rejected, whether a boot rolled back.  The agent
+and bootloader emit typed events into an :class:`EventLog` (bounded, so
+it fits a constrained device's RAM budget); tests and operators assert
+on sequences instead of scraping logs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = ["EventKind", "UpdateEvent", "EventLog"]
+
+
+class EventKind(enum.Enum):
+    """Every event the agent and bootloader can emit."""
+
+    # Agent-side.
+    TOKEN_ISSUED = "token_issued"
+    MANIFEST_VERIFIED = "manifest_verified"
+    UPDATE_REJECTED = "update_rejected"
+    FIRMWARE_VERIFIED = "firmware_verified"
+    SLOT_CLEANED = "slot_cleaned"
+    READY_TO_REBOOT = "ready_to_reboot"
+    # Bootloader-side.
+    BOOT_SELECTED = "boot_selected"
+    SWAP_STARTED = "swap_started"
+    SWAP_RESUMED = "swap_resumed"
+    ROLLED_BACK = "rolled_back"
+    RECOVERY_USED = "recovery_used"
+
+
+@dataclass(frozen=True)
+class UpdateEvent:
+    """One event: who, what, and structured details."""
+
+    source: str              # "agent" or "bootloader"
+    kind: EventKind
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        extras = " ".join("%s=%r" % item for item in self.detail.items())
+        return "[%s] %s %s" % (self.source, self.kind.value, extras)
+
+
+class EventLog:
+    """A bounded, append-only event buffer."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._events: List[UpdateEvent] = []
+        self.dropped = 0
+
+    def emit(self, source: str, kind: EventKind, **detail: Any) -> None:
+        if len(self._events) >= self.capacity:
+            # Drop the oldest: recent history matters most on-device.
+            self._events.pop(0)
+            self.dropped += 1
+        self._events.append(UpdateEvent(source=source, kind=kind,
+                                        detail=detail))
+
+    def all(self) -> List[UpdateEvent]:
+        return list(self._events)
+
+    def of_kind(self, kind: EventKind) -> List[UpdateEvent]:
+        return [event for event in self._events if event.kind is kind]
+
+    def last(self) -> Optional[UpdateEvent]:
+        return self._events[-1] if self._events else None
+
+    def kinds(self) -> List[EventKind]:
+        return [event.kind for event in self._events]
+
+    def clear(self) -> None:
+        self._events.clear()
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._events)

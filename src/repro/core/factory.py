@@ -1,0 +1,42 @@
+"""Factory provisioning: installing the initial firmware image.
+
+Devices leave the factory with a firmware already in the bootable slot.
+That image must still verify (the bootloader checks every boot), so it
+is double-signed like any update but bound to the reserved nonce 0 —
+the agent's nonce source never issues 0, so a factory image can never
+masquerade as the answer to a live update request.
+"""
+
+from __future__ import annotations
+
+from ..memory import OpenMode, Slot
+from .image import UpdateImage
+from .server import UpdateServer
+from .token import DeviceToken
+
+__all__ = ["make_factory_image", "install_factory_image", "provision_device"]
+
+FACTORY_NONCE = 0
+
+
+def make_factory_image(server: UpdateServer, device_id: int) -> UpdateImage:
+    """Ask the update server for a full image bound to the factory nonce."""
+    token = DeviceToken(device_id=device_id, nonce=FACTORY_NONCE,
+                        current_version=0)
+    return server.prepare_update(token)
+
+
+def install_factory_image(slot: Slot, image: UpdateImage) -> None:
+    """Write envelope + firmware into ``slot`` (production-line step)."""
+    handle = slot.open(OpenMode.WRITE_ALL)
+    handle.write(image.envelope.pack())
+    handle.write(image.payload)
+    handle.close()
+
+
+def provision_device(server: UpdateServer, slot: Slot,
+                     device_id: int) -> UpdateImage:
+    """Convenience: build and install the factory image in one call."""
+    image = make_factory_image(server, device_id)
+    install_factory_image(slot, image)
+    return image

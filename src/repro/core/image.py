@@ -1,0 +1,116 @@
+"""Update-image framing: manifest envelope + payload.
+
+Wire layout of a complete update image::
+
+    manifest (66 B) | vendor signature (64 B) | server signature (64 B)
+    | payload (manifest.payload_size bytes)
+
+The *envelope* (manifest + both signatures, 194 bytes) is what the
+proxy forwards first (step 8 in Fig. 2); the agent verifies it before
+accepting a single payload byte — the early-rejection property.  The
+same envelope is stored at the head of a memory slot so the bootloader
+can re-verify after reboot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..crypto import Signature, SignatureError
+from .errors import ManifestFormatError
+from .manifest import MANIFEST_SIZE, Manifest
+
+__all__ = ["SignedManifest", "UpdateImage", "ENVELOPE_SIZE", "SIGNATURE_SIZE"]
+
+SIGNATURE_SIZE = 64
+ENVELOPE_SIZE = MANIFEST_SIZE + 2 * SIGNATURE_SIZE
+
+
+@dataclass(frozen=True)
+class SignedManifest:
+    """Manifest plus the two detached signatures."""
+
+    manifest: Manifest
+    vendor_signature: bytes
+    server_signature: bytes
+
+    def __post_init__(self) -> None:
+        for name, sig in (("vendor", self.vendor_signature),
+                          ("server", self.server_signature)):
+            if len(sig) != SIGNATURE_SIZE:
+                raise ManifestFormatError(
+                    "%s signature must be %d bytes" % (name, SIGNATURE_SIZE))
+
+    def pack(self) -> bytes:
+        return (self.manifest.pack() + self.vendor_signature
+                + self.server_signature)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "SignedManifest":
+        if len(data) != ENVELOPE_SIZE:
+            raise ManifestFormatError(
+                "envelope must be %d bytes, got %d" % (ENVELOPE_SIZE, len(data))
+            )
+        return cls(
+            manifest=Manifest.unpack(data[:MANIFEST_SIZE]),
+            vendor_signature=data[MANIFEST_SIZE:MANIFEST_SIZE + SIGNATURE_SIZE],
+            server_signature=data[MANIFEST_SIZE + SIGNATURE_SIZE:],
+        )
+
+    # -- signature accessors (decoded, with structural validation) ---------
+
+    def decoded_vendor_signature(self) -> Signature:
+        try:
+            return Signature.decode(self.vendor_signature)
+        except SignatureError as exc:
+            raise ManifestFormatError("vendor signature: %s" % exc) from exc
+
+    def decoded_server_signature(self) -> Signature:
+        try:
+            return Signature.decode(self.server_signature)
+        except SignatureError as exc:
+            raise ManifestFormatError("server signature: %s" % exc) from exc
+
+    def server_signed_region(self) -> bytes:
+        """What the update server signs: manifest bytes ‖ vendor signature."""
+        return self.manifest.pack() + self.vendor_signature
+
+
+@dataclass(frozen=True)
+class UpdateImage:
+    """A full update image: signed envelope plus payload bytes."""
+
+    envelope: SignedManifest
+    payload: bytes
+
+    def __post_init__(self) -> None:
+        declared = self.envelope.manifest.payload_size
+        if len(self.payload) != declared:
+            raise ManifestFormatError(
+                "payload is %d bytes but manifest declares %d"
+                % (len(self.payload), declared)
+            )
+
+    @property
+    def manifest(self) -> Manifest:
+        return self.envelope.manifest
+
+    def pack(self) -> bytes:
+        return self.envelope.pack() + self.payload
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "UpdateImage":
+        if len(data) < ENVELOPE_SIZE:
+            raise ManifestFormatError("image shorter than its envelope")
+        envelope = SignedManifest.unpack(data[:ENVELOPE_SIZE])
+        payload = data[ENVELOPE_SIZE:]
+        if len(payload) != envelope.manifest.payload_size:
+            raise ManifestFormatError(
+                "image payload is %d bytes, manifest declares %d"
+                % (len(payload), envelope.manifest.payload_size)
+            )
+        return cls(envelope=envelope, payload=payload)
+
+    @property
+    def total_size(self) -> int:
+        return ENVELOPE_SIZE + len(self.payload)

@@ -1,0 +1,55 @@
+"""Key material and roles for UpKit's double-signature scheme.
+
+Two independent key pairs exist (Sect. III / VII):
+
+* the **vendor key** signs the canonical manifest at generation time —
+  integrity and authenticity of the firmware itself;
+* the **update-server key** signs the token-bound manifest per request —
+  freshness.
+
+Compromising either key alone cannot produce an update a device
+accepts; devices carry both public keys (optionally inside an ATECC508,
+see :mod:`repro.crypto.hsm`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..crypto import PrivateKey, PublicKey, generate_keypair
+
+__all__ = ["TrustAnchors", "SigningIdentity", "make_test_identities"]
+
+
+@dataclass(frozen=True)
+class TrustAnchors:
+    """The two public keys every device is provisioned with."""
+
+    vendor: PublicKey
+    server: PublicKey
+
+
+@dataclass(frozen=True)
+class SigningIdentity:
+    """A private key with its role name (for audit trails and errors)."""
+
+    role: str
+    private_key: PrivateKey
+
+    def public_key(self) -> PublicKey:
+        return self.private_key.public_key()
+
+    def sign(self, message: bytes) -> bytes:
+        return self.private_key.sign(message).encode()
+
+
+def make_test_identities(
+    vendor_seed: bytes = b"upkit-vendor",
+    server_seed: bytes = b"upkit-server",
+) -> "tuple[SigningIdentity, SigningIdentity, TrustAnchors]":
+    """Deterministic vendor/server identities for examples and tests."""
+    vendor = SigningIdentity("vendor", generate_keypair(vendor_seed))
+    server = SigningIdentity("update-server", generate_keypair(server_seed))
+    anchors = TrustAnchors(vendor=vendor.public_key(),
+                           server=server.public_key())
+    return vendor, server, anchors

@@ -1,0 +1,175 @@
+"""The UpKit manifest: firmware metadata with a double-signature split.
+
+The manifest carries every field the verifier module checks
+(Sect. IV-D): ID, nonce, old version, version, size, digest, link
+offset and app ID.  Compared to mcuboot/mcumgr manifests, the first
+three fields plus the update-server signature are UpKit's additions —
+they grant freshness independently of the network configuration and
+enable differential updates.
+
+**Signing split.**  The vendor signs at generation time, before any
+device token exists, so the *vendor-signed region* is the manifest in
+canonical form: token-dependent fields (device_id, nonce, old_version)
+zeroed and payload fields set to "full image".  The update server later
+fills the token fields, selects the payload encoding (full vs.
+lzss-compressed bsdiff delta), and signs the **final manifest bytes
+concatenated with the vendor signature** — so neither the manifest nor
+the vendor signature can be swapped independently.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, replace
+
+from .errors import ManifestFormatError
+from .token import DeviceToken
+
+__all__ = ["Manifest", "PayloadKind", "MANIFEST_SIZE", "MAGIC"]
+
+MAGIC = b"UKIT"
+_FORMAT = struct.Struct(">4sBBHHIIIIII32s")
+MANIFEST_SIZE = _FORMAT.size  # 66 bytes
+_HEADER_VERSION = 1
+DIGEST_SIZE = 32
+
+
+class PayloadKind:
+    """How the update payload is encoded on the wire."""
+
+    FULL = 0            # raw firmware image
+    DELTA_LZSS = 1      # lzss-compressed bsdiff patch
+    FULL_ENCRYPTED = 2  # raw firmware through the decryption stage
+    DELTA_ENCRYPTED = 3 # encrypted, lzss-compressed bsdiff patch
+
+    ALL = (FULL, DELTA_LZSS, FULL_ENCRYPTED, DELTA_ENCRYPTED)
+
+    @classmethod
+    def is_delta(cls, kind: int) -> bool:
+        return kind in (cls.DELTA_LZSS, cls.DELTA_ENCRYPTED)
+
+    @classmethod
+    def is_encrypted(cls, kind: int) -> bool:
+        return kind in (cls.FULL_ENCRYPTED, cls.DELTA_ENCRYPTED)
+
+
+@dataclass(frozen=True)
+class Manifest:
+    """Update-image metadata (see module docstring for field semantics)."""
+
+    version: int
+    size: int
+    digest: bytes
+    link_offset: int
+    app_id: int
+    device_id: int = 0
+    nonce: int = 0
+    old_version: int = 0
+    payload_kind: int = PayloadKind.FULL
+    payload_size: int = 0
+
+    def __post_init__(self) -> None:
+        if not (0 < self.version < 2 ** 16):
+            raise ManifestFormatError("version must be in [1, 65535]")
+        if not (0 <= self.old_version < 2 ** 16):
+            raise ManifestFormatError("old_version must fit 16 bits")
+        if not (0 <= self.size < 2 ** 32) or self.size == 0:
+            raise ManifestFormatError("size must be a positive 32-bit value")
+        if len(self.digest) != DIGEST_SIZE:
+            raise ManifestFormatError("digest must be 32 bytes (SHA-256)")
+        if not (0 <= self.link_offset < 2 ** 32):
+            raise ManifestFormatError("link_offset must fit 32 bits")
+        if not (0 <= self.app_id < 2 ** 32):
+            raise ManifestFormatError("app_id must fit 32 bits")
+        if not (0 <= self.device_id < 2 ** 32):
+            raise ManifestFormatError("device_id must fit 32 bits")
+        if not (0 <= self.nonce < 2 ** 32):
+            raise ManifestFormatError("nonce must fit 32 bits")
+        if self.payload_kind not in PayloadKind.ALL:
+            raise ManifestFormatError(
+                "unknown payload kind %d" % self.payload_kind)
+        if not (0 <= self.payload_size < 2 ** 32):
+            raise ManifestFormatError("payload_size must fit 32 bits")
+
+    # -- wire format --------------------------------------------------------
+
+    def pack(self) -> bytes:
+        return _FORMAT.pack(
+            MAGIC,
+            _HEADER_VERSION,
+            self.payload_kind,
+            self.version,
+            self.old_version,
+            self.device_id,
+            self.nonce,
+            self.size,
+            self.payload_size,
+            self.link_offset,
+            self.app_id,
+            self.digest,
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "Manifest":
+        if len(data) != MANIFEST_SIZE:
+            raise ManifestFormatError(
+                "manifest must be %d bytes, got %d" % (MANIFEST_SIZE, len(data))
+            )
+        (magic, header_version, payload_kind, version, old_version,
+         device_id, nonce, size, payload_size, link_offset, app_id,
+         digest) = _FORMAT.unpack(data)
+        if magic != MAGIC:
+            raise ManifestFormatError("bad manifest magic %r" % magic)
+        if header_version != _HEADER_VERSION:
+            raise ManifestFormatError(
+                "unsupported manifest header version %d" % header_version)
+        return cls(
+            version=version,
+            size=size,
+            digest=digest,
+            link_offset=link_offset,
+            app_id=app_id,
+            device_id=device_id,
+            nonce=nonce,
+            old_version=old_version,
+            payload_kind=payload_kind,
+            payload_size=payload_size,
+        )
+
+    # -- signing regions -----------------------------------------------------
+
+    def canonical(self) -> "Manifest":
+        """The vendor-signed form: token/payload fields normalised."""
+        return replace(
+            self,
+            device_id=0,
+            nonce=0,
+            old_version=0,
+            payload_kind=PayloadKind.FULL,
+            payload_size=self.size,
+        )
+
+    def canonical_bytes(self) -> bytes:
+        return self.canonical().pack()
+
+    # -- server-side specialisation -------------------------------------------
+
+    def bind_token(self, token: DeviceToken, payload_kind: int,
+                   payload_size: int, old_version: int = 0) -> "Manifest":
+        """Produce the per-request manifest the update server signs."""
+        return replace(
+            self,
+            device_id=token.device_id,
+            nonce=token.nonce,
+            old_version=old_version,
+            payload_kind=payload_kind,
+            payload_size=payload_size,
+        )
+
+    @property
+    def is_delta(self) -> bool:
+        return PayloadKind.is_delta(self.payload_kind)
+
+    @property
+    def is_encrypted(self) -> bool:
+        return PayloadKind.is_encrypted(self.payload_kind)

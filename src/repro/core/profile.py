@@ -1,0 +1,31 @@
+"""Device identity and compatibility profile.
+
+The verifier checks a manifest against *this device's* identity: its
+unique ID, the application/platform identifier its firmware was built
+for, and the address firmware must be linked to.  In Configuration A
+(A/B slots) the simulated MCU bank-remaps the active slot to the link
+address, so a single ``link_offset`` suffices for both slots; this is
+documented as a modeling assumption in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DeviceProfile"]
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Everything the verifier needs to know about the device."""
+
+    device_id: int
+    app_id: int
+    link_offset: int
+    supports_differential: bool = True
+
+    def __post_init__(self) -> None:
+        for name in ("device_id", "app_id", "link_offset"):
+            value = getattr(self, name)
+            if not (0 <= value < 2 ** 32):
+                raise ValueError("%s must fit 32 bits" % name)

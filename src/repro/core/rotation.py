@@ -1,0 +1,160 @@
+"""Trust-anchor rotation: surviving vendor / update-server key compromise.
+
+The paper adopts its double-signature idea from TUF ("Survivable Key
+Compromise in Software Update Systems" [40]) but leaves key *rotation*
+out of scope.  This module adds it, TUF-style:
+
+* an offline **root key** is provisioned alongside the vendor and
+  update-server keys;
+* a **rotation statement** — role, generation counter, new public key —
+  must carry two signatures: the *root* key and the *current* key of
+  the rotated role.  Neither a stolen role key nor a stolen root key
+  alone can rotate trust;
+* generations are monotonic per role, so replaying an old statement
+  (rolling back to a compromised key) is rejected.
+
+Devices keep a :class:`TrustStore`; applying a valid statement yields
+new :class:`TrustAnchors` for the verifier.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Dict
+
+from ..crypto import PrivateKey, PublicKey, Signature, SignatureError
+from .errors import VerificationError
+from .keys import TrustAnchors
+
+__all__ = ["RotationStatement", "TrustStore", "RotationError",
+           "ROLE_VENDOR", "ROLE_SERVER"]
+
+ROLE_VENDOR = 1
+ROLE_SERVER = 2
+_ROLE_NAMES = {ROLE_VENDOR: "vendor", ROLE_SERVER: "update-server"}
+
+_BODY = struct.Struct(">4sBI65s")
+MAGIC = b"UKRT"
+STATEMENT_SIZE = _BODY.size + 2 * 64
+
+
+class RotationError(VerificationError):
+    """A rotation statement failed validation."""
+
+
+@dataclass(frozen=True)
+class RotationStatement:
+    """A double-signed 'replace role key' statement."""
+
+    role: int
+    generation: int
+    new_key: PublicKey
+    root_signature: bytes
+    role_signature: bytes
+
+    def __post_init__(self) -> None:
+        if self.role not in _ROLE_NAMES:
+            raise RotationError("unknown role %d" % self.role)
+        if not (0 < self.generation < 2 ** 32):
+            raise RotationError("generation must be a positive 32-bit int")
+        for name, sig in (("root", self.root_signature),
+                          ("role", self.role_signature)):
+            if len(sig) != 64:
+                raise RotationError("%s signature must be 64 bytes" % name)
+
+    # -- wire format -----------------------------------------------------------
+
+    def body(self) -> bytes:
+        return _BODY.pack(MAGIC, self.role, self.generation,
+                          self.new_key.encode())
+
+    def pack(self) -> bytes:
+        return self.body() + self.root_signature + self.role_signature
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "RotationStatement":
+        if len(data) != STATEMENT_SIZE:
+            raise RotationError(
+                "statement must be %d bytes, got %d"
+                % (STATEMENT_SIZE, len(data)))
+        magic, role, generation, key_bytes = _BODY.unpack(
+            data[:_BODY.size])
+        if magic != MAGIC:
+            raise RotationError("bad statement magic %r" % magic)
+        try:
+            new_key = PublicKey.decode(key_bytes)
+        except Exception as exc:
+            raise RotationError("invalid new key: %s" % exc) from exc
+        return cls(
+            role=role, generation=generation, new_key=new_key,
+            root_signature=data[_BODY.size:_BODY.size + 64],
+            role_signature=data[_BODY.size + 64:],
+        )
+
+    # -- creation ------------------------------------------------------------------
+
+    @classmethod
+    def create(cls, role: int, generation: int, new_key: PublicKey,
+               root_key: PrivateKey,
+               current_role_key: PrivateKey) -> "RotationStatement":
+        body = _BODY.pack(MAGIC, role, generation, new_key.encode())
+        return cls(
+            role=role, generation=generation, new_key=new_key,
+            root_signature=root_key.sign(body).encode(),
+            role_signature=current_role_key.sign(body).encode(),
+        )
+
+
+class TrustStore:
+    """A device's mutable trust state: root + per-role anchors."""
+
+    def __init__(self, root: PublicKey, anchors: TrustAnchors) -> None:
+        self.root = root
+        self._keys: Dict[int, PublicKey] = {
+            ROLE_VENDOR: anchors.vendor,
+            ROLE_SERVER: anchors.server,
+        }
+        self._generations: Dict[int, int] = {ROLE_VENDOR: 0,
+                                             ROLE_SERVER: 0}
+
+    @property
+    def anchors(self) -> TrustAnchors:
+        return TrustAnchors(vendor=self._keys[ROLE_VENDOR],
+                            server=self._keys[ROLE_SERVER])
+
+    def generation(self, role: int) -> int:
+        return self._generations[role]
+
+    # -- rotation ---------------------------------------------------------------
+
+    def apply(self, statement: RotationStatement) -> TrustAnchors:
+        """Validate and apply a rotation; returns the new anchors."""
+        role = statement.role
+        if role not in self._keys:
+            raise RotationError("unknown role %d" % role)
+        if statement.generation <= self._generations[role]:
+            raise RotationError(
+                "generation %d is not newer than %d (replay?)"
+                % (statement.generation, self._generations[role]))
+
+        body = statement.body()
+        if not self._verify(self.root, statement.root_signature, body):
+            raise RotationError("root signature invalid")
+        if not self._verify(self._keys[role], statement.role_signature,
+                            body):
+            raise RotationError(
+                "current %s key signature invalid" % _ROLE_NAMES[role])
+
+        self._keys[role] = statement.new_key
+        self._generations[role] = statement.generation
+        return self.anchors
+
+    @staticmethod
+    def _verify(key: PublicKey, signature_bytes: bytes,
+                body: bytes) -> bool:
+        try:
+            signature = Signature.decode(signature_bytes)
+        except SignatureError:
+            return False
+        return key.verify(signature, body)

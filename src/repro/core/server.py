@@ -1,0 +1,146 @@
+"""Update server: per-request specialisation and second signature.
+
+The update server stores vendor releases, announces new versions, and —
+given a device token — produces the update image for *that* device and
+*that* request (Sect. III-A/B):
+
+1. copy the token's device ID / nonce into the manifest;
+2. if the token advertises a current version the server has, derive a
+   bsdiff delta, compress it with LZSS and mark the payload
+   ``DELTA_LZSS`` (falling back to the full image when the delta would
+   not actually be smaller);
+3. sign ``manifest ‖ vendor-signature`` with the update-server key.
+
+Only the private key staying secret is assumed — no reliable time
+source or transport security is required for freshness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..compression import compress as lzss_compress
+from ..crypto import StreamCipher
+from ..delta import diff as bsdiff_diff
+from .errors import ManifestFormatError
+from .image import SignedManifest, UpdateImage
+from .keys import SigningIdentity
+from .manifest import PayloadKind
+from .token import DeviceToken
+from .vendor import VendorRelease
+
+__all__ = ["UpdateServer", "ServerStats"]
+
+
+@dataclass
+class ServerStats:
+    """Counters for the evaluation harness."""
+
+    requests: int = 0
+    full_updates: int = 0
+    delta_updates: int = 0
+    delta_fallbacks: int = 0
+    bytes_served: int = 0
+    delta_cache_hits: int = 0
+
+
+class UpdateServer:
+    """Holds releases and answers device-token requests with signed images."""
+
+    def __init__(self, identity: SigningIdentity,
+                 cipher: Optional[StreamCipher] = None) -> None:
+        self.identity = identity
+        self.cipher = cipher
+        self.stats = ServerStats()
+        self._releases: Dict[int, VendorRelease] = {}
+        self._delta_cache: Dict["tuple[int, int]", bytes] = {}
+
+    # -- publishing ------------------------------------------------------------
+
+    def publish(self, release: VendorRelease) -> None:
+        """Accept a vendor release (step 2 of Fig. 2)."""
+        if release.version in self._releases:
+            raise ManifestFormatError(
+                "version %d already published" % release.version)
+        self._releases[release.version] = release
+
+    @property
+    def latest_version(self) -> int:
+        """Newest published version, or 0 when nothing is published."""
+        return max(self._releases) if self._releases else 0
+
+    def announce(self) -> "dict[str, int]":
+        """The advertisement pushed to proxies (step 3 of Fig. 2)."""
+        return {"latest_version": self.latest_version}
+
+    # -- per-request image generation -------------------------------------------
+
+    def prepare_update(self, token: DeviceToken) -> UpdateImage:
+        """Build the double-signed update image for one device token."""
+        self.stats.requests += 1
+        if not self._releases:
+            raise ManifestFormatError("no published releases")
+        release = self._releases[self.latest_version]
+
+        payload, payload_kind, old_version = self._select_payload(
+            release, token)
+        if self.cipher is not None:
+            # Per-request keystream: two images for different tokens must
+            # never share CTR keystream bytes (see StreamCipher.derive).
+            request_cipher = self.cipher.derive(token.pack())
+            payload = request_cipher.process(payload)
+            payload_kind = (PayloadKind.DELTA_ENCRYPTED
+                            if PayloadKind.is_delta(payload_kind)
+                            else PayloadKind.FULL_ENCRYPTED)
+
+        manifest = release.manifest.bind_token(
+            token,
+            payload_kind=payload_kind,
+            payload_size=len(payload),
+            old_version=old_version,
+        )
+        envelope = SignedManifest(
+            manifest=manifest,
+            vendor_signature=release.vendor_signature,
+            server_signature=self.identity.sign(
+                manifest.pack() + release.vendor_signature),
+        )
+        image = UpdateImage(envelope=envelope, payload=payload)
+        self.stats.bytes_served += image.total_size
+        return image
+
+    def _select_payload(
+        self, release: VendorRelease, token: DeviceToken
+    ) -> "tuple[bytes, int, int]":
+        """Choose full vs. differential payload for this request."""
+        current = token.current_version
+        use_delta = (
+            token.supports_differential
+            and current in self._releases
+            and current < release.version
+        )
+        if not use_delta:
+            self.stats.full_updates += 1
+            return release.firmware, PayloadKind.FULL, 0
+
+        delta = self._delta_for(current, release)
+        if len(delta) >= len(release.firmware):
+            # A delta larger than the image defeats its purpose.
+            self.stats.delta_fallbacks += 1
+            self.stats.full_updates += 1
+            return release.firmware, PayloadKind.FULL, 0
+        self.stats.delta_updates += 1
+        return delta, PayloadKind.DELTA_LZSS, current
+
+    def _delta_for(self, old_version: int, release: VendorRelease) -> bytes:
+        key = (old_version, release.version)
+        cached = self._delta_cache.get(key)
+        if cached is not None:
+            self.stats.delta_cache_hits += 1
+            return cached
+        old_firmware = self._releases[old_version].firmware
+        patch = bsdiff_diff(old_firmware, release.firmware)
+        delta = lzss_compress(patch)
+        self._delta_cache[key] = delta
+        return delta

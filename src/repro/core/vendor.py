@@ -1,0 +1,85 @@
+"""Vendor server: generation phase (steps 1–2 of Fig. 2).
+
+The vendor receives a raw firmware binary, builds the canonical
+manifest (version, size, digest, link offset, app ID — token fields
+zeroed) and signs it with the vendor private key.  The result — a
+*vendor release* — is uploaded to the update server, which will later
+specialise and re-sign it per device request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..crypto import sha256
+from .errors import ManifestFormatError
+from .keys import SigningIdentity
+from .manifest import Manifest, PayloadKind
+
+__all__ = ["VendorRelease", "VendorServer"]
+
+
+@dataclass(frozen=True)
+class VendorRelease:
+    """A signed firmware release, as handed to the update server."""
+
+    manifest: Manifest          # canonical form (token fields zeroed)
+    vendor_signature: bytes     # over manifest.canonical_bytes()
+    firmware: bytes
+
+    @property
+    def version(self) -> int:
+        return self.manifest.version
+
+
+class VendorServer:
+    """Builds and signs releases for one application/platform."""
+
+    def __init__(self, identity: SigningIdentity, app_id: int,
+                 link_offset: int) -> None:
+        self.identity = identity
+        self.app_id = app_id
+        self.link_offset = link_offset
+        self._releases: Dict[int, VendorRelease] = {}
+
+    def release(self, firmware: bytes, version: int) -> VendorRelease:
+        """Create, sign and record a release of ``firmware`` as ``version``."""
+        if not firmware:
+            raise ManifestFormatError("cannot release empty firmware")
+        if version in self._releases:
+            raise ManifestFormatError("version %d already released" % version)
+        if self._releases and version <= max(self._releases):
+            raise ManifestFormatError(
+                "version %d is not newer than latest release %d"
+                % (version, max(self._releases))
+            )
+        manifest = Manifest(
+            version=version,
+            size=len(firmware),
+            digest=sha256(firmware),
+            link_offset=self.link_offset,
+            app_id=self.app_id,
+            payload_kind=PayloadKind.FULL,
+            payload_size=len(firmware),
+        )
+        assert manifest.pack() == manifest.canonical_bytes(), \
+            "a fresh vendor manifest must already be canonical"
+        signature = self.identity.sign(manifest.canonical_bytes())
+        release = VendorRelease(
+            manifest=manifest,
+            vendor_signature=signature,
+            firmware=bytes(firmware),
+        )
+        self._releases[version] = release
+        return release
+
+    def get_release(self, version: int) -> VendorRelease:
+        try:
+            return self._releases[version]
+        except KeyError:
+            raise ManifestFormatError("no release %d" % version) from None
+
+    @property
+    def versions(self) -> "list[int]":
+        return sorted(self._releases)

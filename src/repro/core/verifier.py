@@ -1,0 +1,182 @@
+"""The verifier module, shared by update agent and bootloader.
+
+UpKit's key architectural move (Sect. III-C / IV-D) is running the
+*same* verifier twice: once in the update agent — rejecting invalid
+software before it is stored or the device reboots — and once in the
+bootloader, which re-establishes integrity after reboot (the agent's
+verdict may be stale if power was lost mid-propagation).
+
+The split of checks between the two callers:
+
+* **agent** — signatures, token binding (device ID + nonce), version
+  monotonicity, differential consistency (old version), app ID,
+  link offset, size vs. slot capacity; then the firmware digest once
+  the payload has been written.
+* **bootloader** — signatures, app ID, link offset, firmware digest.
+  The nonce cannot be re-checked after reboot (the token lives in the
+  agent's RAM) and version ordering is the bootloader's slot-selection
+  rule rather than a per-image check.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..crypto import CryptoBackend
+from .errors import (
+    DigestMismatch,
+    IncompatibleLinkOffset,
+    SignatureInvalid,
+    SizeExceeded,
+    StaleVersion,
+    TokenMismatch,
+    WrongApplication,
+    WrongDevice,
+)
+from .image import SignedManifest
+from .keys import TrustAnchors
+from .manifest import Manifest
+from .profile import DeviceProfile
+from .token import DeviceToken
+
+__all__ = ["Verifier"]
+
+FirmwareReader = Callable[[int, int], bytes]
+_HASH_CHUNK = 4096
+
+
+class Verifier:
+    """Stateless validation logic over a crypto backend and trust anchors."""
+
+    def __init__(self, anchors: TrustAnchors, backend: CryptoBackend) -> None:
+        self.anchors = anchors
+        self.backend = backend
+
+    # -- signatures -----------------------------------------------------------
+
+    def verify_signatures(self, envelope: SignedManifest) -> None:
+        """Check the double signature; raises :class:`SignatureInvalid`."""
+        vendor_ok = self.backend.verify(
+            self.anchors.vendor,
+            envelope.decoded_vendor_signature(),
+            envelope.manifest.canonical_bytes(),
+        )
+        if not vendor_ok:
+            raise SignatureInvalid("vendor")
+        server_ok = self.backend.verify(
+            self.anchors.server,
+            envelope.decoded_server_signature(),
+            envelope.server_signed_region(),
+        )
+        if not server_ok:
+            raise SignatureInvalid("update-server")
+
+    # -- manifest field checks --------------------------------------------------
+
+    def validate_for_agent(
+        self,
+        envelope: SignedManifest,
+        profile: DeviceProfile,
+        token: DeviceToken,
+        installed_version: int,
+        slot_capacity: int,
+    ) -> None:
+        """Full agent-side validation (step 9 of Fig. 2)."""
+        self.verify_signatures(envelope)
+        manifest = envelope.manifest
+
+        if manifest.device_id != profile.device_id:
+            raise WrongDevice(
+                "manifest is for device 0x%08X, we are 0x%08X"
+                % (manifest.device_id, profile.device_id)
+            )
+        if manifest.nonce != token.nonce:
+            raise TokenMismatch(
+                "manifest nonce 0x%08X does not match token nonce 0x%08X"
+                % (manifest.nonce, token.nonce)
+            )
+        if manifest.version <= installed_version:
+            raise StaleVersion(
+                "manifest version %d is not newer than installed %d"
+                % (manifest.version, installed_version)
+            )
+        if manifest.is_delta:
+            if not profile.supports_differential:
+                raise TokenMismatch(
+                    "received a differential update but the device opted out")
+            if manifest.old_version != token.current_version:
+                raise TokenMismatch(
+                    "delta built against version %d, device runs %d"
+                    % (manifest.old_version, token.current_version)
+                )
+        self._check_compatibility(manifest, profile)
+        if manifest.size > slot_capacity:
+            raise SizeExceeded(
+                "firmware of %d bytes does not fit slot of %d bytes"
+                % (manifest.size, slot_capacity)
+            )
+        if manifest.payload_size > slot_capacity:
+            raise SizeExceeded(
+                "payload of %d bytes exceeds slot of %d bytes"
+                % (manifest.payload_size, slot_capacity)
+            )
+
+    def validate_for_bootloader(
+        self,
+        envelope: SignedManifest,
+        profile: DeviceProfile,
+    ) -> None:
+        """Bootloader-side re-validation (step 16 of Fig. 2)."""
+        self.verify_signatures(envelope)
+        manifest = envelope.manifest
+        if manifest.device_id not in (0, profile.device_id):
+            raise WrongDevice(
+                "stored image bound to device 0x%08X, we are 0x%08X"
+                % (manifest.device_id, profile.device_id)
+            )
+        self._check_compatibility(manifest, profile)
+
+    def _check_compatibility(self, manifest: Manifest,
+                             profile: DeviceProfile) -> None:
+        if manifest.app_id != profile.app_id:
+            raise WrongApplication(
+                "manifest app 0x%08X, device runs 0x%08X"
+                % (manifest.app_id, profile.app_id)
+            )
+        if manifest.link_offset != profile.link_offset:
+            raise IncompatibleLinkOffset(
+                "image linked for 0x%08X, device boots at 0x%08X"
+                % (manifest.link_offset, profile.link_offset)
+            )
+
+    # -- firmware digest -----------------------------------------------------
+
+    def verify_firmware(
+        self,
+        manifest: Manifest,
+        read: FirmwareReader,
+        length: Optional[int] = None,
+    ) -> None:
+        """Hash ``length`` bytes via ``read(offset, n)`` and compare digests.
+
+        Used by the agent on the freshly written slot (step 13) and by
+        the bootloader on the stored image (step 16).  Chunked reads
+        keep RAM usage at one flash page, as the C implementation does.
+        """
+        total = manifest.size if length is None else length
+        hasher = self.backend.new_hash()
+        offset = 0
+        while offset < total:
+            chunk = read(offset, min(_HASH_CHUNK, total - offset))
+            if not chunk:
+                raise DigestMismatch(
+                    "firmware truncated at %d of %d bytes" % (offset, total))
+            hasher.update(chunk)
+            self.backend.track_hashed(len(chunk))
+            offset += len(chunk)
+        digest = hasher.digest()
+        if digest != manifest.digest:
+            raise DigestMismatch(
+                "firmware digest %s != manifest digest %s"
+                % (digest.hex()[:16], manifest.digest.hex()[:16])
+            )

@@ -1,0 +1,59 @@
+"""Cryptographic substrate: SHA-256, ECDSA-secp256r1, backends, HSM.
+
+UpKit verifies firmware with ECDSA over secp256r1 and SHA-256 digests,
+implemented here from scratch (no third-party crypto dependency) so the
+reproduction is self-contained and the per-library cost model in
+:mod:`repro.crypto.backends` wraps a real code path.
+"""
+
+from .backends import (
+    CRYPTOAUTHLIB,
+    TINYCRYPT,
+    TINYDTLS,
+    CryptoBackend,
+    CryptoProfile,
+    HSMBackend,
+    SoftwareBackend,
+    available_backends,
+    get_backend,
+)
+from .ecc import P256, CurveError, Point
+from .ecdsa import (
+    PrivateKey,
+    PublicKey,
+    Signature,
+    SignatureError,
+    generate_keypair,
+)
+from .hsm import ATECC508, HSMError, KeyNotFoundError, SlotLockedError
+from .rfc6979 import hmac_sha256
+from .sha256 import SHA256, sha256
+from .stream import StreamCipher
+
+__all__ = [
+    "ATECC508",
+    "CRYPTOAUTHLIB",
+    "CryptoBackend",
+    "CryptoProfile",
+    "CurveError",
+    "HSMBackend",
+    "HSMError",
+    "KeyNotFoundError",
+    "P256",
+    "Point",
+    "PrivateKey",
+    "PublicKey",
+    "SHA256",
+    "Signature",
+    "SignatureError",
+    "SlotLockedError",
+    "SoftwareBackend",
+    "StreamCipher",
+    "TINYCRYPT",
+    "TINYDTLS",
+    "available_backends",
+    "generate_keypair",
+    "get_backend",
+    "hmac_sha256",
+    "sha256",
+]

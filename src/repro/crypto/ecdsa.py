@@ -1,0 +1,151 @@
+"""ECDSA over secp256r1 with SHA-256, as used by UpKit's verifier.
+
+Key generation is deterministic from a seed (devices and servers in the
+simulation derive their keys from stable identities), signing follows
+RFC 6979, and signatures use the fixed-width 64-byte ``r || s`` encoding
+that constrained verifiers prefer over DER.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .ecc import P256, CurveError, Point
+from .rfc6979 import deterministic_nonce, hmac_sha256
+from .sha256 import sha256
+
+__all__ = [
+    "PrivateKey",
+    "PublicKey",
+    "Signature",
+    "SignatureError",
+    "generate_keypair",
+]
+
+SIGNATURE_SIZE = 64
+
+
+class SignatureError(ValueError):
+    """Raised when a signature fails structural validation."""
+
+
+@dataclass(frozen=True)
+class Signature:
+    """An ECDSA signature as the scalar pair (r, s)."""
+
+    r: int
+    s: int
+
+    def encode(self) -> bytes:
+        """Fixed-width 64-byte big-endian r || s."""
+        return self.r.to_bytes(32, "big") + self.s.to_bytes(32, "big")
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Signature":
+        if len(data) != SIGNATURE_SIZE:
+            raise SignatureError(
+                "signature must be %d bytes, got %d" % (SIGNATURE_SIZE, len(data))
+            )
+        sig = cls(
+            int.from_bytes(data[:32], "big"),
+            int.from_bytes(data[32:], "big"),
+        )
+        if not (1 <= sig.r < P256.n and 1 <= sig.s < P256.n):
+            raise SignatureError("signature scalars out of range")
+        return sig
+
+
+@dataclass(frozen=True)
+class PublicKey:
+    """A secp256r1 public key (curve point)."""
+
+    point: Point
+
+    def __post_init__(self) -> None:
+        if self.point.is_infinity or not P256.contains(self.point):
+            raise CurveError("public key is not a valid secp256r1 point")
+
+    def encode(self) -> bytes:
+        return self.point.encode()
+
+    @classmethod
+    def decode(cls, data: bytes) -> "PublicKey":
+        return cls(P256.decode(data))
+
+    def fingerprint(self) -> bytes:
+        """SHA-256 of the encoded point; used as a key identifier."""
+        return sha256(self.encode())
+
+    def verify(self, signature: Signature, message: bytes) -> bool:
+        """Verify ``signature`` over SHA-256(message). Never raises on a
+        well-formed signature; returns False for any invalid one."""
+        return self.verify_digest(signature, sha256(message))
+
+    def verify_digest(self, signature: Signature, digest: bytes) -> bool:
+        r, s = signature.r, signature.s
+        if not (1 <= r < P256.n and 1 <= s < P256.n):
+            return False
+        e = int.from_bytes(digest, "big") % P256.n
+        w = pow(s, P256.n - 2, P256.n)
+        u1 = (e * w) % P256.n
+        u2 = (r * w) % P256.n
+        point = P256.double_multiply(u1, u2, self.point)
+        if point.is_infinity:
+            return False
+        return point.x % P256.n == r
+
+
+@dataclass(frozen=True)
+class PrivateKey:
+    """A secp256r1 private key (scalar in [1, n-1])."""
+
+    scalar: int
+
+    def __post_init__(self) -> None:
+        if not (1 <= self.scalar < P256.n):
+            raise SignatureError("private key scalar out of range")
+
+    def public_key(self) -> PublicKey:
+        return PublicKey(P256.multiply_base(self.scalar))
+
+    def sign(self, message: bytes) -> Signature:
+        """Deterministic (RFC 6979) ECDSA signature over SHA-256(message)."""
+        return self.sign_digest(sha256(message))
+
+    def sign_digest(self, digest: bytes) -> Signature:
+        e = int.from_bytes(digest, "big") % P256.n
+        while True:
+            k = deterministic_nonce(self.scalar, digest, P256.n)
+            point = P256.multiply_base(k)
+            r = point.x % P256.n
+            if r == 0:
+                digest = sha256(digest)
+                continue
+            k_inv = pow(k, P256.n - 2, P256.n)
+            s = (k_inv * (e + r * self.scalar)) % P256.n
+            if s == 0:
+                digest = sha256(digest)
+                continue
+            # Enforce low-s normalisation so signatures are non-malleable.
+            if s > P256.n // 2:
+                s = P256.n - s
+            return Signature(r, s)
+
+
+def generate_keypair(seed: bytes) -> PrivateKey:
+    """Derive a private key deterministically from ``seed``.
+
+    Uses HMAC-SHA256 in counter mode until a scalar in range is found,
+    so any seed (including low-entropy test fixtures) yields a valid key.
+    """
+    if not seed:
+        raise SignatureError("key seed must be non-empty")
+    counter = 0
+    while True:
+        candidate = int.from_bytes(
+            hmac_sha256(b"upkit-keygen", seed + counter.to_bytes(4, "big")),
+            "big",
+        )
+        if 1 <= candidate < P256.n:
+            return PrivateKey(candidate)
+        counter += 1

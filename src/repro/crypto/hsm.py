@@ -1,0 +1,111 @@
+"""Simulated ATECC508 hardware security module.
+
+The paper pairs the TI CC2650 with Atmel's ATECC508 CryptoAuthentication
+chip to (i) store public keys in tamper-proof slots and (ii) offload
+ECDSA verification to hardware, shaving ~10% of bootloader flash.
+
+The simulation reproduces the chip's security-relevant behaviour:
+
+* 16 data slots addressed by index, each able to hold one P-256 public
+  key;
+* slots can be individually **locked**; a locked slot can never be
+  rewritten (the real chip's slot-lock is one-time);
+* verification against a *stored* key looks the key up by fingerprint,
+  so a caller cannot substitute key material for a provisioned identity;
+* an optional monotonic counter, which the real chip also provides.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .ecdsa import PublicKey, Signature
+
+__all__ = ["ATECC508", "HSMError", "SlotLockedError", "KeyNotFoundError"]
+
+SLOT_COUNT = 16
+
+
+class HSMError(Exception):
+    """Base class for HSM failures."""
+
+
+class SlotLockedError(HSMError):
+    """Attempt to write a locked slot."""
+
+
+class KeyNotFoundError(HSMError):
+    """No stored key matches the requested fingerprint/slot."""
+
+
+class ATECC508:
+    """A minimal but faithful model of the ATECC508's key storage."""
+
+    def __init__(self) -> None:
+        self._slots: Dict[int, PublicKey] = {}
+        self._locked: Dict[int, bool] = {}
+        self._counter = 0
+
+    # -- provisioning -----------------------------------------------------
+
+    def write_pubkey(self, slot: int, key: PublicKey) -> None:
+        self._check_slot(slot)
+        if self._locked.get(slot):
+            raise SlotLockedError("slot %d is locked" % slot)
+        self._slots[slot] = key
+
+    def lock_slot(self, slot: int) -> None:
+        self._check_slot(slot)
+        if slot not in self._slots:
+            raise KeyNotFoundError("cannot lock empty slot %d" % slot)
+        self._locked[slot] = True
+
+    def is_locked(self, slot: int) -> bool:
+        self._check_slot(slot)
+        return bool(self._locked.get(slot))
+
+    def read_pubkey(self, slot: int) -> PublicKey:
+        self._check_slot(slot)
+        try:
+            return self._slots[slot]
+        except KeyError:
+            raise KeyNotFoundError("slot %d is empty" % slot) from None
+
+    # -- verification -----------------------------------------------------
+
+    def verify_stored(self, fingerprint: bytes, signature: Signature,
+                      digest: bytes) -> bool:
+        """Verify against a provisioned key identified by fingerprint."""
+        key = self._find_by_fingerprint(fingerprint)
+        if key is None:
+            raise KeyNotFoundError("no stored key with that fingerprint")
+        return key.verify_digest(signature, digest)
+
+    def verify_external(self, key: PublicKey, signature: Signature,
+                        digest: bytes) -> bool:
+        """Verify with caller-supplied key material (chip's Verify(External))."""
+        return key.verify_digest(signature, digest)
+
+    # -- monotonic counter -------------------------------------------------
+
+    def increment_counter(self) -> int:
+        self._counter += 1
+        return self._counter
+
+    @property
+    def counter(self) -> int:
+        return self._counter
+
+    # -- helpers -----------------------------------------------------------
+
+    def _find_by_fingerprint(self, fingerprint: bytes) -> Optional[PublicKey]:
+        for key in self._slots.values():
+            if key.fingerprint() == fingerprint:
+                return key
+        return None
+
+    @staticmethod
+    def _check_slot(slot: int) -> None:
+        if not (0 <= slot < SLOT_COUNT):
+            raise HSMError("slot index %d out of range [0, %d)"
+                           % (slot, SLOT_COUNT))

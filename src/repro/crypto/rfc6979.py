@@ -1,0 +1,70 @@
+"""Deterministic ECDSA nonce generation (RFC 6979) and HMAC-SHA256.
+
+Constrained devices rarely have a good entropy source, and a repeated or
+biased ECDSA nonce leaks the private key.  The paper's signing tooling
+runs on the vendor / update server, but we keep signatures deterministic
+so update images are reproducible byte-for-byte — a property the test
+suite and the differential-update benchmarks rely on.
+"""
+
+from __future__ import annotations
+
+from .sha256 import SHA256, sha256
+
+__all__ = ["hmac_sha256", "deterministic_nonce"]
+
+_BLOCK = 64
+
+
+def hmac_sha256(key: bytes, message: bytes) -> bytes:
+    """HMAC-SHA256 (RFC 2104) built on the local SHA-256 implementation."""
+    if len(key) > _BLOCK:
+        key = sha256(key)
+    key = key.ljust(_BLOCK, b"\x00")
+    inner = SHA256(bytes(b ^ 0x36 for b in key)).update(message).digest()
+    return SHA256(bytes(b ^ 0x5C for b in key)).update(inner).digest()
+
+
+def _bits2int(data: bytes, qlen: int) -> int:
+    value = int.from_bytes(data, "big")
+    blen = len(data) * 8
+    if blen > qlen:
+        value >>= blen - qlen
+    return value
+
+
+def _int2octets(value: int, rlen: int) -> bytes:
+    return value.to_bytes(rlen, "big")
+
+
+def _bits2octets(data: bytes, order: int, qlen: int, rlen: int) -> bytes:
+    z1 = _bits2int(data, qlen)
+    z2 = z1 - order
+    if z2 < 0:
+        z2 = z1
+    return _int2octets(z2, rlen)
+
+
+def deterministic_nonce(private_key: int, digest: bytes, order: int) -> int:
+    """RFC 6979 section 3.2: derive k from the key and message digest."""
+    qlen = order.bit_length()
+    rlen = (qlen + 7) // 8
+    bx = _int2octets(private_key, rlen) + _bits2octets(digest, order, qlen, rlen)
+
+    v = b"\x01" * 32
+    k = b"\x00" * 32
+    k = hmac_sha256(k, v + b"\x00" + bx)
+    v = hmac_sha256(k, v)
+    k = hmac_sha256(k, v + b"\x01" + bx)
+    v = hmac_sha256(k, v)
+
+    while True:
+        t = b""
+        while len(t) * 8 < qlen:
+            v = hmac_sha256(k, v)
+            t += v
+        candidate = _bits2int(t, qlen)
+        if 1 <= candidate < order:
+            return candidate
+        k = hmac_sha256(k, v + b"\x00")
+        v = hmac_sha256(k, v)

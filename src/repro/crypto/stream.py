@@ -1,0 +1,74 @@
+"""Stream cipher for the optional pipeline decryption stage.
+
+The paper lists a decryption pipeline stage as future work, "to make
+confidentiality independent from the employed transport security layer"
+(Sect. VIII).  We implement it as a counter-mode keystream built on the
+local SHA-256 — the construction used by several constrained-device
+stacks when an AES peripheral is unavailable.  CTR mode means encryption
+and decryption are the same operation and the cipher is seekable, which
+the streaming pipeline needs (chunks arrive in order but the stage must
+be restartable after ``reset``).
+"""
+
+from __future__ import annotations
+
+from .rfc6979 import hmac_sha256
+
+__all__ = ["StreamCipher"]
+
+_BLOCK = 32  # HMAC-SHA256 output size
+
+
+class StreamCipher:
+    """HMAC-SHA256-CTR keystream cipher (encrypt == decrypt)."""
+
+    def __init__(self, key: bytes, nonce: bytes) -> None:
+        if len(key) < 16:
+            raise ValueError("cipher key must be at least 16 bytes")
+        if len(nonce) != 16:
+            raise ValueError("cipher nonce must be exactly 16 bytes")
+        self._key = bytes(key)
+        self._nonce = bytes(nonce)
+        self._counter = 0
+        self._leftover = b""
+
+    def reset(self) -> None:
+        """Rewind the keystream to position zero."""
+        self._counter = 0
+        self._leftover = b""
+
+    def process(self, data: bytes) -> bytes:
+        """XOR ``data`` with the next keystream bytes."""
+        out = bytearray(len(data))
+        pos = 0
+        while pos < len(data):
+            if not self._leftover:
+                block_input = self._nonce + self._counter.to_bytes(16, "big")
+                self._leftover = hmac_sha256(self._key, block_input)
+                self._counter += 1
+            take = min(len(self._leftover), len(data) - pos)
+            for i in range(take):
+                out[pos + i] = data[pos + i] ^ self._leftover[i]
+            self._leftover = self._leftover[take:]
+            pos += take
+        return bytes(out)
+
+    def seek_block(self, counter: int) -> None:
+        """Jump to an absolute keystream block (for out-of-order testing)."""
+        if counter < 0:
+            raise ValueError("counter must be non-negative")
+        self._counter = counter
+        self._leftover = b""
+
+    def derive(self, context: bytes) -> "StreamCipher":
+        """A fresh cipher whose nonce is bound to ``context``.
+
+        CTR keystreams must never repeat under one key; the update
+        server derives a per-request cipher from the device token so
+        two images encrypted for different requests never share a
+        keystream (a classic two-time-pad failure otherwise).
+        """
+        nonce = hmac_sha256(self._key,
+                            b"upkit-nonce-derive" + self._nonce
+                            + context)[:16]
+        return StreamCipher(self._key, nonce)

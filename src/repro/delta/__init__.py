@@ -1,0 +1,24 @@
+"""Binary-delta substrate: bsdiff generation and streaming bspatch."""
+
+from .bsdiff import MAGIC, Control, PatchFormatError, diff, parse_patch
+from .bspatch import StreamingPatcher
+from .suffix import build_suffix_array, longest_match
+
+__all__ = [
+    "Control",
+    "MAGIC",
+    "PatchFormatError",
+    "StreamingPatcher",
+    "build_suffix_array",
+    "diff",
+    "longest_match",
+    "parse_patch",
+]
+
+
+def patch(old: bytes, patch_stream: bytes) -> bytes:
+    """One-shot convenience: apply a full patch to ``old``."""
+    patcher = StreamingPatcher(old)
+    out = patcher.feed(patch_stream)
+    patcher.finish()
+    return out

@@ -1,0 +1,195 @@
+"""bsdiff: binary delta generation (server side).
+
+UpKit's update server derives a patch between the device's current
+firmware and the new image (Sect. IV-C), using bsdiff because Stolikj
+et al. [19] found it the best size/footprint trade-off for constrained
+devices.
+
+This is Colin Percival's algorithm: suffix-array match search over the
+old file, with fuzzy match extension so that *approximately* matching
+regions become small byte-wise differences (firmware recompiles shift
+addresses by small deltas, so old and new bytes differ by a few bits in
+otherwise-aligned regions).
+
+**Wire format.**  The classic bsdiff4 container stores three separately
+compressed blocks (control / diff / extra), which cannot be applied
+until the whole patch is present.  UpKit applies patches *on-the-fly*
+in a pipeline without buffering the patch, so we serialise records
+interleaved instead::
+
+    MAGIC "UPD1" | new_size (u32 BE) | record*
+    record = add_len (u32) | copy_len (u32) | seek (i64) |
+             add_len diff bytes | copy_len extra bytes
+
+Each record is self-contained: ``add_len`` diff bytes are added
+byte-wise to the old file at the current old-cursor, ``copy_len`` extra
+bytes are emitted verbatim, then the old-cursor moves by ``seek``.
+The stream is LZSS-compressed as a whole by the caller.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from .suffix import build_suffix_array, longest_match
+
+__all__ = ["diff", "Control", "parse_patch", "PatchFormatError", "MAGIC"]
+
+MAGIC = b"UPD1"
+_HEADER = struct.Struct(">4sI")
+_CONTROL = struct.Struct(">IIq")
+
+
+class PatchFormatError(ValueError):
+    """Raised when a patch stream is structurally invalid."""
+
+
+@dataclass(frozen=True)
+class Control:
+    """One bsdiff control record."""
+
+    add_len: int
+    copy_len: int
+    seek: int
+
+
+def diff(old: bytes, new: bytes) -> bytes:
+    """Produce an uncompressed interleaved patch turning ``old`` into ``new``."""
+    old = bytes(old)
+    new = bytes(new)
+    sa = build_suffix_array(old)
+    out = bytearray(_HEADER.pack(MAGIC, len(new)))
+
+    scan = 0          # cursor in new
+    last_scan = 0     # start of the region covered by the next record
+    last_pos = 0      # matching position in old for last_scan
+    pos = 0           # position in old of the current exact match
+    match_len = 0
+
+    n_new, n_old = len(new), len(old)
+
+    while scan < n_new:
+        old_score = 0
+        scan += match_len
+        scsc = scan
+        while scan < n_new:
+            # The match target is capped: very long identical regions are
+            # simply split across successive records (24 B overhead each),
+            # which keeps every suffix-array comparison cheap.
+            pos, match_len = longest_match(old, sa, new[scan:scan + 4096])
+            while scsc < scan + match_len:
+                if (scsc + last_pos - last_scan < n_old
+                        and old[scsc + last_pos - last_scan] == new[scsc]):
+                    old_score += 1
+                scsc += 1
+            if (match_len == old_score and match_len != 0) or match_len > old_score + 8:
+                break
+            if (scan + last_pos - last_scan < n_old
+                    and old[scan + last_pos - last_scan] == new[scan]):
+                old_score -= 1
+            scan += 1
+
+        if match_len != old_score or scan == n_new:
+            # Extend the previous region forward while it still pays off.
+            length_f = 0
+            s = 0
+            sf = 0
+            i = 0
+            while last_scan + i < scan and last_pos + i < n_old:
+                if old[last_pos + i] == new[last_scan + i]:
+                    s += 1
+                i += 1
+                if s * 2 - i > sf * 2 - length_f:
+                    sf = s
+                    length_f = i
+
+            # Extend the new match backwards.
+            length_b = 0
+            if scan < n_new:
+                s = 0
+                sb = 0
+                i = 1
+                while scan >= last_scan + i and pos >= i:
+                    if old[pos - i] == new[scan - i]:
+                        s += 1
+                    if s * 2 - i > sb * 2 - length_b:
+                        sb = s
+                        length_b = i
+                    i += 1
+
+            # Resolve overlap between forward and backward extensions.
+            if last_scan + length_f > scan - length_b:
+                overlap = (last_scan + length_f) - (scan - length_b)
+                s = 0
+                best_s = 0
+                best_i = 0
+                for i in range(overlap):
+                    if (new[last_scan + length_f - overlap + i]
+                            == old[last_pos + length_f - overlap + i]):
+                        s += 1
+                    if (new[scan - length_b + i]
+                            == old[pos - length_b + i]):
+                        s -= 1
+                    if s > best_s:
+                        best_s = s
+                        best_i = i + 1
+                length_f += best_i - overlap
+                length_b -= best_i
+
+            add_len = length_f
+            copy_len = (scan - length_b) - (last_scan + length_f)
+            seek = (pos - length_b) - (last_pos + length_f)
+
+            diff_bytes = bytes(
+                (new[last_scan + i] - old[last_pos + i]) & 0xFF
+                for i in range(add_len)
+            )
+            extra = new[last_scan + add_len: last_scan + add_len + copy_len]
+
+            out.extend(_CONTROL.pack(add_len, copy_len, seek))
+            out.extend(diff_bytes)
+            out.extend(extra)
+
+            # After applying the record the patcher's old-cursor sits at
+            # (previous last_pos + add_len + seek) == pos - length_b.
+            last_scan = scan - length_b
+            last_pos = pos - length_b
+
+    return bytes(out)
+
+
+def parse_patch(patch: bytes) -> "tuple[int, List[tuple[Control, bytes, bytes]]]":
+    """Parse a full patch into ``(new_size, [(control, diff, extra), ...])``.
+
+    The streaming patcher (:mod:`repro.delta.bspatch`) never calls this;
+    it is used by tests and by the server's self-check after generating
+    a patch.
+    """
+    if len(patch) < _HEADER.size:
+        raise PatchFormatError("patch shorter than header")
+    magic, new_size = _HEADER.unpack_from(patch, 0)
+    if magic != MAGIC:
+        raise PatchFormatError("bad patch magic %r" % magic)
+    records = []
+    offset = _HEADER.size
+    while offset < len(patch):
+        if offset + _CONTROL.size > len(patch):
+            raise PatchFormatError("truncated control record")
+        add_len, copy_len, seek = _CONTROL.unpack_from(patch, offset)
+        offset += _CONTROL.size
+        if offset + add_len + copy_len > len(patch):
+            raise PatchFormatError("truncated record body")
+        diff_bytes = patch[offset:offset + add_len]
+        offset += add_len
+        extra = patch[offset:offset + copy_len]
+        offset += copy_len
+        records.append((Control(add_len, copy_len, seek), diff_bytes, extra))
+    return new_size, records
+
+
+def iter_records(patch: bytes) -> Iterator["tuple[Control, bytes, bytes]"]:
+    """Iterate records of a parsed patch (convenience for tooling)."""
+    _, records = parse_patch(patch)
+    return iter(records)

@@ -1,0 +1,122 @@
+"""Suffix-array construction for bsdiff.
+
+bsdiff's match search needs a suffix array over the *old* firmware.
+The construction runs on the update server (not the constrained
+device), so asymptotics matter more than RAM: we use prefix doubling —
+O(n log^2 n) comparisons — vectorised with numpy when available, with a
+pure-Python fallback so the library works without it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+try:  # numpy is optional; the fallback is exercised in tests
+    import numpy as _np
+except ImportError:  # pragma: no cover - environment-dependent
+    _np = None
+
+__all__ = ["build_suffix_array", "longest_match"]
+
+
+def build_suffix_array(data: bytes) -> List[int]:
+    """Return the suffix array of ``data`` (indices of sorted suffixes)."""
+    if not data:
+        return []
+    if _np is not None and len(data) > 64:
+        return _build_numpy(data)
+    return _build_python(data)
+
+
+def _build_numpy(data: bytes) -> List[int]:
+    n = len(data)
+    rank = _np.frombuffer(data, dtype=_np.uint8).astype(_np.int64)
+    sa = _np.argsort(rank, kind="stable")
+    tmp = _np.empty(n, dtype=_np.int64)
+    k = 1
+    while k < n:
+        # Rank pairs (rank[i], rank[i+k]); absent second component = -1.
+        second = _np.full(n, -1, dtype=_np.int64)
+        second[: n - k] = rank[k:]
+        order = _np.lexsort((second, rank))
+        # Recompute ranks after sorting by the pair key.
+        sorted_first = rank[order]
+        sorted_second = second[order]
+        changed = _np.empty(n, dtype=_np.int64)
+        changed[0] = 0
+        changed[1:] = (
+            (sorted_first[1:] != sorted_first[:-1])
+            | (sorted_second[1:] != sorted_second[:-1])
+        ).astype(_np.int64)
+        new_rank_sorted = _np.cumsum(changed)
+        tmp[order] = new_rank_sorted
+        rank, tmp = tmp.copy(), tmp
+        sa = order
+        if rank[sa[-1]] == n - 1:
+            break
+        k <<= 1
+    return sa.tolist()
+
+
+def _build_python(data: bytes) -> List[int]:
+    n = len(data)
+    rank: List[int] = list(data)
+    sa = sorted(range(n), key=lambda i: rank[i])
+    k = 1
+    while k < n:
+        def key(i: int) -> tuple:
+            nxt = rank[i + k] if i + k < n else -1
+            return (rank[i], nxt)
+
+        sa.sort(key=key)
+        new_rank = [0] * n
+        for idx in range(1, n):
+            prev, cur = sa[idx - 1], sa[idx]
+            new_rank[cur] = new_rank[prev] + (1 if key(cur) != key(prev) else 0)
+        rank = new_rank
+        if rank[sa[-1]] == n - 1:
+            break
+        k <<= 1
+    return sa
+
+
+def longest_match(
+    old: bytes, suffix_array: Sequence[int], target: bytes
+) -> "tuple[int, int]":
+    """Longest common prefix between ``target`` and any suffix of ``old``.
+
+    Returns ``(position_in_old, length)``; ``length`` is 0 when no byte
+    matches.  Binary search over the suffix array, exactly as bsdiff's
+    ``search`` routine.
+    """
+    if not old or not target:
+        return (0, 0)
+
+    bound = len(target)
+    lo, hi = 0, len(suffix_array)
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        start = suffix_array[mid]
+        # Bounded prefix comparison: suffixes whose first `bound` bytes tie
+        # with the target already achieve the maximum possible LCP, so the
+        # tie-breaking order does not affect the result.
+        if old[start:start + bound] <= target:
+            lo = mid
+        else:
+            hi = mid
+
+    best_pos, best_len = suffix_array[lo], _lcp(old, suffix_array[lo], target)
+    if hi < len(suffix_array):
+        cand = suffix_array[hi]
+        cand_len = _lcp(old, cand, target)
+        if cand_len > best_len:
+            best_pos, best_len = cand, cand_len
+    return (best_pos, best_len)
+
+
+def _lcp(old: bytes, pos: int, target: bytes) -> int:
+    limit = min(len(old) - pos, len(target))
+    i = 0
+    while i < limit and old[pos + i] == target[i]:
+        i += 1
+    return i

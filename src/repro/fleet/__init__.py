@@ -1,0 +1,17 @@
+"""Fleet layer: staged update campaigns over many simulated devices."""
+
+from .campaign import (
+    Campaign,
+    CampaignReport,
+    DeviceRecord,
+    DeviceState,
+    RolloutPolicy,
+)
+
+__all__ = [
+    "Campaign",
+    "CampaignReport",
+    "DeviceRecord",
+    "DeviceState",
+    "RolloutPolicy",
+]

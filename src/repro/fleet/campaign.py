@@ -1,0 +1,193 @@
+"""Fleet update campaigns: staged rollout over many devices.
+
+The paper's deployment story — billions of heterogeneous devices,
+updated regularly — implies a *campaign* layer above the per-device
+protocol: release to a canary subset first, watch the failure rate,
+abort before a bad update bricks the fleet, retry devices with flaky
+links.  This module provides that layer on top of the per-device
+transports, with deterministic ordering so campaigns are reproducible.
+
+The per-device flow is unchanged UpKit (token → double-signed image →
+early verification → reboot); the campaign only decides *who updates
+when* and interprets the outcomes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core import UpdateServer
+from ..net import PullTransport, PushTransport, UpdateOutcome
+from ..net.transports import Interceptor
+from ..sim.device import SimulatedDevice
+
+__all__ = ["DeviceRecord", "DeviceState", "RolloutPolicy",
+           "CampaignReport", "Campaign"]
+
+
+class DeviceState(enum.Enum):
+    """Where one device stands within a campaign."""
+
+    PENDING = "pending"
+    UPDATED = "updated"
+    FAILED = "failed"
+    SKIPPED = "skipped"   # campaign aborted before this device's turn
+
+
+@dataclass
+class DeviceRecord:
+    """One fleet member and its campaign status."""
+
+    name: str
+    device: SimulatedDevice
+    transport: str = "pull"            # "push" or "pull"
+    interceptor: Optional[Interceptor] = None  # per-device link condition
+    state: DeviceState = DeviceState.PENDING
+    attempts: int = 0
+    last_outcome: Optional[UpdateOutcome] = None
+
+    def __post_init__(self) -> None:
+        if self.transport not in ("push", "pull"):
+            raise ValueError("transport must be 'push' or 'pull'")
+
+
+@dataclass(frozen=True)
+class RolloutPolicy:
+    """Knobs of a staged rollout."""
+
+    canary_fraction: float = 0.1     # fraction updated in the first wave
+    abort_failure_rate: float = 0.34  # abort when a wave fails this much
+    max_attempts: int = 2            # per-device retries on failure
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.canary_fraction <= 1.0):
+            raise ValueError("canary_fraction must be in (0, 1]")
+        if not (0.0 < self.abort_failure_rate <= 1.0):
+            raise ValueError("abort_failure_rate must be in (0, 1]")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+
+
+@dataclass
+class CampaignReport:
+    """Aggregate outcome of one campaign run."""
+
+    target_version: int
+    aborted: bool
+    waves: List[List[str]] = field(default_factory=list)
+    updated: List[str] = field(default_factory=list)
+    failed: List[str] = field(default_factory=list)
+    skipped: List[str] = field(default_factory=list)
+    total_bytes_over_air: int = 0
+    total_energy_mj: float = 0.0
+    #: Modeled campaign wall-clock: devices within a wave update in
+    #: parallel (each against its own radio), waves run back-to-back.
+    wall_clock_seconds: float = 0.0
+
+    @property
+    def success_rate(self) -> float:
+        done = len(self.updated) + len(self.failed)
+        return len(self.updated) / done if done else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready summary for dashboards and CI artifacts."""
+        return {
+            "target_version": self.target_version,
+            "aborted": self.aborted,
+            "waves": self.waves,
+            "updated": self.updated,
+            "failed": self.failed,
+            "skipped": self.skipped,
+            "success_rate": self.success_rate,
+            "total_bytes_over_air": self.total_bytes_over_air,
+            "total_energy_mj": self.total_energy_mj,
+            "wall_clock_seconds": self.wall_clock_seconds,
+        }
+
+
+class Campaign:
+    """Runs one release across a fleet under a rollout policy."""
+
+    def __init__(self, server: UpdateServer, fleet: List[DeviceRecord],
+                 policy: Optional[RolloutPolicy] = None) -> None:
+        if not fleet:
+            raise ValueError("campaign needs at least one device")
+        names = [record.name for record in fleet]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate device names: %r" % names)
+        self.server = server
+        self.fleet = list(fleet)
+        self.policy = policy or RolloutPolicy()
+
+    # -- planning -----------------------------------------------------------
+
+    def waves(self) -> List[List[DeviceRecord]]:
+        """Canary wave first, then everyone else (stable order)."""
+        pending = [record for record in self.fleet
+                   if record.state is DeviceState.PENDING]
+        canary_count = max(1, int(len(pending)
+                                  * self.policy.canary_fraction))
+        return [pending[:canary_count], pending[canary_count:]]
+
+    # -- execution ------------------------------------------------------------
+
+    def run(self) -> CampaignReport:
+        """Execute the rollout for the server's latest version."""
+        target = self.server.latest_version
+        report = CampaignReport(target_version=target, aborted=False)
+
+        for wave in self.waves():
+            if not wave:
+                continue
+            report.waves.append([record.name for record in wave])
+            failures = 0
+            wave_duration = 0.0
+            for record in wave:
+                outcome = self._update_device(record, target)
+                if outcome is not None:
+                    report.total_bytes_over_air += outcome.bytes_over_air
+                    report.total_energy_mj += outcome.total_energy_mj
+                    wave_duration = max(wave_duration,
+                                        outcome.total_seconds)
+                if record.state is DeviceState.UPDATED:
+                    report.updated.append(record.name)
+                else:
+                    report.failed.append(record.name)
+                    failures += 1
+            report.wall_clock_seconds += wave_duration
+            if failures / len(wave) >= self.policy.abort_failure_rate:
+                report.aborted = True
+                break
+
+        if report.aborted:
+            for record in self.fleet:
+                if record.state is DeviceState.PENDING:
+                    record.state = DeviceState.SKIPPED
+                    report.skipped.append(record.name)
+        return report
+
+    def _update_device(self, record: DeviceRecord,
+                       target: int) -> Optional[UpdateOutcome]:
+        last: Optional[UpdateOutcome] = None
+        for _ in range(self.policy.max_attempts):
+            record.attempts += 1
+            transport = self._transport_for(record)
+            last = transport.run_update()
+            record.last_outcome = last
+            if last.success and last.booted_version == target:
+                record.state = DeviceState.UPDATED
+                return last
+        record.state = DeviceState.FAILED
+        return last
+
+    def _transport_for(self, record: DeviceRecord):
+        cls = PushTransport if record.transport == "push" else PullTransport
+        return cls(record.device, self.server,
+                   interceptor=record.interceptor)
+
+    # -- introspection -----------------------------------------------------------
+
+    def states(self) -> Dict[str, DeviceState]:
+        return {record.name: record.state for record in self.fleet}

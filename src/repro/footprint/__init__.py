@@ -1,0 +1,41 @@
+"""Static flash/RAM footprint model of UpKit and baseline builds."""
+
+from .model import (
+    AGENT_GLUE_FLASH,
+    BuildFootprint,
+    Component,
+    UPKIT_BOOT_COMMON,
+    UPKIT_FSM,
+    UPKIT_MEMORY,
+    UPKIT_PIPELINE,
+    UPKIT_VERIFIER,
+    agent_build,
+    bootloader_build,
+)
+from .report import (
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    build_summary,
+    format_table,
+    table1_rows,
+    table2_rows,
+)
+
+__all__ = [
+    "AGENT_GLUE_FLASH",
+    "BuildFootprint",
+    "Component",
+    "PAPER_TABLE1",
+    "PAPER_TABLE2",
+    "UPKIT_BOOT_COMMON",
+    "UPKIT_FSM",
+    "UPKIT_MEMORY",
+    "UPKIT_PIPELINE",
+    "UPKIT_VERIFIER",
+    "agent_build",
+    "bootloader_build",
+    "build_summary",
+    "format_table",
+    "table1_rows",
+    "table2_rows",
+]

@@ -1,0 +1,84 @@
+"""Footprint reporting: render Table I / Table II / Fig. 7 style rows."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from ..crypto.backends import CRYPTOAUTHLIB, TINYCRYPT, TINYDTLS
+from ..platform import CONTIKI, RIOT, ZEPHYR
+from .model import BuildFootprint, agent_build, bootloader_build
+
+__all__ = [
+    "table1_rows",
+    "table2_rows",
+    "format_table",
+    "PAPER_TABLE1",
+    "PAPER_TABLE2",
+]
+
+# Paper-reported numbers, for paper-vs-model comparison in the benches.
+PAPER_TABLE1 = {
+    ("zephyr", "tinydtls"): (13040, 8180),
+    ("zephyr", "tinycrypt"): (14151, 8180),
+    ("riot", "tinydtls"): (15420, 6512),
+    ("riot", "tinycrypt"): (16552, 6512),
+    ("contiki", "tinydtls"): (15454, 6637),
+    ("contiki", "tinycrypt"): (16546, 6637),
+    ("contiki", "cryptoauthlib"): (14078, 6553),
+}
+
+PAPER_TABLE2 = {
+    ("zephyr", "pull"): (218472, 75204),
+    ("riot", "pull"): (95780, 31244),
+    ("contiki", "pull"): (79445, 19934),
+    ("zephyr", "push"): (81918, 21856),
+}
+
+
+def table1_rows() -> List[Tuple[str, str, int, int]]:
+    """(os, crypto, flash, ram) for every Table I configuration."""
+    rows = []
+    pairs = [
+        (ZEPHYR, TINYDTLS), (ZEPHYR, TINYCRYPT),
+        (RIOT, TINYDTLS), (RIOT, TINYCRYPT),
+        (CONTIKI, TINYDTLS), (CONTIKI, TINYCRYPT),
+        (CONTIKI, CRYPTOAUTHLIB),
+    ]
+    for os_profile, crypto in pairs:
+        build = bootloader_build(os_profile, crypto)
+        rows.append((os_profile.name, crypto.name, build.flash, build.ram))
+    return rows
+
+
+def table2_rows() -> List[Tuple[str, str, int, int]]:
+    """(approach, os, flash, ram) for every Table II configuration."""
+    rows = []
+    for os_profile in (ZEPHYR, RIOT, CONTIKI):
+        build = agent_build(os_profile, "pull")
+        rows.append(("pull", os_profile.name, build.flash, build.ram))
+    build = agent_build(ZEPHYR, "push")
+    rows.append(("push", ZEPHYR.name, build.flash, build.ram))
+    return rows
+
+
+def format_table(header: Iterable[str],
+                 rows: Iterable[Iterable[object]]) -> str:
+    """Plain-text table rendering for the benchmark harness output."""
+    header = [str(h) for h in header]
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in header]
+    for row in str_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def fmt(row: List[str]) -> str:
+        return "  ".join(cell.ljust(width)
+                         for cell, width in zip(row, widths)).rstrip()
+    lines = [fmt(header), fmt(["-" * width for width in widths])]
+    lines.extend(fmt(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def build_summary(build: BuildFootprint) -> str:
+    """Linker-map style per-component listing of one build."""
+    rows = build.rows() + [("TOTAL", build.flash, build.ram)]
+    return format_table(("component", "flash", "ram"), rows)

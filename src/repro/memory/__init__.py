@@ -1,0 +1,32 @@
+"""Persistent-memory substrate: simulated NOR flash, slots, file slots."""
+
+from .filebacked import FileSlot, FileSlotFile
+from .flash import (
+    FlashError,
+    FlashMemory,
+    FlashStats,
+    FlashTiming,
+    PowerLossError,
+)
+from .interface import OpenMode, SlotFile, SlotIOError
+from .slots import FlashSlotFile, MemoryLayout, Slot, SlotError
+from .swap import ResumableSwap, SwapStatus
+
+__all__ = [
+    "FileSlot",
+    "FileSlotFile",
+    "FlashError",
+    "FlashMemory",
+    "FlashSlotFile",
+    "FlashStats",
+    "FlashTiming",
+    "MemoryLayout",
+    "OpenMode",
+    "PowerLossError",
+    "ResumableSwap",
+    "Slot",
+    "SlotError",
+    "SlotFile",
+    "SlotIOError",
+    "SwapStatus",
+]

@@ -1,0 +1,122 @@
+"""Linux-file-backed slots.
+
+The paper's memory interface "allows assigning a Linux file to each
+slot, which gives the ability to work with devices supporting a file
+system, as well as to test the modules without the need of a
+simulator" (Sect. V).  This module provides that: the same SlotFile
+protocol as :class:`repro.memory.slots.FlashSlotFile`, backed by a real
+file on disk — no NOR semantics, no cost model.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+from .interface import OpenMode, SlotIOError
+
+__all__ = ["FileSlot", "FileSlotFile"]
+
+
+class FileSlot:
+    """A slot persisted in a regular file of fixed size."""
+
+    def __init__(self, path: Union[str, "os.PathLike[str]"], size: int,
+                 bootable: bool = False, name: str = "") -> None:
+        if size <= 0:
+            raise ValueError("slot size must be positive")
+        self.path = os.fspath(path)
+        self.size = size
+        self.bootable = bootable
+        self.name = name or os.path.basename(self.path)
+        if not os.path.exists(self.path):
+            with open(self.path, "wb") as fh:
+                fh.write(b"\xFF" * size)
+        else:
+            actual = os.path.getsize(self.path)
+            if actual != size:
+                raise SlotIOError(
+                    "existing file %s is %d bytes, expected %d"
+                    % (self.path, actual, size)
+                )
+
+    def open(self, mode: OpenMode) -> "FileSlotFile":
+        return FileSlotFile(self, mode)
+
+    def erase(self) -> None:
+        with open(self.path, "r+b") as fh:
+            fh.write(b"\xFF" * self.size)
+
+    def invalidate(self) -> None:
+        with open(self.path, "r+b") as fh:
+            fh.write(b"\xFF" * min(4096, self.size))
+
+    def read(self, offset: int, length: int) -> bytes:
+        with open(self.path, "rb") as fh:
+            fh.seek(offset)
+            return fh.read(length)
+
+    def read_all(self) -> bytes:
+        return self.read(0, self.size)
+
+
+class FileSlotFile:
+    """File-backed SlotFile; erase semantics degenerate to overwrite."""
+
+    def __init__(self, slot: FileSlot, mode: OpenMode) -> None:
+        self._slot = slot
+        self._mode = mode
+        self._pos = 0
+        self._closed = False
+        if mode == OpenMode.WRITE_ALL:
+            slot.erase()
+
+    @property
+    def mode(self) -> OpenMode:
+        return self._mode
+
+    def read(self, length: int) -> bytes:
+        data = self.read_at(self._pos, length)
+        self._pos += len(data)
+        return data
+
+    def read_at(self, offset: int, length: int) -> bytes:
+        self._ensure_open()
+        length = max(0, min(length, self._slot.size - offset))
+        if length == 0:
+            return b""
+        return self._slot.read(offset, length)
+
+    def write(self, data: bytes) -> int:
+        self._ensure_open()
+        if self._mode == OpenMode.READ_ONLY:
+            raise SlotIOError("slot %r opened READ_ONLY" % self._slot.name)
+        if self._pos + len(data) > self._slot.size:
+            raise SlotIOError("write overflows file slot %r" % self._slot.name)
+        with open(self._slot.path, "r+b") as fh:
+            fh.seek(self._pos)
+            fh.write(data)
+        self._pos += len(data)
+        return len(data)
+
+    def seek(self, offset: int) -> None:
+        self._ensure_open()
+        if not (0 <= offset <= self._slot.size):
+            raise SlotIOError("seek to %d outside slot" % offset)
+        self._pos = offset
+
+    def tell(self) -> int:
+        return self._pos
+
+    def close(self) -> None:
+        self._closed = True
+
+    def __enter__(self) -> "FileSlotFile":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise SlotIOError("slot file already closed")

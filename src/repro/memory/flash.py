@@ -1,0 +1,217 @@
+"""Simulated NOR flash with page-erase semantics and cost accounting.
+
+UpKit's memory interface hides flash details from the upper layers
+(Fig. 3), but its *behaviour* — erase-before-write, sector granularity,
+slow erases — shapes the whole design: the pipeline's buffer stage
+exists precisely because "matching the buffer size with the flash
+sector size results in faster writes and fewer flash erasures"
+(Sect. IV-C).
+
+The model enforces real NOR rules:
+
+* an erase sets a whole page to ``0xFF``;
+* a write can only clear bits (1 → 0); writing over non-erased bytes
+  with conflicting bits raises unless the caller erased first;
+* per-page erase counters model wear;
+* every operation accrues modeled time from the device's timing profile
+  (consumed by :mod:`repro.sim`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+__all__ = ["FlashTiming", "FlashStats", "FlashMemory", "FlashError",
+           "PowerLossError"]
+
+ERASED = 0xFF
+
+
+class FlashError(Exception):
+    """Raised on illegal flash operations (bounds, write-before-erase)."""
+
+
+class PowerLossError(Exception):
+    """Injected fault: power failed during a flash operation.
+
+    Raised by :meth:`FlashMemory.inject_power_loss` countdowns.  A write
+    interrupted mid-operation leaves a *partial* write behind (the first
+    half of the data), modeling a real brown-out during programming.
+    """
+
+
+@dataclass(frozen=True)
+class FlashTiming:
+    """Timing profile of one flash device.
+
+    Defaults approximate the nRF52840's internal flash: 85 ms per 4 KiB
+    page erase and ~41 µs per 4-byte word write.
+    """
+
+    erase_page_seconds: float = 0.085
+    write_bytes_per_second: float = 97_000.0
+    read_bytes_per_second: float = 8_000_000.0
+    #: Fixed setup cost per program operation (driver call, HW enable).
+    #: This is what the pipeline's buffer stage amortises: "matching the
+    #: buffer size with the flash sector size results in faster writes".
+    write_call_overhead_seconds: float = 0.00025
+
+
+@dataclass
+class FlashStats:
+    """Cumulative operation counters for one flash device."""
+
+    bytes_read: int = 0
+    bytes_written: int = 0
+    pages_erased: int = 0
+    write_calls: int = 0
+    busy_seconds: float = 0.0
+    erase_counts: List[int] = field(default_factory=list)
+
+    @property
+    def max_wear(self) -> int:
+        return max(self.erase_counts) if self.erase_counts else 0
+
+
+class FlashMemory:
+    """One flash device: a byte array with page-erase discipline."""
+
+    def __init__(
+        self,
+        size: int,
+        page_size: int = 4096,
+        timing: "FlashTiming | None" = None,
+        name: str = "flash",
+        strict: bool = True,
+    ) -> None:
+        if size <= 0 or page_size <= 0:
+            raise ValueError("size and page_size must be positive")
+        if size % page_size:
+            raise ValueError("flash size must be a multiple of the page size")
+        self.size = size
+        self.page_size = page_size
+        self.name = name
+        self.timing = timing if timing is not None else FlashTiming()
+        self.strict = strict
+        self._data = bytearray(b"\xFF" * size)
+        self.stats = FlashStats(erase_counts=[0] * (size // page_size))
+        self._fault_countdown: "int | None" = None
+
+    @property
+    def page_count(self) -> int:
+        return self.size // self.page_size
+
+    def page_of(self, offset: int) -> int:
+        self._check_range(offset, 1)
+        return offset // self.page_size
+
+    # -- operations -------------------------------------------------------
+
+    def read(self, offset: int, length: int) -> bytes:
+        self._check_range(offset, length)
+        self.stats.bytes_read += length
+        self.stats.busy_seconds += length / self.timing.read_bytes_per_second
+        return bytes(self._data[offset:offset + length])
+
+    # -- fault injection ----------------------------------------------------
+
+    def inject_power_loss(self, after_operations: int) -> None:
+        """Arm a power-loss fault ``after_operations`` erases/writes.
+
+        The Nth modifying operation fails: an erase raises before doing
+        anything; a write lands only its first half, then raises.  Used
+        by the power-loss-safety tests and the fault-injection example.
+        """
+        if after_operations < 0:
+            raise ValueError("after_operations must be non-negative")
+        self._fault_countdown = after_operations
+
+    def clear_fault(self) -> None:
+        self._fault_countdown = None
+
+    def _tick_fault(self) -> bool:
+        """Returns True when the armed fault fires on this operation."""
+        if self._fault_countdown is None:
+            return False
+        if self._fault_countdown == 0:
+            self._fault_countdown = None
+            return True
+        self._fault_countdown -= 1
+        return False
+
+    def write(self, offset: int, data: bytes) -> None:
+        """Write ``data``; bits may only transition 1 → 0."""
+        data = bytes(data)
+        self._check_range(offset, len(data))
+        if self._tick_fault():
+            half = data[: len(data) // 2]
+            if half:
+                self.write(offset, half)
+            raise PowerLossError(
+                "%s: power lost writing at 0x%X" % (self.name, offset))
+        if self.strict:
+            for i, new_byte in enumerate(data):
+                current = self._data[offset + i]
+                if new_byte & ~current & 0xFF:
+                    raise FlashError(
+                        "%s: write at 0x%X would set bits 0→1 "
+                        "(erase the page first)" % (self.name, offset + i)
+                    )
+            for i, new_byte in enumerate(data):
+                self._data[offset + i] &= new_byte
+        else:
+            self._data[offset:offset + len(data)] = data
+        self.stats.bytes_written += len(data)
+        self.stats.write_calls += 1
+        self.stats.busy_seconds += (
+            len(data) / self.timing.write_bytes_per_second
+            + self.timing.write_call_overhead_seconds
+        )
+
+    def erase_page(self, page: int) -> None:
+        if not (0 <= page < self.page_count):
+            raise FlashError("%s: page %d out of range" % (self.name, page))
+        if self._tick_fault():
+            raise PowerLossError(
+                "%s: power lost erasing page %d" % (self.name, page))
+        start = page * self.page_size
+        self._data[start:start + self.page_size] = b"\xFF" * self.page_size
+        self.stats.pages_erased += 1
+        self.stats.erase_counts[page] += 1
+        self.stats.busy_seconds += self.timing.erase_page_seconds
+
+    def erase_range(self, offset: int, length: int) -> None:
+        """Erase every page overlapping [offset, offset+length)."""
+        if length <= 0:
+            return
+        self._check_range(offset, length)
+        first = offset // self.page_size
+        last = (offset + length - 1) // self.page_size
+        for page in range(first, last + 1):
+            self.erase_page(page)
+
+    def is_erased(self, offset: int, length: int) -> bool:
+        self._check_range(offset, length)
+        return all(b == ERASED for b in self._data[offset:offset + length])
+
+    def snapshot(self) -> bytes:
+        """Raw contents (test/debug aid; bypasses cost accounting)."""
+        return bytes(self._data)
+
+    def corrupt(self, offset: int, data: bytes) -> None:
+        """Overwrite raw bytes bypassing NOR rules — fault injection only."""
+        self._check_range(offset, len(data))
+        self._data[offset:offset + len(data)] = data
+
+    def reset_stats(self) -> None:
+        self.stats = FlashStats(erase_counts=[0] * self.page_count)
+
+    # -- helpers ----------------------------------------------------------
+
+    def _check_range(self, offset: int, length: int) -> None:
+        if offset < 0 or length < 0 or offset + length > self.size:
+            raise FlashError(
+                "%s: access [0x%X, +%d) outside device of %d bytes"
+                % (self.name, offset, length, self.size)
+            )

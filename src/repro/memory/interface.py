@@ -1,0 +1,64 @@
+"""POSIX-inspired slot IO interface.
+
+Quoting the paper (Sect. V): "The API is inspired by the standard POSIX
+IO functions, allowing to open and close a memory slot, as well as to
+read and write data. To support flash memories and the need of sector
+erase before writing, specific open modes have been defined."
+
+Modes:
+
+* ``READ_ONLY`` — reads only; writes raise.
+* ``WRITE_ALL`` — the whole slot is erased at open so the writer can
+  stream sequentially without further erases.
+* ``SEQUENTIAL_REWRITE`` — each page is erased lazily the first time the
+  write cursor enters it; cheaper than WRITE_ALL when the image is much
+  smaller than the slot.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Protocol
+
+__all__ = ["OpenMode", "SlotIOError", "SlotFile"]
+
+
+class OpenMode(enum.Enum):
+    """Slot open modes defined by UpKit's memory interface."""
+
+    READ_ONLY = "read_only"
+    WRITE_ALL = "write_all"
+    SEQUENTIAL_REWRITE = "sequential_rewrite"
+
+
+class SlotIOError(Exception):
+    """Raised on illegal slot IO (mode violations, bounds, closed handle)."""
+
+
+class SlotFile(Protocol):
+    """Structural interface every slot handle implements.
+
+    Both flash-backed handles (:class:`repro.memory.slots.FlashSlotFile`)
+    and Linux-file-backed handles
+    (:class:`repro.memory.filebacked.FileSlotFile`) satisfy it, which is
+    what lets the paper "test the modules without the need of a
+    simulator".
+    """
+
+    def read(self, length: int) -> bytes:  # pragma: no cover - protocol
+        ...
+
+    def read_at(self, offset: int, length: int) -> bytes:  # pragma: no cover
+        ...
+
+    def write(self, data: bytes) -> int:  # pragma: no cover - protocol
+        ...
+
+    def seek(self, offset: int) -> None:  # pragma: no cover - protocol
+        ...
+
+    def tell(self) -> int:  # pragma: no cover - protocol
+        ...
+
+    def close(self) -> None:  # pragma: no cover - protocol
+        ...

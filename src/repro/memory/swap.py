@@ -1,0 +1,178 @@
+"""Power-loss-safe slot swap with a flash journal and scratch page.
+
+A naive RAM-buffered swap (read A, read B, erase both, write crossed)
+is not power-loss safe: losing power between the erase and the write
+destroys a page of *both* images.  Real bootloaders (mcuboot's swap
+status trailer) journal their progress in flash; this module implements
+that mechanism for UpKit's static update mode:
+
+* a **status region** of two flash pages — a journal page and a scratch
+  page — reserved by Configuration B layouts;
+* each page pair ``i`` is swapped in three journaled steps:
+
+  1. copy ``A[i]`` to scratch, then clear marker ``(i, 0)``;
+  2. erase ``A[i]``, program ``B[i] → A[i]``, clear marker ``(i, 1)``;
+  3. erase ``B[i]``, program scratch ``→ B[i]``, clear marker ``(i, 2)``.
+
+Markers are single bytes cleared ``0xFF → 0x00`` — a NOR program
+operation that needs no erase, so journaling progress is itself
+power-loss safe.  After any interruption, the journal identifies the
+exact step to redo; every step is idempotent given its predecessors'
+markers.  On completion the journal page is erased.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .slots import Slot, SlotError
+
+__all__ = ["ResumableSwap", "SwapStatus"]
+
+MAGIC = b"SWJ1"
+_HEADER = struct.Struct(">4sIII")  # magic, extent, page, pair_count
+_STEPS_PER_PAIR = 3
+
+
+@dataclass(frozen=True)
+class SwapStatus:
+    """A parsed, in-progress swap journal."""
+
+    extent: int
+    page: int
+    pair_count: int
+    progress: List[bool]  # len == pair_count * 3; True = step done
+
+    @property
+    def complete(self) -> bool:
+        return all(self.progress)
+
+    def first_pending(self) -> "tuple[int, int]":
+        """(pair, step) of the first unfinished step."""
+        for index, done in enumerate(self.progress):
+            if not done:
+                return divmod(index, _STEPS_PER_PAIR)
+        raise ValueError("swap already complete")
+
+
+class ResumableSwap:
+    """Journaled three-step swap between two equal-size slots."""
+
+    def __init__(self, bootable: Slot, staging: Slot,
+                 status: Slot) -> None:
+        if bootable.size != staging.size:
+            raise SlotError("swap requires equal slot sizes")
+        page = max(bootable.flash.page_size, staging.flash.page_size,
+                   status.flash.page_size)
+        if status.size < 2 * status.flash.page_size:
+            raise SlotError("status slot needs a journal + a scratch page")
+        if status.size - status.flash.page_size < page:
+            raise SlotError(
+                "scratch area of %d bytes cannot hold a %d-byte page"
+                % (status.size - status.flash.page_size, page))
+        self.bootable = bootable
+        self.staging = staging
+        self.status = status
+        self.page = page
+        self._journal_offset = 0
+        self._scratch_offset = status.flash.page_size
+
+    # -- journal ------------------------------------------------------------
+
+    @classmethod
+    def pending(cls, status: Slot) -> Optional[SwapStatus]:
+        """Parse the journal; None when no swap is in progress."""
+        header = status.read(0, _HEADER.size)
+        try:
+            magic, extent, page, pair_count = _HEADER.unpack(header)
+        except struct.error:
+            return None
+        if magic != MAGIC or pair_count == 0 or page == 0:
+            return None
+        # A power loss during the header write leaves erased (0xFF...)
+        # tail fields behind a valid magic; such a journal never
+        # progressed past step zero, so it is safely ignored.
+        capacity = (status.flash.page_size - _HEADER.size) \
+            // _STEPS_PER_PAIR
+        if page > status.size or pair_count > capacity:
+            return None
+        if extent != page * pair_count:
+            return None
+        marker_bytes = status.read(_HEADER.size,
+                                   pair_count * _STEPS_PER_PAIR)
+        progress = [byte == 0x00 for byte in marker_bytes]
+        return SwapStatus(extent=extent, page=page, pair_count=pair_count,
+                          progress=progress)
+
+    def _write_journal_header(self, extent: int, pair_count: int) -> None:
+        flash = self.status.flash
+        flash.erase_page(flash.page_of(self.status.offset))
+        self.status.write(
+            self._journal_offset,
+            _HEADER.pack(MAGIC, extent, self.page, pair_count))
+
+    def _mark(self, pair: int, step: int) -> None:
+        offset = _HEADER.size + pair * _STEPS_PER_PAIR + step
+        self.status.write(offset, b"\x00")
+
+    def _clear_journal(self) -> None:
+        flash = self.status.flash
+        flash.erase_page(flash.page_of(self.status.offset))
+
+    # -- the swap --------------------------------------------------------------
+
+    def swap(self, extent: int) -> None:
+        """Swap ``extent`` bytes (rounded up to pages), journaled."""
+        if extent <= 0:
+            return
+        extent = min(self.bootable.size, -(-extent // self.page) * self.page)
+        pair_count = extent // self.page
+        max_pairs = (self.status.flash.page_size - _HEADER.size) \
+            // _STEPS_PER_PAIR
+        if pair_count > max_pairs:
+            raise SlotError(
+                "swap of %d pairs exceeds journal capacity %d"
+                % (pair_count, max_pairs))
+        self._write_journal_header(extent, pair_count)
+        self._run(pair_count, start_pair=0, start_step=0)
+        self._clear_journal()
+
+    def resume(self, status: SwapStatus) -> None:
+        """Complete a swap found pending in the journal."""
+        if status.complete:
+            self._clear_journal()
+            return
+        pair, step = status.first_pending()
+        self._run(status.pair_count, start_pair=pair, start_step=step)
+        self._clear_journal()
+
+    def _run(self, pair_count: int, start_pair: int,
+             start_step: int) -> None:
+        for pair in range(start_pair, pair_count):
+            offset = pair * self.page
+            first_step = start_step if pair == start_pair else 0
+            if first_step <= 0:
+                self._copy_to_scratch(offset)
+                self._mark(pair, 0)
+            if first_step <= 1:
+                self._program(self.bootable, offset,
+                              self.staging.read(offset, self.page))
+                self._mark(pair, 1)
+            if first_step <= 2:
+                scratch = self.status.read(self._scratch_offset, self.page)
+                self._program(self.staging, offset, scratch)
+                self._mark(pair, 2)
+
+    def _copy_to_scratch(self, offset: int) -> None:
+        flash = self.status.flash
+        flash.erase_range(self.status.offset + self._scratch_offset,
+                          self.page)
+        self.status.write(self._scratch_offset,
+                          self.bootable.read(offset, self.page))
+
+    @staticmethod
+    def _program(slot: Slot, offset: int, data: bytes) -> None:
+        slot.flash.erase_range(slot.offset + offset, len(data))
+        slot.write(offset, data)

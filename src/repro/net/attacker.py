@@ -1,0 +1,125 @@
+"""Adversary models: interceptors that rewrite updates in transit.
+
+The paper's threat model (Sect. III): proxies (smartphones, gateways)
+may be compromised; the transport may be untrusted; attackers may hold
+*valid but outdated* images and try to reinstall them (the freshness
+problem).  Each class below is an :data:`Interceptor` usable with both
+transports; tests and the ablation benchmarks assert which of these
+UpKit detects (all of them) versus what a mcumgr+mcuboot-style chain
+detects (not the replay, and everything else only after reboot).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Tuple
+
+from ..core import ENVELOPE_SIZE, UpdateImage
+
+__all__ = [
+    "PassiveProxy",
+    "PayloadBitFlipper",
+    "ManifestTamperer",
+    "TruncatingProxy",
+    "ReplayAttacker",
+    "PayloadSwapAttacker",
+]
+
+
+class PassiveProxy:
+    """The honest case: forwards everything unchanged (control)."""
+
+    def __call__(self, envelope: bytes, payload: bytes) -> Tuple[bytes, bytes]:
+        return envelope, payload
+
+
+class PayloadBitFlipper:
+    """Flips bits in the firmware payload (tampering in transit).
+
+    Caught by the agent's VERIFY_FIRMWARE digest check — after download
+    but *before* any reboot.
+    """
+
+    def __init__(self, flips: int = 8, seed: int = 1) -> None:
+        self.flips = flips
+        self.seed = seed
+
+    def __call__(self, envelope: bytes, payload: bytes) -> Tuple[bytes, bytes]:
+        if not payload:
+            return envelope, payload
+        rng = random.Random(self.seed)
+        mutated = bytearray(payload)
+        for _ in range(self.flips):
+            index = rng.randrange(len(mutated))
+            mutated[index] ^= 1 << rng.randrange(8)
+        return envelope, bytes(mutated)
+
+
+class ManifestTamperer:
+    """Rewrites a manifest field (e.g. inflating the version number).
+
+    Caught by the agent's VERIFY_MANIFEST signature check — before a
+    single payload byte is downloaded.
+    """
+
+    def __init__(self, byte_offset: int = 6, xor_mask: int = 0xFF) -> None:
+        if not (0 <= byte_offset < ENVELOPE_SIZE):
+            raise ValueError("offset outside the envelope")
+        self.byte_offset = byte_offset
+        self.xor_mask = xor_mask
+
+    def __call__(self, envelope: bytes, payload: bytes) -> Tuple[bytes, bytes]:
+        mutated = bytearray(envelope)
+        mutated[self.byte_offset] ^= self.xor_mask
+        return bytes(mutated), payload
+
+
+class TruncatingProxy:
+    """Delivers only a prefix of the payload (crash / DoS attempt).
+
+    The FSM never reaches RECEIVE_FIRMWARE completion; the slot is
+    invalidated in CLEANING and the device keeps running the old image.
+    """
+
+    def __init__(self, keep_fraction: float = 0.5) -> None:
+        if not (0.0 <= keep_fraction < 1.0):
+            raise ValueError("keep_fraction must be in [0, 1)")
+        self.keep_fraction = keep_fraction
+
+    def __call__(self, envelope: bytes, payload: bytes) -> Tuple[bytes, bytes]:
+        keep = int(len(payload) * self.keep_fraction)
+        return envelope, payload[:keep]
+
+
+class ReplayAttacker:
+    """Replays a previously captured, *validly signed* old update.
+
+    This is the freshness attack of Sect. II: both signatures on the
+    captured image verify, but the manifest's nonce belongs to the old
+    request — UpKit's token check rejects it in VERIFY_MANIFEST.
+    Systems without the double signature (mcumgr + mcuboot) install it.
+    """
+
+    def __init__(self, captured: UpdateImage) -> None:
+        self.captured = captured
+
+    def __call__(self, envelope: bytes, payload: bytes) -> Tuple[bytes, bytes]:
+        return self.captured.envelope.pack(), self.captured.payload
+
+
+class PayloadSwapAttacker:
+    """Keeps the valid envelope but substitutes the entire payload.
+
+    Models a malicious proxy trying to ship its own firmware under a
+    legitimate manifest; the digest check catches the mismatch.
+    """
+
+    def __init__(self, substitute: Optional[bytes] = None) -> None:
+        self.substitute = substitute
+
+    def __call__(self, envelope: bytes, payload: bytes) -> Tuple[bytes, bytes]:
+        if self.substitute is not None:
+            forged = self.substitute[:len(payload)].ljust(len(payload), b"\x90")
+        else:
+            forged = bytes((b ^ 0xA5) for b in payload)
+        return envelope, forged

@@ -1,0 +1,145 @@
+"""BLE ATT/GATT framing for the push approach.
+
+The paper's push front-end is a smartphone writing to a GATT service
+over BLE (implemented on Zephyr's stack, driven by their iOS SDK).
+This module defines the **UpKit GATT service** wire protocol that the
+protocol-level push session speaks:
+
+* a *control point* characteristic — commands framed as
+  ``opcode | payload`` inside ATT Write Request values;
+* a *data* characteristic — manifest/firmware chunks as ATT Write
+  Without Response values (the throughput path);
+* a *status* characteristic — device→phone notifications.
+
+ATT packets are framed per the Bluetooth Core spec (opcode, handle,
+value), with the default 23-byte ATT_MTU giving 20-byte values — the
+number behind the 20 B/packet link profile of Fig. 8a.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+
+__all__ = [
+    "AttOpcode",
+    "AttPacket",
+    "BleError",
+    "Command",
+    "Status",
+    "ControlCommand",
+    "StatusNotification",
+    "Handle",
+    "DEFAULT_ATT_MTU",
+]
+
+DEFAULT_ATT_MTU = 23  # value payload = MTU - 3 (opcode + handle)
+
+
+class BleError(ValueError):
+    """Malformed ATT packet or protocol violation."""
+
+
+class AttOpcode(enum.IntEnum):
+    """ATT PDU opcodes used by the UpKit GATT service."""
+
+    WRITE_REQUEST = 0x12
+    WRITE_RESPONSE = 0x13
+    WRITE_COMMAND = 0x52          # write without response
+    HANDLE_VALUE_NOTIFICATION = 0x1B
+
+
+class Handle(enum.IntEnum):
+    """Characteristic value handles of the UpKit GATT service."""
+
+    CONTROL_POINT = 0x0010
+    DATA = 0x0012
+    STATUS = 0x0014
+
+
+@dataclass(frozen=True)
+class AttPacket:
+    """One ATT PDU: opcode, attribute handle, value."""
+
+    opcode: AttOpcode
+    handle: int
+    value: bytes = b""
+
+    def encode(self) -> bytes:
+        return struct.pack("<BH", self.opcode, self.handle) + self.value
+
+    @classmethod
+    def decode(cls, data: bytes) -> "AttPacket":
+        if len(data) < 3:
+            raise BleError("ATT PDU shorter than opcode + handle")
+        opcode_raw, handle = struct.unpack("<BH", data[:3])
+        try:
+            opcode = AttOpcode(opcode_raw)
+        except ValueError:
+            raise BleError("unknown ATT opcode 0x%02X" % opcode_raw) \
+                from None
+        return cls(opcode=opcode, handle=handle, value=data[3:])
+
+    def value_fits(self, att_mtu: int = DEFAULT_ATT_MTU) -> bool:
+        return len(self.value) <= att_mtu - 3
+
+
+class Command(enum.IntEnum):
+    """Control-point opcodes (phone → device)."""
+
+    REQUEST_TOKEN = 0x01
+    BEGIN_MANIFEST = 0x02
+    BEGIN_FIRMWARE = 0x03
+    ABORT = 0x04
+
+
+class Status(enum.IntEnum):
+    """Status-notification opcodes (device → phone)."""
+
+    TOKEN = 0x81
+    MANIFEST_OK = 0x82
+    UPDATE_COMPLETE = 0x83
+    ERROR = 0xC0
+
+
+@dataclass(frozen=True)
+class ControlCommand:
+    """A framed control-point value."""
+
+    command: Command
+    payload: bytes = b""
+
+    def encode(self) -> bytes:
+        return bytes([self.command]) + self.payload
+
+    @classmethod
+    def decode(cls, value: bytes) -> "ControlCommand":
+        if not value:
+            raise BleError("empty control-point value")
+        try:
+            command = Command(value[0])
+        except ValueError:
+            raise BleError("unknown command 0x%02X" % value[0]) from None
+        return cls(command=command, payload=value[1:])
+
+
+@dataclass(frozen=True)
+class StatusNotification:
+    """A framed status value."""
+
+    status: Status
+    payload: bytes = b""
+
+    def encode(self) -> bytes:
+        return bytes([self.status]) + self.payload
+
+    @classmethod
+    def decode(cls, value: bytes) -> "StatusNotification":
+        if not value:
+            raise BleError("empty status value")
+        try:
+            status = Status(value[0])
+        except ValueError:
+            raise BleError("unknown status 0x%02X" % value[0]) from None
+        return cls(status=status, payload=value[1:])

@@ -1,0 +1,74 @@
+"""Multi-hop forwarding chains: gateways and proxies between server
+and device.
+
+The paper's architecture explicitly tolerates intermediaries — "every
+device in between these two, being it a smartphone or a gateway
+(border router), is only in charge of forwarding the update image, and
+has no active role in the update process" (Sect. III-B).  A
+compromised hop can tamper (detected), replay (detected) or deny
+service (a documented non-goal: "these attacks ... affect any update
+system involving a device acting as proxy").
+
+:class:`ForwardingChain` composes per-hop behaviours into a single
+interceptor usable with both transports, and accounts the forwarding
+latency the chain adds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..core import UpdateError
+from .transports import Interceptor
+
+__all__ = ["Hop", "ForwardingChain", "GatewayDrop"]
+
+
+class GatewayDrop(UpdateError):
+    """A hop silently discarded the update (denial of service)."""
+
+
+@dataclass
+class Hop:
+    """One forwarding element (border router, smartphone, cloud relay)."""
+
+    name: str
+    latency_seconds: float = 0.005
+    interceptor: Optional[Interceptor] = None  # compromise model
+    drop: bool = False                         # DoS: never forwards
+    forwarded: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.latency_seconds < 0:
+            raise ValueError("latency must be non-negative")
+
+
+class ForwardingChain:
+    """An ordered chain of hops, itself usable as an interceptor."""
+
+    def __init__(self, hops: List[Hop]) -> None:
+        if not hops:
+            raise ValueError("a chain needs at least one hop")
+        self.hops = list(hops)
+        self.accumulated_delay = 0.0
+
+    @property
+    def path(self) -> List[str]:
+        return [hop.name for hop in self.hops]
+
+    def __call__(self, envelope: bytes,
+                 payload: bytes) -> Tuple[bytes, bytes]:
+        for hop in self.hops:
+            if hop.drop:
+                raise GatewayDrop("hop %r dropped the update" % hop.name)
+            hop.forwarded += 1
+            self.accumulated_delay += hop.latency_seconds
+            if hop.interceptor is not None:
+                envelope, payload = hop.interceptor(envelope, payload)
+        return envelope, payload
+
+    def honest(self) -> bool:
+        """True when no hop tampers or drops."""
+        return all(hop.interceptor is None and not hop.drop
+                   for hop in self.hops)

@@ -1,0 +1,227 @@
+"""Push and pull update transports (the propagation phase).
+
+UpKit is agnostic to how images are distributed (Sect. IV-B): the same
+agent FSM sits behind a **push** front-end (a smartphone forwards the
+image over BLE GATT, Fig. 2) or a **pull** front-end (the device
+fetches it over CoAP through a border router).  Both transports here
+drive a :class:`repro.sim.SimulatedDevice`, metering radio time onto
+its clock, and return a structured outcome with the phase breakdown of
+Fig. 8a.
+
+An optional *interceptor* models an on-path adversary or a compromised
+proxy: it may rewrite the envelope/payload in transit.  UpKit's claim
+is that such a proxy can only cause a (detected) failure, never a
+successful installation of tampered or stale software.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from ..core import (
+    FeedStatus,
+    UpdateError,
+    UpdateImage,
+    UpdateServer,
+)
+from ..sim.device import SimulatedDevice
+from .link import BLE_GATT, COAP_6LOWPAN, Link, LinkProfile
+
+__all__ = ["UpdateOutcome", "Interceptor", "PushTransport", "PullTransport"]
+
+#: (envelope_bytes, payload_bytes) -> possibly rewritten pair.
+Interceptor = Callable[[bytes, bytes], Tuple[bytes, bytes]]
+
+_REQUEST_PACKETS = 2  # request/response exchange for control messages
+
+
+@dataclass
+class UpdateOutcome:
+    """What one update attempt produced."""
+
+    success: bool
+    error: Optional[UpdateError]
+    phases: Dict[str, float] = field(default_factory=dict)
+    total_seconds: float = 0.0
+    energy_mj: Dict[str, float] = field(default_factory=dict)
+    bytes_over_air: int = 0
+    booted_version: int = 0
+    rebooted: bool = False
+
+    @property
+    def total_energy_mj(self) -> float:
+        return sum(self.energy_mj.values())
+
+
+class _TransportBase:
+    """Common drive logic for both approaches."""
+
+    direction_payload = "rx"  # the device receives the image
+
+    def __init__(self, device: SimulatedDevice, server: UpdateServer,
+                 link: Link, interceptor: Optional[Interceptor] = None,
+                 reboot_on_success: bool = True) -> None:
+        self.device = device
+        self.server = server
+        self.link = link
+        self.interceptor = interceptor
+        self.reboot_on_success = reboot_on_success
+        self.bytes_over_air = 0
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _control_exchange(self, payload_bytes: int) -> None:
+        """A small request/response on the device link (token, announce)."""
+        report = self.link.transfer(payload_bytes)
+        extra = (_REQUEST_PACKETS - 1) * self.link.profile.packet_interval
+        self.device.account_radio(report.seconds / 2 + extra, "tx")
+        self.device.account_radio(report.seconds / 2, "rx")
+        self.bytes_over_air += payload_bytes
+
+    def _stream_to_device(self, data: bytes) -> FeedStatus:
+        """Send ``data`` chunk-by-chunk; agent errors propagate."""
+        status = FeedStatus.NEED_MORE
+        for chunk in self.link.chunks(data):
+            report = self.link.transfer(len(chunk))
+            self.device.account_radio(report.seconds, self.direction_payload)
+            self.bytes_over_air += len(chunk)
+            status = self.device.feed(chunk)
+        return status
+
+    def _finish(self, start_clock: float, error: Optional[UpdateError],
+                completed: bool) -> UpdateOutcome:
+        device = self.device
+        success = completed and error is None
+        rebooted = False
+        booted_version = device.installed_version()
+        if success and self.reboot_on_success:
+            result = device.reboot()
+            booted_version = result.version
+            rebooted = True
+        phases = device.phase_breakdown()
+        return UpdateOutcome(
+            success=success,
+            error=error,
+            phases=phases,
+            total_seconds=device.clock.now - start_clock,
+            energy_mj=device.meter.breakdown_mj(),
+            bytes_over_air=self.bytes_over_air,
+            booted_version=booted_version,
+            rebooted=rebooted,
+        )
+
+    def _apply_interceptor(self, image: UpdateImage) -> Tuple[bytes, bytes]:
+        envelope = image.envelope.pack()
+        payload = image.payload
+        if self.interceptor is not None:
+            envelope, payload = self.interceptor(envelope, payload)
+        return envelope, payload
+
+    def run_update(self) -> UpdateOutcome:
+        """Execute the full propagation (+ verification + loading) flow."""
+        start = self.device.clock.now
+        self.bytes_over_air = 0
+        error: Optional[UpdateError] = None
+        completed = False
+        try:
+            completed = self._propagate()
+        except UpdateError as exc:
+            error = exc
+            # The failure may have struck between token issuance and the
+            # manifest (e.g. a dropping gateway): reset the FSM so the
+            # next attempt can request a fresh token.
+            self.device.agent.cancel()
+        return self._finish(start, error, completed)
+
+    def _propagate(self) -> bool:
+        """Run the transfer; True only when the agent accepted everything."""
+        raise NotImplementedError
+
+
+class PushTransport(_TransportBase):
+    """Smartphone-forwarded update over BLE GATT (Fig. 2's flow).
+
+    The phone is a *passive* component: it fetches the image from the
+    update server over the Internet (modeled as free — the phone is not
+    the constrained party) and forwards bytes over BLE.
+    """
+
+    def __init__(self, device: SimulatedDevice, server: UpdateServer,
+                 link: Optional[Link] = None,
+                 interceptor: Optional[Interceptor] = None,
+                 reboot_on_success: bool = True,
+                 link_profile: LinkProfile = BLE_GATT) -> None:
+        super().__init__(device, server,
+                         link or Link(link_profile),
+                         interceptor, reboot_on_success)
+
+    def _propagate(self) -> bool:
+        # Steps 4-5: the phone requests the device token over BLE.
+        token = self.device.request_token()
+        self._control_exchange(len(token.pack()))
+
+        # Step 6: the phone fetches the signed image from the server.
+        image = self.server.prepare_update(token)
+        envelope, payload = self._apply_interceptor(image)
+
+        # Steps 8-10: forward the manifest first; early verification.
+        status = self._stream_to_device(envelope)
+        if status is not FeedStatus.MANIFEST_VERIFIED:
+            # Short write (e.g. truncating attacker): the agent is still
+            # waiting; cancel so the FSM cleans up.
+            self.device.agent.cancel()
+            return False
+
+        # Steps 11-14: firmware transfer through the pipeline.
+        status = self._stream_to_device(payload)
+        if status is not FeedStatus.FIRMWARE_COMPLETE:
+            self.device.agent.cancel()
+            return False
+        return True
+
+
+class PullTransport(_TransportBase):
+    """Device-initiated update over CoAP/6LoWPAN through a border router.
+
+    The device polls the server for announcements, generates its token
+    locally and requests the image directly — no proxy exists, but the
+    interceptor hook still allows modeling a compromised border router.
+    """
+
+    def __init__(self, device: SimulatedDevice, server: UpdateServer,
+                 link: Optional[Link] = None,
+                 interceptor: Optional[Interceptor] = None,
+                 reboot_on_success: bool = True,
+                 link_profile: LinkProfile = COAP_6LOWPAN) -> None:
+        super().__init__(device, server,
+                         link or Link(link_profile),
+                         interceptor, reboot_on_success)
+
+    def poll_announcement(self) -> int:
+        """CoAP GET of the server's announcement resource."""
+        announcement = self.server.announce()
+        self._control_exchange(16)
+        return announcement["latest_version"]
+
+    def _propagate(self) -> bool:
+        latest = self.poll_announcement()
+        if latest <= self.device.installed_version():
+            return False
+
+        token = self.device.request_token()
+        # The token rides in the CoAP request to the server.
+        self._control_exchange(len(token.pack()))
+
+        image = self.server.prepare_update(token)
+        envelope, payload = self._apply_interceptor(image)
+
+        status = self._stream_to_device(envelope)
+        if status is not FeedStatus.MANIFEST_VERIFIED:
+            self.device.agent.cancel()
+            return False
+        status = self._stream_to_device(payload)
+        if status is not FeedStatus.FIRMWARE_COMPLETE:
+            self.device.agent.cancel()
+            return False
+        return True

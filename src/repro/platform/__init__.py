@@ -1,0 +1,19 @@
+"""Hardware and OS profiles for the three boards and three OSes evaluated."""
+
+from .boards import BOARDS, CC2538, CC2650, NRF52840, BoardProfile, get_board
+from .oses import CONTIKI, OSES, RIOT, ZEPHYR, OSProfile, get_os
+
+__all__ = [
+    "BOARDS",
+    "BoardProfile",
+    "CC2538",
+    "CC2650",
+    "CONTIKI",
+    "NRF52840",
+    "OSES",
+    "OSProfile",
+    "RIOT",
+    "ZEPHYR",
+    "get_board",
+    "get_os",
+]

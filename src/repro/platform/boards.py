@@ -1,0 +1,154 @@
+"""Hardware-platform profiles: the boards the paper evaluates on.
+
+Each profile carries the facts the simulation needs: flash geometry and
+timing, RAM budget, radio availability, current draws, and reboot cost.
+Values come from the respective datasheets (nRF52840 PS v1.1, CC2650 and
+CC2538 datasheets); where the paper's evaluation implies an effective
+value (e.g. swap throughput), the datasheet numbers already reproduce it
+— an 85 ms page erase plus ~97 kB/s programming yields the ~16 kB/s
+slot-swap rate behind Fig. 8a's loading phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..memory import FlashMemory, FlashTiming
+
+__all__ = ["BoardProfile", "NRF52840", "CC2650", "CC2538", "BOARDS",
+           "get_board"]
+
+
+@dataclass(frozen=True)
+class BoardProfile:
+    """Static description of one hardware platform."""
+
+    name: str
+    mcu: str
+    cpu_mhz: int
+    ram_bytes: int
+    internal_flash_bytes: int
+    internal_page_size: int
+    internal_flash_timing: FlashTiming
+    external_flash_bytes: int = 0
+    external_page_size: int = 4096
+    external_flash_timing: Optional[FlashTiming] = None
+    radios: Tuple[str, ...] = ()
+    cpu_active_ma: float = 6.0
+    radio_rx_ma: float = 6.0
+    radio_tx_ma: float = 6.5
+    flash_write_ma: float = 5.0
+    sleep_ua: float = 1.5
+    reboot_seconds: float = 0.35
+    supply_volts: float = 3.0
+
+    @property
+    def has_external_flash(self) -> bool:
+        return self.external_flash_bytes > 0
+
+    def make_internal_flash(self) -> FlashMemory:
+        return FlashMemory(
+            self.internal_flash_bytes,
+            page_size=self.internal_page_size,
+            timing=self.internal_flash_timing,
+            name="%s-internal" % self.name,
+        )
+
+    def make_external_flash(self) -> FlashMemory:
+        if not self.has_external_flash:
+            raise ValueError("%s has no external flash" % self.name)
+        timing = self.external_flash_timing or FlashTiming(
+            erase_page_seconds=0.045,
+            write_bytes_per_second=60_000.0,
+            read_bytes_per_second=2_000_000.0,
+        )
+        return FlashMemory(
+            self.external_flash_bytes,
+            page_size=self.external_page_size,
+            timing=timing,
+            name="%s-external" % self.name,
+        )
+
+
+NRF52840 = BoardProfile(
+    name="nrf52840",
+    mcu="Cortex-M4F",
+    cpu_mhz=64,
+    ram_bytes=256 * 1024,
+    internal_flash_bytes=1024 * 1024,
+    internal_page_size=4096,
+    internal_flash_timing=FlashTiming(
+        erase_page_seconds=0.085,
+        write_bytes_per_second=97_000.0,
+        read_bytes_per_second=8_000_000.0,
+    ),
+    radios=("ble", "ieee802154"),
+    cpu_active_ma=6.3,
+    radio_rx_ma=6.1,
+    radio_tx_ma=6.4,
+    flash_write_ma=5.1,
+    sleep_ua=1.5,
+    reboot_seconds=0.35,
+)
+
+CC2650 = BoardProfile(
+    name="cc2650",
+    mcu="Cortex-M3",
+    cpu_mhz=48,
+    ram_bytes=20 * 1024,
+    internal_flash_bytes=128 * 1024,
+    internal_page_size=4096,
+    internal_flash_timing=FlashTiming(
+        erase_page_seconds=0.008,
+        write_bytes_per_second=85_000.0,
+        read_bytes_per_second=6_000_000.0,
+    ),
+    # The internal flash cannot hold two slots; the LaunchPad's external
+    # SPI NOR stores the non-bootable slot (Sect. V).
+    external_flash_bytes=1024 * 1024,
+    external_page_size=4096,
+    external_flash_timing=FlashTiming(
+        erase_page_seconds=0.050,
+        write_bytes_per_second=55_000.0,
+        read_bytes_per_second=1_500_000.0,
+    ),
+    radios=("ble", "ieee802154"),
+    cpu_active_ma=6.1,
+    radio_rx_ma=5.9,
+    radio_tx_ma=6.1,
+    flash_write_ma=4.8,
+    sleep_ua=1.0,
+    reboot_seconds=0.30,
+)
+
+CC2538 = BoardProfile(
+    name="cc2538",
+    mcu="Cortex-M3",
+    cpu_mhz=32,
+    ram_bytes=32 * 1024,
+    internal_flash_bytes=512 * 1024,
+    internal_page_size=2048,
+    internal_flash_timing=FlashTiming(
+        erase_page_seconds=0.020,
+        write_bytes_per_second=70_000.0,
+        read_bytes_per_second=5_000_000.0,
+    ),
+    radios=("ieee802154",),
+    cpu_active_ma=13.0,
+    radio_rx_ma=20.0,
+    radio_tx_ma=24.0,
+    flash_write_ma=8.0,
+    sleep_ua=1.3,
+    reboot_seconds=0.40,
+)
+
+BOARDS = {board.name: board for board in (NRF52840, CC2650, CC2538)}
+
+
+def get_board(name: str) -> BoardProfile:
+    try:
+        return BOARDS[name.lower()]
+    except KeyError:
+        raise KeyError("unknown board %r (have: %s)"
+                       % (name, ", ".join(sorted(BOARDS)))) from None

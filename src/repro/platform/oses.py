@@ -1,0 +1,91 @@
+"""Operating-system profiles: Zephyr, RIOT, Contiki.
+
+UpKit's portability claim is that only the platform-specific modules of
+Fig. 3 change across OSes.  For the reproduction, an OS profile carries
+(i) the names of the OS-provided pieces (CoAP implementation, network
+substrate) and (ii) the per-build constants that differentiate the
+paper's evaluation numbers.
+
+The flash/RAM constants below are *solved* from Tables I and II of the
+paper under a linear link model (build = Σ component costs): given the
+published totals and the crypto-library contributions, each OS's
+kernel, IPv6/CoAP stack, BLE stack and bootloader-support costs follow.
+:mod:`repro.footprint` recombines them; EXPERIMENTS.md records the
+model-vs-paper residuals (all < 0.2%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["OSProfile", "ZEPHYR", "RIOT", "CONTIKI", "OSES", "get_os"]
+
+
+@dataclass(frozen=True)
+class OSProfile:
+    """Static description of one operating system port."""
+
+    name: str
+    coap_library: str            # Zoap / libcoap / er-coap, per Sect. V
+    network_stack: str           # the pull approach's IPv6 substrate
+    supports_ble_push: bool      # complete BLE GATT support (Zephyr only)
+    # -- update-agent build components (flash / RAM, bytes) -------------
+    kernel_flash: int
+    kernel_ram: int
+    runtime_stack_ram: int       # Zephyr's larger stack drives Table I's RAM
+    ipv6_stack_flash: int        # 6LoWPAN/IPv6 (+ RPL) — pull approach
+    ipv6_stack_ram: int
+    coap_flash: int
+    coap_ram: int
+    ble_stack_flash: int         # BLE GATT — push approach (Zephyr only)
+    ble_stack_ram: int
+    # -- bootloader build components -------------------------------------
+    boot_glue_flash: int         # OS-specific bootloader support code
+    boot_ram: int                # bootloader static RAM + stack (no crypto)
+
+
+ZEPHYR = OSProfile(
+    name="zephyr",
+    coap_library="zoap",
+    network_stack="6lowpan",
+    supports_ble_push=True,
+    kernel_flash=11500, kernel_ram=4200, runtime_stack_ram=2700,
+    ipv6_stack_flash=168000, ipv6_stack_ram=58000,
+    coap_flash=22066, coap_ram=5687,
+    ble_stack_flash=53512, ble_stack_ram=10339,
+    boot_glue_flash=305, boot_ram=5850,
+)
+
+RIOT = OSProfile(
+    name="riot",
+    coap_library="libcoap",
+    network_stack="6lowpan",
+    supports_ble_push=False,
+    kernel_flash=10200, kernel_ram=2300, runtime_stack_ram=1020,
+    ipv6_stack_flash=55000, ipv6_stack_ram=19500,
+    coap_flash=13674, coap_ram=3807,
+    ble_stack_flash=0, ble_stack_ram=0,
+    boot_glue_flash=2685, boot_ram=4182,
+)
+
+CONTIKI = OSProfile(
+    name="contiki",
+    coap_library="er-coap",
+    network_stack="6lowpan",
+    supports_ble_push=False,
+    kernel_flash=9800, kernel_ram=2250, runtime_stack_ram=1150,
+    ipv6_stack_flash=42000, ipv6_stack_ram=10200,
+    coap_flash=10739, coap_ram=1717,
+    ble_stack_flash=0, ble_stack_ram=0,
+    boot_glue_flash=2719, boot_ram=4307,
+)
+
+OSES = {os.name: os for os in (ZEPHYR, RIOT, CONTIKI)}
+
+
+def get_os(name: str) -> OSProfile:
+    try:
+        return OSES[name.lower()]
+    except KeyError:
+        raise KeyError("unknown OS %r (have: %s)"
+                       % (name, ", ".join(sorted(OSES)))) from None

@@ -1,0 +1,51 @@
+"""Energy accounting: current-draw integration per component.
+
+Battery lifetime is the paper's recurring constraint; the evaluation's
+efficiency arguments (early rejection avoids radio time and reboots,
+differential updates shrink radio-on time, A/B updates shrink the
+loading phase) are all energy arguments.  The meter integrates
+``current × time`` per component at a fixed supply voltage and reports
+charge (mC) and energy (mJ).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["EnergyMeter"]
+
+
+@dataclass
+class EnergyMeter:
+    """Accumulates per-component charge at a fixed supply voltage."""
+
+    supply_volts: float = 3.0
+    _millicoulombs: Dict[str, float] = field(default_factory=dict)
+
+    def add(self, component: str, seconds: float, current_ma: float) -> None:
+        """Record ``seconds`` at ``current_ma`` attributed to ``component``."""
+        if seconds < 0 or current_ma < 0:
+            raise ValueError("seconds and current must be non-negative")
+        self._millicoulombs[component] = (
+            self._millicoulombs.get(component, 0.0) + seconds * current_ma
+        )
+
+    def charge_mc(self, component: str = "") -> float:
+        """Charge in millicoulombs, for one component or in total."""
+        if component:
+            return self._millicoulombs.get(component, 0.0)
+        return sum(self._millicoulombs.values())
+
+    def energy_mj(self, component: str = "") -> float:
+        """Energy in millijoules (charge × supply voltage)."""
+        return self.charge_mc(component) * self.supply_volts
+
+    def breakdown_mj(self) -> Dict[str, float]:
+        return {
+            component: mc * self.supply_volts
+            for component, mc in sorted(self._millicoulombs.items())
+        }
+
+    def reset(self) -> None:
+        self._millicoulombs.clear()

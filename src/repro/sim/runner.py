@@ -1,0 +1,134 @@
+"""Scenario runner: assemble a full UpKit deployment in one call.
+
+The evaluation (and the examples) repeatedly need the same setup:
+vendor server + update server + a provisioned simulated device + a
+transport.  :class:`Testbed` packages that, with knobs for every axis
+the paper varies — board, OS, crypto library, slot configuration
+(A/B vs. static), transport (push vs. pull), differential support.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core import (
+    DeviceProfile,
+    TrustAnchors,
+    UpdateServer,
+    VendorServer,
+    make_test_identities,
+    provision_device,
+)
+from ..memory import MemoryLayout
+from ..net import Link, PullTransport, PushTransport, UpdateOutcome
+from ..net.transports import Interceptor
+from ..platform import BoardProfile, OSProfile, ZEPHYR, NRF52840
+from .device import SimulatedDevice
+
+__all__ = ["Testbed", "DEFAULT_APP_ID", "DEFAULT_DEVICE_ID"]
+
+DEFAULT_APP_ID = 0x55504B49   # "UPKI"
+DEFAULT_DEVICE_ID = 0x11223344
+DEFAULT_LINK_OFFSET = 0x8000
+
+
+@dataclass
+class Testbed:
+    """A complete deployment: vendor, update server, one device."""
+
+    __test__ = False  # not a pytest class, despite the name
+
+    vendor: VendorServer
+    server: UpdateServer
+    device: SimulatedDevice
+    anchors: TrustAnchors
+
+    @classmethod
+    def create(
+        cls,
+        board: BoardProfile = NRF52840,
+        os_profile: OSProfile = ZEPHYR,
+        crypto_library: str = "tinycrypt",
+        slot_configuration: str = "a",
+        slot_size: Optional[int] = None,
+        initial_firmware: bytes = b"\x00" * 1024,
+        initial_version: int = 1,
+        device_id: int = DEFAULT_DEVICE_ID,
+        app_id: int = DEFAULT_APP_ID,
+        link_offset: int = DEFAULT_LINK_OFFSET,
+        supports_differential: bool = True,
+    ) -> "Testbed":
+        """Build and provision a testbed running ``initial_firmware``."""
+        vendor_id, server_id, anchors = make_test_identities()
+        vendor = VendorServer(vendor_id, app_id=app_id,
+                              link_offset=link_offset)
+        server = UpdateServer(server_id)
+        server.publish(vendor.release(initial_firmware, initial_version))
+
+        internal = board.make_internal_flash()
+        if slot_size is None:
+            # Leave room for the static layout's status region so the
+            # default sizing works for both configurations.
+            usable = internal.size - 2 * internal.page_size
+            slot_size = usable // 2
+            slot_size -= slot_size % internal.page_size
+        if slot_configuration == "a":
+            layout = MemoryLayout.configuration_a(internal, slot_size)
+        elif slot_configuration == "b":
+            external = (board.make_external_flash()
+                        if board.has_external_flash else None)
+            layout = MemoryLayout.configuration_b(
+                internal, slot_size, external=external)
+        else:
+            raise ValueError("slot_configuration must be 'a' or 'b'")
+
+        profile = DeviceProfile(
+            device_id=device_id,
+            app_id=app_id,
+            link_offset=link_offset,
+            supports_differential=supports_differential,
+        )
+        device = SimulatedDevice(
+            board=board,
+            os_profile=os_profile,
+            layout=layout,
+            profile=profile,
+            anchors=anchors,
+            crypto_library=crypto_library,
+        )
+        provision_device(server, layout.get("a"), device_id)
+        # Provisioning happens on the production line, not on the device's
+        # battery: zero the cost counters it accrued.
+        for slot in layout.slots:
+            slot.flash.stats.busy_seconds = 0.0
+        device.backend.reset_counters()
+        return cls(vendor=vendor, server=server, device=device,
+                   anchors=anchors)
+
+    # -- update execution ---------------------------------------------------------
+
+    def release(self, firmware: bytes, version: int) -> None:
+        """Vendor releases + update server publishes a new version."""
+        self.server.publish(self.vendor.release(firmware, version))
+
+    def push_update(self, interceptor: Optional[Interceptor] = None,
+                    link: Optional[Link] = None,
+                    reboot_on_success: bool = True) -> UpdateOutcome:
+        transport = PushTransport(self.device, self.server, link=link,
+                                  interceptor=interceptor,
+                                  reboot_on_success=reboot_on_success)
+        return transport.run_update()
+
+    def pull_update(self, interceptor: Optional[Interceptor] = None,
+                    link: Optional[Link] = None,
+                    reboot_on_success: bool = True) -> UpdateOutcome:
+        transport = PullTransport(self.device, self.server, link=link,
+                                  interceptor=interceptor,
+                                  reboot_on_success=reboot_on_success)
+        return transport.run_update()
+
+    def reset_meters(self) -> None:
+        """Zero the device's clock and energy meter between experiments."""
+        self.device.clock.reset()
+        self.device.meter.reset()

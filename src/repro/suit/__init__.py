@@ -1,0 +1,30 @@
+"""IETF SUIT interoperability (the paper's stated future work)."""
+
+from .cbor import CborError, Tag, dumps, loads
+from .convert import (
+    VENDOR_NAMESPACE,
+    export_release,
+    suit_to_upkit,
+    upkit_to_suit,
+)
+from .manifest import (
+    SuitEnvelope,
+    SuitError,
+    SuitManifest,
+    uuid_from_identifier,
+)
+
+__all__ = [
+    "CborError",
+    "SuitEnvelope",
+    "SuitError",
+    "SuitManifest",
+    "Tag",
+    "VENDOR_NAMESPACE",
+    "dumps",
+    "export_release",
+    "loads",
+    "suit_to_upkit",
+    "upkit_to_suit",
+    "uuid_from_identifier",
+]

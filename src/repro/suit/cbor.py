@@ -1,0 +1,215 @@
+"""Minimal CBOR codec (RFC 8949 subset) for SUIT manifests.
+
+The IETF SUIT standard the paper lists as future work serialises its
+manifests as CBOR.  This is a deliberately small, strict subset — the
+types SUIT actually uses — implemented from scratch:
+
+* unsigned and negative integers (any precision);
+* byte strings, UTF-8 text strings;
+* arrays and maps (definite length only);
+* tags;
+* ``false`` / ``true`` / ``null``.
+
+Encoding is *canonical* (RFC 8949 §4.2.1): shortest-form integers and
+lengths, map keys sorted by their encoded bytes — signatures over CBOR
+require a deterministic encoding.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+__all__ = ["dumps", "loads", "CborError", "Tag"]
+
+_MAJOR_UNSIGNED = 0
+_MAJOR_NEGATIVE = 1
+_MAJOR_BYTES = 2
+_MAJOR_TEXT = 3
+_MAJOR_ARRAY = 4
+_MAJOR_MAP = 5
+_MAJOR_TAG = 6
+_MAJOR_SIMPLE = 7
+
+_SIMPLE_FALSE = 20
+_SIMPLE_TRUE = 21
+_SIMPLE_NULL = 22
+
+
+class CborError(ValueError):
+    """Malformed CBOR input or unsupported type."""
+
+
+class Tag:
+    """A tagged CBOR value (major type 6)."""
+
+    __slots__ = ("number", "value")
+
+    def __init__(self, number: int, value: Any) -> None:
+        if number < 0:
+            raise CborError("tag number must be non-negative")
+        self.number = number
+        self.value = value
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, Tag) and other.number == self.number
+                and other.value == self.value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "Tag(%d, %r)" % (self.number, self.value)
+
+
+# -- encoding -----------------------------------------------------------------
+
+
+def dumps(value: Any) -> bytes:
+    out = bytearray()
+    _encode(value, out)
+    return bytes(out)
+
+
+def _encode_head(major: int, argument: int, out: bytearray) -> None:
+    if argument < 24:
+        out.append((major << 5) | argument)
+    elif argument < 0x100:
+        out.append((major << 5) | 24)
+        out.append(argument)
+    elif argument < 0x10000:
+        out.append((major << 5) | 25)
+        out.extend(argument.to_bytes(2, "big"))
+    elif argument < 0x100000000:
+        out.append((major << 5) | 26)
+        out.extend(argument.to_bytes(4, "big"))
+    elif argument < 0x10000000000000000:
+        out.append((major << 5) | 27)
+        out.extend(argument.to_bytes(8, "big"))
+    else:
+        raise CborError("integer argument exceeds 64 bits")
+
+
+def _encode(value: Any, out: bytearray) -> None:
+    if value is False:
+        out.append((_MAJOR_SIMPLE << 5) | _SIMPLE_FALSE)
+    elif value is True:
+        out.append((_MAJOR_SIMPLE << 5) | _SIMPLE_TRUE)
+    elif value is None:
+        out.append((_MAJOR_SIMPLE << 5) | _SIMPLE_NULL)
+    elif isinstance(value, int):
+        if value >= 0:
+            _encode_head(_MAJOR_UNSIGNED, value, out)
+        else:
+            _encode_head(_MAJOR_NEGATIVE, -1 - value, out)
+    elif isinstance(value, (bytes, bytearray, memoryview)):
+        data = bytes(value)
+        _encode_head(_MAJOR_BYTES, len(data), out)
+        out.extend(data)
+    elif isinstance(value, str):
+        data = value.encode("utf-8")
+        _encode_head(_MAJOR_TEXT, len(data), out)
+        out.extend(data)
+    elif isinstance(value, (list, tuple)):
+        _encode_head(_MAJOR_ARRAY, len(value), out)
+        for item in value:
+            _encode(item, out)
+    elif isinstance(value, dict):
+        _encode_head(_MAJOR_MAP, len(value), out)
+        for key_bytes, key, val in sorted(
+            (dumps(key), key, val) for key, val in value.items()
+        ):
+            out.extend(key_bytes)
+            _encode(val, out)
+    elif isinstance(value, Tag):
+        _encode_head(_MAJOR_TAG, value.number, out)
+        _encode(value.value, out)
+    else:
+        raise CborError("cannot encode %r" % type(value).__name__)
+
+
+# -- decoding -----------------------------------------------------------------
+
+
+def loads(data: bytes) -> Any:
+    value, offset = _decode(bytes(data), 0)
+    if offset != len(data):
+        raise CborError("%d trailing bytes" % (len(data) - offset))
+    return value
+
+
+def _decode_head(data: bytes, offset: int) -> Tuple[int, int, int]:
+    if offset >= len(data):
+        raise CborError("truncated item head")
+    initial = data[offset]
+    major = initial >> 5
+    info = initial & 0x1F
+    offset += 1
+    if info < 24:
+        return major, info, offset
+    if info == 24:
+        if offset + 1 > len(data):
+            raise CborError("truncated 1-byte argument")
+        return major, data[offset], offset + 1
+    if info == 25:
+        if offset + 2 > len(data):
+            raise CborError("truncated 2-byte argument")
+        return major, int.from_bytes(data[offset:offset + 2], "big"), \
+            offset + 2
+    if info == 26:
+        if offset + 4 > len(data):
+            raise CborError("truncated 4-byte argument")
+        return major, int.from_bytes(data[offset:offset + 4], "big"), \
+            offset + 4
+    if info == 27:
+        if offset + 8 > len(data):
+            raise CborError("truncated 8-byte argument")
+        return major, int.from_bytes(data[offset:offset + 8], "big"), \
+            offset + 8
+    raise CborError("unsupported additional info %d "
+                    "(indefinite lengths are not allowed)" % info)
+
+
+def _decode(data: bytes, offset: int) -> Tuple[Any, int]:
+    major, argument, offset = _decode_head(data, offset)
+    if major == _MAJOR_UNSIGNED:
+        return argument, offset
+    if major == _MAJOR_NEGATIVE:
+        return -1 - argument, offset
+    if major == _MAJOR_BYTES:
+        end = offset + argument
+        if end > len(data):
+            raise CborError("truncated byte string")
+        return data[offset:end], end
+    if major == _MAJOR_TEXT:
+        end = offset + argument
+        if end > len(data):
+            raise CborError("truncated text string")
+        try:
+            return data[offset:end].decode("utf-8"), end
+        except UnicodeDecodeError as exc:
+            raise CborError("invalid UTF-8 in text string") from exc
+    if major == _MAJOR_ARRAY:
+        items: List[Any] = []
+        for _ in range(argument):
+            item, offset = _decode(data, offset)
+            items.append(item)
+        return items, offset
+    if major == _MAJOR_MAP:
+        mapping: Dict[Any, Any] = {}
+        for _ in range(argument):
+            key, offset = _decode(data, offset)
+            if isinstance(key, (list, dict)):
+                raise CborError("unhashable map key")
+            if key in mapping:
+                raise CborError("duplicate map key %r" % (key,))
+            value, offset = _decode(data, offset)
+            mapping[key] = value
+        return mapping, offset
+    if major == _MAJOR_TAG:
+        value, offset = _decode(data, offset)
+        return Tag(argument, value), offset
+    # major == _MAJOR_SIMPLE
+    if argument == _SIMPLE_FALSE:
+        return False, offset
+    if argument == _SIMPLE_TRUE:
+        return True, offset
+    if argument == _SIMPLE_NULL:
+        return None, offset
+    raise CborError("unsupported simple value %d" % argument)

@@ -1,0 +1,91 @@
+"""UpKit ↔ SUIT manifest conversion.
+
+Field mapping:
+
+| UpKit                | SUIT                                       |
+|----------------------|--------------------------------------------|
+| version              | sequence-number                            |
+| app_id               | class-id (derived UUID); vendor-id is the  |
+|                      | UUID of the vendor namespace               |
+| digest, size         | image-match condition (digest, size)       |
+| payload_size/kind    | private payload metadata                   |
+| link_offset          | extension (SUIT uses component offsets)    |
+| device_id, nonce,    | **no SUIT equivalent** — carried in a      |
+| old_version          | private extension map so an UpKit device   |
+|                      | can still enforce freshness               |
+
+The semantic gap matters: plain SUIT grants freshness only through the
+monotonic sequence number, which cannot bind an image to a *request*.
+Round-tripping through SUIT therefore preserves UpKit's token fields
+only via the extension; a foreign SUIT processor would ignore them.
+"""
+
+from __future__ import annotations
+
+from ..core import Manifest
+from ..core.vendor import VendorRelease
+from .manifest import SuitEnvelope, SuitManifest, uuid_from_identifier
+
+__all__ = ["VENDOR_NAMESPACE", "upkit_to_suit", "suit_to_upkit",
+           "export_release"]
+
+VENDOR_NAMESPACE = b"upkit.reproduction.vendor-ns"
+
+# Private extension keys.
+EXT_DEVICE_ID = 1
+EXT_NONCE = 2
+EXT_OLD_VERSION = 3
+EXT_LINK_OFFSET = 4
+EXT_APP_ID = 5
+
+
+def upkit_to_suit(manifest: Manifest) -> SuitManifest:
+    """Translate an UpKit manifest into the SUIT model."""
+    extensions = {
+        EXT_LINK_OFFSET: manifest.link_offset,
+        EXT_APP_ID: manifest.app_id,
+    }
+    if manifest.device_id or manifest.nonce or manifest.old_version:
+        extensions[EXT_DEVICE_ID] = manifest.device_id
+        extensions[EXT_NONCE] = manifest.nonce
+        extensions[EXT_OLD_VERSION] = manifest.old_version
+    return SuitManifest(
+        sequence_number=manifest.version,
+        vendor_id=uuid_from_identifier(VENDOR_NAMESPACE, 0),
+        class_id=uuid_from_identifier(VENDOR_NAMESPACE, manifest.app_id),
+        digest=manifest.digest,
+        image_size=manifest.size,
+        payload_size=manifest.payload_size,
+        payload_kind=manifest.payload_kind,
+        extensions=extensions,
+    )
+
+
+def suit_to_upkit(suit: SuitManifest) -> Manifest:
+    """Translate back; raises when mandatory UpKit fields are absent."""
+    extensions = suit.extensions
+    app_id = extensions.get(EXT_APP_ID)
+    if app_id is None:
+        raise ValueError(
+            "SUIT manifest lacks the UpKit app-id extension; class-id "
+            "UUIDs are one-way derivations")
+    if uuid_from_identifier(VENDOR_NAMESPACE, app_id) != suit.class_id:
+        raise ValueError("class-id does not match the app-id extension")
+    return Manifest(
+        version=suit.sequence_number,
+        size=suit.image_size,
+        digest=suit.digest,
+        link_offset=extensions.get(EXT_LINK_OFFSET, 0),
+        app_id=app_id,
+        device_id=extensions.get(EXT_DEVICE_ID, 0),
+        nonce=extensions.get(EXT_NONCE, 0),
+        old_version=extensions.get(EXT_OLD_VERSION, 0),
+        payload_kind=suit.payload_kind,
+        payload_size=suit.payload_size,
+    )
+
+
+def export_release(release: VendorRelease, signing_key) -> bytes:
+    """A vendor release as a signed SUIT envelope (CBOR bytes)."""
+    suit = upkit_to_suit(release.manifest)
+    return SuitEnvelope.sign(suit, signing_key).to_cbor()

@@ -1,0 +1,254 @@
+"""SUIT manifests: the IETF firmware-update information model.
+
+The paper's future work (Sect. VIII) is "support of the upcoming IETF
+SUIT standard, in order to allow inter-operation with a larger range
+of IoT solutions".  This module implements a principled subset of
+draft-ietf-suit-manifest: the CBOR envelope, a COSE_Sign1
+authentication wrapper over the manifest digest, and the manifest
+fields UpKit's model maps onto:
+
+* ``sequence-number`` — monotonically increasing (UpKit's version);
+* one component with ``vendor-id`` / ``class-id`` UUIDs (derived from
+  UpKit's app ID), image ``digest`` (SHA-256) and ``size``;
+* install/validate command sequences reduced to the conditions UpKit
+  enforces (vendor match, class match, image match).
+
+Envelope layout (CBOR map)::
+
+    { 2: authentication-wrapper = [ COSE_Sign1 ],
+      3: manifest-bstr }
+
+    COSE_Sign1 = Tag(18, [ protected-bstr, {}, payload = SHA-256(manifest),
+                           signature ])
+
+UpKit's token fields (device ID, nonce, old version) have no SUIT
+equivalent — SUIT delegates freshness to sequence numbers and secure
+transport — so the converter (:mod:`repro.suit.convert`) carries them
+in a private extension key and documents the semantic gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from ..crypto import PrivateKey, PublicKey, Signature, sha256
+from .cbor import CborError, Tag, dumps, loads
+
+__all__ = ["SuitManifest", "SuitEnvelope", "SuitError",
+           "uuid_from_identifier"]
+
+# Envelope keys (draft-ietf-suit-manifest).
+KEY_AUTHENTICATION = 2
+KEY_MANIFEST = 3
+
+# Manifest keys.
+KEY_MANIFEST_VERSION = 1
+KEY_SEQUENCE_NUMBER = 2
+KEY_COMMON = 3
+KEY_PAYLOADS = 16         # private: payload metadata (size/kind)
+KEY_EXTENSIONS = 0x55504B  # private: UpKit token-binding extension
+
+# Common block keys.
+KEY_COMPONENTS = 2
+KEY_COMMON_SEQUENCE = 4
+
+# Command/condition identifiers (suit-common-sequence).
+CONDITION_VENDOR_ID = 1
+CONDITION_CLASS_ID = 2
+CONDITION_IMAGE_MATCH = 3
+
+# COSE.
+COSE_SIGN1_TAG = 18
+COSE_ALG_ES256 = -7
+COSE_HEADER_ALG = 1
+
+MANIFEST_VERSION = 1
+
+
+class SuitError(ValueError):
+    """Malformed SUIT envelope/manifest."""
+
+
+def uuid_from_identifier(namespace: bytes, identifier: int) -> bytes:
+    """A deterministic 16-byte identifier (UUIDv5-like, SHA-256 based)."""
+    digest = sha256(namespace + identifier.to_bytes(4, "big"))[:16]
+    out = bytearray(digest)
+    out[6] = (out[6] & 0x0F) | 0x50  # version 5
+    out[8] = (out[8] & 0x3F) | 0x80  # RFC 4122 variant
+    return bytes(out)
+
+
+@dataclass(frozen=True)
+class SuitManifest:
+    """The subset of SUIT manifest fields UpKit maps onto."""
+
+    sequence_number: int
+    vendor_id: bytes          # 16 bytes
+    class_id: bytes           # 16 bytes
+    digest: bytes             # SHA-256 of the image
+    image_size: int
+    component_id: "tuple[str, ...]" = ("slot",)
+    payload_size: int = 0     # transported payload (delta may differ)
+    payload_kind: int = 0
+    extensions: "dict[int, int]" = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.sequence_number < 0:
+            raise SuitError("sequence number must be non-negative")
+        if len(self.vendor_id) != 16 or len(self.class_id) != 16:
+            raise SuitError("vendor/class IDs must be 16 bytes")
+        if len(self.digest) != 32:
+            raise SuitError("digest must be SHA-256 (32 bytes)")
+        if self.image_size <= 0:
+            raise SuitError("image size must be positive")
+
+    # -- CBOR structure -----------------------------------------------------
+
+    def to_cbor(self) -> bytes:
+        common_sequence = [
+            CONDITION_VENDOR_ID, self.vendor_id,
+            CONDITION_CLASS_ID, self.class_id,
+            CONDITION_IMAGE_MATCH, [self.digest, self.image_size],
+        ]
+        manifest = {
+            KEY_MANIFEST_VERSION: MANIFEST_VERSION,
+            KEY_SEQUENCE_NUMBER: self.sequence_number,
+            KEY_COMMON: {
+                KEY_COMPONENTS: [list(self.component_id)],
+                KEY_COMMON_SEQUENCE: dumps(common_sequence),
+            },
+            KEY_PAYLOADS: [self.payload_size, self.payload_kind],
+        }
+        if self.extensions:
+            manifest[KEY_EXTENSIONS] = dict(self.extensions)
+        return dumps(manifest)
+
+    @classmethod
+    def from_cbor(cls, data: bytes) -> "SuitManifest":
+        try:
+            manifest = loads(data)
+        except CborError as exc:
+            raise SuitError("manifest is not valid CBOR: %s" % exc) from exc
+        if not isinstance(manifest, dict):
+            raise SuitError("manifest must be a CBOR map")
+        if manifest.get(KEY_MANIFEST_VERSION) != MANIFEST_VERSION:
+            raise SuitError("unsupported suit-manifest-version")
+        try:
+            sequence = manifest[KEY_SEQUENCE_NUMBER]
+            common = manifest[KEY_COMMON]
+            components = common[KEY_COMPONENTS]
+            sequence_bytes = common[KEY_COMMON_SEQUENCE]
+        except (KeyError, TypeError) as exc:
+            raise SuitError("missing mandatory manifest field") from exc
+        conditions = loads(sequence_bytes)
+        values = _parse_conditions(conditions)
+        payloads = manifest.get(KEY_PAYLOADS, [0, 0])
+        extensions = manifest.get(KEY_EXTENSIONS, {})
+        if not isinstance(extensions, dict):
+            raise SuitError("extensions must be a map")
+        digest, size = values[CONDITION_IMAGE_MATCH]
+        return cls(
+            sequence_number=sequence,
+            vendor_id=values[CONDITION_VENDOR_ID],
+            class_id=values[CONDITION_CLASS_ID],
+            digest=digest,
+            image_size=size,
+            component_id=tuple(components[0]),
+            payload_size=payloads[0],
+            payload_kind=payloads[1],
+            extensions={int(k): int(v) for k, v in extensions.items()},
+        )
+
+
+def _parse_conditions(sequence) -> dict:
+    if not isinstance(sequence, list) or len(sequence) % 2:
+        raise SuitError("malformed common command sequence")
+    values = {}
+    for index in range(0, len(sequence), 2):
+        values[sequence[index]] = sequence[index + 1]
+    for required in (CONDITION_VENDOR_ID, CONDITION_CLASS_ID,
+                     CONDITION_IMAGE_MATCH):
+        if required not in values:
+            raise SuitError("condition %d missing" % required)
+    return values
+
+
+@dataclass(frozen=True)
+class SuitEnvelope:
+    """A signed SUIT envelope: COSE_Sign1 wrapper + manifest bytes."""
+
+    manifest_bytes: bytes
+    signature: bytes          # 64-byte raw ECDSA r||s
+    protected: bytes          # encoded COSE protected header
+
+    @property
+    def manifest(self) -> SuitManifest:
+        return SuitManifest.from_cbor(self.manifest_bytes)
+
+    # -- signing ------------------------------------------------------------
+
+    @classmethod
+    def sign(cls, manifest: SuitManifest,
+             key: PrivateKey) -> "SuitEnvelope":
+        manifest_bytes = manifest.to_cbor()
+        protected = dumps({COSE_HEADER_ALG: COSE_ALG_ES256})
+        signature = key.sign(
+            cls._sig_structure(protected, manifest_bytes)).encode()
+        return cls(manifest_bytes=manifest_bytes, signature=signature,
+                   protected=protected)
+
+    def verify(self, key: PublicKey) -> bool:
+        try:
+            header = loads(self.protected)
+        except CborError:
+            return False
+        if header.get(COSE_HEADER_ALG) != COSE_ALG_ES256:
+            return False
+        try:
+            signature = Signature.decode(self.signature)
+        except Exception:
+            return False
+        return key.verify(
+            signature,
+            self._sig_structure(self.protected, self.manifest_bytes))
+
+    @staticmethod
+    def _sig_structure(protected: bytes, manifest_bytes: bytes) -> bytes:
+        # COSE Sig_structure with the manifest digest as the payload,
+        # as SUIT's severable-manifest profile prescribes.
+        return dumps(["Signature1", protected, b"",
+                      sha256(manifest_bytes)])
+
+    # -- envelope CBOR ----------------------------------------------------------
+
+    def to_cbor(self) -> bytes:
+        cose = Tag(COSE_SIGN1_TAG,
+                   [self.protected, {}, sha256(self.manifest_bytes),
+                    self.signature])
+        return dumps({
+            KEY_AUTHENTICATION: [dumps(cose)],
+            KEY_MANIFEST: self.manifest_bytes,
+        })
+
+    @classmethod
+    def from_cbor(cls, data: bytes) -> "SuitEnvelope":
+        try:
+            envelope = loads(data)
+        except CborError as exc:
+            raise SuitError("envelope is not valid CBOR: %s" % exc) from exc
+        if not isinstance(envelope, dict):
+            raise SuitError("envelope must be a CBOR map")
+        try:
+            wrappers = envelope[KEY_AUTHENTICATION]
+            manifest_bytes = envelope[KEY_MANIFEST]
+        except KeyError as exc:
+            raise SuitError("missing envelope field") from exc
+        if not wrappers:
+            raise SuitError("no authentication wrapper")
+        cose = loads(wrappers[0])
+        if not isinstance(cose, Tag) or cose.number != COSE_SIGN1_TAG:
+            raise SuitError("authentication wrapper is not COSE_Sign1")
+        protected, _unprotected, payload, signature = cose.value
+        if payload != sha256(manifest_bytes):
+            raise SuitError("COSE payload does not match manifest digest")
+        return cls(manifest_bytes=manifest_bytes, signature=signature,
+                   protected=protected)

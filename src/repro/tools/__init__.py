@@ -1,0 +1,5 @@
+"""Host-side tooling: key generation, release signing, image preparation."""
+
+from .cli import build_parser, main
+
+__all__ = ["build_parser", "main"]

@@ -1,0 +1,349 @@
+"""Update-generation and signing tooling (command line).
+
+The host-side half of UpKit: generate keys, turn a firmware binary into
+a signed vendor release, specialise it for a device token (the update
+server's double signature), and verify/inspect images — all on files,
+so the tooling works without any network.
+
+Subcommands::
+
+    upkit keygen  --out keys/ [--vendor-seed S] [--server-seed S]
+    upkit release --firmware fw.bin --version N --app-id A
+                  --link-offset L --vendor-key keys/vendor.key
+                  --out release.bin
+    upkit prepare --release release.bin --server-key keys/server.key
+                  --device-id D --nonce X [--current-version V
+                  --old-firmware old.bin] --out image.bin
+    upkit verify  --image image.bin --vendor-pub keys/vendor.pub
+                  --server-pub keys/server.pub
+    upkit inspect --image image.bin
+
+Run as ``python -m repro.tools.cli <subcommand> ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional
+
+from ..compression import compress as lzss_compress
+from ..core import (
+    DeviceToken,
+    PayloadKind,
+    SignedManifest,
+    SigningIdentity,
+    TrustAnchors,
+    UpdateImage,
+    VendorRelease,
+    VendorServer,
+    Verifier,
+)
+from ..crypto import PrivateKey, PublicKey, generate_keypair, get_backend
+from ..delta import diff as bsdiff_diff
+
+__all__ = ["main"]
+
+
+def _write(path: str, data: bytes) -> None:
+    with open(path, "wb") as fh:
+        fh.write(data)
+
+
+def _read(path: str) -> bytes:
+    with open(path, "rb") as fh:
+        return fh.read()
+
+
+def _load_private(path: str) -> PrivateKey:
+    return PrivateKey(int(_read(path).decode("ascii").strip(), 16))
+
+
+def _load_public(path: str) -> PublicKey:
+    return PublicKey.decode(bytes.fromhex(_read(path).decode("ascii").strip()))
+
+
+# -- subcommands -----------------------------------------------------------------
+
+
+def cmd_keygen(args: argparse.Namespace) -> int:
+    os.makedirs(args.out, exist_ok=True)
+    for role, seed in (("vendor", args.vendor_seed),
+                       ("server", args.server_seed)):
+        key = generate_keypair(seed.encode("utf-8"))
+        _write(os.path.join(args.out, "%s.key" % role),
+               ("%064x" % key.scalar).encode("ascii"))
+        _write(os.path.join(args.out, "%s.pub" % role),
+               key.public_key().encode().hex().encode("ascii"))
+    print("wrote vendor.key/.pub and server.key/.pub to %s" % args.out)
+    return 0
+
+
+def cmd_release(args: argparse.Namespace) -> int:
+    firmware = _read(args.firmware)
+    identity = SigningIdentity("vendor", _load_private(args.vendor_key))
+    vendor = VendorServer(identity, app_id=args.app_id,
+                          link_offset=args.link_offset)
+    release = vendor.release(firmware, args.version)
+    blob = (release.manifest.pack() + release.vendor_signature
+            + release.firmware)
+    _write(args.out, blob)
+    print("release v%d: %d firmware bytes, digest %s..."
+          % (args.version, len(firmware),
+             release.manifest.digest.hex()[:16]))
+    return 0
+
+
+def _load_release(path: str) -> VendorRelease:
+    from ..core.manifest import MANIFEST_SIZE, Manifest
+
+    blob = _read(path)
+    manifest = Manifest.unpack(blob[:MANIFEST_SIZE])
+    signature = blob[MANIFEST_SIZE:MANIFEST_SIZE + 64]
+    firmware = blob[MANIFEST_SIZE + 64:]
+    return VendorRelease(manifest=manifest, vendor_signature=signature,
+                         firmware=firmware)
+
+
+def cmd_prepare(args: argparse.Namespace) -> int:
+    release = _load_release(args.release)
+    identity = SigningIdentity("update-server",
+                               _load_private(args.server_key))
+    token = DeviceToken(device_id=args.device_id, nonce=args.nonce,
+                        current_version=args.current_version)
+
+    payload = release.firmware
+    payload_kind = PayloadKind.FULL
+    old_version = 0
+    if args.current_version and args.old_firmware:
+        old = _read(args.old_firmware)
+        delta = lzss_compress(bsdiff_diff(old, release.firmware))
+        if len(delta) < len(release.firmware):
+            payload = delta
+            payload_kind = PayloadKind.DELTA_LZSS
+            old_version = args.current_version
+
+    manifest = release.manifest.bind_token(
+        token, payload_kind=payload_kind, payload_size=len(payload),
+        old_version=old_version)
+    envelope = SignedManifest(
+        manifest=manifest,
+        vendor_signature=release.vendor_signature,
+        server_signature=identity.sign(
+            manifest.pack() + release.vendor_signature),
+    )
+    image = UpdateImage(envelope=envelope, payload=payload)
+    _write(args.out, image.pack())
+    kind = "delta" if manifest.is_delta else "full"
+    print("image for device 0x%08X nonce 0x%08X: %s payload, %d bytes"
+          % (args.device_id, args.nonce, kind, image.total_size))
+    return 0
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    image = UpdateImage.unpack(_read(args.image))
+    anchors = TrustAnchors(vendor=_load_public(args.vendor_pub),
+                           server=_load_public(args.server_pub))
+    verifier = Verifier(anchors, get_backend("tinycrypt"))
+    try:
+        verifier.verify_signatures(image.envelope)
+    except Exception as exc:  # noqa: BLE001 - CLI boundary
+        print("INVALID: %s" % exc)
+        return 1
+    print("OK: both signatures verify (version %d, %s payload)"
+          % (image.manifest.version,
+             "delta" if image.manifest.is_delta else "full"))
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    """Run one simulated update end to end and print the breakdown."""
+    from ..platform import get_board, get_os
+    from ..sim import Testbed
+    from ..workload import FirmwareGenerator
+
+    generator = FirmwareGenerator(seed=args.seed.encode("utf-8"))
+    base = generator.firmware(args.size, image_id=1)
+    testbed = Testbed.create(
+        board=get_board(args.board),
+        os_profile=get_os(args.os),
+        crypto_library=args.crypto,
+        slot_configuration=args.slots,
+        initial_firmware=base,
+        supports_differential=not args.full,
+    )
+    new = generator.os_version_change(base, revision=2)
+    testbed.release(new, 2)
+    outcome = (testbed.push_update() if args.transport == "push"
+               else testbed.pull_update())
+    if not outcome.success:
+        print("update FAILED: %s" % outcome.error)
+        return 1
+    print("booted version %d on %s/%s (%s, %s slots, %s)"
+          % (outcome.booted_version, args.board, args.os, args.crypto,
+             "A/B" if args.slots == "a" else "static", args.transport))
+    print("bytes over air : %d (image: %d)"
+          % (outcome.bytes_over_air, len(new)))
+    print("total time     : %.1f s" % outcome.total_seconds)
+    for phase in ("propagation", "verification", "loading"):
+        seconds = outcome.phases.get(phase, 0.0)
+        print("  %-13s: %7.2f s  (%4.1f%%)"
+              % (phase, seconds, 100 * seconds / outcome.total_seconds))
+    print("energy         : %.1f mJ" % outcome.total_energy_mj)
+    for component, energy in sorted(outcome.energy_mj.items()):
+        print("  %-13s: %7.1f mJ" % (component, energy))
+    return 0
+
+
+def cmd_export_suit(args: argparse.Namespace) -> int:
+    """Export a vendor release as a signed IETF SUIT envelope."""
+    from ..suit import export_release
+
+    release = _load_release(args.release)
+    key = _load_private(args.vendor_key)
+    blob = export_release(release, key)
+    _write(args.out, blob)
+    print("SUIT envelope for v%d: %d bytes of CBOR"
+          % (release.version, len(blob)))
+    return 0
+
+
+def cmd_import_suit(args: argparse.Namespace) -> int:
+    """Verify a SUIT envelope and print the recovered UpKit manifest."""
+    from ..suit import SuitEnvelope, SuitError, suit_to_upkit
+
+    try:
+        envelope = SuitEnvelope.from_cbor(_read(args.envelope))
+    except SuitError as exc:
+        print("INVALID: %s" % exc)
+        return 1
+    if not envelope.verify(_load_public(args.vendor_pub)):
+        print("INVALID: COSE signature does not verify")
+        return 1
+    try:
+        manifest = suit_to_upkit(envelope.manifest)
+    except ValueError as exc:
+        print("INVALID: %s" % exc)
+        return 1
+    print(json.dumps({
+        "sequence_number": envelope.manifest.sequence_number,
+        "version": manifest.version,
+        "size": manifest.size,
+        "digest": manifest.digest.hex(),
+        "app_id": "0x%08X" % manifest.app_id,
+        "link_offset": "0x%08X" % manifest.link_offset,
+    }, indent=2))
+    return 0
+
+
+def cmd_inspect(args: argparse.Namespace) -> int:
+    image = UpdateImage.unpack(_read(args.image))
+    manifest = image.manifest
+    print(json.dumps({
+        "version": manifest.version,
+        "old_version": manifest.old_version,
+        "device_id": "0x%08X" % manifest.device_id,
+        "nonce": "0x%08X" % manifest.nonce,
+        "size": manifest.size,
+        "payload_size": manifest.payload_size,
+        "payload_kind": manifest.payload_kind,
+        "is_delta": manifest.is_delta,
+        "link_offset": "0x%08X" % manifest.link_offset,
+        "app_id": "0x%08X" % manifest.app_id,
+        "digest": manifest.digest.hex(),
+    }, indent=2))
+    return 0
+
+
+# -- argument parsing ---------------------------------------------------------------
+
+
+def _hex_int(text: str) -> int:
+    return int(text, 0)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="upkit", description="UpKit update-generation tooling")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    keygen = sub.add_parser("keygen", help="generate vendor + server keys")
+    keygen.add_argument("--out", required=True)
+    keygen.add_argument("--vendor-seed", default="upkit-vendor")
+    keygen.add_argument("--server-seed", default="upkit-server")
+    keygen.set_defaults(func=cmd_keygen)
+
+    release = sub.add_parser("release", help="sign a vendor release")
+    release.add_argument("--firmware", required=True)
+    release.add_argument("--version", type=int, required=True)
+    release.add_argument("--app-id", type=_hex_int, required=True)
+    release.add_argument("--link-offset", type=_hex_int, required=True)
+    release.add_argument("--vendor-key", required=True)
+    release.add_argument("--out", required=True)
+    release.set_defaults(func=cmd_release)
+
+    prepare = sub.add_parser(
+        "prepare", help="bind a release to a device token and double-sign")
+    prepare.add_argument("--release", required=True)
+    prepare.add_argument("--server-key", required=True)
+    prepare.add_argument("--device-id", type=_hex_int, required=True)
+    prepare.add_argument("--nonce", type=_hex_int, required=True)
+    prepare.add_argument("--current-version", type=int, default=0)
+    prepare.add_argument("--old-firmware", default=None)
+    prepare.add_argument("--out", required=True)
+    prepare.set_defaults(func=cmd_prepare)
+
+    verify = sub.add_parser("verify", help="verify an update image")
+    verify.add_argument("--image", required=True)
+    verify.add_argument("--vendor-pub", required=True)
+    verify.add_argument("--server-pub", required=True)
+    verify.set_defaults(func=cmd_verify)
+
+    inspect = sub.add_parser("inspect", help="print an image's manifest")
+    inspect.add_argument("--image", required=True)
+    inspect.set_defaults(func=cmd_inspect)
+
+    export_suit = sub.add_parser(
+        "export-suit", help="export a release as an IETF SUIT envelope")
+    export_suit.add_argument("--release", required=True)
+    export_suit.add_argument("--vendor-key", required=True)
+    export_suit.add_argument("--out", required=True)
+    export_suit.set_defaults(func=cmd_export_suit)
+
+    import_suit = sub.add_parser(
+        "import-suit", help="verify a SUIT envelope and print its manifest")
+    import_suit.add_argument("--envelope", required=True)
+    import_suit.add_argument("--vendor-pub", required=True)
+    import_suit.set_defaults(func=cmd_import_suit)
+
+    simulate = sub.add_parser(
+        "simulate", help="run one simulated update and print its cost")
+    simulate.add_argument("--board", default="nrf52840",
+                          choices=("nrf52840", "cc2650", "cc2538"))
+    simulate.add_argument("--os", default="zephyr",
+                          choices=("zephyr", "riot", "contiki"))
+    simulate.add_argument("--crypto", default="tinycrypt",
+                          choices=("tinydtls", "tinycrypt",
+                                   "cryptoauthlib"))
+    simulate.add_argument("--slots", default="a", choices=("a", "b"))
+    simulate.add_argument("--transport", default="push",
+                          choices=("push", "pull"))
+    simulate.add_argument("--size", type=int, default=64 * 1024)
+    simulate.add_argument("--full", action="store_true",
+                          help="force a full-image update (no delta)")
+    simulate.add_argument("--seed", default="upkit-simulate")
+    simulate.set_defaults(func=cmd_simulate)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,5 @@
+"""Synthetic firmware workloads for the evaluation harness."""
+
+from .generator import FirmwareGenerator
+
+__all__ = ["FirmwareGenerator"]

@@ -1,0 +1,266 @@
+"""Update-agent FSM tests (Fig. 4 behaviour)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    AgentState,
+    ENVELOPE_SIZE,
+    FeedStatus,
+    SignatureInvalid,
+    SizeExceeded,
+    StateError,
+    TokenMismatch,
+    UpdateAgent,
+    UpdateError,
+    inspect_slot,
+)
+from repro.memory import OpenMode
+from tests.conftest import DEVICE_ID
+
+
+@pytest.fixture()
+def agent(provisioned, profile, anchors, backend):
+    _, _, layout = provisioned
+    return UpdateAgent(profile, layout, anchors, backend)
+
+
+@pytest.fixture()
+def new_release(provisioned, fw_v2):
+    vendor, server, _ = provisioned
+    server.publish(vendor.release(fw_v2, 2))
+    return server
+
+
+def run_update(agent, server, chunk=200):
+    token = agent.request_token()
+    image = server.prepare_update(token)
+    blob = image.pack()
+    status = None
+    for offset in range(0, len(blob), chunk):
+        status = agent.feed(blob[offset:offset + chunk])
+    return status, image
+
+
+# -- token issuance -------------------------------------------------------------
+
+
+def test_initial_state_waiting(agent):
+    assert agent.state is AgentState.WAITING
+
+
+def test_request_token_populates_fields(agent):
+    token = agent.request_token()
+    assert token.device_id == DEVICE_ID
+    assert token.nonce != 0
+    assert token.current_version == 1  # factory version
+
+
+def test_request_token_erases_staging_slot(agent, provisioned):
+    _, _, layout = provisioned
+    staging = agent.target_slot()
+    staging.write(0, b"\x00" * 64)
+    agent.request_token()
+    # WRITE_ALL at start-update erased the slot (Fig. 4 "start update").
+    assert staging.read(0, 64) == b"\xff" * 64
+
+
+def test_request_token_twice_rejected(agent):
+    agent.request_token()
+    with pytest.raises(StateError):
+        agent.request_token()
+
+
+def test_nonces_unique_per_request(agent):
+    token_a = agent.request_token()
+    agent.cancel()
+    token_b = agent.request_token()
+    assert token_a.nonce != token_b.nonce
+
+
+def test_token_reports_no_diff_when_unsupported(provisioned, anchors,
+                                                backend):
+    import dataclasses
+    from tests.conftest import APP_ID, LINK_OFFSET
+    from repro.core import DeviceProfile
+    _, _, layout = provisioned
+    profile = DeviceProfile(device_id=DEVICE_ID, app_id=APP_ID,
+                            link_offset=LINK_OFFSET,
+                            supports_differential=False)
+    agent = UpdateAgent(profile, layout, anchors, backend)
+    assert agent.request_token().current_version == 0
+
+
+def test_installed_version_from_slot(agent):
+    assert agent.installed_version() == 1
+
+
+def test_target_slot_is_not_running_slot(agent):
+    assert agent.target_slot() is not agent.running_slot()
+
+
+# -- happy path --------------------------------------------------------------------
+
+
+def test_full_update_flow(agent, new_release, fw_v2):
+    status, image = run_update(agent, new_release)
+    assert status is FeedStatus.FIRMWARE_COMPLETE
+    assert agent.state is AgentState.READY_TO_REBOOT
+    assert agent.ready_to_reboot
+    staged = agent.staged_slot
+    stored = inspect_slot(staged)
+    assert stored is not None and stored.manifest.version == 2
+    assert staged.read(ENVELOPE_SIZE, len(fw_v2)) == fw_v2
+    assert agent.stats.updates_completed == 1
+
+
+def test_differential_update_flow(agent, new_release, fw_v2):
+    status, image = run_update(agent, new_release)
+    assert image.manifest.is_delta  # token advertised version 1
+    assert agent.staged_slot.read(ENVELOPE_SIZE, len(fw_v2)) == fw_v2
+
+
+def test_manifest_verified_status_emitted(agent, new_release):
+    token = agent.request_token()
+    image = new_release.prepare_update(token)
+    status = agent.feed(image.envelope.pack())
+    assert status is FeedStatus.MANIFEST_VERIFIED
+    assert agent.state is AgentState.RECEIVE_FIRMWARE
+
+
+def test_single_byte_chunks(agent, new_release, fw_v2):
+    status, _ = run_update(agent, new_release, chunk=1)
+    assert status is FeedStatus.FIRMWARE_COMPLETE
+
+
+def test_acknowledge_reboot_resets_fsm(agent, new_release):
+    run_update(agent, new_release)
+    agent.acknowledge_reboot()
+    assert agent.state is AgentState.WAITING
+
+
+def test_acknowledge_without_completion_rejected(agent):
+    with pytest.raises(StateError):
+        agent.acknowledge_reboot()
+
+
+# -- early rejection ---------------------------------------------------------------
+
+
+def test_tampered_manifest_rejected_before_payload(agent, new_release):
+    token = agent.request_token()
+    image = new_release.prepare_update(token)
+    envelope = bytearray(image.envelope.pack())
+    envelope[7] ^= 0xFF  # corrupt a manifest byte
+    with pytest.raises(SignatureInvalid):
+        agent.feed(bytes(envelope))
+    # CLEANING ran: back to WAITING, no payload was ever accepted.
+    assert agent.state is AgentState.WAITING
+    assert agent.stats.payload_bytes == 0
+    assert agent.stats.rejected_before_download == 1
+
+
+def test_replayed_image_rejected(agent, new_release):
+    """The freshness property: an image for an old token is refused."""
+    first_token = agent.request_token()
+    captured = new_release.prepare_update(first_token)
+    agent.cancel()
+
+    agent.request_token()  # new request, new nonce
+    with pytest.raises(TokenMismatch):
+        agent.feed(captured.envelope.pack())
+    assert agent.state is AgentState.WAITING
+
+
+def test_corrupt_payload_rejected_before_reboot(agent, new_release):
+    """A corrupted payload is caught after download, before any reboot.
+
+    (A single bit flip inside an LZSS back-reference can be a semantic
+    no-op — e.g. a different distance into a zero run — so the test
+    corrupts a 16-byte span, which cannot survive both the pipeline and
+    the digest check.)
+    """
+    token = agent.request_token()
+    image = new_release.prepare_update(token)
+    agent.feed(image.envelope.pack())
+    payload = bytearray(image.payload)
+    middle = len(payload) // 2
+    for offset in range(16):
+        payload[middle + offset] ^= 0xA5
+    with pytest.raises(UpdateError):
+        agent.feed(bytes(payload))
+    assert agent.state is AgentState.WAITING
+    assert agent.stats.rejected_after_download == 1
+    assert not agent.ready_to_reboot
+
+
+def test_oversized_payload_rejected(agent, new_release):
+    token = agent.request_token()
+    image = new_release.prepare_update(token)
+    agent.feed(image.envelope.pack())
+    with pytest.raises(SizeExceeded):
+        agent.feed(image.payload + b"\x00")
+    assert agent.state is AgentState.WAITING
+
+
+def test_cleaning_invalidates_slot(agent, new_release):
+    token = agent.request_token()
+    staging = agent.target_slot()
+    image = new_release.prepare_update(token)
+    envelope = bytearray(image.envelope.pack())
+    envelope[0] ^= 0xFF
+    with pytest.raises(Exception):
+        agent.feed(bytes(envelope))
+    assert inspect_slot(staging) is None
+
+
+def test_feed_in_waiting_state_rejected(agent):
+    with pytest.raises(StateError):
+        agent.feed(b"unsolicited")
+
+
+def test_cancel_mid_manifest(agent, new_release):
+    token = agent.request_token()
+    image = new_release.prepare_update(token)
+    agent.feed(image.envelope.pack()[:50])
+    agent.cancel()
+    assert agent.state is AgentState.WAITING
+    # A fresh update can start afterwards.
+    assert agent.request_token().nonce != token.nonce
+
+
+def test_cancel_in_waiting_is_noop(agent):
+    agent.cancel()
+    assert agent.state is AgentState.WAITING
+
+
+def test_stats_counters(agent, new_release):
+    run_update(agent, new_release)
+    stats = agent.stats
+    assert stats.tokens_issued == 1
+    assert stats.manifest_bytes >= ENVELOPE_SIZE
+    assert stats.payload_bytes > 0
+    assert stats.updates_completed == 1
+    assert stats.updates_rejected == 0
+
+
+def test_manifest_and_payload_in_one_feed(agent, new_release):
+    token = agent.request_token()
+    image = new_release.prepare_update(token)
+    status = agent.feed(image.pack())  # everything at once
+    assert status is FeedStatus.FIRMWARE_COMPLETE
+
+
+def test_second_update_after_reboot(agent, new_release, provisioned,
+                                    firmware_gen, fw_v2):
+    vendor, server, layout = provisioned
+    run_update(agent, server)
+    agent.acknowledge_reboot()
+    # After "reboot", version 2 runs (newest valid slot).
+    assert agent.installed_version() == 2
+    fw_v3 = firmware_gen.app_functionality_change(fw_v2, revision=3)
+    server.publish(vendor.release(fw_v3, 3))
+    status, image = run_update(agent, server)
+    assert status is FeedStatus.FIRMWARE_COMPLETE
+    assert image.manifest.old_version == 2  # delta against v2 now

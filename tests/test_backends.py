@@ -1,0 +1,116 @@
+"""Crypto-backend profile and cost-accounting tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto import (
+    ATECC508,
+    CRYPTOAUTHLIB,
+    HSMBackend,
+    SoftwareBackend,
+    TINYCRYPT,
+    TINYDTLS,
+    available_backends,
+    generate_keypair,
+    get_backend,
+    sha256,
+)
+
+
+@pytest.fixture()
+def keypair():
+    private = generate_keypair(b"backend-key")
+    return private, private.public_key()
+
+
+def test_get_backend_by_name():
+    assert isinstance(get_backend("tinydtls"), SoftwareBackend)
+    assert isinstance(get_backend("TinyCrypt"), SoftwareBackend)
+    assert isinstance(get_backend("cryptoauthlib"), HSMBackend)
+
+
+def test_get_backend_unknown_raises():
+    with pytest.raises(KeyError):
+        get_backend("openssl")
+
+
+def test_available_backends():
+    names = set(available_backends())
+    assert names == {"tinydtls", "tinycrypt", "cryptoauthlib"}
+
+
+def test_profile_calibration_deltas():
+    """Table I's library relationships must hold in the profiles."""
+    assert 1000 < TINYCRYPT.flash_bytes - TINYDTLS.flash_bytes < 1200
+    assert CRYPTOAUTHLIB.flash_bytes < TINYDTLS.flash_bytes
+    assert CRYPTOAUTHLIB.ram_bytes < TINYDTLS.ram_bytes
+    assert CRYPTOAUTHLIB.hardware and not TINYDTLS.hardware
+
+
+def test_software_backend_verifies(keypair):
+    private, public = keypair
+    backend = get_backend("tinycrypt")
+    signature = private.sign(b"msg")
+    assert backend.verify(public, signature, b"msg")
+    assert not backend.verify(public, signature, b"other")
+
+
+def test_backend_cost_accounting(keypair):
+    private, public = keypair
+    backend = get_backend("tinycrypt")
+    assert backend.elapsed_seconds() == 0.0
+    backend.verify(public, private.sign(b"m"), b"m")
+    one_verify = backend.elapsed_seconds()
+    assert one_verify >= backend.profile.verify_seconds
+    backend.verify(public, private.sign(b"m"), b"m")
+    assert backend.elapsed_seconds() > one_verify
+    backend.reset_counters()
+    assert backend.elapsed_seconds() == 0.0
+
+
+def test_backend_hash_time_scales_with_bytes():
+    backend = get_backend("tinydtls")
+    backend.digest(b"x" * 100_000)
+    small = backend.elapsed_seconds()
+    backend.digest(b"x" * 1_000_000)
+    assert backend.elapsed_seconds() > small * 5
+
+
+def test_track_hashed_counts_toward_cost():
+    backend = get_backend("tinydtls")
+    backend.track_hashed(1_450_000)
+    assert backend.elapsed_seconds() == pytest.approx(1.0)
+
+
+def test_hsm_backend_uses_stored_key(keypair):
+    private, public = keypair
+    backend = get_backend("cryptoauthlib")
+    backend.provision_key(0, public)
+    assert backend.hsm.is_locked(0)
+    signature = private.sign(b"firmware")
+    assert backend.verify(public, signature, b"firmware")
+
+
+def test_hsm_backend_falls_back_to_external(keypair):
+    private, public = keypair
+    backend = HSMBackend(hsm=ATECC508())  # nothing provisioned
+    signature = private.sign(b"firmware")
+    assert backend.verify(public, signature, b"firmware")
+
+
+def test_hsm_verify_is_faster_than_software():
+    assert CRYPTOAUTHLIB.verify_seconds < TINYCRYPT.verify_seconds / 5
+
+
+def test_digest_matches_module_sha256():
+    backend = get_backend("tinydtls")
+    assert backend.digest(b"abc") == sha256(b"abc")
+
+
+def test_verify_digest_path(keypair):
+    private, public = keypair
+    backend = get_backend("tinycrypt")
+    digest = sha256(b"payload")
+    assert backend.verify_digest(public, private.sign_digest(digest), digest)
+    assert backend.verify_count == 1

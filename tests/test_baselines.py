@@ -1,0 +1,190 @@
+"""Baseline behaviour tests: the vulnerabilities UpKit fixes must exist.
+
+These tests are the behavioural half of Sect. II: mcumgr+mcuboot-style
+chains accept replayed old images (no freshness) and reject tampered
+ones only *after* a full download and reboot; LwM2M's freshness
+guarantee collapses when no end-to-end TLS channel exists.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    Lwm2mChannel,
+    McubootBootloader,
+    McumgrAgent,
+    TlsAbort,
+    lwm2m_build,
+    mcuboot_build,
+    mcumgr_build,
+)
+from repro.core import (
+    Bootloader,
+    DeviceToken,
+    FeedStatus,
+    UpdateAgent,
+)
+from repro.net import ManifestTamperer, PayloadBitFlipper
+from repro.sim import SimulatedDevice, Testbed
+from repro.platform import NRF52840, ZEPHYR
+from tests.conftest import DEVICE_ID
+
+
+def make_baseline_testbed(firmware_gen, slot_configuration="b"):
+    """Testbed whose device runs mcumgr agent + mcuboot bootloader."""
+    fw_v1 = firmware_gen.firmware(16 * 1024, image_id=1)
+    bed = Testbed.create(initial_firmware=fw_v1,
+                         slot_configuration=slot_configuration,
+                         slot_size=64 * 1024)
+    device = bed.device
+    baseline_agent = McumgrAgent(device.profile, device.layout)
+    baseline_boot = McubootBootloader(device.profile, device.layout,
+                                      bed.anchors, device.backend)
+    device.agent = baseline_agent
+    device.bootloader = baseline_boot
+    return bed, fw_v1
+
+
+# -- mcumgr: no verification in the agent -------------------------------------------
+
+
+def test_mcumgr_stores_tampered_manifest_without_complaint(firmware_gen):
+    bed, fw_v1 = make_baseline_testbed(firmware_gen)
+    bed.release(firmware_gen.os_version_change(fw_v1, revision=2), 2)
+    outcome = bed.push_update(interceptor=ManifestTamperer())
+    # The agent accepted everything; only the bootloader (post-reboot)
+    # rejects, so the device wasted the download AND a reboot.
+    assert outcome.rebooted
+    assert outcome.booted_version == 1  # mcuboot refused the bad image
+    assert outcome.bytes_over_air > 16 * 1024
+
+
+def test_mcumgr_wastes_download_on_corrupt_payload(firmware_gen):
+    bed, fw_v1 = make_baseline_testbed(firmware_gen)
+    bed.release(firmware_gen.os_version_change(fw_v1, revision=2), 2)
+    outcome = bed.push_update(interceptor=PayloadBitFlipper(flips=64))
+    assert outcome.rebooted          # wasted reboot
+    assert outcome.booted_version == 1
+    assert bed.device.installed_version() == 1
+
+
+def test_mcumgr_accepts_valid_update(firmware_gen):
+    bed, fw_v1 = make_baseline_testbed(firmware_gen)
+    bed.release(firmware_gen.os_version_change(fw_v1, revision=2), 2)
+    outcome = bed.push_update()
+    assert outcome.success
+    assert outcome.booted_version == 2
+
+
+def test_mcumgr_null_token(firmware_gen):
+    bed, _ = make_baseline_testbed(firmware_gen)
+    token = bed.device.agent.request_token()
+    assert token.nonce == 0
+    assert token.current_version == 0  # never requests deltas
+
+
+# -- the replay / downgrade attack (the freshness gap) --------------------------------
+
+
+def test_baseline_chain_accepts_replayed_old_image(firmware_gen):
+    """mcumgr+mcuboot installs a captured, validly-signed OLD image."""
+    bed, fw_v1 = make_baseline_testbed(firmware_gen)
+    fw_v2 = firmware_gen.os_version_change(fw_v1, revision=2)
+
+    # The attacker captured the v1 full image earlier.
+    captured = bed.server.prepare_update(
+        DeviceToken(device_id=DEVICE_ID, nonce=0, current_version=0))
+
+    # Device has meanwhile been updated to v2.
+    bed.release(fw_v2, 2)
+    assert bed.push_update().booted_version == 2
+
+    # Replay the old image: the baseline chain installs the DOWNGRADE.
+    agent = bed.device.agent
+    agent.request_token()
+    status = agent.feed(captured.pack())
+    assert status is FeedStatus.FIRMWARE_COMPLETE
+    result = bed.device.reboot()
+    assert result.version == 1  # vulnerability reproduced
+
+
+def test_upkit_rejects_the_same_replay(firmware_gen):
+    """Identical attack against UpKit: refused at the manifest stage."""
+    fw_v1 = firmware_gen.firmware(16 * 1024, image_id=1)
+    bed = Testbed.create(initial_firmware=fw_v1,
+                         slot_configuration="b", slot_size=64 * 1024)
+    captured = bed.server.prepare_update(
+        DeviceToken(device_id=DEVICE_ID, nonce=0, current_version=0))
+    bed.release(firmware_gen.os_version_change(fw_v1, revision=2), 2)
+    assert bed.push_update().booted_version == 2
+
+    agent = bed.device.agent
+    agent.request_token()
+    with pytest.raises(Exception):
+        agent.feed(captured.pack())
+    assert bed.device.reboot().version == 2  # still on the new version
+
+
+# -- LwM2M channel semantics -------------------------------------------------------
+
+
+def test_lwm2m_tls_detects_tampering(firmware_gen):
+    bed, fw_v1 = make_baseline_testbed(firmware_gen)
+    bed.release(firmware_gen.os_version_change(fw_v1, revision=2), 2)
+    channel = Lwm2mChannel(interceptor=ManifestTamperer(),
+                           end_to_end_tls=True)
+    outcome = bed.pull_update(interceptor=channel)
+    assert not outcome.success
+    assert isinstance(outcome.error, TlsAbort)
+    assert channel.aborted
+
+
+def test_lwm2m_gateway_breaks_protection(firmware_gen):
+    """With a gateway in the path (no end-to-end TLS), tampering reaches
+    the device and is only caught by the bootloader after reboot."""
+    bed, fw_v1 = make_baseline_testbed(firmware_gen)
+    bed.release(firmware_gen.os_version_change(fw_v1, revision=2), 2)
+    channel = Lwm2mChannel(interceptor=PayloadBitFlipper(flips=64),
+                           end_to_end_tls=False)
+    outcome = bed.pull_update(interceptor=channel)
+    assert outcome.rebooted            # wasted reboot
+    assert outcome.booted_version == 1
+
+
+def test_lwm2m_honest_channel_passes(firmware_gen):
+    bed, fw_v1 = make_baseline_testbed(firmware_gen)
+    bed.release(firmware_gen.os_version_change(fw_v1, revision=2), 2)
+    outcome = bed.pull_update(interceptor=Lwm2mChannel())
+    assert outcome.success and outcome.booted_version == 2
+
+
+# -- footprint builds (Fig. 7 comparisons) ---------------------------------------------
+
+
+def test_mcuboot_footprint_exceeds_upkit():
+    from repro.crypto import TINYCRYPT
+    from repro.footprint import bootloader_build
+
+    upkit = bootloader_build(ZEPHYR, TINYCRYPT)
+    baseline = mcuboot_build()
+    assert baseline.flash - upkit.flash == 1600
+    assert baseline.ram - upkit.ram == 716
+
+
+def test_lwm2m_footprint_exceeds_upkit():
+    from repro.footprint import agent_build
+
+    upkit = agent_build(ZEPHYR, "pull")
+    baseline = lwm2m_build()
+    assert baseline.flash - upkit.flash == 4800
+    assert baseline.ram - upkit.ram == 2400
+
+
+def test_mcumgr_footprint_tradeoff():
+    from repro.footprint import agent_build
+
+    upkit = agent_build(ZEPHYR, "push")
+    baseline = mcumgr_build()
+    assert baseline.flash - upkit.flash == 426   # UpKit smaller in flash
+    assert upkit.ram - baseline.ram == 1200      # but larger in RAM

@@ -1,0 +1,90 @@
+"""BLE ATT/GATT framing tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import (
+    AttOpcode,
+    AttPacket,
+    BleError,
+    Command,
+    ControlCommand,
+    DEFAULT_ATT_MTU,
+    Handle,
+    Status,
+    StatusNotification,
+)
+
+
+def test_att_packet_roundtrip():
+    packet = AttPacket(AttOpcode.WRITE_COMMAND, Handle.DATA, b"payload")
+    decoded = AttPacket.decode(packet.encode())
+    assert decoded == packet
+
+
+def test_att_packet_little_endian_handle():
+    packet = AttPacket(AttOpcode.WRITE_REQUEST, 0x0010, b"")
+    encoded = packet.encode()
+    assert encoded[1:3] == b"\x10\x00"  # LE per the Bluetooth core spec
+
+
+def test_att_decode_rejects_short():
+    with pytest.raises(BleError):
+        AttPacket.decode(b"\x12\x10")
+
+
+def test_att_decode_rejects_unknown_opcode():
+    with pytest.raises(BleError):
+        AttPacket.decode(b"\x99\x10\x00")
+
+
+def test_value_fits_default_mtu():
+    ok = AttPacket(AttOpcode.WRITE_COMMAND, Handle.DATA, b"x" * 20)
+    too_big = AttPacket(AttOpcode.WRITE_COMMAND, Handle.DATA, b"x" * 21)
+    assert ok.value_fits()
+    assert not too_big.value_fits()
+    assert too_big.value_fits(att_mtu=247)  # DLE-extended MTU
+
+
+def test_default_mtu_gives_20_byte_values():
+    """The 20 B/packet of the Fig. 8a link profile comes from ATT_MTU 23."""
+    assert DEFAULT_ATT_MTU - 3 == 20
+
+
+def test_control_command_roundtrip():
+    command = ControlCommand(Command.REQUEST_TOKEN, b"\x01\x02")
+    assert ControlCommand.decode(command.encode()) == command
+
+
+def test_control_command_rejects_empty():
+    with pytest.raises(BleError):
+        ControlCommand.decode(b"")
+
+
+def test_control_command_rejects_unknown():
+    with pytest.raises(BleError):
+        ControlCommand.decode(b"\x77")
+
+
+def test_status_notification_roundtrip():
+    note = StatusNotification(Status.TOKEN, b"\x11" * 10)
+    assert StatusNotification.decode(note.encode()) == note
+
+
+def test_status_notification_rejects_unknown():
+    with pytest.raises(BleError):
+        StatusNotification.decode(b"\x55payload")
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    opcode=st.sampled_from(list(AttOpcode)),
+    handle=st.integers(min_value=0, max_value=0xFFFF),
+    value=st.binary(max_size=100),
+)
+def test_att_roundtrip_property(opcode, handle, value):
+    packet = AttPacket(opcode, handle, value)
+    assert AttPacket.decode(packet.encode()) == packet

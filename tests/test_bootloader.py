@@ -1,0 +1,209 @@
+"""Bootloader tests: A/B and static loading, rollback, power loss."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    BootError,
+    Bootloader,
+    BootMode,
+    DeviceToken,
+    ENVELOPE_SIZE,
+    NoValidImage,
+    UpdateAgent,
+    install_factory_image,
+    provision_device,
+)
+from repro.memory import FlashMemory, MemoryLayout, OpenMode
+from tests.conftest import DEVICE_ID
+
+
+@pytest.fixture()
+def boot_ab(provisioned, profile, anchors, backend):
+    _, _, layout = provisioned
+    return Bootloader(profile, layout, anchors, backend)
+
+
+def make_static_env(published, profile, anchors, backend):
+    """Static layout provisioned with the factory image."""
+    _, server = published
+    internal = FlashMemory(320 * 1024, page_size=4096, name="int")
+    layout = MemoryLayout.configuration_b(internal, 128 * 1024)
+    provision_device(server, layout.get("a"), DEVICE_ID)
+    agent = UpdateAgent(profile, layout, anchors, backend)
+    bootloader = Bootloader(profile, layout, anchors, backend)
+    return server, layout, agent, bootloader
+
+
+def stage_update(agent, server):
+    token = agent.request_token()
+    image = server.prepare_update(token)
+    agent.feed(image.pack())
+    agent.acknowledge_reboot()
+    return image
+
+
+# -- A/B mode -------------------------------------------------------------------
+
+
+def test_ab_mode_detected(boot_ab):
+    assert boot_ab.mode is BootMode.AB
+
+
+def test_ab_boots_factory_image(boot_ab):
+    result = boot_ab.boot()
+    assert result.version == 1
+    assert result.slot.name == "a"
+    assert not result.swapped
+
+
+def test_ab_boots_newest_valid_slot(provisioned, profile, anchors, backend,
+                                    fw_v2, boot_ab):
+    vendor, server, layout = provisioned
+    server.publish(vendor.release(fw_v2, 2))
+    agent = UpdateAgent(profile, layout, anchors, backend)
+    stage_update(agent, server)
+    result = boot_ab.boot()
+    assert result.version == 2
+    assert result.slot.name == "b"
+    assert not result.swapped  # A/B never copies
+
+
+def test_ab_falls_back_when_new_slot_corrupted(provisioned, profile,
+                                               anchors, backend, fw_v2,
+                                               boot_ab):
+    vendor, server, layout = provisioned
+    server.publish(vendor.release(fw_v2, 2))
+    agent = UpdateAgent(profile, layout, anchors, backend)
+    stage_update(agent, server)
+    # Corrupt one firmware byte in slot B after the agent's check
+    # (e.g. flash fault): the bootloader's re-verification catches it.
+    slot_b = layout.get("b")
+    slot_b.flash.corrupt(slot_b.offset + ENVELOPE_SIZE + 100, b"\x00")
+    result = boot_ab.boot()
+    assert result.version == 1
+    assert result.slot.name == "a"
+
+
+def test_ab_no_valid_image_raises(profile, anchors, backend, flash):
+    layout = MemoryLayout.configuration_a(flash, 128 * 1024)
+    bootloader = Bootloader(profile, layout, anchors, backend)
+    with pytest.raises(NoValidImage):
+        bootloader.boot()
+
+
+def test_power_loss_mid_download_keeps_old_firmware(provisioned, profile,
+                                                    anchors, backend,
+                                                    fw_v2, boot_ab):
+    """Interrupted propagation: the half-written slot never boots."""
+    vendor, server, layout = provisioned
+    server.publish(vendor.release(fw_v2, 2))
+    agent = UpdateAgent(profile, layout, anchors, backend)
+    token = agent.request_token()
+    image = server.prepare_update(token)
+    blob = image.pack()
+    agent.feed(blob[:len(blob) // 2])  # power lost here
+    result = boot_ab.boot()
+    assert result.version == 1
+
+
+# -- static mode ----------------------------------------------------------------
+
+
+def test_static_mode_detected(published, profile, anchors, backend):
+    _, _, _, bootloader = make_static_env(published, profile, anchors,
+                                          backend)
+    assert bootloader.mode is BootMode.STATIC
+
+
+def test_static_boot_without_staged_image(published, profile, anchors,
+                                          backend):
+    _, _, _, bootloader = make_static_env(published, profile, anchors,
+                                          backend)
+    result = bootloader.boot()
+    assert result.version == 1
+    assert not result.swapped
+
+
+def test_static_install_swaps_into_bootable_slot(published, profile,
+                                                 anchors, backend, vendor,
+                                                 fw_v2):
+    server, layout, agent, bootloader = make_static_env(
+        published, profile, anchors, backend)
+    server.publish(vendor.release(fw_v2, 2))
+    stage_update(agent, server)
+    result = bootloader.boot()
+    assert result.version == 2
+    assert result.slot.name == "a"
+    assert result.swapped and not result.rolled_back
+    assert layout.get("a").read(ENVELOPE_SIZE, len(fw_v2)) == fw_v2
+
+
+def test_static_keeps_old_image_for_rollback(published, profile, anchors,
+                                             backend, vendor, fw_v1,
+                                             fw_v2):
+    server, layout, agent, bootloader = make_static_env(
+        published, profile, anchors, backend)
+    server.publish(vendor.release(fw_v2, 2))
+    stage_update(agent, server)
+    bootloader.boot()
+    # The swap preserved the previous image in the staging slot.
+    assert layout.get("b").read(ENVELOPE_SIZE, len(fw_v1)) == fw_v1
+
+
+def test_static_stale_staged_image_not_installed(published, profile,
+                                                 anchors, backend):
+    """A staged image with an older/equal version is ignored."""
+    server, layout, agent, bootloader = make_static_env(
+        published, profile, anchors, backend)
+    # Stage a copy of version 1 (equal to what runs) directly.
+    image = server.prepare_update(
+        DeviceToken(device_id=DEVICE_ID, nonce=0, current_version=0))
+    install_factory_image(layout.get("b"), image)
+    result = bootloader.boot()
+    assert result.version == 1
+    assert not result.swapped
+
+
+def test_static_bootable_corrupt_staging_valid(published, profile, anchors,
+                                               backend, vendor, fw_v2):
+    server, layout, agent, bootloader = make_static_env(
+        published, profile, anchors, backend)
+    server.publish(vendor.release(fw_v2, 2))
+    stage_update(agent, server)
+    # Corrupt the bootable slot: the staged (newer) image still installs.
+    slot_a = layout.get("a")
+    slot_a.flash.corrupt(slot_a.offset + ENVELOPE_SIZE + 5, b"\x00\x00")
+    result = bootloader.boot()
+    assert result.version == 2
+
+
+def test_static_nothing_bootable_raises(published, profile, anchors,
+                                        backend):
+    server, layout, agent, bootloader = make_static_env(
+        published, profile, anchors, backend)
+    layout.get("a").erase()
+    with pytest.raises(NoValidImage):
+        bootloader.boot()
+
+
+# -- misc -------------------------------------------------------------------------
+
+
+def test_bootloader_self_update_refused(boot_ab):
+    with pytest.raises(BootError):
+        boot_ab.update_self()
+
+
+def test_verify_slot_rejects_garbage(boot_ab, provisioned):
+    _, _, layout = provisioned
+    slot_b = layout.get("b")
+    slot_b.open(OpenMode.WRITE_ALL).write(b"\x5A" * 4096)
+    assert boot_ab.verify_slot(slot_b) is None
+
+
+def test_verify_slot_accepts_factory_image(boot_ab, provisioned):
+    _, _, layout = provisioned
+    envelope = boot_ab.verify_slot(layout.get("a"))
+    assert envelope is not None and envelope.manifest.version == 1

@@ -1,0 +1,147 @@
+"""CBOR codec tests (RFC 8949 subset)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.suit import CborError, Tag, dumps, loads
+
+
+# RFC 8949 Appendix A test vectors (the subset we implement).
+RFC_VECTORS = [
+    (0, "00"),
+    (1, "01"),
+    (10, "0a"),
+    (23, "17"),
+    (24, "1818"),
+    (25, "1819"),
+    (100, "1864"),
+    (1000, "1903e8"),
+    (1000000, "1a000f4240"),
+    (1000000000000, "1b000000e8d4a51000"),
+    (-1, "20"),
+    (-10, "29"),
+    (-100, "3863"),
+    (-1000, "3903e7"),
+    (b"", "40"),
+    (b"\x01\x02\x03\x04", "4401020304"),
+    ("", "60"),
+    ("a", "6161"),
+    ("IETF", "6449455446"),
+    ("ü", "62c3bc"),
+    ([], "80"),
+    ([1, 2, 3], "83010203"),
+    ([1, [2, 3], [4, 5]], "8301820203820405"),
+    ({}, "a0"),
+    ({1: 2, 3: 4}, "a201020304"),
+    ({"a": 1, "b": [2, 3]}, "a26161016162820203"),
+    (False, "f4"),
+    (True, "f5"),
+    (None, "f6"),
+]
+
+
+@pytest.mark.parametrize("value,expected_hex", RFC_VECTORS,
+                         ids=[repr(v)[:24] for v, _ in RFC_VECTORS])
+def test_rfc8949_vectors_encode(value, expected_hex):
+    assert dumps(value).hex() == expected_hex
+
+
+@pytest.mark.parametrize("value,encoded_hex", RFC_VECTORS,
+                         ids=[repr(v)[:24] for v, _ in RFC_VECTORS])
+def test_rfc8949_vectors_decode(value, encoded_hex):
+    assert loads(bytes.fromhex(encoded_hex)) == value
+
+
+def test_tag_roundtrip():
+    tagged = Tag(18, [b"protected", {}, b"payload", b"sig"])
+    assert loads(dumps(tagged)) == tagged
+
+
+def test_tag_vector():
+    # Tag 2 (unsigned bignum) over a byte string, RFC 8949 A.
+    assert dumps(Tag(2, b"\x01\x02")).hex() == "c2420102"
+
+
+def test_canonical_map_ordering():
+    """Keys sort by encoded bytes, so int keys order numerically."""
+    assert dumps({10: 0, 1: 0, 100: 0}) == dumps({1: 0, 10: 0, 100: 0})
+    encoded = dumps({100: 0, 1: 0})
+    assert encoded.index(b"\x01") < encoded.index(b"\x18\x64")
+
+
+def test_decode_rejects_trailing_bytes():
+    with pytest.raises(CborError):
+        loads(dumps(1) + b"\x00")
+
+
+def test_decode_rejects_truncation():
+    encoded = dumps({"key": b"value bytes"})
+    for cut in range(1, len(encoded)):
+        with pytest.raises(CborError):
+            loads(encoded[:cut])
+
+
+def test_decode_rejects_indefinite_length():
+    with pytest.raises(CborError):
+        loads(b"\x5f\x41\x01\xff")  # indefinite byte string
+
+
+def test_decode_rejects_duplicate_keys():
+    with pytest.raises(CborError):
+        loads(b"\xa2\x01\x02\x01\x03")  # {1:2, 1:3}
+
+
+def test_decode_rejects_float():
+    with pytest.raises(CborError):
+        loads(b"\xf9\x3c\x00")  # half-precision 1.0
+
+
+def test_encode_rejects_unsupported_type():
+    with pytest.raises(CborError):
+        dumps(1.5)
+    with pytest.raises(CborError):
+        dumps(object())
+
+
+def test_encode_rejects_oversized_int():
+    with pytest.raises(CborError):
+        dumps(2 ** 64)
+
+
+def test_invalid_utf8_rejected():
+    with pytest.raises(CborError):
+        loads(b"\x62\xff\xfe")
+
+
+cbor_values = st.recursive(
+    st.one_of(
+        st.integers(min_value=-2 ** 63, max_value=2 ** 63),
+        st.binary(max_size=40),
+        st.text(max_size=20),
+        st.booleans(),
+        st.none(),
+    ),
+    lambda children: st.one_of(
+        st.lists(children, max_size=5),
+        st.dictionaries(
+            st.one_of(st.integers(min_value=0, max_value=1000),
+                      st.text(max_size=8)),
+            children, max_size=5),
+    ),
+    max_leaves=20,
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(cbor_values)
+def test_roundtrip_property(value):
+    assert loads(dumps(value)) == value
+
+
+@settings(max_examples=40, deadline=None)
+@given(cbor_values)
+def test_encoding_is_deterministic(value):
+    assert dumps(value) == dumps(value)

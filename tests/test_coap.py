@@ -1,0 +1,223 @@
+"""CoAP codec and blockwise-transfer tests (RFC 7252 / 7959)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import (
+    Block,
+    CoapCode,
+    CoapError,
+    CoapMessage,
+    CoapOption,
+    CoapResourceServer,
+    CoapType,
+    blockwise_get,
+)
+
+
+def make_get(path="fw", mid=7, token=b"\xAB") -> CoapMessage:
+    message = CoapMessage(mtype=CoapType.CON, code=CoapCode.GET,
+                          message_id=mid, token=token)
+    message.add_option(CoapOption.URI_PATH, path.encode())
+    return message
+
+
+# -- message codec --------------------------------------------------------------
+
+
+def test_roundtrip_simple():
+    message = make_get()
+    decoded = CoapMessage.decode(message.encode())
+    assert decoded.mtype == CoapType.CON
+    assert decoded.code == CoapCode.GET
+    assert decoded.message_id == 7
+    assert decoded.token == b"\xAB"
+    assert decoded.uri_path() == "fw"
+
+
+def test_roundtrip_with_payload():
+    message = make_get()
+    message.payload = b"chunk data"
+    decoded = CoapMessage.decode(message.encode())
+    assert decoded.payload == b"chunk data"
+
+
+def test_roundtrip_multi_segment_path():
+    message = CoapMessage(mtype=CoapType.CON, code=CoapCode.GET,
+                          message_id=1)
+    message.add_option(CoapOption.URI_PATH, b"api")
+    message.add_option(CoapOption.URI_PATH, b"v1")
+    message.add_option(CoapOption.URI_PATH, b"firmware")
+    assert CoapMessage.decode(message.encode()).uri_path() \
+        == "api/v1/firmware"
+
+
+def test_option_delta_extended_encoding():
+    """Options with number gaps > 12 use the extended delta byte."""
+    message = CoapMessage(mtype=CoapType.NON, code=CoapCode.GET,
+                          message_id=2)
+    message.add_option(CoapOption.URI_PATH, b"x")      # 11
+    message.add_option(CoapOption.BLOCK2, b"\x06")     # 23: delta 12
+    message.add_option(CoapOption.SIZE2, b"\x00\x10")  # 28
+    message.add_option(100, b"custom")                 # big delta: ext
+    decoded = CoapMessage.decode(message.encode())
+    assert decoded.option(100) == b"custom"
+    assert decoded.option(CoapOption.SIZE2) == b"\x00\x10"
+
+
+def test_long_option_value_extended_length():
+    message = CoapMessage(mtype=CoapType.CON, code=CoapCode.GET,
+                          message_id=3)
+    message.add_option(CoapOption.URI_QUERY, b"q" * 300)
+    decoded = CoapMessage.decode(message.encode())
+    assert decoded.option(CoapOption.URI_QUERY) == b"q" * 300
+
+
+def test_decode_rejects_short_header():
+    with pytest.raises(CoapError):
+        CoapMessage.decode(b"\x40\x01")
+
+
+def test_decode_rejects_bad_version():
+    blob = bytearray(make_get().encode())
+    blob[0] = (2 << 6) | (blob[0] & 0x3F)
+    with pytest.raises(CoapError):
+        CoapMessage.decode(bytes(blob))
+
+
+def test_decode_rejects_payload_marker_without_payload():
+    blob = make_get().encode() + b"\xFF"
+    with pytest.raises(CoapError):
+        CoapMessage.decode(blob)
+
+
+def test_token_length_validation():
+    with pytest.raises(CoapError):
+        CoapMessage(mtype=CoapType.CON, code=CoapCode.GET,
+                    message_id=1, token=b"x" * 9)
+
+
+def test_message_id_validation():
+    with pytest.raises(CoapError):
+        CoapMessage(mtype=CoapType.CON, code=CoapCode.GET,
+                    message_id=70000)
+
+
+# -- Block option ----------------------------------------------------------------
+
+
+@pytest.mark.parametrize("num,more,size", [
+    (0, False, 16), (0, True, 64), (5, True, 64), (1000, False, 1024),
+])
+def test_block_roundtrip(num, more, size):
+    block = Block(num=num, more=more, size=size)
+    assert Block.decode(block.encode()) == block
+
+
+def test_block_zero_encodes_empty():
+    assert Block(num=0, more=False, size=16).encode() == b""
+    assert Block.decode(b"") == Block(num=0, more=False, size=16)
+
+
+def test_block_rejects_bad_size():
+    with pytest.raises(CoapError):
+        Block(num=0, more=False, size=100)
+
+
+def test_block_rejects_reserved_szx():
+    with pytest.raises(CoapError):
+        Block.decode(b"\x07")
+
+
+# -- resource server ---------------------------------------------------------------
+
+
+@pytest.fixture()
+def server():
+    srv = CoapResourceServer()
+    srv.register("small", b"tiny")
+    srv.register("big", bytes(range(256)) * 4)  # 1024 bytes
+    srv.register("echo-query", lambda query: b"query=" + query)
+    return srv
+
+
+def test_get_small_resource(server):
+    response = CoapMessage.decode(server.handle(make_get("small").encode()))
+    assert response.code == CoapCode.CONTENT
+    assert response.payload == b"tiny"
+    assert response.block2() == Block(num=0, more=False, size=64)
+
+
+def test_not_found(server):
+    response = CoapMessage.decode(
+        server.handle(make_get("missing").encode()))
+    assert response.code == CoapCode.NOT_FOUND
+
+
+def test_non_get_rejected(server):
+    message = make_get("small")
+    message.code = CoapCode.POST
+    response = CoapMessage.decode(server.handle(message.encode()))
+    assert response.code == CoapCode.BAD_REQUEST
+
+
+def test_blockwise_get_reassembles(server):
+    assert blockwise_get(server, "big", block_size=64) \
+        == bytes(range(256)) * 4
+    assert blockwise_get(server, "big", block_size=256) \
+        == bytes(range(256)) * 4
+
+
+def test_blockwise_get_callback_counts_exchanges(server):
+    exchanges = []
+    blockwise_get(server, "big", block_size=128,
+                  on_exchange=lambda req, rsp: exchanges.append(
+                      (len(req), len(rsp))))
+    assert len(exchanges) == 1024 // 128
+
+
+def test_callable_resource_receives_query(server):
+    body = blockwise_get(server, "echo-query", query=b"abc123")
+    assert body == b"query=abc123"
+
+
+def test_block_out_of_range(server):
+    message = make_get("small")
+    message.add_option(CoapOption.BLOCK2,
+                       Block(num=99, more=False, size=64).encode())
+    response = CoapMessage.decode(server.handle(message.encode()))
+    assert response.code == CoapCode.BAD_REQUEST
+
+
+def test_response_echoes_token_and_mid(server):
+    request = make_get("small", mid=1234, token=b"\x01\x02")
+    response = CoapMessage.decode(server.handle(request.encode()))
+    assert response.message_id == 1234
+    assert response.token == b"\x01\x02"
+    assert response.mtype == CoapType.ACK
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    mid=st.integers(min_value=0, max_value=0xFFFF),
+    token=st.binary(max_size=8),
+    payload=st.binary(max_size=300),
+    options=st.lists(
+        st.tuples(st.integers(min_value=1, max_value=2000),
+                  st.binary(max_size=50)),
+        max_size=5),
+)
+def test_roundtrip_property(mid, token, payload, options):
+    message = CoapMessage(mtype=CoapType.NON, code=CoapCode.CONTENT,
+                          message_id=mid, token=token, payload=payload)
+    for number, value in options:
+        message.add_option(number, value)
+    decoded = CoapMessage.decode(message.encode())
+    assert decoded.message_id == mid
+    assert decoded.token == token
+    assert decoded.payload == payload
+    assert sorted(decoded.options) == sorted(
+        (n, v) for n, v in message.options)

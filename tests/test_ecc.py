@@ -1,0 +1,108 @@
+"""secp256r1 curve arithmetic tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import CurveError, P256
+from repro.crypto.ecc import INFINITY, Point
+
+G = P256.generator
+
+
+def test_generator_is_on_curve():
+    assert P256.contains(G)
+
+
+def test_infinity_is_on_curve():
+    assert P256.contains(INFINITY)
+    assert INFINITY.is_infinity
+
+
+def test_off_curve_point_rejected():
+    assert not P256.contains(Point(G.x, (G.y + 1) % P256.p))
+
+
+def test_group_order():
+    assert P256.multiply(P256.n, G).is_infinity
+
+
+def test_add_identity():
+    assert P256.add(G, INFINITY) == G
+    assert P256.add(INFINITY, G) == G
+
+
+def test_add_inverse_is_infinity():
+    neg = Point(G.x, (-G.y) % P256.p)
+    assert P256.add(G, neg).is_infinity
+
+
+def test_doubling_matches_addition():
+    assert P256.add(G, G) == P256.multiply(2, G)
+
+
+def test_scalar_multiplication_distributes():
+    lhs = P256.multiply(7, G)
+    rhs = P256.add(P256.multiply(3, G), P256.multiply(4, G))
+    assert lhs == rhs
+
+
+def test_multiply_zero_gives_infinity():
+    assert P256.multiply(0, G).is_infinity
+
+
+def test_multiply_known_vector():
+    # 2G for P-256, from the NIST/SECG point-multiplication test vectors.
+    two_g = P256.multiply(2, G)
+    assert two_g.x == int(
+        "7CF27B188D034F7E8A52380304B51AC3C08969E277F21B35A60B48FC47669978",
+        16)
+    assert two_g.y == int(
+        "07775510DB8ED040293D9AC69F7430DBBA7DADE63CE982299E04B79D227873D1",
+        16)
+
+
+def test_encode_decode_roundtrip():
+    point = P256.multiply(12345, G)
+    assert P256.decode(point.encode()) == point
+
+
+def test_decode_rejects_bad_prefix():
+    encoded = bytearray(G.encode())
+    encoded[0] = 0x02
+    with pytest.raises(CurveError):
+        P256.decode(bytes(encoded))
+
+
+def test_decode_rejects_wrong_length():
+    with pytest.raises(CurveError):
+        P256.decode(G.encode()[:-1])
+
+
+def test_decode_rejects_off_curve():
+    encoded = bytearray(G.encode())
+    encoded[64] ^= 1
+    with pytest.raises(CurveError):
+        P256.decode(bytes(encoded))
+
+
+def test_encode_infinity_raises():
+    with pytest.raises(CurveError):
+        INFINITY.encode()
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=1, max_value=P256.n - 1),
+       st.integers(min_value=1, max_value=P256.n - 1))
+def test_double_multiply_matches_naive(u1, u2):
+    point = P256.multiply(999, G)
+    expected = P256.add(P256.multiply(u1, G), P256.multiply(u2, point))
+    assert P256.double_multiply(u1, u2, point) == expected
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=1, max_value=P256.n - 1))
+def test_multiply_wraps_modulo_order(k):
+    assert P256.multiply(k, G) == P256.multiply(k + P256.n, G)

@@ -1,0 +1,207 @@
+"""Integration tests: whole-system update flows across configurations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    DeviceProfile,
+    ENVELOPE_SIZE,
+    TrustAnchors,
+    UpdateAgent,
+    UpdateServer,
+    VendorServer,
+    make_test_identities,
+    provision_device,
+)
+from repro.crypto import StreamCipher, get_backend
+from repro.memory import FileSlot, MemoryLayout, OpenMode
+from repro.platform import CC2538, CC2650, NRF52840, CONTIKI, RIOT, ZEPHYR
+from repro.sim import Testbed
+from tests.conftest import APP_ID, DEVICE_ID, LINK_OFFSET
+
+
+@pytest.mark.parametrize("board,os_profile,crypto", [
+    (NRF52840, ZEPHYR, "tinycrypt"),
+    (CC2538, RIOT, "tinydtls"),
+    (CC2650, CONTIKI, "cryptoauthlib"),
+], ids=["nrf52840-zephyr", "cc2538-riot", "cc2650-contiki"])
+def test_pull_update_across_platforms(board, os_profile, crypto,
+                                      firmware_gen):
+    """The portability claim: the same flow works on every port."""
+    fw_v1 = firmware_gen.firmware(12 * 1024, image_id=1)
+    bed = Testbed.create(
+        board=board, os_profile=os_profile, crypto_library=crypto,
+        slot_configuration="b" if board is CC2650 else "a",
+        slot_size=48 * 1024, initial_firmware=fw_v1,
+    )
+    bed.release(firmware_gen.os_version_change(fw_v1, revision=2), 2)
+    outcome = bed.pull_update()
+    assert outcome.success and outcome.booted_version == 2
+
+
+def test_three_version_chain_with_deltas(firmware_gen):
+    """v1 → v2 → v3, each step a differential update."""
+    fw = firmware_gen.firmware(20 * 1024, image_id=1)
+    bed = Testbed.create(initial_firmware=fw, slot_size=64 * 1024)
+    current = fw
+    for version in (2, 3):
+        current = firmware_gen.os_version_change(current, revision=version)
+        bed.release(current, version)
+        outcome = bed.push_update()
+        assert outcome.success and outcome.booted_version == version
+        assert bed.server.stats.delta_updates == version - 1
+
+
+def test_update_skipping_versions(firmware_gen):
+    """Device on v1, server publishes v2 and v3: it jumps straight to v3."""
+    fw_v1 = firmware_gen.firmware(16 * 1024, image_id=1)
+    bed = Testbed.create(initial_firmware=fw_v1, slot_size=64 * 1024)
+    fw_v2 = firmware_gen.os_version_change(fw_v1, revision=2)
+    fw_v3 = firmware_gen.os_version_change(fw_v2, revision=3)
+    bed.release(fw_v2, 2)
+    bed.release(fw_v3, 3)
+    outcome = bed.push_update()
+    assert outcome.booted_version == 3
+    # Delta was computed against v1, which the server still has.
+    assert bed.server.stats.delta_updates == 1
+
+
+def test_ab_alternates_slots(firmware_gen):
+    fw = firmware_gen.firmware(16 * 1024, image_id=1)
+    bed = Testbed.create(initial_firmware=fw, slot_size=64 * 1024)
+    slots = []
+    current = fw
+    for version in (2, 3):
+        current = firmware_gen.app_functionality_change(current,
+                                                        revision=version)
+        bed.release(current, version)
+        outcome = bed.push_update()
+        assert outcome.success
+        result = bed.device.bootloader.boot()
+        slots.append(result.slot.name)
+    assert slots == ["b", "a"]  # ping-pong between the two bootable slots
+
+
+def test_static_config_full_cycle(firmware_gen):
+    fw_v1 = firmware_gen.firmware(16 * 1024, image_id=1)
+    bed = Testbed.create(initial_firmware=fw_v1, slot_configuration="b",
+                         slot_size=64 * 1024)
+    fw_v2 = firmware_gen.os_version_change(fw_v1, revision=2)
+    bed.release(fw_v2, 2)
+    outcome = bed.pull_update()
+    assert outcome.success and outcome.booted_version == 2
+    # In static mode the bootable slot was rewritten via a swap.
+    slot_a = bed.device.layout.get("a")
+    assert slot_a.read(ENVELOPE_SIZE, len(fw_v2)) == fw_v2
+
+
+def test_encrypted_update_end_to_end(firmware_gen):
+    """The future-work extension: confidentiality via the pipeline."""
+    key, nonce = b"shared-secret-k!", b"per-device-nonce"
+    vendor_id, server_id, anchors = make_test_identities()
+    vendor = VendorServer(vendor_id, app_id=APP_ID,
+                          link_offset=LINK_OFFSET)
+    server = UpdateServer(server_id,
+                          cipher=StreamCipher(key, nonce))
+    fw_v1 = firmware_gen.firmware(12 * 1024, image_id=1)
+    fw_v2 = firmware_gen.os_version_change(fw_v1, revision=2)
+    server.publish(vendor.release(fw_v1, 1))
+
+    board = NRF52840
+    internal = board.make_internal_flash()
+    layout = MemoryLayout.configuration_a(internal, 64 * 1024)
+    profile = DeviceProfile(device_id=DEVICE_ID, app_id=APP_ID,
+                            link_offset=LINK_OFFSET)
+    provision_device_encrypted(server, layout, profile, key, nonce)
+
+    agent = UpdateAgent(profile, layout, anchors,
+                        get_backend("tinycrypt"),
+                        cipher=StreamCipher(key, nonce))
+    server.publish(vendor.release(fw_v2, 2))
+    token = agent.request_token()
+    image = server.prepare_update(token)
+    assert image.manifest.is_encrypted
+    assert image.payload != fw_v2  # confidentiality on the wire
+    status = agent.feed(image.pack())
+    from repro.core import FeedStatus
+    assert status is FeedStatus.FIRMWARE_COMPLETE
+    assert agent.staged_slot.read(ENVELOPE_SIZE, len(fw_v2)) == fw_v2
+
+
+def provision_device_encrypted(server, layout, profile, key, nonce):
+    """Install the factory image, decrypting the payload first."""
+    from repro.core import DeviceToken, install_factory_image, UpdateImage
+    from repro.core.image import SignedManifest
+
+    token = DeviceToken(device_id=profile.device_id, nonce=0,
+                        current_version=0)
+    image = server.prepare_update(token)
+    plaintext = StreamCipher(key, nonce).derive(
+        token.pack()).process(image.payload)
+    slot = layout.get("a")
+    handle = slot.open(OpenMode.WRITE_ALL)
+    handle.write(image.envelope.pack())
+    handle.write(plaintext)
+    handle.close()
+
+
+def test_file_backed_slots_support_host_testing(tmp_path, firmware_gen,
+                                                identities):
+    """The paper: file-backed slots allow testing without a simulator."""
+    vendor_id, server_id, anchors = identities
+    vendor = VendorServer(vendor_id, app_id=APP_ID,
+                          link_offset=LINK_OFFSET)
+    server = UpdateServer(server_id)
+    fw = firmware_gen.firmware(8 * 1024, image_id=1)
+    server.publish(vendor.release(fw, 1))
+    image = server.prepare_update(
+        __import__("repro.core", fromlist=["DeviceToken"]).DeviceToken(
+            device_id=DEVICE_ID, nonce=0, current_version=0))
+
+    slot = FileSlot(tmp_path / "slot-a.bin", size=64 * 1024, bootable=True)
+    handle = slot.open(OpenMode.WRITE_ALL)
+    handle.write(image.envelope.pack())
+    handle.write(image.payload)
+    handle.close()
+
+    # A second process (fresh object) can re-open and verify the content.
+    reopened = FileSlot(tmp_path / "slot-a.bin", size=64 * 1024)
+    assert reopened.read(ENVELOPE_SIZE, len(fw)) == fw
+
+
+def test_concurrent_devices_get_distinct_images(firmware_gen):
+    """Two devices updating from one server receive request-bound images."""
+    fw = firmware_gen.firmware(8 * 1024, image_id=1)
+    bed_a = Testbed.create(initial_firmware=fw, device_id=0x01,
+                           slot_size=64 * 1024)
+    fw2 = firmware_gen.os_version_change(fw, revision=2)
+    bed_a.release(fw2, 2)
+
+    bed_b = Testbed.create(initial_firmware=fw, device_id=0x02,
+                           slot_size=64 * 1024)
+    bed_b.release(fw2, 2)
+
+    token_a = bed_a.device.agent.request_token()
+    token_b = bed_b.device.agent.request_token()
+    image_a = bed_a.server.prepare_update(token_a)
+    image_b = bed_b.server.prepare_update(token_b)
+    assert image_a.manifest.device_id != image_b.manifest.device_id
+    assert image_a.envelope.pack() != image_b.envelope.pack()
+
+    # Cross-delivery fails: device B refuses device A's image.
+    from repro.core import WrongDevice
+    with pytest.raises(WrongDevice):
+        bed_b.device.agent.feed(image_a.envelope.pack())
+
+
+def test_update_statistics_align(firmware_gen):
+    fw = firmware_gen.firmware(8 * 1024, image_id=1)
+    bed = Testbed.create(initial_firmware=fw, slot_size=64 * 1024)
+    bed.release(firmware_gen.os_version_change(fw, revision=2), 2)
+    outcome = bed.push_update()
+    agent_stats = bed.device.agent.stats
+    assert outcome.success
+    assert agent_stats.updates_completed == 1
+    assert agent_stats.payload_bytes > 0
+    assert bed.server.stats.requests >= 2  # factory + update

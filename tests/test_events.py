@@ -1,0 +1,129 @@
+"""Event-log and emission-sequence tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import UpdateAgent
+from repro.core.events import EventKind, EventLog, UpdateEvent
+from repro.net import ManifestTamperer, ReplayAttacker
+from repro.sim import Testbed
+from repro.workload import FirmwareGenerator
+
+IMAGE_SIZE = 12 * 1024
+
+
+@pytest.fixture()
+def testbed():
+    gen = FirmwareGenerator(seed=b"events")
+    fw_v1 = gen.firmware(IMAGE_SIZE, image_id=1)
+    bed = Testbed.create(initial_firmware=fw_v1, slot_size=64 * 1024)
+    bed.release(gen.os_version_change(fw_v1, revision=2), 2)
+    return bed
+
+
+# -- the log itself ---------------------------------------------------------------
+
+
+def test_log_append_and_query():
+    log = EventLog()
+    log.emit("agent", EventKind.TOKEN_ISSUED, nonce=5)
+    log.emit("agent", EventKind.MANIFEST_VERIFIED, version=2)
+    assert len(log) == 2
+    assert log.last().kind is EventKind.MANIFEST_VERIFIED
+    assert log.of_kind(EventKind.TOKEN_ISSUED)[0].detail["nonce"] == 5
+    assert log.kinds() == [EventKind.TOKEN_ISSUED,
+                           EventKind.MANIFEST_VERIFIED]
+
+
+def test_log_bounded_capacity():
+    log = EventLog(capacity=3)
+    for index in range(5):
+        log.emit("agent", EventKind.TOKEN_ISSUED, i=index)
+    assert len(log) == 3
+    assert log.dropped == 2
+    # The most recent events survive.
+    assert [event.detail["i"] for event in log.all()] == [2, 3, 4]
+
+
+def test_log_capacity_validation():
+    with pytest.raises(ValueError):
+        EventLog(capacity=0)
+
+
+def test_log_clear():
+    log = EventLog()
+    log.emit("agent", EventKind.TOKEN_ISSUED)
+    log.clear()
+    assert len(log) == 0 and log.last() is None
+
+
+def test_event_is_frozen():
+    event = UpdateEvent("agent", EventKind.TOKEN_ISSUED, {})
+    with pytest.raises(AttributeError):
+        event.kind = EventKind.SLOT_CLEANED  # type: ignore[misc]
+
+
+# -- emission sequences ----------------------------------------------------------------
+
+
+def test_successful_update_event_sequence(testbed):
+    outcome = testbed.push_update()
+    assert outcome.success
+    agent_kinds = testbed.device.agent.events.kinds()
+    assert agent_kinds == [
+        EventKind.TOKEN_ISSUED,
+        EventKind.MANIFEST_VERIFIED,
+        EventKind.FIRMWARE_VERIFIED,
+        EventKind.READY_TO_REBOOT,
+    ]
+    boot_events = testbed.device.bootloader.events
+    selected = boot_events.of_kind(EventKind.BOOT_SELECTED)
+    assert selected and selected[-1].detail["version"] == 2
+
+
+def test_rejected_update_event_sequence(testbed):
+    testbed.push_update(interceptor=ManifestTamperer())
+    kinds = testbed.device.agent.events.kinds()
+    assert EventKind.UPDATE_REJECTED in kinds
+    assert EventKind.SLOT_CLEANED in kinds
+    assert EventKind.MANIFEST_VERIFIED not in kinds
+    rejection = testbed.device.agent.events.of_kind(
+        EventKind.UPDATE_REJECTED)[0]
+    assert rejection.detail["reason"] == "SignatureInvalid"
+    assert rejection.detail["after_payload_bytes"] == 0
+
+
+def test_replay_rejection_names_token_mismatch(testbed):
+    token = testbed.device.agent.request_token()
+    captured = testbed.server.prepare_update(token)
+    testbed.device.agent.cancel()
+    testbed.push_update(interceptor=ReplayAttacker(captured))
+    rejection = testbed.device.agent.events.of_kind(
+        EventKind.UPDATE_REJECTED)[-1]
+    assert rejection.detail["reason"] == "TokenMismatch"
+
+
+def test_static_install_emits_swap_events():
+    gen = FirmwareGenerator(seed=b"events2")
+    fw_v1 = gen.firmware(IMAGE_SIZE, image_id=1)
+    bed = Testbed.create(initial_firmware=fw_v1, slot_configuration="b",
+                         slot_size=64 * 1024)
+    bed.release(gen.os_version_change(fw_v1, revision=2), 2)
+    outcome = bed.push_update()
+    assert outcome.success
+    kinds = bed.device.bootloader.events.kinds()
+    assert EventKind.SWAP_STARTED in kinds
+    assert kinds[-1] is EventKind.BOOT_SELECTED
+
+
+def test_shared_event_log_merges_sources(testbed):
+    """Agent and bootloader can share one device-wide log."""
+    shared = EventLog()
+    device = testbed.device
+    device.agent.events = shared
+    device.bootloader.events = shared
+    outcome = testbed.push_update()
+    assert outcome.success
+    sources = {event.source for event in shared.all()}
+    assert sources == {"agent", "bootloader"}

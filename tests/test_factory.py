@@ -1,0 +1,66 @@
+"""Factory-provisioning tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    Bootloader,
+    ENVELOPE_SIZE,
+    FACTORY_NONCE,
+    UpdateAgent,
+    inspect_slot,
+    install_factory_image,
+    make_factory_image,
+    provision_device,
+)
+from tests.conftest import DEVICE_ID
+
+
+def test_factory_image_uses_reserved_nonce(published):
+    _, server = published
+    image = make_factory_image(server, DEVICE_ID)
+    assert image.manifest.nonce == FACTORY_NONCE
+    assert image.manifest.device_id == DEVICE_ID
+    assert not image.manifest.is_delta
+
+
+def test_install_writes_envelope_and_firmware(published, ab_layout, fw_v1):
+    _, server = published
+    image = make_factory_image(server, DEVICE_ID)
+    install_factory_image(ab_layout.get("a"), image)
+    slot = ab_layout.get("a")
+    stored = inspect_slot(slot)
+    assert stored is not None and stored.manifest.version == 1
+    assert slot.read(ENVELOPE_SIZE, len(fw_v1)) == fw_v1
+
+
+def test_provision_device_boots(published, ab_layout, profile, anchors,
+                                backend):
+    _, server = published
+    provision_device(server, ab_layout.get("a"), DEVICE_ID)
+    bootloader = Bootloader(profile, ab_layout, anchors, backend)
+    assert bootloader.boot().version == 1
+
+
+def test_factory_nonce_never_issued_by_agent(provisioned, profile, anchors,
+                                             backend):
+    _, _, layout = provisioned
+    agent = UpdateAgent(profile, layout, anchors, backend)
+    for _ in range(50):
+        token = agent.request_token()
+        assert token.nonce != FACTORY_NONCE
+        agent.cancel()
+
+
+def test_factory_image_cannot_answer_live_request(provisioned, profile,
+                                                  anchors, backend):
+    """Replaying the factory image against a live token must fail."""
+    from repro.core import TokenMismatch, make_factory_image as make
+
+    _, server, layout = provisioned
+    agent = UpdateAgent(profile, layout, anchors, backend)
+    agent.request_token()
+    factory = make(server, DEVICE_ID)
+    with pytest.raises(Exception):  # TokenMismatch or StaleVersion
+        agent.feed(factory.envelope.pack())

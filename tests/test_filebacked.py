@@ -1,0 +1,93 @@
+"""File-backed slot tests (the paper's 'assign a Linux file to each slot')."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.memory import FileSlot, OpenMode, SlotIOError
+
+
+@pytest.fixture()
+def slot(tmp_path):
+    return FileSlot(tmp_path / "slot-a.bin", size=8192, bootable=True)
+
+
+def test_creates_file_filled_with_ff(slot, tmp_path):
+    path = tmp_path / "slot-a.bin"
+    assert path.exists()
+    assert path.read_bytes() == b"\xff" * 8192
+
+
+def test_reopen_existing_file(tmp_path):
+    FileSlot(tmp_path / "s.bin", size=4096)
+    again = FileSlot(tmp_path / "s.bin", size=4096)
+    assert again.size == 4096
+
+
+def test_reopen_with_wrong_size_rejected(tmp_path):
+    FileSlot(tmp_path / "s.bin", size=4096)
+    with pytest.raises(SlotIOError):
+        FileSlot(tmp_path / "s.bin", size=8192)
+
+
+def test_write_persists_to_disk(slot, tmp_path):
+    handle = slot.open(OpenMode.WRITE_ALL)
+    handle.write(b"persistent image")
+    assert (tmp_path / "slot-a.bin").read_bytes()[:16] == b"persistent image"
+
+
+def test_read_modes(slot):
+    slot.open(OpenMode.WRITE_ALL).write(b"0123456789")
+    handle = slot.open(OpenMode.READ_ONLY)
+    assert handle.read(4) == b"0123"
+    assert handle.read_at(6, 4) == b"6789"
+    handle.seek(8)
+    # Reads clamp at the slot boundary; unwritten bytes read back erased.
+    assert handle.read(10) == b"89" + b"\xff" * 8
+
+
+def test_read_only_rejects_write(slot):
+    with pytest.raises(SlotIOError):
+        slot.open(OpenMode.READ_ONLY).write(b"x")
+
+
+def test_write_overflow_rejected(slot):
+    handle = slot.open(OpenMode.WRITE_ALL)
+    handle.seek(slot.size - 2)
+    with pytest.raises(SlotIOError):
+        handle.write(b"xxxx")
+
+
+def test_erase_resets_content(slot):
+    slot.open(OpenMode.WRITE_ALL).write(b"data")
+    slot.erase()
+    assert slot.read(0, 4) == b"\xff\xff\xff\xff"
+
+
+def test_invalidate_clears_head(slot):
+    slot.open(OpenMode.WRITE_ALL).write(b"\x00" * 8192)
+    slot.invalidate()
+    assert slot.read(0, 16) == b"\xff" * 16
+
+
+def test_closed_handle(slot):
+    handle = slot.open(OpenMode.READ_ONLY)
+    handle.close()
+    with pytest.raises(SlotIOError):
+        handle.read(1)
+
+
+def test_context_manager(slot):
+    with slot.open(OpenMode.WRITE_ALL) as handle:
+        handle.write(b"ctx")
+    assert slot.read(0, 3) == b"ctx"
+
+
+def test_invalid_size():
+    with pytest.raises(ValueError):
+        FileSlot("whatever.bin", size=0)
+
+
+def test_name_defaults_to_basename(tmp_path):
+    slot = FileSlot(tmp_path / "my-slot.bin", size=4096)
+    assert slot.name == "my-slot.bin"

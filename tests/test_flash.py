@@ -1,0 +1,150 @@
+"""Simulated NOR flash tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory import FlashError, FlashMemory, FlashTiming
+
+
+@pytest.fixture()
+def device():
+    return FlashMemory(64 * 1024, page_size=4096, name="test-flash")
+
+
+def test_starts_erased(device):
+    assert device.is_erased(0, device.size)
+    assert device.read(100, 4) == b"\xff\xff\xff\xff"
+
+
+def test_write_and_read(device):
+    device.write(0, b"hello")
+    assert device.read(0, 5) == b"hello"
+
+
+def test_write_can_only_clear_bits(device):
+    device.write(0, b"\x0f")
+    device.write(0, b"\x0e")  # 0x0f -> 0x0e clears a bit: legal
+    assert device.read(0, 1) == b"\x0e"
+    with pytest.raises(FlashError):
+        device.write(0, b"\x0f")  # would set bit 0 back: illegal
+
+
+def test_write_requires_erase(device):
+    device.write(0, b"\x00\x00")
+    with pytest.raises(FlashError):
+        device.write(0, b"\x01\x01")
+    device.erase_page(0)
+    device.write(0, b"\x01\x01")
+    assert device.read(0, 2) == b"\x01\x01"
+
+
+def test_erase_page_sets_ff(device):
+    device.write(4096, b"data")
+    device.erase_page(1)
+    assert device.is_erased(4096, 4096)
+
+
+def test_erase_range_covers_partial_pages(device):
+    device.write(0, b"\x00" * 6000)  # spans pages 0 and 1
+    device.erase_range(100, 4000)    # still touches both pages
+    assert device.is_erased(0, 8192)
+
+
+def test_erase_range_zero_length_noop(device):
+    before = device.stats.pages_erased
+    device.erase_range(0, 0)
+    assert device.stats.pages_erased == before
+
+
+def test_bounds_checking(device):
+    with pytest.raises(FlashError):
+        device.read(device.size - 1, 2)
+    with pytest.raises(FlashError):
+        device.write(device.size, b"x")
+    with pytest.raises(FlashError):
+        device.erase_page(device.page_count)
+
+
+def test_wear_tracking(device):
+    device.erase_page(3)
+    device.erase_page(3)
+    device.erase_page(4)
+    assert device.stats.erase_counts[3] == 2
+    assert device.stats.erase_counts[4] == 1
+    assert device.stats.max_wear == 2
+    assert device.stats.pages_erased == 3
+
+
+def test_timing_accounting():
+    timing = FlashTiming(erase_page_seconds=0.1,
+                         write_bytes_per_second=1000.0,
+                         read_bytes_per_second=100_000.0,
+                         write_call_overhead_seconds=0.0)
+    device = FlashMemory(8192, page_size=4096, timing=timing)
+    device.erase_page(0)
+    device.write(0, b"x" * 500)
+    busy = device.stats.busy_seconds
+    assert busy == pytest.approx(0.1 + 0.5, rel=1e-6)
+    device.read(0, 1000)
+    assert device.stats.busy_seconds == pytest.approx(busy + 0.01, rel=1e-6)
+
+
+def test_stats_counters(device):
+    device.write(0, b"abc")
+    device.read(0, 3)
+    assert device.stats.bytes_written == 3
+    assert device.stats.bytes_read == 3
+    assert device.stats.write_calls == 1
+
+
+def test_reset_stats(device):
+    device.erase_page(0)
+    device.reset_stats()
+    assert device.stats.pages_erased == 0
+    assert device.stats.busy_seconds == 0.0
+
+
+def test_corrupt_bypasses_nor_rules(device):
+    device.write(0, b"\x00")
+    device.corrupt(0, b"\xff")  # fault injection: raw overwrite
+    assert device.read(0, 1) == b"\xff"
+
+
+def test_non_strict_mode_allows_overwrite():
+    device = FlashMemory(4096, page_size=4096, strict=False)
+    device.write(0, b"\x00")
+    device.write(0, b"\xff")
+    assert device.read(0, 1) == b"\xff"
+
+
+def test_size_validation():
+    with pytest.raises(ValueError):
+        FlashMemory(0)
+    with pytest.raises(ValueError):
+        FlashMemory(5000, page_size=4096)  # not page-aligned
+
+
+def test_page_of(device):
+    assert device.page_of(0) == 0
+    assert device.page_of(4096) == 1
+    assert device.page_of(4095) == 0
+
+
+def test_snapshot_is_copy(device):
+    device.write(0, b"abc")
+    snap = device.snapshot()
+    device.erase_page(0)
+    assert snap[:3] == b"abc"
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=8191), st.binary(min_size=1,
+                                                           max_size=64))
+def test_write_read_roundtrip_property(offset, data):
+    device = FlashMemory(16 * 1024, page_size=4096)
+    if offset + len(data) <= device.size:
+        device.write(offset, data)
+        assert device.read(offset, len(data)) == data

@@ -1,0 +1,108 @@
+"""Property-based NOR-flash invariants.
+
+The memory substrate underpins every power-loss argument, so its
+semantics get their own hypothesis battery: arbitrary interleavings of
+erases and writes must preserve the NOR model (a byte is the AND of
+everything written since its last erase; erased bytes read 0xFF).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory import FlashError, FlashMemory
+
+PAGES = 4
+PAGE = 256
+SIZE = PAGES * PAGE
+
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("erase"),
+                  st.integers(min_value=0, max_value=PAGES - 1)),
+        st.tuples(st.just("write"),
+                  st.tuples(st.integers(min_value=0, max_value=SIZE - 8),
+                            st.binary(min_size=1, max_size=8))),
+    ),
+    max_size=30,
+)
+
+
+def reference_apply(ops):
+    """A trivially-correct NOR model to compare against."""
+    data = bytearray(b"\xFF" * SIZE)
+    results = []
+    for op, arg in ops:
+        if op == "erase":
+            start = arg * PAGE
+            data[start:start + PAGE] = b"\xFF" * PAGE
+            results.append(True)
+        else:
+            offset, payload = arg
+            legal = all(
+                (payload[i] & ~data[offset + i] & 0xFF) == 0
+                for i in range(len(payload))
+            )
+            results.append(legal)
+            if legal:
+                for i, byte in enumerate(payload):
+                    data[offset + i] &= byte
+    return bytes(data), results
+
+
+@settings(max_examples=60, deadline=None)
+@given(operations)
+def test_nor_semantics_match_reference(ops):
+    flash = FlashMemory(SIZE, page_size=PAGE)
+    expected_data, expected_legal = reference_apply(ops)
+    for (op, arg), legal in zip(ops, expected_legal):
+        if op == "erase":
+            flash.erase_page(arg)
+        else:
+            offset, payload = arg
+            if legal:
+                flash.write(offset, payload)
+            else:
+                try:
+                    flash.write(offset, payload)
+                    raise AssertionError("illegal write accepted")
+                except FlashError:
+                    pass
+    assert flash.snapshot() == expected_data
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=PAGES - 1),
+       st.binary(min_size=1, max_size=PAGE))
+def test_erase_write_read_roundtrip(page, payload):
+    flash = FlashMemory(SIZE, page_size=PAGE)
+    offset = page * PAGE
+    flash.write(offset, b"\x00" * len(payload))  # dirty it
+    flash.erase_page(page)
+    flash.write(offset, payload)
+    assert flash.read(offset, len(payload)) == payload
+
+
+@settings(max_examples=40, deadline=None)
+@given(operations)
+def test_stats_are_consistent(ops):
+    flash = FlashMemory(SIZE, page_size=PAGE)
+    erases = 0
+    writes = 0
+    for op, arg in ops:
+        if op == "erase":
+            flash.erase_page(arg)
+            erases += 1
+        else:
+            offset, payload = arg
+            try:
+                flash.write(offset, payload)
+                writes += 1
+            except FlashError:
+                pass
+    assert flash.stats.pages_erased == erases
+    assert flash.stats.write_calls == writes
+    assert sum(flash.stats.erase_counts) == erases
+    assert flash.stats.busy_seconds > 0 or (erases == 0 and writes == 0)

@@ -1,0 +1,212 @@
+"""Fleet campaign tests: staged rollout, canary abort, retries."""
+
+from __future__ import annotations
+
+from typing import List
+
+import pytest
+
+from repro.core import (
+    DeviceProfile,
+    UpdateServer,
+    VendorServer,
+    make_test_identities,
+    provision_device,
+)
+from repro.fleet import (
+    Campaign,
+    DeviceRecord,
+    DeviceState,
+    RolloutPolicy,
+)
+from repro.memory import MemoryLayout
+from repro.net import ManifestTamperer
+from repro.platform import NRF52840, ZEPHYR
+from repro.sim import SimulatedDevice
+from repro.workload import FirmwareGenerator
+from tests.conftest import APP_ID, LINK_OFFSET
+
+IMAGE_SIZE = 8 * 1024
+
+
+@pytest.fixture()
+def release_chain():
+    gen = FirmwareGenerator(seed=b"fleet-tests")
+    fw_v1 = gen.firmware(IMAGE_SIZE, image_id=1)
+    fw_v2 = gen.app_functionality_change(fw_v1, revision=2)
+    vendor_id, server_id, anchors = make_test_identities()
+    vendor = VendorServer(vendor_id, app_id=APP_ID,
+                          link_offset=LINK_OFFSET)
+    server = UpdateServer(server_id)
+    server.publish(vendor.release(fw_v1, 1))
+    return vendor, server, anchors, fw_v2
+
+
+def make_fleet(server, anchors, count: int,
+               flaky: "set[int]" = frozenset()) -> List[DeviceRecord]:
+    fleet = []
+    for index in range(count):
+        internal = NRF52840.make_internal_flash()
+        layout = MemoryLayout.configuration_a(internal, 128 * 1024)
+        profile = DeviceProfile(device_id=0x2000 + index, app_id=APP_ID,
+                                link_offset=LINK_OFFSET)
+        device = SimulatedDevice(
+            board=NRF52840, os_profile=ZEPHYR, layout=layout,
+            profile=profile, anchors=anchors,
+        )
+        provision_device(server, layout.get("a"), profile.device_id)
+        fleet.append(DeviceRecord(
+            name="dev-%02d" % index,
+            device=device,
+            transport="pull" if index % 2 else "push",
+            interceptor=ManifestTamperer() if index in flaky else None,
+        ))
+    return fleet
+
+
+def test_successful_campaign_updates_everyone(release_chain):
+    vendor, server, anchors, fw_v2 = release_chain
+    fleet = make_fleet(server, anchors, 6)
+    server.publish(vendor.release(fw_v2, 2))
+    campaign = Campaign(server, fleet,
+                        RolloutPolicy(canary_fraction=0.34))
+    report = campaign.run()
+    assert not report.aborted
+    assert len(report.updated) == 6
+    assert report.failed == [] and report.skipped == []
+    assert report.success_rate == 1.0
+    assert all(record.device.installed_version() == 2
+               for record in fleet)
+
+
+def test_canary_wave_size(release_chain):
+    vendor, server, anchors, fw_v2 = release_chain
+    fleet = make_fleet(server, anchors, 10)
+    campaign = Campaign(server, fleet,
+                        RolloutPolicy(canary_fraction=0.2))
+    first, second = campaign.waves()
+    assert len(first) == 2
+    assert len(second) == 8
+
+
+def test_canary_failures_abort_campaign(release_chain):
+    """Every canary device behind a tampering proxy: the rest is spared."""
+    vendor, server, anchors, fw_v2 = release_chain
+    fleet = make_fleet(server, anchors, 10, flaky={0, 1})
+    server.publish(vendor.release(fw_v2, 2))
+    campaign = Campaign(server, fleet, RolloutPolicy(
+        canary_fraction=0.2, abort_failure_rate=0.5, max_attempts=1))
+    report = campaign.run()
+    assert report.aborted
+    assert len(report.failed) == 2
+    assert len(report.skipped) == 8
+    assert report.updated == []
+    # Non-canary devices were never touched.
+    assert all(record.attempts == 0 for record in fleet[2:])
+    assert all(record.device.installed_version() == 1
+               for record in fleet[2:])
+
+
+def test_isolated_failure_does_not_abort(release_chain):
+    vendor, server, anchors, fw_v2 = release_chain
+    fleet = make_fleet(server, anchors, 8, flaky={5})
+    server.publish(vendor.release(fw_v2, 2))
+    campaign = Campaign(server, fleet, RolloutPolicy(
+        canary_fraction=0.25, abort_failure_rate=0.5, max_attempts=1))
+    report = campaign.run()
+    assert not report.aborted
+    assert len(report.updated) == 7
+    assert report.failed == ["dev-05"]
+    assert report.success_rate == pytest.approx(7 / 8)
+
+
+def test_retries_counted(release_chain):
+    vendor, server, anchors, fw_v2 = release_chain
+    fleet = make_fleet(server, anchors, 2, flaky={1})
+    server.publish(vendor.release(fw_v2, 2))
+    campaign = Campaign(server, fleet, RolloutPolicy(
+        canary_fraction=1.0, abort_failure_rate=1.0, max_attempts=3))
+    campaign.run()
+    assert fleet[0].attempts == 1
+    assert fleet[1].attempts == 3  # retried, still failing
+    assert fleet[1].state is DeviceState.FAILED
+
+
+def test_campaign_accumulates_costs(release_chain):
+    vendor, server, anchors, fw_v2 = release_chain
+    fleet = make_fleet(server, anchors, 3)
+    server.publish(vendor.release(fw_v2, 2))
+    report = Campaign(server, fleet).run()
+    assert report.total_bytes_over_air > 3 * 1000
+    assert report.total_energy_mj > 0
+
+
+def test_campaign_with_nothing_new_marks_pull_devices_failed(
+        release_chain):
+    """No newer release: pull devices report no-op (not success)."""
+    vendor, server, anchors, _ = release_chain
+    fleet = make_fleet(server, anchors, 2)
+    report = Campaign(server, fleet, RolloutPolicy(
+        canary_fraction=1.0, max_attempts=1,
+        abort_failure_rate=1.0)).run()
+    assert report.updated == []
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        RolloutPolicy(canary_fraction=0.0)
+    with pytest.raises(ValueError):
+        RolloutPolicy(abort_failure_rate=1.5)
+    with pytest.raises(ValueError):
+        RolloutPolicy(max_attempts=0)
+
+
+def test_campaign_validation(release_chain):
+    _, server, anchors, _ = release_chain
+    with pytest.raises(ValueError):
+        Campaign(server, [])
+    fleet = make_fleet(server, anchors, 1)
+    duplicate = DeviceRecord(name=fleet[0].name, device=fleet[0].device)
+    with pytest.raises(ValueError):
+        Campaign(server, fleet + [duplicate])
+    with pytest.raises(ValueError):
+        DeviceRecord(name="x", device=fleet[0].device,
+                     transport="carrier-pigeon")
+
+
+def test_report_to_dict_is_json_ready(release_chain):
+    import json
+
+    vendor, server, anchors, fw_v2 = release_chain
+    fleet = make_fleet(server, anchors, 3, flaky={2})
+    server.publish(vendor.release(fw_v2, 2))
+    report = Campaign(server, fleet, RolloutPolicy(
+        canary_fraction=0.34, abort_failure_rate=1.0,
+        max_attempts=1)).run()
+    payload = json.loads(json.dumps(report.to_dict()))
+    assert payload["target_version"] == 2
+    assert payload["failed"] == ["dev-02"]
+    assert 0 < payload["success_rate"] < 1
+    assert payload["total_bytes_over_air"] > 0
+
+
+def test_states_snapshot(release_chain):
+    vendor, server, anchors, fw_v2 = release_chain
+    fleet = make_fleet(server, anchors, 2)
+    server.publish(vendor.release(fw_v2, 2))
+    campaign = Campaign(server, fleet)
+    assert set(campaign.states().values()) == {DeviceState.PENDING}
+    campaign.run()
+    assert set(campaign.states().values()) == {DeviceState.UPDATED}
+
+
+def test_campaign_wall_clock_parallel_waves(release_chain):
+    """Wall-clock = sum over waves of the slowest device in each wave."""
+    vendor, server, anchors, fw_v2 = release_chain
+    fleet = make_fleet(server, anchors, 4)
+    server.publish(vendor.release(fw_v2, 2))
+    report = Campaign(server, fleet, RolloutPolicy(
+        canary_fraction=0.25)).run()
+    per_device = [record.last_outcome.total_seconds for record in fleet]
+    assert report.wall_clock_seconds < sum(per_device)
+    assert report.wall_clock_seconds >= max(per_device)

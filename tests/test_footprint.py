@@ -1,0 +1,154 @@
+"""Footprint-model tests: Tables I/II calibration and structural ablations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto import CRYPTOAUTHLIB, TINYCRYPT, TINYDTLS
+from repro.footprint import (
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    agent_build,
+    bootloader_build,
+    build_summary,
+    format_table,
+    table1_rows,
+    table2_rows,
+)
+from repro.platform import CONTIKI, RIOT, ZEPHYR, get_os
+
+
+def test_table1_matches_paper_within_tolerance():
+    for os_name, crypto, flash, ram in table1_rows():
+        paper_flash, paper_ram = PAPER_TABLE1[(os_name, crypto)]
+        assert abs(flash - paper_flash) / paper_flash < 0.002, (os_name,
+                                                                crypto)
+        assert ram == paper_ram
+
+
+def test_table2_matches_paper_exactly():
+    for approach, os_name, flash, ram in table2_rows():
+        assert (flash, ram) == PAPER_TABLE2[(os_name, approach)]
+
+
+def test_zephyr_bootloader_smallest_flash_largest_ram():
+    """Table I's headline: Zephyr ≈15% less flash, ≈20% more RAM."""
+    zephyr = bootloader_build(ZEPHYR, TINYDTLS)
+    riot = bootloader_build(RIOT, TINYDTLS)
+    contiki = bootloader_build(CONTIKI, TINYDTLS)
+    assert zephyr.flash < riot.flash and zephyr.flash < contiki.flash
+    assert 0.10 < 1 - zephyr.flash / riot.flash < 0.20
+    assert zephyr.ram > riot.ram and zephyr.ram > contiki.ram
+    assert 0.15 < zephyr.ram / riot.ram - 1 < 0.30
+
+
+def test_tinydtls_smaller_than_tinycrypt():
+    """TinyDTLS builds ≈1.1 kB smaller, for every OS."""
+    for os_profile in (ZEPHYR, RIOT, CONTIKI):
+        small = bootloader_build(os_profile, TINYDTLS)
+        large = bootloader_build(os_profile, TINYCRYPT)
+        assert 1000 < large.flash - small.flash < 1200
+        assert small.ram == large.ram
+
+
+def test_cryptoauthlib_saves_ten_percent():
+    """HSM offload: ~10% less flash than Contiki+TinyDTLS."""
+    hsm = bootloader_build(CONTIKI, CRYPTOAUTHLIB)
+    sw = bootloader_build(CONTIKI, TINYDTLS)
+    assert 0.07 < 1 - hsm.flash / sw.flash < 0.12
+
+
+def test_contiki_pull_agent_smallest():
+    """Table II: Contiki uses 64%/17% less flash than Zephyr/RIOT."""
+    zephyr = agent_build(ZEPHYR, "pull")
+    riot = agent_build(RIOT, "pull")
+    contiki = agent_build(CONTIKI, "pull")
+    assert contiki.flash < riot.flash < zephyr.flash
+    assert 1 - contiki.flash / zephyr.flash == pytest.approx(0.64, abs=0.02)
+    assert 1 - contiki.flash / riot.flash == pytest.approx(0.17, abs=0.02)
+    assert 1 - contiki.ram / zephyr.ram == pytest.approx(0.73, abs=0.02)
+    assert 1 - contiki.ram / riot.ram == pytest.approx(0.36, abs=0.03)
+
+
+def test_push_much_smaller_than_pull_on_zephyr():
+    push = agent_build(ZEPHYR, "push")
+    pull = agent_build(ZEPHYR, "pull")
+    assert push.flash < pull.flash / 2
+    assert push.ram < pull.ram / 3
+
+
+def test_push_requires_ble_support():
+    with pytest.raises(ValueError):
+        agent_build(CONTIKI, "push")
+    with pytest.raises(ValueError):
+        agent_build(RIOT, "push")
+
+
+def test_invalid_approach_rejected():
+    with pytest.raises(ValueError):
+        agent_build(ZEPHYR, "serial")
+
+
+def test_pipeline_and_memory_module_costs_match_paper():
+    """Sect. VI-A states pipeline=1632 B and memory=2024 B of flash, with
+    2137 B of pipeline RAM (the lzss buffer)."""
+    build = agent_build(ZEPHYR, "push")
+    assert build.component("upkit-pipeline").flash == 1632
+    assert build.component("upkit-pipeline").ram == 2137
+    assert build.component("upkit-memory").flash == 2024
+
+
+def test_differential_ablation_shrinks_build():
+    """Footnote 5: differential support costs agent memory."""
+    with_diff = agent_build(ZEPHYR, "push", differential=True)
+    without = agent_build(ZEPHYR, "push", differential=False)
+    assert without.flash < with_diff.flash
+    assert without.ram < with_diff.ram
+    assert with_diff.flash - without.flash == 1632 - 410
+
+
+def test_crypto_swap_moves_all_builds_equally():
+    delta_boot = (bootloader_build(ZEPHYR, TINYCRYPT).flash
+                  - bootloader_build(ZEPHYR, TINYDTLS).flash)
+    delta_agent = (agent_build(ZEPHYR, "push", crypto=TINYCRYPT).flash
+                   - agent_build(ZEPHYR, "push", crypto=TINYDTLS).flash)
+    assert delta_boot == delta_agent
+
+
+def test_platform_independent_fraction_high_for_bootloader():
+    """The paper reports ~91% platform-independent bootloader code."""
+    for os_profile in (ZEPHYR, RIOT, CONTIKI):
+        build = bootloader_build(os_profile, TINYDTLS)
+        assert build.platform_independent_fraction > 0.80
+
+
+def test_agent_mostly_platform_specific_stack():
+    """The pull agent's footprint is dominated by OS network stacks."""
+    build = agent_build(ZEPHYR, "pull")
+    assert build.platform_independent_fraction < 0.15
+
+
+def test_component_lookup():
+    build = agent_build(ZEPHYR, "pull")
+    assert build.component("upkit-fsm").flash == 1250
+    with pytest.raises(KeyError):
+        build.component("nonexistent")
+
+
+def test_format_table_renders():
+    text = format_table(("a", "bb"), [(1, 2), (33, 44)])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert "a" in lines[0] and "33" in lines[3]
+
+
+def test_build_summary_contains_total():
+    summary = build_summary(agent_build(ZEPHYR, "push"))
+    assert "TOTAL" in summary
+    assert "ble-gatt" in summary
+
+
+def test_get_os_lookup():
+    assert get_os("Zephyr") is ZEPHYR
+    with pytest.raises(KeyError):
+        get_os("freertos")

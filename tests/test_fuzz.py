@@ -1,0 +1,189 @@
+"""Adversarial fuzzing: no mutation of a signed image may be accepted.
+
+These tests state UpKit's security contract as properties and let
+hypothesis hunt for counterexamples: any byte-level mutation of the
+envelope must be rejected, any chunking of a valid image must be
+accepted, and malformed protocol inputs must raise typed errors, never
+crash or install.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    DeviceProfile,
+    DeviceToken,
+    FeedStatus,
+    ManifestFormatError,
+    SignedManifest,
+    UpdateError,
+    UpdateServer,
+    VendorServer,
+    Verifier,
+    VerificationError,
+    make_test_identities,
+)
+from repro.crypto import get_backend
+from repro.net.ble import AttPacket, BleError
+from repro.net.coap import CoapError, CoapMessage
+
+APP_ID = 0x55504B49
+DEVICE_ID = 0x11223344
+LINK_OFFSET = 0x8000
+
+
+@pytest.fixture(scope="module")
+def signed_setup():
+    vendor_id, server_id, anchors = make_test_identities()
+    vendor = VendorServer(vendor_id, app_id=APP_ID,
+                          link_offset=LINK_OFFSET)
+    server = UpdateServer(server_id)
+    firmware = bytes(range(256)) * 16
+    server.publish(vendor.release(firmware, 2))
+    token = DeviceToken(device_id=DEVICE_ID, nonce=0xBEEF,
+                        current_version=0)
+    image = server.prepare_update(token)
+    profile = DeviceProfile(device_id=DEVICE_ID, app_id=APP_ID,
+                            link_offset=LINK_OFFSET)
+    verifier = Verifier(anchors, get_backend("tinycrypt"))
+    return image, token, profile, verifier
+
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(position=st.integers(min_value=0, max_value=10 ** 6),
+       mask=st.integers(min_value=1, max_value=255))
+def test_any_envelope_mutation_is_rejected(signed_setup, position, mask):
+    """Flip any byte of the signed envelope: validation must fail."""
+    image, token, profile, verifier = signed_setup
+    blob = bytearray(image.envelope.pack())
+    blob[position % len(blob)] ^= mask
+    try:
+        envelope = SignedManifest.unpack(bytes(blob))
+    except ManifestFormatError:
+        return  # structurally rejected — fine
+    with pytest.raises(VerificationError):
+        verifier.validate_for_agent(
+            envelope, profile=profile, token=token,
+            installed_version=1, slot_capacity=10 ** 6)
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(nonce=st.integers(min_value=0, max_value=2 ** 32 - 1))
+def test_only_the_matching_nonce_is_accepted(signed_setup, nonce):
+    image, token, profile, verifier = signed_setup
+    live_token = DeviceToken(device_id=DEVICE_ID, nonce=nonce,
+                             current_version=0)
+    if nonce == token.nonce:
+        verifier.validate_for_agent(
+            image.envelope, profile=profile, token=live_token,
+            installed_version=1, slot_capacity=10 ** 6)
+    else:
+        with pytest.raises(VerificationError):
+            verifier.validate_for_agent(
+                image.envelope, profile=profile, token=live_token,
+                installed_version=1, slot_capacity=10 ** 6)
+
+
+@settings(max_examples=20, deadline=None)
+@given(chunk_sizes=st.lists(st.integers(min_value=1, max_value=500),
+                            min_size=1, max_size=50))
+def test_any_chunking_of_a_valid_image_completes(chunk_sizes):
+    """The FSM is insensitive to how the transport fragments bytes."""
+    from repro.memory import FlashMemory, MemoryLayout
+    from repro.core import UpdateAgent, provision_device
+
+    vendor_id, server_id, anchors = make_test_identities()
+    vendor = VendorServer(vendor_id, app_id=APP_ID,
+                          link_offset=LINK_OFFSET)
+    server = UpdateServer(server_id)
+    firmware = bytes(range(256)) * 8
+    server.publish(vendor.release(firmware, 1))
+    flash = FlashMemory(64 * 1024, page_size=4096)
+    layout = MemoryLayout.configuration_a(flash, 16 * 1024)
+    profile = DeviceProfile(device_id=DEVICE_ID, app_id=APP_ID,
+                            link_offset=LINK_OFFSET,
+                            supports_differential=False)
+    provision_device(server, layout.get("a"), DEVICE_ID)
+    server.publish(vendor.release(firmware + b"v2", 2))
+
+    agent = UpdateAgent(profile, layout, anchors,
+                        get_backend("tinycrypt"))
+    token = agent.request_token()
+    blob = server.prepare_update(token).pack()
+
+    offset = 0
+    status = None
+    index = 0
+    while offset < len(blob):
+        size = chunk_sizes[index % len(chunk_sizes)]
+        index += 1
+        size = min(size, len(blob) - offset)
+        status = agent.feed(blob[offset:offset + size])
+        offset += size
+    assert status is FeedStatus.FIRMWARE_COMPLETE
+
+
+@settings(max_examples=80, deadline=None)
+@given(data=st.binary(max_size=120))
+def test_coap_decoder_never_crashes(data):
+    """Arbitrary bytes either parse or raise CoapError — nothing else."""
+    try:
+        CoapMessage.decode(data)
+    except CoapError:
+        pass
+
+
+@settings(max_examples=80, deadline=None)
+@given(data=st.binary(max_size=60))
+def test_att_decoder_never_crashes(data):
+    try:
+        AttPacket.decode(data)
+    except BleError:
+        pass
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.binary(max_size=300))
+def test_slot_inspection_never_crashes(data):
+    """Arbitrary slot contents never crash header inspection."""
+    from repro.core import inspect_slot
+    from repro.memory import FlashMemory, Slot
+
+    flash = FlashMemory(8 * 1024, page_size=4096, strict=False)
+    slot = Slot("x", flash, 0, 8 * 1024, bootable=True)
+    slot.write(0, data)
+    inspect_slot(slot)  # returns an envelope or None, never raises
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=st.binary(min_size=1, max_size=200))
+def test_agent_rejects_garbage_manifests(data):
+    """Random bytes as a manifest always end in CLEANING, not install."""
+    from repro.core import AgentState, UpdateAgent, provision_device
+    from repro.memory import FlashMemory, MemoryLayout
+
+    vendor_id, server_id, anchors = make_test_identities()
+    vendor = VendorServer(vendor_id, app_id=APP_ID,
+                          link_offset=LINK_OFFSET)
+    server = UpdateServer(server_id)
+    server.publish(vendor.release(b"\x01" * 1024, 1))
+    flash = FlashMemory(32 * 1024, page_size=4096)
+    layout = MemoryLayout.configuration_a(flash, 8 * 1024)
+    provision_device(server, layout.get("a"), DEVICE_ID)
+    profile = DeviceProfile(device_id=DEVICE_ID, app_id=APP_ID,
+                            link_offset=LINK_OFFSET)
+    agent = UpdateAgent(profile, layout, anchors,
+                        get_backend("tinycrypt"))
+    agent.request_token()
+    garbage = (data * (200 // len(data) + 1))[:194]
+    try:
+        status = agent.feed(garbage)
+        # Only a NEED_MORE is acceptable without an exception (short feed).
+        assert status is not FeedStatus.FIRMWARE_COMPLETE
+    except UpdateError:
+        assert agent.state is AgentState.WAITING

@@ -1,0 +1,105 @@
+"""ATECC508 HSM simulation tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto import (
+    ATECC508,
+    HSMError,
+    KeyNotFoundError,
+    SlotLockedError,
+    generate_keypair,
+)
+from repro.crypto.sha256 import sha256
+
+
+@pytest.fixture()
+def hsm():
+    return ATECC508()
+
+
+@pytest.fixture()
+def keypair():
+    private = generate_keypair(b"hsm-key")
+    return private, private.public_key()
+
+
+def test_write_and_read_slot(hsm, keypair):
+    _, public = keypair
+    hsm.write_pubkey(3, public)
+    assert hsm.read_pubkey(3).point == public.point
+
+
+def test_read_empty_slot_raises(hsm):
+    with pytest.raises(KeyNotFoundError):
+        hsm.read_pubkey(0)
+
+
+def test_locked_slot_cannot_be_rewritten(hsm, keypair):
+    _, public = keypair
+    hsm.write_pubkey(1, public)
+    hsm.lock_slot(1)
+    assert hsm.is_locked(1)
+    other = generate_keypair(b"attacker").public_key()
+    with pytest.raises(SlotLockedError):
+        hsm.write_pubkey(1, other)
+    # The original key survives the attempted overwrite.
+    assert hsm.read_pubkey(1).point == public.point
+
+
+def test_unlocked_slot_can_be_rewritten(hsm, keypair):
+    _, public = keypair
+    hsm.write_pubkey(1, public)
+    other = generate_keypair(b"rotation").public_key()
+    hsm.write_pubkey(1, other)
+    assert hsm.read_pubkey(1).point == other.point
+
+
+def test_cannot_lock_empty_slot(hsm):
+    with pytest.raises(KeyNotFoundError):
+        hsm.lock_slot(5)
+
+
+def test_slot_bounds(hsm, keypair):
+    _, public = keypair
+    with pytest.raises(HSMError):
+        hsm.write_pubkey(16, public)
+    with pytest.raises(HSMError):
+        hsm.write_pubkey(-1, public)
+
+
+def test_verify_stored_by_fingerprint(hsm, keypair):
+    private, public = keypair
+    hsm.write_pubkey(2, public)
+    digest = sha256(b"message")
+    signature = private.sign_digest(digest)
+    assert hsm.verify_stored(public.fingerprint(), signature, digest)
+
+
+def test_verify_stored_rejects_bad_signature(hsm, keypair):
+    private, public = keypair
+    hsm.write_pubkey(2, public)
+    signature = private.sign_digest(sha256(b"message"))
+    assert not hsm.verify_stored(public.fingerprint(), signature,
+                                 sha256(b"other"))
+
+
+def test_verify_stored_unknown_fingerprint_raises(hsm, keypair):
+    private, public = keypair
+    signature = private.sign_digest(sha256(b"m"))
+    with pytest.raises(KeyNotFoundError):
+        hsm.verify_stored(public.fingerprint(), signature, sha256(b"m"))
+
+
+def test_verify_external(hsm, keypair):
+    private, public = keypair
+    digest = sha256(b"m")
+    assert hsm.verify_external(public, private.sign_digest(digest), digest)
+
+
+def test_monotonic_counter(hsm):
+    assert hsm.counter == 0
+    assert hsm.increment_counter() == 1
+    assert hsm.increment_counter() == 2
+    assert hsm.counter == 2

@@ -1,0 +1,107 @@
+"""Update-image framing tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    ENVELOPE_SIZE,
+    MANIFEST_SIZE,
+    Manifest,
+    ManifestFormatError,
+    PayloadKind,
+    SIGNATURE_SIZE,
+    SignedManifest,
+    UpdateImage,
+)
+from repro.crypto import sha256
+
+
+def make_envelope(payload_size=100, **overrides) -> SignedManifest:
+    fields = dict(
+        version=2,
+        size=payload_size,
+        digest=sha256(b"x" * payload_size),
+        link_offset=0x8000,
+        app_id=1,
+        payload_kind=PayloadKind.FULL,
+        payload_size=payload_size,
+    )
+    fields.update(overrides)
+    return SignedManifest(
+        manifest=Manifest(**fields),
+        vendor_signature=b"\x01" * SIGNATURE_SIZE,
+        server_signature=b"\x02" * SIGNATURE_SIZE,
+    )
+
+
+def test_envelope_size_constant():
+    assert ENVELOPE_SIZE == MANIFEST_SIZE + 2 * SIGNATURE_SIZE
+    assert len(make_envelope().pack()) == ENVELOPE_SIZE
+
+
+def test_envelope_roundtrip():
+    envelope = make_envelope()
+    parsed = SignedManifest.unpack(envelope.pack())
+    assert parsed == envelope
+
+
+def test_envelope_rejects_wrong_length():
+    with pytest.raises(ManifestFormatError):
+        SignedManifest.unpack(b"\x00" * (ENVELOPE_SIZE + 1))
+
+
+def test_envelope_rejects_short_signature():
+    with pytest.raises(ManifestFormatError):
+        SignedManifest(
+            manifest=make_envelope().manifest,
+            vendor_signature=b"\x01" * 63,
+            server_signature=b"\x02" * SIGNATURE_SIZE,
+        )
+
+
+def test_server_signed_region_binds_vendor_signature():
+    envelope = make_envelope()
+    region = envelope.server_signed_region()
+    assert region == envelope.manifest.pack() + envelope.vendor_signature
+
+
+def test_decoded_signature_rejects_garbage():
+    envelope = make_envelope(
+    )
+    bad = SignedManifest(
+        manifest=envelope.manifest,
+        vendor_signature=b"\x00" * SIGNATURE_SIZE,  # r = s = 0: invalid
+        server_signature=envelope.server_signature,
+    )
+    with pytest.raises(ManifestFormatError):
+        bad.decoded_vendor_signature()
+
+
+def test_image_roundtrip():
+    envelope = make_envelope(payload_size=100)
+    image = UpdateImage(envelope=envelope, payload=b"x" * 100)
+    parsed = UpdateImage.unpack(image.pack())
+    assert parsed == image
+    assert parsed.total_size == ENVELOPE_SIZE + 100
+
+
+def test_image_payload_length_must_match_manifest():
+    envelope = make_envelope(payload_size=100)
+    with pytest.raises(ManifestFormatError):
+        UpdateImage(envelope=envelope, payload=b"x" * 99)
+
+
+def test_image_unpack_rejects_truncation():
+    envelope = make_envelope(payload_size=100)
+    blob = UpdateImage(envelope=envelope, payload=b"x" * 100).pack()
+    with pytest.raises(ManifestFormatError):
+        UpdateImage.unpack(blob[:-1])
+    with pytest.raises(ManifestFormatError):
+        UpdateImage.unpack(blob[:ENVELOPE_SIZE - 1])
+
+
+def test_image_manifest_shortcut():
+    envelope = make_envelope()
+    image = UpdateImage(envelope=envelope, payload=b"x" * 100)
+    assert image.manifest is envelope.manifest

@@ -1,0 +1,136 @@
+"""LZSS compression tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression import (
+    LzssDecoder,
+    LzssError,
+    MAX_MATCH,
+    MIN_MATCH,
+    WINDOW_SIZE,
+    compress,
+    decompress,
+)
+
+
+@pytest.mark.parametrize("data", [
+    b"",
+    b"a",
+    b"ab",
+    b"abc",
+    b"aaaa",
+    b"abcabcabcabcabcabc",
+    b"the quick brown fox jumps over the lazy dog " * 40,
+    bytes(range(256)),
+    b"\x00" * 10_000,
+    b"\xff" * 5_000,
+], ids=["empty", "one", "two", "three", "run4", "repeat", "text",
+        "alphabet", "zeros", "ones"])
+def test_roundtrip(data):
+    assert decompress(compress(data)) == data
+
+
+def test_compresses_repetitive_data():
+    data = b"ABCD" * 2048
+    assert len(compress(data)) < len(data) // 4
+
+
+def test_random_data_expands_bounded():
+    import random
+    rng = random.Random(11)
+    data = bytes(rng.randrange(256) for _ in range(4096))
+    compressed = compress(data)
+    # Worst case: one flag byte per 8 literals → 12.5% expansion.
+    assert len(compressed) <= len(data) * 9 // 8 + 2
+    assert decompress(compressed) == data
+
+
+def test_long_range_matches_beyond_window_are_not_used():
+    # Two identical blocks separated by more than the window: the second
+    # must still decompress correctly (matches found only within window).
+    block = bytes(range(200)) * 2
+    data = block + b"\x01" * (WINDOW_SIZE + 100) + block
+    assert decompress(compress(data)) == data
+
+
+def test_streaming_decoder_chunks():
+    data = b"streaming test payload " * 300
+    compressed = compress(data)
+    for chunk_size in (1, 2, 3, 7, 64, 1000):
+        decoder = LzssDecoder()
+        out = b"".join(decoder.feed(compressed[i:i + chunk_size])
+                       for i in range(0, len(compressed), chunk_size))
+        decoder.finish()
+        assert out == data
+
+
+def test_decoder_finish_on_truncated_backreference():
+    data = b"abcabcabcabcabc" * 10
+    compressed = compress(data)
+    decoder = LzssDecoder()
+    decoder.feed(compressed[:-1])
+    with pytest.raises(LzssError):
+        decoder.finish()
+
+
+def test_decoder_rejects_feed_after_finish():
+    decoder = LzssDecoder()
+    decoder.feed(compress(b"xy"))
+    decoder.finish()
+    with pytest.raises(LzssError):
+        decoder.feed(b"\x00")
+
+
+def test_decoder_rejects_bad_distance():
+    # Flag byte 0 (back-reference first), token pointing 100 bytes back
+    # into an empty window.
+    token = ((100 - 1) << 4) | 0
+    stream = bytes([0x00, token >> 8, token & 0xFF])
+    decoder = LzssDecoder()
+    with pytest.raises(LzssError):
+        decoder.feed(stream)
+
+
+def test_match_length_constants():
+    assert MIN_MATCH == 3
+    assert MAX_MATCH == 273  # escape form for long (e.g. zero-run) matches
+    assert WINDOW_SIZE == 4096
+
+
+def test_zero_runs_compress_strongly():
+    """bsdiff diff blocks are long zero runs; the escape form must give
+    far better than the 8:1 the 4-bit length field alone allows."""
+    data = b"\x00" * 65536
+    compressed = compress(data)
+    assert len(compressed) < len(data) // 60
+    assert decompress(compressed) == data
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.binary(max_size=3000))
+def test_roundtrip_property(data):
+    assert decompress(compress(data)) == data
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.binary(max_size=1500), st.integers(min_value=1, max_value=97))
+def test_streaming_equals_one_shot_property(data, chunk_size):
+    compressed = compress(data)
+    decoder = LzssDecoder()
+    out = b"".join(decoder.feed(compressed[i:i + chunk_size])
+                   for i in range(0, len(compressed), chunk_size))
+    decoder.finish()
+    assert out == data
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.text(alphabet="ab", max_size=2000))
+def test_low_entropy_compresses(text):
+    data = text.encode("ascii")
+    if len(data) > 100:
+        assert len(compress(data)) < len(data)
+    assert decompress(compress(data)) == data

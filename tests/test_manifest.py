@@ -1,0 +1,140 @@
+"""Manifest wire-format and signing-region tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    DeviceToken,
+    MANIFEST_SIZE,
+    Manifest,
+    ManifestFormatError,
+    PayloadKind,
+)
+
+
+def make_manifest(**overrides):
+    fields = dict(
+        version=2,
+        size=1000,
+        digest=b"\xAB" * 32,
+        link_offset=0x8000,
+        app_id=0xAABBCCDD,
+        device_id=0x11223344,
+        nonce=0xDEADBEEF,
+        old_version=1,
+        payload_kind=PayloadKind.DELTA_LZSS,
+        payload_size=300,
+    )
+    fields.update(overrides)
+    return Manifest(**fields)
+
+
+def test_pack_unpack_roundtrip():
+    manifest = make_manifest()
+    assert Manifest.unpack(manifest.pack()) == manifest
+
+
+def test_pack_size_constant():
+    assert len(make_manifest().pack()) == MANIFEST_SIZE
+
+
+def test_unpack_rejects_wrong_length():
+    with pytest.raises(ManifestFormatError):
+        Manifest.unpack(b"\x00" * (MANIFEST_SIZE - 1))
+
+
+def test_unpack_rejects_bad_magic():
+    blob = bytearray(make_manifest().pack())
+    blob[0] = ord("X")
+    with pytest.raises(ManifestFormatError):
+        Manifest.unpack(bytes(blob))
+
+
+def test_unpack_rejects_bad_header_version():
+    blob = bytearray(make_manifest().pack())
+    blob[4] = 99
+    with pytest.raises(ManifestFormatError):
+        Manifest.unpack(bytes(blob))
+
+
+@pytest.mark.parametrize("field,value", [
+    ("version", 0),
+    ("version", 2 ** 16),
+    ("old_version", -1),
+    ("size", 0),
+    ("digest", b"\x00" * 31),
+    ("link_offset", 2 ** 32),
+    ("app_id", -1),
+    ("device_id", 2 ** 32),
+    ("nonce", -1),
+    ("payload_kind", 42),
+    ("payload_size", -1),
+])
+def test_field_validation(field, value):
+    with pytest.raises((ManifestFormatError, Exception)):
+        make_manifest(**{field: value})
+
+
+def test_canonical_zeroes_token_fields():
+    canonical = make_manifest().canonical()
+    assert canonical.device_id == 0
+    assert canonical.nonce == 0
+    assert canonical.old_version == 0
+    assert canonical.payload_kind == PayloadKind.FULL
+    assert canonical.payload_size == canonical.size
+    # The vendor-authenticated fields survive.
+    assert canonical.version == 2
+    assert canonical.digest == b"\xAB" * 32
+
+
+def test_canonical_bytes_stable_across_token_bindings():
+    base = make_manifest()
+    token_a = DeviceToken(1, 100, 1)
+    token_b = DeviceToken(2, 200, 0)
+    bound_a = base.bind_token(token_a, PayloadKind.FULL, 1000)
+    bound_b = base.bind_token(token_b, PayloadKind.DELTA_LZSS, 50,
+                              old_version=1)
+    assert bound_a.canonical_bytes() == bound_b.canonical_bytes()
+
+
+def test_bind_token_copies_fields():
+    token = DeviceToken(device_id=7, nonce=8, current_version=1)
+    bound = make_manifest().bind_token(token, PayloadKind.DELTA_LZSS, 55,
+                                       old_version=1)
+    assert bound.device_id == 7
+    assert bound.nonce == 8
+    assert bound.old_version == 1
+    assert bound.payload_size == 55
+
+
+def test_payload_kind_predicates():
+    assert PayloadKind.is_delta(PayloadKind.DELTA_LZSS)
+    assert PayloadKind.is_delta(PayloadKind.DELTA_ENCRYPTED)
+    assert not PayloadKind.is_delta(PayloadKind.FULL)
+    assert PayloadKind.is_encrypted(PayloadKind.FULL_ENCRYPTED)
+    assert not PayloadKind.is_encrypted(PayloadKind.DELTA_LZSS)
+
+
+def test_is_delta_property():
+    assert make_manifest().is_delta
+    assert not make_manifest(payload_kind=PayloadKind.FULL).is_delta
+    assert make_manifest(
+        payload_kind=PayloadKind.FULL_ENCRYPTED).is_encrypted
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    version=st.integers(min_value=1, max_value=2 ** 16 - 1),
+    size=st.integers(min_value=1, max_value=2 ** 32 - 1),
+    device_id=st.integers(min_value=0, max_value=2 ** 32 - 1),
+    nonce=st.integers(min_value=0, max_value=2 ** 32 - 1),
+    payload_kind=st.sampled_from(PayloadKind.ALL),
+)
+def test_roundtrip_property(version, size, device_id, nonce, payload_kind):
+    manifest = make_manifest(version=version, size=size,
+                             device_id=device_id, nonce=nonce,
+                             payload_kind=payload_kind)
+    assert Manifest.unpack(manifest.pack()) == manifest

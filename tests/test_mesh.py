@@ -1,0 +1,81 @@
+"""Multi-hop forwarding-chain tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SignatureInvalid
+from repro.net import ManifestTamperer, PayloadBitFlipper
+from repro.net.mesh import ForwardingChain, GatewayDrop, Hop
+from repro.sim import Testbed
+from repro.workload import FirmwareGenerator
+
+
+@pytest.fixture()
+def testbed():
+    gen = FirmwareGenerator(seed=b"mesh")
+    fw_v1 = gen.firmware(12 * 1024, image_id=1)
+    bed = Testbed.create(initial_firmware=fw_v1, slot_size=64 * 1024)
+    bed.release(gen.os_version_change(fw_v1, revision=2), 2)
+    return bed
+
+
+def chain(*hops: Hop) -> ForwardingChain:
+    return ForwardingChain(list(hops))
+
+
+def test_honest_multi_hop_chain_passes(testbed):
+    relay = chain(Hop("cloud-relay"), Hop("border-router"),
+                  Hop("smartphone"))
+    outcome = testbed.pull_update(interceptor=relay)
+    assert outcome.success and outcome.booted_version == 2
+    assert relay.honest()
+    assert all(hop.forwarded == 1 for hop in relay.hops)
+    assert relay.accumulated_delay > 0
+
+
+def test_tampering_middle_hop_detected(testbed):
+    relay = chain(Hop("cloud-relay"),
+                  Hop("evil-gateway", interceptor=ManifestTamperer()),
+                  Hop("smartphone"))
+    outcome = testbed.pull_update(interceptor=relay)
+    assert not outcome.success
+    assert isinstance(outcome.error, SignatureInvalid)
+    assert not relay.honest()
+    # The downstream hop still forwarded the (tampered) bytes.
+    assert relay.hops[2].forwarded == 1
+
+
+def test_two_compromised_hops_detected(testbed):
+    relay = chain(Hop("g1", interceptor=PayloadBitFlipper(flips=16)),
+                  Hop("g2", interceptor=PayloadBitFlipper(flips=16,
+                                                          seed=9)))
+    outcome = testbed.pull_update(interceptor=relay)
+    assert not outcome.success
+    assert testbed.device.installed_version() == 1
+
+
+def test_dropping_hop_is_denial_of_service_only(testbed):
+    relay = chain(Hop("router"), Hop("dos-gateway", drop=True))
+    outcome = testbed.pull_update(interceptor=relay)
+    assert not outcome.success
+    assert isinstance(outcome.error, GatewayDrop)
+    # DoS delays the update but never corrupts the device.
+    assert testbed.device.installed_version() == 1
+    assert testbed.device.bootloader.boot().version == 1
+    # Once the hop recovers, the update goes through.
+    relay.hops[1].drop = False
+    retry = testbed.pull_update(interceptor=relay)
+    assert retry.success and retry.booted_version == 2
+
+
+def test_chain_validation():
+    with pytest.raises(ValueError):
+        ForwardingChain([])
+    with pytest.raises(ValueError):
+        Hop("x", latency_seconds=-1.0)
+
+
+def test_chain_path(testbed):
+    relay = chain(Hop("a"), Hop("b"))
+    assert relay.path == ["a", "b"]

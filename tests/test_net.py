@@ -1,0 +1,198 @@
+"""Network substrate tests: links, transports, adversaries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SignatureInvalid, TokenMismatch, DigestMismatch
+from repro.net import (
+    BLE_GATT,
+    COAP_6LOWPAN,
+    Link,
+    LinkProfile,
+    ManifestTamperer,
+    PassiveProxy,
+    PayloadBitFlipper,
+    PayloadSwapAttacker,
+    ReplayAttacker,
+    TruncatingProxy,
+    get_link_profile,
+)
+from repro.sim import Testbed
+
+
+# -- link models ---------------------------------------------------------------
+
+
+def test_profiles_by_name():
+    assert get_link_profile("ble-gatt") is BLE_GATT
+    assert get_link_profile("COAP-6LOWPAN") is COAP_6LOWPAN
+    with pytest.raises(KeyError):
+        get_link_profile("lorawan")
+
+
+def test_packets_for():
+    assert BLE_GATT.packets_for(0) == 0
+    assert BLE_GATT.packets_for(1) == 1
+    assert BLE_GATT.packets_for(20) == 1
+    assert BLE_GATT.packets_for(21) == 2
+
+
+def test_transfer_time_scales_with_bytes():
+    link = Link(BLE_GATT)
+    small = link.transfer(100).seconds
+    large = link.transfer(10_000).seconds
+    assert large > small * 50
+
+
+def test_transfer_calibration_100kb():
+    """The built-in profiles reproduce Fig. 8a's propagation times."""
+    push = Link(BLE_GATT).transfer(100 * 1024).seconds
+    pull = Link(COAP_6LOWPAN).transfer(100 * 1024).seconds
+    assert push == pytest.approx(47.7, rel=0.02)
+    assert pull == pytest.approx(41.7, rel=0.02)
+    assert pull < push
+
+
+def test_lossy_link_retransmits_deterministically():
+    lossy_a = Link(BLE_GATT, loss_rate=0.2, seed=42)
+    lossy_b = Link(BLE_GATT, loss_rate=0.2, seed=42)
+    report_a = lossy_a.transfer(10_000)
+    report_b = lossy_b.transfer(10_000)
+    assert report_a.retransmissions == report_b.retransmissions > 0
+    assert report_a.seconds > Link(BLE_GATT).transfer(10_000).seconds
+
+
+def test_loss_rate_validation():
+    with pytest.raises(ValueError):
+        Link(BLE_GATT, loss_rate=1.0)
+
+
+def test_chunks_cover_data():
+    link = Link(BLE_GATT)
+    data = bytes(range(256))
+    chunks = list(link.chunks(data))
+    assert all(len(c) <= BLE_GATT.mtu for c in chunks)
+    assert b"".join(chunks) == data
+
+
+# -- transports over the testbed ----------------------------------------------------
+
+
+@pytest.fixture()
+def testbed(firmware_gen):
+    fw_v1 = firmware_gen.firmware(16 * 1024, image_id=1)
+    bed = Testbed.create(initial_firmware=fw_v1, slot_size=64 * 1024)
+    fw_v2 = firmware_gen.os_version_change(fw_v1, revision=2)
+    bed.release(fw_v2, 2)
+    return bed
+
+
+def test_push_update_success(testbed):
+    outcome = testbed.push_update()
+    assert outcome.success
+    assert outcome.booted_version == 2
+    assert outcome.rebooted
+    assert outcome.total_seconds > 0
+    assert set(outcome.phases) >= {"propagation", "verification", "loading"}
+
+
+def test_pull_update_success(firmware_gen):
+    fw_v1 = firmware_gen.firmware(16 * 1024, image_id=1)
+    bed = Testbed.create(initial_firmware=fw_v1, slot_size=64 * 1024)
+    bed.release(firmware_gen.os_version_change(fw_v1, revision=2), 2)
+    outcome = bed.pull_update()
+    assert outcome.success and outcome.booted_version == 2
+
+
+def test_pull_no_newer_version_is_noop(firmware_gen):
+    fw_v1 = firmware_gen.firmware(8 * 1024, image_id=1)
+    bed = Testbed.create(initial_firmware=fw_v1, slot_size=64 * 1024)
+    outcome = bed.pull_update()
+    assert not outcome.success
+    assert outcome.error is None
+    assert not outcome.rebooted
+    assert outcome.bytes_over_air < 100  # just the announcement poll
+
+
+def test_passive_proxy_changes_nothing(testbed):
+    outcome = testbed.push_update(interceptor=PassiveProxy())
+    assert outcome.success and outcome.booted_version == 2
+
+
+def test_manifest_tamperer_rejected_before_download(testbed):
+    outcome = testbed.push_update(interceptor=ManifestTamperer())
+    assert not outcome.success
+    assert isinstance(outcome.error, SignatureInvalid)
+    assert not outcome.rebooted
+    # Early rejection: only token + envelope crossed the air.
+    assert outcome.bytes_over_air < 300
+
+
+def test_payload_bitflipper_rejected_before_reboot(testbed):
+    outcome = testbed.push_update(interceptor=PayloadBitFlipper(flips=64))
+    assert not outcome.success
+    assert not outcome.rebooted
+    assert testbed.device.installed_version() == 1
+
+
+def test_payload_swap_rejected(testbed):
+    outcome = testbed.push_update(
+        interceptor=PayloadSwapAttacker(b"\xEE" * 100))
+    assert not outcome.success
+    assert not outcome.rebooted
+
+
+def test_truncating_proxy_never_installs(testbed):
+    outcome = testbed.push_update(interceptor=TruncatingProxy(0.7))
+    assert not outcome.success
+    assert testbed.device.installed_version() == 1
+
+
+def test_replay_attack_rejected(testbed):
+    """A captured old-request image is refused (freshness)."""
+    token = testbed.device.agent.request_token()
+    captured = testbed.server.prepare_update(token)
+    testbed.device.agent.cancel()
+
+    outcome = testbed.push_update(interceptor=ReplayAttacker(captured))
+    assert not outcome.success
+    assert isinstance(outcome.error, TokenMismatch)
+    assert not outcome.rebooted
+
+
+def test_attacks_over_pull_transport(testbed):
+    outcome = testbed.pull_update(interceptor=ManifestTamperer())
+    assert not outcome.success
+    assert isinstance(outcome.error, SignatureInvalid)
+
+
+def test_energy_accounting_present(testbed):
+    outcome = testbed.push_update()
+    assert outcome.total_energy_mj > 0
+    assert outcome.energy_mj.get("radio_rx", 0) > 0
+    assert outcome.energy_mj.get("flash", 0) > 0
+
+
+def test_failed_update_cheaper_than_successful(firmware_gen):
+    """Early rejection spends far less energy than a full update."""
+    fw_v1 = firmware_gen.firmware(16 * 1024, image_id=1)
+    fw_v2 = firmware_gen.os_version_change(fw_v1, revision=2)
+
+    good = Testbed.create(initial_firmware=fw_v1, slot_size=64 * 1024,
+                          supports_differential=False)
+    good.release(fw_v2, 2)
+    ok = good.push_update()
+
+    bad = Testbed.create(initial_firmware=fw_v1, slot_size=64 * 1024,
+                         supports_differential=False)
+    bad.release(fw_v2, 2)
+    rejected = bad.push_update(interceptor=ManifestTamperer())
+
+    # The rejected attempt pays only the token exchange, the staging-slot
+    # erase (the FSM erases before the manifest arrives) and 194 bytes of
+    # radio — no payload download, no verification, no reboot.
+    assert rejected.total_energy_mj < ok.total_energy_mj / 3
+    # The failed signature check itself was still paid for.
+    assert rejected.energy_mj.get("crypto", 0) > 0
+    assert not rejected.rebooted

@@ -1,0 +1,109 @@
+"""End-to-end power-loss safety.
+
+The whole-system property: a device may lose power at *any* flash
+operation during the bootloader's install (erase, program, journal
+update) — on the next boot it must come up with a valid image, and
+after at most one further boot it must be running the new version.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Bootloader, ENVELOPE_SIZE, NoValidImage
+from repro.memory import PowerLossError
+from repro.sim import Testbed
+from repro.workload import FirmwareGenerator
+
+IMAGE_SIZE = 24 * 1024
+
+
+@pytest.fixture(scope="module")
+def firmware_pair():
+    gen = FirmwareGenerator(seed=b"power-loss")
+    base = gen.firmware(IMAGE_SIZE, image_id=1)
+    new = gen.os_version_change(base, revision=2)
+    return base, new
+
+
+def staged_testbed(firmware_pair):
+    """A static-config device with v2 verified and staged, pre-reboot."""
+    base, new = firmware_pair
+    bed = Testbed.create(slot_configuration="b", slot_size=64 * 1024,
+                         initial_firmware=base,
+                         supports_differential=False)
+    bed.release(new, 2)
+    outcome = bed.push_update(reboot_on_success=False)
+    assert outcome.success
+    bed.device.agent.acknowledge_reboot()
+    return bed
+
+
+def count_install_ops(firmware_pair) -> int:
+    bed = staged_testbed(firmware_pair)
+    internal = bed.device.layout.get("a").flash
+    before = internal.stats.pages_erased + internal.stats.write_calls
+    result = bed.device.bootloader.boot()
+    assert result.version == 2
+    return (internal.stats.pages_erased + internal.stats.write_calls
+            - before)
+
+
+def test_install_involves_many_flash_operations(firmware_pair):
+    assert count_install_ops(firmware_pair) > 20
+
+
+def test_power_loss_at_every_install_operation(firmware_pair):
+    """Exhaustive sweep: interrupt the install at each flash operation."""
+    base, new = firmware_pair
+    total_ops = count_install_ops(firmware_pair)
+    # Sample every operation for small counts; stride for larger ones to
+    # keep the suite fast while still covering all three swap steps.
+    stride = max(1, total_ops // 40)
+    for op_index in range(0, total_ops, stride):
+        bed = staged_testbed(firmware_pair)
+        device = bed.device
+        internal = device.layout.get("a").flash
+
+        internal.inject_power_loss(op_index)
+        try:
+            device.bootloader.boot()
+            interrupted = False
+        except PowerLossError:
+            interrupted = True
+        except NoValidImage:
+            pytest.fail("op %d: bootloader saw no valid image" % op_index)
+        internal.clear_fault()
+
+        # Power restored: a fresh bootloader instance boots the device.
+        fresh = Bootloader(device.profile, device.layout, bed.anchors,
+                           device.backend)
+        result = fresh.boot()
+        assert result.version in (1, 2), "op %d" % op_index
+        # The booted slot holds exactly the bytes of that version.
+        expected = new if result.version == 2 else base
+        stored = result.slot.read(ENVELOPE_SIZE, len(expected))
+        assert stored == expected, "op %d" % op_index
+
+        # The update is never lost: at most one more boot finishes it.
+        final = fresh.boot()
+        assert final.version == 2, "op %d (interrupted=%s)" % (
+            op_index, interrupted)
+
+
+def test_power_loss_during_agent_write_is_safe(firmware_pair):
+    """Losing power while the agent writes the staging slot only loses
+    the download; the bootable image is untouched."""
+    base, new = firmware_pair
+    bed = Testbed.create(slot_configuration="b", slot_size=64 * 1024,
+                         initial_firmware=base,
+                         supports_differential=False)
+    bed.release(new, 2)
+    internal = bed.device.layout.get("a").flash
+    internal.inject_power_loss(20)  # during the staging erase/write
+    with pytest.raises(PowerLossError):
+        bed.push_update()  # the device dies mid-download
+    internal.clear_fault()
+    result = bed.device.bootloader.boot()
+    assert result.version == 1
+    assert result.slot.read(ENVELOPE_SIZE, len(base)) == base

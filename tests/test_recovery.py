@@ -1,0 +1,104 @@
+"""Recovery-slot tests: the factory image as last resort (Fig. 6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    Bootloader,
+    ENVELOPE_SIZE,
+    NoValidImage,
+    install_factory_image,
+    make_factory_image,
+    provision_device,
+)
+from repro.memory import FlashMemory, MemoryLayout
+from repro.platform import CC2650
+from tests.conftest import DEVICE_ID
+
+
+@pytest.fixture()
+def recovery_env(published, profile, anchors, backend, fw_v1):
+    """CC2650-style layout: internal bootable, external staging +
+    recovery; factory image in both the bootable and recovery slots."""
+    _, server = published
+    internal = CC2650.make_internal_flash()       # 128 kB
+    external = CC2650.make_external_flash()       # 1 MB
+    layout = MemoryLayout.configuration_b(internal, 48 * 1024,
+                                          external=external,
+                                          recovery=True)
+    factory = provision_device(server, layout.get("a"), DEVICE_ID)
+    install_factory_image(layout.get("recovery"), factory)
+    bootloader = Bootloader(profile, layout, anchors, backend)
+    return server, layout, bootloader, factory
+
+
+def test_layout_has_recovery_slot(recovery_env):
+    _, layout, _, _ = recovery_env
+    recovery = layout.get("recovery")
+    assert not recovery.bootable
+    assert "external" in recovery.flash.name
+    # Recovery is never chosen as the staging target.
+    assert layout.staging_slot.name == "b"
+
+
+def test_normal_boot_ignores_recovery(recovery_env):
+    _, _, bootloader, _ = recovery_env
+    result = bootloader.boot()
+    assert result.version == 1
+    assert result.slot.name == "a"
+    assert not result.rolled_back
+
+
+def test_recovery_restores_bricked_device(recovery_env, fw_v1):
+    """Bootable corrupt, nothing staged: the recovery image reinstalls."""
+    _, layout, bootloader, _ = recovery_env
+    layout.get("a").invalidate()          # corrupted bootable image
+    result = bootloader.boot()
+    assert result.version == 1
+    assert result.slot.name == "a"
+    assert result.rolled_back
+    assert layout.get("a").read(ENVELOPE_SIZE, len(fw_v1)) == fw_v1
+
+
+def test_staged_image_preferred_over_recovery(recovery_env, published,
+                                              vendor, fw_v2):
+    """A valid staged image beats the recovery path."""
+    server, layout, bootloader, _ = recovery_env
+    server.publish(vendor.release(fw_v2, 2))
+    from repro.core import DeviceToken, UpdateImage
+    image = server.prepare_update(
+        DeviceToken(device_id=DEVICE_ID, nonce=0, current_version=0))
+    install_factory_image(layout.get("b"), image)
+    layout.get("a").invalidate()
+    result = bootloader.boot()
+    assert result.version == 2            # staged v2, not recovery v1
+
+
+def test_all_slots_invalid_raises(recovery_env):
+    _, layout, bootloader, _ = recovery_env
+    layout.get("a").invalidate()
+    layout.get("recovery").invalidate()
+    with pytest.raises(NoValidImage):
+        bootloader.boot()
+
+
+def test_corrupt_recovery_detected(recovery_env):
+    _, layout, bootloader, _ = recovery_env
+    layout.get("a").invalidate()
+    recovery = layout.get("recovery")
+    recovery.flash.corrupt(recovery.offset + ENVELOPE_SIZE + 9, b"\x00")
+    with pytest.raises(NoValidImage):
+        bootloader.boot()
+
+
+def test_without_recovery_slot_still_raises(published, profile, anchors,
+                                            backend):
+    _, server = published
+    internal = FlashMemory(320 * 1024, page_size=4096)
+    layout = MemoryLayout.configuration_b(internal, 128 * 1024)
+    provision_device(server, layout.get("a"), DEVICE_ID)
+    layout.get("a").invalidate()
+    bootloader = Bootloader(profile, layout, anchors, backend)
+    with pytest.raises(NoValidImage):
+        bootloader.boot()

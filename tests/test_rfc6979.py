@@ -1,0 +1,68 @@
+"""HMAC-SHA256 and deterministic-nonce tests."""
+
+from __future__ import annotations
+
+import hashlib
+import hmac as stdlib_hmac
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import P256, hmac_sha256
+from repro.crypto.rfc6979 import deterministic_nonce
+from repro.crypto.sha256 import sha256
+
+# RFC 4231 test case 1.
+RFC4231_KEY = b"\x0b" * 20
+RFC4231_DATA = b"Hi There"
+RFC4231_MAC = bytes.fromhex(
+    "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7")
+
+# RFC 6979 A.2.5: k for P-256 / SHA-256 / "sample".
+RFC6979_KEY = int(
+    "C9AFA9D845BA75166B5C215767B1D6934E50C3DB36E89B127B8A622B120F6721", 16)
+RFC6979_K = int(
+    "A6E3C57DD01ABE90086538398355DD4C3B17AA873382B0F24D6129493D8AAD60", 16)
+
+
+def test_rfc4231_vector():
+    assert hmac_sha256(RFC4231_KEY, RFC4231_DATA) == RFC4231_MAC
+
+
+def test_rfc4231_long_key():
+    # Test case 6: 131-byte key must be hashed down first.
+    key = b"\xaa" * 131
+    data = b"Test Using Larger Than Block-Size Key - Hash Key First"
+    expected = bytes.fromhex(
+        "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54")
+    assert hmac_sha256(key, data) == expected
+
+
+def test_rfc6979_nonce_vector():
+    digest = sha256(b"sample")
+    assert deterministic_nonce(RFC6979_KEY, digest, P256.n) == RFC6979_K
+
+
+def test_nonce_in_range():
+    digest = sha256(b"anything")
+    k = deterministic_nonce(12345, digest, P256.n)
+    assert 1 <= k < P256.n
+
+
+def test_nonce_differs_per_message():
+    k1 = deterministic_nonce(12345, sha256(b"m1"), P256.n)
+    k2 = deterministic_nonce(12345, sha256(b"m2"), P256.n)
+    assert k1 != k2
+
+
+def test_nonce_differs_per_key():
+    digest = sha256(b"m")
+    assert (deterministic_nonce(111, digest, P256.n)
+            != deterministic_nonce(222, digest, P256.n))
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.binary(max_size=200), st.binary(max_size=200))
+def test_hmac_matches_stdlib(key, data):
+    expected = stdlib_hmac.new(key, data, hashlib.sha256).digest()
+    assert hmac_sha256(key, data) == expected

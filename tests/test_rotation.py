@@ -1,0 +1,166 @@
+"""Key-rotation (TUF-style survivable key compromise) tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import make_test_identities
+from repro.core.rotation import (
+    ROLE_SERVER,
+    ROLE_VENDOR,
+    RotationError,
+    RotationStatement,
+    TrustStore,
+)
+from repro.crypto import generate_keypair
+
+
+@pytest.fixture()
+def setup():
+    vendor, server, anchors = make_test_identities()
+    root = generate_keypair(b"offline-root")
+    store = TrustStore(root.public_key(), anchors)
+    return vendor, server, anchors, root, store
+
+
+def rotate(role, generation, new_private, root, current):
+    return RotationStatement.create(
+        role, generation, new_private.public_key(), root, current)
+
+
+def test_valid_vendor_rotation(setup):
+    vendor, _, anchors, root, store = setup
+    new_vendor = generate_keypair(b"vendor-gen2")
+    statement = rotate(ROLE_VENDOR, 1, new_vendor, root,
+                       vendor.private_key)
+    new_anchors = store.apply(statement)
+    assert new_anchors.vendor.point == new_vendor.public_key().point
+    assert new_anchors.server.point == anchors.server.point
+    assert store.generation(ROLE_VENDOR) == 1
+
+
+def test_valid_server_rotation(setup):
+    _, server, _, root, store = setup
+    new_server = generate_keypair(b"server-gen2")
+    store.apply(rotate(ROLE_SERVER, 1, new_server, root,
+                       server.private_key))
+    assert store.anchors.server.point == new_server.public_key().point
+
+
+def test_rotation_without_root_rejected(setup):
+    """A stolen vendor key alone cannot rotate trust to the attacker."""
+    vendor, _, _, root, store = setup
+    attacker = generate_keypair(b"attacker")
+    fake_root = generate_keypair(b"fake-root")
+    statement = rotate(ROLE_VENDOR, 1, attacker, fake_root,
+                       vendor.private_key)
+    with pytest.raises(RotationError, match="root"):
+        store.apply(statement)
+
+
+def test_rotation_without_role_key_rejected(setup):
+    """A stolen root key alone cannot rotate either."""
+    _, _, _, root, store = setup
+    attacker = generate_keypair(b"attacker")
+    statement = rotate(ROLE_VENDOR, 1, attacker, root, attacker)
+    with pytest.raises(RotationError, match="vendor"):
+        store.apply(statement)
+
+
+def test_generation_replay_rejected(setup):
+    vendor, _, _, root, store = setup
+    gen2 = generate_keypair(b"vendor-gen2")
+    gen3 = generate_keypair(b"vendor-gen3")
+    first = rotate(ROLE_VENDOR, 1, gen2, root, vendor.private_key)
+    store.apply(first)
+    store.apply(rotate(ROLE_VENDOR, 2, gen3, root, gen2))
+    # Replaying the first (older) statement must fail, even though its
+    # signatures are valid for generation 1.
+    with pytest.raises(RotationError, match="replay"):
+        store.apply(first)
+
+
+def test_chained_rotations_update_signer(setup):
+    """After rotation, only the NEW key can authorise the next one."""
+    vendor, _, _, root, store = setup
+    gen2 = generate_keypair(b"vendor-gen2")
+    store.apply(rotate(ROLE_VENDOR, 1, gen2, root, vendor.private_key))
+    gen3 = generate_keypair(b"vendor-gen3")
+    # Signed by the retired generation-0 key: rejected.
+    with pytest.raises(RotationError):
+        store.apply(rotate(ROLE_VENDOR, 2, gen3, root,
+                           vendor.private_key))
+    # Signed by the live generation-1 key: accepted.
+    store.apply(rotate(ROLE_VENDOR, 2, gen3, root, gen2))
+    assert store.generation(ROLE_VENDOR) == 2
+
+
+def test_statement_pack_unpack(setup):
+    vendor, _, _, root, store = setup
+    statement = rotate(ROLE_VENDOR, 1, generate_keypair(b"g2"), root,
+                       vendor.private_key)
+    parsed = RotationStatement.unpack(statement.pack())
+    assert parsed == statement
+    store.apply(parsed)
+
+
+def test_statement_unpack_validation():
+    with pytest.raises(RotationError):
+        RotationStatement.unpack(b"\x00" * 10)
+    with pytest.raises(RotationError):
+        RotationStatement.unpack(b"XXXX" + b"\x00" * 198)
+
+
+def test_statement_field_validation(setup):
+    vendor, _, _, root, _ = setup
+    key = generate_keypair(b"g2").public_key()
+    with pytest.raises(RotationError):
+        RotationStatement(role=9, generation=1, new_key=key,
+                          root_signature=b"\x00" * 64,
+                          role_signature=b"\x00" * 64)
+    with pytest.raises(RotationError):
+        RotationStatement(role=ROLE_VENDOR, generation=0, new_key=key,
+                          root_signature=b"\x00" * 64,
+                          role_signature=b"\x00" * 64)
+
+
+def test_rotated_anchors_gate_updates(setup):
+    """End to end: after rotation, old-key releases are rejected and
+    new-key releases verify."""
+    from repro.core import (
+        DeviceProfile,
+        DeviceToken,
+        SignatureInvalid,
+        SigningIdentity,
+        UpdateServer,
+        VendorServer,
+        Verifier,
+    )
+    from repro.crypto import get_backend
+
+    vendor, server, anchors, root, store = setup
+    profile = DeviceProfile(device_id=1, app_id=2, link_offset=0)
+    token = DeviceToken(device_id=1, nonce=5, current_version=0)
+
+    # Rotate the vendor key.
+    new_vendor_key = generate_keypair(b"vendor-gen2")
+    store.apply(rotate(ROLE_VENDOR, 1, new_vendor_key, root,
+                       vendor.private_key))
+    verifier = Verifier(store.anchors, get_backend("tinycrypt"))
+
+    def image_from(identity):
+        vendor_srv = VendorServer(identity, app_id=2, link_offset=0)
+        update_srv = UpdateServer(server)
+        update_srv.publish(vendor_srv.release(b"\x01" * 512, 1))
+        return update_srv.prepare_update(token)
+
+    # Old (compromised) vendor key: rejected.
+    with pytest.raises(SignatureInvalid):
+        verifier.validate_for_agent(
+            image_from(vendor).envelope, profile=profile, token=token,
+            installed_version=0, slot_capacity=10 ** 6)
+    # New vendor key: accepted.
+    new_identity = SigningIdentity("vendor", new_vendor_key)
+    verifier.validate_for_agent(
+        image_from(new_identity).envelope, profile=profile, token=token,
+        installed_version=0, slot_capacity=10 ** 6)

@@ -1,0 +1,142 @@
+"""SLIP framing and serial upload-session tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.serial import (
+    SERIAL_UART,
+    SerialUploadSession,
+    SlipDecoder,
+    SlipError,
+    slip_encode,
+)
+from repro.sim import Testbed
+from repro.workload import FirmwareGenerator
+
+
+# -- SLIP codec --------------------------------------------------------------------
+
+
+def roundtrip(payload: bytes) -> bytes:
+    frames = SlipDecoder().feed(slip_encode(payload))
+    assert len(frames) == 1
+    return frames[0]
+
+
+@pytest.mark.parametrize("payload", [
+    b"plain",
+    b"\xC0",                    # END byte escaped
+    b"\xDB",                    # ESC byte escaped
+    b"\xC0\xDB\xC0\xDB",
+    bytes(range(256)),
+], ids=["plain", "end", "esc", "mixed", "all-bytes"])
+def test_slip_roundtrip(payload):
+    assert roundtrip(payload) == payload
+
+
+def test_slip_frame_boundaries():
+    wire = slip_encode(b"one") + slip_encode(b"two")
+    assert SlipDecoder().feed(wire) == [b"one", b"two"]
+
+
+def test_slip_incremental_feed():
+    wire = slip_encode(b"chunked frame payload")
+    decoder = SlipDecoder()
+    frames = []
+    for index in range(len(wire)):
+        frames.extend(decoder.feed(wire[index:index + 1]))
+    assert frames == [b"chunked frame payload"]
+    assert not decoder.partial
+
+
+def test_slip_discards_line_noise_before_first_frame():
+    wire = b"\x01\x02garbage" + slip_encode(b"real")
+    assert SlipDecoder().feed(wire) == [b"real"]
+
+
+def test_slip_invalid_escape_rejected():
+    with pytest.raises(SlipError):
+        SlipDecoder().feed(bytes([END_BYTE := 0xC0, 0xDB, 0x99]))
+
+
+def test_slip_partial_flag():
+    decoder = SlipDecoder()
+    decoder.feed(slip_encode(b"abc")[:-1])  # missing closing END
+    assert decoder.partial
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.binary(max_size=300))
+def test_slip_roundtrip_property(payload):
+    if payload:
+        assert roundtrip(payload) == payload
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.binary(min_size=1, max_size=60), min_size=1,
+                max_size=6))
+def test_slip_multiframe_property(payloads):
+    wire = b"".join(slip_encode(p) for p in payloads)
+    assert SlipDecoder().feed(wire) == payloads
+
+
+# -- serial upload session -------------------------------------------------------------
+
+
+@pytest.fixture()
+def testbed():
+    gen = FirmwareGenerator(seed=b"serial")
+    fw_v1 = gen.firmware(12 * 1024, image_id=1)
+    bed = Testbed.create(initial_firmware=fw_v1, slot_size=64 * 1024)
+    bed.release(gen.os_version_change(fw_v1, revision=2), 2)
+    return bed
+
+
+def test_serial_upload_to_upkit_agent(testbed):
+    session = SerialUploadSession(testbed.device, testbed.server)
+    assert session.run()
+    assert testbed.device.reboot().version == 2
+    assert session.frames_sent > 10
+    # SLIP overhead: wire bytes exceed the payload bytes.
+    assert session.bytes_on_wire > session.frames_sent * 2
+
+
+def test_serial_upload_to_mcumgr_baseline(testbed):
+    """The baseline's native deployment: mcumgr over a serial shell."""
+    from repro.baselines import McubootBootloader, McumgrAgent
+
+    device = testbed.device
+    device.agent = McumgrAgent(device.profile, device.layout)
+    device.bootloader = McubootBootloader(
+        device.profile, device.layout, testbed.anchors, device.backend)
+    session = SerialUploadSession(device, testbed.server)
+    assert session.run()
+    assert device.reboot().version == 2
+
+
+def test_serial_slower_than_ble_for_same_image(testbed):
+    """UART at 115200 with per-frame turnaround vs. BLE GATT."""
+    serial_bed = testbed
+    session = SerialUploadSession(serial_bed.device, serial_bed.server)
+    session.run()
+    serial_time = serial_bed.device.clock.now
+
+    gen = FirmwareGenerator(seed=b"serial")
+    fw_v1 = gen.firmware(12 * 1024, image_id=1)
+    ble_bed = Testbed.create(initial_firmware=fw_v1, slot_size=64 * 1024)
+    ble_bed.release(gen.os_version_change(fw_v1, revision=2), 2)
+    outcome = ble_bed.push_update(reboot_on_success=False)
+    assert outcome.success
+    # Both transports work; their relative speed is config-dependent,
+    # but neither should be an order of magnitude off the other for a
+    # 12 kB delta.
+    assert serial_time < outcome.phases["propagation"] * 10
+    assert serial_time > 0
+
+
+def test_serial_profile_shape():
+    assert SERIAL_UART.mtu == 128
+    assert SERIAL_UART.raw_throughput == pytest.approx(11_520.0)

@@ -1,0 +1,206 @@
+"""Protocol-level session tests: updates over real CoAP / ATT messages."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ENVELOPE_SIZE
+from repro.net import (
+    AttOpcode,
+    AttPacket,
+    BleGattPushSession,
+    CoapPullSession,
+    Command,
+    ControlCommand,
+    GattPeripheral,
+    Handle,
+    Status,
+    StatusNotification,
+)
+from repro.sim import Testbed
+from repro.workload import FirmwareGenerator
+
+IMAGE_SIZE = 8 * 1024
+
+
+@pytest.fixture()
+def gen():
+    return FirmwareGenerator(seed=b"session-tests")
+
+
+@pytest.fixture()
+def testbed(gen):
+    fw_v1 = gen.firmware(IMAGE_SIZE, image_id=1)
+    bed = Testbed.create(initial_firmware=fw_v1, slot_size=64 * 1024)
+    bed.release(gen.os_version_change(fw_v1, revision=2), 2)
+    return bed
+
+
+# -- CoAP pull session --------------------------------------------------------------
+
+
+def test_coap_pull_session_updates(testbed):
+    outcome = CoapPullSession(testbed.device, testbed.server).run()
+    assert outcome.success
+    assert outcome.booted_version == 2
+    assert outcome.messages > 10       # blockwise round-trips happened
+    assert outcome.bytes_on_wire > 1000
+    assert outcome.error is None
+
+
+def test_coap_pull_session_noop_when_current(gen):
+    fw = gen.firmware(IMAGE_SIZE, image_id=1)
+    bed = Testbed.create(initial_firmware=fw, slot_size=64 * 1024)
+    outcome = CoapPullSession(bed.device, bed.server).run()
+    assert not outcome.success
+    assert outcome.error == "nothing-newer"
+    assert outcome.messages == 2       # a single version poll
+
+
+def test_coap_pull_session_block_sizes(gen):
+    for block_size in (32, 128, 512):
+        fw = gen.firmware(IMAGE_SIZE, image_id=1)
+        bed = Testbed.create(initial_firmware=fw, slot_size=64 * 1024)
+        bed.release(gen.os_version_change(fw, revision=2), 2)
+        outcome = CoapPullSession(bed.device, bed.server,
+                                  block_size=block_size).run()
+        assert outcome.success, block_size
+
+
+def test_coap_image_bound_per_token(testbed):
+    """Two sessions for the same device produce distinct signed images
+    (the resource is parameterised by the token)."""
+    session = CoapPullSession(testbed.device, testbed.server)
+    outcome = session.run()
+    assert outcome.success
+    assert len(session._image_cache) == 1
+    assert testbed.server.stats.requests >= 2  # factory + this session
+
+
+# -- BLE GATT push session --------------------------------------------------------------
+
+
+def test_ble_push_session_updates(testbed):
+    outcome = BleGattPushSession(testbed.device, testbed.server).run()
+    assert outcome.success
+    assert outcome.booted_version == 2
+    # ATT values are capped at MTU-3 bytes.
+    assert outcome.messages > ENVELOPE_SIZE // 20
+
+
+def test_ble_push_session_larger_mtu_fewer_packets(gen):
+    fw = gen.firmware(IMAGE_SIZE, image_id=1)
+    results = {}
+    for mtu in (23, 247):
+        bed = Testbed.create(initial_firmware=fw, slot_size=64 * 1024)
+        bed.release(gen.os_version_change(fw, revision=2), 2)
+        outcome = BleGattPushSession(bed.device, bed.server,
+                                     att_mtu=mtu).run()
+        assert outcome.success
+        results[mtu] = outcome.messages
+    assert results[247] < results[23] / 5
+
+
+def test_gatt_peripheral_token_flow(testbed):
+    peripheral = GattPeripheral(testbed.device)
+    request = AttPacket(AttOpcode.WRITE_REQUEST, Handle.CONTROL_POINT,
+                        ControlCommand(Command.REQUEST_TOKEN).encode())
+    replies = [AttPacket.decode(raw)
+               for raw in peripheral.handle(request.encode())]
+    opcodes = [reply.opcode for reply in replies]
+    assert AttOpcode.WRITE_RESPONSE in opcodes
+    notes = [StatusNotification.decode(reply.value) for reply in replies
+             if reply.opcode == AttOpcode.HANDLE_VALUE_NOTIFICATION]
+    assert notes and notes[0].status == Status.TOKEN
+    assert len(notes[0].payload) == 10  # a packed DeviceToken
+
+
+def test_gatt_peripheral_reports_errors(testbed):
+    peripheral = GattPeripheral(testbed.device)
+    token_req = AttPacket(AttOpcode.WRITE_REQUEST, Handle.CONTROL_POINT,
+                          ControlCommand(Command.REQUEST_TOKEN).encode())
+    peripheral.handle(token_req.encode())
+    # Garbage manifest bytes: after ENVELOPE_SIZE of them the agent
+    # rejects and the peripheral notifies ERROR.
+    error_seen = False
+    for _ in range(ENVELOPE_SIZE // 20 + 1):
+        data = AttPacket(AttOpcode.WRITE_COMMAND, Handle.DATA, b"\x00" * 20)
+        for raw in peripheral.handle(data.encode()):
+            reply = AttPacket.decode(raw)
+            if reply.opcode == AttOpcode.HANDLE_VALUE_NOTIFICATION:
+                note = StatusNotification.decode(reply.value)
+                if note.status == Status.ERROR:
+                    error_seen = True
+    assert error_seen
+    # The FSM cleaned up: a new token request works.
+    assert testbed.device.agent.request_token() is not None
+
+
+def test_gatt_abort_command(testbed):
+    peripheral = GattPeripheral(testbed.device)
+    token_req = AttPacket(AttOpcode.WRITE_REQUEST, Handle.CONTROL_POINT,
+                          ControlCommand(Command.REQUEST_TOKEN).encode())
+    peripheral.handle(token_req.encode())
+    abort = AttPacket(AttOpcode.WRITE_REQUEST, Handle.CONTROL_POINT,
+                      ControlCommand(Command.ABORT).encode())
+    peripheral.handle(abort.encode())
+    from repro.core import AgentState
+    assert testbed.device.agent.state is AgentState.WAITING
+
+
+def test_sessions_account_radio_time(testbed):
+    before = testbed.device.clock.now
+    CoapPullSession(testbed.device, testbed.server).run()
+    assert testbed.device.clock.now > before
+    phases = testbed.device.phase_breakdown()
+    assert phases.get("propagation", 0) > 0
+    assert phases.get("loading", 0) > 0
+
+
+# -- CoAP Observe (RFC 7641) -----------------------------------------------------
+
+
+def test_observe_registration_and_notification(testbed):
+    session = CoapPullSession(testbed.device, testbed.server)
+    session.subscribe()
+    assert session.resources.observers("version") == [b"\x07"]
+
+    notifications = session.resources.notify("version")
+    assert len(notifications) == 1
+    from repro.net import CoapMessage, CoapOption
+    note = CoapMessage.decode(notifications[0])
+    assert note.option(CoapOption.OBSERVE) is not None
+    assert int.from_bytes(note.payload, "big") == 2  # latest version
+
+
+def test_notification_triggers_update(testbed):
+    session = CoapPullSession(testbed.device, testbed.server)
+    session.subscribe()
+    notification = session.resources.notify("version")[0]
+    assert session.handle_notification(notification)
+    assert testbed.device.installed_version() == 2
+
+
+def test_stale_notification_is_ignored(gen):
+    fw = gen.firmware(IMAGE_SIZE, image_id=1)
+    bed = Testbed.create(initial_firmware=fw, slot_size=64 * 1024)
+    session = CoapPullSession(bed.device, bed.server)
+    session.subscribe()
+    notification = session.resources.notify("version")[0]
+    # The device already runs version 1: nothing happens.
+    assert not session.handle_notification(notification)
+    assert bed.device.installed_version() == 1
+
+
+def test_observe_deregistration(testbed):
+    from repro.net import CoapCode, CoapMessage, CoapOption, CoapType
+
+    session = CoapPullSession(testbed.device, testbed.server)
+    session.subscribe()
+    cancel = CoapMessage(mtype=CoapType.CON, code=CoapCode.GET,
+                         message_id=100, token=b"\x07")
+    cancel.add_option(CoapOption.OBSERVE, b"\x01")  # Observe=1
+    cancel.add_option(CoapOption.URI_PATH, b"version")
+    session.resources.handle(cancel.encode())
+    assert session.resources.observers("version") == []
+    assert session.resources.notify("version") == []

@@ -1,0 +1,90 @@
+"""SHA-256 implementation tests (oracle: hashlib)."""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import SHA256, sha256
+
+
+KNOWN_VECTORS = [
+    (b"", "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"),
+    (b"abc",
+     "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"),
+    (b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+     "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"),
+    (b"a" * 1_000_000,
+     "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"),
+]
+
+
+@pytest.mark.parametrize("message,expected", KNOWN_VECTORS,
+                         ids=["empty", "abc", "nist-448bit", "million-a"])
+def test_fips_vectors(message, expected):
+    assert sha256(message).hex() == expected
+
+
+@pytest.mark.parametrize("length", [0, 1, 54, 55, 56, 57, 63, 64, 65, 127,
+                                    128, 1000])
+def test_padding_boundaries_match_hashlib(length):
+    data = bytes(range(256)) * (length // 256 + 1)
+    data = data[:length]
+    assert sha256(data) == hashlib.sha256(data).digest()
+
+
+def test_incremental_equals_one_shot():
+    hasher = SHA256()
+    hasher.update(b"hello ").update(b"world")
+    assert hasher.digest() == sha256(b"hello world")
+
+
+def test_digest_is_idempotent():
+    hasher = SHA256(b"data")
+    first = hasher.digest()
+    assert hasher.digest() == first
+    hasher.update(b"more")
+    assert hasher.digest() != first
+    assert hasher.digest() == sha256(b"datamore")
+
+
+def test_copy_forks_state():
+    base = SHA256(b"prefix")
+    fork = base.copy()
+    base.update(b"-a")
+    fork.update(b"-b")
+    assert base.digest() == sha256(b"prefix-a")
+    assert fork.digest() == sha256(b"prefix-b")
+
+
+def test_hexdigest():
+    assert SHA256(b"abc").hexdigest() == KNOWN_VECTORS[1][1]
+
+
+def test_update_rejects_str():
+    with pytest.raises(TypeError):
+        SHA256().update("not bytes")  # type: ignore[arg-type]
+
+
+def test_digest_size_attributes():
+    assert SHA256.digest_size == 32
+    assert SHA256.block_size == 64
+    assert len(sha256(b"x")) == 32
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.binary(max_size=4096))
+def test_matches_hashlib(data):
+    assert sha256(data) == hashlib.sha256(data).digest()
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.binary(max_size=300), max_size=10))
+def test_chunked_update_matches_concatenation(chunks):
+    hasher = SHA256()
+    for chunk in chunks:
+        hasher.update(chunk)
+    assert hasher.digest() == sha256(b"".join(chunks))

@@ -1,0 +1,153 @@
+"""Simulation substrate tests: clock, energy meter, device, testbed."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.platform import CC2650, NRF52840, CONTIKI
+from repro.sim import EnergyMeter, Testbed, VirtualClock
+
+
+# -- clock --------------------------------------------------------------------
+
+
+def test_clock_advances():
+    clock = VirtualClock()
+    clock.advance(1.5, "radio")
+    clock.advance(0.5, "flash")
+    assert clock.now == pytest.approx(2.0)
+
+
+def test_clock_rejects_negative():
+    with pytest.raises(ValueError):
+        VirtualClock().advance(-1.0)
+
+
+def test_clock_label_accounting():
+    clock = VirtualClock()
+    clock.advance(1.0, "a")
+    clock.advance(2.0, "b")
+    clock.advance(3.0, "a")
+    assert clock.elapsed_by_label() == {"a": 4.0, "b": 2.0}
+
+
+def test_clock_reset():
+    clock = VirtualClock()
+    clock.advance(1.0)
+    clock.reset()
+    assert clock.now == 0.0
+    assert clock.elapsed_by_label() == {}
+
+
+# -- energy meter -----------------------------------------------------------------
+
+
+def test_energy_meter_integrates_charge():
+    meter = EnergyMeter(supply_volts=3.0)
+    meter.add("radio", seconds=2.0, current_ma=5.0)  # 10 mC
+    assert meter.charge_mc("radio") == pytest.approx(10.0)
+    assert meter.energy_mj("radio") == pytest.approx(30.0)
+
+
+def test_energy_meter_totals_and_breakdown():
+    meter = EnergyMeter()
+    meter.add("radio", 1.0, 6.0)
+    meter.add("cpu", 1.0, 4.0)
+    assert meter.charge_mc() == pytest.approx(10.0)
+    assert set(meter.breakdown_mj()) == {"radio", "cpu"}
+
+
+def test_energy_meter_rejects_negative():
+    with pytest.raises(ValueError):
+        EnergyMeter().add("x", -1.0, 5.0)
+
+
+def test_energy_meter_reset():
+    meter = EnergyMeter()
+    meter.add("x", 1.0, 1.0)
+    meter.reset()
+    assert meter.charge_mc() == 0.0
+
+
+# -- testbed / device -----------------------------------------------------------------
+
+
+def test_testbed_provisions_version_one():
+    bed = Testbed.create(initial_firmware=b"\x11" * 2048,
+                         slot_size=64 * 1024)
+    assert bed.device.installed_version() == 1
+
+
+def test_testbed_provisioning_costs_zeroed():
+    bed = Testbed.create(initial_firmware=b"\x11" * 2048,
+                         slot_size=64 * 1024)
+    assert bed.device.clock.now == 0.0
+    for slot in bed.device.layout.slots:
+        assert slot.flash.stats.busy_seconds == 0.0
+
+
+def test_testbed_static_configuration():
+    bed = Testbed.create(initial_firmware=b"\x22" * 2048,
+                         slot_configuration="b", slot_size=64 * 1024)
+    assert not bed.device.layout.is_ab
+
+
+def test_testbed_cc2650_uses_external_flash():
+    bed = Testbed.create(board=CC2650, os_profile=CONTIKI,
+                         crypto_library="cryptoauthlib",
+                         slot_configuration="b",
+                         initial_firmware=b"\x33" * 2048,
+                         slot_size=48 * 1024)
+    staging = bed.device.layout.get("b")
+    assert "external" in staging.flash.name
+
+
+def test_testbed_invalid_configuration():
+    with pytest.raises(ValueError):
+        Testbed.create(slot_configuration="c")
+
+
+def test_device_reboot_accounts_loading_time():
+    bed = Testbed.create(initial_firmware=b"\x44" * 2048,
+                         slot_size=64 * 1024)
+    result = bed.device.reboot()
+    assert result.version == 1
+    phases = bed.device.phase_breakdown()
+    assert phases.get("loading", 0) >= NRF52840.reboot_seconds
+
+
+def test_device_radio_accounting():
+    bed = Testbed.create(initial_firmware=b"\x55" * 2048,
+                         slot_size=64 * 1024)
+    bed.device.account_radio(2.0, "rx")
+    assert bed.device.clock.now == pytest.approx(2.0)
+    assert bed.device.meter.charge_mc("radio_rx") == pytest.approx(
+        2.0 * NRF52840.radio_rx_ma)
+
+
+def test_reset_meters():
+    bed = Testbed.create(initial_firmware=b"\x66" * 2048,
+                         slot_size=64 * 1024)
+    bed.device.account_radio(1.0, "rx")
+    bed.reset_meters()
+    assert bed.device.clock.now == 0.0
+    assert bed.device.meter.charge_mc() == 0.0
+
+
+def test_release_then_update_changes_version(firmware_gen):
+    fw_v1 = firmware_gen.firmware(8 * 1024, image_id=1)
+    bed = Testbed.create(initial_firmware=fw_v1, slot_size=64 * 1024)
+    bed.release(firmware_gen.app_functionality_change(fw_v1), 2)
+    outcome = bed.push_update()
+    assert outcome.success
+    assert bed.device.installed_version() == 2
+
+
+def test_board_factories():
+    internal = NRF52840.make_internal_flash()
+    assert internal.size == 1024 * 1024
+    assert NRF52840.has_external_flash is False
+    with pytest.raises(ValueError):
+        NRF52840.make_external_flash()
+    external = CC2650.make_external_flash()
+    assert "external" in external.name

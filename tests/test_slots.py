@@ -1,0 +1,224 @@
+"""Slot and memory-layout tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.memory import (
+    FlashMemory,
+    MemoryLayout,
+    OpenMode,
+    Slot,
+    SlotError,
+    SlotIOError,
+)
+
+
+@pytest.fixture()
+def device():
+    return FlashMemory(64 * 1024, page_size=4096)
+
+
+@pytest.fixture()
+def slot(device):
+    return Slot("s", device, 0, 16 * 1024, bootable=True)
+
+
+def test_slot_alignment_enforced(device):
+    with pytest.raises(SlotError):
+        Slot("bad", device, 100, 4096, bootable=True)
+    with pytest.raises(SlotError):
+        Slot("bad", device, 0, 5000, bootable=True)
+
+
+def test_slot_must_fit_device(device):
+    with pytest.raises(SlotError):
+        Slot("big", device, 0, device.size + 4096, bootable=True)
+
+
+def test_write_all_mode_erases_whole_slot(slot, device):
+    slot.write(0, b"\x00" * 100)  # dirty the slot
+    handle = slot.open(OpenMode.WRITE_ALL)
+    assert slot.is_erased()
+    handle.write(b"image")
+    assert slot.read(0, 5) == b"image"
+    # WRITE_ALL pre-erased everything: exactly slot-size/page-size erases.
+    assert device.stats.pages_erased == slot.size // device.page_size
+
+
+def test_sequential_rewrite_erases_lazily(slot, device):
+    slot.erase()
+    device.reset_stats()
+    handle = slot.open(OpenMode.SEQUENTIAL_REWRITE)
+    handle.write(b"x" * 100)  # touches only page 0
+    assert device.stats.pages_erased == 1
+    handle.write(b"y" * 4096)  # crosses into page 1
+    assert device.stats.pages_erased == 2
+
+
+def test_sequential_rewrite_does_not_re_erase(slot, device):
+    handle = slot.open(OpenMode.SEQUENTIAL_REWRITE)
+    handle.write(b"a" * 10)
+    handle.write(b"b" * 10)  # same page: no second erase
+    assert device.stats.erase_counts[0] == 1
+
+
+def test_read_only_mode_rejects_writes(slot):
+    handle = slot.open(OpenMode.READ_ONLY)
+    with pytest.raises(SlotIOError):
+        handle.write(b"x")
+
+
+def test_handle_read_and_seek(slot):
+    slot.open(OpenMode.WRITE_ALL).write(b"0123456789")
+    handle = slot.open(OpenMode.READ_ONLY)
+    assert handle.read(4) == b"0123"
+    assert handle.tell() == 4
+    handle.seek(8)
+    assert handle.read(2) == b"89"
+    assert handle.read_at(2, 3) == b"234"
+
+
+def test_read_clamps_at_slot_end(slot):
+    handle = slot.open(OpenMode.READ_ONLY)
+    handle.seek(slot.size - 2)
+    assert len(handle.read(100)) == 2
+
+
+def test_write_overflow_rejected(slot):
+    handle = slot.open(OpenMode.WRITE_ALL)
+    handle.seek(slot.size - 4)
+    with pytest.raises(SlotIOError):
+        handle.write(b"too long")
+
+
+def test_closed_handle_rejected(slot):
+    handle = slot.open(OpenMode.READ_ONLY)
+    handle.close()
+    with pytest.raises(SlotIOError):
+        handle.read(1)
+
+
+def test_context_manager(slot):
+    with slot.open(OpenMode.WRITE_ALL) as handle:
+        handle.write(b"ctx")
+    with pytest.raises(SlotIOError):
+        handle.write(b"after close")
+
+
+def test_invalidate_erases_only_first_page(slot, device):
+    slot.open(OpenMode.WRITE_ALL).write(b"\x00" * 10_000)
+    device.reset_stats()
+    slot.invalidate()
+    assert device.stats.pages_erased == 1
+    assert slot.read(0, 4) == b"\xff\xff\xff\xff"
+    assert slot.read(4096, 1) == b"\x00"  # rest untouched
+
+
+def test_slot_bounds(slot):
+    with pytest.raises(SlotError):
+        slot.read(slot.size - 1, 2)
+    with pytest.raises(SlotError):
+        slot.write(slot.size, b"x")
+
+
+# -- layouts ----------------------------------------------------------------
+
+
+def test_configuration_a_two_bootable(device):
+    layout = MemoryLayout.configuration_a(device, 16 * 1024)
+    assert layout.is_ab
+    assert [slot.name for slot in layout.bootable_slots] == ["a", "b"]
+
+
+def test_configuration_b_static(device):
+    layout = MemoryLayout.configuration_b(device, 16 * 1024)
+    assert not layout.is_ab
+    assert layout.get("a").bootable
+    assert not layout.get("b").bootable
+
+
+def test_configuration_b_external_staging(device):
+    external = FlashMemory(64 * 1024, page_size=4096, name="ext")
+    layout = MemoryLayout.configuration_b(device, 16 * 1024,
+                                          external=external)
+    assert layout.get("b").flash is external
+    assert layout.get("b").offset == 0
+
+
+def test_configuration_b_recovery_requires_external(device):
+    with pytest.raises(SlotError):
+        MemoryLayout.configuration_b(device, 16 * 1024, recovery=True)
+    external = FlashMemory(64 * 1024, page_size=4096, name="ext")
+    layout = MemoryLayout.configuration_b(device, 16 * 1024,
+                                          external=external, recovery=True)
+    assert not layout.get("recovery").bootable
+
+
+def test_layout_validation(device):
+    with pytest.raises(SlotError):
+        MemoryLayout([])
+    non_bootable = Slot("x", device, 0, 4096, bootable=False)
+    with pytest.raises(SlotError):
+        MemoryLayout([non_bootable])
+    a = Slot("dup", device, 0, 4096, bootable=True)
+    b = Slot("dup", device, 4096, 4096, bootable=True)
+    with pytest.raises(SlotError):
+        MemoryLayout([a, b])
+
+
+def test_get_unknown_slot(device):
+    layout = MemoryLayout.configuration_a(device, 16 * 1024)
+    with pytest.raises(SlotError):
+        layout.get("nope")
+
+
+def test_copy_slot(device):
+    layout = MemoryLayout.configuration_a(device, 16 * 1024)
+    src, dst = layout.get("a"), layout.get("b")
+    src.open(OpenMode.WRITE_ALL).write(b"payload" * 100)
+    layout.copy_slot(src, dst, length=700)
+    assert dst.read(0, 700) == src.read(0, 700)
+
+
+def test_copy_slot_too_large_rejected(device):
+    layout = MemoryLayout.configuration_a(device, 16 * 1024)
+    with pytest.raises(SlotError):
+        layout.copy_slot(layout.get("a"), layout.get("b"),
+                         length=32 * 1024)
+
+
+def test_swap_slots(device):
+    layout = MemoryLayout.configuration_a(device, 16 * 1024)
+    a, b = layout.get("a"), layout.get("b")
+    a.open(OpenMode.WRITE_ALL).write(b"AAAA")
+    b.open(OpenMode.WRITE_ALL).write(b"BBBB")
+    layout.swap_slots(a, b)
+    assert a.read(0, 4) == b"BBBB"
+    assert b.read(0, 4) == b"AAAA"
+
+
+def test_swap_slots_partial_length(device):
+    layout = MemoryLayout.configuration_a(device, 16 * 1024)
+    a, b = layout.get("a"), layout.get("b")
+    a.open(OpenMode.WRITE_ALL).write(b"\x01" * 16 * 1024)
+    b.open(OpenMode.WRITE_ALL).write(b"\x02" * 16 * 1024)
+    device.reset_stats()
+    layout.swap_slots(a, b, length=4096)
+    assert a.read(0, 4096) == b"\x02" * 4096
+    # Pages beyond the swapped extent are untouched.
+    assert a.read(8192, 100) == b"\x01" * 100
+
+
+def test_swap_requires_equal_sizes(device):
+    a = Slot("a", device, 0, 8192, bootable=True)
+    b = Slot("b", device, 8192, 4096, bootable=False)
+    layout = MemoryLayout([a, b])
+    with pytest.raises(SlotError):
+        layout.swap_slots(a, b)
+
+
+def test_total_busy_seconds_deduplicates_devices(device):
+    layout = MemoryLayout.configuration_a(device, 16 * 1024)
+    layout.get("a").erase()
+    assert layout.total_busy_seconds() == device.stats.busy_seconds

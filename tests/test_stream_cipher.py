@@ -1,0 +1,83 @@
+"""Stream-cipher (pipeline decryption stage) tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import StreamCipher
+
+KEY = b"0123456789abcdef0123456789abcdef"
+NONCE = b"nonce-16-bytes!!"
+
+
+def make_cipher():
+    return StreamCipher(KEY, NONCE)
+
+
+def test_encrypt_decrypt_roundtrip():
+    plaintext = b"the firmware payload" * 50
+    ciphertext = make_cipher().process(plaintext)
+    assert ciphertext != plaintext
+    assert make_cipher().process(ciphertext) == plaintext
+
+
+def test_chunked_processing_matches_one_shot():
+    data = bytes(range(256)) * 10
+    whole = make_cipher().process(data)
+    cipher = make_cipher()
+    pieces = b"".join(cipher.process(data[i:i + 37])
+                      for i in range(0, len(data), 37))
+    assert pieces == whole
+
+
+def test_reset_rewinds_keystream():
+    cipher = make_cipher()
+    first = cipher.process(b"hello")
+    cipher.reset()
+    assert cipher.process(b"hello") == first
+
+
+def test_different_nonce_different_keystream():
+    a = StreamCipher(KEY, b"A" * 16).process(b"\x00" * 64)
+    b = StreamCipher(KEY, b"B" * 16).process(b"\x00" * 64)
+    assert a != b
+
+
+def test_different_key_different_keystream():
+    a = StreamCipher(b"k" * 16, NONCE).process(b"\x00" * 64)
+    b = StreamCipher(b"K" * 16, NONCE).process(b"\x00" * 64)
+    assert a != b
+
+
+def test_seek_block():
+    cipher = make_cipher()
+    keystream = cipher.process(b"\x00" * 96)  # 3 blocks of 32
+    cipher.seek_block(2)
+    assert cipher.process(b"\x00" * 32) == keystream[64:96]
+
+
+def test_seek_negative_raises():
+    with pytest.raises(ValueError):
+        make_cipher().seek_block(-1)
+
+
+def test_short_key_rejected():
+    with pytest.raises(ValueError):
+        StreamCipher(b"short", NONCE)
+
+
+def test_wrong_nonce_length_rejected():
+    with pytest.raises(ValueError):
+        StreamCipher(KEY, b"short")
+
+
+def test_empty_input():
+    assert make_cipher().process(b"") == b""
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.binary(max_size=2000))
+def test_roundtrip_property(data):
+    assert make_cipher().process(make_cipher().process(data)) == data

@@ -1,0 +1,214 @@
+"""SUIT manifest, COSE signing, and UpKit↔SUIT conversion tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Manifest, PayloadKind
+from repro.crypto import generate_keypair, sha256
+from repro.suit import (
+    SuitEnvelope,
+    SuitError,
+    SuitManifest,
+    export_release,
+    suit_to_upkit,
+    upkit_to_suit,
+    uuid_from_identifier,
+)
+from repro.suit.convert import VENDOR_NAMESPACE
+
+
+@pytest.fixture()
+def key():
+    return generate_keypair(b"suit-key")
+
+
+@pytest.fixture()
+def suit_manifest():
+    return SuitManifest(
+        sequence_number=7,
+        vendor_id=uuid_from_identifier(VENDOR_NAMESPACE, 0),
+        class_id=uuid_from_identifier(VENDOR_NAMESPACE, 0xAABB),
+        digest=sha256(b"firmware"),
+        image_size=4096,
+        payload_size=4096,
+        payload_kind=0,
+    )
+
+
+def make_upkit_manifest(**overrides) -> Manifest:
+    fields = dict(
+        version=3, size=2048, digest=sha256(b"fw"), link_offset=0x8000,
+        app_id=0xAABB, device_id=0x1122, nonce=0xBEEF, old_version=2,
+        payload_kind=PayloadKind.DELTA_LZSS, payload_size=500,
+    )
+    fields.update(overrides)
+    return Manifest(**fields)
+
+
+# -- SUIT manifest structure ---------------------------------------------------
+
+
+def test_manifest_cbor_roundtrip(suit_manifest):
+    assert SuitManifest.from_cbor(suit_manifest.to_cbor()) == suit_manifest
+
+
+def test_manifest_validation():
+    vendor = uuid_from_identifier(VENDOR_NAMESPACE, 0)
+    with pytest.raises(SuitError):
+        SuitManifest(sequence_number=-1, vendor_id=vendor,
+                     class_id=vendor, digest=b"\x00" * 32, image_size=1)
+    with pytest.raises(SuitError):
+        SuitManifest(sequence_number=1, vendor_id=b"short",
+                     class_id=vendor, digest=b"\x00" * 32, image_size=1)
+    with pytest.raises(SuitError):
+        SuitManifest(sequence_number=1, vendor_id=vendor,
+                     class_id=vendor, digest=b"\x00" * 31, image_size=1)
+
+
+def test_from_cbor_rejects_garbage():
+    with pytest.raises(SuitError):
+        SuitManifest.from_cbor(b"not cbor at all")
+    with pytest.raises(SuitError):
+        SuitManifest.from_cbor(b"\x01")  # a bare int
+
+
+def test_uuid_derivation_properties():
+    a = uuid_from_identifier(VENDOR_NAMESPACE, 1)
+    b = uuid_from_identifier(VENDOR_NAMESPACE, 2)
+    assert a != b
+    assert a == uuid_from_identifier(VENDOR_NAMESPACE, 1)
+    assert len(a) == 16
+    assert a[6] >> 4 == 5        # version nibble
+    assert a[8] >> 6 == 0b10     # RFC 4122 variant
+
+
+# -- COSE signing ---------------------------------------------------------------
+
+
+def test_envelope_sign_verify(suit_manifest, key):
+    envelope = SuitEnvelope.sign(suit_manifest, key)
+    assert envelope.verify(key.public_key())
+
+
+def test_envelope_rejects_wrong_key(suit_manifest, key):
+    envelope = SuitEnvelope.sign(suit_manifest, key)
+    other = generate_keypair(b"other").public_key()
+    assert not envelope.verify(other)
+
+
+def test_envelope_cbor_roundtrip(suit_manifest, key):
+    envelope = SuitEnvelope.sign(suit_manifest, key)
+    parsed = SuitEnvelope.from_cbor(envelope.to_cbor())
+    assert parsed.manifest == suit_manifest
+    assert parsed.verify(key.public_key())
+
+
+def test_tampered_manifest_breaks_verification(suit_manifest, key):
+    envelope = SuitEnvelope.sign(suit_manifest, key)
+    blob = bytearray(envelope.to_cbor())
+    # Flip a byte inside the manifest bstr (the sequence number area).
+    index = blob.rindex(bytes([suit_manifest.sequence_number]))
+    blob[index] ^= 0x01
+    with pytest.raises(SuitError):
+        # Digest mismatch is caught already at envelope parsing.
+        SuitEnvelope.from_cbor(bytes(blob))
+
+
+def test_envelope_from_cbor_rejects_bad_structure(key, suit_manifest):
+    with pytest.raises(SuitError):
+        SuitEnvelope.from_cbor(b"\x01")
+    from repro.suit import dumps
+    with pytest.raises(SuitError):
+        SuitEnvelope.from_cbor(dumps({3: b"manifest"}))  # no auth wrapper
+
+
+# -- conversion -------------------------------------------------------------------
+
+
+def test_upkit_to_suit_maps_fields():
+    upkit = make_upkit_manifest()
+    suit = upkit_to_suit(upkit)
+    assert suit.sequence_number == upkit.version
+    assert suit.digest == upkit.digest
+    assert suit.image_size == upkit.size
+    assert suit.payload_size == upkit.payload_size
+    assert suit.class_id == uuid_from_identifier(VENDOR_NAMESPACE,
+                                                 upkit.app_id)
+
+
+def test_roundtrip_preserves_token_binding():
+    upkit = make_upkit_manifest()
+    back = suit_to_upkit(upkit_to_suit(upkit))
+    assert back == upkit
+
+
+def test_roundtrip_canonical_release_manifest():
+    upkit = make_upkit_manifest(device_id=0, nonce=0, old_version=0,
+                                payload_kind=PayloadKind.FULL,
+                                payload_size=2048)
+    back = suit_to_upkit(upkit_to_suit(upkit))
+    assert back == upkit
+
+
+def test_suit_to_upkit_requires_app_id_extension(suit_manifest):
+    with pytest.raises(ValueError):
+        suit_to_upkit(suit_manifest)  # built without the extension
+
+
+def test_suit_to_upkit_checks_class_id_consistency():
+    upkit = make_upkit_manifest()
+    suit = upkit_to_suit(upkit)
+    import dataclasses
+    forged = dataclasses.replace(
+        suit, class_id=uuid_from_identifier(VENDOR_NAMESPACE, 0x9999))
+    with pytest.raises(ValueError):
+        suit_to_upkit(forged)
+
+
+def test_export_release_end_to_end(key):
+    """Vendor release → signed SUIT envelope → verified import."""
+    from repro.core import SigningIdentity, VendorServer
+
+    vendor = VendorServer(SigningIdentity("vendor", key), app_id=0xAABB,
+                          link_offset=0x8000)
+    release = vendor.release(b"\x42" * 1024, 5)
+    blob = export_release(release, key)
+
+    envelope = SuitEnvelope.from_cbor(blob)
+    assert envelope.verify(key.public_key())
+    imported = suit_to_upkit(envelope.manifest)
+    assert imported.version == 5
+    assert imported.digest == release.manifest.digest
+    assert imported.size == 1024
+
+
+# -- property-based conversion tests ----------------------------------------------
+
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    version=st.integers(min_value=1, max_value=2 ** 16 - 1),
+    size=st.integers(min_value=1, max_value=2 ** 31),
+    app_id=st.integers(min_value=0, max_value=2 ** 32 - 1),
+    device_id=st.integers(min_value=0, max_value=2 ** 32 - 1),
+    nonce=st.integers(min_value=0, max_value=2 ** 32 - 1),
+    payload_kind=st.sampled_from(PayloadKind.ALL),
+)
+def test_conversion_roundtrip_property(version, size, app_id, device_id,
+                                       nonce, payload_kind):
+    upkit = Manifest(
+        version=version, size=size, digest=sha256(b"fw"),
+        link_offset=0x1000, app_id=app_id, device_id=device_id,
+        nonce=nonce, old_version=0, payload_kind=payload_kind,
+        payload_size=min(size, 100),
+    )
+    suit = upkit_to_suit(upkit)
+    # The SUIT CBOR structure itself round-trips...
+    assert SuitManifest.from_cbor(suit.to_cbor()) == suit
+    # ...and so does the UpKit view of it.
+    assert suit_to_upkit(suit) == upkit

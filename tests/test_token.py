@@ -1,0 +1,64 @@
+"""Device-token tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    DeviceToken,
+    ManifestFormatError,
+    NO_DIFF_SUPPORT,
+    TOKEN_SIZE,
+)
+
+
+def test_pack_size():
+    token = DeviceToken(1, 2, 3)
+    assert len(token.pack()) == TOKEN_SIZE == 10
+
+
+def test_pack_unpack_roundtrip():
+    token = DeviceToken(device_id=0xA1B2C3D4, nonce=0x01020304,
+                        current_version=77)
+    assert DeviceToken.unpack(token.pack()) == token
+
+
+def test_unpack_rejects_wrong_length():
+    with pytest.raises(ManifestFormatError):
+        DeviceToken.unpack(b"\x00" * 9)
+
+
+@pytest.mark.parametrize("kwargs", [
+    dict(device_id=2 ** 32, nonce=0, current_version=0),
+    dict(device_id=-1, nonce=0, current_version=0),
+    dict(device_id=0, nonce=2 ** 32, current_version=0),
+    dict(device_id=0, nonce=0, current_version=2 ** 16),
+])
+def test_field_ranges(kwargs):
+    with pytest.raises(ValueError):
+        DeviceToken(**kwargs)
+
+
+def test_differential_support_flag():
+    assert not DeviceToken(1, 2, NO_DIFF_SUPPORT).supports_differential
+    assert DeviceToken(1, 2, 5).supports_differential
+
+
+def test_tokens_are_hashable_and_frozen():
+    token = DeviceToken(1, 2, 3)
+    assert token in {token}
+    with pytest.raises(AttributeError):
+        token.nonce = 99  # type: ignore[misc]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    device_id=st.integers(min_value=0, max_value=2 ** 32 - 1),
+    nonce=st.integers(min_value=0, max_value=2 ** 32 - 1),
+    current_version=st.integers(min_value=0, max_value=2 ** 16 - 1),
+)
+def test_roundtrip_property(device_id, nonce, current_version):
+    token = DeviceToken(device_id, nonce, current_version)
+    assert DeviceToken.unpack(token.pack()) == token

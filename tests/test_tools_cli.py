@@ -1,0 +1,195 @@
+"""CLI tooling tests: keygen → release → prepare → verify → inspect."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.tools import main
+
+
+@pytest.fixture()
+def keys_dir(tmp_path):
+    out = tmp_path / "keys"
+    assert main(["keygen", "--out", str(out)]) == 0
+    return out
+
+
+@pytest.fixture()
+def release_file(tmp_path, keys_dir, firmware_gen):
+    firmware = firmware_gen.firmware(8 * 1024, image_id=1)
+    fw_path = tmp_path / "fw.bin"
+    fw_path.write_bytes(firmware)
+    out = tmp_path / "release.bin"
+    code = main([
+        "release", "--firmware", str(fw_path), "--version", "1",
+        "--app-id", "0x55504B49", "--link-offset", "0x8000",
+        "--vendor-key", str(keys_dir / "vendor.key"), "--out", str(out),
+    ])
+    assert code == 0
+    return out
+
+
+def prepare_image(tmp_path, keys_dir, release_file, nonce="0xBEEF",
+                  extra=()):
+    out = tmp_path / "image.bin"
+    code = main([
+        "prepare", "--release", str(release_file),
+        "--server-key", str(keys_dir / "server.key"),
+        "--device-id", "0x11223344", "--nonce", nonce,
+        "--out", str(out), *extra,
+    ])
+    assert code == 0
+    return out
+
+
+def test_keygen_writes_four_files(keys_dir):
+    names = sorted(os.listdir(keys_dir))
+    assert names == ["server.key", "server.pub", "vendor.key",
+                     "vendor.pub"]
+
+
+def test_keygen_deterministic_from_seed(tmp_path):
+    main(["keygen", "--out", str(tmp_path / "a"), "--vendor-seed", "s1"])
+    main(["keygen", "--out", str(tmp_path / "b"), "--vendor-seed", "s1"])
+    assert ((tmp_path / "a" / "vendor.key").read_bytes()
+            == (tmp_path / "b" / "vendor.key").read_bytes())
+
+
+def test_full_cli_flow_verifies(tmp_path, keys_dir, release_file):
+    image = prepare_image(tmp_path, keys_dir, release_file)
+    code = main([
+        "verify", "--image", str(image),
+        "--vendor-pub", str(keys_dir / "vendor.pub"),
+        "--server-pub", str(keys_dir / "server.pub"),
+    ])
+    assert code == 0
+
+
+def test_verify_detects_tampering(tmp_path, keys_dir, release_file):
+    image = prepare_image(tmp_path, keys_dir, release_file)
+    blob = bytearray(image.read_bytes())
+    blob[10] ^= 0xFF
+    image.write_bytes(bytes(blob))
+    code = main([
+        "verify", "--image", str(image),
+        "--vendor-pub", str(keys_dir / "vendor.pub"),
+        "--server-pub", str(keys_dir / "server.pub"),
+    ])
+    assert code == 1
+
+
+def test_verify_rejects_wrong_keys(tmp_path, keys_dir, release_file):
+    image = prepare_image(tmp_path, keys_dir, release_file)
+    other = tmp_path / "other-keys"
+    main(["keygen", "--out", str(other), "--vendor-seed", "attacker",
+          "--server-seed", "attacker2"])
+    code = main([
+        "verify", "--image", str(image),
+        "--vendor-pub", str(other / "vendor.pub"),
+        "--server-pub", str(other / "server.pub"),
+    ])
+    assert code == 1
+
+
+def test_inspect_prints_manifest(tmp_path, keys_dir, release_file,
+                                 capsys):
+    image = prepare_image(tmp_path, keys_dir, release_file,
+                          nonce="0xCAFE")
+    capsys.readouterr()  # drop the prepare subcommand's status line
+    assert main(["inspect", "--image", str(image)]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["version"] == 1
+    assert payload["nonce"] == "0x0000CAFE"
+    assert payload["is_delta"] is False
+
+
+def test_export_and_import_suit(tmp_path, keys_dir, release_file, capsys):
+    suit_path = tmp_path / "release.suit"
+    code = main(["export-suit", "--release", str(release_file),
+                 "--vendor-key", str(keys_dir / "vendor.key"),
+                 "--out", str(suit_path)])
+    assert code == 0
+    assert suit_path.stat().st_size > 100
+    capsys.readouterr()
+    code = main(["import-suit", "--envelope", str(suit_path),
+                 "--vendor-pub", str(keys_dir / "vendor.pub")])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["version"] == 1
+    assert payload["sequence_number"] == 1
+
+
+def test_import_suit_rejects_wrong_key(tmp_path, keys_dir, release_file):
+    suit_path = tmp_path / "release.suit"
+    main(["export-suit", "--release", str(release_file),
+          "--vendor-key", str(keys_dir / "vendor.key"),
+          "--out", str(suit_path)])
+    other = tmp_path / "other"
+    main(["keygen", "--out", str(other), "--vendor-seed", "attacker"])
+    code = main(["import-suit", "--envelope", str(suit_path),
+                 "--vendor-pub", str(other / "vendor.pub")])
+    assert code == 1
+
+
+def test_import_suit_rejects_tampered_envelope(tmp_path, keys_dir,
+                                               release_file):
+    suit_path = tmp_path / "release.suit"
+    main(["export-suit", "--release", str(release_file),
+          "--vendor-key", str(keys_dir / "vendor.key"),
+          "--out", str(suit_path)])
+    blob = bytearray(suit_path.read_bytes())
+    blob[len(blob) // 2] ^= 0xFF
+    suit_path.write_bytes(bytes(blob))
+    code = main(["import-suit", "--envelope", str(suit_path),
+                 "--vendor-pub", str(keys_dir / "vendor.pub")])
+    assert code == 1
+
+
+def test_simulate_subcommand(capsys):
+    code = main(["simulate", "--board", "cc2538", "--os", "riot",
+                 "--transport", "pull", "--size", "16384"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "booted version 2" in out
+    assert "propagation" in out and "loading" in out
+
+
+def test_simulate_full_image(capsys):
+    code = main(["simulate", "--size", "16384", "--full",
+                 "--slots", "b"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "static slots" in out
+
+
+def test_prepare_differential(tmp_path, keys_dir, firmware_gen, capsys):
+    """A release chain: v1 on disk, v2 released, delta prepared."""
+    fw_v1 = firmware_gen.firmware(8 * 1024, image_id=1)
+    fw_v2 = firmware_gen.os_version_change(fw_v1, revision=2)
+    v1_path = tmp_path / "fw1.bin"
+    v1_path.write_bytes(fw_v1)
+    v2_path = tmp_path / "fw2.bin"
+    v2_path.write_bytes(fw_v2)
+    release2 = tmp_path / "release2.bin"
+    main(["release", "--firmware", str(v2_path), "--version", "2",
+          "--app-id", "0x1", "--link-offset", "0x8000",
+          "--vendor-key", str(keys_dir / "vendor.key"),
+          "--out", str(release2)])
+    image = tmp_path / "delta.bin"
+    code = main([
+        "prepare", "--release", str(release2),
+        "--server-key", str(keys_dir / "server.key"),
+        "--device-id", "0x11223344", "--nonce", "0x1",
+        "--current-version", "1", "--old-firmware", str(v1_path),
+        "--out", str(image),
+    ])
+    assert code == 0
+    capsys.readouterr()
+    main(["inspect", "--image", str(image)])
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["is_delta"] is True
+    assert payload["old_version"] == 1
+    assert payload["payload_size"] < payload["size"]

@@ -1,0 +1,203 @@
+"""Vendor-server and update-server tests (generation + propagation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compression import decompress
+from repro.core import (
+    DeviceToken,
+    ManifestFormatError,
+    PayloadKind,
+    UpdateServer,
+    VendorServer,
+)
+from repro.crypto import StreamCipher, sha256
+from repro.delta import patch
+from tests.conftest import APP_ID, DEVICE_ID, LINK_OFFSET
+
+
+# -- vendor server ------------------------------------------------------------------
+
+
+def test_release_builds_canonical_manifest(vendor, fw_v1):
+    release = vendor.release(fw_v1, 3)
+    manifest = release.manifest
+    assert manifest.version == 3
+    assert manifest.size == len(fw_v1)
+    assert manifest.digest == sha256(fw_v1)
+    assert manifest.device_id == 0 and manifest.nonce == 0
+    assert manifest.payload_kind == PayloadKind.FULL
+
+
+def test_release_signature_verifies(vendor, anchors, fw_v1):
+    release = vendor.release(fw_v1, 1)
+    from repro.crypto import Signature
+    assert anchors.vendor.verify(
+        Signature.decode(release.vendor_signature),
+        release.manifest.canonical_bytes())
+
+
+def test_release_rejects_empty_firmware(vendor):
+    with pytest.raises(ManifestFormatError):
+        vendor.release(b"", 1)
+
+
+def test_release_rejects_duplicate_version(vendor, fw_v1):
+    vendor.release(fw_v1, 1)
+    with pytest.raises(ManifestFormatError):
+        vendor.release(fw_v1, 1)
+
+
+def test_release_rejects_version_regression(vendor, fw_v1):
+    vendor.release(fw_v1, 5)
+    with pytest.raises(ManifestFormatError):
+        vendor.release(fw_v1, 4)
+
+
+def test_get_release_and_versions(vendor, fw_v1, fw_v2):
+    vendor.release(fw_v1, 1)
+    vendor.release(fw_v2, 2)
+    assert vendor.versions == [1, 2]
+    assert vendor.get_release(2).firmware == fw_v2
+    with pytest.raises(ManifestFormatError):
+        vendor.get_release(9)
+
+
+# -- update server ---------------------------------------------------------------------
+
+
+def token(nonce=0x1234, current=0):
+    return DeviceToken(device_id=DEVICE_ID, nonce=nonce,
+                       current_version=current)
+
+
+def test_server_requires_published_release(server):
+    with pytest.raises(ManifestFormatError):
+        server.prepare_update(token())
+
+
+def test_server_rejects_duplicate_publish(published, fw_v1):
+    vendor, server = published
+    with pytest.raises(ManifestFormatError):
+        server.publish(vendor.get_release(1))
+
+
+def test_announce_latest_version(published, fw_v2):
+    vendor, server = published
+    assert server.announce() == {"latest_version": 1}
+    server.publish(vendor.release(fw_v2, 2))
+    assert server.announce() == {"latest_version": 2}
+
+
+def test_prepare_full_update_binds_token(published):
+    _, server = published
+    image = server.prepare_update(token(nonce=0xCAFE))
+    manifest = image.manifest
+    assert manifest.device_id == DEVICE_ID
+    assert manifest.nonce == 0xCAFE
+    assert manifest.payload_kind == PayloadKind.FULL
+    assert len(image.payload) == manifest.size
+
+
+def test_images_differ_per_request(published):
+    _, server = published
+    image_a = server.prepare_update(token(nonce=1))
+    image_b = server.prepare_update(token(nonce=2))
+    assert image_a.envelope.pack() != image_b.envelope.pack()
+    # but the vendor signature is identical (same release)
+    assert (image_a.envelope.vendor_signature
+            == image_b.envelope.vendor_signature)
+
+
+def test_delta_served_when_token_advertises_version(published, fw_v1,
+                                                    fw_v2):
+    vendor, server = published
+    server.publish(vendor.release(fw_v2, 2))
+    image = server.prepare_update(token(current=1))
+    manifest = image.manifest
+    assert manifest.payload_kind == PayloadKind.DELTA_LZSS
+    assert manifest.old_version == 1
+    assert manifest.size == len(fw_v2)
+    assert len(image.payload) < len(fw_v2)
+    # The delta reconstructs the new firmware exactly.
+    assert patch(fw_v1, decompress(image.payload)) == fw_v2
+
+
+def test_full_served_when_device_opts_out(published, fw_v2):
+    vendor, server = published
+    server.publish(vendor.release(fw_v2, 2))
+    image = server.prepare_update(token(current=0))
+    assert image.manifest.payload_kind == PayloadKind.FULL
+
+
+def test_full_served_when_old_version_unknown(published, fw_v2):
+    vendor, server = published
+    server.publish(vendor.release(fw_v2, 2))
+    image = server.prepare_update(token(current=42))  # never released
+    assert image.manifest.payload_kind == PayloadKind.FULL
+
+
+def test_delta_fallback_when_not_smaller(identities):
+    """Unrelated firmware: the delta would exceed the image; serve full."""
+    import random
+    rng = random.Random(1)
+    vendor = VendorServer(identities[0], app_id=APP_ID,
+                          link_offset=LINK_OFFSET)
+    server = UpdateServer(identities[1])
+    fw_a = bytes(rng.randrange(256) for _ in range(4096))
+    fw_b = bytes(rng.randrange(256) for _ in range(4096))
+    server.publish(vendor.release(fw_a, 1))
+    server.publish(vendor.release(fw_b, 2))
+    image = server.prepare_update(token(current=1))
+    assert image.manifest.payload_kind == PayloadKind.FULL
+    assert server.stats.delta_fallbacks == 1
+
+
+def test_delta_cache(published, fw_v2):
+    vendor, server = published
+    server.publish(vendor.release(fw_v2, 2))
+    server.prepare_update(token(nonce=1, current=1))
+    server.prepare_update(token(nonce=2, current=1))
+    assert server.stats.delta_cache_hits == 1
+    assert server.stats.delta_updates == 2
+
+
+def test_server_stats(published, fw_v2):
+    vendor, server = published
+    server.publish(vendor.release(fw_v2, 2))
+    server.prepare_update(token(nonce=1))
+    server.prepare_update(token(nonce=2, current=1))
+    assert server.stats.requests == 2
+    assert server.stats.full_updates == 1
+    assert server.stats.delta_updates == 1
+    assert server.stats.bytes_served > 0
+
+
+def test_encrypted_payloads(identities, fw_v1):
+    vendor = VendorServer(identities[0], app_id=APP_ID,
+                          link_offset=LINK_OFFSET)
+    server = UpdateServer(identities[1],
+                          cipher=StreamCipher(b"k" * 16, b"n" * 16))
+    server.publish(vendor.release(fw_v1, 1))
+    request = token()
+    image = server.prepare_update(request)
+    assert image.manifest.payload_kind == PayloadKind.FULL_ENCRYPTED
+    assert image.payload != fw_v1
+    decrypted = StreamCipher(b"k" * 16, b"n" * 16).derive(
+        request.pack()).process(image.payload)
+    assert decrypted == fw_v1
+
+    # Different requests never share keystream bytes (two-time pad
+    # prevention): identical plaintext encrypts differently.
+    other = server.prepare_update(token(nonce=0x9999))
+    assert other.payload != image.payload
+
+
+def test_server_signature_covers_vendor_signature(published, anchors):
+    _, server = published
+    image = server.prepare_update(token())
+    from repro.crypto import Signature
+    assert anchors.server.verify(
+        Signature.decode(image.envelope.server_signature),
+        image.envelope.server_signed_region())

@@ -1,0 +1,229 @@
+"""Verifier-module tests: every rejection class, both call sites."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core import (
+    DeviceProfile,
+    DeviceToken,
+    DigestMismatch,
+    IncompatibleLinkOffset,
+    PayloadKind,
+    SignatureInvalid,
+    SignedManifest,
+    SizeExceeded,
+    StaleVersion,
+    TokenMismatch,
+    Verifier,
+    WrongApplication,
+    WrongDevice,
+)
+from tests.conftest import APP_ID, DEVICE_ID, LINK_OFFSET
+
+
+@pytest.fixture()
+def token():
+    return DeviceToken(device_id=DEVICE_ID, nonce=0xBEEF, current_version=1)
+
+
+@pytest.fixture()
+def envelope(published, token):
+    vendor, server = published
+    return server.prepare_update(token).envelope
+
+
+@pytest.fixture()
+def verifier(anchors, backend):
+    return Verifier(anchors, backend)
+
+
+def rebind(envelope: SignedManifest, **changes) -> SignedManifest:
+    """Rewrite manifest fields without re-signing (attacker move)."""
+    manifest = dataclasses.replace(envelope.manifest, **changes)
+    return SignedManifest(manifest=manifest,
+                          vendor_signature=envelope.vendor_signature,
+                          server_signature=envelope.server_signature)
+
+
+def agent_validate(verifier, envelope, profile, token,
+                   installed_version=0, slot_capacity=10 ** 6):
+    verifier.validate_for_agent(envelope, profile=profile, token=token,
+                                installed_version=installed_version,
+                                slot_capacity=slot_capacity)
+
+
+def test_valid_envelope_passes(verifier, envelope, profile, token):
+    agent_validate(verifier, envelope, profile, token)
+
+
+def test_vendor_signature_tamper_detected(verifier, envelope, profile,
+                                          token):
+    # Changing a vendor-authenticated field breaks the vendor signature.
+    forged = rebind(envelope, size=envelope.manifest.size + 1)
+    with pytest.raises(SignatureInvalid) as err:
+        agent_validate(verifier, forged, profile, token)
+    assert err.value.which == "vendor"
+
+
+def test_server_signature_tamper_detected(verifier, envelope, profile,
+                                          token):
+    # Changing a token field leaves the vendor signature intact (it is
+    # canonical) but breaks the update server's signature.
+    forged = rebind(envelope, nonce=envelope.manifest.nonce ^ 1)
+    with pytest.raises(SignatureInvalid) as err:
+        agent_validate(verifier, forged, profile, token)
+    assert err.value.which == "update-server"
+
+
+def test_swapped_signatures_detected(verifier, envelope, profile, token):
+    swapped = SignedManifest(manifest=envelope.manifest,
+                             vendor_signature=envelope.server_signature,
+                             server_signature=envelope.vendor_signature)
+    with pytest.raises(SignatureInvalid):
+        agent_validate(verifier, swapped, profile, token)
+
+
+def test_wrong_device_rejected(verifier, published, profile, token):
+    _, server = published
+    other_token = DeviceToken(device_id=DEVICE_ID + 1, nonce=token.nonce,
+                              current_version=0)
+    envelope = server.prepare_update(other_token).envelope
+    with pytest.raises(WrongDevice):
+        agent_validate(verifier, envelope, profile, token)
+
+
+def test_nonce_mismatch_rejected(verifier, published, profile, token):
+    """A replayed image (signed for an older request) must be rejected."""
+    _, server = published
+    old_token = DeviceToken(device_id=DEVICE_ID, nonce=0xAAAA,
+                            current_version=0)
+    replayed = server.prepare_update(old_token).envelope
+    with pytest.raises(TokenMismatch):
+        agent_validate(verifier, replayed, profile, token)
+
+
+def test_stale_version_rejected(verifier, envelope, profile, token):
+    with pytest.raises(StaleVersion):
+        agent_validate(verifier, envelope, profile, token,
+                       installed_version=envelope.manifest.version)
+
+
+def test_equal_version_rejected(verifier, envelope, profile, token):
+    with pytest.raises(StaleVersion):
+        agent_validate(verifier, envelope, profile, token,
+                       installed_version=1)
+
+
+def test_wrong_app_rejected(verifier, identities, token, profile, fw_v1):
+    from repro.core import UpdateServer, VendorServer
+
+    vendor = VendorServer(identities[0], app_id=APP_ID + 1,
+                          link_offset=LINK_OFFSET)
+    server = UpdateServer(identities[1])
+    server.publish(vendor.release(fw_v1, 1))
+    envelope = server.prepare_update(token).envelope
+    with pytest.raises(WrongApplication):
+        agent_validate(verifier, envelope, profile, token)
+
+
+def test_wrong_link_offset_rejected(verifier, identities, token, profile,
+                                    fw_v1):
+    from repro.core import UpdateServer, VendorServer
+
+    vendor = VendorServer(identities[0], app_id=APP_ID,
+                          link_offset=LINK_OFFSET + 0x1000)
+    server = UpdateServer(identities[1])
+    server.publish(vendor.release(fw_v1, 1))
+    envelope = server.prepare_update(token).envelope
+    with pytest.raises(IncompatibleLinkOffset):
+        agent_validate(verifier, envelope, profile, token)
+
+
+def test_size_exceeding_slot_rejected(verifier, envelope, profile, token):
+    with pytest.raises(SizeExceeded):
+        agent_validate(verifier, envelope, profile, token,
+                       slot_capacity=envelope.manifest.size - 1)
+
+
+def test_delta_for_wrong_old_version_rejected(verifier, published, profile,
+                                              fw_v1, firmware_gen):
+    vendor, server = published
+    server.publish(vendor.release(
+        firmware_gen.os_version_change(fw_v1), 2))
+    # Token claims current version 1, delta is built for 1; then the
+    # device's *actual* token says current version differs.
+    delta_token = DeviceToken(DEVICE_ID, nonce=0xBEEF, current_version=1)
+    envelope = server.prepare_update(delta_token).envelope
+    assert envelope.manifest.is_delta
+    live_token = DeviceToken(DEVICE_ID, nonce=0xBEEF, current_version=3)
+    with pytest.raises(TokenMismatch):
+        agent_validate(verifier, envelope, profile, live_token)
+
+
+def test_delta_rejected_when_device_opted_out(verifier, published, fw_v1,
+                                              firmware_gen, token):
+    vendor, server = published
+    server.publish(vendor.release(
+        firmware_gen.os_version_change(fw_v1), 2))
+    envelope = server.prepare_update(token).envelope
+    assert envelope.manifest.is_delta
+    no_diff = DeviceProfile(device_id=DEVICE_ID, app_id=APP_ID,
+                            link_offset=LINK_OFFSET,
+                            supports_differential=False)
+    with pytest.raises(TokenMismatch):
+        agent_validate(verifier, envelope, no_diff, token)
+
+
+# -- bootloader-side validation ------------------------------------------------
+
+
+def test_bootloader_validation_passes(verifier, envelope, profile):
+    verifier.validate_for_bootloader(envelope, profile)
+
+
+def test_bootloader_accepts_factory_device_id_zero(verifier, published,
+                                                   profile):
+    _, server = published
+    factory = server.prepare_update(
+        DeviceToken(device_id=0, nonce=0, current_version=0)).envelope
+    verifier.validate_for_bootloader(factory, profile)
+
+
+def test_bootloader_rejects_other_device(verifier, published, profile):
+    _, server = published
+    foreign = server.prepare_update(
+        DeviceToken(device_id=0x999, nonce=0, current_version=0)).envelope
+    with pytest.raises(WrongDevice):
+        verifier.validate_for_bootloader(foreign, profile)
+
+
+# -- firmware digest --------------------------------------------------------------
+
+
+def test_verify_firmware_ok(verifier, envelope, fw_v1, token):
+    verifier.verify_firmware(
+        envelope.manifest,
+        lambda off, n: fw_v1[off:off + n],
+    )
+
+
+def test_verify_firmware_detects_bitflip(verifier, envelope, fw_v1):
+    tampered = bytearray(fw_v1)
+    tampered[1234] ^= 0x01
+    with pytest.raises(DigestMismatch):
+        verifier.verify_firmware(
+            envelope.manifest,
+            lambda off, n: bytes(tampered[off:off + n]),
+        )
+
+
+def test_verify_firmware_detects_truncation(verifier, envelope, fw_v1):
+    short = fw_v1[:len(fw_v1) // 2]
+    with pytest.raises(DigestMismatch):
+        verifier.verify_firmware(
+            envelope.manifest,
+            lambda off, n: short[off:off + n],
+        )

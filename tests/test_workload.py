@@ -1,0 +1,110 @@
+"""Workload-generator tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compression import compress
+from repro.delta import diff
+from repro.workload import FirmwareGenerator
+
+
+@pytest.fixture()
+def gen():
+    return FirmwareGenerator(seed=b"workload-tests")
+
+
+def delta_size(old: bytes, new: bytes) -> int:
+    return len(compress(diff(old, new)))
+
+
+def test_firmware_exact_size(gen):
+    for size in (1, 100, 4096, 10_000):
+        assert len(gen.firmware(size)) == size
+
+
+def test_firmware_deterministic(gen):
+    again = FirmwareGenerator(seed=b"workload-tests")
+    assert gen.firmware(4096, image_id=7) == again.firmware(4096, image_id=7)
+
+
+def test_firmware_differs_by_image_id(gen):
+    assert gen.firmware(4096, image_id=1) != gen.firmware(4096, image_id=2)
+
+
+def test_firmware_differs_by_seed():
+    a = FirmwareGenerator(seed=b"a").firmware(4096)
+    b = FirmwareGenerator(seed=b"b").firmware(4096)
+    assert a != b
+
+
+def test_firmware_rejects_bad_size(gen):
+    with pytest.raises(ValueError):
+        gen.firmware(0)
+
+
+def test_seed_required():
+    with pytest.raises(ValueError):
+        FirmwareGenerator(seed=b"")
+
+
+def test_evolve_changes_requested_fraction(gen):
+    base = gen.firmware(32 * 1024)
+    evolved = gen.evolve(base, change_fraction=0.3, appended=0)
+    assert len(evolved) == len(base)
+    same = sum(1 for a, b in zip(base, evolved) if a == b)
+    changed_fraction = 1 - same / len(base)
+    assert 0.05 < changed_fraction < 0.40
+
+
+def test_evolve_zero_fraction_is_identity(gen):
+    base = gen.firmware(8 * 1024)
+    assert gen.evolve(base, change_fraction=0.0, appended=0) == base
+
+
+def test_evolve_appends(gen):
+    base = gen.firmware(8 * 1024)
+    evolved = gen.evolve(base, change_fraction=0.1, appended=500)
+    assert len(evolved) == len(base) + 500
+
+
+def test_evolve_validates_fraction(gen):
+    with pytest.raises(ValueError):
+        gen.evolve(b"x" * 1024, change_fraction=1.5)
+
+
+def test_os_change_bigger_delta_than_app_change(gen):
+    """The Fig. 8b premise: OS-version deltas exceed app-change deltas."""
+    base = gen.firmware(64 * 1024)
+    os_change = gen.os_version_change(base)
+    app_change = gen.app_functionality_change(base, changed_bytes=1000)
+
+    os_delta = delta_size(base, os_change)
+    app_delta = delta_size(base, app_change)
+    full = len(compress(os_change))
+
+    assert app_delta < os_delta < full
+    # The app change stays a small fraction of the full image.
+    assert app_delta < len(base) // 10
+
+
+def test_app_change_touches_exactly_region(gen):
+    base = gen.firmware(16 * 1024)
+    changed = gen.app_functionality_change(base, changed_bytes=1000)
+    assert len(changed) == len(base)
+    differing = sum(1 for a, b in zip(base, changed) if a != b)
+    assert differing <= 1000
+
+
+def test_app_change_validates_size(gen):
+    with pytest.raises(ValueError):
+        gen.app_functionality_change(b"x" * 1024, changed_bytes=0)
+
+
+def test_versions_chain_deterministically(gen):
+    base = gen.firmware(8 * 1024)
+    v2_a = gen.os_version_change(base, revision=2)
+    v2_b = gen.os_version_change(base, revision=2)
+    v3 = gen.os_version_change(base, revision=3)
+    assert v2_a == v2_b
+    assert v2_a != v3
