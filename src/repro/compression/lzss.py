@@ -86,14 +86,22 @@ def compress(data: bytes) -> bytes:
         if pos + MIN_MATCH <= n:
             limit = max(0, pos - WINDOW_SIZE)
             candidate = head.get(_hash3(data, pos), -1)
+            max_here = min(MAX_MATCH, n - pos)
             tries = 64  # bounded chain walk keeps worst case linear-ish
             while candidate >= limit and tries:
-                length = _match_length(data, candidate, pos, n)
-                if length > best_len:
-                    best_len = length
-                    best_dist = pos - candidate
-                    if length >= MAX_MATCH:
-                        break
+                # Quick reject: a candidate can only *beat* best_len if
+                # its first best_len+1 bytes all match, so a mismatch at
+                # offset best_len rules it out without a full compare.
+                # (Ties keep the earlier — nearer — candidate, exactly
+                # as the plain walk does, so output bytes are unchanged.)
+                if best_len == 0 or \
+                        data[candidate + best_len] == data[pos + best_len]:
+                    length = _match_length(data, candidate, pos, n)
+                    if length > best_len:
+                        best_len = length
+                        best_dist = pos - candidate
+                        if length >= max_here:
+                            break
                 candidate = prev[candidate]
                 tries -= 1
 
@@ -219,8 +227,25 @@ def _hash3(data: bytes, pos: int) -> int:
 
 
 def _match_length(data: bytes, candidate: int, pos: int, n: int) -> int:
+    """Length of the common prefix of data[candidate:] and data[pos:].
+
+    Extends by slice comparison (a C-level memcmp) instead of a Python
+    byte loop; bsdiff payloads are dominated by long zero runs where
+    matches routinely hit MAX_MATCH.  Overlapping slices are fine: both
+    sides read the *input* buffer, same as the byte-wise original, so
+    the result — and therefore the encoder output — is identical.
+    """
     limit = min(MAX_MATCH, n - pos)
+    if data[candidate:candidate + limit] == data[pos:pos + limit]:
+        return limit
     length = 0
+    step = 32
+    while step >= 1:
+        while (length + step <= limit
+               and data[candidate + length:candidate + length + step]
+               == data[pos + length:pos + length + step]):
+            length += step
+        step >>= 3  # 32 -> 4 -> 0 (finish byte-wise below)
     while length < limit and data[candidate + length] == data[pos + length]:
         length += 1
     return length

@@ -17,6 +17,8 @@ source or transport security is required for freshness.
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Optional
 
@@ -30,7 +32,7 @@ from .manifest import PayloadKind
 from .token import DeviceToken
 from .vendor import VendorRelease
 
-__all__ = ["UpdateServer", "ServerStats"]
+__all__ = ["UpdateServer", "ServerStats", "DEFAULT_DELTA_CACHE_SIZE"]
 
 
 @dataclass
@@ -43,18 +45,40 @@ class ServerStats:
     delta_fallbacks: int = 0
     bytes_served: int = 0
     delta_cache_hits: int = 0
+    delta_cache_evictions: int = 0
+
+
+#: Default bound on cached (old_version, new_version) deltas.  A fleet
+#: usually spans a handful of trailing versions, so a small LRU keeps
+#: the hit rate while capping server memory across long release chains.
+DEFAULT_DELTA_CACHE_SIZE = 64
 
 
 class UpdateServer:
-    """Holds releases and answers device-token requests with signed images."""
+    """Holds releases and answers device-token requests with signed images.
+
+    Thread-safe: a parallel campaign executor issues concurrent
+    ``prepare_update`` calls, so the stats counters and the delta cache
+    are lock-protected.  Delta *generation* happens under the cache
+    lock on purpose — when a whole wave asks for the same
+    (old, new) pair at once, exactly one thread pays the bsdiff+LZSS
+    cost and the rest get the cached bytes.
+    """
 
     def __init__(self, identity: SigningIdentity,
-                 cipher: Optional[StreamCipher] = None) -> None:
+                 cipher: Optional[StreamCipher] = None,
+                 delta_cache_size: int = DEFAULT_DELTA_CACHE_SIZE) -> None:
+        if delta_cache_size < 1:
+            raise ValueError("delta_cache_size must be at least 1")
         self.identity = identity
         self.cipher = cipher
+        self.delta_cache_size = delta_cache_size
         self.stats = ServerStats()
         self._releases: Dict[int, VendorRelease] = {}
-        self._delta_cache: Dict["tuple[int, int]", bytes] = {}
+        self._delta_cache: "OrderedDict[tuple[int, int], bytes]" \
+            = OrderedDict()
+        self._stats_lock = threading.Lock()
+        self._delta_lock = threading.Lock()
 
     # -- publishing ------------------------------------------------------------
 
@@ -78,7 +102,8 @@ class UpdateServer:
 
     def prepare_update(self, token: DeviceToken) -> UpdateImage:
         """Build the double-signed update image for one device token."""
-        self.stats.requests += 1
+        with self._stats_lock:
+            self.stats.requests += 1
         if not self._releases:
             raise ManifestFormatError("no published releases")
         release = self._releases[self.latest_version]
@@ -107,7 +132,8 @@ class UpdateServer:
                 manifest.pack() + release.vendor_signature),
         )
         image = UpdateImage(envelope=envelope, payload=payload)
-        self.stats.bytes_served += image.total_size
+        with self._stats_lock:
+            self.stats.bytes_served += image.total_size
         return image
 
     def _select_payload(
@@ -121,26 +147,36 @@ class UpdateServer:
             and current < release.version
         )
         if not use_delta:
-            self.stats.full_updates += 1
+            with self._stats_lock:
+                self.stats.full_updates += 1
             return release.firmware, PayloadKind.FULL, 0
 
         delta = self._delta_for(current, release)
         if len(delta) >= len(release.firmware):
             # A delta larger than the image defeats its purpose.
-            self.stats.delta_fallbacks += 1
-            self.stats.full_updates += 1
+            with self._stats_lock:
+                self.stats.delta_fallbacks += 1
+                self.stats.full_updates += 1
             return release.firmware, PayloadKind.FULL, 0
-        self.stats.delta_updates += 1
+        with self._stats_lock:
+            self.stats.delta_updates += 1
         return delta, PayloadKind.DELTA_LZSS, current
 
     def _delta_for(self, old_version: int, release: VendorRelease) -> bytes:
         key = (old_version, release.version)
-        cached = self._delta_cache.get(key)
-        if cached is not None:
-            self.stats.delta_cache_hits += 1
-            return cached
-        old_firmware = self._releases[old_version].firmware
-        patch = bsdiff_diff(old_firmware, release.firmware)
-        delta = lzss_compress(patch)
-        self._delta_cache[key] = delta
+        with self._delta_lock:
+            cached = self._delta_cache.get(key)
+            if cached is not None:
+                self._delta_cache.move_to_end(key)
+                with self._stats_lock:
+                    self.stats.delta_cache_hits += 1
+                return cached
+            old_firmware = self._releases[old_version].firmware
+            patch = bsdiff_diff(old_firmware, release.firmware)
+            delta = lzss_compress(patch)
+            self._delta_cache[key] = delta
+            while len(self._delta_cache) > self.delta_cache_size:
+                self._delta_cache.popitem(last=False)
+                with self._stats_lock:
+                    self.stats.delta_cache_evictions += 1
         return delta

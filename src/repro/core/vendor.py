@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict
 
-from ..crypto import sha256
+from ..crypto.engine import get_engine
 from .errors import ManifestFormatError
 from .keys import SigningIdentity
 from .manifest import Manifest, PayloadKind
@@ -57,7 +57,7 @@ class VendorServer:
         manifest = Manifest(
             version=version,
             size=len(firmware),
-            digest=sha256(firmware),
+            digest=get_engine().sha256(firmware),
             link_offset=self.link_offset,
             app_id=self.app_id,
             payload_kind=PayloadKind.FULL,

@@ -17,13 +17,22 @@ from .backends import (
     available_backends,
     get_backend,
 )
-from .ecc import P256, CurveError, Point
+from .ecc import P256, CurveError, FixedWindowTable, Point
 from .ecdsa import (
     PrivateKey,
     PublicKey,
     Signature,
     SignatureError,
     generate_keypair,
+)
+from .engine import (
+    CryptoEngine,
+    FastEngine,
+    ReferenceEngine,
+    available_engines,
+    get_engine,
+    set_engine,
+    use_engine,
 )
 from .hsm import ATECC508, HSMError, KeyNotFoundError, SlotLockedError
 from .rfc6979 import hmac_sha256
@@ -34,8 +43,11 @@ __all__ = [
     "ATECC508",
     "CRYPTOAUTHLIB",
     "CryptoBackend",
+    "CryptoEngine",
     "CryptoProfile",
     "CurveError",
+    "FastEngine",
+    "FixedWindowTable",
     "HSMBackend",
     "HSMError",
     "KeyNotFoundError",
@@ -43,6 +55,7 @@ __all__ = [
     "Point",
     "PrivateKey",
     "PublicKey",
+    "ReferenceEngine",
     "SHA256",
     "Signature",
     "SignatureError",
@@ -52,8 +65,12 @@ __all__ = [
     "TINYCRYPT",
     "TINYDTLS",
     "available_backends",
+    "available_engines",
     "generate_keypair",
     "get_backend",
+    "get_engine",
     "hmac_sha256",
+    "set_engine",
     "sha256",
+    "use_engine",
 ]

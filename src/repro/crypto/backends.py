@@ -19,8 +19,8 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from .ecdsa import PublicKey, Signature
+from .engine import get_engine
 from .hsm import ATECC508, HSMError
-from .sha256 import SHA256
 
 __all__ = [
     "CryptoProfile",
@@ -108,12 +108,18 @@ class CryptoBackend:
 
     # -- operations ------------------------------------------------------
 
-    def new_hash(self) -> SHA256:
-        return SHA256()
+    def new_hash(self):
+        """A fresh SHA-256 hasher from the active engine.
+
+        The modeled cost (``hash_bytes_per_second`` etc.) is metered by
+        :meth:`track_hashed` regardless of which engine computes the
+        digest, so swapping engines never changes simulation results.
+        """
+        return get_engine().new_hash()
 
     def digest(self, data: bytes) -> bytes:
         self._hash_bytes += len(data)
-        return SHA256(data).digest()
+        return get_engine().sha256(data)
 
     def track_hashed(self, nbytes: int) -> None:
         """Record incrementally-hashed bytes for the cost model."""

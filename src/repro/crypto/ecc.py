@@ -10,9 +10,9 @@ dominate the cost otherwise.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
-__all__ = ["P256", "Point", "CurveError"]
+__all__ = ["P256", "Point", "CurveError", "FixedWindowTable"]
 
 
 class CurveError(ValueError):
@@ -162,6 +162,35 @@ class _P256:
         y3 = (alpha * (4 * beta - x3) - 8 * gamma * gamma) % _P
         return (x3, y3, z3)
 
+    def _jacobian_add_affine(
+        self, lhs: Tuple[int, int, int], x2: int, y2: int
+    ) -> Tuple[int, int, int]:
+        """Mixed addition lhs + (x2, y2, 1); saves the z2 field products.
+
+        The fixed-window tables store their precomputed multiples in
+        affine form precisely so that every table lookup lands on this
+        cheaper formula (madd-2007-bl specialised for z2 = 1).
+        """
+        x1, y1, z1 = lhs
+        if z1 == 0:
+            return (x2, y2, 1)
+        z1z1 = (z1 * z1) % _P
+        u2 = (x2 * z1z1) % _P
+        s2 = (y2 * z1 * z1z1) % _P
+        if x1 == u2:
+            if y1 != s2:
+                return (0, 0, 0)
+            return self._jacobian_double(lhs)
+        h = (u2 - x1) % _P
+        i = (4 * h * h) % _P
+        j = (h * i) % _P
+        r = (2 * (s2 - y1)) % _P
+        v = (x1 * i) % _P
+        x3 = (r * r - j - 2 * v) % _P
+        y3 = (r * (v - x3) - 2 * y1 * j) % _P
+        z3 = (((z1 + h) * (z1 + h) - z1z1 - h * h)) % _P
+        return (x3, y3, z3)
+
     def _jacobian_add(
         self, lhs: Tuple[int, int, int], rhs: Tuple[int, int, int]
     ) -> Tuple[int, int, int]:
@@ -193,3 +222,93 @@ class _P256:
 
 
 P256 = _P256()
+
+
+def _batch_to_affine(
+    jacs: Sequence[Tuple[int, int, int]]
+) -> List[Tuple[int, int]]:
+    """Normalise many Jacobian points with one field inversion.
+
+    Montgomery's trick: invert the product of all z coordinates once,
+    then peel per-point inverses off with multiplications.  Building a
+    fixed-window table needs ~1000 normalisations; doing them naively
+    would cost ~1000 exponentiations mod p.
+    """
+    zs = [z for (_, _, z) in jacs]
+    prefix = [1] * (len(zs) + 1)
+    for i, z in enumerate(zs):
+        prefix[i + 1] = (prefix[i] * z) % _P
+    inv_all = pow(prefix[-1], _P - 2, _P)
+    affine: List[Tuple[int, int]] = [(0, 0)] * len(jacs)
+    for i in range(len(jacs) - 1, -1, -1):
+        x, y, z = jacs[i]
+        z_inv = (inv_all * prefix[i]) % _P
+        inv_all = (inv_all * z) % _P
+        z_inv2 = (z_inv * z_inv) % _P
+        affine[i] = ((x * z_inv2) % _P, (y * z_inv2 * z_inv) % _P)
+    return affine
+
+
+class FixedWindowTable:
+    """Precomputed fixed-window multiples of one curve point.
+
+    Stores ``d * 16**i * P`` for every window ``i`` (0..63) and digit
+    ``d`` (1..15) in *affine* form, so a scalar multiplication becomes
+    at most 64 cheap mixed additions and zero doublings — the classic
+    comb/fixed-window trade of memory for the verify hot path.  The
+    table costs ~1150 group operations to build, so it only pays off
+    for points that are multiplied repeatedly (the base point, and the
+    vendor / update-server public keys every device verifies against).
+    """
+
+    WINDOW_BITS = 4
+    _WINDOWS = 64   # 256 bits / 4
+    _DIGITS = 15    # non-zero 4-bit digits
+
+    def __init__(self, point: Point) -> None:
+        if point.is_infinity:
+            raise CurveError("cannot build a window table for infinity")
+        self.point = point
+        curve = P256
+        jacs: List[Tuple[int, int, int]] = []
+        base = curve._to_jacobian(point)
+        for _ in range(self._WINDOWS):
+            acc = base
+            jacs.append(acc)
+            for _ in range(2, self._DIGITS + 1):
+                acc = curve._jacobian_add(acc, base)
+                jacs.append(acc)
+            for _ in range(self.WINDOW_BITS):
+                base = curve._jacobian_double(base)
+        flat = _batch_to_affine(jacs)
+        # rows[i][d-1] = d * 16**i * P in affine form
+        self._rows = [
+            flat[i * self._DIGITS:(i + 1) * self._DIGITS]
+            for i in range(self._WINDOWS)
+        ]
+
+    def multiply_jacobian(self, k: int) -> Tuple[int, int, int]:
+        """k * P as a Jacobian triple (identity encoded as z == 0)."""
+        k %= _N
+        acc = (0, 0, 0)
+        add_affine = P256._jacobian_add_affine
+        rows = self._rows
+        window = 0
+        while k:
+            digit = k & 0x0F
+            if digit:
+                x2, y2 = rows[window][digit - 1]
+                acc = add_affine(acc, x2, y2)
+            k >>= 4
+            window += 1
+        return acc
+
+    def multiply(self, k: int) -> Point:
+        return P256._to_affine(self.multiply_jacobian(k))
+
+    def combined_multiply(self, u1: int, other: "FixedWindowTable",
+                          u2: int) -> Point:
+        """u1 * self.point + u2 * other.point — table-only ECDSA verify."""
+        jsum = P256._jacobian_add(self.multiply_jacobian(u1),
+                                  other.multiply_jacobian(u2))
+        return P256._to_affine(jsum)

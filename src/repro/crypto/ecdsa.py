@@ -11,8 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from .ecc import P256, CurveError, Point
+from .engine import get_engine
 from .rfc6979 import deterministic_nonce, hmac_sha256
-from .sha256 import sha256
 
 __all__ = [
     "PrivateKey",
@@ -74,25 +74,18 @@ class PublicKey:
 
     def fingerprint(self) -> bytes:
         """SHA-256 of the encoded point; used as a key identifier."""
-        return sha256(self.encode())
+        return get_engine().sha256(self.encode())
 
     def verify(self, signature: Signature, message: bytes) -> bool:
         """Verify ``signature`` over SHA-256(message). Never raises on a
         well-formed signature; returns False for any invalid one."""
-        return self.verify_digest(signature, sha256(message))
+        return self.verify_digest(signature, get_engine().sha256(message))
 
     def verify_digest(self, signature: Signature, digest: bytes) -> bool:
         r, s = signature.r, signature.s
         if not (1 <= r < P256.n and 1 <= s < P256.n):
             return False
-        e = int.from_bytes(digest, "big") % P256.n
-        w = pow(s, P256.n - 2, P256.n)
-        u1 = (e * w) % P256.n
-        u2 = (r * w) % P256.n
-        point = P256.double_multiply(u1, u2, self.point)
-        if point.is_infinity:
-            return False
-        return point.x % P256.n == r
+        return get_engine().ecdsa_verify(self.point, r, s, bytes(digest))
 
 
 @dataclass(frozen=True)
@@ -106,25 +99,25 @@ class PrivateKey:
             raise SignatureError("private key scalar out of range")
 
     def public_key(self) -> PublicKey:
-        return PublicKey(P256.multiply_base(self.scalar))
+        return PublicKey(get_engine().multiply_base(self.scalar))
 
     def sign(self, message: bytes) -> Signature:
         """Deterministic (RFC 6979) ECDSA signature over SHA-256(message)."""
-        return self.sign_digest(sha256(message))
+        return self.sign_digest(get_engine().sha256(message))
 
     def sign_digest(self, digest: bytes) -> Signature:
         e = int.from_bytes(digest, "big") % P256.n
         while True:
             k = deterministic_nonce(self.scalar, digest, P256.n)
-            point = P256.multiply_base(k)
+            point = get_engine().multiply_base(k)
             r = point.x % P256.n
             if r == 0:
-                digest = sha256(digest)
+                digest = get_engine().sha256(digest)
                 continue
             k_inv = pow(k, P256.n - 2, P256.n)
             s = (k_inv * (e + r * self.scalar)) % P256.n
             if s == 0:
-                digest = sha256(digest)
+                digest = get_engine().sha256(digest)
                 continue
             # Enforce low-s normalisation so signatures are non-malleable.
             if s > P256.n // 2:

@@ -9,20 +9,19 @@ suite and the differential-update benchmarks rely on.
 
 from __future__ import annotations
 
-from .sha256 import SHA256, sha256
+from .engine import get_engine
 
 __all__ = ["hmac_sha256", "deterministic_nonce"]
 
-_BLOCK = 64
-
 
 def hmac_sha256(key: bytes, message: bytes) -> bytes:
-    """HMAC-SHA256 (RFC 2104) built on the local SHA-256 implementation."""
-    if len(key) > _BLOCK:
-        key = sha256(key)
-    key = key.ljust(_BLOCK, b"\x00")
-    inner = SHA256(bytes(b ^ 0x36 for b in key)).update(message).digest()
-    return SHA256(bytes(b ^ 0x5C for b in key)).update(inner).digest()
+    """HMAC-SHA256 (RFC 2104), via the active crypto engine.
+
+    The reference engine keeps the original construction over the local
+    SHA-256; the fast engine delegates to :mod:`hmac`/:mod:`hashlib`.
+    Output is identical either way.
+    """
+    return get_engine().hmac_sha256(key, message)
 
 
 def _bits2int(data: bytes, qlen: int) -> int:

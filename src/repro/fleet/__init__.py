@@ -7,11 +7,19 @@ from .campaign import (
     DeviceState,
     RolloutPolicy,
 )
+from .executor import (
+    ParallelWaveExecutor,
+    SerialWaveExecutor,
+    WaveExecutor,
+)
 
 __all__ = [
     "Campaign",
     "CampaignReport",
     "DeviceRecord",
     "DeviceState",
+    "ParallelWaveExecutor",
     "RolloutPolicy",
+    "SerialWaveExecutor",
+    "WaveExecutor",
 ]

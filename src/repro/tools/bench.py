@@ -1,0 +1,293 @@
+"""Fleet-scale performance benchmark harness.
+
+Measures the hot path the ROADMAP's "millions of devices" north star
+depends on, under both crypto engines and both wave executors:
+
+* SHA-256 throughput (MB/s) — reference (from-scratch) vs. fast
+  (hashlib) engine;
+* ECDSA verify throughput (verifies/s) — plain Shamir-trick verify vs.
+  fixed-window precomputed tables (distinct digests, so the
+  verification cache is *not* what is being measured);
+* delta generation time — bsdiff + LZSS over a firmware pair (engine
+  independent, but it gates campaign start-up);
+* end-to-end campaign throughput (devices/s) on a seeded fleet, for
+  the seed path (reference engine, serial executor), the fast engine
+  alone, and the full fast path (fast engine + parallel executor) —
+  asserting along the way that all three produce the *identical*
+  :class:`~repro.fleet.campaign.CampaignReport`.
+
+Results are written to ``BENCH_fleet.json`` (repo root by convention)
+so subsequent PRs can track the trajectory::
+
+    python -m repro.tools.cli bench --devices 50 --out BENCH_fleet.json
+
+``benchmarks/test_perf_fleet.py`` runs the same harness under the
+``perf`` pytest marker (excluded from the tier-1 suite) and asserts the
+headline speedup.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from typing import Dict, List, Optional
+
+from ..core import (
+    DeviceProfile,
+    UpdateServer,
+    VendorServer,
+    make_test_identities,
+    provision_device,
+)
+from ..crypto import generate_keypair, use_engine
+from ..crypto.engine import FastEngine, get_engine
+from ..delta import diff as bsdiff_diff
+from ..compression import compress as lzss_compress
+from ..fleet import (
+    Campaign,
+    DeviceRecord,
+    ParallelWaveExecutor,
+    RolloutPolicy,
+    SerialWaveExecutor,
+)
+from ..memory import MemoryLayout
+from ..platform import NRF52840, ZEPHYR
+from ..sim import SimulatedDevice
+from ..workload import FirmwareGenerator
+
+__all__ = [
+    "bench_sha256",
+    "bench_verify",
+    "bench_delta",
+    "bench_campaign",
+    "run_all",
+    "write_results",
+]
+
+APP_ID = 0x55504B49
+LINK_OFFSET = 0x8000
+
+
+def _mb_per_s(nbytes: int, seconds: float) -> float:
+    return nbytes / (1024.0 * 1024.0) / seconds if seconds > 0 else 0.0
+
+
+# -- primitives -------------------------------------------------------------
+
+
+def bench_sha256(reference_bytes: int = 128 * 1024,
+                 fast_bytes: int = 16 * 1024 * 1024) -> Dict[str, float]:
+    """SHA-256 MB/s per engine (sized so each run takes well under 1 s)."""
+    results: Dict[str, float] = {}
+    for name, nbytes in (("reference", reference_bytes),
+                         ("fast", fast_bytes)):
+        data = b"\xA5" * nbytes
+        with use_engine(name) as engine:
+            engine.sha256(b"warmup")
+            start = time.perf_counter()
+            engine.sha256(data)
+            elapsed = time.perf_counter() - start
+        results["%s_mb_per_s" % name] = round(_mb_per_s(nbytes, elapsed), 2)
+    results["speedup"] = round(
+        results["fast_mb_per_s"] / results["reference_mb_per_s"], 1)
+    return results
+
+
+def bench_verify(reference_iterations: int = 20,
+                 fast_iterations: int = 60) -> Dict[str, float]:
+    """ECDSA verifies/s per engine, over *distinct* digests.
+
+    Distinct digests keep the fast engine's verification cache out of
+    the measurement: what is timed is the table-accelerated scalar
+    math, i.e. the cost of verifying signatures never seen before.
+    """
+    key = generate_keypair(b"bench-verify")
+    public = key.public_key()
+    count = max(reference_iterations, fast_iterations)
+    messages = [b"bench message %06d" % i for i in range(count)]
+    with use_engine("fast"):
+        signatures = [key.sign(message) for message in messages]
+
+    results: Dict[str, float] = {}
+    for name, iterations in (("reference", reference_iterations),
+                             ("fast", fast_iterations)):
+        with use_engine(name) as engine:
+            if isinstance(engine, FastEngine):
+                engine.clear_caches()
+                # Warm past table_threshold so steady-state table math
+                # is measured, not the one-time table build.
+                for i in range(engine.table_threshold + 1):
+                    public.verify(signatures[i], messages[i])
+            start = time.perf_counter()
+            for i in range(iterations):
+                ok = public.verify(signatures[i], messages[i])
+                assert ok
+            elapsed = time.perf_counter() - start
+        results["%s_verifies_per_s" % name] = round(iterations / elapsed, 1)
+    results["speedup"] = round(
+        results["fast_verifies_per_s"] / results["reference_verifies_per_s"],
+        1)
+    return results
+
+
+def bench_delta(image_size: int = 48 * 1024) -> Dict[str, float]:
+    """bsdiff + LZSS generation time for one firmware pair."""
+    generator = FirmwareGenerator(seed=b"bench-delta")
+    old = generator.firmware(image_size, image_id=1)
+    new = generator.os_version_change(old, revision=2)
+    start = time.perf_counter()
+    patch = bsdiff_diff(old, new)
+    diff_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    delta = lzss_compress(patch)
+    compress_seconds = time.perf_counter() - start
+    return {
+        "firmware_bytes": image_size,
+        "patch_bytes": len(patch),
+        "delta_bytes": len(delta),
+        "bsdiff_seconds": round(diff_seconds, 4),
+        "lzss_seconds": round(compress_seconds, 4),
+        "total_seconds": round(diff_seconds + compress_seconds, 4),
+    }
+
+
+# -- campaign ---------------------------------------------------------------
+
+
+def _build_campaign(device_count: int, image_size: int,
+                    executor) -> Campaign:
+    """A seeded fleet at v1 with v2 published, ready to run.
+
+    Construction is fully deterministic, so every configuration under
+    test drives a bit-identical fleet against a bit-identical release.
+    """
+    generator = FirmwareGenerator(seed=b"bench-campaign")
+    fw_v1 = generator.firmware(image_size, image_id=1)
+    fw_v2 = generator.os_version_change(fw_v1, revision=2)
+    vendor_id, server_id, anchors = make_test_identities()
+    vendor = VendorServer(vendor_id, app_id=APP_ID,
+                          link_offset=LINK_OFFSET)
+    server = UpdateServer(server_id)
+    server.publish(vendor.release(fw_v1, 1))
+
+    fleet: List[DeviceRecord] = []
+    for index in range(device_count):
+        internal = NRF52840.make_internal_flash()
+        layout = MemoryLayout.configuration_a(internal, 128 * 1024)
+        profile = DeviceProfile(device_id=0x4000 + index, app_id=APP_ID,
+                                link_offset=LINK_OFFSET)
+        device = SimulatedDevice(
+            board=NRF52840, os_profile=ZEPHYR, layout=layout,
+            profile=profile, anchors=anchors,
+        )
+        provision_device(server, layout.get("a"), profile.device_id)
+        fleet.append(DeviceRecord(
+            name="bench-%03d" % index,
+            device=device,
+            transport="pull" if index % 2 else "push",
+        ))
+
+    server.publish(vendor.release(fw_v2, 2))
+    return Campaign(server, fleet, RolloutPolicy(canary_fraction=0.1),
+                    executor=executor)
+
+
+def bench_campaign(device_count: int = 50,
+                   image_size: int = 24 * 1024,
+                   max_workers: Optional[int] = None) -> Dict[str, object]:
+    """End-to-end campaign throughput for the three configurations."""
+    configurations = (
+        ("reference_serial", "reference", SerialWaveExecutor()),
+        ("fast_serial", "fast", SerialWaveExecutor()),
+        ("fast_parallel", "fast",
+         ParallelWaveExecutor(max_workers=max_workers)),
+    )
+    results: Dict[str, object] = {
+        "devices": device_count,
+        "image_bytes": image_size,
+    }
+    reports = {}
+    for label, engine_name, executor in configurations:
+        campaign = _build_campaign(device_count, image_size, executor)
+        with use_engine(engine_name) as engine:
+            if isinstance(engine, FastEngine):
+                engine.clear_caches()   # cold start: tables count too
+            start = time.perf_counter()
+            report = campaign.run()
+            elapsed = time.perf_counter() - start
+        if report.aborted or len(report.updated) != device_count:
+            raise AssertionError(
+                "benchmark campaign %s did not fully succeed: %r"
+                % (label, report.to_dict()))
+        reports[label] = report.to_dict()
+        results["%s_seconds" % label] = round(elapsed, 3)
+        results["%s_devices_per_s" % label] = round(
+            device_count / elapsed, 2)
+    if not (reports["reference_serial"] == reports["fast_serial"]
+            == reports["fast_parallel"]):
+        raise AssertionError(
+            "campaign reports diverged between configurations")
+    results["reports_identical"] = True
+    results["speedup"] = round(
+        results["reference_serial_seconds"]
+        / results["fast_parallel_seconds"], 2)
+    if isinstance(max_workers, int):
+        results["max_workers"] = max_workers
+    return results
+
+
+# -- harness ----------------------------------------------------------------
+
+
+def run_all(device_count: int = 50, image_size: int = 24 * 1024,
+            max_workers: Optional[int] = None) -> Dict[str, object]:
+    """Run every benchmark; returns the JSON-ready result document."""
+    previous = get_engine().name
+    results = {
+        "schema": 1,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "host": {
+            "python": sys.version.split()[0],
+            "cpu_count": os.cpu_count(),
+        },
+        "sha256": bench_sha256(),
+        "ecdsa_verify": bench_verify(),
+        "delta_generation": bench_delta(),
+        "campaign": bench_campaign(device_count, image_size, max_workers),
+    }
+    assert get_engine().name == previous, "bench must not leak engine state"
+    return results
+
+
+def write_results(results: Dict[str, object], path: str) -> str:
+    with open(path, "w") as fh:
+        json.dump(results, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def format_summary(results: Dict[str, object]) -> str:
+    sha = results["sha256"]
+    ver = results["ecdsa_verify"]
+    camp = results["campaign"]
+    lines = [
+        "SHA-256      : %8.1f -> %8.1f MB/s   (%sx)"
+        % (sha["reference_mb_per_s"], sha["fast_mb_per_s"], sha["speedup"]),
+        "ECDSA verify : %8.1f -> %8.1f op/s   (%sx)"
+        % (ver["reference_verifies_per_s"], ver["fast_verifies_per_s"],
+           ver["speedup"]),
+        "delta (%3dk) : %.3f s (bsdiff %.3f + lzss %.3f)"
+        % (results["delta_generation"]["firmware_bytes"] // 1024,
+           results["delta_generation"]["total_seconds"],
+           results["delta_generation"]["bsdiff_seconds"],
+           results["delta_generation"]["lzss_seconds"]),
+        "campaign %3dd: %6.2f s serial/reference -> %5.2f s fast/parallel"
+        % (camp["devices"], camp["reference_serial_seconds"],
+           camp["fast_parallel_seconds"]),
+        "               %6.2f -> %6.2f devices/s  (%sx end-to-end)"
+        % (camp["reference_serial_devices_per_s"],
+           camp["fast_parallel_devices_per_s"], camp["speedup"]),
+    ]
+    return "\n".join(lines)

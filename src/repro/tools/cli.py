@@ -17,6 +17,8 @@ Subcommands::
     upkit verify  --image image.bin --vendor-pub keys/vendor.pub
                   --server-pub keys/server.pub
     upkit inspect --image image.bin
+    upkit bench   [--devices N] [--image-size BYTES] [--workers W]
+                  [--out BENCH_fleet.json]
 
 Run as ``python -m repro.tools.cli <subcommand> ...``.
 """
@@ -238,6 +240,19 @@ def cmd_import_suit(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Run the fleet-scale performance harness; write BENCH_fleet.json."""
+    from . import bench
+
+    results = bench.run_all(device_count=args.devices,
+                            image_size=args.image_size,
+                            max_workers=args.workers)
+    path = bench.write_results(results, args.out)
+    print(bench.format_summary(results))
+    print("wrote %s" % path)
+    return 0
+
+
 def cmd_inspect(args: argparse.Namespace) -> int:
     image = UpdateImage.unpack(_read(args.image))
     manifest = image.manifest
@@ -335,6 +350,19 @@ def build_parser() -> argparse.ArgumentParser:
                           help="force a full-image update (no delta)")
     simulate.add_argument("--seed", default="upkit-simulate")
     simulate.set_defaults(func=cmd_simulate)
+
+    bench = sub.add_parser(
+        "bench", help="run the fleet-scale performance benchmark harness")
+    bench.add_argument("--devices", type=int, default=50,
+                       help="campaign fleet size (default: 50)")
+    bench.add_argument("--image-size", type=int, default=24 * 1024,
+                       help="firmware image size in bytes (default: 24576)")
+    bench.add_argument("--workers", type=int, default=None,
+                       help="parallel executor worker count "
+                            "(default: CPU count, capped at 16)")
+    bench.add_argument("--out", default="BENCH_fleet.json",
+                       help="result file (default: ./BENCH_fleet.json)")
+    bench.set_defaults(func=cmd_bench)
 
     return parser
 

@@ -134,3 +134,128 @@ def test_low_entropy_compresses(text):
     if len(data) > 100:
         assert len(compress(data)) < len(data)
     assert decompress(compress(data)) == data
+
+
+# -- match-finder parity ----------------------------------------------------
+#
+# The encoder's match search was accelerated (mismatch quick-reject plus
+# slice-based match extension) with the hard requirement that the output
+# stream stays *byte-identical*.  ``_reference_compress`` is the plain
+# encoder — same hash chain, same greedy strictly-greater selection, same
+# 64-candidate bound, but byte-at-a-time matching and no short-circuits —
+# so any behavioural drift in the fast path shows up as a byte diff here.
+
+
+def _reference_compress(data: bytes) -> bytes:
+    from repro.compression.lzss import _BASE_MAX, _hash3
+
+    data = bytes(data)
+    n = len(data)
+    out = bytearray()
+    head = {}
+    prev = [-1] * n
+
+    pos = 0
+    pending_flags = 0
+    pending_count = 0
+    pending_items = bytearray()
+
+    def flush():
+        nonlocal pending_flags, pending_count, pending_items
+        if pending_count:
+            out.append(pending_flags)
+            out.extend(pending_items)
+            pending_flags = 0
+            pending_count = 0
+            pending_items = bytearray()
+
+    def insert(p):
+        if p + MIN_MATCH <= n:
+            h = _hash3(data, p)
+            prev[p] = head.get(h, -1)
+            head[h] = p
+
+    def match_length(candidate, pos):
+        limit = min(MAX_MATCH, n - pos)
+        length = 0
+        while (length < limit
+               and data[candidate + length] == data[pos + length]):
+            length += 1
+        return length
+
+    while pos < n:
+        best_len = 0
+        best_dist = 0
+        if pos + MIN_MATCH <= n:
+            limit = max(0, pos - WINDOW_SIZE)
+            candidate = head.get(_hash3(data, pos), -1)
+            tries = 64
+            while candidate >= limit and tries:
+                length = match_length(candidate, pos)
+                if length > best_len:
+                    best_len = length
+                    best_dist = pos - candidate
+                    if length >= MAX_MATCH:
+                        break
+                candidate = prev[candidate]
+                tries -= 1
+
+        if best_len >= MIN_MATCH:
+            if best_len <= _BASE_MAX:
+                token = ((best_dist - 1) << 4) | (best_len - MIN_MATCH)
+                pending_items.extend((token >> 8, token & 0xFF))
+            else:
+                token = ((best_dist - 1) << 4) | 0x0F
+                pending_items.extend((token >> 8, token & 0xFF,
+                                      best_len - _BASE_MAX - 1))
+            insert(pos)
+            step = max(1, best_len // 8)
+            for covered in range(pos + step, pos + best_len, step):
+                insert(covered)
+            pos += best_len
+        else:
+            pending_flags |= 1 << pending_count
+            pending_items.append(data[pos])
+            insert(pos)
+            pos += 1
+
+        pending_count += 1
+        if pending_count == 8:
+            flush()
+
+    flush()
+    return bytes(out)
+
+
+@pytest.mark.parametrize("data", [
+    b"",
+    b"a",
+    b"abcabcabcabc" * 64,
+    b"\x00" * 6000,
+    bytes(range(256)) * 16,
+    b"ABAB" * 3 + b"\x00" * 400 + b"ABAB" * 3,
+], ids=["empty", "one", "repeat", "zeros", "cycle", "mixed"])
+def test_fast_match_finder_is_byte_identical(data):
+    assert compress(data) == _reference_compress(data)
+
+
+def test_fast_match_finder_identical_on_random_and_patch_data():
+    import random
+
+    from repro.delta import diff
+    from repro.workload import FirmwareGenerator
+
+    rng = random.Random(0x5A55)
+    for _ in range(12):
+        n = rng.randrange(0, 4000)
+        base = bytes(rng.getrandbits(8) for _ in range(max(1, n // 6)))
+        data = (base * 8)[:n]
+        assert compress(data) == _reference_compress(data)
+
+    gen = FirmwareGenerator(seed=b"lzss-parity")
+    fw1 = gen.firmware(16 * 1024, image_id=1)
+    fw2 = gen.os_version_change(fw1, revision=2)
+    patch = diff(fw1, fw2)
+    fast = compress(patch)
+    assert fast == _reference_compress(patch)
+    assert decompress(fast) == patch

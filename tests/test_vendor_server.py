@@ -201,3 +201,56 @@ def test_server_signature_covers_vendor_signature(published, anchors):
     assert anchors.server.verify(
         Signature.decode(image.envelope.server_signature),
         image.envelope.server_signed_region())
+
+
+def test_delta_cache_lru_bound(identities, firmware_gen):
+    """The delta cache is bounded: old pairs are evicted, LRU first."""
+    vendor = VendorServer(identities[0], app_id=APP_ID,
+                          link_offset=LINK_OFFSET)
+    server = UpdateServer(identities[1], delta_cache_size=2)
+    fw = firmware_gen.firmware(8 * 1024, image_id=1)
+    server.publish(vendor.release(fw, 1))
+    for version in range(2, 7):
+        fw = firmware_gen.os_version_change(fw, revision=version)
+        server.publish(vendor.release(fw, version))
+
+    # Five distinct (old, 6) pairs through a 2-entry cache.
+    for current in (1, 2, 3, 4, 5):
+        server.prepare_update(token(nonce=current, current=current))
+    assert len(server._delta_cache) == 2
+    assert server.stats.delta_cache_evictions == 3
+    assert server.stats.delta_cache_hits == 0
+
+    # The most recent pairs, (4, 6) and (5, 6), still hit...
+    server.prepare_update(token(nonce=10, current=5))
+    server.prepare_update(token(nonce=11, current=4))
+    assert server.stats.delta_cache_hits == 2
+    # ...while an evicted pair is recomputed and evicts the LRU entry.
+    server.prepare_update(token(nonce=12, current=1))
+    assert server.stats.delta_cache_hits == 2
+    assert server.stats.delta_cache_evictions == 4
+    assert len(server._delta_cache) == 2
+
+
+def test_delta_cache_hit_refreshes_recency(identities, firmware_gen):
+    """A cache hit makes that pair the most recently used."""
+    vendor = VendorServer(identities[0], app_id=APP_ID,
+                          link_offset=LINK_OFFSET)
+    server = UpdateServer(identities[1], delta_cache_size=2)
+    fw = firmware_gen.firmware(8 * 1024, image_id=1)
+    server.publish(vendor.release(fw, 1))
+    for version in range(2, 5):
+        fw = firmware_gen.os_version_change(fw, revision=version)
+        server.publish(vendor.release(fw, version))
+
+    server.prepare_update(token(nonce=1, current=1))   # cache (1, 4)
+    server.prepare_update(token(nonce=2, current=2))   # cache (2, 4)
+    server.prepare_update(token(nonce=3, current=1))   # hit -> (1, 4) fresh
+    server.prepare_update(token(nonce=4, current=3))   # evicts (2, 4)
+    assert (1, 4) in server._delta_cache
+    assert (2, 4) not in server._delta_cache
+
+
+def test_delta_cache_size_must_be_positive(identities):
+    with pytest.raises(ValueError):
+        UpdateServer(identities[1], delta_cache_size=0)
