@@ -21,11 +21,13 @@ from .errors import (
     ManifestFormatError,
     NoValidImage,
     PipelineError,
+    ServerUnavailable,
     SignatureInvalid,
     SizeExceeded,
     StaleVersion,
     StateError,
     TokenMismatch,
+    TransferAbandoned,
     UpdateError,
     VerificationError,
     WrongApplication,
@@ -101,11 +103,13 @@ __all__ = [
     "SignedManifest",
     "SigningIdentity",
     "SizeExceeded",
+    "ServerUnavailable",
     "StaleVersion",
     "Stage",
     "StateError",
     "TOKEN_SIZE",
     "TokenMismatch",
+    "TransferAbandoned",
     "TrustAnchors",
     "TrustStore",
     "UpdateAgent",

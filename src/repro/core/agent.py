@@ -81,6 +81,12 @@ class AgentStats:
     updates_rejected: int = 0
     rejected_before_download: int = 0
     rejected_after_download: int = 0
+    # Interrupted-transfer observability (bumped by the transports, which
+    # own the link, but surfaced here so one counter object tells the
+    # whole per-device story).
+    transfers_interrupted: int = 0
+    transfers_resumed: int = 0
+    updates_abandoned: int = 0
 
 
 def inspect_slot(slot: Slot) -> Optional[SignedManifest]:
@@ -138,11 +144,31 @@ class UpdateAgent:
         self._pipeline: Optional[Pipeline] = None
         self._slot_file = None
         self._payload_received = 0
+        self._booted_slot: Optional[Slot] = None
+        self._booted_version = 0
 
     # -- slot bookkeeping ---------------------------------------------------
 
+    def note_boot(self, slot: Slot, envelope: SignedManifest) -> None:
+        """Record the bootloader's *verified* choice of running image.
+
+        Without this the agent can only guess the running slot from slot
+        headers — and a half-written download (power loss mid-transfer)
+        leaves a parseable envelope with a *newer* version in the other
+        slot, making the guess wrong in both directions: the device
+        reports a version it never verified (so a pull transport skips
+        the re-download forever), and :meth:`target_slot` aims the next
+        download at the only valid image.  The bootloader's full
+        re-verification is the one trustworthy source; the simulated
+        device calls this after every boot.
+        """
+        self._booted_slot = slot
+        self._booted_version = envelope.manifest.version
+
     def running_slot(self) -> Optional[Slot]:
         """The slot holding the currently executing firmware."""
+        if self._booted_slot is not None:
+            return self._booted_slot
         best: Optional[Slot] = None
         best_version = -1
         candidates = (self.layout.bootable_slots if self.layout.is_ab
@@ -155,6 +181,8 @@ class UpdateAgent:
         return best
 
     def installed_version(self) -> int:
+        if self._booted_slot is not None:
+            return self._booted_version
         slot = self.running_slot()
         if slot is None:
             return 0
@@ -334,6 +362,26 @@ class UpdateAgent:
         """Abort an in-flight update (e.g. transport gave up)."""
         if self.state not in (AgentState.WAITING, AgentState.READY_TO_REBOOT):
             self._clean()
+
+    def power_cycle(self) -> None:
+        """Model an abrupt reboot: every in-RAM FSM variable is lost.
+
+        Unlike :meth:`cancel` this performs *no* cleaning — a crashed
+        device never gets to invalidate its slot.  Whatever half-written
+        image sits in flash is left for the bootloader's re-verification
+        to reject (the stale-verdict scenario of Sect. IV the second
+        signature check exists for).
+        """
+        if self._slot_file is not None:
+            self._slot_file.close()
+        self._token = None
+        self._target_slot = None
+        self._pending_manifest = None
+        self._pipeline = None
+        self._slot_file = None
+        self._manifest_buf.clear()
+        self._payload_received = 0
+        self.state = AgentState.WAITING
 
     def _clean(self) -> None:
         """State CLEANING: invalidate the slot, reset all FSM variables."""

@@ -23,6 +23,8 @@ __all__ = [
     "ManifestFormatError",
     "StateError",
     "PipelineError",
+    "ServerUnavailable",
+    "TransferAbandoned",
     "BootError",
     "NoValidImage",
 ]
@@ -82,6 +84,15 @@ class StateError(UpdateError):
 
 class PipelineError(UpdateError):
     """A pipeline stage failed (bad patch, overflow, decoder error)."""
+
+
+class ServerUnavailable(UpdateError):
+    """The update server could not be reached (outage window)."""
+
+
+class TransferAbandoned(UpdateError):
+    """A transport gave up on an interrupted transfer after exhausting
+    its retry budget (see :class:`repro.net.transports.TransportRetryPolicy`)."""
 
 
 class BootError(UpdateError):

@@ -26,6 +26,12 @@ class EventKind(enum.Enum):
     FIRMWARE_VERIFIED = "firmware_verified"
     SLOT_CLEANED = "slot_cleaned"
     READY_TO_REBOOT = "ready_to_reboot"
+    # Transport-side (interrupted-transfer observability): emitted into
+    # the agent's log by the push/pull transports so an operator can see
+    # *why* a device took long (resumed transfers) or gave up.
+    TRANSFER_INTERRUPTED = "transfer_interrupted"
+    TRANSFER_RESUMED = "transfer_resumed"
+    UPDATE_ABANDONED = "update_abandoned"
     # Bootloader-side.
     BOOT_SELECTED = "boot_selected"
     SWAP_STARTED = "swap_started"

@@ -1,0 +1,20 @@
+"""Deterministic fault injection across every layer of the stack.
+
+:mod:`repro.faults.plan` describes *what* goes wrong (seeded, value-
+object fault schedules); :mod:`repro.faults.injector` wires a plan into
+a live testbed.  The chaos sweep (:mod:`repro.tools.chaos`) drives both
+to assert the paper's anti-bricking invariant under an exhaustive grid
+of injected failures.
+"""
+
+from .injector import BURST_LOSS_RATE, DeviceRebooted, FaultInjector
+from .plan import FaultKind, FaultPlan, FaultPoint
+
+__all__ = [
+    "BURST_LOSS_RATE",
+    "DeviceRebooted",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultPoint",
+]

@@ -1,0 +1,157 @@
+"""Deterministic fault plans: *what* goes wrong, *where*, *when*.
+
+UpKit's safety argument (Sect. IV: double verification + slot
+management means a device is never left unbootable) is only as strong
+as the set of failure scenarios it is exercised against.  A
+:class:`FaultPlan` is a seeded, reproducible schedule of
+:class:`FaultPoint` s spanning every layer of the stack:
+
+=====================  =====================================================
+kind                   trigger semantics (``at`` / ``param``)
+=====================  =====================================================
+POWER_LOSS_WRITE       power loss at the ``at``-th flash *write*
+POWER_LOSS_ERASE       power loss at the ``at``-th flash page *erase*
+                       (leaves a half-erased page behind)
+POWER_LOSS_ANY         power loss at the ``at``-th modifying flash op
+                       (writes and erases interleaved — sweeps the agent
+                       download *and* the bootloader install)
+LINK_OUTAGE            link down once ``at`` cumulative bytes were
+                       delivered; the next ``param`` transfer attempts fail
+LOSS_BURST             packet-loss burst (50%) over cumulative bytes
+                       [``at``, ``at + param``)
+REBOOT                 device power-cycles (RAM lost, no cleaning) once
+                       the agent has been fed ``at`` bytes
+BIT_ROT                ``param`` selects the slot (0 = bootable, 1 =
+                       staged/other); 4 bytes at slot offset ``at`` are
+                       corrupted after transfer, before the next boot
+SERVER_OUTAGE          the server's ``prepare_update`` raises
+                       :class:`~repro.core.ServerUnavailable` for
+                       requests ``at`` .. ``at + param - 1``
+=====================  =====================================================
+
+Plans are value objects: hashable, sortable, JSON-serialisable — the
+chaos sweep report (:mod:`repro.tools.chaos`) round-trips them so a
+failing point can be replayed in isolation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+__all__ = ["FaultKind", "FaultPoint", "FaultPlan"]
+
+
+class FaultKind(enum.Enum):
+    """Every fault the injector can schedule, across all layers."""
+
+    POWER_LOSS_WRITE = "power-loss-write"
+    POWER_LOSS_ERASE = "power-loss-erase"
+    POWER_LOSS_ANY = "power-loss-any"
+    LINK_OUTAGE = "link-outage"
+    LOSS_BURST = "loss-burst"
+    REBOOT = "reboot"
+    BIT_ROT = "bit-rot"
+    SERVER_OUTAGE = "server-outage"
+
+
+@dataclass(frozen=True)
+class FaultPoint:
+    """One scheduled fault: a kind plus its two trigger coordinates."""
+
+    kind: FaultKind
+    at: int
+    param: int = 0
+
+    def __post_init__(self) -> None:
+        if self.at < 0 or self.param < 0:
+            raise ValueError("fault coordinates must be non-negative")
+
+    @property
+    def label(self) -> str:
+        """Stable human-readable id, e.g. ``power-loss-erase@7``."""
+        if self.param:
+            return "%s@%d/%d" % (self.kind.value, self.at, self.param)
+        return "%s@%d" % (self.kind.value, self.at)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"kind": self.kind.value, "at": self.at,
+                "param": self.param}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FaultPoint":
+        return cls(kind=FaultKind(data["kind"]), at=int(data["at"]),
+                   param=int(data.get("param", 0)))
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered, de-duplicated set of fault points plus its seed.
+
+    The seed feeds every derived RNG (links, jitter) so one plan always
+    replays to the same byte-level behaviour.
+    """
+
+    points: Tuple[FaultPoint, ...]
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        deduped = tuple(sorted(
+            set(self.points),
+            key=lambda p: (p.kind.value, p.at, p.param)))
+        object.__setattr__(self, "points", deduped)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self) -> Iterator[FaultPoint]:
+        return iter(self.points)
+
+    def of_kind(self, kind: FaultKind) -> List[FaultPoint]:
+        return [point for point in self.points if point.kind is kind]
+
+    def kind_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for point in self.points:
+            counts[point.kind.value] = counts.get(point.kind.value, 0) + 1
+        return counts
+
+    def sample(self, stride: int, offset: int = 0) -> "FaultPlan":
+        """Every ``stride``-th point (bounded tier-1 sweeps), kind-fair:
+        the stride is applied per kind so no fault family drops out."""
+        if stride < 1:
+            raise ValueError("stride must be at least 1")
+        kept: List[FaultPoint] = []
+        for kind in FaultKind:
+            family = self.of_kind(kind)
+            kept.extend(family[offset % stride::stride])
+        return FaultPlan(points=tuple(kept), seed=self.seed)
+
+    def merged_with(self, other: "FaultPlan") -> "FaultPlan":
+        return FaultPlan(points=self.points + other.points,
+                         seed=self.seed)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"seed": self.seed,
+                "points": [point.to_dict() for point in self.points]}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FaultPlan":
+        points = tuple(FaultPoint.from_dict(entry)
+                       for entry in data["points"])  # type: ignore[index]
+        return cls(points=points, seed=int(data.get("seed", 0)))
+
+    @classmethod
+    def single(cls, kind: FaultKind, at: int, param: int = 0,
+               seed: int = 0) -> "FaultPlan":
+        return cls(points=(FaultPoint(kind, at, param),), seed=seed)
+
+    @classmethod
+    def build(cls, axes: Sequence[Tuple[FaultKind, Sequence[int], int]],
+              seed: int = 0) -> "FaultPlan":
+        """Cartesian helper: ``(kind, at_values, param)`` per axis."""
+        points = tuple(FaultPoint(kind, at, param)
+                       for kind, ats, param in axes
+                       for at in ats)
+        return cls(points=points, seed=seed)

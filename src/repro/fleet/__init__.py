@@ -5,6 +5,7 @@ from .campaign import (
     CampaignReport,
     DeviceRecord,
     DeviceState,
+    RetryPolicy,
     RolloutPolicy,
 )
 from .executor import (
@@ -19,6 +20,7 @@ __all__ = [
     "DeviceRecord",
     "DeviceState",
     "ParallelWaveExecutor",
+    "RetryPolicy",
     "RolloutPolicy",
     "SerialWaveExecutor",
     "WaveExecutor",

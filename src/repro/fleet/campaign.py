@@ -15,16 +15,18 @@ when* and interprets the outcomes.
 from __future__ import annotations
 
 import enum
+import random
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..core import UpdateServer
-from ..net import PullTransport, PushTransport, UpdateOutcome
-from ..net.transports import Interceptor
+from ..net import Link, PullTransport, PushTransport, UpdateOutcome
+from ..net.transports import Interceptor, TransportRetryPolicy
 from ..sim.device import SimulatedDevice
 from .executor import SerialWaveExecutor, WaveExecutor
 
-__all__ = ["DeviceRecord", "DeviceState", "RolloutPolicy",
+__all__ = ["DeviceRecord", "DeviceState", "RolloutPolicy", "RetryPolicy",
            "CampaignReport", "Campaign"]
 
 
@@ -35,6 +37,9 @@ class DeviceState(enum.Enum):
     UPDATED = "updated"
     FAILED = "failed"
     SKIPPED = "skipped"   # campaign aborted before this device's turn
+    QUARANTINED = "quarantined"  # exhausted its retry budget; flagged for
+    #                              manual follow-up, excluded from the
+    #                              wave failure-rate abort computation
 
 
 @dataclass
@@ -45,8 +50,15 @@ class DeviceRecord:
     device: SimulatedDevice
     transport: str = "pull"            # "push" or "pull"
     interceptor: Optional[Interceptor] = None  # per-device link condition
+    #: Per-device link instance (loss rate, outage schedule).  Reused
+    #: across attempts so an outage survived on attempt 1 stays survived
+    #: — this is what lets flaky-link devices converge under retry.
+    link: Optional[Link] = None
     state: DeviceState = DeviceState.PENDING
     attempts: int = 0
+    #: Transport-level interruptions summed over every attempt (the
+    #: last outcome alone would hide outages survived on earlier tries).
+    interruptions: int = 0
     last_outcome: Optional[UpdateOutcome] = None
 
     def __post_init__(self) -> None:
@@ -71,6 +83,55 @@ class RolloutPolicy:
             raise ValueError("max_attempts must be at least 1")
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Campaign-level retry schedule for flaky-link devices.
+
+    Between attempts the device waits out an exponential backoff with
+    deterministic per-device jitter (derived from the device *name*, so
+    reports replay exactly); after ``quarantine_after`` failed attempts
+    the device is :attr:`~DeviceState.QUARANTINED` instead of merely
+    failed — flagged for manual follow-up and excluded from the wave
+    failure-rate that can abort the campaign, so one bad radio does not
+    cancel a fleet-wide rollout.
+    """
+
+    max_attempts: int = 3
+    backoff_initial: float = 5.0
+    backoff_factor: float = 2.0
+    backoff_max: float = 300.0
+    jitter: float = 0.1
+    quarantine_after: Optional[int] = None
+    seed: int = 0
+    #: Transport-layer resume policy handed to every per-attempt
+    #: transport (None keeps transports non-resuming).
+    transport_retry: Optional[TransportRetryPolicy] = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if not (0.0 <= self.jitter < 1.0):
+            raise ValueError("jitter must be in [0, 1)")
+        if self.quarantine_after is not None and self.quarantine_after < 1:
+            raise ValueError("quarantine_after must be at least 1")
+
+    def delay(self, attempt: int, device_name: str) -> float:
+        """Backoff after ``attempt`` failures (1-based), jittered
+        deterministically per device name."""
+        base = min(self.backoff_max,
+                   self.backoff_initial
+                   * self.backoff_factor ** (attempt - 1))
+        if self.jitter:
+            mix = (self.seed
+                   ^ zlib.crc32(device_name.encode("utf-8"))
+                   ^ (attempt * 0x9E3779B9))
+            rng = random.Random(mix)
+            base *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return base
+
+
 @dataclass
 class CampaignReport:
     """Aggregate outcome of one campaign run."""
@@ -81,6 +142,12 @@ class CampaignReport:
     updated: List[str] = field(default_factory=list)
     failed: List[str] = field(default_factory=list)
     skipped: List[str] = field(default_factory=list)
+    quarantined: List[str] = field(default_factory=list)
+    #: Attempts beyond the first, summed over the fleet.
+    retries: int = 0
+    #: Transport-level interruption events observed fleet-wide (most
+    #: survived via resume; the rest ended in abandonment).
+    link_interruptions: int = 0
     total_bytes_over_air: int = 0
     total_energy_mj: float = 0.0
     #: Modeled campaign wall-clock: devices within a wave update in
@@ -89,7 +156,8 @@ class CampaignReport:
 
     @property
     def success_rate(self) -> float:
-        done = len(self.updated) + len(self.failed)
+        done = (len(self.updated) + len(self.failed)
+                + len(self.quarantined))
         return len(self.updated) / done if done else 0.0
 
     def to_dict(self) -> Dict[str, object]:
@@ -101,6 +169,9 @@ class CampaignReport:
             "updated": self.updated,
             "failed": self.failed,
             "skipped": self.skipped,
+            "quarantined": self.quarantined,
+            "retries": self.retries,
+            "link_interruptions": self.link_interruptions,
             "success_rate": self.success_rate,
             "total_bytes_over_air": self.total_bytes_over_air,
             "total_energy_mj": self.total_energy_mj,
@@ -113,7 +184,8 @@ class Campaign:
 
     def __init__(self, server: UpdateServer, fleet: List[DeviceRecord],
                  policy: Optional[RolloutPolicy] = None,
-                 executor: Optional[WaveExecutor] = None) -> None:
+                 executor: Optional[WaveExecutor] = None,
+                 retry: Optional[RetryPolicy] = None) -> None:
         if not fleet:
             raise ValueError("campaign needs at least one device")
         names = [record.name for record in fleet]
@@ -122,6 +194,10 @@ class Campaign:
         self.server = server
         self.fleet = list(fleet)
         self.policy = policy or RolloutPolicy()
+        #: Retry schedule between per-device attempts.  None preserves
+        #: the legacy behaviour: ``policy.max_attempts`` back-to-back
+        #: tries, no backoff, no quarantine.
+        self.retry = retry
         #: How each wave's devices are driven.  The serial executor is
         #: the default; pass a
         #: :class:`~repro.fleet.executor.ParallelWaveExecutor` to run a
@@ -162,8 +238,15 @@ class Campaign:
                     report.total_energy_mj += outcome.total_energy_mj
                     wave_duration = max(wave_duration,
                                         outcome.total_seconds)
+                report.retries += max(0, record.attempts - 1)
+                report.link_interruptions += record.interruptions
                 if record.state is DeviceState.UPDATED:
                     report.updated.append(record.name)
+                elif record.state is DeviceState.QUARANTINED:
+                    # Quarantined devices are flagged for follow-up but
+                    # do not count toward the abort threshold: one dead
+                    # radio must not cancel the rollout for everyone.
+                    report.quarantined.append(record.name)
                 else:
                     report.failed.append(record.name)
                     failures += 1
@@ -181,22 +264,38 @@ class Campaign:
 
     def _update_device(self, record: DeviceRecord,
                        target: int) -> Optional[UpdateOutcome]:
+        attempts = (self.retry.max_attempts if self.retry is not None
+                    else self.policy.max_attempts)
         last: Optional[UpdateOutcome] = None
-        for _ in range(self.policy.max_attempts):
+        for attempt in range(1, attempts + 1):
             record.attempts += 1
             transport = self._transport_for(record)
             last = transport.run_update()
             record.last_outcome = last
+            record.interruptions += last.interruptions
             if last.success and last.booted_version == target:
                 record.state = DeviceState.UPDATED
                 return last
-        record.state = DeviceState.FAILED
+            if self.retry is not None and attempt < attempts:
+                # Wait out the (virtual) backoff on the device's own
+                # clock before the next attempt.
+                record.device.clock.advance(
+                    self.retry.delay(attempt, record.name), "backoff")
+        if (self.retry is not None
+                and self.retry.quarantine_after is not None
+                and record.attempts >= self.retry.quarantine_after):
+            record.state = DeviceState.QUARANTINED
+        else:
+            record.state = DeviceState.FAILED
         return last
 
     def _transport_for(self, record: DeviceRecord):
         cls = PushTransport if record.transport == "push" else PullTransport
+        retry = self.retry.transport_retry if self.retry is not None \
+            else None
         return cls(record.device, self.server,
-                   interceptor=record.interceptor)
+                   interceptor=record.interceptor,
+                   link=record.link, retry=retry)
 
     # -- introspection -----------------------------------------------------------
 

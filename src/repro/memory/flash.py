@@ -37,7 +37,10 @@ class PowerLossError(Exception):
 
     Raised by :meth:`FlashMemory.inject_power_loss` countdowns.  A write
     interrupted mid-operation leaves a *partial* write behind (the first
-    half of the data), modeling a real brown-out during programming.
+    half of the data); an interrupted erase leaves a *half-erased* page
+    (the tail half reads back ``0xFF``, the head keeps its old — now
+    untrustworthy — bytes), modeling a real brown-out during
+    programming or during the much slower page erase.
     """
 
 
@@ -97,6 +100,7 @@ class FlashMemory:
         self._data = bytearray(b"\xFF" * size)
         self.stats = FlashStats(erase_counts=[0] * (size // page_size))
         self._fault_countdown: "int | None" = None
+        self._fault_during = "any"
 
     @property
     def page_count(self) -> int:
@@ -116,23 +120,41 @@ class FlashMemory:
 
     # -- fault injection ----------------------------------------------------
 
-    def inject_power_loss(self, after_operations: int) -> None:
+    def inject_power_loss(self, after_operations: int,
+                          during: str = "any") -> None:
         """Arm a power-loss fault ``after_operations`` erases/writes.
 
-        The Nth modifying operation fails: an erase raises before doing
-        anything; a write lands only its first half, then raises.  Used
-        by the power-loss-safety tests and the fault-injection example.
+        The Nth modifying operation fails: an erase leaves a half-erased
+        page behind; a write lands only its first half — then
+        :class:`PowerLossError` is raised.  ``during`` restricts both the
+        countdown and the trip to one operation kind (``"write"`` or
+        ``"erase"``), so a fault plan can say "power loss at the k-th
+        page erase" regardless of interleaved writes; the default
+        ``"any"`` counts every modifying operation.  Used by the
+        power-loss-safety tests and the chaos sweep
+        (:mod:`repro.tools.chaos`).
         """
         if after_operations < 0:
             raise ValueError("after_operations must be non-negative")
+        if during not in ("any", "write", "erase"):
+            raise ValueError("during must be 'any', 'write' or 'erase'")
         self._fault_countdown = after_operations
+        self._fault_during = during
 
     def clear_fault(self) -> None:
         self._fault_countdown = None
+        self._fault_during = "any"
 
-    def _tick_fault(self) -> bool:
+    @property
+    def fault_armed(self) -> bool:
+        """True while an injected power-loss fault has not fired yet."""
+        return self._fault_countdown is not None
+
+    def _tick_fault(self, kind: str) -> bool:
         """Returns True when the armed fault fires on this operation."""
         if self._fault_countdown is None:
+            return False
+        if self._fault_during not in ("any", kind):
             return False
         if self._fault_countdown == 0:
             self._fault_countdown = None
@@ -144,7 +166,7 @@ class FlashMemory:
         """Write ``data``; bits may only transition 1 → 0."""
         data = bytes(data)
         self._check_range(offset, len(data))
-        if self._tick_fault():
+        if self._tick_fault("write"):
             half = data[: len(data) // 2]
             if half:
                 self.write(offset, half)
@@ -172,7 +194,17 @@ class FlashMemory:
     def erase_page(self, page: int) -> None:
         if not (0 <= page < self.page_count):
             raise FlashError("%s: page %d out of range" % (self.name, page))
-        if self._tick_fault():
+        if self._tick_fault("erase"):
+            # Brown-out mid-erase: the page is *half*-erased — the tail
+            # half reads back 0xFF, the head keeps its stale (now
+            # untrustworthy) bytes.  Wear still happened, and roughly
+            # half the erase time was spent before the supply collapsed.
+            start = page * self.page_size
+            half = self.page_size // 2
+            self._data[start + half:start + self.page_size] = \
+                b"\xFF" * (self.page_size - half)
+            self.stats.erase_counts[page] += 1
+            self.stats.busy_seconds += self.timing.erase_page_seconds / 2
             raise PowerLossError(
                 "%s: power lost erasing page %d" % (self.name, page))
         start = page * self.page_size

@@ -43,11 +43,17 @@ class PayloadBitFlipper:
     def __init__(self, flips: int = 8, seed: int = 1) -> None:
         self.flips = flips
         self.seed = seed
+        # Per-instance RNG (never the module-global ``random``): flip
+        # positions are reproducible for a given seed and immune to
+        # unrelated RNG draws, and repeated interceptions by the same
+        # attacker mutate *different* positions — as a real on-path
+        # tamperer would across retries.
+        self._rng = random.Random(seed)
 
     def __call__(self, envelope: bytes, payload: bytes) -> Tuple[bytes, bytes]:
         if not payload:
             return envelope, payload
-        rng = random.Random(self.seed)
+        rng = self._rng
         mutated = bytearray(payload)
         for _ in range(self.flips):
             index = rng.randrange(len(mutated))

@@ -11,16 +11,40 @@ with deterministic packet loss triggering retransmissions after a
 timeout.  The two built-in profiles are calibrated so a 100 kB transfer
 reproduces the paper's propagation times (47.7 s over BLE push, 41.7 s
 over CoAP pull — Fig. 8a).
+
+Beyond steady-state loss, a link can carry a *fault schedule*:
+
+* :class:`Outage` — the link goes down once the cumulative delivered
+  byte count reaches a threshold; the next N transfer attempts raise
+  :class:`LinkDownError` (the transports' resume logic turns these into
+  backoff + re-request instead of a failed update);
+* :class:`LossBurst` — a window of elevated packet loss over a
+  cumulative-byte range (a microwave oven, a passing truck).
+
+Every random draw comes from a **per-link** ``random.Random(seed)``
+(never the module-global ``random``), so one device's loss pattern is
+reproducible in isolation and immune to unrelated RNG consumers — the
+property the chaos sweep depends on.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Iterator, List, Sequence
 
-__all__ = ["LinkProfile", "Link", "TransferReport", "BLE_GATT",
-           "COAP_6LOWPAN", "get_link_profile"]
+__all__ = ["LinkProfile", "Link", "TransferReport", "Outage", "LossBurst",
+           "LinkDownError", "BLE_GATT", "COAP_6LOWPAN", "get_link_profile"]
+
+
+class LinkDownError(Exception):
+    """The link is (temporarily) down: this transfer attempt failed.
+
+    Deliberately *not* an :class:`~repro.core.errors.UpdateError` — the
+    transports decide whether to resume (backoff + retry from the last
+    verified offset) or to abandon, and only the latter surfaces as an
+    update failure.
+    """
 
 
 @dataclass(frozen=True)
@@ -76,26 +100,98 @@ class TransferReport:
     seconds: float
 
 
+@dataclass(frozen=True)
+class Outage:
+    """The link drops once ``at_byte`` cumulative bytes were delivered.
+
+    After firing, the next ``failures`` transfer attempts raise
+    :class:`LinkDownError`; the link then recovers.  Attempt-counted
+    (not wall-clock) so the schedule is deterministic regardless of how
+    the caller paces its retries.
+    """
+
+    at_byte: int
+    failures: int = 1
+
+    def __post_init__(self) -> None:
+        if self.at_byte < 0:
+            raise ValueError("at_byte must be non-negative")
+        if self.failures < 1:
+            raise ValueError("failures must be at least 1")
+
+
+@dataclass(frozen=True)
+class LossBurst:
+    """Elevated packet loss while cumulative bytes are in a window."""
+
+    start_byte: int
+    end_byte: int
+    loss_rate: float
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.start_byte < self.end_byte):
+            raise ValueError("need 0 <= start_byte < end_byte")
+        if not (0.0 <= self.loss_rate < 1.0):
+            raise ValueError("loss_rate must be in [0, 1)")
+
+    def covers(self, total_bytes: int) -> bool:
+        return self.start_byte <= total_bytes < self.end_byte
+
+
 class Link:
-    """A lossy link instance with deterministic loss."""
+    """A lossy link instance with deterministic loss and fault schedule."""
 
     def __init__(self, profile: LinkProfile, loss_rate: float = 0.0,
-                 seed: int = 0) -> None:
+                 seed: int = 0,
+                 outages: Sequence[Outage] = (),
+                 loss_bursts: Sequence[LossBurst] = ()) -> None:
         if not (0.0 <= loss_rate < 1.0):
             raise ValueError("loss_rate must be in [0, 1)")
         self.profile = profile
         self.loss_rate = loss_rate
+        self.seed = seed
+        #: Per-instance RNG: loss patterns replay exactly for a given
+        #: (profile, seed, schedule) no matter what else draws randomness.
         self._rng = random.Random(seed)
         self.total_packets = 0
         self.total_retransmissions = 0
+        self.total_bytes = 0
+        self.down_events = 0
+        self._outages: List[Outage] = sorted(outages,
+                                             key=lambda o: o.at_byte)
+        self._bursts: List[LossBurst] = list(loss_bursts)
+        self._down_for = 0  # failures remaining in the active outage
+
+    def _effective_loss_rate(self) -> float:
+        for burst in self._bursts:
+            if burst.covers(self.total_bytes):
+                return burst.loss_rate
+        return self.loss_rate
+
+    def _check_outage(self) -> None:
+        if self._down_for == 0 and self._outages \
+                and self.total_bytes >= self._outages[0].at_byte:
+            self._down_for = self._outages.pop(0).failures
+        if self._down_for > 0:
+            self._down_for -= 1
+            self.down_events += 1
+            raise LinkDownError(
+                "%s link down (%d cumulative bytes delivered)"
+                % (self.profile.name, self.total_bytes))
 
     def transfer(self, nbytes: int) -> TransferReport:
-        """Model delivering ``nbytes`` of payload; returns the cost."""
+        """Model delivering ``nbytes`` of payload; returns the cost.
+
+        Raises :class:`LinkDownError` — delivering nothing and charging
+        nothing — while an :class:`Outage` is active.
+        """
+        self._check_outage()
         packets = self.profile.packets_for(nbytes)
         retransmissions = 0
-        if self.loss_rate:
+        loss_rate = self._effective_loss_rate()
+        if loss_rate:
             for _ in range(packets):
-                while self._rng.random() < self.loss_rate:
+                while self._rng.random() < loss_rate:
                     retransmissions += 1
         seconds = (
             (packets + retransmissions) * self.profile.packet_interval
@@ -104,6 +200,7 @@ class Link:
         )
         self.total_packets += packets + retransmissions
         self.total_retransmissions += retransmissions
+        self.total_bytes += nbytes
         return TransferReport(nbytes, packets, retransmissions, seconds)
 
     def chunks(self, data: bytes) -> Iterator[bytes]:

@@ -137,6 +137,11 @@ class SimulatedDevice:
         self.meter.add("cpu", self.board.reboot_seconds,
                        self.board.cpu_active_ma)
         result = self.bootloader.boot()
+        # Tell the agent which (fully verified) image is now running —
+        # slot headers alone can lie after an interrupted download.
+        note_boot = getattr(self.agent, "note_boot", None)
+        if note_boot is not None:
+            note_boot(result.slot, result.envelope)
         self._drain_flash("loading")
         self._drain_crypto("loading")
         return result

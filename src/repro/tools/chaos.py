@@ -1,0 +1,493 @@
+"""Chaos sweep: the anti-bricking invariant under an exhaustive fault grid.
+
+UpKit's central robustness claim (Sect. III/IV): whatever fails during
+an update — power, link, server, even the stored bits — the device
+always boots a *valid, signed* image.  This harness makes the claim
+executable:
+
+1. **calibrate** — run one clean update on a pristine testbed and
+   measure the fault axes (flash operations, bytes over the air);
+2. **build a grid** — hundreds of :class:`~repro.faults.FaultPoint` s
+   spread over every axis: power loss at each write/erase, link outages
+   and loss bursts at byte offsets, reboots mid-transfer, bit-rot in
+   both slots, server outage windows;
+3. **run each point** — a fresh device replays the end-to-end update
+   with that fault injected, surviving power cycles the way hardware
+   does (RAM lost, flash kept, reboot, retry);
+4. **assert the invariant** — after the dust settles a *fresh*
+   bootloader (full double-signature + digest verification) must boot
+   some valid image.  ``NoValidImage`` means the device is bricked:
+   that is the failure the sweep exists to catch.
+
+The sweep is deterministic end to end (seeded links, seeded jitter,
+attempt-counted outages) and emits a machine-readable report
+(``CHAOS_report.json`` via ``upkit chaos``), so a failing point can be
+replayed in isolation from its serialized plan.
+
+Expensive immutable artifacts (identities, signed releases, the factory
+image) are built once per sweep in :class:`ChaosLab`; every point still
+gets a pristine server, device and link.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..core import (
+    Bootloader,
+    DeviceProfile,
+    ENVELOPE_SIZE,
+    NoValidImage,
+    TransferAbandoned,
+    UpdateServer,
+    VendorServer,
+    install_factory_image,
+    make_factory_image,
+    make_test_identities,
+)
+from ..faults import DeviceRebooted, FaultInjector, FaultKind, FaultPlan, \
+    FaultPoint
+from ..memory import MemoryLayout, PowerLossError
+from ..net import BLE_GATT, COAP_6LOWPAN, PullTransport, PushTransport, \
+    TransportRetryPolicy
+from ..platform import NRF52840, ZEPHYR
+from ..sim.device import SimulatedDevice
+from ..sim.runner import DEFAULT_APP_ID, DEFAULT_DEVICE_ID, \
+    DEFAULT_LINK_OFFSET, Testbed
+from ..workload import FirmwareGenerator
+
+__all__ = ["ChaosLab", "Calibration", "PointResult", "ChaosReport",
+           "calibrate", "build_grid", "run_point", "run_sweep",
+           "write_report", "format_summary", "DEFAULT_POINTS",
+           "DEFAULT_IMAGE_SIZE"]
+
+DEFAULT_IMAGE_SIZE = 16 * 1024
+#: Grid size of the full sweep (the acceptance floor is 200).
+DEFAULT_POINTS = 216
+#: A single fault point never needs more: one fired fault costs at most
+#: a couple of power cycles (transfer + install).
+MAX_POWER_CYCLES = 6
+#: Transport resume budget during a sweep point: generous enough that a
+#: multi-failure outage converges, bounded so a sweep never hangs.
+SWEEP_TRANSPORT_RETRY = TransportRetryPolicy(max_attempts=8,
+                                             backoff_initial=0.5)
+
+
+class ChaosLab:
+    """Shared, immutable sweep context: firmware, keys, signed releases.
+
+    ``build()`` assembles a pristine testbed (fresh flash, fresh device,
+    fresh server) around the cached artifacts — the per-point cost is
+    flash allocation and one factory-image write, not key generation
+    and signing.
+    """
+
+    def __init__(self, image_size: int = DEFAULT_IMAGE_SIZE,
+                 slot_configuration: str = "b",
+                 transport: str = "push", seed: int = 0) -> None:
+        if slot_configuration not in ("a", "b"):
+            raise ValueError("slot_configuration must be 'a' or 'b'")
+        if transport not in ("push", "pull"):
+            raise ValueError("transport must be 'push' or 'pull'")
+        self.image_size = image_size
+        self.slot_configuration = slot_configuration
+        self.transport = transport
+        self.seed = seed
+        self.target_version = 2
+
+        generator = FirmwareGenerator(seed=b"chaos-%d" % seed)
+        self.base_firmware = generator.firmware(image_size, image_id=1)
+        self.new_firmware = generator.os_version_change(self.base_firmware,
+                                                        revision=2)
+        vendor_id, self.server_identity, self.anchors = \
+            make_test_identities()
+        self.vendor = VendorServer(vendor_id, app_id=DEFAULT_APP_ID,
+                                   link_offset=DEFAULT_LINK_OFFSET)
+        self.releases = (self.vendor.release(self.base_firmware, 1),
+                         self.vendor.release(self.new_firmware,
+                                             self.target_version))
+        self._factory_image = None
+
+    def build(self) -> Testbed:
+        """A pristine testbed: v1 installed, v2 published, zero cost."""
+        server = UpdateServer(self.server_identity)
+        server.publish(self.releases[0])
+        if self._factory_image is None:
+            # Signed against the v1-only server (factory state), then
+            # reused byte-for-byte for every later device.
+            self._factory_image = make_factory_image(server,
+                                                     DEFAULT_DEVICE_ID)
+        board = NRF52840
+        internal = board.make_internal_flash()
+        usable = internal.size - 2 * internal.page_size
+        slot_size = usable // 2
+        slot_size -= slot_size % internal.page_size
+        if self.slot_configuration == "a":
+            layout = MemoryLayout.configuration_a(internal, slot_size)
+        else:
+            external = (board.make_external_flash()
+                        if board.has_external_flash else None)
+            layout = MemoryLayout.configuration_b(internal, slot_size,
+                                                  external=external)
+        profile = DeviceProfile(
+            device_id=DEFAULT_DEVICE_ID,
+            app_id=DEFAULT_APP_ID,
+            link_offset=DEFAULT_LINK_OFFSET,
+            # Full images keep the fault axes identical across points.
+            supports_differential=False,
+        )
+        device = SimulatedDevice(board=board, os_profile=ZEPHYR,
+                                 layout=layout, profile=profile,
+                                 anchors=self.anchors)
+        install_factory_image(layout.get("a"), self._factory_image)
+        server.publish(self.releases[1])
+        for slot in layout.slots:
+            slot.flash.stats.busy_seconds = 0.0
+        device.backend.reset_counters()
+        return Testbed(vendor=self.vendor, server=server, device=device,
+                       anchors=self.anchors)
+
+    def make_transport(self, bed: Testbed, link=None, retry=None):
+        cls = PushTransport if self.transport == "push" else PullTransport
+        return cls(bed.device, bed.server, link=link, retry=retry,
+                   reboot_on_success=False)
+
+    @property
+    def link_profile(self):
+        return BLE_GATT if self.transport == "push" else COAP_6LOWPAN
+
+
+# -- calibration --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Calibration:
+    """Measured fault-axis extents of one clean end-to-end update."""
+
+    ops_any: int        # flash writes + erases, transfer through install
+    ops_write: int
+    ops_erase: int
+    transfer_bytes: int  # bytes over the air
+    fed_bytes: int       # bytes the agent consumed (envelope + payload)
+
+    def to_dict(self) -> Dict[str, int]:
+        return {"ops_any": self.ops_any, "ops_write": self.ops_write,
+                "ops_erase": self.ops_erase,
+                "transfer_bytes": self.transfer_bytes,
+                "fed_bytes": self.fed_bytes}
+
+
+def calibrate(lab: ChaosLab) -> Calibration:
+    """Run one fault-free update and measure every fault axis."""
+    bed = lab.build()
+    device = bed.device
+    flashes = FaultInjector._flash_devices(bed)
+
+    fed = {"bytes": 0}
+    original_feed = device.feed
+
+    def feed(chunk):
+        fed["bytes"] += len(chunk)
+        return original_feed(chunk)
+
+    device.feed = feed
+
+    def ops() -> "tuple[int, int]":
+        return (sum(flash.stats.write_calls for flash in flashes),
+                sum(flash.stats.pages_erased for flash in flashes))
+
+    writes0, erases0 = ops()
+    outcome = lab.make_transport(bed).run_update()
+    if not outcome.success:
+        raise RuntimeError("calibration update failed: %s" % outcome.error)
+    result = device.reboot()
+    if result.version != lab.target_version:
+        raise RuntimeError("calibration boot landed on v%d" % result.version)
+    writes1, erases1 = ops()
+    return Calibration(
+        ops_any=(writes1 - writes0) + (erases1 - erases0),
+        ops_write=writes1 - writes0,
+        ops_erase=erases1 - erases0,
+        transfer_bytes=outcome.bytes_over_air,
+        fed_bytes=fed["bytes"],
+    )
+
+
+# -- grid ---------------------------------------------------------------------
+
+
+def _spread(limit: int, count: int) -> List[int]:
+    """``count`` distinct evenly spaced ints in [0, limit)."""
+    if limit <= 0:
+        return []
+    count = max(1, min(count, limit))
+    step = limit / count
+    return sorted({int(index * step) for index in range(count)})
+
+
+def build_grid(calibration: Calibration, seed: int = 0,
+               points: int = DEFAULT_POINTS,
+               image_size: int = DEFAULT_IMAGE_SIZE) -> FaultPlan:
+    """Spread ``points`` fault points across every measured axis."""
+    if points < 16:
+        raise ValueError("a grid needs at least 16 points "
+                         "(two per fault family)")
+    server_windows = [(0, 1), (1, 1), (2, 1), (0, 2), (1, 2), (0, 3)]
+    budget = points - len(server_windows)
+    # Fraction of the budget per family; power loss dominates because it
+    # is the axis that can actually brick a device.
+    shares = [
+        (FaultKind.POWER_LOSS_ANY, 0.28, calibration.ops_any, 0),
+        (FaultKind.POWER_LOSS_WRITE, 0.14, calibration.ops_write, 0),
+        (FaultKind.POWER_LOSS_ERASE, 0.10, calibration.ops_erase, 0),
+        (FaultKind.LINK_OUTAGE, 0.14, calibration.transfer_bytes, 2),
+        (FaultKind.REBOOT, 0.14, calibration.fed_bytes, 0),
+    ]
+    grid: List[FaultPoint] = []
+    for kind, share, limit, param in shares:
+        for at in _spread(limit, max(2, round(budget * share))):
+            grid.append(FaultPoint(kind, at, param))
+    burst_width = max(256, calibration.transfer_bytes // 16)
+    burst_span = max(1, calibration.transfer_bytes - burst_width)
+    for at in _spread(burst_span, max(2, round(budget * 0.09))):
+        grid.append(FaultPoint(FaultKind.LOSS_BURST, at, burst_width))
+    rot_span = ENVELOPE_SIZE + image_size
+    for slot_index in (0, 1):
+        for at in _spread(rot_span, max(2, round(budget * 0.055))):
+            grid.append(FaultPoint(FaultKind.BIT_ROT, at, slot_index))
+    for at, length in server_windows:
+        grid.append(FaultPoint(FaultKind.SERVER_OUTAGE, at, length))
+    plan = FaultPlan(points=tuple(grid), seed=seed)
+    # Small layouts offer fewer distinct flash-op coordinates than their
+    # share asked for (configuration A skips the swap entirely), so the
+    # deduplicated plan can fall short of the requested size.  Top up on
+    # the byte-addressed link axis, whose coordinate space is ~the whole
+    # transfer; param=1 outages never collide with the param=2 share.
+    shortfall = points - len(plan)
+    if shortfall > 0:
+        extra = tuple(
+            FaultPoint(FaultKind.LINK_OUTAGE, at + 1, 1)
+            for at in _spread(calibration.transfer_bytes - 1, shortfall))
+        plan = plan.merged_with(FaultPlan(points=extra, seed=seed))
+    return plan
+
+
+# -- per-point execution ------------------------------------------------------
+
+
+@dataclass
+class PointResult:
+    """What one fault point did to one device."""
+
+    point: FaultPoint
+    status: str                 # "updated" | "not-updated" | "bricked"
+    final_version: int
+    power_cycles: int
+    interruptions: int
+    abandoned: bool
+    error: Optional[str] = None
+
+    @property
+    def bricked(self) -> bool:
+        return self.status == "bricked"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"point": self.point.to_dict(), "label": self.point.label,
+                "status": self.status,
+                "final_version": self.final_version,
+                "power_cycles": self.power_cycles,
+                "interruptions": self.interruptions,
+                "abandoned": self.abandoned, "error": self.error}
+
+
+def run_point(lab: ChaosLab, point: FaultPoint) -> PointResult:
+    """Replay one end-to-end update with ``point`` injected.
+
+    Models what hardware does on a power cut: the agent's RAM state is
+    lost (``power_cycle``), flash stays exactly as written, the device
+    reboots through the bootloader (which may resume an interrupted
+    swap), and the update is retried.  The final verdict comes from a
+    *fresh* bootloader doing full verification.
+    """
+    bed = lab.build()
+    device = bed.device
+    injector = FaultInjector(FaultPlan(points=(point,), seed=lab.seed))
+    link = injector.make_link(lab.link_profile)
+    injector.arm(bed)
+
+    power_cycles = 0
+    abandoned = False
+    error: Optional[str] = None
+    bricked = False
+
+    def survive_boot() -> bool:
+        """Boot until stable; False when the power-cycle budget is out."""
+        nonlocal power_cycles, error, bricked
+        while True:
+            try:
+                device.reboot()
+                return True
+            except PowerLossError as exc:
+                power_cycles += 1
+                if power_cycles > MAX_POWER_CYCLES:
+                    error = "boot never stabilised: %s" % exc
+                    return False
+                injector.rearm(bed)
+            except NoValidImage as exc:
+                bricked = True
+                error = str(exc)
+                return False
+
+    # -- transfer phase: survive power cuts and injected reboots ----------
+    while True:
+        transport = lab.make_transport(bed, link=link,
+                                       retry=SWEEP_TRANSPORT_RETRY)
+        try:
+            outcome = transport.run_update()
+            if outcome.error is not None:
+                abandoned = isinstance(outcome.error, TransferAbandoned)
+                error = str(outcome.error)
+            break
+        except (PowerLossError, DeviceRebooted) as exc:
+            power_cycles += 1
+            if power_cycles > MAX_POWER_CYCLES:
+                error = "gave up after %d power cycles: %s" \
+                    % (power_cycles, exc)
+                break
+            device.agent.power_cycle()
+            injector.rearm(bed)
+            if not survive_boot():
+                break
+
+    # -- storage faults land before the decisive boot ---------------------
+    injector.apply_pre_boot(bed)
+
+    # -- install/boot phase -----------------------------------------------
+    if not bricked:
+        survive_boot()
+
+    # -- the invariant: a fresh bootloader must find a valid image --------
+    final_version = 0
+    if not bricked:
+        fresh = Bootloader(device.profile, device.layout, bed.anchors,
+                           device.backend)
+        try:
+            final_version = fresh.boot().version
+        except NoValidImage as exc:
+            bricked = True
+            error = str(exc)
+
+    status = ("bricked" if bricked
+              else "updated" if final_version == lab.target_version
+              else "not-updated")
+    return PointResult(
+        point=point, status=status, final_version=final_version,
+        power_cycles=power_cycles,
+        interruptions=device.agent.stats.transfers_interrupted,
+        abandoned=abandoned, error=error,
+    )
+
+
+# -- the sweep ----------------------------------------------------------------
+
+
+@dataclass
+class ChaosReport:
+    """Machine-readable outcome of one chaos sweep."""
+
+    seed: int
+    slot_configuration: str
+    transport: str
+    image_size: int
+    calibration: Calibration
+    results: List[PointResult] = field(default_factory=list)
+
+    @property
+    def bricked(self) -> List[PointResult]:
+        return [result for result in self.results if result.bricked]
+
+    @property
+    def updated_count(self) -> int:
+        return sum(1 for r in self.results if r.status == "updated")
+
+    def kind_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for result in self.results:
+            key = result.point.kind.value
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "seed": self.seed,
+            "slot_configuration": self.slot_configuration,
+            "transport": self.transport,
+            "image_size": self.image_size,
+            "calibration": self.calibration.to_dict(),
+            "points": len(self.results),
+            "kind_counts": self.kind_counts(),
+            "updated": self.updated_count,
+            "not_updated": sum(1 for r in self.results
+                               if r.status == "not-updated"),
+            "bricked": len(self.bricked),
+            "results": [result.to_dict() for result in self.results],
+        }
+
+
+ProgressFn = Callable[[int, int, PointResult], None]
+
+
+def run_sweep(points: int = DEFAULT_POINTS, seed: int = 0,
+              slot_configuration: str = "b", transport: str = "push",
+              image_size: int = DEFAULT_IMAGE_SIZE,
+              progress: Optional[ProgressFn] = None) -> ChaosReport:
+    """Calibrate, build the grid, run every point, collect the report."""
+    lab = ChaosLab(image_size=image_size,
+                   slot_configuration=slot_configuration,
+                   transport=transport, seed=seed)
+    calibration = calibrate(lab)
+    grid = build_grid(calibration, seed=seed, points=points,
+                      image_size=image_size)
+    report = ChaosReport(seed=seed, slot_configuration=slot_configuration,
+                         transport=transport, image_size=image_size,
+                         calibration=calibration)
+    for index, point in enumerate(grid):
+        result = run_point(lab, point)
+        report.results.append(result)
+        if progress is not None:
+            progress(index + 1, len(grid), result)
+    return report
+
+
+def write_report(report: ChaosReport,
+                 path: str = "CHAOS_report.json") -> str:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return os.path.abspath(path)
+
+
+def format_summary(report: ChaosReport) -> str:
+    lines = [
+        "chaos sweep: %d fault points (config %s, %s transport, %d B "
+        "image, seed %d)"
+        % (len(report.results), report.slot_configuration,
+           report.transport, report.image_size, report.seed),
+    ]
+    for kind, count in sorted(report.kind_counts().items()):
+        lines.append("  %-18s %4d points" % (kind, count))
+    lines.append("  updated %d / survived-on-old %d / BRICKED %d"
+                 % (report.updated_count,
+                    sum(1 for r in report.results
+                        if r.status == "not-updated"),
+                    len(report.bricked)))
+    for result in report.bricked:
+        lines.append("  BRICKED at %s: %s"
+                     % (result.point.label, result.error))
+    if not report.bricked:
+        lines.append("  invariant holds: every device booted a valid, "
+                     "signed image")
+    return "\n".join(lines)

@@ -19,6 +19,9 @@ Subcommands::
     upkit inspect --image image.bin
     upkit bench   [--devices N] [--image-size BYTES] [--workers W]
                   [--out BENCH_fleet.json]
+    upkit chaos   [--points N] [--seed S] [--slots a|b]
+                  [--transport push|pull] [--image-size BYTES]
+                  [--out CHAOS_report.json]
 
 Run as ``python -m repro.tools.cli <subcommand> ...``.
 """
@@ -253,6 +256,30 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Run the fault-injection sweep; write CHAOS_report.json.
+
+    Exit status 1 when any fault point bricked its device — the report
+    names the offending points so they can be replayed in isolation.
+    """
+    from . import chaos
+
+    def progress(done: int, total: int, result) -> None:
+        if args.verbose:
+            print("[%3d/%3d] %-28s %s"
+                  % (done, total, result.point.label, result.status))
+
+    report = chaos.run_sweep(points=args.points, seed=args.seed,
+                             slot_configuration=args.slots,
+                             transport=args.transport,
+                             image_size=args.image_size,
+                             progress=progress)
+    path = chaos.write_report(report, args.out)
+    print(chaos.format_summary(report))
+    print("wrote %s" % path)
+    return 1 if report.bricked else 0
+
+
 def cmd_inspect(args: argparse.Namespace) -> int:
     image = UpdateImage.unpack(_read(args.image))
     manifest = image.manifest
@@ -363,6 +390,24 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--out", default="BENCH_fleet.json",
                        help="result file (default: ./BENCH_fleet.json)")
     bench.set_defaults(func=cmd_bench)
+
+    chaos = sub.add_parser(
+        "chaos", help="run the fault-injection anti-bricking sweep")
+    chaos.add_argument("--points", type=int, default=216,
+                       help="fault grid size (default: 216)")
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="sweep seed (links, jitter; default: 0)")
+    chaos.add_argument("--slots", default="b", choices=("a", "b"),
+                       help="slot configuration under test (default: b)")
+    chaos.add_argument("--transport", default="push",
+                       choices=("push", "pull"))
+    chaos.add_argument("--image-size", type=int, default=16 * 1024,
+                       help="firmware image size in bytes (default: 16384)")
+    chaos.add_argument("--verbose", action="store_true",
+                       help="print each fault point as it completes")
+    chaos.add_argument("--out", default="CHAOS_report.json",
+                       help="report file (default: ./CHAOS_report.json)")
+    chaos.set_defaults(func=cmd_chaos)
 
     return parser
 

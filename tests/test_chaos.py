@@ -1,0 +1,159 @@
+"""Chaos sweep tests: the anti-bricking invariant, bounded and full.
+
+Tier-1 runs a bounded sweep (every fault family, sampled grid) on both
+slot configurations; the full ≥200-point grid is opt-in via
+``pytest -m chaos`` (mirroring the ``perf`` marker).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.faults import FaultKind, FaultPlan, FaultPoint
+from repro.tools import chaos
+from repro.tools.cli import main as cli_main
+
+IMAGE_SIZE = 8 * 1024
+
+ALL_KINDS = {kind.value for kind in FaultKind}
+
+
+@pytest.fixture(scope="module")
+def lab():
+    return chaos.ChaosLab(image_size=IMAGE_SIZE)
+
+
+@pytest.fixture(scope="module")
+def calibration(lab):
+    return chaos.calibrate(lab)
+
+
+# -- calibration and grid -----------------------------------------------------
+
+
+def test_calibration_measures_every_axis(calibration):
+    assert calibration.ops_write > 0
+    assert calibration.ops_erase > 0
+    assert calibration.ops_any \
+        == calibration.ops_write + calibration.ops_erase
+    assert calibration.transfer_bytes > IMAGE_SIZE
+    assert 0 < calibration.fed_bytes <= calibration.transfer_bytes
+
+
+def test_grid_covers_every_fault_family(calibration):
+    grid = chaos.build_grid(calibration, points=216,
+                            image_size=IMAGE_SIZE)
+    counts = grid.kind_counts()
+    assert set(counts) == ALL_KINDS
+    assert len(grid) >= 200
+
+
+def test_grid_is_deterministic(calibration):
+    one = chaos.build_grid(calibration, seed=1, points=64,
+                           image_size=IMAGE_SIZE)
+    two = chaos.build_grid(calibration, seed=1, points=64,
+                           image_size=IMAGE_SIZE)
+    assert one == two
+
+
+def test_grid_rejects_tiny_budgets(calibration):
+    with pytest.raises(ValueError):
+        chaos.build_grid(calibration, points=4)
+
+
+# -- bounded tier-1 sweeps ----------------------------------------------------
+
+
+def _assert_sweep_clean(report):
+    assert not report.bricked, chaos.format_summary(report)
+    # Most faults must actually be *survived into the new version*, not
+    # merely non-fatal (only bit-rot on the fresh download legitimately
+    # strands the device on the old image).
+    stranded = [r for r in report.results if r.status == "not-updated"]
+    for result in stranded:
+        assert result.point.kind in (FaultKind.BIT_ROT,), result.point
+
+
+def test_bounded_sweep_static_config_never_bricks():
+    report = chaos.run_sweep(points=28, image_size=IMAGE_SIZE)
+    assert len(report.results) >= 16
+    assert set(report.kind_counts()) == ALL_KINDS
+    _assert_sweep_clean(report)
+
+
+def test_bounded_sweep_ab_config_never_bricks():
+    report = chaos.run_sweep(points=24, slot_configuration="a",
+                             transport="pull", image_size=IMAGE_SIZE)
+    _assert_sweep_clean(report)
+
+
+def test_power_loss_point_converges_after_power_cycle(lab):
+    result = chaos.run_point(
+        lab, FaultPoint(FaultKind.POWER_LOSS_WRITE, 3))
+    assert result.status == "updated"
+    assert result.power_cycles >= 1
+
+
+def test_link_outage_point_resumes_without_abandoning(lab):
+    result = chaos.run_point(
+        lab, FaultPoint(FaultKind.LINK_OUTAGE, 2048, 2))
+    assert result.status == "updated"
+    assert result.interruptions >= 2
+    assert not result.abandoned
+
+
+def test_bit_rot_on_download_keeps_old_image(lab):
+    result = chaos.run_point(lab, FaultPoint(FaultKind.BIT_ROT, 300, 1))
+    assert result.status == "not-updated"
+    assert result.final_version == 1  # still a valid, signed image
+
+
+# -- report and CLI -----------------------------------------------------------
+
+
+def test_report_roundtrips_through_json(tmp_path):
+    report = chaos.run_sweep(points=16, image_size=IMAGE_SIZE)
+    path = chaos.write_report(report, str(tmp_path / "chaos.json"))
+    with open(path, encoding="utf-8") as fh:
+        data = json.load(fh)
+    assert data["points"] == len(report.results)
+    assert data["bricked"] == 0
+    assert set(data["kind_counts"]) == ALL_KINDS
+    # Every serialized point replays: the plan round-trips.
+    for entry in data["results"]:
+        restored = FaultPlan.from_dict(
+            {"points": [entry["point"]], "seed": data["seed"]})
+        assert restored.points[0].to_dict() == entry["point"]
+
+
+def test_cli_chaos_writes_report_and_exits_zero(tmp_path, capsys):
+    out = str(tmp_path / "CHAOS_report.json")
+    status = cli_main(["chaos", "--points", "16", "--image-size",
+                       str(IMAGE_SIZE), "--out", out])
+    assert status == 0
+    captured = capsys.readouterr().out
+    assert "invariant holds" in captured
+    with open(out, encoding="utf-8") as fh:
+        assert json.load(fh)["bricked"] == 0
+
+
+# -- the full grid (opt-in) ---------------------------------------------------
+
+
+@pytest.mark.chaos
+def test_full_grid_never_bricks():
+    """The acceptance sweep: ≥200 distinct fault points, zero bricked."""
+    report = chaos.run_sweep(points=chaos.DEFAULT_POINTS)
+    assert len(report.results) >= 200
+    assert set(report.kind_counts()) == ALL_KINDS
+    _assert_sweep_clean(report)
+
+
+@pytest.mark.chaos
+def test_full_grid_ab_pull_never_bricks():
+    report = chaos.run_sweep(points=chaos.DEFAULT_POINTS,
+                             slot_configuration="a", transport="pull")
+    assert len(report.results) >= 200
+    _assert_sweep_clean(report)

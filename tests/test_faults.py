@@ -1,0 +1,181 @@
+"""Fault-plan and fault-injector unit tests.
+
+The chaos sweep's trust chain starts here: plans are value objects that
+round-trip through JSON, and the injector arms exactly the faults a
+plan describes — deterministically.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ServerUnavailable
+from repro.faults import (
+    BURST_LOSS_RATE,
+    DeviceRebooted,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    FaultPoint,
+)
+from repro.memory import PowerLossError
+from repro.net.link import BLE_GATT, LinkDownError
+from repro.sim import Testbed
+from repro.workload import FirmwareGenerator
+
+
+# -- FaultPlan value semantics ------------------------------------------------
+
+
+def test_plan_dedupes_and_orders():
+    point = FaultPoint(FaultKind.REBOOT, 100)
+    plan = FaultPlan(points=(point, FaultPoint(FaultKind.BIT_ROT, 4),
+                             point))
+    assert len(plan) == 2
+    assert plan.points[0].kind is FaultKind.BIT_ROT
+
+
+def test_plan_json_roundtrip():
+    plan = FaultPlan(points=(
+        FaultPoint(FaultKind.POWER_LOSS_ERASE, 7),
+        FaultPoint(FaultKind.LINK_OUTAGE, 2048, 3),
+        FaultPoint(FaultKind.SERVER_OUTAGE, 1, 2),
+    ), seed=42)
+    restored = FaultPlan.from_dict(plan.to_dict())
+    assert restored == plan
+    assert restored.seed == 42
+
+
+def test_point_rejects_negative_coordinates():
+    with pytest.raises(ValueError):
+        FaultPoint(FaultKind.REBOOT, -1)
+
+
+def test_point_label_is_stable():
+    assert FaultPoint(FaultKind.POWER_LOSS_ERASE, 7).label \
+        == "power-loss-erase@7"
+    assert FaultPoint(FaultKind.LINK_OUTAGE, 100, 2).label \
+        == "link-outage@100/2"
+
+
+def test_plan_sample_is_kind_fair():
+    """Striding a plan must keep every fault family represented."""
+    points = []
+    for kind in (FaultKind.POWER_LOSS_ANY, FaultKind.REBOOT,
+                 FaultKind.BIT_ROT):
+        points.extend(FaultPoint(kind, at) for at in range(10))
+    sampled = FaultPlan(points=tuple(points)).sample(stride=5)
+    counts = sampled.kind_counts()
+    assert set(counts) == {"power-loss-any", "reboot", "bit-rot"}
+    assert all(count == 2 for count in counts.values())
+
+
+def test_plan_kind_counts_and_of_kind():
+    plan = FaultPlan(points=(
+        FaultPoint(FaultKind.REBOOT, 1),
+        FaultPoint(FaultKind.REBOOT, 2),
+        FaultPoint(FaultKind.BIT_ROT, 0, 1),
+    ))
+    assert plan.kind_counts() == {"reboot": 2, "bit-rot": 1}
+    assert [p.at for p in plan.of_kind(FaultKind.REBOOT)] == [1, 2]
+
+
+# -- injector: link faults ----------------------------------------------------
+
+
+def test_make_link_carries_outage_schedule():
+    plan = FaultPlan(points=(FaultPoint(FaultKind.LINK_OUTAGE, 0, 2),),
+                     seed=3)
+    link = FaultInjector(plan).make_link(BLE_GATT)
+    with pytest.raises(LinkDownError):
+        link.transfer(20)
+    with pytest.raises(LinkDownError):
+        link.transfer(20)
+    # The outage burns out after ``param`` failures.
+    assert link.transfer(20).payload_bytes == 20
+    assert link.down_events == 2
+
+
+def test_make_link_carries_loss_burst():
+    plan = FaultPlan(points=(FaultPoint(FaultKind.LOSS_BURST, 0, 10_000),))
+    link = FaultInjector(plan).make_link(BLE_GATT)
+    report = link.transfer(4000)
+    assert report.retransmissions > 0  # ~BURST_LOSS_RATE of packets
+    assert BURST_LOSS_RATE == 0.5
+
+
+# -- injector: device and server faults --------------------------------------
+
+
+@pytest.fixture()
+def bed():
+    gen = FirmwareGenerator(seed=b"faults")
+    base = gen.firmware(4 * 1024, image_id=1)
+    bed = Testbed.create(slot_configuration="b", slot_size=32 * 1024,
+                         initial_firmware=base,
+                         supports_differential=False)
+    bed.release(gen.os_version_change(base, revision=2), 2)
+    return bed
+
+
+def test_reboot_fault_fires_once_at_threshold(bed):
+    plan = FaultPlan(points=(FaultPoint(FaultKind.REBOOT, 64),))
+    FaultInjector(plan).arm(bed)
+    with pytest.raises(DeviceRebooted):
+        bed.push_update()
+    # The fault is one-shot: the retry goes through.
+    bed.device.agent.power_cycle()
+    assert bed.push_update().success
+
+
+def test_server_outage_window_then_recovery(bed):
+    plan = FaultPlan(points=(FaultPoint(FaultKind.SERVER_OUTAGE, 0, 2),))
+    FaultInjector(plan).arm(bed)
+    with pytest.raises(ServerUnavailable):
+        bed.server.prepare_update(None)
+    with pytest.raises(ServerUnavailable):
+        bed.server.prepare_update(None)
+    # Request index 2 is outside the window; a real token now succeeds.
+    token = bed.device.request_token()
+    image = bed.server.prepare_update(token)
+    assert image.manifest.version == 2
+
+
+def test_power_fault_arms_flash_with_during_filter(bed):
+    plan = FaultPlan(points=(FaultPoint(FaultKind.POWER_LOSS_ERASE, 0),))
+    FaultInjector(plan).arm(bed)
+    flash = bed.device.layout.get("a").flash
+    assert flash.fault_armed
+    flash.write(0x100, b"\x00")  # writes don't tick an erase-only fault
+    assert flash.fault_armed
+    with pytest.raises(PowerLossError):
+        flash.erase_page(1)
+    assert not flash.fault_armed
+
+
+def test_rearm_advances_power_queue_only_after_firing(bed):
+    plan = FaultPlan(points=(
+        FaultPoint(FaultKind.POWER_LOSS_WRITE, 0),
+        FaultPoint(FaultKind.POWER_LOSS_WRITE, 5),
+    ))
+    injector = FaultInjector(plan)
+    injector.arm(bed)
+    flash = bed.device.layout.get("a").flash
+    # Still armed: rearm must not skip to the second point.
+    injector.rearm(bed)
+    with pytest.raises(PowerLossError):
+        flash.write(0x200, b"\x00\x00")
+    assert not flash.fault_armed
+    injector.rearm(bed)
+    assert flash.fault_armed  # the second point is now armed
+
+
+def test_bit_rot_corrupts_selected_slot(bed):
+    plan = FaultPlan(points=(FaultPoint(FaultKind.BIT_ROT, 16, 0),))
+    injector = FaultInjector(plan)
+    slot = bed.device.layout.get("a")
+    before = slot.flash.snapshot()[slot.offset + 16:slot.offset + 20]
+    injector.apply_pre_boot(bed)
+    after = slot.flash.snapshot()[slot.offset + 16:slot.offset + 20]
+    assert after == bytes(b ^ 0xA5 for b in before)
+    assert after != before

@@ -6,7 +6,12 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.memory import FlashError, FlashMemory, FlashTiming
+from repro.memory import (
+    FlashError,
+    FlashMemory,
+    FlashTiming,
+    PowerLossError,
+)
 
 
 @pytest.fixture()
@@ -148,3 +153,81 @@ def test_write_read_roundtrip_property(offset, data):
     if offset + len(data) <= device.size:
         device.write(offset, data)
         assert device.read(offset, len(data)) == data
+
+
+# -- power-loss fault injection ----------------------------------------------
+
+
+def test_interrupted_write_lands_first_half(device):
+    device.inject_power_loss(0, during="write")
+    with pytest.raises(PowerLossError):
+        device.write(0, b"\x00" * 8)
+    assert device.read(0, 8) == b"\x00" * 4 + b"\xff" * 4
+    assert not device.fault_armed
+
+
+def test_interrupted_erase_leaves_tail_half_erased(device):
+    stale = bytes(range(256)) * 16  # 4096 bytes of distinct stale data
+    device.write(4096, stale)
+    device.inject_power_loss(0, during="erase")
+    with pytest.raises(PowerLossError):
+        device.erase_page(1)
+    # The tail half cleared to 0xFF before the supply collapsed; the
+    # head keeps its stale bytes (chosen so an interrupted journal
+    # clear still reads back a complete journal header).
+    half = device.page_size // 2
+    assert device.read(4096 + half, half) == b"\xff" * half
+    assert device.read(4096, half) == stale[:half]
+
+
+def test_interrupted_erase_accounts_wear_and_half_time(device):
+    busy_before = device.stats.busy_seconds
+    device.inject_power_loss(0, during="erase")
+    with pytest.raises(PowerLossError):
+        device.erase_page(2)
+    # Wear happened; the op never completed so pages_erased stays 0.
+    assert device.stats.erase_counts[2] == 1
+    assert device.stats.pages_erased == 0
+    half_erase = device.timing.erase_page_seconds / 2
+    assert device.stats.busy_seconds \
+        == pytest.approx(busy_before + half_erase)
+
+
+def test_fault_countdown_counts_matching_operations(device):
+    device.inject_power_loss(2)  # ops 0 and 1 succeed, op 2 trips
+    device.write(0, b"\x00")
+    device.erase_page(0)
+    with pytest.raises(PowerLossError):
+        device.write(0, b"\x01\x02")
+
+
+def test_during_filter_only_ticks_matching_kind(device):
+    device.inject_power_loss(0, during="erase")
+    device.write(0, b"\x00" * 16)  # writes neither tick nor trip
+    assert device.fault_armed
+    with pytest.raises(PowerLossError):
+        device.erase_page(0)
+    device.clear_fault()
+
+    device.inject_power_loss(1, during="write")
+    device.erase_page(1)  # erases don't tick a write-only fault
+    device.write(4096, b"\x00")
+    assert device.fault_armed
+    with pytest.raises(PowerLossError):
+        device.write(4097, b"\x00")
+
+
+def test_clear_fault_disarms_and_resets_filter(device):
+    device.inject_power_loss(5, during="erase")
+    assert device.fault_armed
+    device.clear_fault()
+    assert not device.fault_armed
+    for page in range(6):
+        device.erase_page(page)  # would have tripped at the 6th erase
+
+
+def test_inject_power_loss_validates_arguments(device):
+    with pytest.raises(ValueError):
+        device.inject_power_loss(-1)
+    with pytest.raises(ValueError):
+        device.inject_power_loss(0, during="read")

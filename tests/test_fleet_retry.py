@@ -1,0 +1,205 @@
+"""Campaign-level retry: flaky links converge, dead radios quarantine.
+
+The acceptance scenario: a device whose link drops repeatedly used to
+fail its campaign outright.  With transport resume plus a campaign
+:class:`~repro.fleet.RetryPolicy` the same deterministic outage
+schedule now converges — and a genuinely dead radio lands in
+QUARANTINED instead of dragging the whole rollout into an abort.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import pytest
+
+from repro.core import (
+    DeviceProfile,
+    UpdateServer,
+    VendorServer,
+    make_test_identities,
+    provision_device,
+)
+from repro.fleet import (
+    Campaign,
+    DeviceRecord,
+    DeviceState,
+    RetryPolicy,
+    RolloutPolicy,
+)
+from repro.memory import MemoryLayout
+from repro.net import Link, Outage, TransportRetryPolicy
+from repro.net.link import COAP_6LOWPAN
+from repro.platform import NRF52840, ZEPHYR
+from repro.sim import SimulatedDevice
+from repro.workload import FirmwareGenerator
+from tests.conftest import APP_ID, LINK_OFFSET
+
+IMAGE_SIZE = 8 * 1024
+
+
+@pytest.fixture()
+def release_chain():
+    gen = FirmwareGenerator(seed=b"fleet-retry")
+    fw_v1 = gen.firmware(IMAGE_SIZE, image_id=1)
+    fw_v2 = gen.app_functionality_change(fw_v1, revision=2)
+    vendor_id, server_id, anchors = make_test_identities()
+    vendor = VendorServer(vendor_id, app_id=APP_ID,
+                          link_offset=LINK_OFFSET)
+    server = UpdateServer(server_id)
+    server.publish(vendor.release(fw_v1, 1))
+    return vendor, server, anchors, fw_v2
+
+
+def make_fleet(server, anchors, count: int,
+               links: "dict[int, Link]" = {}) -> List[DeviceRecord]:
+    fleet = []
+    for index in range(count):
+        internal = NRF52840.make_internal_flash()
+        layout = MemoryLayout.configuration_a(internal, 128 * 1024)
+        profile = DeviceProfile(device_id=0x3000 + index, app_id=APP_ID,
+                                link_offset=LINK_OFFSET)
+        device = SimulatedDevice(
+            board=NRF52840, os_profile=ZEPHYR, layout=layout,
+            profile=profile, anchors=anchors,
+        )
+        provision_device(server, layout.get("a"), profile.device_id)
+        fleet.append(DeviceRecord(
+            name="dev-%02d" % index,
+            device=device,
+            transport="pull",
+            link=links.get(index),
+        ))
+    return fleet
+
+
+def flaky_link(failures_per_outage: int = 3) -> Link:
+    """A deterministic outage storm: drops at three byte offsets."""
+    return Link(COAP_6LOWPAN, outages=(
+        Outage(at_byte=512, failures=failures_per_outage),
+        Outage(at_byte=3000, failures=failures_per_outage),
+        Outage(at_byte=7000, failures=failures_per_outage),
+    ))
+
+
+def test_flaky_device_fails_without_retry_policy(release_chain):
+    """Baseline: the same outage schedule fails a retry-less campaign."""
+    vendor, server, anchors, fw_v2 = release_chain
+    fleet = make_fleet(server, anchors, 3, links={1: flaky_link()})
+    server.publish(vendor.release(fw_v2, 2))
+    report = Campaign(server, fleet, RolloutPolicy(
+        canary_fraction=0.34, abort_failure_rate=1.0,
+        max_attempts=1)).run()
+    assert "dev-01" in report.failed
+    assert fleet[1].device.installed_version() == 1
+
+
+def test_flaky_device_converges_with_resume_and_retry(release_chain):
+    """The acceptance scenario: resume + RetryPolicy turn the identical
+    deterministic outage schedule into a converged update."""
+    vendor, server, anchors, fw_v2 = release_chain
+    fleet = make_fleet(server, anchors, 3, links={1: flaky_link()})
+    server.publish(vendor.release(fw_v2, 2))
+    retry = RetryPolicy(
+        max_attempts=4,
+        transport_retry=TransportRetryPolicy(max_attempts=3))
+    report = Campaign(server, fleet, RolloutPolicy(
+        canary_fraction=0.34, abort_failure_rate=1.0),
+        retry=retry).run()
+    assert report.failed == []
+    assert "dev-01" in report.updated
+    assert fleet[1].device.installed_version() == 2
+    # Convergence took campaign retries *and* transport resumes; both
+    # are visible in the report.
+    assert fleet[1].attempts > 1
+    assert report.retries >= 1
+    assert report.link_interruptions >= 1
+    # The inter-attempt backoff was metered on the device's own clock.
+    breakdown = fleet[1].device.clock.elapsed_by_label()
+    assert breakdown.get("backoff", 0.0) > 0
+
+
+def test_flaky_campaign_is_deterministic(release_chain):
+    vendor, server, anchors, fw_v2 = release_chain
+
+    def run():
+        gen = FirmwareGenerator(seed=b"fleet-retry")
+        fw_v1 = gen.firmware(IMAGE_SIZE, image_id=1)
+        fw_new = gen.app_functionality_change(fw_v1, revision=2)
+        vendor_id, server_id, anchors_ = make_test_identities()
+        vendor_ = VendorServer(vendor_id, app_id=APP_ID,
+                               link_offset=LINK_OFFSET)
+        server_ = UpdateServer(server_id)
+        server_.publish(vendor_.release(fw_v1, 1))
+        fleet = make_fleet(server_, anchors_, 2,
+                           links={0: flaky_link()})
+        server_.publish(vendor_.release(fw_new, 2))
+        retry = RetryPolicy(
+            max_attempts=4, jitter=0.2, seed=11,
+            transport_retry=TransportRetryPolicy(max_attempts=3))
+        report = Campaign(server_, fleet, RolloutPolicy(
+            canary_fraction=0.5, abort_failure_rate=1.0),
+            retry=retry).run()
+        return (tuple(report.updated), report.retries,
+                report.link_interruptions,
+                fleet[0].device.clock.now)
+
+    assert run() == run()
+
+
+def test_dead_radio_quarantines_instead_of_aborting(release_chain):
+    """A device whose link never recovers is quarantined; the campaign
+    proceeds and the abort computation ignores it."""
+    vendor, server, anchors, fw_v2 = release_chain
+    dead = Link(COAP_6LOWPAN, outages=(Outage(at_byte=0, failures=999),))
+    fleet = make_fleet(server, anchors, 4, links={0: dead})
+    server.publish(vendor.release(fw_v2, 2))
+    retry = RetryPolicy(
+        max_attempts=2, quarantine_after=2,
+        transport_retry=TransportRetryPolicy(max_attempts=2))
+    report = Campaign(server, fleet, RolloutPolicy(
+        canary_fraction=0.25, abort_failure_rate=0.5),
+        retry=retry).run()
+    # The dead canary is quarantined, NOT failed: the wave failure rate
+    # stays at zero and the rollout reaches everyone else.
+    assert not report.aborted
+    assert report.quarantined == ["dev-00"]
+    assert report.failed == []
+    assert len(report.updated) == 3
+    assert fleet[0].state is DeviceState.QUARANTINED
+    # Quarantined devices still count against the success rate.
+    assert report.success_rate == pytest.approx(3 / 4)
+
+
+def test_retry_policy_validation_and_jitter_determinism():
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(quarantine_after=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(jitter=1.5)
+    policy = RetryPolicy(backoff_initial=10.0, jitter=0.2, seed=5)
+    # Same (attempt, device) → same delay; different devices differ.
+    assert policy.delay(1, "dev-a") == policy.delay(1, "dev-a")
+    assert policy.delay(1, "dev-a") != policy.delay(1, "dev-b")
+    # Exponential growth holds under jitter bounds.
+    assert policy.delay(3, "dev-a") > policy.delay(1, "dev-a") * 2 * 0.8
+
+
+def test_quarantine_report_serializes(release_chain):
+    import json
+
+    vendor, server, anchors, fw_v2 = release_chain
+    dead = Link(COAP_6LOWPAN, outages=(Outage(at_byte=0, failures=999),))
+    fleet = make_fleet(server, anchors, 2, links={1: dead})
+    server.publish(vendor.release(fw_v2, 2))
+    retry = RetryPolicy(max_attempts=2, quarantine_after=2,
+                        transport_retry=TransportRetryPolicy(
+                            max_attempts=2))
+    report = Campaign(server, fleet, RolloutPolicy(
+        canary_fraction=0.5, abort_failure_rate=1.0),
+        retry=retry).run()
+    payload = json.loads(json.dumps(report.to_dict()))
+    assert payload["quarantined"] == ["dev-01"]
+    assert payload["retries"] >= 1
+    assert payload["link_interruptions"] >= 1

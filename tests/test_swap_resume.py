@@ -1,0 +1,155 @@
+"""ResumableSwap interrupted at every *step boundary*.
+
+``test_swap.py`` interrupts at flash-operation granularity; this file
+pins down the journal protocol itself: power lost exactly after step
+``k`` committed its marker (for every k), after the header became
+durable but before step 1, and during the final journal-clear erase.
+Each boundary must leave a journal from which a fresh ``ResumableSwap``
+finishes the swap with both images intact.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+from repro.memory import (
+    FlashMemory,
+    MemoryLayout,
+    OpenMode,
+    PowerLossError,
+    ResumableSwap,
+)
+from repro.memory.swap import _STEPS_PER_PAIR, MAGIC
+
+PAGE = 4096
+PAIRS = 3
+TOTAL_STEPS = PAIRS * _STEPS_PER_PAIR
+
+
+class StopAtBoundary(ResumableSwap):
+    """A swap that loses power right after ``stop_after`` journal steps.
+
+    ``stop_after == 0`` stops after the header write — the journal is
+    durable but no step has run yet.
+    """
+
+    def __init__(self, bootable, staging, status, stop_after: int) -> None:
+        super().__init__(bootable, staging, status)
+        self.stop_after = stop_after
+        self.steps_done = 0
+
+    def _write_journal_header(self, extent, pair_count):
+        super()._write_journal_header(extent, pair_count)
+        if self.stop_after == 0:
+            raise PowerLossError("power lost at boundary 0")
+
+    def _mark(self, pair, step):
+        super()._mark(pair, step)
+        self.steps_done += 1
+        if self.steps_done == self.stop_after:
+            raise PowerLossError(
+                "power lost at boundary %d" % self.stop_after)
+
+
+def fill(slot, pattern: int, length: int) -> bytes:
+    data = bytes([pattern]) * length
+    handle = slot.open(OpenMode.WRITE_ALL)
+    handle.write(data)
+    handle.close()
+    return data
+
+
+def make_slots():
+    internal = FlashMemory(96 * 1024, page_size=PAGE, name="int")
+    layout = MemoryLayout.configuration_b(internal, 32 * 1024)
+    a, b = layout.get("a"), layout.get("b")
+    status = layout.status_slot
+    data_a = fill(a, 0xAA, PAIRS * PAGE)
+    data_b = fill(b, 0xBB, PAIRS * PAGE)
+    return a, b, status, data_a, data_b
+
+
+@pytest.mark.parametrize("boundary", range(TOTAL_STEPS + 1))
+def test_resume_from_every_step_boundary(boundary):
+    a, b, status, data_a, data_b = make_slots()
+    with pytest.raises(PowerLossError):
+        StopAtBoundary(a, b, status, stop_after=boundary).swap(PAIRS * PAGE)
+
+    pending = ResumableSwap.pending(status)
+    assert pending is not None, "journal lost at boundary %d" % boundary
+    assert pending.progress.count(True) == boundary
+    if boundary < TOTAL_STEPS:
+        assert pending.first_pending() \
+            == divmod(boundary, _STEPS_PER_PAIR)
+    else:
+        assert pending.complete
+
+    ResumableSwap(a, b, status).resume(pending)
+    assert a.read(0, PAIRS * PAGE) == data_b, "boundary %d" % boundary
+    assert b.read(0, PAIRS * PAGE) == data_a, "boundary %d" % boundary
+    assert ResumableSwap.pending(status) is None
+
+
+def test_scratch_holds_bootable_page_at_step_one_boundary():
+    """After step (pair, 0) the scratch page is the only copy of A[pair]
+    about to be erased — boundary state must preserve it exactly."""
+    a, b, status, data_a, _ = make_slots()
+    with pytest.raises(PowerLossError):
+        StopAtBoundary(a, b, status, stop_after=4).swap(PAIRS * PAGE)
+    # Boundary 4 = pair 1 just finished step 0 (copy A[1] → scratch).
+    scratch = status.read(status.flash.page_size, PAGE)
+    assert scratch == data_a[PAGE:2 * PAGE]
+    # Pair 0 already swapped; pair 1 untouched beyond the scratch copy.
+    assert a.read(PAGE, PAGE) == data_a[PAGE:2 * PAGE]
+
+
+def test_double_boundary_interruption_still_converges():
+    """Lose power at a boundary, then again at a later boundary during
+    the resume; the second resume must still finish."""
+    a, b, status, data_a, data_b = make_slots()
+    with pytest.raises(PowerLossError):
+        StopAtBoundary(a, b, status, stop_after=2).swap(PAIRS * PAGE)
+
+    pending = ResumableSwap.pending(status)
+    resumer = StopAtBoundary(a, b, status, stop_after=5)
+    resumer.steps_done = pending.progress.count(True)
+    with pytest.raises(PowerLossError):
+        resumer.resume(pending)
+
+    pending = ResumableSwap.pending(status)
+    assert pending.progress.count(True) == 5
+    ResumableSwap(a, b, status).resume(pending)
+    assert a.read(0, PAIRS * PAGE) == data_b
+    assert b.read(0, PAIRS * PAGE) == data_a
+
+
+def test_interrupted_journal_clear_still_reads_complete():
+    """Power lost *during the journal-clear erase*: the interrupted
+    erase clears the page tail first, so the header and markers at the
+    head survive — the journal still parses as complete and the next
+    resume finishes the clear instead of redoing (or losing) the swap."""
+    a, b, status, data_a, data_b = make_slots()
+    ResumableSwap(a, b, status).swap(PAIRS * PAGE)
+    assert a.read(0, PAIRS * PAGE) == data_b
+
+    # Reconstruct the completed journal, then interrupt its erase.
+    header = struct.pack(">4sIII", MAGIC, PAIRS * PAGE, PAGE, PAIRS)
+    status.write(0, header)
+    status.write(len(header), b"\x00" * TOTAL_STEPS)
+    status.flash.inject_power_loss(0, during="erase")
+    pending = ResumableSwap.pending(status)
+    assert pending is not None and pending.complete
+    with pytest.raises(PowerLossError):
+        ResumableSwap(a, b, status).resume(pending)
+    status.flash.clear_fault()
+
+    # The half-erased page kept its head: still a complete journal.
+    pending = ResumableSwap.pending(status)
+    assert pending is not None and pending.complete
+    ResumableSwap(a, b, status).resume(pending)
+    assert ResumableSwap.pending(status) is None
+    # The images were never touched again.
+    assert a.read(0, PAIRS * PAGE) == data_b
+    assert b.read(0, PAIRS * PAGE) == data_a

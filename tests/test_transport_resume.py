@@ -1,0 +1,186 @@
+"""Resumable-transfer tests: backoff, re-request, abandonment, events.
+
+The key property separating resume from restart: after a link outage
+the transport re-requests from the last verified offset — the agent FSM
+is *not* reset, so exactly one token is issued and no already-fed byte
+is re-sent.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import EventKind, TransferAbandoned
+from repro.net import (
+    Link,
+    Outage,
+    PullTransport,
+    PushTransport,
+    TransportRetryPolicy,
+)
+from repro.net.link import BLE_GATT, COAP_6LOWPAN
+from repro.sim import Testbed
+from repro.workload import FirmwareGenerator
+
+IMAGE_SIZE = 8 * 1024
+
+
+def make_bed():
+    gen = FirmwareGenerator(seed=b"resume")
+    base = gen.firmware(IMAGE_SIZE, image_id=1)
+    bed = Testbed.create(initial_firmware=base,
+                         supports_differential=False)
+    bed.release(gen.os_version_change(base, revision=2), 2)
+    return bed
+
+
+def outage_link(*outages, profile=BLE_GATT):
+    return Link(profile, outages=outages)
+
+
+def test_outage_without_retry_abandons_with_events():
+    bed = make_bed()
+    link = outage_link(Outage(at_byte=2048, failures=1))
+    transport = PushTransport(bed.device, bed.server, link=link)
+    outcome = transport.run_update()
+    assert not outcome.success
+    assert isinstance(outcome.error, TransferAbandoned)
+
+    agent = bed.device.agent
+    assert agent.stats.transfers_interrupted == 1
+    assert agent.stats.updates_abandoned == 1
+    assert agent.stats.transfers_resumed == 0
+    kinds = agent.events.kinds()
+    assert EventKind.TRANSFER_INTERRUPTED in kinds
+    assert EventKind.UPDATE_ABANDONED in kinds
+    interrupted = agent.events.of_kind(EventKind.TRANSFER_INTERRUPTED)[0]
+    assert interrupted.detail["reason"] == "link_down"
+    # at_byte includes token-exchange traffic and lands on a chunk
+    # boundary, so it is at (or just past) the scheduled outage byte.
+    assert interrupted.detail["at_byte"] >= 2048
+    # The device keeps running the old firmware.
+    assert bed.device.reboot().version == 1
+
+
+def test_outage_with_retry_resumes_without_fsm_reset():
+    bed = make_bed()
+    link = outage_link(Outage(at_byte=2048, failures=2))
+    transport = PushTransport(
+        bed.device, bed.server, link=link,
+        retry=TransportRetryPolicy(max_attempts=4, backoff_initial=1.0))
+    outcome = transport.run_update()
+    assert outcome.success
+    assert outcome.booted_version == 2
+    assert outcome.interruptions == 2
+
+    agent = bed.device.agent
+    # ONE token for the whole update: resume re-requests bytes, it does
+    # not restart the FSM (a restart would issue a fresh token).
+    assert agent.stats.tokens_issued == 1
+    assert agent.stats.transfers_interrupted == 2
+    assert agent.stats.transfers_resumed == 2
+    assert agent.stats.updates_abandoned == 0
+    resumed = agent.events.of_kind(EventKind.TRANSFER_RESUMED)
+    assert len(resumed) == 2
+    assert all(event.detail["backoff_seconds"] > 0 for event in resumed)
+    # The wait was metered as virtual backoff time, not radio time.
+    assert bed.device.clock.elapsed_by_label().get("backoff", 0.0) > 0
+
+
+def test_resume_does_not_resend_verified_bytes():
+    bed = make_bed()
+    link = outage_link(Outage(at_byte=4096, failures=1))
+    transport = PushTransport(
+        bed.device, bed.server, link=link,
+        retry=TransportRetryPolicy(max_attempts=2))
+    outcome = transport.run_update()
+    assert outcome.success
+    # Clean transfer cost on an identical testbed, for comparison.
+    clean_bed = make_bed()
+    clean = PushTransport(clean_bed.device, clean_bed.server,
+                          link=Link(BLE_GATT)).run_update()
+    # Resume re-requests at most one chunk; it never replays the stream.
+    assert outcome.bytes_over_air <= clean.bytes_over_air \
+        + link.profile.mtu
+
+
+def test_retry_budget_exhaustion_abandons():
+    bed = make_bed()
+    link = outage_link(Outage(at_byte=1024, failures=5))
+    transport = PushTransport(
+        bed.device, bed.server, link=link,
+        retry=TransportRetryPolicy(max_attempts=3))
+    outcome = transport.run_update()
+    assert not outcome.success
+    assert isinstance(outcome.error, TransferAbandoned)
+    assert bed.device.agent.stats.updates_abandoned == 1
+    # Two resumes happened before the third interruption gave up.
+    assert bed.device.agent.stats.transfers_resumed == 2
+
+
+def test_multiple_outages_pull_transport():
+    bed = make_bed()
+    link = Link(COAP_6LOWPAN, outages=(Outage(at_byte=1024),
+                                       Outage(at_byte=6000)))
+    transport = PullTransport(
+        bed.device, bed.server, link=link,
+        retry=TransportRetryPolicy(max_attempts=6))
+    outcome = transport.run_update()
+    assert outcome.success
+    assert outcome.booted_version == 2
+    assert outcome.interruptions == 2
+    assert bed.device.agent.stats.tokens_issued == 1
+
+
+def test_server_outage_retries_whole_attempt_with_fresh_token():
+    bed = make_bed()
+    state = {"calls": 0}
+    original = bed.server.prepare_update
+
+    def flaky_prepare(token):
+        state["calls"] += 1
+        if state["calls"] == 1:
+            from repro.core import ServerUnavailable
+            raise ServerUnavailable("maintenance window")
+        return original(token)
+
+    bed.server.prepare_update = flaky_prepare
+    transport = PushTransport(
+        bed.device, bed.server, link=Link(BLE_GATT),
+        retry=TransportRetryPolicy(max_attempts=3))
+    outcome = transport.run_update()
+    assert outcome.success
+    assert outcome.interruptions == 1
+    # Unlike a link outage, a server outage consumes the token: the
+    # retry is a fresh attempt with a fresh token.
+    assert bed.device.agent.stats.tokens_issued == 2
+    interrupted = bed.device.agent.events.of_kind(
+        EventKind.TRANSFER_INTERRUPTED)
+    assert interrupted[0].detail["reason"] == "server_unavailable"
+
+
+def test_resume_timeline_is_deterministic():
+    def run():
+        bed = make_bed()
+        link = outage_link(Outage(at_byte=3000, failures=2))
+        transport = PushTransport(
+            bed.device, bed.server, link=link,
+            retry=TransportRetryPolicy(max_attempts=4, jitter=0.3,
+                                       seed=7))
+        outcome = transport.run_update()
+        return (outcome.success, outcome.total_seconds,
+                outcome.bytes_over_air,
+                bed.device.clock.elapsed_by_label().get("backoff", 0.0))
+
+    assert run() == run()
+
+
+def test_backoff_delays_grow_exponentially():
+    import random
+
+    policy = TransportRetryPolicy(max_attempts=8, backoff_initial=1.0,
+                                  backoff_factor=2.0, backoff_max=5.0,
+                                  jitter=0.0)
+    rng = random.Random(0)
+    delays = [policy.delay(index, rng) for index in range(1, 6)]
+    assert delays == [1.0, 2.0, 4.0, 5.0, 5.0]  # capped at backoff_max
