@@ -25,6 +25,7 @@ from typing import Callable, Optional
 
 from ..crypto import CryptoBackend, StreamCipher, hmac_sha256
 from ..memory import MemoryLayout, OpenMode, Slot
+from ..obs import NULL_TRACER
 from .errors import (
     ManifestFormatError,
     SizeExceeded,
@@ -135,6 +136,13 @@ class UpdateAgent:
         self.pipeline_buffer_size = pipeline_buffer_size
         self.stats = AgentStats()
         self.events = events if events is not None else EventLog()
+        #: Optional :class:`~repro.obs.MetricsRegistry`; the simulated
+        #: device points this at its own registry so pipeline stage
+        #: volumes surface as ``pipeline.*`` counters.
+        self.metrics = None
+        #: The device's :class:`~repro.obs.Tracer` (disabled null tracer
+        #: by default); the simulated device points this at its own.
+        self.tracer = NULL_TRACER
         self.state = AgentState.WAITING
         self._nonce_source = nonce_source or _default_nonce_source(profile)
         self._token: Optional[DeviceToken] = None
@@ -267,16 +275,18 @@ class UpdateAgent:
     def _verify_manifest(self, envelope_bytes: bytes) -> None:
         """State VERIFY_MANIFEST: the agent-side early verification."""
         self.state = AgentState.VERIFY_MANIFEST
-        envelope = SignedManifest.unpack(envelope_bytes)
-        assert self._token is not None and self._target_slot is not None
-        capacity = self._target_slot.size - ENVELOPE_SIZE
-        self.verifier.validate_for_agent(
-            envelope,
-            profile=self.profile,
-            token=self._token,
-            installed_version=self.installed_version(),
-            slot_capacity=capacity,
-        )
+        with self.tracer.span("verify.manifest", category="verification"):
+            envelope = SignedManifest.unpack(envelope_bytes)
+            assert self._token is not None \
+                and self._target_slot is not None
+            capacity = self._target_slot.size - ENVELOPE_SIZE
+            self.verifier.validate_for_agent(
+                envelope,
+                profile=self.profile,
+                token=self._token,
+                installed_version=self.installed_version(),
+                slot_capacity=capacity,
+            )
         manifest = envelope.manifest
 
         old_reader = None
@@ -311,6 +321,7 @@ class UpdateAgent:
             cipher=cipher,
             buffer_size=self.pipeline_buffer_size,
         )
+        self._pipeline.tracer = self.tracer
         self.state = AgentState.RECEIVE_FIRMWARE
         self.events.emit("agent", EventKind.MANIFEST_VERIFIED,
                          version=manifest.version,
@@ -328,7 +339,9 @@ class UpdateAgent:
         self._pipeline.feed(data)
         if self._payload_received < manifest.payload_size:
             return FeedStatus.NEED_MORE
-        self._pipeline.finish()
+        with self.tracer.span("pipeline.finish", category="pipeline"):
+            self._pipeline.finish()
+        self._flush_pipeline_metrics()
         written = self._pipeline.bytes_out
         self.stats.payload_bytes += self._payload_received
         if written != manifest.size:
@@ -344,10 +357,14 @@ class UpdateAgent:
         manifest = self._pending_manifest
         slot = self._target_slot
         assert manifest is not None and slot is not None
-        self.verifier.verify_firmware(
-            manifest,
-            lambda offset, length: slot.read(ENVELOPE_SIZE + offset, length),
-        )
+        with self.tracer.span("verify.firmware", category="verification",
+                              version=manifest.version,
+                              nbytes=manifest.size):
+            self.verifier.verify_firmware(
+                manifest,
+                lambda offset, length: slot.read(ENVELOPE_SIZE + offset,
+                                                 length),
+            )
         self._slot_file.close()
         self.events.emit("agent", EventKind.FIRMWARE_VERIFIED,
                          version=manifest.version, size=manifest.size)
@@ -355,6 +372,25 @@ class UpdateAgent:
         self.events.emit("agent", EventKind.READY_TO_REBOOT,
                          version=manifest.version)
         self.stats.updates_completed += 1
+
+    def _flush_pipeline_metrics(self) -> None:
+        """Roll the pipeline's per-stage byte counts into the registry.
+
+        Called once per pipeline (at finish and at clean), not per
+        chunk, so the hot feed path takes no registry locks.
+        """
+        if self.metrics is None or self._pipeline is None \
+                or self._pipeline.metrics_flushed:
+            return
+        self._pipeline.metrics_flushed = True
+        for name, (bytes_in, bytes_out) in \
+                self._pipeline.stage_bytes.items():
+            self.metrics.counter(
+                "pipeline.%s.bytes_in" % name).inc(bytes_in)
+            self.metrics.counter(
+                "pipeline.%s.bytes_out" % name).inc(bytes_out)
+        self.metrics.counter("pipeline.bytes_written").inc(
+            self._pipeline.bytes_out)
 
     # -- cleaning / cancellation -------------------------------------------------
 
@@ -386,6 +422,7 @@ class UpdateAgent:
     def _clean(self) -> None:
         """State CLEANING: invalidate the slot, reset all FSM variables."""
         self.state = AgentState.CLEANING
+        self._flush_pipeline_metrics()
         self.stats.updates_rejected += 1
         if self._payload_received == 0:
             self.stats.rejected_before_download += 1

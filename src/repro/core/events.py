@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 __all__ = ["EventKind", "UpdateEvent", "EventLog"]
 
@@ -61,15 +61,27 @@ class EventLog:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
         self._events: List[UpdateEvent] = []
+        self._listeners: List[Callable[[UpdateEvent], None]] = []
         self.dropped = 0
+
+    def subscribe(self, listener: Callable[[UpdateEvent], None]) -> None:
+        """Register a callback invoked synchronously on every emit.
+
+        Listeners see events the buffer has already dropped from its
+        ring — this is how the observability layer (tracer, metrics,
+        black box) taps the stream without growing the RAM budget.
+        """
+        self._listeners.append(listener)
 
     def emit(self, source: str, kind: EventKind, **detail: Any) -> None:
         if len(self._events) >= self.capacity:
             # Drop the oldest: recent history matters most on-device.
             self._events.pop(0)
             self.dropped += 1
-        self._events.append(UpdateEvent(source=source, kind=kind,
-                                        detail=detail))
+        event = UpdateEvent(source=source, kind=kind, detail=detail)
+        self._events.append(event)
+        for listener in self._listeners:
+            listener(event)
 
     def all(self) -> List[UpdateEvent]:
         return list(self._events)

@@ -25,6 +25,7 @@ from typing import Callable, List, Optional
 from ..compression import LzssDecoder, LzssError
 from ..crypto import StreamCipher
 from ..delta import PatchFormatError, StreamingPatcher
+from ..obs import NULL_TRACER
 from .errors import PipelineError
 from .manifest import Manifest
 
@@ -146,6 +147,15 @@ class Pipeline:
         self.bytes_in = 0
         self.bytes_out = 0
         self._finished = False
+        #: Per-stage ``[bytes_in, bytes_out]``, surfaced as
+        #: ``pipeline.<stage>.*`` metrics by the agent.
+        self.stage_bytes = {stage.name: [0, 0] for stage in stages}
+        #: One-shot latch so the agent flushes each pipeline's stage
+        #: counts into its registry exactly once.
+        self.metrics_flushed = False
+        #: The owning agent's tracer (stage-level spans); the shared
+        #: null tracer keeps the hot path free when tracing is off.
+        self.tracer = NULL_TRACER
 
     @property
     def stage_names(self) -> List[str]:
@@ -158,7 +168,12 @@ class Pipeline:
         self.bytes_in += len(chunk)
         data = bytes(chunk)
         for stage in self.stages:
-            data = stage.feed(data)
+            record = self.stage_bytes[stage.name]
+            record[0] += len(data)
+            with self.tracer.span(stage.name, category="pipeline",
+                                  nbytes=len(data)):
+                data = stage.feed(data)
+            record[1] += len(data)
             if not data:
                 return 0
         return self._write(data)
@@ -170,15 +185,22 @@ class Pipeline:
         self._finished = True
         carry = b""
         for index, stage in enumerate(self.stages):
+            record = self.stage_bytes[stage.name]
             if carry:
+                record[0] += len(carry)
                 carry = stage.feed(carry)
-            carry = (carry or b"") + stage.finish()
+                record[1] += len(carry)
+            flushed = stage.finish()
+            record[1] += len(flushed)
+            carry = (carry or b"") + flushed
         if carry:
             self._write(carry)
         return self.bytes_out
 
     def _write(self, data: bytes) -> int:
-        written = self._sink(data)
+        with self.tracer.span("flash.write", category="pipeline",
+                              nbytes=len(data)):
+            written = self._sink(data)
         if written != len(data):
             raise PipelineError(
                 "sink accepted %d of %d bytes" % (written, len(data)))

@@ -37,7 +37,12 @@ __all__ = ["UpdateServer", "ServerStats", "DEFAULT_DELTA_CACHE_SIZE"]
 
 @dataclass
 class ServerStats:
-    """Counters for the evaluation harness."""
+    """Counters for the evaluation harness.
+
+    ``repro.obs.bind_server`` mirrors every field into ``server.*``
+    gauges, so delta-cache hit/eviction behaviour is visible in the
+    same registry as device-side telemetry.
+    """
 
     requests: int = 0
     full_updates: int = 0
@@ -46,6 +51,18 @@ class ServerStats:
     bytes_served: int = 0
     delta_cache_hits: int = 0
     delta_cache_evictions: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        """JSON-ready snapshot (embedded in bench reports)."""
+        return {
+            "requests": self.requests,
+            "full_updates": self.full_updates,
+            "delta_updates": self.delta_updates,
+            "delta_fallbacks": self.delta_fallbacks,
+            "bytes_served": self.bytes_served,
+            "delta_cache_hits": self.delta_cache_hits,
+            "delta_cache_evictions": self.delta_cache_evictions,
+        }
 
 
 #: Default bound on cached (old_version, new_version) deltas.  A fleet

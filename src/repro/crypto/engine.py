@@ -57,7 +57,12 @@ _HMAC_BLOCK = 64
 
 @dataclass
 class EngineStats:
-    """Counters for benchmarks and cache-behaviour tests."""
+    """Counters for benchmarks and cache-behaviour tests.
+
+    ``repro.obs.bind_engine`` mirrors every field into ``crypto.*``
+    gauges on a metrics registry, so the verify-cache hit rate shows up
+    next to the rest of an update's telemetry.
+    """
 
     verify_calls: int = 0
     verify_cache_hits: int = 0
@@ -69,6 +74,15 @@ class EngineStats:
         self.verify_cache_hits = 0
         self.key_tables_built = 0
         self.key_tables_evicted = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        """JSON-ready snapshot (embedded in bench reports)."""
+        return {
+            "verify_calls": self.verify_calls,
+            "verify_cache_hits": self.verify_cache_hits,
+            "key_tables_built": self.key_tables_built,
+            "key_tables_evicted": self.key_tables_evicted,
+        }
 
 
 class CryptoEngine:

@@ -185,7 +185,8 @@ class Campaign:
     def __init__(self, server: UpdateServer, fleet: List[DeviceRecord],
                  policy: Optional[RolloutPolicy] = None,
                  executor: Optional[WaveExecutor] = None,
-                 retry: Optional[RetryPolicy] = None) -> None:
+                 retry: Optional[RetryPolicy] = None,
+                 metrics=None) -> None:
         if not fleet:
             raise ValueError("campaign needs at least one device")
         names = [record.name for record in fleet]
@@ -203,6 +204,11 @@ class Campaign:
         #: :class:`~repro.fleet.executor.ParallelWaveExecutor` to run a
         #: wave on a thread pool.  Either way the report is identical.
         self.executor = executor or SerialWaveExecutor()
+        #: Optional :class:`~repro.obs.MetricsRegistry` observing
+        #: per-wave timings and outcome counters.  Purely additive: the
+        #: :class:`CampaignReport` stays bit-identical with or without
+        #: a registry attached.
+        self.metrics = metrics
 
     # -- planning -----------------------------------------------------------
 
@@ -251,6 +257,8 @@ class Campaign:
                     report.failed.append(record.name)
                     failures += 1
             report.wall_clock_seconds += wave_duration
+            if self.metrics is not None:
+                self._observe_wave(wave, failures, wave_duration)
             if failures / len(wave) >= self.policy.abort_failure_rate:
                 report.aborted = True
                 break
@@ -261,6 +269,18 @@ class Campaign:
                     record.state = DeviceState.SKIPPED
                     report.skipped.append(record.name)
         return report
+
+    def _observe_wave(self, wave: List[DeviceRecord], failures: int,
+                      wave_duration: float) -> None:
+        from ..obs.metrics import WAVE_SECONDS_BUCKETS
+
+        self.metrics.counter("campaign.waves").inc()
+        self.metrics.counter("campaign.devices_updated").inc(
+            sum(1 for record in wave
+                if record.state is DeviceState.UPDATED))
+        self.metrics.counter("campaign.devices_failed").inc(failures)
+        self.metrics.histogram("campaign.wave_seconds",
+                               WAVE_SECONDS_BUCKETS).observe(wave_duration)
 
     def _update_device(self, record: DeviceRecord,
                        target: int) -> Optional[UpdateOutcome]:

@@ -23,6 +23,7 @@ host's.  ``tests/test_fleet_parallel.py`` asserts report equality.
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, List, Optional, Sequence, TypeVar
 
@@ -38,17 +39,39 @@ UpdateFn = Callable[[_Record, int], _Outcome]
 class WaveExecutor:
     """Strategy interface: run one wave, return outcomes in wave order."""
 
+    #: Optional :class:`~repro.obs.MetricsRegistry`: when set, each
+    #: wave's *host* wall-clock (the executor's own cost, distinct from
+    #: the devices' virtual time) is observed as
+    #: ``executor.wave_host_seconds``.
+    metrics = None
+
     def run_wave(self, update: UpdateFn, wave: Sequence[_Record],
                  target: int) -> List[_Outcome]:
         raise NotImplementedError
+
+    def _observe_wave(self, host_seconds: float, devices: int) -> None:
+        if self.metrics is None:
+            return
+        from ..obs.metrics import HOST_SECONDS_BUCKETS
+
+        self.metrics.counter("executor.waves").inc()
+        self.metrics.counter("executor.devices_driven").inc(devices)
+        self.metrics.histogram("executor.wave_host_seconds",
+                               HOST_SECONDS_BUCKETS).observe(host_seconds)
 
 
 class SerialWaveExecutor(WaveExecutor):
     """One device after another on the calling thread (seed behaviour)."""
 
+    def __init__(self, metrics=None) -> None:
+        self.metrics = metrics
+
     def run_wave(self, update: UpdateFn, wave: Sequence[_Record],
                  target: int) -> List[_Outcome]:
-        return [update(record, target) for record in wave]
+        start = time.perf_counter()
+        outcomes = [update(record, target) for record in wave]
+        self._observe_wave(time.perf_counter() - start, len(wave))
+        return outcomes
 
 
 class ParallelWaveExecutor(WaveExecutor):
@@ -67,7 +90,7 @@ class ParallelWaveExecutor(WaveExecutor):
     """
 
     def __init__(self, max_workers: Optional[int] = None,
-                 chunk_size: Optional[int] = None) -> None:
+                 chunk_size: Optional[int] = None, metrics=None) -> None:
         if max_workers is None:
             max_workers = min(16, os.cpu_count() or 1)
         if max_workers < 1:
@@ -78,11 +101,15 @@ class ParallelWaveExecutor(WaveExecutor):
             raise ValueError("chunk_size must be at least 1")
         self.max_workers = max_workers
         self.chunk_size = chunk_size
+        self.metrics = metrics
 
     def run_wave(self, update: UpdateFn, wave: Sequence[_Record],
                  target: int) -> List[_Outcome]:
+        start_host = time.perf_counter()
         if len(wave) <= 1:
-            return [update(record, target) for record in wave]
+            results = [update(record, target) for record in wave]
+            self._observe_wave(time.perf_counter() - start_host, len(wave))
+            return results
         results: List[_Outcome] = []
         workers = min(self.max_workers, len(wave))
         with ThreadPoolExecutor(max_workers=workers) as pool:
@@ -90,4 +117,5 @@ class ParallelWaveExecutor(WaveExecutor):
                 chunk = wave[start:start + self.chunk_size]
                 results.extend(
                     pool.map(lambda record: update(record, target), chunk))
+        self._observe_wave(time.perf_counter() - start_host, len(wave))
         return results

@@ -43,6 +43,7 @@ from ..core import (
     UpdateImage,
     UpdateServer,
 )
+from ..obs import NULL_TRACER, UPDATE_LATENCY_BUCKETS
 from ..sim.device import SimulatedDevice
 from .link import BLE_GATT, COAP_6LOWPAN, Link, LinkDownError, LinkProfile
 
@@ -133,6 +134,11 @@ class _TransportBase:
         self.bytes_over_air = 0
         self._failures = 0
         self._rng = random.Random(retry.seed if retry else 0)
+        # Observability: trace into the device's tracer (a disabled
+        # null tracer when the device predates the obs wiring) and
+        # count into its metrics registry.
+        self.tracer = getattr(device, "tracer", None) or NULL_TRACER
+        self.metrics = getattr(device, "metrics", None)
 
     # -- interruption handling ---------------------------------------------------
 
@@ -147,19 +153,28 @@ class _TransportBase:
         agent = self.device.agent
         self._failures += 1
         agent.stats.transfers_interrupted += 1
+        if self.metrics is not None:
+            self.metrics.counter("transport.interruptions").inc()
         agent.events.emit("transport", EventKind.TRANSFER_INTERRUPTED,
                           reason=reason, failures=self._failures,
                           at_byte=self.link.total_bytes)
         if self.retry is None or self._failures >= self.retry.max_attempts:
             agent.stats.updates_abandoned += 1
+            if self.metrics is not None:
+                self.metrics.counter("transport.abandons").inc()
             agent.events.emit("transport", EventKind.UPDATE_ABANDONED,
                               reason=reason, failures=self._failures)
             raise TransferAbandoned(
                 "update abandoned after %d interruption(s): %s"
                 % (self._failures, exc)) from exc
         delay = self.retry.delay(self._failures, self._rng)
-        self.device.clock.advance(delay, "backoff")
+        with self.tracer.span("backoff", category="transport",
+                              reason=reason,
+                              delay_seconds=round(delay, 6)):
+            self.device.clock.advance(delay, "backoff")
         agent.stats.transfers_resumed += 1
+        if self.metrics is not None:
+            self.metrics.counter("transport.resumes").inc()
         agent.events.emit("transport", EventKind.TRANSFER_RESUMED,
                           reason=reason, backoff_seconds=delay,
                           resume_offset=self.link.total_bytes)
@@ -182,7 +197,8 @@ class _TransportBase:
         self.device.account_radio(report.seconds / 2, "rx")
         self.bytes_over_air += payload_bytes
 
-    def _stream_to_device(self, data: bytes) -> FeedStatus:
+    def _stream_to_device(self, data: bytes,
+                          label: str = "payload") -> FeedStatus:
         """Send ``data`` chunk-by-chunk; agent errors propagate.
 
         A link outage mid-stream is resumed from the last verified
@@ -192,13 +208,18 @@ class _TransportBase:
         status = FeedStatus.NEED_MORE
         mtu = self.link.profile.mtu
         offset = 0
-        while offset < len(data):
-            chunk = data[offset:offset + mtu]
-            report = self._transfer(len(chunk))
-            self.device.account_radio(report.seconds, self.direction_payload)
-            self.bytes_over_air += len(chunk)
-            status = self.device.feed(chunk)
-            offset += len(chunk)
+        with self.tracer.span("transfer.%s" % label,
+                              category="propagation", nbytes=len(data)):
+            while offset < len(data):
+                chunk = data[offset:offset + mtu]
+                with self.tracer.span("block", category="transfer",
+                                      offset=offset, nbytes=len(chunk)):
+                    report = self._transfer(len(chunk))
+                    self.device.account_radio(report.seconds,
+                                              self.direction_payload)
+                    self.bytes_over_air += len(chunk)
+                    status = self.device.feed(chunk)
+                offset += len(chunk)
         return status
 
     def _finish(self, start_clock: float, error: Optional[UpdateError],
@@ -237,29 +258,43 @@ class _TransportBase:
         self._failures = 0
         error: Optional[UpdateError] = None
         completed = False
-        while True:
-            try:
-                completed = self._propagate()
-            except ServerUnavailable as exc:
-                # A server outage invalidates the whole attempt (the
-                # token was consumed): clean the FSM, back off, and
-                # retry with a fresh token — or abandon out of budget.
-                self.device.agent.cancel()
+        with self.tracer.span("update", category="lifecycle",
+                              transport=type(self).__name__,
+                              link=self.link.profile.name):
+            while True:
                 try:
-                    self._on_interruption("server_unavailable", exc)
-                except TransferAbandoned as abandoned:
-                    error = abandoned
-                    break
-                continue
-            except UpdateError as exc:
-                error = exc
-                # The failure may have struck between token issuance and
-                # the manifest (e.g. a dropping gateway): reset the FSM
-                # so the next attempt can request a fresh token.
-                self.device.agent.cancel()
-            break
-        outcome = self._finish(start, error, completed)
+                    completed = self._propagate()
+                except ServerUnavailable as exc:
+                    # A server outage invalidates the whole attempt (the
+                    # token was consumed): clean the FSM, back off, and
+                    # retry with a fresh token — or abandon out of
+                    # budget.
+                    self.device.agent.cancel()
+                    try:
+                        self._on_interruption("server_unavailable", exc)
+                    except TransferAbandoned as abandoned:
+                        error = abandoned
+                        break
+                    continue
+                except UpdateError as exc:
+                    error = exc
+                    # The failure may have struck between token issuance
+                    # and the manifest (e.g. a dropping gateway): reset
+                    # the FSM so the next attempt can request a fresh
+                    # token.
+                    self.device.agent.cancel()
+                break
+            outcome = self._finish(start, error, completed)
         outcome.interruptions = self._failures
+        if self.metrics is not None:
+            self.metrics.histogram("update.latency_seconds",
+                                   UPDATE_LATENCY_BUCKETS).observe(
+                outcome.total_seconds)
+            self.metrics.counter("net.bytes_over_air").inc(
+                self.bytes_over_air)
+            self.metrics.counter(
+                "transport.updates_succeeded" if outcome.success
+                else "transport.updates_failed").inc()
         return outcome
 
     def _propagate(self) -> bool:
@@ -287,15 +322,18 @@ class PushTransport(_TransportBase):
 
     def _propagate(self) -> bool:
         # Steps 4-5: the phone requests the device token over BLE.
-        token = self.device.request_token()
-        self._control_exchange(len(token.pack()))
+        with self.tracer.span("token_exchange", category="propagation"):
+            token = self.device.request_token()
+            self._control_exchange(len(token.pack()))
 
         # Step 6: the phone fetches the signed image from the server.
-        image = self.server.prepare_update(token)
+        with self.tracer.span("server.prepare", category="server",
+                              nonce=token.nonce):
+            image = self.server.prepare_update(token)
         envelope, payload = self._apply_interceptor(image)
 
         # Steps 8-10: forward the manifest first; early verification.
-        status = self._stream_to_device(envelope)
+        status = self._stream_to_device(envelope, label="envelope")
         if status is not FeedStatus.MANIFEST_VERIFIED:
             # Short write (e.g. truncating attacker): the agent is still
             # waiting; cancel so the FSM cleans up.
@@ -303,7 +341,7 @@ class PushTransport(_TransportBase):
             return False
 
         # Steps 11-14: firmware transfer through the pipeline.
-        status = self._stream_to_device(payload)
+        status = self._stream_to_device(payload, label="payload")
         if status is not FeedStatus.FIRMWARE_COMPLETE:
             self.device.agent.cancel()
             return False
@@ -335,22 +373,26 @@ class PullTransport(_TransportBase):
         return announcement["latest_version"]
 
     def _propagate(self) -> bool:
-        latest = self.poll_announcement()
+        with self.tracer.span("announce", category="propagation"):
+            latest = self.poll_announcement()
         if latest <= self.device.installed_version():
             return False
 
-        token = self.device.request_token()
-        # The token rides in the CoAP request to the server.
-        self._control_exchange(len(token.pack()))
+        with self.tracer.span("token_exchange", category="propagation"):
+            token = self.device.request_token()
+            # The token rides in the CoAP request to the server.
+            self._control_exchange(len(token.pack()))
 
-        image = self.server.prepare_update(token)
+        with self.tracer.span("server.prepare", category="server",
+                              nonce=token.nonce):
+            image = self.server.prepare_update(token)
         envelope, payload = self._apply_interceptor(image)
 
-        status = self._stream_to_device(envelope)
+        status = self._stream_to_device(envelope, label="envelope")
         if status is not FeedStatus.MANIFEST_VERIFIED:
             self.device.agent.cancel()
             return False
-        status = self._stream_to_device(payload)
+        status = self._stream_to_device(payload, label="payload")
         if status is not FeedStatus.FIRMWARE_COMPLETE:
             self.device.agent.cancel()
             return False

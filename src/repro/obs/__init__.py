@@ -1,0 +1,48 @@
+"""Observability: lifecycle tracing, metrics, and black-box logging.
+
+The flight-recorder layer of the reproduction (the FOTA survey's
+"campaign monitoring" requirement): :mod:`repro.obs.trace` records
+virtual-clock spans exportable as Chrome-trace JSON,
+:mod:`repro.obs.metrics` is a dependency-free counter/gauge/histogram
+registry that also *surfaces* the existing bespoke stats objects, and
+:mod:`repro.obs.blackbox` persists lifecycle events through simulated
+flash so a chaos-sweep power cut leaves a readable post-mortem.
+"""
+
+from .blackbox import PHASE_OF_EVENT, BlackBox, BlackBoxRecord
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    UPDATE_LATENCY_BUCKETS,
+    bind_device,
+    bind_engine,
+    bind_server,
+)
+from .trace import (
+    NULL_TRACER,
+    Span,
+    Tracer,
+    containment_errors,
+    merge_chrome_traces,
+)
+
+__all__ = [
+    "BlackBox",
+    "BlackBoxRecord",
+    "PHASE_OF_EVENT",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "UPDATE_LATENCY_BUCKETS",
+    "bind_device",
+    "bind_engine",
+    "bind_server",
+    "NULL_TRACER",
+    "Span",
+    "Tracer",
+    "containment_errors",
+    "merge_chrome_traces",
+]

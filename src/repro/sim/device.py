@@ -30,6 +30,8 @@ from ..core import (
 )
 from ..crypto import CryptoBackend, get_backend
 from ..memory import FlashMemory, MemoryLayout
+from ..obs import PHASE_OF_EVENT, BlackBox, MetricsRegistry, Tracer, \
+    bind_device
 from ..platform import BoardProfile, OSProfile
 from .clock import VirtualClock
 from .energy import EnergyMeter
@@ -69,6 +71,9 @@ class SimulatedDevice:
         bootloader: Optional[Bootloader] = None,
         cpu_model: Optional[PipelineCpuModel] = None,
         pipeline_buffer_size: Optional[int] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        blackbox: Optional[BlackBox] = None,
     ) -> None:
         self.board = board
         self.os_profile = os_profile
@@ -94,6 +99,39 @@ class SimulatedDevice:
         #: energy but no wall-clock time.  The bootloader's swap (loading
         #: phase) is serial and always advances the clock.
         self.flash_overlaps_radio = True
+
+        # -- observability seam (repro.obs) ---------------------------------
+        # Tracer is disabled unless a consumer (cli trace, tests) flips
+        # it; the black box and metrics always run — their cost is a few
+        # bytes per lifecycle event on a flash *outside* the layout, so
+        # neither chaos fault coordinates nor cost accounting move.
+        self.tracer = tracer if tracer is not None else Tracer(
+            now_fn=lambda: self.clock.now)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.blackbox = blackbox if blackbox is not None else BlackBox(
+            now_fn=lambda: self.clock.now)
+        bind_device(self.metrics, self)
+        if hasattr(self.agent, "metrics"):
+            self.agent.metrics = self.metrics
+        if hasattr(self.agent, "tracer"):
+            self.agent.tracer = self.tracer
+        subscribed = []
+        for log in (getattr(self.agent, "events", None),
+                    getattr(self.bootloader, "events", None)):
+            if log is not None and hasattr(log, "subscribe") \
+                    and all(log is not seen for seen in subscribed):
+                log.subscribe(self._observe_event)
+                subscribed.append(log)
+
+    def _observe_event(self, event) -> None:
+        """Fan one lifecycle event out to black box, metrics and tracer."""
+        label = event.kind.value
+        self.blackbox.record(label,
+                             phase=PHASE_OF_EVENT.get(label, "unknown"))
+        self.metrics.counter("events.%s" % label).inc()
+        if self.tracer.enabled:
+            self.tracer.instant(label, category=event.source,
+                                args=dict(event.detail))
 
     # -- metered agent operations --------------------------------------------
 
@@ -131,19 +169,28 @@ class SimulatedDevice:
     def reboot(self) -> BootResult:
         """Reboot into the bootloader and load an image (loading phase)."""
         self.reboots += 1
-        if self.agent.ready_to_reboot:
-            self.agent.acknowledge_reboot()
-        self.clock.advance(self.board.reboot_seconds, "loading")
-        self.meter.add("cpu", self.board.reboot_seconds,
-                       self.board.cpu_active_ma)
-        result = self.bootloader.boot()
-        # Tell the agent which (fully verified) image is now running —
-        # slot headers alone can lie after an interrupted download.
-        note_boot = getattr(self.agent, "note_boot", None)
-        if note_boot is not None:
-            note_boot(result.slot, result.envelope)
-        self._drain_flash("loading")
-        self._drain_crypto("loading")
+        # Journal the boot attempt before anything can fail: an
+        # unexpected entry here (no prior ready_to_reboot) is how the
+        # black-box post-mortem spots a power-loss reboot.
+        self.blackbox.record("boot_attempt", phase="loading")
+        with self.tracer.span("loading", category="lifecycle"):
+            if self.agent.ready_to_reboot:
+                self.agent.acknowledge_reboot()
+            with self.tracer.span("reboot", category="loading",
+                                  seconds=self.board.reboot_seconds):
+                self.clock.advance(self.board.reboot_seconds, "loading")
+                self.meter.add("cpu", self.board.reboot_seconds,
+                               self.board.cpu_active_ma)
+            with self.tracer.span("bootloader", category="loading"):
+                result = self.bootloader.boot()
+                # Tell the agent which (fully verified) image is now
+                # running — slot headers alone can lie after an
+                # interrupted download.
+                note_boot = getattr(self.agent, "note_boot", None)
+                if note_boot is not None:
+                    note_boot(result.slot, result.envelope)
+                self._drain_flash("loading")
+                self._drain_crypto("loading")
         return result
 
     # -- radio accounting (driven by the transports) ----------------------------

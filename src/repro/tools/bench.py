@@ -28,7 +28,6 @@ headline speedup.
 
 from __future__ import annotations
 
-import json
 import os
 import sys
 import time
@@ -53,9 +52,11 @@ from ..fleet import (
     SerialWaveExecutor,
 )
 from ..memory import MemoryLayout
+from ..obs import MetricsRegistry, bind_engine, bind_server
 from ..platform import NRF52840, ZEPHYR
 from ..sim import SimulatedDevice
 from ..workload import FirmwareGenerator
+from .report import write_report
 
 __all__ = [
     "bench_sha256",
@@ -157,7 +158,7 @@ def bench_delta(image_size: int = 48 * 1024) -> Dict[str, float]:
 
 
 def _build_campaign(device_count: int, image_size: int,
-                    executor) -> Campaign:
+                    executor, metrics=None) -> Campaign:
     """A seeded fleet at v1 with v2 published, ready to run.
 
     Construction is fully deterministic, so every configuration under
@@ -191,7 +192,7 @@ def _build_campaign(device_count: int, image_size: int,
 
     server.publish(vendor.release(fw_v2, 2))
     return Campaign(server, fleet, RolloutPolicy(canary_fraction=0.1),
-                    executor=executor)
+                    executor=executor, metrics=metrics)
 
 
 def bench_campaign(device_count: int = 50,
@@ -209,14 +210,31 @@ def bench_campaign(device_count: int = 50,
         "image_bytes": image_size,
     }
     reports = {}
+    crypto_stats: Dict[str, object] = {}
+    server_stats: Dict[str, object] = {}
+    metrics_out: Dict[str, object] = {}
     for label, engine_name, executor in configurations:
-        campaign = _build_campaign(device_count, image_size, executor)
+        # One registry per configuration: campaign wave counters and the
+        # engine/server stats mirrors land side by side.  Observation is
+        # purely additive — the CampaignReport equality assertion below
+        # is what proves it.
+        registry = MetricsRegistry()
+        executor.metrics = registry
+        campaign = _build_campaign(device_count, image_size, executor,
+                                   metrics=registry)
+        bind_server(registry, campaign.server)
         with use_engine(engine_name) as engine:
             if isinstance(engine, FastEngine):
                 engine.clear_caches()   # cold start: tables count too
+                bind_engine(registry, engine)
             start = time.perf_counter()
             report = campaign.run()
             elapsed = time.perf_counter() - start
+            crypto_stats[label] = (engine.stats.to_dict()
+                                   if isinstance(engine, FastEngine)
+                                   else None)
+        server_stats[label] = campaign.server.stats.to_dict()
+        metrics_out[label] = registry.snapshot()
         if report.aborted or len(report.updated) != device_count:
             raise AssertionError(
                 "benchmark campaign %s did not fully succeed: %r"
@@ -235,6 +253,9 @@ def bench_campaign(device_count: int = 50,
         / results["fast_parallel_seconds"], 2)
     if isinstance(max_workers, int):
         results["max_workers"] = max_workers
+    results["crypto_stats"] = crypto_stats
+    results["server_stats"] = server_stats
+    results["metrics"] = metrics_out
     return results
 
 
@@ -245,8 +266,8 @@ def run_all(device_count: int = 50, image_size: int = 24 * 1024,
             max_workers: Optional[int] = None) -> Dict[str, object]:
     """Run every benchmark; returns the JSON-ready result document."""
     previous = get_engine().name
+    campaign = bench_campaign(device_count, image_size, max_workers)
     results = {
-        "schema": 1,
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "host": {
             "python": sys.version.split()[0],
@@ -255,17 +276,20 @@ def run_all(device_count: int = 50, image_size: int = 24 * 1024,
         "sha256": bench_sha256(),
         "ecdsa_verify": bench_verify(),
         "delta_generation": bench_delta(),
-        "campaign": bench_campaign(device_count, image_size, max_workers),
+        # Engine/server telemetry lives top-level so the schema
+        # validator can insist on it without digging into the campaign.
+        "crypto_stats": campaign.pop("crypto_stats"),
+        "server_stats": campaign.pop("server_stats"),
+        "metrics": campaign.pop("metrics"),
+        "campaign": campaign,
     }
     assert get_engine().name == previous, "bench must not leak engine state"
     return results
 
 
 def write_results(results: Dict[str, object], path: str) -> str:
-    with open(path, "w") as fh:
-        json.dump(results, fh, indent=2, sort_keys=True)
-        fh.write("\n")
-    return path
+    """Write a schema-stamped bench artifact (see ``tools/report.py``)."""
+    return write_report(results, path, "bench")
 
 
 def format_summary(results: Dict[str, object]) -> str:

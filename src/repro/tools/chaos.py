@@ -31,7 +31,6 @@ gets a pristine server, device and link.
 
 from __future__ import annotations
 
-import json
 import os
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
@@ -289,6 +288,11 @@ class PointResult:
     interruptions: int
     abandoned: bool
     error: Optional[str] = None
+    #: The device's black-box post-mortem (``BlackBox.post_mortem``):
+    #: what the flight recorder says happened, read back from flash
+    #: *after* the injected faults — including which lifecycle phase an
+    #: injected power loss interrupted.
+    black_box: Optional[Dict[str, object]] = None
 
     @property
     def bricked(self) -> bool:
@@ -300,7 +304,8 @@ class PointResult:
                 "final_version": self.final_version,
                 "power_cycles": self.power_cycles,
                 "interruptions": self.interruptions,
-                "abandoned": self.abandoned, "error": self.error}
+                "abandoned": self.abandoned, "error": self.error,
+                "black_box": self.black_box}
 
 
 def run_point(lab: ChaosLab, point: FaultPoint) -> PointResult:
@@ -388,6 +393,11 @@ def run_point(lab: ChaosLab, point: FaultPoint) -> PointResult:
         power_cycles=power_cycles,
         interruptions=device.agent.stats.transfers_interrupted,
         abandoned=abandoned, error=error,
+        # The black box lives on its own flash device (outside the
+        # layout the injector arms), so this read-back survives every
+        # injected power loss — exactly like pulling the flight
+        # recorder after an incident.
+        black_box=device.blackbox.post_mortem(),
     )
 
 
@@ -464,9 +474,10 @@ def run_sweep(points: int = DEFAULT_POINTS, seed: int = 0,
 
 def write_report(report: ChaosReport,
                  path: str = "CHAOS_report.json") -> str:
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    """Write a schema-stamped chaos artifact (see ``tools/report.py``)."""
+    from .report import write_report as write_artifact
+
+    write_artifact(report.to_dict(), path, "chaos")
     return os.path.abspath(path)
 
 

@@ -22,6 +22,9 @@ Subcommands::
     upkit chaos   [--points N] [--seed S] [--slots a|b]
                   [--transport push|pull] [--image-size BYTES]
                   [--out CHAOS_report.json]
+    upkit trace   [--slots a|b|both] [--transport push|pull]
+                  [--image-size BYTES] [--out trace.json]
+    upkit report  [--validate] PATH...
 
 Run as ``python -m repro.tools.cli <subcommand> ...``.
 """
@@ -280,6 +283,52 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 1 if report.bricked else 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Run traced updates and write a Chrome-trace artifact."""
+    from . import trace
+
+    slot_configurations = (("a", "b") if args.slots == "both"
+                           else (args.slots,))
+    document = trace.run_trace(slot_configurations=slot_configurations,
+                               transport=args.transport,
+                               image_size=args.image_size)
+    path = trace.write_trace(document, args.out)
+    print(trace.format_summary(document))
+    print("wrote %s (load it in chrome://tracing or ui.perfetto.dev)"
+          % path)
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Inspect (and optionally validate) schema-stamped JSON artifacts.
+
+    With ``--validate``, exit status 1 when any artifact fails its
+    kind's schema checks — this is the CI guard against silent drift.
+    """
+    from . import report as report_mod
+
+    drifted = False
+    for path in args.paths:
+        try:
+            kind, version, _data = report_mod.load_report(path)
+        except (report_mod.ReportError, OSError, ValueError) as exc:
+            print("%s: UNRECOGNISED (%s)" % (path, exc))
+            drifted = True
+            continue
+        current = report_mod.SCHEMA_VERSIONS.get(kind)
+        print("%s: %s report, schema v%d (current: v%s)"
+              % (path, kind, version, current))
+        if args.validate:
+            problems = report_mod.validate_file(path)
+            for problem in problems:
+                print("  DRIFT: %s" % problem)
+            if problems:
+                drifted = True
+            else:
+                print("  ok")
+    return 1 if drifted else 0
+
+
 def cmd_inspect(args: argparse.Namespace) -> int:
     image = UpdateImage.unpack(_read(args.image))
     manifest = image.manifest
@@ -408,6 +457,28 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--out", default="CHAOS_report.json",
                        help="report file (default: ./CHAOS_report.json)")
     chaos.set_defaults(func=cmd_chaos)
+
+    trace = sub.add_parser(
+        "trace", help="run traced updates and emit Chrome-trace JSON")
+    trace.add_argument("--slots", default="both",
+                       choices=("a", "b", "both"),
+                       help="slot configuration(s) to trace "
+                            "(default: both)")
+    trace.add_argument("--transport", default="push",
+                       choices=("push", "pull"))
+    trace.add_argument("--image-size", type=int, default=16 * 1024,
+                       help="firmware image size in bytes (default: 16384)")
+    trace.add_argument("--out", default="trace.json",
+                       help="trace artifact (default: ./trace.json)")
+    trace.set_defaults(func=cmd_trace)
+
+    report = sub.add_parser(
+        "report", help="inspect/validate schema-stamped JSON artifacts")
+    report.add_argument("paths", nargs="+",
+                        help="artifact files (bench/chaos/trace JSON)")
+    report.add_argument("--validate", action="store_true",
+                        help="run schema validation; exit 1 on drift")
+    report.set_defaults(func=cmd_report)
 
     return parser
 

@@ -1,0 +1,164 @@
+"""Schema-versioned report artifacts shared by the CLI tools.
+
+``bench``, ``chaos`` and ``trace`` each emit a JSON artifact that CI
+jobs and dashboards consume long after the code that wrote them has
+moved on.  This module is the single place that knows how those files
+are stamped and validated:
+
+* :func:`write_report` stamps ``report_kind`` and ``schema_version``
+  (from :data:`SCHEMA_VERSIONS`) before writing deterministic,
+  sorted-key JSON.
+* :func:`load_report` round-trips any artifact — including *legacy*
+  files written before this module existed (bench's old ``{"schema":
+  1}`` stamp, chaos reports with no stamp at all) — and reports which
+  kind and version it found.
+* :func:`validate_data` / :func:`validate_file` check an artifact
+  against the expectations of its kind, so ``cli report --validate``
+  can fail CI on schema drift instead of letting a consumer discover
+  it at parse time.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Tuple
+
+__all__ = [
+    "SCHEMA_VERSIONS",
+    "ReportError",
+    "write_report",
+    "load_report",
+    "validate_data",
+    "validate_file",
+]
+
+#: Current schema version per report kind.  Bump a kind's version when
+#: its document shape changes; teach :func:`validate_data` about the
+#: old shape so existing artifacts keep loading.
+SCHEMA_VERSIONS: Dict[str, int] = {"bench": 2, "chaos": 2, "trace": 1}
+
+
+class ReportError(ValueError):
+    """An artifact could not be recognised or failed validation."""
+
+
+def write_report(data: Dict[str, object], path: str, kind: str) -> str:
+    """Stamp ``data`` with its kind/version and write it to ``path``.
+
+    The input dict is stamped in place (callers usually built it for
+    this purpose) and written with sorted keys and a trailing newline
+    so artifacts diff cleanly.
+    """
+    if kind not in SCHEMA_VERSIONS:
+        raise ReportError("unknown report kind %r (known: %s)"
+                          % (kind, ", ".join(sorted(SCHEMA_VERSIONS))))
+    data["report_kind"] = kind
+    data["schema_version"] = SCHEMA_VERSIONS[kind]
+    data.pop("schema", None)  # pre-versioning bench stamp
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def load_report(path: str) -> Tuple[str, int, Dict[str, object]]:
+    """Read an artifact; returns ``(kind, schema_version, data)``.
+
+    Stamped files are taken at their word.  Legacy files are detected
+    by shape: bench's old ``{"schema": 1}`` stamp, or an unstamped
+    chaos report (recognised by its ``calibration`` + ``results``
+    keys).  Anything else raises :class:`ReportError`.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    if not isinstance(data, dict):
+        raise ReportError("%s: top-level JSON must be an object" % path)
+
+    kind = data.get("report_kind")
+    if kind is not None:
+        version = data.get("schema_version")
+        if not isinstance(version, int):
+            raise ReportError(
+                "%s: stamped %r report has no integer schema_version"
+                % (path, kind))
+        return str(kind), version, data
+
+    # Legacy detection ----------------------------------------------------
+    if data.get("schema") == 1 and "campaign" in data:
+        return "bench", 1, data
+    if "calibration" in data and "results" in data:
+        return "chaos", 1, data
+    raise ReportError(
+        "%s: unrecognised report (no report_kind stamp and no known "
+        "legacy shape)" % path)
+
+
+def _require(data: Dict[str, object], keys: List[str],
+             kind: str) -> List[str]:
+    return ["%s report missing key %r" % (kind, key)
+            for key in keys if key not in data]
+
+
+def validate_data(kind: str, version: int,
+                  data: Dict[str, object]) -> List[str]:
+    """Return a list of human-readable problems (empty = valid)."""
+    errors: List[str] = []
+    current = SCHEMA_VERSIONS.get(kind)
+    if current is None:
+        return ["unknown report kind %r" % kind]
+    if version > current:
+        errors.append("%s schema_version %d is newer than this tree "
+                      "understands (%d)" % (kind, version, current))
+        return errors
+
+    if kind == "bench":
+        errors += _require(data, ["sha256", "ecdsa_verify",
+                                  "delta_generation", "campaign"], kind)
+        campaign = data.get("campaign")
+        if isinstance(campaign, dict):
+            if campaign.get("reports_identical") is not True:
+                errors.append("bench campaign reports diverged between "
+                              "engine configurations")
+        if version >= 2:
+            errors += _require(data, ["crypto_stats", "server_stats",
+                                      "metrics"], kind)
+    elif kind == "chaos":
+        errors += _require(data, ["calibration", "results", "bricked"],
+                           kind)
+        results = data.get("results")
+        if isinstance(results, list):
+            bricked = sum(1 for r in results
+                          if isinstance(r, dict)
+                          and r.get("status") == "bricked")
+            if data.get("bricked") != bricked:
+                errors.append(
+                    "chaos bricked count %r does not match results (%d)"
+                    % (data.get("bricked"), bricked))
+            if version >= 2:
+                missing = sum(1 for r in results
+                              if isinstance(r, dict)
+                              and "black_box" not in r)
+                if missing:
+                    errors.append("chaos v2 report has %d results with "
+                                  "no black_box post-mortem" % missing)
+    elif kind == "trace":
+        # The trace artifact *is* a Chrome-trace document (Perfetto and
+        # chrome://tracing ignore the extra top-level keys).
+        errors += _require(data, ["traceEvents", "metrics",
+                                  "configurations"], kind)
+        events = data.get("traceEvents")
+        if isinstance(events, list):
+            from ..obs.trace import containment_errors
+            errors += containment_errors(events)
+        elif events is not None:
+            errors.append("trace report traceEvents must be a list")
+    return errors
+
+
+def validate_file(path: str) -> List[str]:
+    """Load ``path`` and validate it; returns problems (empty = valid)."""
+    try:
+        kind, version, data = load_report(path)
+    except (ReportError, OSError, json.JSONDecodeError) as exc:
+        return [str(exc)]
+    return validate_data(kind, version, data)

@@ -1,0 +1,111 @@
+"""Energy accounting under interrupted transfers (sim/energy.py).
+
+An interrupted transfer still burned the radio: bytes delivered before
+the outage were paid for, the backoff wait shows up on the virtual
+clock, and an abandoned update wasted real energy — exactly the
+accounting the paper's early-rejection argument rests on.  These tests
+pin the meter's invariants under that failure traffic.
+"""
+
+import pytest
+
+from repro.net import BLE_GATT, Link, PushTransport
+from repro.net.link import Outage
+from repro.net.transports import TransportRetryPolicy
+from repro.sim import Testbed
+
+
+def make_bed():
+    # Full-image transfers: a delta between these constant images would
+    # be ~250 bytes and never reach the 500-byte outage threshold.
+    bed = Testbed.create(initial_firmware=b"\x11" * 2048,
+                         supports_differential=False)
+    bed.release(b"\x22" * 2048, 2)
+    return bed
+
+
+def run_push(bed, link, retry):
+    transport = PushTransport(bed.device, bed.server, link=link,
+                              retry=retry)
+    return transport.run_update()
+
+
+def test_interrupted_transfer_still_charges_the_radio():
+    bed = make_bed()
+    link = Link(BLE_GATT, outages=[Outage(at_byte=500)])
+    retry = TransportRetryPolicy(max_attempts=3, backoff_initial=2.0)
+    outcome = run_push(bed, link, retry)
+    assert outcome.success
+    assert outcome.interruptions == 1
+    meter = bed.device.meter
+    assert meter.energy_mj("radio_rx") > 0
+    # The resumed transfer re-delivered nothing it already had, but the
+    # pre-outage bytes were charged: total radio energy exceeds what a
+    # byte-perfect single pass of the image alone would imply zero of.
+    assert bed.device.agent.stats.transfers_interrupted == 1
+    assert bed.device.agent.stats.transfers_resumed == 1
+
+
+def test_backoff_shows_up_in_the_phase_breakdown():
+    bed = make_bed()
+    link = Link(BLE_GATT, outages=[Outage(at_byte=500)])
+    retry = TransportRetryPolicy(max_attempts=3, backoff_initial=2.0,
+                                 jitter=0.0)
+    assert run_push(bed, link, retry).success
+    by_label = bed.device.clock.elapsed_by_label()
+    assert by_label.get("backoff", 0.0) == pytest.approx(2.0)
+
+
+def test_abandoned_update_wasted_energy_is_accounted():
+    bed = make_bed()
+    # More consecutive failures than the retry budget tolerates.
+    link = Link(BLE_GATT, outages=[Outage(at_byte=500, failures=5)])
+    retry = TransportRetryPolicy(max_attempts=2, backoff_initial=1.0)
+    outcome = run_push(bed, link, retry)
+    assert not outcome.success
+    assert bed.device.agent.stats.updates_abandoned == 1
+    meter = bed.device.meter
+    # The failed attempt still burned radio and flash energy.
+    assert meter.energy_mj("radio_rx") > 0
+    assert meter.energy_mj("flash") > 0
+    assert bed.device.installed_version() == 1
+
+
+def test_meter_invariants_hold_under_interruption():
+    bed = make_bed()
+    link = Link(BLE_GATT, outages=[Outage(at_byte=500)])
+    retry = TransportRetryPolicy(max_attempts=3, backoff_initial=2.0)
+    assert run_push(bed, link, retry).success
+    meter = bed.device.meter
+    breakdown = meter.breakdown_mj()
+    assert all(value >= 0 for value in breakdown.values())
+    assert meter.energy_mj() == pytest.approx(sum(breakdown.values()))
+    assert meter.energy_mj() == pytest.approx(
+        meter.charge_mc() * meter.supply_volts)
+
+
+def test_interrupted_costs_more_than_clean():
+    clean = make_bed()
+    assert clean.push_update().success
+    interrupted = make_bed()
+    link = Link(BLE_GATT, outages=[Outage(at_byte=500, failures=2)])
+    retry = TransportRetryPolicy(max_attempts=4, backoff_initial=2.0)
+    assert run_push(interrupted, link, retry).success
+    # Same firmware, same link profile: the outage can only add time
+    # (backoff) — and never removes delivered-byte energy.
+    assert interrupted.device.clock.now > clean.device.clock.now
+    assert interrupted.device.meter.energy_mj("radio_rx") \
+        >= clean.device.meter.energy_mj("radio_rx")
+
+
+def test_interruption_metrics_and_events_surface():
+    bed = make_bed()
+    link = Link(BLE_GATT, outages=[Outage(at_byte=500)])
+    retry = TransportRetryPolicy(max_attempts=3, backoff_initial=2.0)
+    assert run_push(bed, link, retry).success
+    snapshot = bed.device.metrics.snapshot()
+    assert snapshot["transport.interruptions"] == 1
+    assert snapshot["transport.resumes"] == 1
+    assert snapshot["events.transfer_interrupted"] == 1
+    assert snapshot["events.transfer_resumed"] == 1
+    assert snapshot["time.backoff_seconds"] > 0

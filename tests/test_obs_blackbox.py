@@ -1,0 +1,141 @@
+"""Black-box journal tests: persistence, ring discipline, post-mortems."""
+
+import pytest
+
+from repro.faults import FaultKind, FaultPoint
+from repro.memory import FlashMemory
+from repro.obs.blackbox import RECORD_SIZE, BlackBox
+from repro.tools import chaos
+
+
+def small_flash(pages=2, page_size=4 * RECORD_SIZE):
+    return FlashMemory(pages * page_size, page_size=page_size,
+                       name="bb-test")
+
+
+def test_record_roundtrip():
+    box = BlackBox(flash=small_flash())
+    box.record("token_issued", phase="propagation", t=1.5)
+    box.record("manifest_verified", phase="propagation", t=2.0)
+    records = box.records()
+    assert [r.label for r in records] == ["token_issued",
+                                         "manifest_verified"]
+    assert [r.seq for r in records] == [1, 2]
+    assert records[0].phase == "propagation"
+    assert records[0].t == 1.5
+
+
+def test_long_labels_are_truncated_not_rejected():
+    box = BlackBox(flash=small_flash())
+    record = box.record("transfer_interrupted")  # 19 chars > 17
+    assert record.label == "transfer_interrup"
+    assert box.records()[0].label == "transfer_interrup"
+
+
+def test_ring_wrap_reclaims_oldest_page():
+    box = BlackBox(flash=small_flash())  # capacity: 8 records, 2 pages
+    for index in range(11):
+        box.record("event_%d" % index)
+    records = box.records()
+    assert len(records) <= 8
+    seqs = [r.seq for r in records]
+    assert seqs == sorted(seqs)
+    assert records[-1].seq == 11          # newest always survives
+    assert records[-1].label == "event_10"
+
+
+def test_remount_resumes_sequence():
+    flash = small_flash()
+    first = BlackBox(flash=flash)
+    first.record("boot_attempt", phase="loading")
+    first.record("boot_selected", phase="running")
+    # A power cycle loses the BlackBox object; a fresh mount on the same
+    # flash must resume appending after the highest valid sequence.
+    second = BlackBox(flash=flash)
+    record = second.record("token_issued")
+    assert record.seq == 3
+    assert [r.seq for r in second.records()] == [1, 2, 3]
+
+
+def test_torn_record_is_skipped_not_misread():
+    flash = small_flash()
+    box = BlackBox(flash=flash)
+    box.record("good_one")
+    box.record("torn_one")
+    # Clear bits inside the second record's label: CRC now fails, the
+    # way a write interrupted by power loss leaves a half-programmed
+    # line.
+    flash.write(RECORD_SIZE + 14, b"\x00\x00")
+    records = BlackBox(flash=flash).records()
+    assert [r.label for r in records] == ["good_one"]
+
+
+def test_post_mortem_flags_unexpected_boot():
+    box = BlackBox(flash=small_flash())
+    box.record("token_issued", phase="propagation", t=1.0)
+    box.record("manifest_verified", phase="propagation", t=2.0)
+    box.record("boot_attempt", phase="loading", t=3.0)   # power loss!
+    report = box.post_mortem()
+    assert report["interrupted_phase"] == "propagation"
+    assert report["interruptions"] == [
+        {"t": 3.0, "phase": "propagation", "after": "manifest_verified"}]
+    assert report["record_count"] == 3
+
+
+def test_post_mortem_accepts_clean_reboot():
+    box = BlackBox(flash=small_flash())
+    box.record("firmware_verified", phase="verification", t=1.0)
+    box.record("ready_to_reboot", phase="loading", t=2.0)
+    box.record("boot_attempt", phase="loading", t=3.0)
+    box.record("boot_selected", phase="running", t=4.0)
+    report = box.post_mortem()
+    assert report["interruptions"] == []
+    assert report["interrupted_phase"] is None
+    assert report["last_label"] == "boot_selected"
+
+
+def test_device_updates_journal_to_blackbox():
+    from repro.sim import Testbed
+
+    bed = Testbed.create()
+    bed.release(b"\xCD" * 2048, 2)
+    assert bed.push_update().success
+    labels = [r.label for r in bed.device.blackbox.records()]
+    assert "token_issued" in labels
+    assert "firmware_verified" in labels
+    assert "boot_attempt" in labels
+    assert labels[-1] == "boot_selected"
+    assert bed.device.blackbox.post_mortem()["interruptions"] == []
+
+
+def test_chaos_power_loss_leaves_readable_post_mortem():
+    """Acceptance: an injected power loss yields a black-box
+    post-mortem identifying the interrupted phase."""
+    lab = chaos.ChaosLab(image_size=8192)
+    result = chaos.run_point(
+        lab, FaultPoint(FaultKind.POWER_LOSS_WRITE, 3))
+    assert result.status == "updated"       # anti-bricking holds
+    box = result.black_box
+    assert box is not None
+    assert result.power_cycles >= 1
+    assert len(box["interruptions"]) >= 1
+    assert box["interrupted_phase"] == "propagation"
+    assert box["last_label"] == "boot_selected"
+    assert box["record_count"] > 0
+
+
+@pytest.mark.trace
+def test_chaos_power_loss_during_swap_attributes_loading():
+    """Heavier variant: a power cut late in the flash-op axis lands in
+    the install/boot window and must be attributed to ``loading``."""
+    lab = chaos.ChaosLab(image_size=8192)
+    calibration = chaos.calibrate(lab)
+    late = FaultPoint(FaultKind.POWER_LOSS_ANY,
+                      calibration.ops_any - 1)
+    result = chaos.run_point(lab, late)
+    assert result.status != "bricked"
+    box = result.black_box
+    assert box is not None
+    if box["interruptions"]:
+        assert box["interrupted_phase"] in ("loading", "verification",
+                                            "propagation")

@@ -1,0 +1,131 @@
+"""Unit tests for the metrics registry and the stats-surfacing binds."""
+
+import pytest
+
+from repro.crypto import use_engine
+from repro.crypto.engine import FastEngine
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    bind_engine,
+    bind_server,
+)
+
+
+def test_counter_only_goes_up():
+    counter = Counter("c")
+    counter.inc()
+    counter.inc(2.5)
+    assert counter.to_value() == 3.5
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+
+
+def test_gauge_set_and_inc():
+    gauge = Gauge("g")
+    gauge.set(10)
+    gauge.inc(-3)
+    assert gauge.to_value() == 7.0
+
+
+def test_histogram_bucket_placement():
+    histogram = Histogram("h", buckets=(1.0, 5.0))
+    for value in (0.5, 0.9, 3.0, 100.0):
+        histogram.observe(value)
+    snap = histogram.to_value()
+    assert snap["count"] == 4
+    assert snap["sum"] == pytest.approx(104.4)
+    assert snap["buckets"] == {"1": 2, "5": 1, "+Inf": 1}
+
+
+def test_histogram_rejects_bad_bounds():
+    with pytest.raises(ValueError):
+        Histogram("h", buckets=())
+    with pytest.raises(ValueError):
+        Histogram("h", buckets=(5.0, 1.0))
+
+
+def test_registry_get_or_create_is_idempotent():
+    registry = MetricsRegistry()
+    assert registry.counter("x") is registry.counter("x")
+
+
+def test_registry_rejects_kind_conflicts():
+    registry = MetricsRegistry()
+    registry.counter("x")
+    with pytest.raises(TypeError):
+        registry.gauge("x")
+
+
+def test_snapshot_runs_collectors_and_sorts():
+    registry = MetricsRegistry()
+    registry.counter("zz").inc()
+    registry.add_collector(lambda reg: reg.gauge("aa").set(1))
+    snapshot = registry.snapshot()
+    assert list(snapshot) == ["aa", "zz"]
+    assert snapshot["aa"] == 1.0
+
+
+def test_format_table_renders_every_metric():
+    registry = MetricsRegistry()
+    registry.counter("bytes").inc(42)
+    registry.histogram("lat", (1.0,)).observe(0.5)
+    table = registry.format_table()
+    assert "bytes" in table and "42" in table
+    assert "count=1" in table
+
+
+def test_bind_engine_surfaces_verify_cache_counters():
+    """Satellite: the fast engine's LRU verify-cache counters surface
+    as ``crypto.*`` gauges."""
+    engine = FastEngine()
+    registry = MetricsRegistry()
+    bind_engine(registry, engine)
+    engine.stats.verify_calls = 7
+    engine.stats.verify_cache_hits = 3
+    snapshot = registry.snapshot()
+    assert snapshot["crypto.verify_calls"] == 7
+    assert snapshot["crypto.verify_cache_hits"] == 3
+    assert "crypto.key_tables_built" in snapshot
+    assert "crypto.key_tables_evicted" in snapshot
+
+
+def test_bind_engine_tolerates_statless_reference_engine():
+    registry = MetricsRegistry()
+    with use_engine("reference") as engine:
+        bind_engine(registry, engine)
+        assert "crypto.verify_calls" not in registry.snapshot()
+
+
+def test_bind_server_surfaces_delta_cache_stats(server):
+    """Satellite: delta-cache hit/eviction stats surface as
+    ``server.*`` gauges."""
+    registry = MetricsRegistry()
+    bind_server(registry, server)
+    server.stats.delta_cache_hits = 4
+    server.stats.delta_cache_evictions = 2
+    snapshot = registry.snapshot()
+    assert snapshot["server.delta_cache_hits"] == 4
+    assert snapshot["server.delta_cache_evictions"] == 2
+    assert "server.bytes_served" in snapshot
+
+
+def test_device_registry_reports_flash_time_and_energy():
+    from repro.sim import Testbed
+
+    bed = Testbed.create()
+    generator_firmware = b"\xAB" * 2048
+    bed.release(generator_firmware, 2)
+    outcome = bed.push_update()
+    assert outcome.success
+    snapshot = bed.device.metrics.snapshot()
+    assert snapshot["flash.bytes_written"] > 0
+    assert snapshot["energy.total_mj"] > 0
+    assert snapshot["time.propagation_seconds"] > 0
+    assert snapshot["update.latency_seconds"]["count"] == 1
+    assert snapshot["net.bytes_over_air"] == outcome.bytes_over_air
+    # Pipeline stage accounting flushed once at finish.
+    assert snapshot["pipeline.bytes_written"] > 0
+    assert snapshot["events.boot_selected"] >= 1

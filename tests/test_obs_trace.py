@@ -1,0 +1,148 @@
+"""Unit tests for the tracing core (repro.obs.trace)."""
+
+import pytest
+
+from repro.obs.trace import (
+    NULL_TRACER,
+    Tracer,
+    containment_errors,
+    merge_chrome_traces,
+)
+
+
+class FakeClock:
+    """Hand-cranked clock for deterministic span timestamps."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture()
+def tracer(clock):
+    return Tracer(now_fn=lambda: clock.now, enabled=True)
+
+
+def test_disabled_tracer_records_nothing(clock):
+    tracer = Tracer(now_fn=lambda: clock.now, enabled=False)
+    with tracer.span("outer"):
+        clock.advance(1.0)
+        tracer.instant("mark")
+    assert tracer.spans == []
+    assert tracer.instants == []
+
+
+def test_disabled_span_contexts_are_shared():
+    # The hot path must not allocate per call when tracing is off.
+    assert NULL_TRACER.span("a") is NULL_TRACER.span("b")
+
+
+def test_span_nesting_records_parentage(tracer, clock):
+    with tracer.span("outer") as outer:
+        clock.advance(2.0)
+        with tracer.span("inner") as inner:
+            clock.advance(1.0)
+    assert inner.parent_id == outer.span_id
+    assert outer.parent_id is None
+    assert outer.start == 0.0 and outer.end == 3.0
+    assert inner.start == 2.0 and inner.end == 3.0
+    # Closed inner-first.
+    assert [s.name for s in tracer.spans] == ["inner", "outer"]
+
+
+def test_span_records_error_and_propagates(tracer, clock):
+    with pytest.raises(ValueError):
+        with tracer.span("failing"):
+            clock.advance(1.0)
+            raise ValueError("boom")
+    (span,) = tracer.spans
+    assert span.args["error"] == "ValueError"
+    assert span.end == 1.0
+
+
+def test_instant_carries_open_parent(tracer, clock):
+    with tracer.span("outer") as outer:
+        clock.advance(0.5)
+        tracer.instant("event", args={"k": 1})
+    (instant,) = tracer.instants
+    assert instant["parent_id"] == outer.span_id
+    assert instant["t"] == 0.5
+    assert instant["args"] == {"k": 1}
+
+
+def test_tracing_never_advances_the_clock(tracer, clock):
+    with tracer.span("outer"):
+        tracer.instant("mark")
+    assert clock.now == 0.0
+
+
+def test_chrome_export_units_and_metadata(tracer, clock):
+    with tracer.span("outer", category="lifecycle", answer=42):
+        clock.advance(1.5)
+    doc = tracer.to_chrome_trace(pid=7, process_name="dev-7")
+    meta = doc["traceEvents"][0]
+    assert meta["ph"] == "M" and meta["args"]["name"] == "dev-7"
+    (event,) = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    assert event["ts"] == 0.0
+    assert event["dur"] == 1.5e6          # virtual seconds -> us
+    assert event["pid"] == 7
+    assert event["args"]["answer"] == 42
+    assert event["args"]["span_id"] == 1
+
+
+def test_merge_keeps_all_events(tracer, clock):
+    with tracer.span("a"):
+        clock.advance(1.0)
+    other = Tracer(now_fn=lambda: clock.now, enabled=True)
+    with other.span("b"):
+        clock.advance(1.0)
+    merged = merge_chrome_traces([tracer.to_chrome_trace(pid=1),
+                                  other.to_chrome_trace(pid=2)])
+    names = {e["name"] for e in merged["traceEvents"]}
+    assert {"a", "b"} <= names
+
+
+def test_clear_resets_ids(tracer, clock):
+    with tracer.span("a"):
+        pass
+    tracer.clear()
+    with tracer.span("b") as span:
+        pass
+    assert span.span_id == 1
+
+
+def _x(name, ts, dur, span_id, parent_id=None, pid=1):
+    return {"name": name, "ph": "X", "ts": ts, "dur": dur,
+            "pid": pid, "tid": 1,
+            "args": {"span_id": span_id, "parent_id": parent_id}}
+
+
+def test_containment_accepts_nested_spans():
+    events = [_x("outer", 0, 100, 1), _x("inner", 10, 50, 2, 1)]
+    assert containment_errors(events) == []
+
+
+def test_containment_flags_escaping_child():
+    events = [_x("outer", 0, 100, 1), _x("inner", 90, 50, 2, 1)]
+    errors = containment_errors(events)
+    assert len(errors) == 1 and "escapes" in errors[0]
+
+
+def test_containment_flags_missing_parent():
+    errors = containment_errors([_x("orphan", 0, 10, 2, parent_id=9)])
+    assert len(errors) == 1 and "missing parent" in errors[0]
+
+
+def test_containment_is_per_process():
+    # Same span ids in different pids must not collide.
+    events = [_x("outer", 0, 100, 1, pid=1),
+              _x("outer", 500, 100, 1, pid=2),
+              _x("inner", 510, 50, 2, 1, pid=2)]
+    assert containment_errors(events) == []

@@ -1,0 +1,102 @@
+"""Protocol sessions under interrupted transfers (net/sessions.py).
+
+The protocol-level sessions have no resume logic of their own —
+:class:`~repro.net.link.LinkDownError` deliberately escapes
+``session.run()`` (which catches only ``UpdateError``), leaving the
+caller to cancel and retry.  These tests pin that contract down and
+prove the recovery path: cancel the half-fed agent, open a fresh
+session over the *same* link (the outage is attempt-counted and now
+spent), and the update converges.
+"""
+
+import pytest
+
+from repro.core.agent import AgentState
+from repro.net import BLE_GATT, COAP_6LOWPAN, Link
+from repro.net.link import LinkDownError, Outage
+from repro.net.sessions import BleGattPushSession, CoapPullSession
+from repro.sim import Testbed
+
+
+@pytest.fixture()
+def bed():
+    # Full-image transfers keep the byte axis predictable: a delta of
+    # these two constant images would be a couple hundred bytes and
+    # never reach the outage thresholds below.
+    bed = Testbed.create(initial_firmware=b"\x11" * 2048,
+                         supports_differential=False)
+    bed.release(b"\x22" * 2048, 2)
+    return bed
+
+
+def test_coap_outage_escapes_run(bed):
+    link = Link(COAP_6LOWPAN, outages=[Outage(at_byte=600)])
+    session = CoapPullSession(bed.device, bed.server, link=link)
+    with pytest.raises(LinkDownError):
+        session.run()
+    # The agent was left mid-update; the device never booted v2.
+    assert bed.device.agent.state is AgentState.RECEIVE_FIRMWARE
+    assert bed.device.agent.stats.updates_completed == 0
+    assert link.down_events == 1
+
+
+def test_coap_recovers_with_fresh_session_on_same_link(bed):
+    link = Link(COAP_6LOWPAN, outages=[Outage(at_byte=600)])
+    first = CoapPullSession(bed.device, bed.server, link=link)
+    with pytest.raises(LinkDownError):
+        first.run()
+
+    # Recovery: clean the FSM, retry over the same (recovered) link.
+    bed.device.agent.cancel()
+    assert bed.device.agent.stats.updates_rejected == 1
+    second = CoapPullSession(bed.device, bed.server, link=link)
+    outcome = second.run()
+    assert outcome.success
+    assert outcome.booted_version == 2
+    assert bed.device.installed_version() == 2
+
+
+def test_ble_outage_escapes_run(bed):
+    link = Link(BLE_GATT, outages=[Outage(at_byte=400)])
+    session = BleGattPushSession(bed.device, bed.server, link=link)
+    with pytest.raises(LinkDownError):
+        session.run()
+    assert bed.device.agent.state is AgentState.RECEIVE_FIRMWARE
+    assert bed.device.agent.stats.updates_completed == 0
+
+
+def test_ble_recovers_with_fresh_session_on_same_link(bed):
+    link = Link(BLE_GATT, outages=[Outage(at_byte=400)])
+    first = BleGattPushSession(bed.device, bed.server, link=link)
+    with pytest.raises(LinkDownError):
+        first.run()
+
+    bed.device.agent.cancel()
+    outcome = BleGattPushSession(bed.device, bed.server, link=link).run()
+    assert outcome.success
+    assert outcome.booted_version == 2
+
+
+def test_multi_failure_outage_needs_as_many_retries(bed):
+    link = Link(COAP_6LOWPAN, outages=[Outage(at_byte=600, failures=2)])
+    for _ in range(2):
+        session = CoapPullSession(bed.device, bed.server, link=link)
+        with pytest.raises(LinkDownError):
+            session.run()
+        bed.device.agent.cancel()
+    outcome = CoapPullSession(bed.device, bed.server, link=link).run()
+    assert outcome.success and outcome.booted_version == 2
+    assert link.down_events == 2
+
+
+def test_interrupted_session_journals_to_blackbox(bed):
+    link = Link(COAP_6LOWPAN, outages=[Outage(at_byte=600)])
+    with pytest.raises(LinkDownError):
+        CoapPullSession(bed.device, bed.server, link=link).run()
+    bed.device.agent.cancel()
+    labels = [r.label for r in bed.device.blackbox.records()]
+    # The journal shows an update that started and was cleaned, with no
+    # interleaving boot: exactly what a post-mortem should read.
+    assert "token_issued" in labels
+    assert "slot_cleaned" in labels
+    assert bed.device.blackbox.post_mortem()["interruptions"] == []
