@@ -6,8 +6,9 @@ Each fault kind lands in the layer it belongs to:
 * power-loss points arm the flash devices' own countdown
   (:meth:`~repro.memory.flash.FlashMemory.inject_power_loss`), filtered
   to writes, erases or both;
-* link outages and loss bursts become the :class:`~repro.net.link.Link`
-  fault schedule (build the link via :meth:`FaultInjector.make_link`);
+* link outages, loss bursts and slowdowns become the
+  :class:`~repro.net.link.Link` fault schedule (build the link via
+  :meth:`FaultInjector.make_link`);
 * reboot points wrap the device's ``feed`` so the agent loses power —
   :class:`DeviceRebooted` propagates out of the transport, RAM state is
   gone, flash state stays exactly as written;
@@ -27,7 +28,8 @@ from typing import List
 
 from ..core import ServerUnavailable
 from ..memory import FlashMemory
-from ..net.link import COAP_6LOWPAN, Link, LinkProfile, LossBurst, Outage
+from ..net.link import COAP_6LOWPAN, Link, LinkProfile, LossBurst, \
+    Outage, Slowdown
 from .plan import FaultKind, FaultPlan, FaultPoint
 
 __all__ = ["DeviceRebooted", "FaultInjector", "BURST_LOSS_RATE"]
@@ -95,8 +97,12 @@ class FaultInjector:
                             end_byte=point.at + max(1, point.param),
                             loss_rate=BURST_LOSS_RATE)
                   for point in self.plan.of_kind(FaultKind.LOSS_BURST)]
+        slowdowns = [Slowdown(at_byte=point.at,
+                              factor=float(max(2, point.param)))
+                     for point in self.plan.of_kind(FaultKind.SLOW_LINK)]
         return Link(profile, loss_rate=loss_rate, seed=self.plan.seed,
-                    outages=outages, loss_bursts=bursts)
+                    outages=outages, loss_bursts=bursts,
+                    slowdowns=slowdowns)
 
     # -- device/server faults ----------------------------------------------
 

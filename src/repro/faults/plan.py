@@ -27,6 +27,11 @@ BIT_ROT                ``param`` selects the slot (0 = bootable, 1 =
 SERVER_OUTAGE          the server's ``prepare_update`` raises
                        :class:`~repro.core.ServerUnavailable` for
                        requests ``at`` .. ``at + param - 1``
+SLOW_LINK              the link degrades once ``at`` cumulative bytes
+                       were delivered: per-packet costs are multiplied
+                       by ``param`` (a marginal radio, not a dead one —
+                       the straggler the fleet telemetry plane exists
+                       to catch)
 =====================  =====================================================
 
 Plans are value objects: hashable, sortable, JSON-serialisable — the
@@ -51,6 +56,7 @@ class FaultKind(enum.Enum):
     POWER_LOSS_ANY = "power-loss-any"
     LINK_OUTAGE = "link-outage"
     LOSS_BURST = "loss-burst"
+    SLOW_LINK = "slow-link"
     REBOOT = "reboot"
     BIT_ROT = "bit-rot"
     SERVER_OUTAGE = "server-outage"

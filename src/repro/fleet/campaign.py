@@ -23,6 +23,7 @@ from typing import Dict, List, Optional
 from ..core import UpdateServer
 from ..net import Link, PullTransport, PushTransport, UpdateOutcome
 from ..net.transports import Interceptor, TransportRetryPolicy
+from ..obs.slo import Action, FleetTelemetry, WaveVerdict
 from ..sim.device import SimulatedDevice
 from .executor import SerialWaveExecutor, WaveExecutor
 
@@ -138,11 +139,20 @@ class CampaignReport:
 
     target_version: int
     aborted: bool
+    #: True when an SLO breach *paused* the rollout: remaining devices
+    #: stay :attr:`~DeviceState.PENDING` (listed in :attr:`pending`)
+    #: for an operator decision, unlike an abort's hard skip.
+    paused: bool = False
     waves: List[List[str]] = field(default_factory=list)
     updated: List[str] = field(default_factory=list)
     failed: List[str] = field(default_factory=list)
     skipped: List[str] = field(default_factory=list)
     quarantined: List[str] = field(default_factory=list)
+    #: Devices left pending by a PAUSE verdict.
+    pending: List[str] = field(default_factory=list)
+    #: SLO breach dicts, in the order the telemetry plane raised them
+    #: (empty when no telemetry is attached or nothing breached).
+    slo_breaches: List[Dict[str, object]] = field(default_factory=list)
     #: Attempts beyond the first, summed over the fleet.
     retries: int = 0
     #: Transport-level interruption events observed fleet-wide (most
@@ -165,11 +175,14 @@ class CampaignReport:
         return {
             "target_version": self.target_version,
             "aborted": self.aborted,
+            "paused": self.paused,
             "waves": self.waves,
             "updated": self.updated,
             "failed": self.failed,
             "skipped": self.skipped,
             "quarantined": self.quarantined,
+            "pending": self.pending,
+            "slo_breaches": self.slo_breaches,
             "retries": self.retries,
             "link_interruptions": self.link_interruptions,
             "success_rate": self.success_rate,
@@ -186,7 +199,8 @@ class Campaign:
                  policy: Optional[RolloutPolicy] = None,
                  executor: Optional[WaveExecutor] = None,
                  retry: Optional[RetryPolicy] = None,
-                 metrics=None) -> None:
+                 metrics=None,
+                 telemetry: Optional[FleetTelemetry] = None) -> None:
         if not fleet:
             raise ValueError("campaign needs at least one device")
         names = [record.name for record in fleet]
@@ -209,6 +223,19 @@ class Campaign:
         #: :class:`CampaignReport` stays bit-identical with or without
         #: a registry attached.
         self.metrics = metrics
+        #: Optional :class:`~repro.obs.slo.FleetTelemetry`.  When
+        #: attached, the executor scrapes every device's registry as it
+        #: finishes, each wave closes with a health + SLO verdict, and
+        #: breaches steer the rollout (slow / pause / abort) — see
+        #: :meth:`run`.  Scrapes and analysis are pure reads of already
+        #: -spent virtual time, so a telemetry-on campaign with no
+        #: breach produces a byte-identical report to a telemetry-off
+        #: one.
+        self.telemetry = telemetry
+        if telemetry is not None:
+            self.executor.scrape = telemetry.scrape_record
+        #: Wave-size cap installed by a SLOW verdict (None = no cap).
+        self._wave_cap: Optional[int] = None
 
     # -- planning -----------------------------------------------------------
 
@@ -220,14 +247,41 @@ class Campaign:
                                   * self.policy.canary_fraction))
         return [pending[:canary_count], pending[canary_count:]]
 
+    def _plan_waves(self):
+        """Yield waves one at a time, honouring any SLOW wave cap.
+
+        With no cap this generates exactly :meth:`waves` — canary,
+        then the whole rest — so a telemetry-free (or breach-free)
+        campaign runs the same waves it always has.  A SLOW verdict
+        installs ``self._wave_cap``, after which the rest rolls out in
+        capped slices (blast-radius control without stopping).
+        """
+        canary, rest = self.waves()
+        yield canary
+        while rest:
+            size = len(rest) if self._wave_cap is None \
+                else max(1, min(len(rest), self._wave_cap))
+            yield rest[:size]
+            rest = rest[size:]
+
     # -- execution ------------------------------------------------------------
 
     def run(self) -> CampaignReport:
-        """Execute the rollout for the server's latest version."""
+        """Execute the rollout for the server's latest version.
+
+        With a :attr:`telemetry` plane attached, each finished wave is
+        closed out with a :class:`~repro.obs.slo.WaveVerdict` before
+        the abort check: verdict-quarantined devices are re-filed from
+        failed to quarantined (and removed from the failure count — no
+        double-counting), then the verdict's action steers the rollout:
+        ``SLOW`` halves subsequent waves, ``PAUSE`` stops with the
+        remainder left pending, ``ABORT`` cancels like a failure-rate
+        abort.
+        """
         target = self.server.latest_version
         report = CampaignReport(target_version=target, aborted=False)
 
-        for wave in self.waves():
+        for wave_index, wave in enumerate(self._plan_waves()):
             if not wave:
                 continue
             report.waves.append([record.name for record in wave])
@@ -259,16 +313,59 @@ class Campaign:
             report.wall_clock_seconds += wave_duration
             if self.metrics is not None:
                 self._observe_wave(wave, failures, wave_duration)
+
+            verdict = None
+            if self.telemetry is not None:
+                verdict = self._close_wave(wave, wave_index, report)
+                failures -= len(verdict.quarantine)
+
             if failures / len(wave) >= self.policy.abort_failure_rate:
                 report.aborted = True
                 break
+            if verdict is not None:
+                if verdict.action is Action.ABORT:
+                    report.aborted = True
+                    break
+                if verdict.action is Action.PAUSE:
+                    report.paused = True
+                    break
+                if verdict.action is Action.SLOW:
+                    remaining = sum(
+                        1 for record in self.fleet
+                        if record.state is DeviceState.PENDING)
+                    halved = max(1, remaining // 2)
+                    self._wave_cap = halved if self._wave_cap is None \
+                        else max(1, min(self._wave_cap, halved))
 
         if report.aborted:
             for record in self.fleet:
                 if record.state is DeviceState.PENDING:
                     record.state = DeviceState.SKIPPED
                     report.skipped.append(record.name)
+        elif report.paused:
+            # A pause leaves the remainder PENDING: an operator can
+            # resume by running the campaign again (waves() replans
+            # over whatever is still pending).
+            report.pending = [record.name for record in self.fleet
+                              if record.state is DeviceState.PENDING]
         return report
+
+    def _close_wave(self, wave: List[DeviceRecord], wave_index: int,
+                    report: CampaignReport) -> WaveVerdict:
+        """Feed the wave to the telemetry plane and apply its verdict's
+        quarantine list (re-filing those devices out of ``failed``)."""
+        for record in wave:
+            self.telemetry.observe_device(record, wave_index)
+        verdict = self.telemetry.close_wave(
+            wave_index, t=report.wall_clock_seconds)
+        for name in verdict.quarantine:
+            record = next(r for r in wave if r.name == name)
+            record.state = DeviceState.QUARANTINED
+            report.failed.remove(name)
+            report.quarantined.append(name)
+        report.slo_breaches.extend(breach.to_dict()
+                                   for breach in verdict.breaches)
+        return verdict
 
     def _observe_wave(self, wave: List[DeviceRecord], failures: int,
                       wave_duration: float) -> None:

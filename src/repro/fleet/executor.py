@@ -44,10 +44,23 @@ class WaveExecutor:
     #: the devices' virtual time) is observed as
     #: ``executor.wave_host_seconds``.
     metrics = None
+    #: Optional telemetry scrape hook, ``record -> None`` (set by the
+    #: campaign when a :class:`~repro.obs.slo.FleetTelemetry` is
+    #: attached).  Called once per device after its update finishes —
+    #: a pure read of the device's metrics registry at its final
+    #: virtual-clock time, so scraping never perturbs the simulation.
+    #: The serial executor scrapes as it goes; the parallel executor
+    #: scrapes post-merge in wave order, so both yield the same store.
+    scrape = None
 
     def run_wave(self, update: UpdateFn, wave: Sequence[_Record],
                  target: int) -> List[_Outcome]:
         raise NotImplementedError
+
+    def _scrape_wave(self, wave: Sequence[_Record]) -> None:
+        if self.scrape is not None:
+            for record in wave:
+                self.scrape(record)
 
     def _observe_wave(self, host_seconds: float, devices: int) -> None:
         if self.metrics is None:
@@ -69,7 +82,11 @@ class SerialWaveExecutor(WaveExecutor):
     def run_wave(self, update: UpdateFn, wave: Sequence[_Record],
                  target: int) -> List[_Outcome]:
         start = time.perf_counter()
-        outcomes = [update(record, target) for record in wave]
+        outcomes = []
+        for record in wave:
+            outcomes.append(update(record, target))
+            if self.scrape is not None:
+                self.scrape(record)
         self._observe_wave(time.perf_counter() - start, len(wave))
         return outcomes
 
@@ -108,6 +125,7 @@ class ParallelWaveExecutor(WaveExecutor):
         start_host = time.perf_counter()
         if len(wave) <= 1:
             results = [update(record, target) for record in wave]
+            self._scrape_wave(wave)
             self._observe_wave(time.perf_counter() - start_host, len(wave))
             return results
         results: List[_Outcome] = []
@@ -117,5 +135,8 @@ class ParallelWaveExecutor(WaveExecutor):
                 chunk = wave[start:start + self.chunk_size]
                 results.extend(
                     pool.map(lambda record: update(record, target), chunk))
+        # Scrape post-merge, in wave order: worker threads never touch
+        # the shared time-series store, so it fills deterministically.
+        self._scrape_wave(wave)
         self._observe_wave(time.perf_counter() - start_host, len(wave))
         return results

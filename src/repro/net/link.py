@@ -19,7 +19,11 @@ Beyond steady-state loss, a link can carry a *fault schedule*:
   :class:`LinkDownError` (the transports' resume logic turns these into
   backoff + re-request instead of a failed update);
 * :class:`LossBurst` — a window of elevated packet loss over a
-  cumulative-byte range (a microwave oven, a passing truck).
+  cumulative-byte range (a microwave oven, a passing truck);
+* :class:`Slowdown` — per-packet costs multiply by a factor once a
+  cumulative-byte threshold is crossed (a marginal radio at the edge of
+  range: still delivering, just slowly — the *straggler* case the fleet
+  telemetry plane detects).
 
 Every random draw comes from a **per-link** ``random.Random(seed)``
 (never the module-global ``random``), so one device's loss pattern is
@@ -34,7 +38,8 @@ from dataclasses import dataclass
 from typing import Iterator, List, Sequence
 
 __all__ = ["LinkProfile", "Link", "TransferReport", "Outage", "LossBurst",
-           "LinkDownError", "BLE_GATT", "COAP_6LOWPAN", "get_link_profile"]
+           "Slowdown", "LinkDownError", "BLE_GATT", "COAP_6LOWPAN",
+           "get_link_profile"]
 
 
 class LinkDownError(Exception):
@@ -138,13 +143,34 @@ class LossBurst:
         return self.start_byte <= total_bytes < self.end_byte
 
 
+@dataclass(frozen=True)
+class Slowdown:
+    """Per-packet costs multiply by ``factor`` from ``at_byte`` onwards.
+
+    Unlike an :class:`Outage` the link keeps delivering — every packet
+    just costs ``factor`` times the profile's interval (and retransmit
+    timeout).  ``at_byte=0`` models a device that is slow from the
+    start; a later threshold models a link that degrades mid-transfer.
+    """
+
+    at_byte: int
+    factor: float
+
+    def __post_init__(self) -> None:
+        if self.at_byte < 0:
+            raise ValueError("at_byte must be non-negative")
+        if self.factor < 1.0:
+            raise ValueError("slowdown factor must be >= 1")
+
+
 class Link:
     """A lossy link instance with deterministic loss and fault schedule."""
 
     def __init__(self, profile: LinkProfile, loss_rate: float = 0.0,
                  seed: int = 0,
                  outages: Sequence[Outage] = (),
-                 loss_bursts: Sequence[LossBurst] = ()) -> None:
+                 loss_bursts: Sequence[LossBurst] = (),
+                 slowdowns: Sequence[Slowdown] = ()) -> None:
         if not (0.0 <= loss_rate < 1.0):
             raise ValueError("loss_rate must be in [0, 1)")
         self.profile = profile
@@ -160,6 +186,8 @@ class Link:
         self._outages: List[Outage] = sorted(outages,
                                              key=lambda o: o.at_byte)
         self._bursts: List[LossBurst] = list(loss_bursts)
+        self._slowdowns: List[Slowdown] = sorted(slowdowns,
+                                                 key=lambda s: s.at_byte)
         self._down_for = 0  # failures remaining in the active outage
 
     def _effective_loss_rate(self) -> float:
@@ -167,6 +195,13 @@ class Link:
             if burst.covers(self.total_bytes):
                 return burst.loss_rate
         return self.loss_rate
+
+    def _slowdown_factor(self) -> float:
+        factor = 1.0
+        for slowdown in self._slowdowns:
+            if self.total_bytes >= slowdown.at_byte:
+                factor = max(factor, slowdown.factor)
+        return factor
 
     def _check_outage(self) -> None:
         if self._down_for == 0 and self._outages \
@@ -193,9 +228,11 @@ class Link:
             for _ in range(packets):
                 while self._rng.random() < loss_rate:
                     retransmissions += 1
+        factor = self._slowdown_factor()
         seconds = (
             (packets + retransmissions) * self.profile.packet_interval
-            + retransmissions * self.profile.retransmit_timeout
+            * factor
+            + retransmissions * self.profile.retransmit_timeout * factor
             + nbytes / self.profile.raw_throughput
         )
         self.total_packets += packets + retransmissions

@@ -1,4 +1,4 @@
-"""Observability: lifecycle tracing, metrics, and black-box logging.
+"""Observability: tracing, metrics, black boxes, and the telemetry plane.
 
 The flight-recorder layer of the reproduction (the FOTA survey's
 "campaign monitoring" requirement): :mod:`repro.obs.trace` records
@@ -7,9 +7,28 @@ virtual-clock spans exportable as Chrome-trace JSON,
 registry that also *surfaces* the existing bespoke stats objects, and
 :mod:`repro.obs.blackbox` persists lifecycle events through simulated
 flash so a chaos-sweep power cut leaves a readable post-mortem.
+
+On top of those sit the fleet telemetry plane's modules:
+:mod:`repro.obs.timeseries` (bounded virtual-clock series fed by
+scrapes of each device's registry), :mod:`repro.obs.health`
+(per-device health scores and fleet anomaly detectors),
+:mod:`repro.obs.slo` (declarative SLOs whose breaches pause, slow or
+abort a rollout) and :mod:`repro.obs.export` (OpenMetrics text and the
+schema-versioned ``fleetview`` JSON artifact).
 """
 
-from .blackbox import PHASE_OF_EVENT, BlackBox, BlackBoxRecord
+from .blackbox import PHASE_OF_EVENT, BlackBox, BlackBoxRecord, \
+    aggregate_post_mortems
+from .export import to_openmetrics, write_openmetrics
+from .health import (
+    Anomaly,
+    DeviceSample,
+    HealthReport,
+    HealthThresholds,
+    analyze_wave,
+    robust_zscores,
+    score_device,
+)
 from .metrics import (
     Counter,
     Gauge,
@@ -20,6 +39,16 @@ from .metrics import (
     bind_engine,
     bind_server,
 )
+from .slo import (
+    Action,
+    DEFAULT_SLOS,
+    FleetTelemetry,
+    SLO,
+    SLOBreach,
+    WaveVerdict,
+    percentile,
+)
+from .timeseries import FleetScraper, Point, Series, TimeSeriesStore
 from .trace import (
     NULL_TRACER,
     Span,
@@ -32,6 +61,7 @@ __all__ = [
     "BlackBox",
     "BlackBoxRecord",
     "PHASE_OF_EVENT",
+    "aggregate_post_mortems",
     "Counter",
     "Gauge",
     "Histogram",
@@ -40,6 +70,26 @@ __all__ = [
     "bind_device",
     "bind_engine",
     "bind_server",
+    "Point",
+    "Series",
+    "TimeSeriesStore",
+    "FleetScraper",
+    "Anomaly",
+    "DeviceSample",
+    "HealthReport",
+    "HealthThresholds",
+    "analyze_wave",
+    "robust_zscores",
+    "score_device",
+    "Action",
+    "SLO",
+    "SLOBreach",
+    "WaveVerdict",
+    "FleetTelemetry",
+    "DEFAULT_SLOS",
+    "percentile",
+    "to_openmetrics",
+    "write_openmetrics",
     "NULL_TRACER",
     "Span",
     "Tracer",

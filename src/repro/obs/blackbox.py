@@ -33,7 +33,8 @@ from typing import Any, Callable, Dict, List, Optional
 
 from ..memory import FlashMemory
 
-__all__ = ["BlackBoxRecord", "BlackBox", "PHASE_CODES", "PHASE_OF_EVENT"]
+__all__ = ["BlackBoxRecord", "BlackBox", "PHASE_CODES", "PHASE_OF_EVENT",
+           "aggregate_post_mortems"]
 
 RECORD_SIZE = 32
 _RECORD = struct.Struct(">IdB17sH")
@@ -232,3 +233,20 @@ class BlackBox:
                                   if interruptions else None),
             "events": [record.to_dict() for record in records[-tail:]],
         }
+
+
+def aggregate_post_mortems(post_mortems: "List[Dict[str, Any]]") \
+        -> Dict[str, int]:
+    """Fleet-wide interruption census: lifecycle phase -> count.
+
+    Takes :meth:`BlackBox.post_mortem` dicts (one per device or chaos
+    point) and tallies every recorded interruption by the phase it cut
+    short — the one-line answer to "*where* does this fleet keep
+    dying?".  Keys are sorted for deterministic reports.
+    """
+    totals: Dict[str, int] = {}
+    for post_mortem in post_mortems:
+        for interruption in post_mortem.get("interruptions", []):
+            phase = interruption.get("phase", "unknown")
+            totals[phase] = totals.get(phase, 0) + 1
+    return {phase: totals[phase] for phase in sorted(totals)}

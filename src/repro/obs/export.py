@@ -1,0 +1,127 @@
+"""Exposition formats for the fleet telemetry plane.
+
+Two consumers, two formats:
+
+* **OpenMetrics text** (:func:`to_openmetrics`) — the Prometheus
+  ecosystem's wire format, so a simulated fleet's metrics paste
+  straight into real scrape tooling.  Every device registry becomes one
+  ``device="<name>"`` label set under a shared ``upkit_``-prefixed
+  metric family; counters get the mandatory ``_total`` suffix,
+  histograms expose *cumulative* ``_bucket{le=...}`` samples (from
+  :meth:`~repro.obs.metrics.Histogram.cumulative` — never the
+  per-bucket JSON counts) plus ``_count``/``_sum``, and the document
+  ends with the spec's ``# EOF`` terminator.
+* **Schema-versioned JSON** (:func:`write_fleetview_report`) — the
+  ``fleetview`` artifact, stamped and validated by
+  :mod:`repro.tools.report` like bench/chaos/trace before it.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Sequence, Tuple
+
+__all__ = ["metric_name", "to_openmetrics", "write_openmetrics",
+           "write_fleetview_report"]
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def metric_name(name: str, prefix: str = "upkit_") -> str:
+    """Sanitize a registry metric name into an OpenMetrics family name
+    (``net.bytes_over_air`` -> ``upkit_net_bytes_over_air``)."""
+    cleaned = _NAME_RE.sub("_", name).strip("_")
+    if not cleaned:
+        raise ValueError("metric name %r sanitizes to nothing" % name)
+    if cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return prefix + cleaned
+
+
+def _fmt(value: float) -> str:
+    value = float(value)
+    if value != value:          # NaN (an observed NaN poisons the sum)
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value):
+        return "%d" % int(value)
+    return repr(value)
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace("\"", "\\\"") \
+        .replace("\n", "\\n")
+
+
+def to_openmetrics(
+        registries: Sequence[Tuple[str, Any]],
+        prefix: str = "upkit_") -> str:
+    """Render ``(device_label, MetricsRegistry)`` pairs as OpenMetrics.
+
+    Metric families are grouped across devices (one ``# TYPE`` line,
+    then every device's samples — the contiguity the spec requires) and
+    sorted by family name; within a family, samples keep the caller's
+    device order.  Registries disagreeing on a metric's kind is a
+    programming error and raises.
+    """
+    # family name -> (kind, help_text, [(device, metric), ...])
+    families: Dict[str, Tuple[str, str, List[Tuple[str, Any]]]] = {}
+    for label, registry in registries:
+        for metric in registry.typed_metrics():
+            family = metric_name(metric.name, prefix)
+            entry = families.get(family)
+            if entry is None:
+                families[family] = (metric.kind, metric.help_text,
+                                    [(label, metric)])
+            else:
+                if entry[0] != metric.kind:
+                    raise ValueError(
+                        "metric family %r is a %s on one device and a "
+                        "%s on another" % (family, entry[0], metric.kind))
+                entry[2].append((label, metric))
+
+    lines: List[str] = []
+    for family in sorted(families):
+        kind, help_text, samples = families[family]
+        lines.append("# TYPE %s %s" % (family, kind))
+        if help_text:
+            lines.append("# HELP %s %s" % (family, help_text))
+        for label, metric in samples:
+            device = "device=\"%s\"" % _escape_label(label)
+            if kind == "counter":
+                lines.append("%s_total{%s} %s"
+                             % (family, device, _fmt(metric.to_value())))
+            elif kind == "histogram":
+                for le, count in metric.cumulative():
+                    lines.append("%s_bucket{%s,le=\"%s\"} %d"
+                                 % (family, device, le, count))
+                lines.append("%s_count{%s} %d"
+                             % (family, device, metric.total))
+                lines.append("%s_sum{%s} %s"
+                             % (family, device, _fmt(metric.sum)))
+            else:  # gauge
+                lines.append("%s{%s} %s"
+                             % (family, device, _fmt(metric.to_value())))
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def write_openmetrics(registries: Sequence[Tuple[str, Any]],
+                      path: str, prefix: str = "upkit_") -> str:
+    """Render :func:`to_openmetrics` and write it to ``path``."""
+    text = to_openmetrics(registries, prefix)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    return path
+
+
+def write_fleetview_report(data: Dict[str, Any], path: str) -> str:
+    """Write the schema-versioned ``fleetview`` JSON artifact.
+
+    Defers the :mod:`repro.tools.report` import so the obs package
+    never depends on the tools layer at import time (same pattern the
+    tools layer uses toward :mod:`repro.obs.trace`).
+    """
+    from ..tools.report import write_report
+    return write_report(data, path, kind="fleetview")

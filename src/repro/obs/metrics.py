@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import is_dataclass, fields as dataclass_fields
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 __all__ = [
     "Counter",
@@ -116,6 +116,16 @@ class Histogram:
         self._lock = lock or threading.Lock()
 
     def observe(self, value: float) -> None:
+        """Record one value.
+
+        Bucket bounds are *inclusive* upper bounds (Prometheus ``le``
+        semantics): a value exactly on a boundary lands in that bucket,
+        never the next one up.  ``+inf`` (and NaN, which compares false
+        against every bound) lands in the implicit overflow bucket —
+        :meth:`cumulative` keeps its ``+Inf`` count equal to ``count``
+        either way, so the OpenMetrics export can never disagree with
+        what ``observe`` recorded.
+        """
         with self._lock:
             self.total += 1
             self.sum += value
@@ -126,11 +136,34 @@ class Histogram:
             self.counts[-1] += 1
 
     def to_value(self) -> Dict[str, Any]:
+        """JSON snapshot with *per-bucket* counts (``+Inf`` = overflow
+        only).  The OpenMetrics export must not use these directly —
+        that format wants :meth:`cumulative` counts."""
         buckets = {("%g" % bound): count
                    for bound, count in zip(self.bounds, self.counts)}
         buckets["+Inf"] = self.counts[-1]
         return {"count": self.total, "sum": round(self.sum, 6),
                 "buckets": buckets}
+
+    def cumulative(self) -> List[Tuple[str, int]]:
+        """Cumulative ``(le_label, count)`` pairs, OpenMetrics-style.
+
+        The running sum is taken under the lock from the same counts
+        ``observe`` filled, so boundary values and overflow observations
+        are consistent by construction: each ``le=B`` entry counts every
+        observation ``<= B`` and the final ``+Inf`` entry always equals
+        the histogram's total ``count``.
+        """
+        with self._lock:
+            counts = list(self.counts)
+            total = self.total
+        running = 0
+        out: List[Tuple[str, int]] = []
+        for bound, count in zip(self.bounds, counts):
+            running += count
+            out.append(("%g" % bound, running))
+        out.append(("+Inf", total))
+        return out
 
 
 #: A collector mutates the registry (typically sets gauges) when a
@@ -194,6 +227,15 @@ class MetricsRegistry:
             metrics = dict(self._metrics)
         return {name: metrics[name].to_value()
                 for name in sorted(metrics)}
+
+    def typed_metrics(self) -> List[Any]:
+        """Run collectors, then return the metric *objects* sorted by
+        name — the exposition formats (OpenMetrics) need each metric's
+        kind and help text, which :meth:`snapshot` flattens away."""
+        self.collect()
+        with self._lock:
+            metrics = dict(self._metrics)
+        return [metrics[name] for name in sorted(metrics)]
 
     def format_table(self, snapshot: Optional[Dict[str, Any]] = None) -> str:
         """Fixed-width summary table of a snapshot."""

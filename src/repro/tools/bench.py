@@ -65,6 +65,9 @@ __all__ = [
     "bench_campaign",
     "run_all",
     "write_results",
+    "compare_to_baseline",
+    "GATE_METRICS",
+    "DEFAULT_TOLERANCE",
 ]
 
 APP_ID = 0x55504B49
@@ -290,6 +293,59 @@ def run_all(device_count: int = 50, image_size: int = 24 * 1024,
 def write_results(results: Dict[str, object], path: str) -> str:
     """Write a schema-stamped bench artifact (see ``tools/report.py``)."""
     return write_report(results, path, "bench")
+
+
+#: Campaign wall-clock metrics the ``--baseline`` gate compares — one
+#: per engine/executor configuration, so a regression in any one of
+#: the three paths (reference, fast, fast+parallel) trips the gate.
+GATE_METRICS = ("reference_serial_seconds", "fast_serial_seconds",
+                "fast_parallel_seconds")
+
+#: Allowed slowdown before the gate trips (0.20 = +20 %); generous
+#: because wall-clock benches on shared CI hosts are noisy.
+DEFAULT_TOLERANCE = 0.20
+
+
+def compare_to_baseline(results: Dict[str, object],
+                        baseline: Dict[str, object],
+                        tolerance: float = DEFAULT_TOLERANCE
+                        ) -> List[str]:
+    """Regression-gate a fresh bench run against a baseline artifact.
+
+    Returns human-readable problems (empty = no regression): any
+    :data:`GATE_METRICS` entry more than ``tolerance`` slower than the
+    baseline, a baseline from a different workload (device count or
+    image size), or a baseline missing the gated metrics entirely.
+    Getting *faster* never trips the gate.
+    """
+    if tolerance < 0:
+        raise ValueError("tolerance must be non-negative")
+    problems: List[str] = []
+    current = results.get("campaign")
+    base = baseline.get("campaign")
+    if not isinstance(current, dict) or not isinstance(base, dict):
+        return ["baseline or current results carry no campaign section"]
+    for key in ("devices", "image_bytes"):
+        if current.get(key) != base.get(key):
+            return ["baseline ran %s=%r but this run used %r — "
+                    "regenerate the baseline for this workload"
+                    % (key, base.get(key), current.get(key))]
+    for metric in GATE_METRICS:
+        old = base.get(metric)
+        new = current.get(metric)
+        if not isinstance(old, (int, float)) or old <= 0:
+            problems.append("baseline has no usable %r" % metric)
+            continue
+        if not isinstance(new, (int, float)):
+            problems.append("this run produced no %r" % metric)
+            continue
+        if new > old * (1.0 + tolerance):
+            problems.append(
+                "%s regressed: %.3f s vs baseline %.3f s "
+                "(+%.0f%%, tolerance %.0f%%)"
+                % (metric, new, old, 100.0 * (new - old) / old,
+                   100.0 * tolerance))
+    return problems
 
 
 def format_summary(results: Dict[str, object]) -> str:

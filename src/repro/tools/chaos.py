@@ -239,11 +239,15 @@ def build_grid(calibration: Calibration, seed: int = 0,
     # Fraction of the budget per family; power loss dominates because it
     # is the axis that can actually brick a device.
     shares = [
-        (FaultKind.POWER_LOSS_ANY, 0.28, calibration.ops_any, 0),
+        (FaultKind.POWER_LOSS_ANY, 0.25, calibration.ops_any, 0),
         (FaultKind.POWER_LOSS_WRITE, 0.14, calibration.ops_write, 0),
         (FaultKind.POWER_LOSS_ERASE, 0.10, calibration.ops_erase, 0),
         (FaultKind.LINK_OUTAGE, 0.14, calibration.transfer_bytes, 2),
         (FaultKind.REBOOT, 0.14, calibration.fed_bytes, 0),
+        # A 4x mid-transfer slowdown never breaks the update; it is in
+        # the grid so the sweep also proves *degraded* links converge
+        # (and feeds the telemetry plane's straggler detector).
+        (FaultKind.SLOW_LINK, 0.05, calibration.transfer_bytes, 4),
     ]
     grid: List[FaultPoint] = []
     for kind, share, limit, param in shares:
@@ -251,7 +255,7 @@ def build_grid(calibration: Calibration, seed: int = 0,
             grid.append(FaultPoint(kind, at, param))
     burst_width = max(256, calibration.transfer_bytes // 16)
     burst_span = max(1, calibration.transfer_bytes - burst_width)
-    for at in _spread(burst_span, max(2, round(budget * 0.09))):
+    for at in _spread(burst_span, max(2, round(budget * 0.07))):
         grid.append(FaultPoint(FaultKind.LOSS_BURST, at, burst_width))
     rot_span = ENVELOPE_SIZE + image_size
     for slot_index in (0, 1):
@@ -430,6 +434,16 @@ class ChaosReport:
             counts[key] = counts.get(key, 0) + 1
         return counts
 
+    def interrupted_phases(self) -> Dict[str, int]:
+        """Sweep-wide census of black-box interruptions by lifecycle
+        phase (:func:`~repro.obs.blackbox.aggregate_post_mortems` over
+        every point's post-mortem)."""
+        from ..obs.blackbox import aggregate_post_mortems
+
+        return aggregate_post_mortems(
+            [result.black_box for result in self.results
+             if result.black_box is not None])
+
     def to_dict(self) -> Dict[str, object]:
         return {
             "seed": self.seed,
@@ -439,6 +453,7 @@ class ChaosReport:
             "calibration": self.calibration.to_dict(),
             "points": len(self.results),
             "kind_counts": self.kind_counts(),
+            "interrupted_phases": self.interrupted_phases(),
             "updated": self.updated_count,
             "not_updated": sum(1 for r in self.results
                                if r.status == "not-updated"),
@@ -490,6 +505,11 @@ def format_summary(report: ChaosReport) -> str:
     ]
     for kind, count in sorted(report.kind_counts().items()):
         lines.append("  %-18s %4d points" % (kind, count))
+    phases = report.interrupted_phases()
+    if phases:
+        lines.append("  interruptions by phase: %s"
+                     % ", ".join("%s=%d" % (phase, count)
+                                 for phase, count in phases.items()))
     lines.append("  updated %d / survived-on-old %d / BRICKED %d"
                  % (report.updated_count,
                     sum(1 for r in report.results

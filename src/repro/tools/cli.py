@@ -18,12 +18,17 @@ Subcommands::
                   --server-pub keys/server.pub
     upkit inspect --image image.bin
     upkit bench   [--devices N] [--image-size BYTES] [--workers W]
-                  [--out BENCH_fleet.json]
+                  [--out BENCH_fleet.json] [--baseline PREV.json]
+                  [--tolerance F]
     upkit chaos   [--points N] [--seed S] [--slots a|b]
                   [--transport push|pull] [--image-size BYTES]
                   [--out CHAOS_report.json]
     upkit trace   [--slots a|b|both] [--transport push|pull]
                   [--image-size BYTES] [--out trace.json]
+    upkit fleetview [--devices N] [--image-size BYTES]
+                  [--slo-p95 S] [--slo-failure-rate F] [--slo-energy MJ]
+                  [--out FLEET_telemetry.json]
+                  [--metrics-out FLEET_metrics.prom]
     upkit report  [--validate] PATH...
 
 Run as ``python -m repro.tools.cli <subcommand> ...``.
@@ -247,8 +252,13 @@ def cmd_import_suit(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
-    """Run the fleet-scale performance harness; write BENCH_fleet.json."""
-    from . import bench
+    """Run the fleet-scale performance harness; write BENCH_fleet.json.
+
+    With ``--baseline``, gate the fresh run against a previous bench
+    artifact: exit status 1 when any engine configuration's campaign
+    wall-clock regressed by more than ``--tolerance`` (default +20 %).
+    """
+    from . import bench, report as report_mod
 
     results = bench.run_all(device_count=args.devices,
                             image_size=args.image_size,
@@ -256,7 +266,25 @@ def cmd_bench(args: argparse.Namespace) -> int:
     path = bench.write_results(results, args.out)
     print(bench.format_summary(results))
     print("wrote %s" % path)
-    return 0
+    if args.baseline is None:
+        return 0
+    try:
+        kind, _version, baseline = report_mod.load_report(args.baseline)
+    except (report_mod.ReportError, OSError, ValueError) as exc:
+        print("baseline %s: UNUSABLE (%s)" % (args.baseline, exc))
+        return 1
+    if kind != "bench":
+        print("baseline %s is a %r report, not bench"
+              % (args.baseline, kind))
+        return 1
+    problems = bench.compare_to_baseline(results, baseline,
+                                         tolerance=args.tolerance)
+    for problem in problems:
+        print("REGRESSION: %s" % problem)
+    if not problems:
+        print("within %.0f%% of baseline %s"
+              % (100.0 * args.tolerance, args.baseline))
+    return 1 if problems else 0
 
 
 def cmd_chaos(args: argparse.Namespace) -> int:
@@ -297,6 +325,34 @@ def cmd_trace(args: argparse.Namespace) -> int:
     print("wrote %s (load it in chrome://tracing or ui.perfetto.dev)"
           % path)
     return 0
+
+
+def cmd_fleetview(args: argparse.Namespace) -> int:
+    """Run an instrumented campaign under the fleet telemetry plane.
+
+    Writes the schema-versioned ``fleetview`` JSON artifact plus an
+    OpenMetrics text file of every device registry.  Exit status 1 when
+    any SLO breached — the summary names the breach and the action it
+    forced on the rollout.
+    """
+    from ..obs.slo import SLO, Action
+    from . import fleetview
+
+    slos = (
+        SLO("update-time-p95", "p95_update_seconds", args.slo_p95,
+            Action.PAUSE),
+        SLO("failure-rate", "failure_rate", args.slo_failure_rate,
+            Action.ABORT),
+        SLO("energy-per-update", "max_energy_mj", args.slo_energy,
+            Action.SLOW),
+    )
+    result = fleetview.run_fleetview(device_count=args.devices,
+                                     image_size=args.image_size,
+                                     slos=slos)
+    fleetview.write_artifacts(result, args.out, args.metrics_out)
+    print(fleetview.format_summary(result))
+    print("wrote %s and %s" % (args.out, args.metrics_out))
+    return 1 if result.telemetry.breached else 0
 
 
 def cmd_report(args: argparse.Namespace) -> int:
@@ -438,6 +494,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: CPU count, capped at 16)")
     bench.add_argument("--out", default="BENCH_fleet.json",
                        help="result file (default: ./BENCH_fleet.json)")
+    bench.add_argument("--baseline", default=None,
+                       help="previous bench artifact to regression-gate "
+                            "against (exit 1 on >tolerance slowdown)")
+    bench.add_argument("--tolerance", type=float, default=0.20,
+                       help="allowed fractional slowdown vs baseline "
+                            "(default: 0.20)")
     bench.set_defaults(func=cmd_bench)
 
     chaos = sub.add_parser(
@@ -471,6 +533,32 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--out", default="trace.json",
                        help="trace artifact (default: ./trace.json)")
     trace.set_defaults(func=cmd_trace)
+
+    fleetview = sub.add_parser(
+        "fleetview",
+        help="run an instrumented campaign with the telemetry plane")
+    fleetview.add_argument("--devices", type=int, default=50,
+                           help="campaign fleet size (default: 50)")
+    fleetview.add_argument("--image-size", type=int, default=24 * 1024,
+                           help="firmware image size in bytes "
+                                "(default: 24576)")
+    fleetview.add_argument("--slo-p95", type=float, default=600.0,
+                           help="SLO: p95 update seconds; breach pauses "
+                                "the rollout (default: 600)")
+    fleetview.add_argument("--slo-failure-rate", type=float, default=0.2,
+                           help="SLO: max wave failure rate; breach "
+                                "aborts (default: 0.2)")
+    fleetview.add_argument("--slo-energy", type=float, default=10000.0,
+                           help="SLO: max per-update energy in mJ; "
+                                "breach slows the rollout "
+                                "(default: 10000)")
+    fleetview.add_argument("--out", default="FLEET_telemetry.json",
+                           help="JSON artifact "
+                                "(default: ./FLEET_telemetry.json)")
+    fleetview.add_argument("--metrics-out", default="FLEET_metrics.prom",
+                           help="OpenMetrics text file "
+                                "(default: ./FLEET_metrics.prom)")
+    fleetview.set_defaults(func=cmd_fleetview)
 
     report = sub.add_parser(
         "report", help="inspect/validate schema-stamped JSON artifacts")

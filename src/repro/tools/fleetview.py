@@ -1,0 +1,228 @@
+"""Fleet telemetry harness: a campaign under full observability.
+
+``cli fleetview`` runs a seeded staged rollout (mirroring the bench
+harness's fleet construction) with the telemetry plane attached, plus
+two deliberately unhealthy devices so the detectors have something to
+find:
+
+* a **straggler** — its link carries a 4x
+  :class:`~repro.net.link.Slowdown` from byte 0 (built through the
+  fault injector, same as a chaos ``slow-link`` point), so its per-kB
+  transfer latency sits far outside the fleet's robust z-score band;
+* a **storm device** — four scheduled link outages mid-transfer; the
+  transport-level resume policy carries it through, but the telemetry
+  plane flags the interruption pile-up as a retry storm.
+
+Both devices still update successfully: the point of the harness is
+that telemetry *sees* them without changing the rollout.  Tightening
+the SLO thresholds (``--slo-*`` flags) turns detection into control —
+a breach pauses, slows or aborts the campaign, and the exit status
+reports it.  Artifacts: a schema-versioned ``fleetview`` JSON document
+and an OpenMetrics text file of every device registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..core import (
+    DeviceProfile,
+    UpdateServer,
+    VendorServer,
+    make_test_identities,
+    provision_device,
+)
+from ..faults import FaultInjector, FaultKind, FaultPlan
+from ..fleet import Campaign, DeviceRecord, RetryPolicy, RolloutPolicy
+from ..memory import MemoryLayout
+from ..net import BLE_GATT, COAP_6LOWPAN
+from ..net.transports import TransportRetryPolicy
+from ..obs.export import to_openmetrics, write_fleetview_report, \
+    write_openmetrics
+from ..obs.health import HealthThresholds
+from ..obs.slo import DEFAULT_SLOS, FleetTelemetry, SLO
+from ..platform import NRF52840, ZEPHYR
+from ..sim import SimulatedDevice
+from ..workload import FirmwareGenerator
+
+__all__ = ["FleetviewResult", "build_fleet", "run_fleetview",
+           "write_artifacts", "format_summary", "DEFAULT_DEVICES",
+           "DEFAULT_IMAGE_SIZE"]
+
+APP_ID = 0x55504B49
+LINK_OFFSET = 0x8000
+
+DEFAULT_DEVICES = 50
+DEFAULT_IMAGE_SIZE = 24 * 1024
+
+#: Where the unhealthy devices sit, as fleet fractions — both land in
+#: the main wave (the canary is the first 10 %), so the canary stays
+#: clean and the detectors fire on the big wave.
+_STRAGGLER_FRACTION = 0.5
+_STORM_FRACTION = 0.3
+#: The straggler's link runs this many times slower from byte 0.
+_STRAGGLER_FACTOR = 4
+#: Outage count injected on the storm device's link (>= the default
+#: :class:`~repro.obs.health.HealthThresholds` retry-storm trigger).
+_STORM_OUTAGES = 4
+
+
+def build_fleet(device_count: int = DEFAULT_DEVICES,
+                image_size: int = DEFAULT_IMAGE_SIZE,
+                seed: bytes = b"fleetview"):
+    """A seeded fleet at v1 with v2 published, plus two sick devices.
+
+    Returns ``(server, fleet, straggler_name, storm_name)``.  Fully
+    deterministic, same shape as the bench harness fleet: alternating
+    push (BLE) / pull (CoAP) transports, configuration-A layouts.
+    """
+    if device_count < 10:
+        raise ValueError("fleetview needs at least 10 devices "
+                         "(a clean canary plus a fleet to profile)")
+    generator = FirmwareGenerator(seed=seed)
+    fw_v1 = generator.firmware(image_size, image_id=1)
+    fw_v2 = generator.os_version_change(fw_v1, revision=2)
+    vendor_id, server_id, anchors = make_test_identities()
+    vendor = VendorServer(vendor_id, app_id=APP_ID,
+                          link_offset=LINK_OFFSET)
+    server = UpdateServer(server_id)
+    server.publish(vendor.release(fw_v1, 1))
+
+    straggler_index = int(device_count * _STRAGGLER_FRACTION)
+    storm_index = int(device_count * _STORM_FRACTION)
+    fleet: List[DeviceRecord] = []
+    for index in range(device_count):
+        internal = NRF52840.make_internal_flash()
+        layout = MemoryLayout.configuration_a(internal, 128 * 1024)
+        profile = DeviceProfile(device_id=0x6000 + index, app_id=APP_ID,
+                                link_offset=LINK_OFFSET)
+        device = SimulatedDevice(
+            board=NRF52840, os_profile=ZEPHYR, layout=layout,
+            profile=profile, anchors=anchors,
+        )
+        provision_device(server, layout.get("a"), profile.device_id)
+        transport = "pull" if index % 2 else "push"
+        link_profile = COAP_6LOWPAN if transport == "pull" else BLE_GATT
+        link = None
+        if index == straggler_index:
+            plan = FaultPlan.single(FaultKind.SLOW_LINK, 0,
+                                    param=_STRAGGLER_FACTOR)
+            link = FaultInjector(plan).make_link(link_profile)
+        elif index == storm_index:
+            # Early, closely spaced outages: the transport resumes
+            # through each one, racking up interruptions.  Offsets stay
+            # within the first kilobyte of link traffic so every outage
+            # fires even when the payload is a small delta.
+            plan = FaultPlan.build(
+                [(FaultKind.LINK_OUTAGE,
+                  [96 * (n + 1) for n in range(_STORM_OUTAGES)], 1)])
+            link = FaultInjector(plan).make_link(link_profile)
+        fleet.append(DeviceRecord(
+            name="fleet-%03d" % index,
+            device=device,
+            transport=transport,
+            link=link,
+        ))
+
+    server.publish(vendor.release(fw_v2, 2))
+    return (server, fleet, fleet[straggler_index].name,
+            fleet[storm_index].name)
+
+
+@dataclass
+class FleetviewResult:
+    """Everything one fleetview run produced."""
+
+    devices: int
+    image_bytes: int
+    straggler: str
+    storm: str
+    campaign_report: Dict[str, object]
+    telemetry: FleetTelemetry
+    openmetrics: str
+
+    def to_dict(self) -> Dict[str, object]:
+        """The ``fleetview`` JSON artifact body (pre-stamping)."""
+        return {
+            "devices": self.devices,
+            "image_bytes": self.image_bytes,
+            "injected": {"straggler": self.straggler,
+                         "storm": self.storm},
+            "slo_verdict": self.telemetry.verdict(),
+            "campaign": self.campaign_report,
+            "telemetry": self.telemetry.to_dict(),
+        }
+
+
+def run_fleetview(device_count: int = DEFAULT_DEVICES,
+                  image_size: int = DEFAULT_IMAGE_SIZE,
+                  slos: Sequence[SLO] = DEFAULT_SLOS,
+                  thresholds: Optional[HealthThresholds] = None,
+                  ) -> FleetviewResult:
+    """Run the instrumented campaign and collect every artifact."""
+    server, fleet, straggler, storm = build_fleet(device_count,
+                                                 image_size)
+    telemetry = FleetTelemetry(slos=slos, thresholds=thresholds)
+    campaign = Campaign(
+        server, fleet,
+        RolloutPolicy(canary_fraction=0.1),
+        retry=RetryPolicy(
+            max_attempts=2,
+            transport_retry=TransportRetryPolicy(max_attempts=8)),
+        telemetry=telemetry,
+    )
+    report = campaign.run()
+    openmetrics = to_openmetrics(
+        [(record.name, record.device.metrics) for record in fleet])
+    return FleetviewResult(
+        devices=device_count,
+        image_bytes=image_size,
+        straggler=straggler,
+        storm=storm,
+        campaign_report=report.to_dict(),
+        telemetry=telemetry,
+        openmetrics=openmetrics,
+    )
+
+
+def write_artifacts(result: FleetviewResult, json_path: str,
+                    metrics_path: str) -> None:
+    """Write the stamped JSON document and the OpenMetrics text file."""
+    write_fleetview_report(result.to_dict(), json_path)
+    with open(metrics_path, "w", encoding="utf-8") as fh:
+        fh.write(result.openmetrics)
+
+
+def format_summary(result: FleetviewResult) -> str:
+    """Human-readable fleetview digest: waves, anomalies, verdict."""
+    campaign = result.campaign_report
+    lines = [
+        "fleetview: %d devices, %d-byte image "
+        "(straggler: %s, storm: %s)"
+        % (result.devices, result.image_bytes, result.straggler,
+           result.storm),
+        "  updated %d / failed %d / quarantined %d / skipped %d"
+        % (len(campaign["updated"]), len(campaign["failed"]),
+           len(campaign["quarantined"]), len(campaign["skipped"])),
+    ]
+    for verdict in result.telemetry.verdicts:
+        scores = verdict.health.scores
+        worst = sorted(scores, key=lambda name: scores[name])[:3]
+        lines.append(
+            "  wave %d: %d devices, action=%s, %d anomal%s"
+            % (verdict.wave, len(scores), verdict.action.value,
+               len(verdict.health.anomalies),
+               "y" if len(verdict.health.anomalies) == 1 else "ies"))
+        for name in worst:
+            kinds = verdict.health.kinds_for(name)
+            lines.append("    %-12s health %5.1f%s"
+                         % (name, scores[name],
+                            "  [%s]" % ", ".join(kinds) if kinds else ""))
+        for breach in verdict.breaches:
+            lines.append(
+                "    BREACH %s: %s %.3f > %.3f -> %s"
+                % (breach.name, breach.metric, breach.observed,
+                   breach.threshold, breach.action.value))
+    lines.append("  SLO verdict: %s" % result.telemetry.verdict())
+    return "\n".join(lines)

@@ -1,6 +1,7 @@
 """Schema-versioned report artifacts shared by the CLI tools.
 
-``bench``, ``chaos`` and ``trace`` each emit a JSON artifact that CI
+``bench``, ``chaos``, ``trace`` and ``fleetview`` each emit a JSON
+artifact that CI
 jobs and dashboards consume long after the code that wrote them has
 moved on.  This module is the single place that knows how those files
 are stamped and validated:
@@ -35,7 +36,8 @@ __all__ = [
 #: Current schema version per report kind.  Bump a kind's version when
 #: its document shape changes; teach :func:`validate_data` about the
 #: old shape so existing artifacts keep loading.
-SCHEMA_VERSIONS: Dict[str, int] = {"bench": 2, "chaos": 2, "trace": 1}
+SCHEMA_VERSIONS: Dict[str, int] = {"bench": 2, "chaos": 3, "trace": 1,
+                                   "fleetview": 1}
 
 
 class ReportError(ValueError):
@@ -141,6 +143,37 @@ def validate_data(kind: str, version: int,
                 if missing:
                     errors.append("chaos v2 report has %d results with "
                                   "no black_box post-mortem" % missing)
+        if version >= 3:
+            phases = data.get("interrupted_phases")
+            if not isinstance(phases, dict):
+                errors.append("chaos v3 report needs an "
+                              "interrupted_phases phase->count object")
+    elif kind == "fleetview":
+        errors += _require(data, ["devices", "slo_verdict", "campaign",
+                                  "telemetry"], kind)
+        if data.get("slo_verdict") not in ("ok", "breached"):
+            errors.append("fleetview slo_verdict must be 'ok' or "
+                          "'breached' (got %r)" % data.get("slo_verdict"))
+        telemetry = data.get("telemetry")
+        if isinstance(telemetry, dict):
+            if data.get("slo_verdict") != telemetry.get("verdict"):
+                errors.append("fleetview slo_verdict disagrees with "
+                              "telemetry.verdict")
+            for wave in telemetry.get("waves", []):
+                if not isinstance(wave, dict) or "action" not in wave:
+                    errors.append("fleetview telemetry wave entries "
+                                  "need an 'action'")
+                    break
+        campaign = data.get("campaign")
+        if isinstance(campaign, dict) and isinstance(
+                data.get("devices"), int):
+            accounted = sum(len(campaign.get(key, []))
+                            for key in ("updated", "failed", "skipped",
+                                        "quarantined", "pending"))
+            if accounted != data["devices"]:
+                errors.append(
+                    "fleetview campaign accounts for %d devices, "
+                    "fleet has %d" % (accounted, data["devices"]))
     elif kind == "trace":
         # The trace artifact *is* a Chrome-trace document (Perfetto and
         # chrome://tracing ignore the extra top-level keys).

@@ -1,0 +1,147 @@
+"""The `cli bench --baseline` regression gate."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.tools import bench
+from repro.tools.bench import (
+    DEFAULT_TOLERANCE,
+    GATE_METRICS,
+    compare_to_baseline,
+)
+from repro.tools.cli import main
+
+
+def synthetic(devices=50, image_bytes=24576, serial=14.0, fast=1.8,
+              parallel=2.0):
+    return {"campaign": {
+        "devices": devices,
+        "image_bytes": image_bytes,
+        "reference_serial_seconds": serial,
+        "fast_serial_seconds": fast,
+        "fast_parallel_seconds": parallel,
+    }}
+
+
+def test_identical_runs_pass_the_gate():
+    assert compare_to_baseline(synthetic(), synthetic()) == []
+
+
+def test_getting_faster_never_trips_the_gate():
+    fresh = synthetic(serial=7.0, fast=0.9, parallel=1.0)
+    assert compare_to_baseline(fresh, synthetic()) == []
+
+
+def test_small_slowdowns_within_tolerance_pass():
+    fresh = synthetic(serial=14.0 * 1.19)
+    assert compare_to_baseline(fresh, synthetic()) == []
+
+
+def test_regression_beyond_tolerance_is_named():
+    fresh = synthetic(parallel=2.0 * 1.25)
+    problems = compare_to_baseline(fresh, synthetic())
+    assert len(problems) == 1
+    assert "fast_parallel_seconds regressed" in problems[0]
+    assert "+25%" in problems[0]
+    # A looser tolerance lets the same run through.
+    assert compare_to_baseline(fresh, synthetic(), tolerance=0.3) == []
+
+
+def test_every_gated_metric_is_checked():
+    for metric in GATE_METRICS:
+        fresh = synthetic()
+        fresh["campaign"][metric] *= 2.0
+        problems = compare_to_baseline(fresh, synthetic())
+        assert any(metric in problem for problem in problems)
+
+
+def test_workload_mismatch_demands_a_fresh_baseline():
+    problems = compare_to_baseline(synthetic(devices=10), synthetic())
+    assert len(problems) == 1
+    assert "regenerate the baseline" in problems[0]
+    problems = compare_to_baseline(synthetic(image_bytes=8192),
+                                   synthetic())
+    assert "regenerate the baseline" in problems[0]
+
+
+def test_unusable_baselines_are_reported_not_crashed():
+    assert compare_to_baseline({}, synthetic()) \
+        == ["baseline or current results carry no campaign section"]
+    broken = synthetic()
+    del broken["campaign"]["fast_serial_seconds"]
+    problems = compare_to_baseline(synthetic(), broken)
+    assert problems == ["baseline has no usable 'fast_serial_seconds'"]
+    with pytest.raises(ValueError):
+        compare_to_baseline(synthetic(), synthetic(), tolerance=-0.1)
+
+
+def test_default_tolerance_is_twenty_percent():
+    assert DEFAULT_TOLERANCE == pytest.approx(0.20)
+
+
+# -- the CLI wiring (satellite: exit status gates CI) -------------------------
+
+
+@pytest.fixture()
+def fake_bench_run(monkeypatch):
+    """Stub the expensive harness; ``cli bench`` still writes/gates."""
+    def run_all(device_count, image_size, max_workers):
+        return synthetic(devices=device_count, image_bytes=image_size)
+
+    def write_results(results, path):
+        with open(path, "w") as fh:
+            json.dump(results, fh)
+        return path
+
+    monkeypatch.setattr(bench, "run_all", run_all)
+    monkeypatch.setattr(bench, "write_results", write_results)
+    monkeypatch.setattr(bench, "format_summary",
+                        lambda results: "(stubbed bench)")
+
+
+def write_baseline(path, results):
+    from repro.tools.report import write_report
+    write_report(dict(results), str(path), "bench")
+
+
+def test_cli_bench_passes_against_matching_baseline(tmp_path,
+                                                    fake_bench_run):
+    baseline = tmp_path / "baseline.json"
+    write_baseline(baseline, synthetic())
+    rc = main(["bench", "--out", str(tmp_path / "fresh.json"),
+               "--baseline", str(baseline)])
+    assert rc == 0
+
+
+def test_cli_bench_fails_on_regression(tmp_path, fake_bench_run,
+                                       capsys):
+    baseline = tmp_path / "baseline.json"
+    write_baseline(baseline, synthetic(serial=14.0 / 2, fast=1.8 / 2,
+                                       parallel=2.0 / 2))
+    rc = main(["bench", "--out", str(tmp_path / "fresh.json"),
+               "--baseline", str(baseline)])
+    assert rc == 1
+    out = capsys.readouterr().out
+    assert "REGRESSION:" in out
+
+
+def test_cli_bench_rejects_a_non_bench_baseline(tmp_path,
+                                                fake_bench_run, capsys):
+    baseline = tmp_path / "trace.json"
+    baseline.write_text(json.dumps(
+        {"report_kind": "trace", "schema_version": 1}))
+    rc = main(["bench", "--out", str(tmp_path / "fresh.json"),
+               "--baseline", str(baseline)])
+    assert rc == 1
+    assert "not bench" in capsys.readouterr().out
+
+
+def test_cli_bench_rejects_a_missing_baseline(tmp_path, fake_bench_run,
+                                              capsys):
+    rc = main(["bench", "--out", str(tmp_path / "fresh.json"),
+               "--baseline", str(tmp_path / "nope.json")])
+    assert rc == 1
+    assert "UNUSABLE" in capsys.readouterr().out

@@ -1,0 +1,107 @@
+"""End-to-end `cli fleetview` tests (the acceptance gate).
+
+A bounded 12-device fleet keeps the tier-1 run fast; the full default
+50-device campaign runs under the opt-in ``fleetview`` marker (mirroring
+the trace/chaos pattern).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.tools.cli import main
+from repro.tools.fleetview import run_fleetview
+
+
+@pytest.fixture(scope="module")
+def fleetview_paths(tmp_path_factory):
+    """Run ``cli fleetview`` once (bounded fleet) for the whole module."""
+    directory = tmp_path_factory.mktemp("fleetview")
+    json_path = directory / "FLEET_telemetry.json"
+    prom_path = directory / "FLEET_metrics.prom"
+    rc = main(["fleetview", "--devices", "12", "--image-size", "8192",
+               "--out", str(json_path), "--metrics-out", str(prom_path)])
+    assert rc == 0, "healthy bounded fleet must exit 0"
+    return json_path, prom_path
+
+
+@pytest.fixture(scope="module")
+def fleetview_doc(fleetview_paths):
+    with open(fleetview_paths[0]) as fh:
+        return json.load(fh)
+
+
+def test_artifact_is_schema_stamped_and_validates(fleetview_paths,
+                                                  fleetview_doc):
+    assert fleetview_doc["report_kind"] == "fleetview"
+    assert fleetview_doc["schema_version"] == 1
+    rc = main(["report", "--validate", str(fleetview_paths[0])])
+    assert rc == 0
+
+
+def test_every_device_updates_and_the_verdict_is_ok(fleetview_doc):
+    assert fleetview_doc["devices"] == 12
+    assert fleetview_doc["slo_verdict"] == "ok"
+    campaign = fleetview_doc["campaign"]
+    assert len(campaign["updated"]) == 12
+    assert campaign["failed"] == []
+    assert campaign["quarantined"] == []
+    assert not campaign["aborted"] and not campaign["paused"]
+
+
+def test_injected_straggler_and_storm_are_detected(fleetview_doc):
+    straggler = fleetview_doc["injected"]["straggler"]
+    storm = fleetview_doc["injected"]["storm"]
+    assert straggler != storm
+    found = {(anomaly["device"], anomaly["kind"])
+             for wave in fleetview_doc["telemetry"]["waves"]
+             for anomaly in wave["health"]["anomalies"]}
+    assert ("%s" % straggler, "straggler") in found
+    assert ("%s" % storm, "retry-storm") in found
+
+
+def test_openmetrics_artifact_is_well_formed(fleetview_paths):
+    text = fleetview_paths[1].read_text()
+    assert text.endswith("# EOF\n")
+    lines = text.splitlines()
+    # One family per TYPE line; every sample carries a device label.
+    assert any(line.startswith("# TYPE upkit_") for line in lines)
+    assert any('device="fleet-000"' in line for line in lines)
+    assert any('device="fleet-011"' in line for line in lines)
+    # Counters got the mandatory _total suffix.
+    assert any("_total{" in line for line in lines)
+    # Histogram exposition: cumulative buckets end at +Inf.
+    assert any('le="+Inf"' in line for line in lines)
+
+
+def test_tight_slo_breaches_and_exits_nonzero(tmp_path):
+    json_path = tmp_path / "breach.json"
+    prom_path = tmp_path / "breach.prom"
+    rc = main(["fleetview", "--devices", "12", "--image-size", "8192",
+               "--slo-p95", "0.001",
+               "--out", str(json_path), "--metrics-out", str(prom_path)])
+    assert rc == 1
+    with open(json_path) as fh:
+        doc = json.load(fh)
+    assert doc["slo_verdict"] == "breached"
+    # The PAUSE action stopped the rollout after the canary wave.
+    assert doc["campaign"]["paused"]
+    assert len(doc["campaign"]["pending"]) > 0
+    # A breached run still validates as an artifact.
+    assert main(["report", "--validate", str(json_path)]) == 0
+
+
+@pytest.mark.fleetview
+def test_default_fifty_device_campaign_is_healthy(tmp_path):
+    """ISSUE acceptance: the full 50-device default campaign."""
+    result = run_fleetview()
+    assert result.devices == 50
+    assert result.telemetry.verdict() == "ok"
+    assert len(result.campaign_report["updated"]) == 50
+    found = {(anomaly["device"], anomaly["kind"])
+             for anomaly in result.telemetry.anomalies()}
+    assert (result.straggler, "straggler") in found
+    assert (result.storm, "retry-storm") in found
+    assert result.openmetrics.endswith("# EOF\n")

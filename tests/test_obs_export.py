@@ -1,0 +1,96 @@
+"""OpenMetrics exposition and histogram bucket-edge consistency."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.export import metric_name, to_openmetrics, \
+    write_openmetrics
+from repro.obs.metrics import MetricsRegistry
+
+
+def test_metric_name_sanitization():
+    assert metric_name("net.bytes_over_air") \
+        == "upkit_net_bytes_over_air"
+    assert metric_name("time.swap-check_seconds") \
+        == "upkit_time_swap_check_seconds"
+    assert metric_name("9lives") == "upkit__9lives"
+    with pytest.raises(ValueError):
+        metric_name("...")
+
+
+def test_histogram_boundary_values_are_inclusive():
+    """Satellite regression: a value exactly on a bucket bound lands in
+    that bucket in *both* observe() and the cumulative export."""
+    registry = MetricsRegistry()
+    hist = registry.histogram("h", (1.0, 5.0))
+    for value in (1.0, 5.0, 0.5, 2.0):
+        hist.observe(value)
+    # Per-bucket JSON: 1.0 and 0.5 in le=1; 5.0 and 2.0 in le=5.
+    snap = hist.to_value()
+    assert snap["buckets"] == {"1": 2, "5": 2, "+Inf": 0}
+    # Cumulative export: le=1 counts <=1, le=5 counts <=5, +Inf = all.
+    assert hist.cumulative() == [("1", 2), ("5", 4), ("+Inf", 4)]
+
+
+def test_histogram_overflow_and_nan_land_in_inf_only():
+    registry = MetricsRegistry()
+    hist = registry.histogram("h", (1.0,))
+    hist.observe(float("inf"))
+    hist.observe(float("nan"))
+    hist.observe(99.0)
+    assert hist.to_value()["buckets"] == {"1": 0, "+Inf": 3}
+    # +Inf cumulative count always equals the total observation count.
+    assert hist.cumulative() == [("1", 0), ("+Inf", 3)]
+
+
+def test_openmetrics_document_shape():
+    registry = MetricsRegistry()
+    registry.counter("net.bytes", "bytes moved").inc(100)
+    registry.gauge("energy.total_mj").set(1.5)
+    registry.histogram("lat", (1.0, 5.0)).observe(2.0)
+    text = to_openmetrics([("dev-00", registry)])
+    lines = text.splitlines()
+    assert lines[-1] == "# EOF"
+    assert text.endswith("# EOF\n")
+    assert "# TYPE upkit_net_bytes counter" in lines
+    assert "# HELP upkit_net_bytes bytes moved" in lines
+    # Counters carry the mandatory _total suffix; gauges do not.
+    assert 'upkit_net_bytes_total{device="dev-00"} 100' in lines
+    assert 'upkit_energy_total_mj{device="dev-00"} 1.5' in lines
+    # Histogram: cumulative buckets, count, sum.
+    assert 'upkit_lat_bucket{device="dev-00",le="1"} 0' in lines
+    assert 'upkit_lat_bucket{device="dev-00",le="5"} 1' in lines
+    assert 'upkit_lat_bucket{device="dev-00",le="+Inf"} 1' in lines
+    assert 'upkit_lat_count{device="dev-00"} 1' in lines
+    assert 'upkit_lat_sum{device="dev-00"} 2' in lines
+
+
+def test_families_are_contiguous_across_devices():
+    first, second = MetricsRegistry(), MetricsRegistry()
+    first.counter("a").inc(1)
+    first.counter("z").inc(1)
+    second.counter("a").inc(2)
+    lines = to_openmetrics([("d0", first), ("d1", second)]).splitlines()
+    type_a = lines.index("# TYPE upkit_a counter")
+    type_z = lines.index("# TYPE upkit_z counter")
+    # Both devices' upkit_a samples sit between the two TYPE lines.
+    assert lines[type_a + 1] == 'upkit_a_total{device="d0"} 1'
+    assert lines[type_a + 2] == 'upkit_a_total{device="d1"} 2'
+    assert type_z > type_a + 2
+
+
+def test_kind_conflicts_across_devices_raise():
+    first, second = MetricsRegistry(), MetricsRegistry()
+    first.counter("x").inc(1)
+    second.gauge("x").set(1)
+    with pytest.raises(ValueError):
+        to_openmetrics([("d0", first), ("d1", second)])
+
+
+def test_write_openmetrics_round_trip(tmp_path):
+    registry = MetricsRegistry()
+    registry.counter("c").inc(3)
+    path = tmp_path / "fleet.prom"
+    write_openmetrics([("d", registry)], str(path))
+    assert path.read_text().endswith("# EOF\n")

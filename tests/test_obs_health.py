@@ -1,0 +1,134 @@
+"""Health scoring and anomaly detection over device samples."""
+
+from __future__ import annotations
+
+from repro.obs.health import (
+    Anomaly,
+    DeviceSample,
+    HealthThresholds,
+    analyze_wave,
+    robust_zscores,
+    score_device,
+)
+
+
+def sample(name, update_seconds=10.0, bytes_over_air=10 * 1024,
+           energy_mj=100.0, interruptions=0, attempts=1,
+           state="updated", phases=None):
+    return DeviceSample(name=name, wave=0, state=state,
+                        update_seconds=update_seconds,
+                        bytes_over_air=bytes_over_air,
+                        energy_mj=energy_mj,
+                        interruptions=interruptions,
+                        attempts=attempts,
+                        interrupted_phases=phases or {})
+
+
+# -- robust z-scores ----------------------------------------------------------
+
+
+def test_zscores_need_a_baseline():
+    assert robust_zscores([1.0, 100.0, 2.0]) == [0.0, 0.0, 0.0]
+    assert robust_zscores([]) == []
+
+
+def test_zscores_flag_the_outlier_not_the_fleet():
+    values = [1.0, 1.1, 0.9, 1.0, 1.05, 10.0]
+    scores = robust_zscores(values)
+    assert scores[-1] > 3.5
+    assert all(abs(score) < 3.5 for score in scores[:-1])
+
+
+def test_zscores_survive_a_fleet_of_clones():
+    # Median deviation is zero (all-identical but one): the mean-abs
+    # fallback must still single out the outlier.
+    values = [1.0] * 9 + [5.0]
+    scores = robust_zscores(values)
+    assert scores[-1] > 3.5
+    assert scores[0] == 0.0
+    # All-identical: no deviation at all, nothing to flag.
+    assert robust_zscores([2.0] * 10) == [0.0] * 10
+
+
+# -- detectors ----------------------------------------------------------------
+
+
+def test_straggler_detected_by_latency_per_kb():
+    fleet = [sample("d%02d" % i) for i in range(9)]
+    fleet.append(sample("slow", update_seconds=60.0))
+    report = analyze_wave(fleet)
+    kinds = report.kinds_for("slow")
+    assert "straggler" in kinds
+    assert report.flagged == ["slow"]
+
+
+def test_retry_storm_per_device_and_fleet_wide():
+    fleet = [sample("d%02d" % i) for i in range(9)]
+    fleet.append(sample("storm", interruptions=4, attempts=2))
+    report = analyze_wave(fleet)
+    assert "retry-storm" in report.kinds_for("storm")
+    # Fleet mean is 0.4/device: no fleet-wide storm anomaly.
+    assert all(a.device is not None for a in report.anomalies)
+
+    stormy = [sample("d%02d" % i, interruptions=2) for i in range(10)]
+    report = analyze_wave(stormy)
+    fleet_wide = [a for a in report.anomalies if a.device is None]
+    assert len(fleet_wide) == 1
+    assert fleet_wide[0].kind == "retry-storm"
+
+
+def test_energy_outliers_absolute_and_relative():
+    fleet = [sample("d%02d" % i) for i in range(9)]
+    fleet.append(sample("hog", energy_mj=900.0))
+    report = analyze_wave(fleet)
+    assert "energy-outlier" in report.kinds_for("hog")
+
+    # Absolute budget flags even a uniform fleet.
+    uniform = [sample("d%02d" % i, energy_mj=500.0) for i in range(5)]
+    report = analyze_wave(uniform,
+                          HealthThresholds(energy_budget_mj=400.0))
+    assert all("energy-outlier" in report.kinds_for(s.name)
+               for s in uniform)
+
+
+def test_crash_loop_from_repeated_postmortem_phase():
+    fleet = [sample("d%02d" % i) for i in range(4)]
+    fleet.append(sample("looper", state="failed",
+                        phases={"loading": 3, "propagation": 1}))
+    report = analyze_wave(fleet)
+    loops = [a for a in report.anomalies if a.kind == "crash-loop"]
+    assert len(loops) == 1
+    assert loops[0].device == "looper"
+    assert "loading" in loops[0].detail
+
+
+# -- scoring ------------------------------------------------------------------
+
+
+def test_scores_sort_sick_devices_below_healthy_ones():
+    healthy = score_device(sample("ok"), [])
+    retried = score_device(sample("retried", attempts=3,
+                                  interruptions=2), [])
+    failed = score_device(sample("bad", state="failed"), [
+        Anomaly(kind="crash-loop", device="bad", severity=3.0,
+                detail="")])
+    quarantined = score_device(sample("dead", state="quarantined"), [])
+    assert healthy == 100.0
+    assert healthy > retried > failed
+    assert quarantined < retried
+    assert failed >= 0.0
+
+
+def test_analyze_wave_scores_every_sample():
+    fleet = [sample("d%02d" % i) for i in range(5)]
+    report = analyze_wave(fleet, wave=3)
+    assert report.wave == 3
+    assert sorted(report.scores) == sorted(s.name for s in fleet)
+    payload = report.to_dict()
+    assert payload["wave"] == 3
+    assert payload["flagged"] == []
+
+
+def test_empty_wave_is_a_clean_report():
+    report = analyze_wave([])
+    assert report.scores == {} and report.anomalies == []

@@ -1,0 +1,164 @@
+"""SLO evaluation and the FleetTelemetry wave-close control loop."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.health import HealthThresholds
+from repro.obs.slo import (
+    Action,
+    DEFAULT_SLOS,
+    FleetTelemetry,
+    SLO,
+    fleet_metric,
+    percentile,
+)
+from tests.test_obs_health import sample
+
+
+# -- percentile ---------------------------------------------------------------
+
+
+def test_percentile_interpolates_linearly():
+    values = [10.0, 20.0, 30.0, 40.0]
+    assert percentile(values, 0) == 10.0
+    assert percentile(values, 100) == 40.0
+    assert percentile(values, 50) == 25.0
+    assert percentile([7.0], 95) == 7.0
+    assert percentile([], 95) == 0.0
+    with pytest.raises(ValueError):
+        percentile(values, 101)
+
+
+# -- fleet metrics ------------------------------------------------------------
+
+
+def test_failure_rate_excludes_quarantined_devices():
+    samples = ([sample("ok%d" % i) for i in range(6)]
+               + [sample("bad", state="failed"),
+                  sample("dead1", state="quarantined"),
+                  sample("dead2", state="quarantined")])
+    # 1 failed / (6 updated + 1 failed): quarantined devices appear in
+    # neither the numerator nor the denominator.
+    assert fleet_metric("failure_rate", samples) == pytest.approx(1 / 7)
+    assert fleet_metric("quarantine_rate", samples) \
+        == pytest.approx(2 / 9)
+
+
+def test_unknown_metric_is_an_error():
+    with pytest.raises(KeyError):
+        fleet_metric("p99_vibes", [])
+    with pytest.raises(ValueError):
+        SLO("x", "p99_vibes", 1.0)
+
+
+def test_slo_breach_only_above_threshold():
+    slo = SLO("t", "max_update_seconds", 30.0, Action.PAUSE)
+    ok = [sample("a", update_seconds=30.0)]  # at threshold: no breach
+    assert slo.evaluate(ok, wave=0) is None
+    breach = slo.evaluate([sample("a", update_seconds=31.0)], wave=2)
+    assert breach is not None
+    assert breach.wave == 2 and breach.action is Action.PAUSE
+    assert breach.observed == pytest.approx(31.0)
+
+
+def test_slo_rejects_continue_as_breach_action():
+    with pytest.raises(ValueError):
+        SLO("x", "failure_rate", 0.5, Action.CONTINUE)
+
+
+def test_default_slos_pass_a_healthy_fleet():
+    fleet = [sample("d%02d" % i) for i in range(10)]
+    for slo in DEFAULT_SLOS:
+        assert slo.evaluate(fleet, wave=0) is None
+
+
+# -- FleetTelemetry.close_wave ------------------------------------------------
+
+
+class _Record:
+    """Minimal DeviceRecord stand-in for observe_device."""
+
+    class _State:
+        def __init__(self, value):
+            self.value = value
+
+    class _Outcome:
+        def __init__(self, seconds, nbytes, energy):
+            self.total_seconds = seconds
+            self.bytes_over_air = nbytes
+            self.total_energy_mj = energy
+
+    def __init__(self, name, state="updated", seconds=10.0,
+                 nbytes=10 * 1024, energy=100.0, interruptions=0,
+                 attempts=1):
+        self.name = name
+        self.state = self._State(state)
+        self.device = object()   # no blackbox attribute: phases empty
+        self.last_outcome = self._Outcome(seconds, nbytes, energy)
+        self.interruptions = interruptions
+        self.attempts = attempts
+
+
+def test_close_wave_escalates_to_the_worst_breach():
+    telemetry = FleetTelemetry(slos=(
+        SLO("slow", "max_update_seconds", 5.0, Action.SLOW),
+        SLO("abort", "failure_rate", 0.3, Action.ABORT),
+    ))
+    for i in range(4):
+        telemetry.observe_device(_Record("ok%d" % i, seconds=50.0), 0)
+    for i in range(4):
+        telemetry.observe_device(_Record("bad%d" % i, state="failed",
+                                         seconds=50.0), 0)
+    verdict = telemetry.close_wave(0)
+    assert {b.name for b in verdict.breaches} == {"slow", "abort"}
+    assert verdict.action is Action.ABORT
+    assert telemetry.verdict() == "breached"
+
+
+def test_quarantine_happens_before_failure_rate_evaluation():
+    """Satellite regression: a wave whose failures are all flagged as
+    retry storms must not double-count them — quarantine first, then
+    the failure-rate SLO sees a clean wave."""
+    telemetry = FleetTelemetry(
+        slos=(SLO("fr", "failure_rate", 0.25, Action.ABORT),),
+        thresholds=HealthThresholds(device_interruptions=3))
+    for i in range(6):
+        telemetry.observe_device(_Record("ok%d" % i), 0)
+    # Two failed devices, each with a blatant interruption storm.
+    for i in range(2):
+        telemetry.observe_device(
+            _Record("storm%d" % i, state="failed", interruptions=5,
+                    attempts=3), 0)
+    verdict = telemetry.close_wave(0)
+    assert sorted(verdict.quarantine) == ["storm0", "storm1"]
+    # 2/8 = 0.25 would have breached; after quarantine the rate is 0.
+    assert verdict.breaches == []
+    assert verdict.action is Action.CONTINUE
+    assert verdict.metrics["failure_rate"] == 0.0
+    states = {s.name: s.state for s in telemetry.samples}
+    assert states["storm0"] == "quarantined"
+
+
+def test_failed_devices_without_flags_stay_failed():
+    telemetry = FleetTelemetry(slos=())
+    for i in range(6):
+        telemetry.observe_device(_Record("ok%d" % i), 0)
+    telemetry.observe_device(_Record("bad", state="failed"), 0)
+    verdict = telemetry.close_wave(0)
+    assert verdict.quarantine == []
+    assert verdict.metrics["failure_rate"] == pytest.approx(1 / 7)
+
+
+def test_close_wave_records_fleet_series_and_report_shape():
+    telemetry = FleetTelemetry(slos=())
+    for i in range(5):
+        telemetry.observe_device(_Record("d%d" % i), 0)
+    telemetry.close_wave(0, t=100.0)
+    assert telemetry.store.get("fleet.failure_rate").latest().t == 100.0
+    payload = telemetry.to_dict()
+    assert payload["verdict"] == "ok"
+    assert len(payload["waves"]) == 1
+    assert payload["waves"][0]["action"] == "continue"
+    assert len(payload["samples"]) == 5
+    assert "fleet.p95_update_seconds" in payload["timeseries"]

@@ -1,0 +1,114 @@
+"""Time-series store: bounded series, downsampling, fleet scraping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import (
+    DEFAULT_MAX_POINTS,
+    FleetScraper,
+    Point,
+    Series,
+    TimeSeriesStore,
+)
+
+
+def test_series_appends_and_reads_back():
+    series = Series("s")
+    for t in range(10):
+        series.append(float(t), float(t) * 2.0)
+    assert len(series) == 10
+    assert series.latest() == Point(9.0, 18.0)
+    assert series.values()[:3] == [0.0, 2.0, 4.0]
+    assert series.window(2.0, 5.0) == [Point(2.0, 4.0), Point(3.0, 6.0),
+                                       Point(4.0, 8.0)]
+    assert series.resolution == 1
+
+
+def test_series_rejects_time_going_backwards():
+    series = Series("s")
+    series.append(5.0, 1.0)
+    with pytest.raises(ValueError):
+        series.append(4.9, 1.0)
+    # Equal timestamps are fine (several metrics scraped at one instant).
+    series.append(5.0, 2.0)
+
+
+def test_series_bound_must_be_even_and_sane():
+    with pytest.raises(ValueError):
+        Series("s", max_points=7)
+    with pytest.raises(ValueError):
+        Series("s", max_points=4)
+
+
+def test_series_downsamples_pairwise_at_the_bound():
+    series = Series("s", max_points=8)
+    for t in range(9):
+        series.append(float(t), float(t))
+    # 9 points overflowed an 8-point bound: pairwise merge to 5.
+    assert len(series) == 5
+    assert series.resolution == 2
+    # Merged points carry the mean value and the later timestamp.
+    assert series.points[0] == Point(1.0, 0.5)
+    assert series.points[1] == Point(3.0, 2.5)
+    # The odd tail is kept verbatim.
+    assert series.points[-1] == Point(8.0, 8.0)
+
+
+def test_series_stays_bounded_forever():
+    series = Series("s", max_points=8)
+    for t in range(1000):
+        series.append(float(t), 1.0)
+    assert len(series) <= 8
+    assert series.resolution > 1
+    # Full time extent survives at reduced resolution.
+    assert series.points[-1].t == 999.0
+
+
+def test_downsampling_is_deterministic():
+    def build():
+        series = Series("s", max_points=8)
+        for t in range(100):
+            series.append(float(t), float(t % 7))
+        return series.to_dict()
+
+    assert build() == build()
+
+
+def test_store_get_or_create_and_totals():
+    store = TimeSeriesStore()
+    store.record("a", 0.0, 1.0)
+    store.record("a", 1.0, 2.0)
+    store.record("b", 0.0, 3.0)
+    assert store.names() == ["a", "b"]
+    assert len(store) == 2
+    assert store.total_points() == 3
+    assert store.get("a").values() == [1.0, 2.0]
+    assert store.get("missing") is None
+    assert set(store.to_dict()) == {"a", "b"}
+
+
+def test_scraper_flattens_registry_snapshot():
+    registry = MetricsRegistry()
+    registry.counter("net.bytes").inc(128)
+    registry.gauge("energy.total_mj").set(7.5)
+    hist = registry.histogram("update.latency_seconds", (1.0, 5.0))
+    hist.observe(0.5)
+    hist.observe(3.0)
+    scraper = FleetScraper()
+    recorded = scraper.scrape("dev-00", registry, t=10.0)
+    # counter + gauge + histogram count/sum
+    assert recorded == 4
+    assert scraper.scrapes == 1
+    store = scraper.store
+    assert store.get("dev-00.net.bytes").latest() == Point(10.0, 128.0)
+    assert store.get("dev-00.energy.total_mj").latest() == Point(10.0, 7.5)
+    assert store.get("dev-00.update.latency_seconds.count").latest() \
+        == Point(10.0, 2.0)
+    assert store.get("dev-00.update.latency_seconds.sum").latest() \
+        == Point(10.0, 3.5)
+
+
+def test_default_bound_is_even():
+    assert DEFAULT_MAX_POINTS % 2 == 0 and DEFAULT_MAX_POINTS >= 8
