@@ -1,0 +1,47 @@
+"""Delta-generation fast-path benchmark (``perf`` marker; not tier-1).
+
+Times the vectorised bsdiff + LZSS pipeline against the preserved
+pure-Python reference path on the acceptance-scale firmware pair and
+writes ``BENCH_delta.json`` at the repo root.  The headline claim: at
+least a 3x generation speedup with byte-identical patch and delta
+output (the harness itself raises if the outputs diverge or fail to
+round-trip).
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_perf_delta.py -m perf
+
+or via the CLI (same harness, no pytest)::
+
+    PYTHONPATH=src python -m repro.tools.cli bench --delta-out BENCH_delta.json
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.tools import bench
+from repro.tools.report import validate_file
+
+pytestmark = pytest.mark.perf
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BENCH_PATH = os.path.join(REPO_ROOT, "BENCH_delta.json")
+
+IMAGE_SIZE = 96 * 1024
+MIN_DELTA_SPEEDUP = 3.0
+
+
+def test_delta_fast_path_speedup():
+    results = bench.run_delta(image_size=IMAGE_SIZE)
+    bench.write_delta_results(results, BENCH_PATH)
+    print("\n" + bench.format_delta_summary(results))
+    print("wrote %s" % BENCH_PATH)
+    assert validate_file(BENCH_PATH) == []
+
+    fastpath = results["delta_fastpath"]
+    assert fastpath["byte_identical"] is True
+    assert fastpath["firmware_bytes"] == IMAGE_SIZE
+    assert fastpath["speedup"] >= MIN_DELTA_SPEEDUP

@@ -32,6 +32,7 @@ BENCH_PATH = os.path.join(REPO_ROOT, "BENCH_fleet.json")
 
 DEVICES = 50
 MIN_CAMPAIGN_SPEEDUP = 5.0
+MIN_PROCESS_IO_SPEEDUP = 2.0
 
 
 def test_fleet_fast_path_speedup():
@@ -45,6 +46,14 @@ def test_fleet_fast_path_speedup():
     assert campaign["reports_identical"] is True
     assert campaign["devices"] == DEVICES
     assert campaign["speedup"] >= MIN_CAMPAIGN_SPEEDUP
+
+    # The I/O profile: pooled executors must overlap host RTTs.  The
+    # process pool is the acceptance headline — at least 2x over serial
+    # with byte-identical reports.
+    campaign_io = results["campaign_io"]
+    assert campaign_io["reports_identical"] is True
+    assert campaign_io["process_speedup"] >= MIN_PROCESS_IO_SPEEDUP
+    assert campaign_io["thread_speedup"] >= MIN_PROCESS_IO_SPEEDUP
 
     # The primitives behind the end-to-end number.
     assert results["sha256"]["speedup"] > 10

@@ -26,6 +26,11 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+try:  # numpy accelerates the hash precompute; optional
+    import numpy as _np
+except ImportError:  # pragma: no cover - environment-dependent
+    _np = None
+
 __all__ = [
     "compress",
     "decompress",
@@ -59,6 +64,7 @@ def compress(data: bytes) -> bytes:
     # head[h] -> most recent position with prefix-hash h; prev -> chain
     head: Dict[int, int] = {}
     prev: List[int] = [-1] * n
+    hashes = _hash3_all(data)
 
     pos = 0
     pending_flags = 0
@@ -76,7 +82,7 @@ def compress(data: bytes) -> bytes:
 
     def insert(p: int) -> None:
         if p + MIN_MATCH <= n:
-            h = _hash3(data, p)
+            h = hashes[p]
             prev[p] = head.get(h, -1)
             head[h] = p
 
@@ -85,7 +91,7 @@ def compress(data: bytes) -> bytes:
         best_dist = 0
         if pos + MIN_MATCH <= n:
             limit = max(0, pos - WINDOW_SIZE)
-            candidate = head.get(_hash3(data, pos), -1)
+            candidate = head.get(hashes[pos], -1)
             max_here = min(MAX_MATCH, n - pos)
             tries = 64  # bounded chain walk keeps worst case linear-ish
             while candidate >= limit and tries:
@@ -198,10 +204,16 @@ class LzssDecoder:
                         % (dist, len(self._window))
                     )
                 start = len(self._window) - dist
-                for step in range(length):
-                    byte = self._window[start + step]
-                    out.append(byte)
-                    self._window.append(byte)
+                if dist >= length:
+                    chunk = self._window[start:start + length]
+                else:
+                    # Overlapping copy: the byte-wise original reads
+                    # bytes it just wrote, so the output repeats the
+                    # last `dist` bytes periodically.
+                    seg = self._window[start:]
+                    chunk = (seg * (length // dist + 1))[:length]
+                out.extend(chunk)
+                self._window.extend(chunk)
                 self._trim()
             self._flags >>= 1
             self._remaining_in_group -= 1
@@ -226,26 +238,38 @@ def _hash3(data: bytes, pos: int) -> int:
     return (data[pos] << 16) | (data[pos + 1] << 8) | data[pos + 2]
 
 
+def _hash3_all(data: bytes) -> "List[int]":
+    """All 3-byte prefix hashes of ``data`` at once.
+
+    The encoder hashes every insertion point and every match probe —
+    tens of thousands of positions per patch — so one vectorised pass
+    beats per-position arithmetic.  Falls back to the scalar hash when
+    numpy is unavailable; values are identical either way.
+    """
+    n = len(data)
+    if n < MIN_MATCH:
+        return []
+    if _np is not None and n > 64:
+        d = _np.frombuffer(data, dtype=_np.uint8).astype(_np.int64)
+        return ((d[:n - 2] << 16) | (d[1:n - 1] << 8) | d[2:]).tolist()
+    return [_hash3(data, p) for p in range(n - 2)]
+
+
 def _match_length(data: bytes, candidate: int, pos: int, n: int) -> int:
     """Length of the common prefix of data[candidate:] and data[pos:].
 
-    Extends by slice comparison (a C-level memcmp) instead of a Python
-    byte loop; bsdiff payloads are dominated by long zero runs where
-    matches routinely hit MAX_MATCH.  Overlapping slices are fine: both
-    sides read the *input* buffer, same as the byte-wise original, so
-    the result — and therefore the encoder output — is identical.
+    One C-level slice comparison settles the dominant case (bsdiff
+    payloads are full of long zero runs where matches hit MAX_MATCH);
+    otherwise the XOR of the two windows as big-endian integers
+    pinpoints the first differing byte via ``bit_length``.  Overlapping
+    slices are fine: both sides read the *input* buffer, same as the
+    byte-wise original, so the result — and therefore the encoder
+    output — is identical.
     """
     limit = min(MAX_MATCH, n - pos)
-    if data[candidate:candidate + limit] == data[pos:pos + limit]:
+    a = data[candidate:candidate + limit]
+    b = data[pos:pos + limit]
+    if a == b:
         return limit
-    length = 0
-    step = 32
-    while step >= 1:
-        while (length + step <= limit
-               and data[candidate + length:candidate + length + step]
-               == data[pos + length:pos + length + step]):
-            length += step
-        step >>= 3  # 32 -> 4 -> 0 (finish byte-wise below)
-    while length < limit and data[candidate + length] == data[pos + length]:
-        length += 1
-    return length
+    x = int.from_bytes(a, "big") ^ int.from_bytes(b, "big")
+    return limit - 1 - (x.bit_length() - 1) // 8

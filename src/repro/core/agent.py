@@ -98,20 +98,26 @@ def inspect_slot(slot: Slot) -> Optional[SignedManifest]:
         return None
 
 
-def _default_nonce_source(profile: DeviceProfile) -> Callable[[], int]:
+class _NonceSource:
     """Deterministic per-device nonce stream (devices lack good entropy;
-    RFC 6979-style derivation keeps runs reproducible)."""
-    state = {"counter": 0}
-    seed = profile.device_id.to_bytes(4, "big")
+    RFC 6979-style derivation keeps runs reproducible).  A class, not a
+    closure, so agents survive the trip to a process-pool worker with
+    their counter state intact."""
 
-    def next_nonce() -> int:
-        state["counter"] += 1
-        raw = hmac_sha256(b"upkit-nonce" + seed,
-                          state["counter"].to_bytes(8, "big"))
+    def __init__(self, profile: DeviceProfile) -> None:
+        self._seed = profile.device_id.to_bytes(4, "big")
+        self._counter = 0
+
+    def __call__(self) -> int:
+        self._counter += 1
+        raw = hmac_sha256(b"upkit-nonce" + self._seed,
+                          self._counter.to_bytes(8, "big"))
         nonce = int.from_bytes(raw[:4], "big")
         return nonce or 1  # nonce 0 is reserved for factory images
 
-    return next_nonce
+
+def _default_nonce_source(profile: DeviceProfile) -> Callable[[], int]:
+    return _NonceSource(profile)
 
 
 class UpdateAgent:

@@ -124,12 +124,21 @@ class BufferStage(Stage):
         self._buf = bytearray()
 
     def feed(self, data: bytes) -> bytes:
-        self._buf.extend(data)
-        if len(self._buf) < self.buffer_size:
+        buf = self._buf
+        buf.extend(data)
+        size = len(buf)
+        if size < self.buffer_size:
             return b""
-        emit_len = len(self._buf) - (len(self._buf) % self.buffer_size)
-        out = bytes(self._buf[:emit_len])
-        del self._buf[:emit_len]
+        emit_len = size - (size % self.buffer_size)
+        if emit_len == size:
+            # Whole-buffer emit (the common case: sector-aligned
+            # chunks): one copy, no slice staging.
+            out = bytes(buf)
+            buf.clear()
+        else:
+            with memoryview(buf) as staged:
+                out = bytes(staged[:emit_len])
+            del buf[:emit_len]
         return out
 
     def finish(self) -> bytes:
@@ -166,7 +175,9 @@ class Pipeline:
         if self._finished:
             raise PipelineError("pipeline already finished")
         self.bytes_in += len(chunk)
-        data = bytes(chunk)
+        # Zero-copy staging: chunks arriving as bytes pass through
+        # untouched; only mutable buffers are snapshotted.
+        data = chunk if type(chunk) is bytes else bytes(chunk)
         for stage in self.stages:
             record = self.stage_bytes[stage.name]
             record[0] += len(data)

@@ -24,6 +24,7 @@ from typing import Dict, Optional
 
 from ..compression import compress as lzss_compress
 from ..crypto import StreamCipher
+from ..delta import ArtifactCache
 from ..delta import diff as bsdiff_diff
 from .errors import ManifestFormatError
 from .image import SignedManifest, UpdateImage
@@ -84,13 +85,21 @@ class UpdateServer:
 
     def __init__(self, identity: SigningIdentity,
                  cipher: Optional[StreamCipher] = None,
-                 delta_cache_size: int = DEFAULT_DELTA_CACHE_SIZE) -> None:
+                 delta_cache_size: int = DEFAULT_DELTA_CACHE_SIZE,
+                 artifacts: Optional[ArtifactCache] = None) -> None:
         if delta_cache_size < 1:
             raise ValueError("delta_cache_size must be at least 1")
         self.identity = identity
         self.cipher = cipher
         self.delta_cache_size = delta_cache_size
         self.stats = ServerStats()
+        #: Content-addressed layer under the version-pair LRU: deltas
+        #: and envelope signatures keyed by firmware bytes, so reused
+        #: content hits across campaigns and server instances.  Pass
+        #: :func:`repro.delta.shared_cache` to share process-wide, or
+        #: ``ArtifactCache(max_bytes=0)`` to disable.
+        self.artifacts = artifacts if artifacts is not None \
+            else ArtifactCache()
         self._releases: Dict[int, VendorRelease] = {}
         self._delta_cache: "OrderedDict[tuple[int, int], bytes]" \
             = OrderedDict()
@@ -142,11 +151,17 @@ class UpdateServer:
             payload_size=len(payload),
             old_version=old_version,
         )
+        # RFC 6979 signing is deterministic, so the envelope signature
+        # is itself content-addressable: a device retrying the same
+        # bound manifest (interrupted transfers, flaky links) reuses
+        # the signature instead of re-running scalar multiplication.
+        message = manifest.pack() + release.vendor_signature
         envelope = SignedManifest(
             manifest=manifest,
             vendor_signature=release.vendor_signature,
-            server_signature=self.identity.sign(
-                manifest.pack() + release.vendor_signature),
+            server_signature=self.artifacts.get_or_create(
+                message, b"", b"ecdsa-envelope:" + self.identity.role.encode(),
+                lambda: self.identity.sign(message)),
         )
         image = UpdateImage(envelope=envelope, payload=payload)
         with self._stats_lock:
@@ -189,11 +204,68 @@ class UpdateServer:
                     self.stats.delta_cache_hits += 1
                 return cached
             old_firmware = self._releases[old_version].firmware
-            patch = bsdiff_diff(old_firmware, release.firmware)
-            delta = lzss_compress(patch)
+            new_firmware = release.firmware
+            # The content-addressed layer below the version-pair LRU:
+            # identical firmware bytes reuse the prepared delta across
+            # campaigns and server instances.
+            delta = self.artifacts.get_or_create(
+                old_firmware, new_firmware, b"bsdiff+lzss",
+                lambda: lzss_compress(
+                    bsdiff_diff(old_firmware, new_firmware)))
             self._delta_cache[key] = delta
             while len(self._delta_cache) > self.delta_cache_size:
                 self._delta_cache.popitem(last=False)
                 with self._stats_lock:
                     self.stats.delta_cache_evictions += 1
         return delta
+
+    # -- fleet plumbing --------------------------------------------------------
+
+    def export_deltas_since(
+        self, keys: "set[tuple[int, int]]"
+    ) -> "Dict[tuple[int, int], bytes]":
+        """Delta-cache entries added since ``keys`` was snapshotted."""
+        with self._delta_lock:
+            return {key: value
+                    for key, value in self._delta_cache.items()
+                    if key not in keys}
+
+    def delta_cache_keys(self) -> "set[tuple[int, int]]":
+        with self._delta_lock:
+            return set(self._delta_cache)
+
+    def adopt_deltas(
+        self, entries: "Dict[tuple[int, int], bytes]"
+    ) -> None:
+        """Adopt deltas generated by a process-pool worker.
+
+        Existing keys win (the bytes are identical by construction);
+        the LRU bound still applies, so adopting cannot grow the cache
+        past ``delta_cache_size``.
+        """
+        with self._delta_lock:
+            for key, delta in entries.items():
+                if key not in self._delta_cache:
+                    self._delta_cache[key] = delta
+            while len(self._delta_cache) > self.delta_cache_size:
+                self._delta_cache.popitem(last=False)
+                with self._stats_lock:
+                    self.stats.delta_cache_evictions += 1
+
+    def merge_stats(self, other: ServerStats) -> None:
+        """Fold counters from a process-pool worker's server copy."""
+        with self._stats_lock:
+            mine = self.stats
+            for name, value in other.to_dict().items():
+                setattr(mine, name, getattr(mine, name) + value)
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_stats_lock"]
+        del state["_delta_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._stats_lock = threading.Lock()
+        self._delta_lock = threading.Lock()

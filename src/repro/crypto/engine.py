@@ -84,6 +84,18 @@ class EngineStats:
             "key_tables_evicted": self.key_tables_evicted,
         }
 
+    def diff(self, baseline: "EngineStats") -> "EngineStats":
+        """Field-wise ``self - baseline`` (a worker's contribution)."""
+        return EngineStats(
+            verify_calls=self.verify_calls - baseline.verify_calls,
+            verify_cache_hits=(self.verify_cache_hits
+                               - baseline.verify_cache_hits),
+            key_tables_built=(self.key_tables_built
+                              - baseline.key_tables_built),
+            key_tables_evicted=(self.key_tables_evicted
+                                - baseline.key_tables_evicted),
+        )
+
 
 class CryptoEngine:
     """Interface both engines implement.
@@ -266,6 +278,29 @@ class FastEngine(CryptoEngine):
                 self._key_tables.popitem(last=False)
                 self.stats.key_tables_evicted += 1
         return built
+
+    def stats_snapshot(self) -> EngineStats:
+        """A consistent copy of the counters, taken under the lock.
+
+        Reading ``engine.stats`` field by field from another thread can
+        tear across a concurrent verify; the snapshot cannot.
+        """
+        with self._lock:
+            return EngineStats(**self.stats.to_dict())
+
+    def merge_stats(self, delta: EngineStats) -> None:
+        """Fold a process-pool worker's counter deltas into this engine.
+
+        Worker processes run on forked engine copies; their hit/miss
+        counts would otherwise vanish with the worker.  Taken under the
+        same lock that guards the hot-path increments, so totals stay
+        exact under concurrent merges.
+        """
+        with self._lock:
+            self.stats.verify_calls += delta.verify_calls
+            self.stats.verify_cache_hits += delta.verify_cache_hits
+            self.stats.key_tables_built += delta.key_tables_built
+            self.stats.key_tables_evicted += delta.key_tables_evicted
 
     def clear_caches(self) -> None:
         """Drop every cache and table (cold-start benchmarking)."""

@@ -1,18 +1,24 @@
 """Binary-delta substrate: bsdiff generation and streaming bspatch."""
 
+from .artifacts import ArtifactCache, ArtifactStats, artifact_key, shared_cache
 from .bsdiff import MAGIC, Control, PatchFormatError, diff, parse_patch
 from .bspatch import StreamingPatcher
-from .suffix import build_suffix_array, longest_match
+from .suffix import SuffixIndex, build_suffix_array, longest_match
 
 __all__ = [
+    "ArtifactCache",
+    "ArtifactStats",
     "Control",
     "MAGIC",
     "PatchFormatError",
     "StreamingPatcher",
+    "SuffixIndex",
+    "artifact_key",
     "build_suffix_array",
     "diff",
     "longest_match",
     "parse_patch",
+    "shared_cache",
 ]
 
 

@@ -13,9 +13,18 @@ from __future__ import annotations
 import struct
 from typing import Callable, Union
 
+try:  # numpy vectorises the add-region arithmetic; optional
+    import numpy as _np
+except ImportError:  # pragma: no cover - environment-dependent
+    _np = None
+
 from .bsdiff import MAGIC, PatchFormatError
 
 __all__ = ["StreamingPatcher"]
+
+#: Add regions shorter than this use the plain byte loop even with
+#: numpy available: array setup costs more than the loop itself.
+_VECTOR_MIN = 64
 
 _HEADER = struct.Struct(">4sI")
 _CONTROL = struct.Struct(">IIq")
@@ -100,10 +109,24 @@ class StreamingPatcher:
                 if take or self._add_len == 0:
                     if take:
                         old_bytes = self._read_old(self._old_pos, take)
-                        piece = bytes(
-                            (self._buf[i] + old_bytes[i]) & 0xFF
-                            for i in range(take)
-                        )
+                        if _np is not None and take >= _VECTOR_MIN:
+                            # uint8 addition wraps mod 256, matching
+                            # the (a + b) & 0xFF byte loop exactly.
+                            # The memoryview reads the staging buffer
+                            # in place; all views die with the
+                            # expression, before the del below.
+                            with memoryview(self._buf) as staged:
+                                piece = (
+                                    _np.frombuffer(staged[:take],
+                                                   dtype=_np.uint8)
+                                    + _np.frombuffer(old_bytes,
+                                                     dtype=_np.uint8)
+                                ).tobytes()
+                        else:
+                            piece = bytes(
+                                (self._buf[i] + old_bytes[i]) & 0xFF
+                                for i in range(take)
+                            )
                         out.extend(piece)
                         del self._buf[:take]
                         self._old_pos += take

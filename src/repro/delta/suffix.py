@@ -9,6 +9,7 @@ pure-Python fallback so the library works without it.
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from typing import List, Sequence
 
 try:  # numpy is optional; the fallback is exercised in tests
@@ -16,7 +17,12 @@ try:  # numpy is optional; the fallback is exercised in tests
 except ImportError:  # pragma: no cover - environment-dependent
     _np = None
 
-__all__ = ["build_suffix_array", "longest_match"]
+__all__ = [
+    "build_suffix_array",
+    "longest_match",
+    "longest_match_at",
+    "SuffixIndex",
+]
 
 
 def build_suffix_array(data: bytes) -> List[int]:
@@ -30,30 +36,71 @@ def build_suffix_array(data: bytes) -> List[int]:
 
 def _build_numpy(data: bytes) -> List[int]:
     n = len(data)
-    rank = _np.frombuffer(data, dtype=_np.uint8).astype(_np.int64)
-    sa = _np.argsort(rank, kind="stable")
-    tmp = _np.empty(n, dtype=_np.int64)
-    k = 1
+    # Seed the doubling loop with 8-symbol ranks instead of single-byte
+    # ranks: pack bytes i..i+3 and i+4..i+7 into two 36-bit keys (9 bits
+    # per symbol; symbols are byte+1 with 0 as the past-the-end
+    # sentinel, so short suffixes order below any real byte — the same
+    # semantics as the -1 sentinel in the doubling loop).  One lexsort
+    # replaces the first three doubling rounds, and on high-entropy
+    # firmware data the 8-byte ranks are almost all unique already, so
+    # the loop usually terminates after a round or two.
+    v = _np.zeros(n + 8, dtype=_np.int64)
+    v[:n] = _np.frombuffer(data, dtype=_np.uint8).astype(_np.int64) + 1
+    w_hi = (v[0:n] << 27) | (v[1:n + 1] << 18) | (v[2:n + 2] << 9) | v[3:n + 3]
+    w_lo = (v[4:n + 4] << 27) | (v[5:n + 5] << 18) | (v[6:n + 6] << 9) | v[7:n + 7]
+    sa = _np.lexsort((w_lo, w_hi))
+    sorted_hi = w_hi[sa]
+    sorted_lo = w_lo[sa]
+    # `boundary[i]`: sa[i] starts a new k-symbol group.  Ranks are the
+    # *group-start position* rather than a dense 0..n-1 numbering —
+    # order-preserving and equal exactly within a group, which is all
+    # the pair comparisons need, and it stays consistent when only part
+    # of the array is re-ranked below.
+    boundary = _np.empty(n, dtype=bool)
+    boundary[0] = True
+    boundary[1:] = (
+        (sorted_hi[1:] != sorted_hi[:-1])
+        | (sorted_lo[1:] != sorted_lo[:-1])
+    )
+    idxs = _np.arange(n, dtype=_np.int64)
+    rank = _np.empty(n, dtype=_np.int64)
+    rank[sa] = _np.maximum.accumulate(_np.where(boundary, idxs, 0))
+    k = 8
     while k < n:
-        # Rank pairs (rank[i], rank[i+k]); absent second component = -1.
-        second = _np.full(n, -1, dtype=_np.int64)
-        second[: n - k] = rank[k:]
-        order = _np.lexsort((second, rank))
-        # Recompute ranks after sorting by the pair key.
-        sorted_first = rank[order]
-        sorted_second = second[order]
-        changed = _np.empty(n, dtype=_np.int64)
-        changed[0] = 0
-        changed[1:] = (
-            (sorted_first[1:] != sorted_first[:-1])
-            | (sorted_second[1:] != sorted_second[:-1])
-        ).astype(_np.int64)
-        new_rank_sorted = _np.cumsum(changed)
-        tmp[order] = new_rank_sorted
-        rank, tmp = tmp.copy(), tmp
-        sa = order
-        if rank[sa[-1]] == n - 1:
+        # A suffix is *tied* when its group still has more than one
+        # member; groups are contiguous in sa, so only those slots need
+        # re-sorting — by (group, rank of the suffix k further on).
+        # Repeated firmware regions leave a few percent of suffixes
+        # tied after the 8-byte seed, so each round sorts a small
+        # subset instead of the whole array.
+        tied = ~(boundary & _np.append(boundary[1:], True))
+        tied_pos = _np.nonzero(tied)[0]
+        if tied_pos.size == 0:
             break
+        sub = sa[tied_pos]
+        shifted = sub + k
+        second = _np.full(sub.shape, -1, dtype=_np.int64)
+        valid = shifted < n
+        second[valid] = rank[shifted[valid]]
+        group = rank[sub]
+        order = _np.lexsort((second, group))
+        sa[tied_pos] = sub[order]
+        group_sorted = group[order]
+        second_sorted = second[order]
+        # New boundaries within the tied slots: a slot starts a group
+        # unless it continues the previous tied slot's group with an
+        # equal second key.  (Tied groups are contiguous, so adjacent
+        # tied_pos entries in the same group differ by exactly 1.)
+        new_boundary = _np.empty(tied_pos.shape, dtype=bool)
+        new_boundary[0] = True
+        same_group = (
+            (tied_pos[1:] == tied_pos[:-1] + 1)
+            & (group_sorted[1:] == group_sorted[:-1])
+        )
+        new_boundary[1:] = ~(
+            same_group & (second_sorted[1:] == second_sorted[:-1]))
+        boundary[tied_pos] = new_boundary
+        rank[sa] = _np.maximum.accumulate(_np.where(boundary, idxs, 0))
         k <<= 1
     return sa.tolist()
 
@@ -89,34 +136,189 @@ def longest_match(
     matches.  Binary search over the suffix array, exactly as bsdiff's
     ``search`` routine.
     """
-    if not old or not target:
+    return longest_match_at(old, suffix_array, target, 0, len(target))
+
+
+def longest_match_at(
+    old: bytes, suffix_array: Sequence[int], new: bytes,
+    scan: int, cap: int
+) -> "tuple[int, int]":
+    """:func:`longest_match` against ``new[scan:scan + cap]``, zero-copy.
+
+    ``diff`` calls the match search once per scan position; slicing the
+    target out of ``new`` each time copied the whole comparison window
+    (up to 4 KiB) tens of thousands of times per image pair.  This
+    variant compares in place.  Lexicographic order is decided from the
+    common-prefix length instead of materialising either side, so the
+    binary search does no slicing at all; the result is identical.
+    """
+    bound = min(cap, len(new) - scan)
+    if not old or bound <= 0:
         return (0, 0)
 
-    bound = len(target)
+    target = new[scan:scan + bound]
+    first = target[0]
     lo, hi = 0, len(suffix_array)
     while hi - lo > 1:
         mid = (lo + hi) // 2
         start = suffix_array[mid]
         # Bounded prefix comparison: suffixes whose first `bound` bytes tie
         # with the target already achieve the maximum possible LCP, so the
-        # tie-breaking order does not affect the result.
-        if old[start:start + bound] <= target:
+        # tie-breaking order does not affect the result.  Most probes
+        # resolve on the first byte; only near-ties pay the C-level
+        # slice comparison.
+        head = old[start]
+        if head != first:
+            le = head < first
+        else:
+            le = old[start:start + bound] <= target
+        if le:
             lo = mid
         else:
             hi = mid
 
-    best_pos, best_len = suffix_array[lo], _lcp(old, suffix_array[lo], target)
+    best_pos = suffix_array[lo]
+    best_len = _lcp_bounded(old, best_pos, new, scan,
+                            min(bound, len(old) - best_pos))
     if hi < len(suffix_array):
         cand = suffix_array[hi]
-        cand_len = _lcp(old, cand, target)
+        cand_len = _lcp_bounded(old, cand, new, scan,
+                                min(bound, len(old) - cand))
         if cand_len > best_len:
             best_pos, best_len = cand, cand_len
     return (best_pos, best_len)
 
 
-def _lcp(old: bytes, pos: int, target: bytes) -> int:
-    limit = min(len(old) - pos, len(target))
-    i = 0
-    while i < limit and old[pos + i] == target[i]:
-        i += 1
-    return i
+class SuffixIndex:
+    """Suffix array plus a two-byte prefix index for fast match search.
+
+    The plain binary search walks ~log2(n) Python-level iterations per
+    probe, and ``diff`` probes once per scan position — tens of
+    thousands of times per image pair.  Keying each suffix by its first
+    two bytes (``first * 257 + second + 1``; the ``+1`` keeps the
+    sentinel for one-byte suffixes below every real second byte, and
+    257 keeps it from colliding with ``(first - 1, 0xFF)``) lets two
+    C-level ``bisect`` calls narrow the search to the handful of
+    suffixes sharing the target's two-byte prefix.
+
+    The classic search converges to ``lo = max(K, 0)`` where ``K`` is
+    the last suffix ordered ``<=`` the target, then scores ``sa[lo]``
+    and ``sa[lo + 1]``.  :meth:`search` computes the same ``K`` through
+    the bucket, so positions and lengths — and therefore patches — are
+    byte-identical.
+
+    With numpy available the bisects disappear entirely: the key list
+    is non-decreasing (it follows suffix order), so one
+    ``np.searchsorted`` over every possible two-byte key precomputes
+    the bucket boundary table, and each probe becomes two O(1) list
+    lookups (``bounds[key]`` / ``bounds[key + 1]``).
+    """
+
+    __slots__ = ("old", "sa", "_keys", "_bounds")
+
+    def __init__(self, old: bytes):
+        self.old = old
+        self.sa = build_suffix_array(old)
+        n = len(old)
+        if _np is not None and n > 64:
+            sa_np = _np.asarray(self.sa, dtype=_np.int64)
+            data = _np.frombuffer(old, dtype=_np.uint8).astype(_np.int64)
+            second = _np.full(n, -1, dtype=_np.int64)
+            inner = sa_np < n - 1
+            second[inner] = data[sa_np[inner] + 1]
+            keys = data[sa_np] * 257 + second + 1
+            self._keys: List[int] = keys.tolist()
+            # Max key is 255*257 + 256 = 65791; the table needs
+            # bounds[key + 1] and bounds[(first + 1) * 257] to resolve,
+            # so cover [0, 65793).
+            self._bounds: List[int] = _np.searchsorted(
+                keys, _np.arange(256 * 257 + 2), side="left").tolist()
+        else:
+            self._keys = [
+                old[pos] * 257
+                + (old[pos + 1] + 1 if pos + 1 < n else 0)
+                for pos in self.sa
+            ]
+            self._bounds = None
+
+    def search(self, new: bytes, scan: int, cap: int) -> "tuple[int, int]":
+        """Equivalent of :func:`longest_match_at` using the index."""
+        old, sa, keys = self.old, self.sa, self._keys
+        bounds = self._bounds
+        bound = min(cap, len(new) - scan)
+        if not old or bound <= 0:
+            return (0, 0)
+
+        first = new[scan]
+        if bound == 1:
+            # One-byte target: every suffix starting with `first`
+            # compares <= it (the bounded slice is exactly b"first").
+            if bounds is not None:
+                last_le = bounds[(first + 1) * 257] - 1
+            else:
+                last_le = bisect_left(keys, (first + 1) * 257) - 1
+        else:
+            key = first * 257 + new[scan + 1] + 1
+            if bounds is not None:
+                b_lo = bounds[key]
+                b_hi = bounds[key + 1]
+            else:
+                b_lo = bisect_left(keys, key)
+                b_hi = bisect_right(keys, key, b_lo)
+            if b_lo == b_hi:
+                last_le = b_lo - 1
+            else:
+                target = new[scan:scan + bound]
+                lo, hi = b_lo, b_hi
+                while lo < hi:
+                    mid = (lo + hi) // 2
+                    start = sa[mid]
+                    if old[start:start + bound] <= target:
+                        lo = mid + 1
+                    else:
+                        hi = mid
+                last_le = lo - 1
+
+        lo = last_le if last_le > 0 else 0
+        best_pos = sa[lo]
+        best_len = 0
+        if old[best_pos] == first:
+            best_len = _lcp_bounded(old, best_pos, new, scan,
+                                    min(bound, len(old) - best_pos))
+        if lo + 1 < len(sa):
+            cand = sa[lo + 1]
+            if old[cand] == first:
+                cand_len = _lcp_bounded(old, cand, new, scan,
+                                        min(bound, len(old) - cand))
+                if cand_len > best_len:
+                    best_pos, best_len = cand, cand_len
+        return (best_pos, best_len)
+
+
+def _lcp_bounded(old: bytes, pos: int, new: bytes, start: int,
+                 limit: int) -> int:
+    """Common-prefix length of ``old[pos:]`` and ``new[start:]``, capped.
+
+    Locates the first mismatch without a Python byte loop: XOR the two
+    windows as big-endian integers — the highest set bit of the XOR
+    pinpoints the first differing byte (``bit_length`` is C-level on
+    arbitrary-size ints).  A 16-byte head tier keeps the common case
+    (probes that mismatch within a few bytes) from converting whole
+    4 KiB windows; the result matches the byte-wise original.
+    """
+    if limit <= 0 or old[pos] != new[start]:
+        return 0
+    head = limit if limit < 16 else 16
+    a = old[pos:pos + head]
+    b = new[start:start + head]
+    if a != b:
+        x = int.from_bytes(a, "big") ^ int.from_bytes(b, "big")
+        return head - 1 - (x.bit_length() - 1) // 8
+    if head == limit:
+        return limit
+    a = old[pos:pos + limit]
+    b = new[start:start + limit]
+    if a == b:
+        return limit
+    x = int.from_bytes(a, "big") ^ int.from_bytes(b, "big")
+    return limit - 1 - (x.bit_length() - 1) // 8

@@ -9,19 +9,27 @@ from .campaign import (
     RolloutPolicy,
 )
 from .executor import (
+    Calibration,
     ParallelWaveExecutor,
+    ProcessWaveExecutor,
     SerialWaveExecutor,
     WaveExecutor,
+    calibrate,
+    select_executor,
 )
 
 __all__ = [
+    "Calibration",
     "Campaign",
     "CampaignReport",
     "DeviceRecord",
     "DeviceState",
     "ParallelWaveExecutor",
+    "ProcessWaveExecutor",
     "RetryPolicy",
     "RolloutPolicy",
     "SerialWaveExecutor",
     "WaveExecutor",
+    "calibrate",
+    "select_executor",
 ]

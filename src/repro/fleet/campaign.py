@@ -55,6 +55,11 @@ class DeviceRecord:
     #: across attempts so an outage survived on attempt 1 stays survived
     #: — this is what lets flaky-link devices converge under retry.
     link: Optional[Link] = None
+    #: Host wall-clock latency per request round-trip, forwarded to
+    #: this device's transports (the bench harness's I/O profile).
+    #: Sleeps never touch the virtual clock, so reports are identical
+    #: at any value.
+    host_rtt_seconds: float = 0.0
     state: DeviceState = DeviceState.PENDING
     attempts: int = 0
     #: Transport-level interruptions summed over every attempt (the
@@ -412,7 +417,8 @@ class Campaign:
             else None
         return cls(record.device, self.server,
                    interceptor=record.interceptor,
-                   link=record.link, retry=retry)
+                   link=record.link, retry=retry,
+                   host_rtt_seconds=record.host_rtt_seconds)
 
     # -- introspection -----------------------------------------------------------
 

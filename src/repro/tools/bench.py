@@ -12,18 +12,42 @@ depends on, under both crypto engines and both wave executors:
   independent, but it gates campaign start-up);
 * end-to-end campaign throughput (devices/s) on a seeded fleet, for
   the seed path (reference engine, serial executor), the fast engine
-  alone, and the full fast path (fast engine + parallel executor) —
-  asserting along the way that all three produce the *identical*
+  alone, the fast engine + thread-pool executor, and the fast engine +
+  process-pool executor — asserting along the way that every
+  configuration produces the *identical*
   :class:`~repro.fleet.campaign.CampaignReport`.
+
+The campaign runs under two **profiles**:
+
+* ``campaign`` (CPU profile) — pure simulation, no host-paced waits.
+  On a single-core host this is where the GIL finding shows up: the
+  pooled executors *lose* to serial (threads serialise on the GIL,
+  processes pay pickle + fork with no second core to win it back).
+  :func:`find_inversions` names these inversions; ``cli bench
+  --strict`` turns them into a nonzero exit.
+* ``campaign_io`` (I/O profile) — each request round-trip sleeps a
+  host RTT (:class:`~repro.net.transports` ``host_rtt_seconds``),
+  modeling a live network between campaign runner and update server.
+  Sleeps release the GIL and never touch the virtual clock, so the
+  pooled executors overlap them and win while reports stay
+  byte-identical.
 
 Results are written to ``BENCH_fleet.json`` (repo root by convention)
 so subsequent PRs can track the trajectory::
 
     python -m repro.tools.cli bench --devices 50 --out BENCH_fleet.json
 
-``benchmarks/test_perf_fleet.py`` runs the same harness under the
-``perf`` pytest marker (excluded from the tier-1 suite) and asserts the
-headline speedup.
+:func:`run_delta` measures the vectorised delta-generation fast path
+(bsdiff + LZSS) against the preserved pure-Python reference path on
+the same firmware pair — byte-identical outputs are asserted, the
+speedup is the headline — and writes ``BENCH_delta.json``::
+
+    python -m repro.tools.cli bench --delta-out BENCH_delta.json
+
+``benchmarks/test_perf_fleet.py`` / ``test_perf_delta.py`` run the
+same harnesses under the ``perf`` pytest marker (excluded from the
+tier-1 suite); ``tests/test_perf_smoke.py`` runs a bounded smoke
+subset inside tier-1.
 """
 
 from __future__ import annotations
@@ -42,14 +66,19 @@ from ..core import (
 )
 from ..crypto import generate_keypair, use_engine
 from ..crypto.engine import FastEngine, get_engine
-from ..delta import diff as bsdiff_diff
-from ..compression import compress as lzss_compress
+from ..delta import diff as bsdiff_diff, patch as bspatch_apply
+from ..delta import bsdiff as _bsdiff_mod
+from ..delta import suffix as _suffix_mod
+from ..compression import compress as lzss_compress, decompress as lzss_decompress
+from ..compression import lzss as _lzss_mod
 from ..fleet import (
     Campaign,
     DeviceRecord,
     ParallelWaveExecutor,
+    ProcessWaveExecutor,
     RolloutPolicy,
     SerialWaveExecutor,
+    calibrate,
 )
 from ..memory import MemoryLayout
 from ..obs import MetricsRegistry, bind_engine, bind_server
@@ -62,11 +91,17 @@ __all__ = [
     "bench_sha256",
     "bench_verify",
     "bench_delta",
+    "bench_delta_fastpath",
     "bench_campaign",
+    "find_inversions",
     "run_all",
+    "run_delta",
     "write_results",
+    "write_delta_results",
     "compare_to_baseline",
     "GATE_METRICS",
+    "IO_GATE_METRICS",
+    "DELTA_GATE_METRICS",
     "DEFAULT_TOLERANCE",
 ]
 
@@ -157,15 +192,97 @@ def bench_delta(image_size: int = 48 * 1024) -> Dict[str, float]:
     }
 
 
+def bench_delta_fastpath(image_size: int = 96 * 1024) -> Dict[str, object]:
+    """Vectorised vs. pure-Python delta generation on one firmware pair.
+
+    The numpy fast path (suffix-array construction, bucket-boundary
+    match search, hash-chain LZSS) and the preserved pure-Python
+    reference path are run over the *same* pair; the patch and the
+    compressed delta must come out byte-identical, and both are
+    round-tripped (LZSS decode, bspatch apply) before any timing is
+    reported.  The reference path is selected by nulling the modules'
+    ``_np`` handles — exactly the no-numpy import fallback.
+
+    The fast path is warmed once and reported as best-of-3 (suffix
+    array construction is included each run; only allocator/cache
+    warm-up is excluded).  The reference path runs once — it is the
+    slow side, and noise on the slow side only *understates* the
+    speedup.
+    """
+    generator = FirmwareGenerator(seed=b"bench-delta")
+    old = generator.firmware(image_size, image_id=1)
+    new = generator.os_version_change(old, revision=2)
+
+    def run_pair() -> "tuple[bytes, bytes, float, float]":
+        start = time.perf_counter()
+        patch_bytes = bsdiff_diff(old, new)
+        diff_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        delta = lzss_compress(patch_bytes)
+        compress_seconds = time.perf_counter() - start
+        return patch_bytes, delta, diff_seconds, compress_seconds
+
+    saved = (_suffix_mod._np, _bsdiff_mod._np, _lzss_mod._np)
+    try:
+        _suffix_mod._np = None
+        _bsdiff_mod._np = None
+        _lzss_mod._np = None
+        ref_patch, ref_delta, ref_diff_s, ref_comp_s = run_pair()
+    finally:
+        _suffix_mod._np, _bsdiff_mod._np, _lzss_mod._np = saved
+
+    run_pair()  # warm-up
+    fast_patch = fast_delta = b""
+    fast_diff_s = fast_comp_s = float("inf")
+    for _ in range(3):
+        patch_bytes, delta, diff_s, comp_s = run_pair()
+        if diff_s + comp_s < fast_diff_s + fast_comp_s:
+            fast_patch, fast_delta = patch_bytes, delta
+            fast_diff_s, fast_comp_s = diff_s, comp_s
+
+    identical = (fast_patch == ref_patch) and (fast_delta == ref_delta)
+    if not identical:
+        raise AssertionError(
+            "delta fast path diverged from the pure-Python reference")
+    if lzss_decompress(fast_delta) != fast_patch:
+        raise AssertionError("LZSS round-trip failed on the benched delta")
+    if bspatch_apply(old, fast_patch) != new:
+        raise AssertionError("bspatch round-trip failed on the benched patch")
+
+    fast_total = fast_diff_s + fast_comp_s
+    ref_total = ref_diff_s + ref_comp_s
+    return {
+        "firmware_bytes": image_size,
+        "patch_bytes": len(fast_patch),
+        "delta_bytes": len(fast_delta),
+        "fast": {
+            "bsdiff_seconds": round(fast_diff_s, 4),
+            "lzss_seconds": round(fast_comp_s, 4),
+            "total_seconds": round(fast_total, 4),
+        },
+        "reference": {
+            "bsdiff_seconds": round(ref_diff_s, 4),
+            "lzss_seconds": round(ref_comp_s, 4),
+            "total_seconds": round(ref_total, 4),
+        },
+        "speedup": round(ref_total / fast_total, 2) if fast_total > 0 else 0.0,
+        "byte_identical": True,
+    }
+
+
 # -- campaign ---------------------------------------------------------------
 
 
 def _build_campaign(device_count: int, image_size: int,
-                    executor, metrics=None) -> Campaign:
+                    executor, metrics=None,
+                    host_rtt_seconds: float = 0.0) -> Campaign:
     """A seeded fleet at v1 with v2 published, ready to run.
 
     Construction is fully deterministic, so every configuration under
     test drives a bit-identical fleet against a bit-identical release.
+    ``host_rtt_seconds`` > 0 selects the I/O profile: every control
+    exchange sleeps that long on the host clock (the virtual clock is
+    untouched, so reports stay identical across executors).
     """
     generator = FirmwareGenerator(seed=b"bench-campaign")
     fw_v1 = generator.firmware(image_size, image_id=1)
@@ -191,6 +308,7 @@ def _build_campaign(device_count: int, image_size: int,
             name="bench-%03d" % index,
             device=device,
             transport="pull" if index % 2 else "push",
+            host_rtt_seconds=host_rtt_seconds,
         ))
 
     server.publish(vendor.release(fw_v2, 2))
@@ -200,18 +318,36 @@ def _build_campaign(device_count: int, image_size: int,
 
 def bench_campaign(device_count: int = 50,
                    image_size: int = 24 * 1024,
-                   max_workers: Optional[int] = None) -> Dict[str, object]:
-    """End-to-end campaign throughput for the three configurations."""
-    configurations = (
-        ("reference_serial", "reference", SerialWaveExecutor()),
-        ("fast_serial", "fast", SerialWaveExecutor()),
-        ("fast_parallel", "fast",
-         ParallelWaveExecutor(max_workers=max_workers)),
-    )
+                   max_workers: Optional[int] = None,
+                   host_rtt_seconds: float = 0.0,
+                   include_reference: bool = True,
+                   process_workers: Optional[int] = None
+                   ) -> Dict[str, object]:
+    """End-to-end campaign throughput per engine/executor configuration.
+
+    Four configurations by default — reference engine + serial executor
+    (the seed path), fast engine + serial, fast engine + thread pool,
+    fast engine + process pool.  ``include_reference=False`` drops the
+    slow seed path (used for the I/O profile, where only the executor
+    comparison is interesting).  Every configuration must produce the
+    identical :class:`CampaignReport` or the bench raises.
+    """
+    configurations = []
+    if include_reference:
+        configurations.append(
+            ("reference_serial", "reference", SerialWaveExecutor()))
+    configurations.append(("fast_serial", "fast", SerialWaveExecutor()))
+    configurations.append(
+        ("fast_parallel", "fast", ParallelWaveExecutor(max_workers=max_workers)))
+    configurations.append(
+        ("fast_process", "fast",
+         ProcessWaveExecutor(max_workers=process_workers or max_workers or 2)))
     results: Dict[str, object] = {
         "devices": device_count,
         "image_bytes": image_size,
     }
+    if host_rtt_seconds > 0.0:
+        results["host_rtt_seconds"] = host_rtt_seconds
     reports = {}
     crypto_stats: Dict[str, object] = {}
     server_stats: Dict[str, object] = {}
@@ -224,18 +360,22 @@ def bench_campaign(device_count: int = 50,
         registry = MetricsRegistry()
         executor.metrics = registry
         campaign = _build_campaign(device_count, image_size, executor,
-                                   metrics=registry)
+                                   metrics=registry,
+                                   host_rtt_seconds=host_rtt_seconds)
         bind_server(registry, campaign.server)
-        with use_engine(engine_name) as engine:
-            if isinstance(engine, FastEngine):
-                engine.clear_caches()   # cold start: tables count too
-                bind_engine(registry, engine)
-            start = time.perf_counter()
-            report = campaign.run()
-            elapsed = time.perf_counter() - start
-            crypto_stats[label] = (engine.stats.to_dict()
-                                   if isinstance(engine, FastEngine)
-                                   else None)
+        try:
+            with use_engine(engine_name) as engine:
+                if isinstance(engine, FastEngine):
+                    engine.clear_caches()   # cold start: tables count too
+                    bind_engine(registry, engine)
+                start = time.perf_counter()
+                report = campaign.run()
+                elapsed = time.perf_counter() - start
+                crypto_stats[label] = (engine.stats.to_dict()
+                                       if isinstance(engine, FastEngine)
+                                       else None)
+        finally:
+            executor.close()
         server_stats[label] = campaign.server.stats.to_dict()
         metrics_out[label] = registry.snapshot()
         if report.aborted or len(report.updated) != device_count:
@@ -246,14 +386,20 @@ def bench_campaign(device_count: int = 50,
         results["%s_seconds" % label] = round(elapsed, 3)
         results["%s_devices_per_s" % label] = round(
             device_count / elapsed, 2)
-    if not (reports["reference_serial"] == reports["fast_serial"]
-            == reports["fast_parallel"]):
-        raise AssertionError(
-            "campaign reports diverged between configurations")
+    baseline_report = reports["fast_serial"]
+    for label, report_dict in reports.items():
+        if report_dict != baseline_report:
+            raise AssertionError(
+                "campaign report for %s diverged from fast_serial" % label)
     results["reports_identical"] = True
-    results["speedup"] = round(
-        results["reference_serial_seconds"]
-        / results["fast_parallel_seconds"], 2)
+    if include_reference:
+        results["speedup"] = round(
+            results["reference_serial_seconds"]
+            / results["fast_parallel_seconds"], 2)
+    results["thread_speedup"] = round(
+        results["fast_serial_seconds"] / results["fast_parallel_seconds"], 2)
+    results["process_speedup"] = round(
+        results["fast_serial_seconds"] / results["fast_process_seconds"], 2)
     if isinstance(max_workers, int):
         results["max_workers"] = max_workers
     results["crypto_stats"] = crypto_stats
@@ -262,20 +408,60 @@ def bench_campaign(device_count: int = 50,
     return results
 
 
+def find_inversions(results: Dict[str, object]) -> List[str]:
+    """Name every executor inversion in a bench result document.
+
+    An *inversion* is a pooled executor (threads or processes) running
+    *slower* than the serial executor under the same engine — the
+    empirical GIL finding on single-core hosts.  Returns human-readable
+    descriptions; ``cli bench`` prints them as warnings and ``--strict``
+    turns a non-empty list into a nonzero exit.  Tolerates partial or
+    synthetic documents: sections and metrics that are absent are
+    simply skipped.
+    """
+    inversions: List[str] = []
+    for section in ("campaign", "campaign_io"):
+        data = results.get(section)
+        if not isinstance(data, dict):
+            continue
+        serial = data.get("fast_serial_seconds")
+        if not isinstance(serial, (int, float)) or serial <= 0:
+            continue
+        for pooled in ("fast_parallel", "fast_process"):
+            value = data.get("%s_seconds" % pooled)
+            if isinstance(value, (int, float)) and value > serial:
+                inversions.append(
+                    "%s: %s (%.3f s) is slower than fast_serial (%.3f s) "
+                    "— pooled execution loses on this host/profile"
+                    % (section, pooled, value, serial))
+    return inversions
+
+
 # -- harness ----------------------------------------------------------------
 
 
 def run_all(device_count: int = 50, image_size: int = 24 * 1024,
-            max_workers: Optional[int] = None) -> Dict[str, object]:
+            max_workers: Optional[int] = None,
+            io_rtt_seconds: float = 0.05) -> Dict[str, object]:
     """Run every benchmark; returns the JSON-ready result document."""
     previous = get_engine().name
     campaign = bench_campaign(device_count, image_size, max_workers)
+    # I/O profile: no reference engine (only the executor comparison is
+    # interesting), pool sized for overlapping waits rather than cores.
+    io_workers = max_workers or 8
+    campaign_io = bench_campaign(
+        device_count, image_size, max_workers=io_workers,
+        host_rtt_seconds=io_rtt_seconds, include_reference=False,
+        process_workers=io_workers)
+    for key in ("crypto_stats", "server_stats", "metrics"):
+        campaign_io.pop(key, None)
     results = {
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "host": {
             "python": sys.version.split()[0],
             "cpu_count": os.cpu_count(),
         },
+        "calibration": calibrate().to_dict(),
         "sha256": bench_sha256(),
         "ecdsa_verify": bench_verify(),
         "delta_generation": bench_delta(),
@@ -285,9 +471,22 @@ def run_all(device_count: int = 50, image_size: int = 24 * 1024,
         "server_stats": campaign.pop("server_stats"),
         "metrics": campaign.pop("metrics"),
         "campaign": campaign,
+        "campaign_io": campaign_io,
     }
     assert get_engine().name == previous, "bench must not leak engine state"
     return results
+
+
+def run_delta(image_size: int = 96 * 1024) -> Dict[str, object]:
+    """Run the delta fast-path benchmark; returns the JSON document."""
+    return {
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "host": {
+            "python": sys.version.split()[0],
+            "cpu_count": os.cpu_count(),
+        },
+        "delta_fastpath": bench_delta_fastpath(image_size),
+    }
 
 
 def write_results(results: Dict[str, object], path: str) -> str:
@@ -295,11 +494,25 @@ def write_results(results: Dict[str, object], path: str) -> str:
     return write_report(results, path, "bench")
 
 
+def write_delta_results(results: Dict[str, object], path: str) -> str:
+    """Write a schema-stamped delta-bench artifact."""
+    return write_report(results, path, "delta")
+
+
 #: Campaign wall-clock metrics the ``--baseline`` gate compares — one
 #: per engine/executor configuration, so a regression in any one of
 #: the three paths (reference, fast, fast+parallel) trips the gate.
 GATE_METRICS = ("reference_serial_seconds", "fast_serial_seconds",
                 "fast_parallel_seconds")
+
+#: I/O-profile wall-clock metrics, gated only when both artifacts carry
+#: a ``campaign_io`` section (older baselines predate it).
+IO_GATE_METRICS = ("fast_serial_seconds", "fast_parallel_seconds",
+                   "fast_process_seconds")
+
+#: Delta-generation wall-clock metrics, gated only when both artifacts
+#: carry a ``delta_generation`` section.
+DELTA_GATE_METRICS = ("bsdiff_seconds", "lzss_seconds", "total_seconds")
 
 #: Allowed slowdown before the gate trips (0.20 = +20 %); generous
 #: because wall-clock benches on shared CI hosts are noisy.
@@ -330,22 +543,61 @@ def compare_to_baseline(results: Dict[str, object],
             return ["baseline ran %s=%r but this run used %r — "
                     "regenerate the baseline for this workload"
                     % (key, base.get(key), current.get(key))]
-    for metric in GATE_METRICS:
+    _gate_section(problems, current, base, GATE_METRICS, tolerance)
+    # fast_process landed after the original gate; gate it only when the
+    # baseline already has it, so old baselines keep working.
+    if isinstance(base.get("fast_process_seconds"), (int, float)):
+        _gate_section(problems, current, base, ("fast_process_seconds",),
+                      tolerance)
+    # Optional sections — gated only when both artifacts carry them.
+    cur_io = results.get("campaign_io")
+    base_io = baseline.get("campaign_io")
+    if isinstance(cur_io, dict) and isinstance(base_io, dict):
+        for key in ("devices", "image_bytes", "host_rtt_seconds"):
+            if cur_io.get(key) != base_io.get(key):
+                problems.append(
+                    "campaign_io baseline ran %s=%r but this run used %r — "
+                    "regenerate the baseline for this workload"
+                    % (key, base_io.get(key), cur_io.get(key)))
+                break
+        else:
+            _gate_section(problems, cur_io, base_io, IO_GATE_METRICS,
+                          tolerance, prefix="campaign_io ")
+    cur_delta = results.get("delta_generation")
+    base_delta = baseline.get("delta_generation")
+    if isinstance(cur_delta, dict) and isinstance(base_delta, dict):
+        if cur_delta.get("firmware_bytes") != base_delta.get("firmware_bytes"):
+            problems.append(
+                "delta_generation baseline ran firmware_bytes=%r but this "
+                "run used %r — regenerate the baseline for this workload"
+                % (base_delta.get("firmware_bytes"),
+                   cur_delta.get("firmware_bytes")))
+        else:
+            _gate_section(problems, cur_delta, base_delta,
+                          DELTA_GATE_METRICS, tolerance,
+                          prefix="delta_generation ")
+    return problems
+
+
+def _gate_section(problems: List[str], current: Dict[str, object],
+                  base: Dict[str, object], metrics, tolerance: float,
+                  prefix: str = "") -> None:
+    """Append tolerance violations for ``metrics`` to ``problems``."""
+    for metric in metrics:
         old = base.get(metric)
         new = current.get(metric)
         if not isinstance(old, (int, float)) or old <= 0:
-            problems.append("baseline has no usable %r" % metric)
+            problems.append("baseline has no usable %s%r" % (prefix, metric))
             continue
         if not isinstance(new, (int, float)):
-            problems.append("this run produced no %r" % metric)
+            problems.append("this run produced no %s%r" % (prefix, metric))
             continue
         if new > old * (1.0 + tolerance):
             problems.append(
-                "%s regressed: %.3f s vs baseline %.3f s "
+                "%s%s regressed: %.3f s vs baseline %.3f s "
                 "(+%.0f%%, tolerance %.0f%%)"
-                % (metric, new, old, 100.0 * (new - old) / old,
+                % (prefix, metric, new, old, 100.0 * (new - old) / old,
                    100.0 * tolerance))
-    return problems
 
 
 def format_summary(results: Dict[str, object]) -> str:
@@ -370,4 +622,28 @@ def format_summary(results: Dict[str, object]) -> str:
         % (camp["reference_serial_devices_per_s"],
            camp["fast_parallel_devices_per_s"], camp["speedup"]),
     ]
+    if isinstance(camp.get("fast_process_seconds"), (int, float)):
+        lines.append(
+            "               cpu profile: serial %.2f s, threads %.2f s, "
+            "processes %.2f s"
+            % (camp["fast_serial_seconds"], camp["fast_parallel_seconds"],
+               camp["fast_process_seconds"]))
+    camp_io = results.get("campaign_io")
+    if isinstance(camp_io, dict):
+        lines.append(
+            "campaign io  : rtt %.0f ms — serial %.2f s, threads %.2f s "
+            "(%sx), processes %.2f s (%sx)"
+            % (1000.0 * camp_io.get("host_rtt_seconds", 0.0),
+               camp_io["fast_serial_seconds"],
+               camp_io["fast_parallel_seconds"], camp_io["thread_speedup"],
+               camp_io["fast_process_seconds"], camp_io["process_speedup"]))
     return "\n".join(lines)
+
+
+def format_delta_summary(results: Dict[str, object]) -> str:
+    fastpath = results["delta_fastpath"]
+    return (
+        "delta fast path (%dk): %.3f s -> %.3f s (%sx, byte-identical)"
+        % (fastpath["firmware_bytes"] // 1024,
+           fastpath["reference"]["total_seconds"],
+           fastpath["fast"]["total_seconds"], fastpath["speedup"]))

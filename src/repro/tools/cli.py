@@ -19,7 +19,8 @@ Subcommands::
     upkit inspect --image image.bin
     upkit bench   [--devices N] [--image-size BYTES] [--workers W]
                   [--out BENCH_fleet.json] [--baseline PREV.json]
-                  [--tolerance F]
+                  [--tolerance F] [--strict] [--io-rtt S]
+                  [--delta-out BENCH_delta.json] [--delta-size BYTES]
     upkit chaos   [--points N] [--seed S] [--slots a|b]
                   [--transport push|pull] [--image-size BYTES]
                   [--out CHAOS_report.json]
@@ -257,15 +258,31 @@ def cmd_bench(args: argparse.Namespace) -> int:
     With ``--baseline``, gate the fresh run against a previous bench
     artifact: exit status 1 when any engine configuration's campaign
     wall-clock regressed by more than ``--tolerance`` (default +20 %).
+    Executor inversions (a pooled executor losing to serial on the same
+    profile) are printed as warnings; ``--strict`` turns them into exit
+    status 1.  ``--delta-out`` additionally runs the delta fast-path
+    benchmark and writes its artifact (BENCH_delta.json by convention).
     """
     from . import bench, report as report_mod
 
     results = bench.run_all(device_count=args.devices,
                             image_size=args.image_size,
-                            max_workers=args.workers)
+                            max_workers=args.workers,
+                            io_rtt_seconds=args.io_rtt)
     path = bench.write_results(results, args.out)
     print(bench.format_summary(results))
     print("wrote %s" % path)
+    inversions = bench.find_inversions(results)
+    for inversion in inversions:
+        print("WARNING: executor inversion: %s" % inversion)
+    if args.delta_out is not None:
+        delta_results = bench.run_delta(image_size=args.delta_size)
+        delta_path = bench.write_delta_results(delta_results, args.delta_out)
+        print(bench.format_delta_summary(delta_results))
+        print("wrote %s" % delta_path)
+    if inversions and args.strict:
+        print("STRICT: %d executor inversion(s); failing" % len(inversions))
+        return 1
     if args.baseline is None:
         return 0
     try:
@@ -500,6 +517,19 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--tolerance", type=float, default=0.20,
                        help="allowed fractional slowdown vs baseline "
                             "(default: 0.20)")
+    bench.add_argument("--strict", action="store_true",
+                       help="exit 1 when a pooled executor is slower "
+                            "than serial on any profile")
+    bench.add_argument("--io-rtt", type=float, default=0.05,
+                       help="host RTT in seconds for the campaign_io "
+                            "profile (default: 0.05)")
+    bench.add_argument("--delta-out", default=None,
+                       help="also run the delta fast-path benchmark and "
+                            "write its artifact here (e.g. "
+                            "BENCH_delta.json)")
+    bench.add_argument("--delta-size", type=int, default=96 * 1024,
+                       help="firmware size for the delta fast-path "
+                            "benchmark (default: 98304)")
     bench.set_defaults(func=cmd_bench)
 
     chaos = sub.add_parser(

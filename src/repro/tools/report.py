@@ -36,8 +36,8 @@ __all__ = [
 #: Current schema version per report kind.  Bump a kind's version when
 #: its document shape changes; teach :func:`validate_data` about the
 #: old shape so existing artifacts keep loading.
-SCHEMA_VERSIONS: Dict[str, int] = {"bench": 2, "chaos": 3, "trace": 1,
-                                   "fleetview": 1}
+SCHEMA_VERSIONS: Dict[str, int] = {"bench": 3, "chaos": 3, "trace": 1,
+                                   "fleetview": 1, "delta": 1}
 
 
 class ReportError(ValueError):
@@ -124,6 +124,24 @@ def validate_data(kind: str, version: int,
         if version >= 2:
             errors += _require(data, ["crypto_stats", "server_stats",
                                       "metrics"], kind)
+        if version >= 3:
+            errors += _require(data, ["campaign_io", "calibration"], kind)
+            campaign_io = data.get("campaign_io")
+            if isinstance(campaign_io, dict):
+                if campaign_io.get("reports_identical") is not True:
+                    errors.append("bench campaign_io reports diverged "
+                                  "between executor configurations")
+    elif kind == "delta":
+        errors += _require(data, ["delta_fastpath"], kind)
+        fastpath = data.get("delta_fastpath")
+        if isinstance(fastpath, dict):
+            errors += ["delta report delta_fastpath missing key %r" % key
+                       for key in ("fast", "reference", "speedup",
+                                   "byte_identical", "firmware_bytes")
+                       if key not in fastpath]
+            if fastpath.get("byte_identical") is not True:
+                errors.append("delta fast path output is not byte-identical "
+                              "to the reference path")
     elif kind == "chaos":
         errors += _require(data, ["calibration", "results", "bricked"],
                            kind)

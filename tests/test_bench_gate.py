@@ -9,8 +9,11 @@ import pytest
 from repro.tools import bench
 from repro.tools.bench import (
     DEFAULT_TOLERANCE,
+    DELTA_GATE_METRICS,
     GATE_METRICS,
+    IO_GATE_METRICS,
     compare_to_baseline,
+    find_inversions,
 )
 from repro.tools.cli import main
 
@@ -24,6 +27,27 @@ def synthetic(devices=50, image_bytes=24576, serial=14.0, fast=1.8,
         "fast_serial_seconds": fast,
         "fast_parallel_seconds": parallel,
     }}
+
+
+def synthetic_full(io_serial=4.0, io_parallel=1.5, io_process=1.8,
+                   delta_total=0.15, **kwargs):
+    """A document with the optional campaign_io + delta sections."""
+    doc = synthetic(**kwargs)
+    doc["campaign_io"] = {
+        "devices": doc["campaign"]["devices"],
+        "image_bytes": doc["campaign"]["image_bytes"],
+        "host_rtt_seconds": 0.05,
+        "fast_serial_seconds": io_serial,
+        "fast_parallel_seconds": io_parallel,
+        "fast_process_seconds": io_process,
+    }
+    doc["delta_generation"] = {
+        "firmware_bytes": 49152,
+        "bsdiff_seconds": delta_total * 0.8,
+        "lzss_seconds": delta_total * 0.2,
+        "total_seconds": delta_total,
+    }
+    return doc
 
 
 def test_identical_runs_pass_the_gate():
@@ -82,13 +106,98 @@ def test_default_tolerance_is_twenty_percent():
     assert DEFAULT_TOLERANCE == pytest.approx(0.20)
 
 
+# -- optional campaign_io / delta_generation gating ---------------------------
+
+
+def test_optional_sections_are_skipped_when_absent():
+    # Old baseline (campaign only) vs new run with the extra sections —
+    # and the reverse — must both gate cleanly on the shared section.
+    assert compare_to_baseline(synthetic_full(), synthetic()) == []
+    assert compare_to_baseline(synthetic(), synthetic_full()) == []
+
+
+def test_io_profile_regression_is_named():
+    fresh = synthetic_full(io_process=1.8 * 1.5)
+    problems = compare_to_baseline(fresh, synthetic_full())
+    assert len(problems) == 1
+    assert "campaign_io fast_process_seconds regressed" in problems[0]
+
+
+def test_every_io_metric_is_checked():
+    for metric in IO_GATE_METRICS:
+        fresh = synthetic_full()
+        fresh["campaign_io"][metric] *= 2.0
+        problems = compare_to_baseline(fresh, synthetic_full())
+        assert any("campaign_io " + metric in p for p in problems)
+
+
+def test_io_rtt_mismatch_demands_a_fresh_baseline():
+    fresh = synthetic_full()
+    fresh["campaign_io"]["host_rtt_seconds"] = 0.1
+    problems = compare_to_baseline(fresh, synthetic_full())
+    assert len(problems) == 1
+    assert "campaign_io baseline" in problems[0]
+    assert "regenerate the baseline" in problems[0]
+
+
+def test_delta_generation_regression_is_named():
+    fresh = synthetic_full(delta_total=0.15 * 2)
+    problems = compare_to_baseline(fresh, synthetic_full())
+    assert len(problems) == len(DELTA_GATE_METRICS)
+    assert all("delta_generation " in p for p in problems)
+
+
+def test_delta_workload_mismatch_demands_a_fresh_baseline():
+    fresh = synthetic_full()
+    fresh["delta_generation"]["firmware_bytes"] = 8192
+    problems = compare_to_baseline(fresh, synthetic_full())
+    assert len(problems) == 1
+    assert "delta_generation baseline ran firmware_bytes" in problems[0]
+
+
+def test_process_metric_gated_only_when_baseline_has_it():
+    base = synthetic()
+    base["campaign"]["fast_process_seconds"] = 2.5
+    fresh = synthetic()
+    fresh["campaign"]["fast_process_seconds"] = 2.5 * 2
+    assert any("fast_process_seconds regressed" in p
+               for p in compare_to_baseline(fresh, base))
+    # Baseline without the metric: not gated, not an error.
+    assert compare_to_baseline(fresh, synthetic()) == []
+
+
+# -- executor inversion detection ---------------------------------------------
+
+
+def test_find_inversions_flags_pooled_slower_than_serial():
+    doc = synthetic()  # parallel 2.0 > fast 1.8: an inversion
+    inversions = find_inversions(doc)
+    assert len(inversions) == 1
+    assert "campaign: fast_parallel" in inversions[0]
+
+
+def test_find_inversions_covers_both_profiles_and_pools():
+    doc = synthetic_full(io_serial=1.0, io_parallel=1.5, io_process=2.0)
+    doc["campaign"]["fast_process_seconds"] = 3.0
+    inversions = find_inversions(doc)
+    assert len(inversions) == 4  # 2 pools x 2 profiles
+    assert any("campaign_io: fast_process" in i for i in inversions)
+
+
+def test_find_inversions_tolerates_sparse_documents():
+    assert find_inversions({}) == []
+    assert find_inversions({"campaign": {"fast_serial_seconds": 0}}) == []
+    fast = synthetic(fast=2.0, parallel=1.0)
+    assert find_inversions(fast) == []
+
+
 # -- the CLI wiring (satellite: exit status gates CI) -------------------------
 
 
 @pytest.fixture()
 def fake_bench_run(monkeypatch):
     """Stub the expensive harness; ``cli bench`` still writes/gates."""
-    def run_all(device_count, image_size, max_workers):
+    def run_all(device_count, image_size, max_workers, io_rtt_seconds=0.05):
         return synthetic(devices=device_count, image_bytes=image_size)
 
     def write_results(results, path):
@@ -96,10 +205,18 @@ def fake_bench_run(monkeypatch):
             json.dump(results, fh)
         return path
 
+    def run_delta(image_size):
+        return {"delta_fastpath": {"firmware_bytes": image_size,
+                                   "byte_identical": True}}
+
     monkeypatch.setattr(bench, "run_all", run_all)
     monkeypatch.setattr(bench, "write_results", write_results)
     monkeypatch.setattr(bench, "format_summary",
                         lambda results: "(stubbed bench)")
+    monkeypatch.setattr(bench, "run_delta", run_delta)
+    monkeypatch.setattr(bench, "write_delta_results", write_results)
+    monkeypatch.setattr(bench, "format_delta_summary",
+                        lambda results: "(stubbed delta)")
 
 
 def write_baseline(path, results):
@@ -145,3 +262,33 @@ def test_cli_bench_rejects_a_missing_baseline(tmp_path, fake_bench_run,
                "--baseline", str(tmp_path / "nope.json")])
     assert rc == 1
     assert "UNUSABLE" in capsys.readouterr().out
+
+
+def test_cli_bench_warns_on_inversion_without_strict(tmp_path,
+                                                     fake_bench_run,
+                                                     capsys):
+    # synthetic() has fast_parallel (2.0 s) slower than fast_serial
+    # (1.8 s) — an inversion, but only a warning without --strict.
+    rc = main(["bench", "--out", str(tmp_path / "fresh.json")])
+    assert rc == 0
+    assert "WARNING: executor inversion" in capsys.readouterr().out
+
+
+def test_cli_bench_strict_fails_on_inversion(tmp_path, fake_bench_run,
+                                             capsys):
+    rc = main(["bench", "--out", str(tmp_path / "fresh.json"),
+               "--strict"])
+    assert rc == 1
+    out = capsys.readouterr().out
+    assert "WARNING: executor inversion" in out
+    assert "STRICT:" in out
+
+
+def test_cli_bench_delta_out_writes_an_artifact(tmp_path, fake_bench_run,
+                                                capsys):
+    delta_path = tmp_path / "delta.json"
+    rc = main(["bench", "--out", str(tmp_path / "fresh.json"),
+               "--delta-out", str(delta_path)])
+    assert rc == 0
+    assert delta_path.exists()
+    assert "(stubbed delta)" in capsys.readouterr().out

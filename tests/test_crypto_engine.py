@@ -335,3 +335,161 @@ def test_available_engines_names():
     assert set(engines) == {"reference", "fast"}
     assert engines["reference"].name == "reference"
     assert engines["fast"].name == "fast"
+
+
+# -- verify-cache lock audit (satellite: contention-safe counters) -----------
+
+
+def _hammer_verify(engine, public, jobs, threads):
+    """Run ``jobs`` (message, signature) verifies across ``threads``."""
+    import threading
+
+    errors = []
+    per_thread = [jobs[i::threads] for i in range(threads)]
+
+    def worker(assigned):
+        try:
+            for message, signature in assigned:
+                assert public.verify(signature, message)
+        except BaseException as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    workers = [threading.Thread(target=worker, args=(chunk,))
+               for chunk in per_thread]
+    for t in workers:
+        t.start()
+    for t in workers:
+        t.join()
+    assert errors == []
+
+
+def test_verify_counters_exact_under_thread_contention():
+    """verify_calls is exact and hits are bounded under contention.
+
+    The hot path increments under the engine lock, so the call counter
+    must equal the number of verifies issued no matter the interleaving.
+    Two threads may race to first-verify the same signature (both miss,
+    both compute — benign, results identical), so cache hits are
+    bounded below by ``total - threads * distinct`` rather than exact.
+    """
+    threads, repeats = 4, 8
+    key = generate_keypair(b"contention-audit")
+    public = key.public_key()
+    with use_engine("fast") as engine:
+        engine.clear_caches()
+        messages = [b"contended message %d" % i for i in range(3)]
+        signed = [(m, key.sign(m)) for m in messages]
+        signing_calls = engine.stats_snapshot().verify_calls
+        jobs = signed * repeats
+        _hammer_verify(engine, public, jobs, threads)
+        stats = engine.stats_snapshot()
+    total = len(jobs)
+    distinct = len(signed)
+    assert stats.verify_calls - signing_calls == total
+    assert stats.verify_cache_hits <= stats.verify_calls
+    assert stats.verify_cache_hits >= total - threads * distinct
+
+
+def test_verify_cache_stays_bounded_under_thread_contention():
+    """Eviction under the lock: the LRU never overshoots its bound."""
+    threads = 4
+    key = generate_keypair(b"contention-bound")
+    public = key.public_key()
+    with use_engine("fast"):
+        engine = FastEngine(verify_cache_size=8)
+        set_engine_obj = engine  # distinct instance; drive it directly
+        messages = [b"bounded message %d" % i for i in range(64)]
+        signatures = [key.sign(m) for m in messages]
+    import threading
+
+    errors = []
+
+    def worker(offset):
+        try:
+            for i in range(offset, len(messages), threads):
+                digest = hashlib.sha256(messages[i]).digest()
+                sig = signatures[i]
+                assert set_engine_obj.ecdsa_verify(
+                    public.point, sig.r, sig.s, digest)
+        except BaseException as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    workers = [threading.Thread(target=worker, args=(i,))
+               for i in range(threads)]
+    for t in workers:
+        t.start()
+    for t in workers:
+        t.join()
+    assert errors == []
+    assert len(set_engine_obj._verify_cache) <= 8
+    stats = set_engine_obj.stats_snapshot()
+    assert stats.verify_calls == len(messages)
+
+
+def test_snapshots_never_tear_under_contention():
+    """Concurrent stats_snapshot readers always see hits <= calls."""
+    import threading
+
+    key = generate_keypair(b"contention-snapshot")
+    public = key.public_key()
+    with use_engine("fast") as engine:
+        engine.clear_caches()
+        message = b"snapshot message"
+        signature = key.sign(message)
+        stop = threading.Event()
+        torn = []
+
+        def reader():
+            while not stop.is_set():
+                snap = engine.stats_snapshot()
+                if snap.verify_cache_hits > snap.verify_calls:
+                    torn.append(snap)  # pragma: no cover - failure path
+
+        watcher = threading.Thread(target=reader)
+        watcher.start()
+        try:
+            _hammer_verify(engine, public,
+                           [(message, signature)] * 64, threads=4)
+        finally:
+            stop.set()
+            watcher.join()
+    assert torn == []
+
+
+def test_engine_counters_merge_exactly_across_executors():
+    """Thread- and process-pool campaigns account every verify.
+
+    The serial run is ground truth.  The thread pool shares one engine
+    (lock-guarded increments); the process pool runs forked engine
+    copies whose deltas fold back through ``merge_stats``.  Both must
+    land on exactly the serial ``verify_calls`` total — a lost update
+    in either path shows up as a shortfall here.
+    """
+    from repro.fleet import (
+        ParallelWaveExecutor,
+        ProcessWaveExecutor,
+        SerialWaveExecutor,
+    )
+    from repro.tools.bench import _build_campaign
+
+    totals = {}
+    executors = {
+        "serial": SerialWaveExecutor,
+        "threads": lambda: ParallelWaveExecutor(max_workers=4),
+        "processes": lambda: ProcessWaveExecutor(max_workers=2,
+                                                 min_fork_wave=2),
+    }
+    for label, make in executors.items():
+        executor = make()
+        campaign = _build_campaign(6, 4 * 1024, executor)
+        with use_engine("fast") as engine:
+            engine.clear_caches()
+            report = campaign.run()
+            stats = engine.stats_snapshot()
+        if hasattr(executor, "close"):
+            executor.close()
+        assert not report.aborted and len(report.updated) == 6
+        totals[label] = stats.verify_calls
+        assert stats.verify_cache_hits <= stats.verify_calls
+    assert totals["threads"] == totals["serial"]
+    assert totals["processes"] == totals["serial"]

@@ -1,0 +1,49 @@
+"""Tier-1 smoke subset of the performance harness.
+
+The full benchmarks (``benchmarks/``, ``perf`` marker) are excluded
+from tier-1 because they chase wall-clock numbers.  This module runs
+the same code paths at a bounded size and checks only *correctness*
+invariants — byte-identical fast-path output, identical campaign
+reports across executors — so a fast-path regression that breaks
+equivalence fails CI immediately rather than at the next manual bench
+run.  The ``perf_smoke`` marker selects just these tests
+(``pytest -m perf_smoke``); unlike ``perf`` it is *not* excluded by
+the tier-1 addopts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tools import bench
+
+
+pytestmark = pytest.mark.perf_smoke
+
+
+def test_delta_fastpath_is_byte_identical_at_smoke_size():
+    result = bench.bench_delta_fastpath(image_size=8 * 1024)
+    assert result["byte_identical"] is True
+    assert result["firmware_bytes"] == 8 * 1024
+    assert result["patch_bytes"] > 0
+    assert result["delta_bytes"] > 0
+    for side in ("fast", "reference"):
+        assert result[side]["total_seconds"] >= 0.0
+
+
+def test_campaign_configurations_report_identically_at_smoke_size():
+    result = bench.bench_campaign(device_count=4, image_size=4 * 1024,
+                                  max_workers=2, include_reference=False,
+                                  process_workers=2)
+    assert result["reports_identical"] is True
+    for label in ("fast_serial", "fast_parallel", "fast_process"):
+        assert result["%s_seconds" % label] > 0.0
+
+
+def test_run_delta_document_validates():
+    from repro.tools.report import validate_data
+
+    document = bench.run_delta(image_size=8 * 1024)
+    document["report_kind"] = "delta"
+    document["schema_version"] = 1
+    assert validate_data("delta", 1, document) == []
