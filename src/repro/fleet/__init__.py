@@ -7,6 +7,14 @@ from .campaign import (
     DeviceState,
     RetryPolicy,
     RolloutPolicy,
+    drive_attempt,
+    finalize_failed,
+    transport_for,
+)
+from .columnar import (
+    ColumnarFleet,
+    DeviceSpec,
+    ROW_DTYPE,
 )
 from .executor import (
     Calibration,
@@ -17,19 +25,37 @@ from .executor import (
     calibrate,
     select_executor,
 )
+from .scale import (
+    ScaleCampaign,
+    ScaleReport,
+)
+from .scheduler import (
+    Event,
+    EventScheduler,
+)
 
 __all__ = [
     "Calibration",
     "Campaign",
     "CampaignReport",
+    "ColumnarFleet",
     "DeviceRecord",
+    "DeviceSpec",
     "DeviceState",
+    "Event",
+    "EventScheduler",
     "ParallelWaveExecutor",
     "ProcessWaveExecutor",
+    "ROW_DTYPE",
     "RetryPolicy",
     "RolloutPolicy",
+    "ScaleCampaign",
+    "ScaleReport",
     "SerialWaveExecutor",
     "WaveExecutor",
     "calibrate",
+    "drive_attempt",
+    "finalize_failed",
     "select_executor",
+    "transport_for",
 ]

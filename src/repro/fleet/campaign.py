@@ -28,7 +28,8 @@ from ..sim.device import SimulatedDevice
 from .executor import SerialWaveExecutor, WaveExecutor
 
 __all__ = ["DeviceRecord", "DeviceState", "RolloutPolicy", "RetryPolicy",
-           "CampaignReport", "Campaign"]
+           "CampaignReport", "Campaign", "transport_for", "drive_attempt",
+           "finalize_failed"]
 
 
 class DeviceState(enum.Enum):
@@ -195,6 +196,55 @@ class CampaignReport:
             "total_energy_mj": self.total_energy_mj,
             "wall_clock_seconds": self.wall_clock_seconds,
         }
+
+
+# -- the per-device driver ----------------------------------------------------
+#
+# One attempt of one device is the unit both campaign flavours share:
+# the hydrated `Campaign` loops attempts back-to-back inside
+# `_update_device`, while the columnar `ScaleCampaign` replays the same
+# sequence from discrete retry events.  Keeping the body here (and
+# calling it from both) is what makes the two paths byte-identical.
+
+
+def transport_for(record: DeviceRecord, server: UpdateServer,
+                  transport_retry: Optional[TransportRetryPolicy] = None):
+    """Build the per-attempt transport exactly as a campaign would."""
+    cls = PushTransport if record.transport == "push" else PullTransport
+    return cls(record.device, server,
+               interceptor=record.interceptor,
+               link=record.link, retry=transport_retry,
+               host_rtt_seconds=record.host_rtt_seconds)
+
+
+def drive_attempt(server: UpdateServer, record: DeviceRecord, target: int,
+                  transport_retry: Optional[TransportRetryPolicy] = None
+                  ) -> UpdateOutcome:
+    """Run exactly one update attempt, mutating the record in place.
+
+    Sets :attr:`DeviceRecord.state` to ``UPDATED`` on success; a failed
+    attempt leaves the state untouched so the caller decides between a
+    retry, :func:`finalize_failed`, or its own policy.
+    """
+    record.attempts += 1
+    transport = transport_for(record, server, transport_retry)
+    outcome = transport.run_update()
+    record.last_outcome = outcome
+    record.interruptions += outcome.interruptions
+    if outcome.success and outcome.booted_version == target:
+        record.state = DeviceState.UPDATED
+    return outcome
+
+
+def finalize_failed(record: DeviceRecord,
+                    retry: Optional[RetryPolicy]) -> None:
+    """Close out a device whose retry budget is exhausted."""
+    if (retry is not None
+            and retry.quarantine_after is not None
+            and record.attempts >= retry.quarantine_after):
+        record.state = DeviceState.QUARANTINED
+    else:
+        record.state = DeviceState.FAILED
 
 
 class Campaign:
@@ -388,37 +438,21 @@ class Campaign:
                        target: int) -> Optional[UpdateOutcome]:
         attempts = (self.retry.max_attempts if self.retry is not None
                     else self.policy.max_attempts)
+        transport_retry = (self.retry.transport_retry
+                           if self.retry is not None else None)
         last: Optional[UpdateOutcome] = None
         for attempt in range(1, attempts + 1):
-            record.attempts += 1
-            transport = self._transport_for(record)
-            last = transport.run_update()
-            record.last_outcome = last
-            record.interruptions += last.interruptions
-            if last.success and last.booted_version == target:
-                record.state = DeviceState.UPDATED
+            last = drive_attempt(self.server, record, target,
+                                 transport_retry)
+            if record.state is DeviceState.UPDATED:
                 return last
             if self.retry is not None and attempt < attempts:
                 # Wait out the (virtual) backoff on the device's own
                 # clock before the next attempt.
                 record.device.clock.advance(
                     self.retry.delay(attempt, record.name), "backoff")
-        if (self.retry is not None
-                and self.retry.quarantine_after is not None
-                and record.attempts >= self.retry.quarantine_after):
-            record.state = DeviceState.QUARANTINED
-        else:
-            record.state = DeviceState.FAILED
+        finalize_failed(record, self.retry)
         return last
-
-    def _transport_for(self, record: DeviceRecord):
-        cls = PushTransport if record.transport == "push" else PullTransport
-        retry = self.retry.transport_retry if self.retry is not None \
-            else None
-        return cls(record.device, self.server,
-                   interceptor=record.interceptor,
-                   link=record.link, retry=retry,
-                   host_rtt_seconds=record.host_rtt_seconds)
 
     # -- introspection -----------------------------------------------------------
 

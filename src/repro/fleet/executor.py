@@ -359,27 +359,44 @@ class Calibration:
     ``dispatch_seconds`` — thread-pool overhead per no-op task;
     ``pickle_seconds`` — round-trip (dumps + loads) cost of one device
     record, the marginal price a process pool pays per device;
-    ``cpu_count`` — cores the GIL-free executor could actually use.
+    ``cpu_count`` — cores the GIL-free executor could actually use;
+    ``process_speedup`` — measured two-process vs. serial speedup on a
+    small CPU workload (None when the probe was skipped).  Sub-1x
+    means forking loses outright on this host, no matter what the
+    per-device arithmetic promises.
     """
 
     dispatch_seconds: float
     pickle_seconds: float
     cpu_count: int
+    process_speedup: Optional[float] = None
 
     def to_dict(self) -> dict:
-        return {
+        result = {
             "dispatch_seconds": self.dispatch_seconds,
             "pickle_seconds": self.pickle_seconds,
             "cpu_count": self.cpu_count,
         }
+        if self.process_speedup is not None:
+            result["process_speedup"] = self.process_speedup
+        return result
 
 
-def calibrate(sample_record=None, tasks: int = 64) -> Calibration:
+def calibrate(sample_record=None, tasks: int = 64,
+              probe_processes: bool = False) -> Calibration:
     """Cheap probe of this host's parallelism economics (~1 ms).
 
     Times ``tasks`` no-op submissions through a two-thread pool for the
     dispatch overhead, and one pickle round-trip of ``sample_record``
     (when given) for the process-pool shipping cost.
+
+    ``probe_processes=True`` additionally measures a real two-process
+    vs. serial speedup on a small CPU workload (~50 ms): the direct
+    empirical answer to "does forking pay on this host".  On a
+    single-core box the measured speedup comes back *below* 1.0 —
+    exactly the ``process_speedup: 0.62`` inversion the bench artifact
+    recorded — and :func:`select_executor` then refuses the process
+    pool regardless of the per-device cost arithmetic.
     """
     with ThreadPoolExecutor(max_workers=2) as pool:
         start = time.perf_counter()
@@ -392,13 +409,52 @@ def calibrate(sample_record=None, tasks: int = 64) -> Calibration:
         pickle.loads(pickle.dumps(sample_record,
                                   protocol=pickle.HIGHEST_PROTOCOL))
         pickle_seconds = time.perf_counter() - start
+    process_speedup = None
+    if probe_processes:
+        process_speedup = _probe_process_speedup()
     return Calibration(dispatch_seconds=dispatch,
                        pickle_seconds=pickle_seconds,
-                       cpu_count=os.cpu_count() or 1)
+                       cpu_count=os.cpu_count() or 1,
+                       process_speedup=process_speedup)
 
 
 def _noop(_value) -> None:
     return None
+
+
+def _spin(iterations: int) -> int:
+    """A small pure-CPU workload (keeps the GIL, pickles trivially)."""
+    total = 0
+    for value in range(iterations):
+        total ^= value * 2654435761 & 0xFFFFFFFF
+    return total
+
+
+def _probe_process_speedup(iterations: int = 200_000,
+                           chunks: int = 4) -> float:
+    """Measured serial/two-process wall-clock ratio on `_spin` work.
+
+    > 1.0 — forking genuinely wins on this host; < 1.0 — the fork +
+    pickle + scheduling overhead exceeds any parallel gain (the
+    single-core inversion).  Failures to fork (restricted hosts)
+    report 0.0, which also vetoes the process pool.
+    """
+    work = [iterations] * chunks
+    start = time.perf_counter()
+    for item in work:
+        _spin(item)
+    serial = time.perf_counter() - start
+    try:
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            start = time.perf_counter()
+            for _ in pool.map(_spin, work):
+                pass
+            forked = time.perf_counter() - start
+    except (OSError, ValueError):  # pragma: no cover - restricted hosts
+        return 0.0
+    if forked <= 0:  # pragma: no cover - timer degenerate
+        return 0.0
+    return serial / forked
 
 
 #: A process pool only pays off once per-device work dwarfs the pickle
@@ -446,6 +502,12 @@ def select_executor(wave_size: int,
     workers = max_workers if max_workers is not None \
         else min(16, calibration.cpu_count)
     if workers <= 1 or calibration.cpu_count <= 1:
+        return SerialWaveExecutor(metrics=metrics)
+    if (calibration.process_speedup is not None
+            and calibration.process_speedup < 1.0):
+        # The probe *measured* forking losing on this host (the
+        # single-core `process_speedup: 0.62` inversion): no amount of
+        # per-device work rescues a pool that runs slower end-to-end.
         return SerialWaveExecutor(metrics=metrics)
     floor = max(calibration.pickle_seconds * PROCESS_PAYOFF_FACTOR,
                 calibration.dispatch_seconds)

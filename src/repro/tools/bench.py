@@ -53,9 +53,10 @@ subset inside tier-1.
 from __future__ import annotations
 
 import os
+import pickle
 import sys
 import time
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..core import (
     DeviceProfile,
@@ -73,10 +74,13 @@ from ..compression import compress as lzss_compress, decompress as lzss_decompre
 from ..compression import lzss as _lzss_mod
 from ..fleet import (
     Campaign,
+    ColumnarFleet,
     DeviceRecord,
+    DeviceSpec,
     ParallelWaveExecutor,
     ProcessWaveExecutor,
     RolloutPolicy,
+    ScaleCampaign,
     SerialWaveExecutor,
     calibrate,
 )
@@ -93,6 +97,7 @@ __all__ = [
     "bench_delta",
     "bench_delta_fastpath",
     "bench_campaign",
+    "bench_fleet_scale",
     "find_inversions",
     "run_all",
     "run_delta",
@@ -102,6 +107,8 @@ __all__ = [
     "GATE_METRICS",
     "IO_GATE_METRICS",
     "DELTA_GATE_METRICS",
+    "FLEET_SCALE_HIGHER_IS_BETTER",
+    "FLEET_SCALE_LOWER_IS_BETTER",
     "DEFAULT_TOLERANCE",
 ]
 
@@ -316,6 +323,129 @@ def _build_campaign(device_count: int, image_size: int,
                     executor=executor, metrics=metrics)
 
 
+def _build_scale_campaign(device_count: int,
+                          image_size: int) -> ScaleCampaign:
+    """The same seeded workload as :func:`_build_campaign`, columnar.
+
+    Fleet membership is a :class:`~repro.fleet.ColumnarFleet` (one row
+    per device); the hydrator provisions lazily against a server view
+    where v1 is still the latest release, so a device materialised
+    after v2 ships factory-installs the identical v1 image the
+    hydrated path provisioned up front (envelope signatures are
+    deterministic and content-addressed).
+    """
+    generator = FirmwareGenerator(seed=b"bench-campaign")
+    fw_v1 = generator.firmware(image_size, image_id=1)
+    fw_v2 = generator.os_version_change(fw_v1, revision=2)
+    vendor_id, server_id, anchors = make_test_identities()
+    vendor = VendorServer(vendor_id, app_id=APP_ID,
+                          link_offset=LINK_OFFSET)
+    release_v1 = vendor.release(fw_v1, 1)
+    server = UpdateServer(server_id)
+    server.publish(release_v1)
+    provisioning = UpdateServer(server_id)
+    provisioning.publish(release_v1)
+    server.publish(vendor.release(fw_v2, 2))
+
+    def spec_fn(index: int) -> DeviceSpec:
+        return DeviceSpec(name="bench-%03d" % index,
+                          device_id=0x4000 + index,
+                          transport="pull" if index % 2 else "push")
+
+    def hydrator(spec: DeviceSpec) -> DeviceRecord:
+        internal = NRF52840.make_internal_flash()
+        layout = MemoryLayout.configuration_a(internal, 128 * 1024)
+        profile = DeviceProfile(device_id=spec.device_id, app_id=APP_ID,
+                                link_offset=LINK_OFFSET)
+        device = SimulatedDevice(
+            board=NRF52840, os_profile=ZEPHYR, layout=layout,
+            profile=profile, anchors=anchors,
+        )
+        provision_device(provisioning, layout.get("a"), spec.device_id)
+        return DeviceRecord(name=spec.name, device=device,
+                            transport=spec.transport,
+                            host_rtt_seconds=spec.host_rtt_seconds)
+
+    fleet = ColumnarFleet(device_count, spec_fn, baseline_version=1)
+    return ScaleCampaign(server, fleet, hydrator,
+                         RolloutPolicy(canary_fraction=0.1),
+                         anchors=anchors)
+
+
+def _sampled_parity(sample_devices: int, image_size: int) -> bool:
+    """Hydrated vs. columnar cross-check on a small sampled fleet.
+
+    Runs the same seeded workload through both campaign flavours and
+    requires the materialised :class:`CampaignReport` *and* every
+    per-device entry to be byte-identical.  Raises on divergence —
+    a fleet-scale artifact must never ship numbers from a path that
+    disagrees with the reference implementation.
+    """
+    from ..fleet import ScaleReport
+
+    with use_engine("fast") as engine:
+        engine.clear_caches()
+        hydrated = _build_campaign(sample_devices, image_size,
+                                   SerialWaveExecutor())
+        hydrated_report = hydrated.run()
+        engine.clear_caches()
+        scale = _build_scale_campaign(sample_devices, image_size)
+        scale_report = scale.run()
+    if (scale_report.to_campaign_report().to_dict()
+            != hydrated_report.to_dict()):
+        raise AssertionError(
+            "columnar campaign report diverged from the hydrated path")
+    for index, record in enumerate(hydrated.fleet):
+        if (scale_report.device_entry(index)
+                != ScaleReport.record_entry(record)):
+            raise AssertionError(
+                "columnar device entry %d diverged from the hydrated "
+                "record" % index)
+    return True
+
+
+def bench_fleet_scale(device_count: int = 10_000,
+                      image_size: int = 24 * 1024,
+                      sample_devices: int = 20) -> Dict[str, object]:
+    """Columnar campaign throughput and memory-per-device tracking.
+
+    Runs a :class:`~repro.fleet.ScaleCampaign` over ``device_count``
+    columnar rows (hydrating only cohort representatives), recording
+    devices/s, peak RSS (``resource.getrusage``), columnar bytes/row
+    and — for the memory-per-device trajectory the ROADMAP tracks —
+    the sparse-flash pickle cost of one fully hydrated record.  A
+    ``sample_devices``-sized hydrated-vs-columnar parity cross-check
+    runs first and the artifact records its verdict.
+    """
+    import resource
+
+    parity = _sampled_parity(sample_devices, image_size)
+    campaign = _build_scale_campaign(device_count, image_size)
+    sample_record = campaign.hydrator(campaign.fleet.spec(0))
+    pickle_bytes = len(pickle.dumps(sample_record,
+                                    protocol=pickle.HIGHEST_PROTOCOL))
+    with use_engine("fast") as engine:
+        engine.clear_caches()
+        start = time.perf_counter()
+        report = campaign.run()
+        elapsed = time.perf_counter() - start
+    peak_rss_kb = int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+    summary = report.summary()
+    if summary["updated"] != device_count or summary["aborted"]:
+        raise AssertionError(
+            "fleet-scale campaign did not fully succeed: %r" % summary)
+    summary.update({
+        "image_bytes": image_size,
+        "scale_seconds": round(elapsed, 3),
+        "devices_per_s": round(device_count / elapsed, 1),
+        "peak_rss_kb": peak_rss_kb,
+        "pickle_bytes_per_record": pickle_bytes,
+        "sampled_parity": parity,
+        "sample_devices": sample_devices,
+    })
+    return summary
+
+
 def bench_campaign(device_count: int = 50,
                    image_size: int = 24 * 1024,
                    max_workers: Optional[int] = None,
@@ -442,8 +572,15 @@ def find_inversions(results: Dict[str, object]) -> List[str]:
 
 def run_all(device_count: int = 50, image_size: int = 24 * 1024,
             max_workers: Optional[int] = None,
-            io_rtt_seconds: float = 0.05) -> Dict[str, object]:
-    """Run every benchmark; returns the JSON-ready result document."""
+            io_rtt_seconds: float = 0.05,
+            scale_devices: Optional[int] = None) -> Dict[str, object]:
+    """Run every benchmark; returns the JSON-ready result document.
+
+    ``scale_devices`` sizes the columnar ``fleet_scale`` section; the
+    hydrated executor-comparison campaigns stay capped at
+    ``device_count`` (hydrating a million full simulators is exactly
+    what the columnar path exists to avoid).
+    """
     previous = get_engine().name
     campaign = bench_campaign(device_count, image_size, max_workers)
     # I/O profile: no reference engine (only the executor comparison is
@@ -472,6 +609,8 @@ def run_all(device_count: int = 50, image_size: int = 24 * 1024,
         "metrics": campaign.pop("metrics"),
         "campaign": campaign,
         "campaign_io": campaign_io,
+        "fleet_scale": bench_fleet_scale(
+            scale_devices or max(device_count, 10_000), image_size),
     }
     assert get_engine().name == previous, "bench must not leak engine state"
     return results
@@ -513,6 +652,14 @@ IO_GATE_METRICS = ("fast_serial_seconds", "fast_parallel_seconds",
 #: Delta-generation wall-clock metrics, gated only when both artifacts
 #: carry a ``delta_generation`` section.
 DELTA_GATE_METRICS = ("bsdiff_seconds", "lzss_seconds", "total_seconds")
+
+#: Fleet-scale gate: throughput must not *drop* more than the
+#: tolerance (higher is better, so the comparison is inverted), and
+#: peak RSS must not *grow* more than it.  Gated only when both
+#: artifacts carry a ``fleet_scale`` section (schema v3 baselines
+#: predate it).
+FLEET_SCALE_HIGHER_IS_BETTER = ("devices_per_s",)
+FLEET_SCALE_LOWER_IS_BETTER = ("peak_rss_kb",)
 
 #: Allowed slowdown before the gate trips (0.20 = +20 %); generous
 #: because wall-clock benches on shared CI hosts are noisy.
@@ -576,6 +723,37 @@ def compare_to_baseline(results: Dict[str, object],
             _gate_section(problems, cur_delta, base_delta,
                           DELTA_GATE_METRICS, tolerance,
                           prefix="delta_generation ")
+    cur_scale = results.get("fleet_scale")
+    base_scale = baseline.get("fleet_scale")
+    if isinstance(cur_scale, dict) and isinstance(base_scale, dict):
+        for key in ("devices", "image_bytes"):
+            if cur_scale.get(key) != base_scale.get(key):
+                problems.append(
+                    "fleet_scale baseline ran %s=%r but this run used %r — "
+                    "regenerate the baseline for this workload"
+                    % (key, base_scale.get(key), cur_scale.get(key)))
+                break
+        else:
+            _gate_section(problems, cur_scale, base_scale,
+                          FLEET_SCALE_LOWER_IS_BETTER, tolerance,
+                          prefix="fleet_scale ")
+            for metric in FLEET_SCALE_HIGHER_IS_BETTER:
+                old = base_scale.get(metric)
+                new = cur_scale.get(metric)
+                if not isinstance(old, (int, float)) or old <= 0:
+                    problems.append(
+                        "baseline has no usable fleet_scale %r" % metric)
+                    continue
+                if not isinstance(new, (int, float)):
+                    problems.append(
+                        "this run produced no fleet_scale %r" % metric)
+                    continue
+                if new < old * (1.0 - tolerance):
+                    problems.append(
+                        "fleet_scale %s regressed: %.1f vs baseline %.1f "
+                        "(-%.0f%%, tolerance %.0f%%)"
+                        % (metric, new, old, 100.0 * (old - new) / old,
+                           100.0 * tolerance))
     return problems
 
 
@@ -637,6 +815,16 @@ def format_summary(results: Dict[str, object]) -> str:
                camp_io["fast_serial_seconds"],
                camp_io["fast_parallel_seconds"], camp_io["thread_speedup"],
                camp_io["fast_process_seconds"], camp_io["process_speedup"]))
+    scale = results.get("fleet_scale")
+    if isinstance(scale, dict):
+        lines.append(
+            "fleet scale  : %d devices in %.2f s (%.0f devices/s, "
+            "%d hydrations, %d B/row vs %d B pickled, rss %.1f MB)"
+            % (scale["devices"], scale["scale_seconds"],
+               scale["devices_per_s"], scale["hydrations"],
+               scale["columnar_bytes_per_row"],
+               scale["pickle_bytes_per_record"],
+               scale["peak_rss_kb"] / 1024.0))
     return "\n".join(lines)
 
 

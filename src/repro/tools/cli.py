@@ -257,18 +257,28 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
     With ``--baseline``, gate the fresh run against a previous bench
     artifact: exit status 1 when any engine configuration's campaign
-    wall-clock regressed by more than ``--tolerance`` (default +20 %).
-    Executor inversions (a pooled executor losing to serial on the same
+    wall-clock regressed by more than ``--tolerance`` (default +20 %),
+    or when the columnar ``fleet_scale`` section lost more than the
+    tolerance in devices/s or gained it in peak RSS.  Executor
+    inversions (a pooled executor losing to serial on the same
     profile) are printed as warnings; ``--strict`` turns them into exit
     status 1.  ``--delta-out`` additionally runs the delta fast-path
     benchmark and writes its artifact (BENCH_delta.json by convention).
+
+    ``--devices`` sizes the columnar fleet-scale campaign; the hydrated
+    executor-comparison campaigns are capped at 200 devices (hydrating
+    a million full simulators is what the columnar path exists to
+    avoid), so ``upkit bench --devices 1000000`` is a bounded-memory
+    million-device run.
     """
     from . import bench, report as report_mod
 
-    results = bench.run_all(device_count=args.devices,
+    hydrated = min(args.devices or 50, 200)
+    results = bench.run_all(device_count=hydrated,
                             image_size=args.image_size,
                             max_workers=args.workers,
-                            io_rtt_seconds=args.io_rtt)
+                            io_rtt_seconds=args.io_rtt,
+                            scale_devices=args.devices)
     path = bench.write_results(results, args.out)
     print(bench.format_summary(results))
     print("wrote %s" % path)
@@ -502,8 +512,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench = sub.add_parser(
         "bench", help="run the fleet-scale performance benchmark harness")
-    bench.add_argument("--devices", type=int, default=50,
-                       help="campaign fleet size (default: 50)")
+    bench.add_argument("--devices", type=int, default=None,
+                       help="fleet size for the columnar fleet_scale "
+                            "campaign; hydrated executor comparisons "
+                            "cap at 200 (default: 50 hydrated, "
+                            "10000 columnar)")
     bench.add_argument("--image-size", type=int, default=24 * 1024,
                        help="firmware image size in bytes (default: 24576)")
     bench.add_argument("--workers", type=int, default=None,

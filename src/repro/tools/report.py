@@ -36,7 +36,7 @@ __all__ = [
 #: Current schema version per report kind.  Bump a kind's version when
 #: its document shape changes; teach :func:`validate_data` about the
 #: old shape so existing artifacts keep loading.
-SCHEMA_VERSIONS: Dict[str, int] = {"bench": 3, "chaos": 3, "trace": 1,
+SCHEMA_VERSIONS: Dict[str, int] = {"bench": 4, "chaos": 3, "trace": 1,
                                    "fleetview": 1, "delta": 1}
 
 
@@ -131,6 +131,20 @@ def validate_data(kind: str, version: int,
                 if campaign_io.get("reports_identical") is not True:
                     errors.append("bench campaign_io reports diverged "
                                   "between executor configurations")
+        if version >= 4:
+            errors += _require(data, ["fleet_scale"], kind)
+            fleet_scale = data.get("fleet_scale")
+            if isinstance(fleet_scale, dict):
+                errors += ["bench fleet_scale missing key %r" % key
+                           for key in ("devices", "devices_per_s",
+                                       "peak_rss_kb",
+                                       "columnar_bytes_per_row",
+                                       "pickle_bytes_per_record")
+                           if key not in fleet_scale]
+                if fleet_scale.get("sampled_parity") is not True:
+                    errors.append("bench fleet_scale sampled per-device "
+                                  "entries diverged from the hydrated "
+                                  "path")
     elif kind == "delta":
         errors += _require(data, ["delta_fastpath"], kind)
         fastpath = data.get("delta_fastpath")

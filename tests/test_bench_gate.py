@@ -166,6 +166,68 @@ def test_process_metric_gated_only_when_baseline_has_it():
     assert compare_to_baseline(fresh, synthetic()) == []
 
 
+def synthetic_scale(devices=10_000, image_bytes=24576,
+                    devices_per_s=5000.0, peak_rss_kb=250_000, **kwargs):
+    """A document carrying the columnar fleet_scale section."""
+    doc = synthetic_full(**kwargs)
+    doc["fleet_scale"] = {
+        "devices": devices,
+        "image_bytes": image_bytes,
+        "devices_per_s": devices_per_s,
+        "peak_rss_kb": peak_rss_kb,
+        "columnar_bytes_per_row": 86,
+        "pickle_bytes_per_record": 33538,
+        "sampled_parity": True,
+    }
+    return doc
+
+
+def test_fleet_scale_section_skipped_when_absent():
+    assert compare_to_baseline(synthetic_scale(), synthetic_full()) == []
+    assert compare_to_baseline(synthetic_full(), synthetic_scale()) == []
+
+
+def test_fleet_scale_throughput_drop_is_named():
+    """devices_per_s gates in the *inverted* direction: higher is
+    better, so a >20% drop fails."""
+    fresh = synthetic_scale(devices_per_s=5000.0 * 0.7)
+    problems = compare_to_baseline(fresh, synthetic_scale())
+    assert len(problems) == 1
+    assert "fleet_scale devices_per_s regressed" in problems[0]
+    assert "-30%" in problems[0]
+    # Within tolerance (or faster) passes.
+    assert compare_to_baseline(synthetic_scale(devices_per_s=5000 * 0.85),
+                               synthetic_scale()) == []
+    assert compare_to_baseline(synthetic_scale(devices_per_s=9999.0),
+                               synthetic_scale()) == []
+
+
+def test_fleet_scale_rss_growth_is_named():
+    """peak_rss_kb gates lower-is-better like the wall-clock metrics."""
+    fresh = synthetic_scale(peak_rss_kb=int(250_000 * 1.5))
+    problems = compare_to_baseline(fresh, synthetic_scale())
+    assert len(problems) == 1
+    assert "fleet_scale peak_rss_kb regressed" in problems[0]
+    assert compare_to_baseline(synthetic_scale(peak_rss_kb=100_000),
+                               synthetic_scale()) == []
+
+
+def test_fleet_scale_workload_mismatch_demands_a_fresh_baseline():
+    problems = compare_to_baseline(synthetic_scale(devices=500),
+                                   synthetic_scale())
+    assert len(problems) == 1
+    assert "fleet_scale baseline" in problems[0]
+    assert "regenerate the baseline" in problems[0]
+
+
+def test_fleet_scale_missing_metrics_are_reported():
+    broken = synthetic_scale()
+    del broken["fleet_scale"]["devices_per_s"]
+    problems = compare_to_baseline(synthetic_scale(), broken)
+    assert problems == ["baseline has no usable fleet_scale "
+                        "'devices_per_s'"]
+
+
 # -- executor inversion detection ---------------------------------------------
 
 
@@ -197,7 +259,8 @@ def test_find_inversions_tolerates_sparse_documents():
 @pytest.fixture()
 def fake_bench_run(monkeypatch):
     """Stub the expensive harness; ``cli bench`` still writes/gates."""
-    def run_all(device_count, image_size, max_workers, io_rtt_seconds=0.05):
+    def run_all(device_count, image_size, max_workers, io_rtt_seconds=0.05,
+                scale_devices=None):
         return synthetic(devices=device_count, image_bytes=image_size)
 
     def write_results(results, path):
