@@ -2,19 +2,34 @@
 
 :mod:`repro.faults.plan` describes *what* goes wrong (seeded, value-
 object fault schedules); :mod:`repro.faults.injector` wires a plan into
-a live testbed.  The chaos sweep (:mod:`repro.tools.chaos`) drives both
-to assert the paper's anti-bricking invariant under an exhaustive grid
-of injected failures.
+a live testbed; :mod:`repro.faults.domains` groups devices into
+correlated failure domains (regions, gateways, cohorts) and schedules
+fleet-wide storms, loss fronts, thundering herds, and coordinator
+crashes against them.  The chaos sweep (:mod:`repro.tools.chaos`)
+drives all three to assert the paper's anti-bricking invariant under an
+exhaustive grid of injected failures.
 """
 
+from .domains import (
+    CORRELATED_KINDS,
+    DomainEvent,
+    DomainPlan,
+    FaultDomain,
+    derive_seed,
+)
 from .injector import BURST_LOSS_RATE, DeviceRebooted, FaultInjector
 from .plan import FaultKind, FaultPlan, FaultPoint
 
 __all__ = [
     "BURST_LOSS_RATE",
+    "CORRELATED_KINDS",
     "DeviceRebooted",
+    "DomainEvent",
+    "DomainPlan",
+    "FaultDomain",
     "FaultInjector",
     "FaultKind",
     "FaultPlan",
     "FaultPoint",
+    "derive_seed",
 ]

@@ -90,13 +90,23 @@ class FaultInjector:
         are cumulative-byte based, so a re-created link would replay
         already-survived outages.
         """
+        # Correlated kinds share the per-device mechanics: a LINK_STORM
+        # is an outage every domain member hits at the same byte, a
+        # HERD_REBOOT is a single synchronized connection drop, a
+        # LOSS_FRONT is a shared loss burst.  The *correlation* lives in
+        # the DomainPlan handing every member the same coordinates; the
+        # link replays them exactly like their per-device twins.
         outages = [Outage(at_byte=point.at,
                           failures=max(1, point.param))
-                   for point in self.plan.of_kind(FaultKind.LINK_OUTAGE)]
+                   for point in (self.plan.of_kind(FaultKind.LINK_OUTAGE)
+                                 + self.plan.of_kind(FaultKind.LINK_STORM))]
+        outages += [Outage(at_byte=point.at, failures=1)
+                    for point in self.plan.of_kind(FaultKind.HERD_REBOOT)]
         bursts = [LossBurst(start_byte=point.at,
                             end_byte=point.at + max(1, point.param),
                             loss_rate=BURST_LOSS_RATE)
-                  for point in self.plan.of_kind(FaultKind.LOSS_BURST)]
+                  for point in (self.plan.of_kind(FaultKind.LOSS_BURST)
+                                + self.plan.of_kind(FaultKind.LOSS_FRONT))]
         slowdowns = [Slowdown(at_byte=point.at,
                               factor=float(max(2, point.param)))
                      for point in self.plan.of_kind(FaultKind.SLOW_LINK)]

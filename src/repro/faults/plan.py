@@ -32,6 +32,21 @@ SLOW_LINK              the link degrades once ``at`` cumulative bytes
                        by ``param`` (a marginal radio, not a dead one —
                        the straggler the fleet telemetry plane exists
                        to catch)
+LINK_STORM             correlated outage: every link in a fault domain
+                       drops at the same ``at`` cumulative bytes for
+                       ``param`` consecutive attempts (a regional
+                       backhaul/gateway failure, not one flaky radio)
+LOSS_FRONT             correlated loss burst (a weather front): every
+                       link in a domain suffers the burst over
+                       cumulative bytes [``at``, ``at + param``)
+HERD_REBOOT            thundering herd: every device in a domain drops
+                       its connection at the same ``at`` cumulative
+                       bytes (synchronized reboot), then all re-attach
+                       at once — the retry-storm amplifier
+COORDINATOR_CRASH      the *update coordinator* dies after its ``at``-th
+                       durable journal append; the campaign must be
+                       resumed from the write-ahead journal
+                       (:mod:`repro.fleet.journal`)
 =====================  =====================================================
 
 Plans are value objects: hashable, sortable, JSON-serialisable — the
@@ -60,6 +75,12 @@ class FaultKind(enum.Enum):
     REBOOT = "reboot"
     BIT_ROT = "bit-rot"
     SERVER_OUTAGE = "server-outage"
+    # Correlated kinds (PR 7): scheduled by a DomainPlan against every
+    # member of a fault domain rather than one device.
+    LINK_STORM = "link-storm"
+    LOSS_FRONT = "loss-front"
+    HERD_REBOOT = "herd-reboot"
+    COORDINATOR_CRASH = "coordinator-crash"
 
 
 @dataclass(frozen=True)

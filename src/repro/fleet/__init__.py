@@ -1,5 +1,14 @@
 """Fleet layer: staged update campaigns over many simulated devices."""
 
+from .budget import (
+    BreakerPolicy,
+    BreakerState,
+    CAUTION_TRANSPORT_RETRY,
+    CircuitBreaker,
+    Decision,
+    RetryBudget,
+    RetryGovernor,
+)
 from .campaign import (
     Campaign,
     CampaignReport,
@@ -9,7 +18,13 @@ from .campaign import (
     RolloutPolicy,
     drive_attempt,
     finalize_failed,
+    post_mortem_phases,
     transport_for,
+)
+from .journal import (
+    CampaignJournal,
+    CoordinatorKilled,
+    JOURNAL_KINDS,
 )
 from .columnar import (
     ColumnarFleet,
@@ -35,18 +50,28 @@ from .scheduler import (
 )
 
 __all__ = [
+    "BreakerPolicy",
+    "BreakerState",
+    "CAUTION_TRANSPORT_RETRY",
     "Calibration",
     "Campaign",
+    "CampaignJournal",
     "CampaignReport",
+    "CircuitBreaker",
     "ColumnarFleet",
+    "CoordinatorKilled",
+    "Decision",
     "DeviceRecord",
     "DeviceSpec",
     "DeviceState",
     "Event",
     "EventScheduler",
+    "JOURNAL_KINDS",
     "ParallelWaveExecutor",
     "ProcessWaveExecutor",
     "ROW_DTYPE",
+    "RetryBudget",
+    "RetryGovernor",
     "RetryPolicy",
     "RolloutPolicy",
     "ScaleCampaign",
@@ -56,6 +81,7 @@ __all__ = [
     "calibrate",
     "drive_attempt",
     "finalize_failed",
+    "post_mortem_phases",
     "select_executor",
     "transport_for",
 ]

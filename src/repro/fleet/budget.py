@@ -1,0 +1,320 @@
+"""Retry-storm actuation: a global retry budget + per-domain breakers.
+
+PR 4's telemetry plane *detects* retry storms; under a correlated
+outage detection alone makes things worse — every device behind the
+dead gateway hammers the backhaul with resumes and campaign retries,
+amplifying the very storm the fleet is drowning in.  This module
+*acts*:
+
+* :class:`RetryBudget` — a global token bucket over virtual time.
+  First attempts on a healthy domain are free (normal rollout
+  traffic); campaign retries and probes against a suspect domain each
+  spend a token.  An empty bucket **sheds** the retry instead of
+  queueing it.
+* :class:`CircuitBreaker` — per fault domain, the classic
+  closed → open → half-open automaton on the virtual clock.  Failure
+  *and interruption* pressure opens it; while open, the whole
+  domain's attempts are **deferred** to the reopen horizon; half-open
+  admits a single cautious probe whose result closes or re-opens.
+* :class:`RetryGovernor` — the campaign-facing facade: one
+  :meth:`~RetryGovernor.admit` gate per attempt, pressure feedback
+  per outcome, a telemetry hook for retry-storm anomalies, and a
+  deterministic, JSON-serialisable state snapshot (so the campaign
+  journal can restore the governor exactly after a coordinator
+  crash).
+
+Everything is pure arithmetic on caller-supplied ``now`` values —
+deterministic, replayable, and shared between campaign flavours.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..net.transports import TransportRetryPolicy
+
+__all__ = ["RetryBudget", "BreakerPolicy", "BreakerState",
+           "CircuitBreaker", "Decision", "RetryGovernor",
+           "CAUTION_TRANSPORT_RETRY"]
+
+#: Transport policy for probe attempts against a suspect domain: two
+#: tries, not eight — a probe asks "is it back?", it does not siege.
+CAUTION_TRANSPORT_RETRY = TransportRetryPolicy(max_attempts=2,
+                                               backoff_initial=0.5)
+
+
+@dataclass
+class Decision:
+    """What the governor says about one prospective attempt."""
+
+    allow: bool
+    #: When ``allow`` is False and ``shed`` is False: earliest virtual
+    #: time to ask again (the caller waits it out on its own clock).
+    defer_until: float = 0.0
+    #: Give up on this attempt entirely (budget exhausted).
+    shed: bool = False
+    #: Attempt admitted, but against a suspect domain: use the
+    #: cautious transport-retry policy, not the full resume budget.
+    caution: bool = False
+    reason: str = ""
+
+
+class RetryBudget:
+    """Global token bucket over virtual seconds.
+
+    ``now`` values come from per-device virtual clocks and are not
+    globally monotonic; refill clamps negative deltas to zero, which
+    keeps the bucket deterministic for any fixed call sequence.
+    """
+
+    def __init__(self, capacity: int = 16,
+                 refill_per_second: float = 0.0) -> None:
+        if capacity < 1:
+            raise ValueError("budget capacity must be at least 1")
+        if refill_per_second < 0:
+            raise ValueError("refill rate must be non-negative")
+        self.capacity = capacity
+        self.refill_per_second = refill_per_second
+        self.tokens = float(capacity)
+        self._last_now = 0.0
+        self.spent = 0
+        self.exhausted = 0
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self._last_now)
+        self._last_now = max(self._last_now, now)
+        if self.refill_per_second:
+            self.tokens = min(float(self.capacity),
+                              self.tokens
+                              + elapsed * self.refill_per_second)
+
+    def take(self, now: float) -> bool:
+        self._refill(now)
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            self.spent += 1
+            return True
+        self.exhausted += 1
+        return False
+
+    def state_dict(self) -> Dict[str, object]:
+        return {"tokens": self.tokens, "last_now": self._last_now,
+                "spent": self.spent, "exhausted": self.exhausted}
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        self.tokens = float(state["tokens"])
+        self._last_now = float(state["last_now"])
+        self.spent = int(state["spent"])
+        self.exhausted = int(state["exhausted"])
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"capacity": self.capacity,
+                "refill_per_second": self.refill_per_second,
+                "tokens": round(self.tokens, 6),
+                "spent": self.spent, "exhausted": self.exhausted}
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """Knobs of one domain's circuit breaker."""
+
+    #: Pressure units (failures=1, each transport interruption=1)
+    #: that trip a closed breaker open.
+    pressure_threshold: int = 5
+    #: Virtual seconds an open breaker holds before half-open probing.
+    open_seconds: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.pressure_threshold < 1:
+            raise ValueError("pressure_threshold must be at least 1")
+        if self.open_seconds <= 0:
+            raise ValueError("open_seconds must be positive")
+
+
+class BreakerState(enum.Enum):
+    """Breaker lifecycle: CLOSED admits, OPEN defers, HALF_OPEN probes."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """closed → open → half-open, on the virtual clock."""
+
+    def __init__(self, policy: BreakerPolicy) -> None:
+        self.policy = policy
+        self.state = BreakerState.CLOSED
+        self.pressure = 0
+        self.opened_at = 0.0
+        self.opened_count = 0
+
+    def admit(self, now: float) -> Optional[float]:
+        """None = admitted; a float = deferred until that time.
+
+        An open breaker past its horizon flips to half-open and admits
+        the caller as the probe.
+        """
+        if self.state is BreakerState.OPEN:
+            reopen = self.opened_at + self.policy.open_seconds
+            if now < reopen:
+                return reopen
+            self.state = BreakerState.HALF_OPEN
+        return None
+
+    @property
+    def suspect(self) -> bool:
+        return self.state is not BreakerState.CLOSED
+
+    def note_pressure(self, units: int, now: float) -> None:
+        """Failure/interruption pressure; trips the breaker open."""
+        if units <= 0:
+            return
+        self.pressure += units
+        if self.state is BreakerState.HALF_OPEN \
+                or (self.state is BreakerState.CLOSED
+                    and self.pressure >= self.policy.pressure_threshold):
+            self.state = BreakerState.OPEN
+            self.opened_at = now
+            self.opened_count += 1
+
+    def note_success(self) -> None:
+        self.state = BreakerState.CLOSED
+        self.pressure = 0
+
+    def state_dict(self) -> Dict[str, object]:
+        return {"state": self.state.value, "pressure": self.pressure,
+                "opened_at": self.opened_at,
+                "opened_count": self.opened_count}
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        self.state = BreakerState(state["state"])
+        self.pressure = int(state["pressure"])
+        self.opened_at = float(state["opened_at"])
+        self.opened_count = int(state["opened_count"])
+
+
+@dataclass
+class RetryGovernor:
+    """The campaign's actuation plane for retry storms.
+
+    Gate protocol (what ``Campaign._update_device`` drives):
+
+    1. before *every* attempt: :meth:`admit` — allow (possibly with
+       ``caution``), defer (advance the device clock, ask again), or
+       shed (quarantine the device for later remediation — deferred,
+       not bricked, not a campaign-aborting failure);
+    2. after an attempt: :meth:`note_outcome` feeds back success or
+       failure plus the attempt's transport interruptions as breaker
+       pressure.
+
+    Telemetry wiring: :meth:`note_retry_storm` lets the SLO plane's
+    retry-storm anomaly detector trip a domain's breaker directly.
+    """
+
+    budget: Optional[RetryBudget] = None
+    breaker_policy: BreakerPolicy = field(default_factory=BreakerPolicy)
+    breakers: Dict[str, CircuitBreaker] = field(default_factory=dict)
+    allows: int = 0
+    defers: int = 0
+    sheds: int = 0
+    storm_signals: int = 0
+
+    def _breaker(self, domain: Optional[str]) \
+            -> Optional[CircuitBreaker]:
+        if domain is None:
+            return None
+        breaker = self.breakers.get(domain)
+        if breaker is None:
+            breaker = CircuitBreaker(self.breaker_policy)
+            self.breakers[domain] = breaker
+        return breaker
+
+    # -- the gate -------------------------------------------------------------
+
+    def admit(self, domain: Optional[str], now: float,
+              retry: bool = False) -> Decision:
+        breaker = self._breaker(domain)
+        if breaker is not None:
+            deferred = breaker.admit(now)
+            if deferred is not None:
+                self.defers += 1
+                return Decision(allow=False, defer_until=deferred,
+                                reason="breaker-open:%s" % domain)
+        suspect = breaker is not None and breaker.suspect
+        if (retry or suspect) and self.budget is not None:
+            if not self.budget.take(now):
+                self.sheds += 1
+                return Decision(allow=False, shed=True,
+                                reason="budget-exhausted")
+        self.allows += 1
+        return Decision(allow=True, caution=suspect,
+                        reason="probe" if suspect else "ok")
+
+    def note_outcome(self, domain: Optional[str], now: float,
+                     success: bool, interruptions: int = 0) -> None:
+        breaker = self._breaker(domain)
+        if breaker is None:
+            return
+        if success and interruptions == 0:
+            breaker.note_success()
+            return
+        # A success that burned resumes still signals a sick domain:
+        # count the interruptions as pressure, plus one for a failure.
+        breaker.note_pressure(interruptions + (0 if success else 1),
+                              now)
+        if success and not breaker.suspect:
+            breaker.note_success()
+
+    # -- telemetry wiring -----------------------------------------------------
+
+    def note_retry_storm(self, domain: Optional[str],
+                         now: float = 0.0) -> None:
+        """SLO-plane hook: a retry-storm anomaly fired for ``domain``."""
+        self.storm_signals += 1
+        breaker = self._breaker(domain)
+        if breaker is not None:
+            breaker.note_pressure(self.breaker_policy.pressure_threshold,
+                                  now)
+
+    # -- snapshot (journal integration) ---------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """Exact, JSON-safe state for the campaign journal."""
+        return {
+            "budget": (self.budget.state_dict()
+                       if self.budget is not None else None),
+            "breakers": {name: breaker.state_dict()
+                         for name, breaker in sorted(self.breakers.items())},
+            "allows": self.allows, "defers": self.defers,
+            "sheds": self.sheds, "storm_signals": self.storm_signals,
+        }
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        budget_state = state.get("budget")
+        if budget_state is not None and self.budget is not None:
+            self.budget.load_state(budget_state)  # type: ignore[arg-type]
+        self.breakers.clear()
+        for name, breaker_state in state.get("breakers", {}).items():
+            breaker = CircuitBreaker(self.breaker_policy)
+            breaker.load_state(breaker_state)
+            self.breakers[name] = breaker
+        self.allows = int(state.get("allows", 0))
+        self.defers = int(state.get("defers", 0))
+        self.sheds = int(state.get("sheds", 0))
+        self.storm_signals = int(state.get("storm_signals", 0))
+
+    def to_dict(self) -> Dict[str, object]:
+        """Report-facing summary."""
+        return {
+            "allows": self.allows, "defers": self.defers,
+            "sheds": self.sheds, "storm_signals": self.storm_signals,
+            "budget": (self.budget.to_dict()
+                       if self.budget is not None else None),
+            "breakers": {
+                name: {"state": breaker.state.value,
+                       "opened_count": breaker.opened_count}
+                for name, breaker in sorted(self.breakers.items())},
+        }

@@ -96,6 +96,12 @@ class DeviceSpec:
     whenever hydration would attach per-device state (an outage-schedule
     link, a tampering interceptor) that makes its outcome diverge from
     otherwise-identical devices.
+
+    ``domain`` names the device's fault domain
+    (:class:`~repro.faults.domains.FaultDomain`).  Domain-*shared*
+    fault links stay cohort-safe — every member of a domain replays
+    the identical correlated schedule, so the domain simply joins the
+    cohort key; only genuinely per-device schedules need ``unique``.
     """
 
     name: str
@@ -103,11 +109,12 @@ class DeviceSpec:
     transport: str = "pull"
     host_rtt_seconds: float = 0.0
     unique: bool = False
+    domain: Optional[str] = None
 
     def cohort_key(self) -> Tuple:
         if self.unique:
             return ("unique", self.name)
-        return (self.transport, self.host_rtt_seconds)
+        return (self.transport, self.host_rtt_seconds, self.domain)
 
 
 class ColumnarFleet:

@@ -63,6 +63,8 @@ except ImportError:  # pragma: no cover
 from ..core import UpdateServer
 from ..crypto.ecdsa import Signature
 from ..crypto.engine import FastEngine, get_engine
+from ..faults.domains import DomainPlan
+from ..net.link import BLE_GATT, COAP_6LOWPAN
 from ..obs.health import WaveArrays
 from ..obs.slo import Action, FleetTelemetry
 from .campaign import (
@@ -73,6 +75,7 @@ from .campaign import (
     RolloutPolicy,
     drive_attempt,
     finalize_failed,
+    post_mortem_phases,
 )
 from .columnar import (
     CODE_STATES,
@@ -296,7 +299,9 @@ class ScaleCampaign:
                  metrics=None,
                  telemetry: Optional[FleetTelemetry] = None,
                  anchors=None,
-                 health_scores_in_report: bool = False) -> None:
+                 health_scores_in_report: bool = False,
+                 domain_plan: Optional[DomainPlan] = None,
+                 transfer_bytes: int = 0) -> None:
         if _np is None:
             raise RuntimeError(
                 "ScaleCampaign requires numpy; use the hydrated Campaign")
@@ -310,6 +315,15 @@ class ScaleCampaign:
         self.telemetry = telemetry
         self.anchors = anchors
         self.health_scores_in_report = health_scores_in_report
+        #: Optional correlated-fault plan: representatives of cohorts
+        #: whose spec carries a ``domain`` get that domain's shared
+        #: fault link at hydration (``transfer_bytes`` scales the byte
+        #: coordinates; the wave's admit time selects active events).
+        #: Domain membership is part of the cohort key, so replicated
+        #: members would have met the identical link — correlation and
+        #: cohort soundness agree by construction.
+        self.domain_plan = domain_plan
+        self.transfer_bytes = transfer_bytes
         self.scheduler = EventScheduler()
         self._wave_cap: Optional[int] = None
         self._report: Optional[ScaleReport] = None
@@ -407,8 +421,19 @@ class ScaleCampaign:
             cohort = int(cohorts[position])
             members = indices[cohorts == cohort]
             representative = int(members[0])
-            record = self.hydrator(self.fleet.spec(representative))
+            spec = self.fleet.spec(representative)
+            record = self.hydrator(spec)
             self._report.hydrations += 1
+            if self.domain_plan is not None \
+                    and getattr(spec, "domain", None) is not None:
+                link = self.domain_plan.link_for(
+                    self.domain_plan.position_of(spec.domain),
+                    max(1, self.transfer_bytes),
+                    profile=(BLE_GATT if spec.transport == "push"
+                             else COAP_6LOWPAN),
+                    at_time=wave.admit_time)
+                if link is not None:
+                    record.link = link
             wave.tasks.append(_CohortTask(
                 cohort=cohort, representative=representative,
                 members=members, record=record))
@@ -555,7 +580,7 @@ class ScaleCampaign:
         phase_map: Dict[int, Dict[str, int]] = {}
         position_of = {int(g): p for p, g in enumerate(indices)}
         for task in wave.tasks:
-            phases = _post_mortem_phases(task.record)
+            phases = post_mortem_phases(task.record)
             if not phases:
                 continue
             # Replicated members would have produced the identical
@@ -633,13 +658,7 @@ class ScaleCampaign:
                                WAVE_SECONDS_BUCKETS).observe(wave_duration)
 
 
-def _post_mortem_phases(record: DeviceRecord) -> Dict[str, int]:
-    """Interruption counts per lifecycle phase from the device's black
-    box (the hydrated sample's ``interrupted_phases``)."""
-    phases: Dict[str, int] = {}
-    blackbox = getattr(record.device, "blackbox", None)
-    if blackbox is not None:
-        for interruption in blackbox.post_mortem()["interruptions"]:
-            phase = interruption["phase"]
-            phases[phase] = phases.get(phase, 0) + 1
-    return phases
+#: Backwards-compatible alias; the helper now lives in
+#: :mod:`repro.fleet.campaign` so both campaign flavours (and the
+#: campaign journal) share one definition.
+_post_mortem_phases = post_mortem_phases

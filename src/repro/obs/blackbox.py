@@ -28,6 +28,7 @@ experiments it narrates.
 
 from __future__ import annotations
 
+import math
 import struct
 from typing import Any, Callable, Dict, List, Optional
 
@@ -146,9 +147,17 @@ class BlackBox:
     def _decode(self, raw: bytes) -> Optional[BlackBoxRecord]:
         if len(raw) != RECORD_SIZE or all(b == 0xFF for b in raw):
             return None
-        seq, t, phase_code, label_bytes, crc = _RECORD.unpack(raw)
+        try:
+            seq, t, phase_code, label_bytes, crc = _RECORD.unpack(raw)
+        except struct.error:
+            return None  # truncated slice (ring cut mid-record)
         if crc != _crc16(raw[:RECORD_SIZE - 2]) or seq == 0:
             return None  # torn or rotted record: skip, never guess
+        if not math.isfinite(t) or t < 0.0:
+            # A half-programmed float can survive an (unlucky) CRC
+            # collision; a NaN/inf timestamp would poison every sort
+            # and JSON dump downstream.  Skip, never guess.
+            return None
         label = label_bytes.rstrip(b"\x00").decode("ascii", "replace")
         return BlackBoxRecord(seq, t,
                               _PHASE_NAMES.get(phase_code, "unknown"),

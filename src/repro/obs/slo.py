@@ -365,6 +365,13 @@ class FleetTelemetry:
         self.quarantine_kinds = frozenset(quarantine_kinds)
         self.samples: List[DeviceSample] = []
         self.verdicts: List[WaveVerdict] = []
+        #: Optional :class:`~repro.fleet.budget.RetryGovernor`: when a
+        #: retry-storm anomaly fires, the affected device's fault
+        #: domain (via ``domain_of``) gets its circuit breaker tripped
+        #: — detection actuates instead of merely reporting.  Wired by
+        #: the campaign; None keeps telemetry observation-only.
+        self.governor: Optional[Any] = None
+        self.domain_of: Optional[Any] = None
 
     # -- ingestion (campaign-driven) -----------------------------------------
 
@@ -374,6 +381,12 @@ class FleetTelemetry:
 
     def observe_device(self, record: Any, wave: int) -> DeviceSample:
         sample = DeviceSample.from_record(record, wave)
+        self.samples.append(sample)
+        return sample
+
+    def observe_sample(self, sample: DeviceSample) -> DeviceSample:
+        """Ingest a pre-built sample (a resumed campaign synthesizing
+        journal-replayed members it never re-drove)."""
         self.samples.append(sample)
         return sample
 
@@ -390,6 +403,15 @@ class FleetTelemetry:
         wave_samples = [sample for sample in self.samples
                         if sample.wave == wave]
         health = analyze_wave(wave_samples, self.thresholds, wave=wave)
+        if self.governor is not None:
+            # Actuation: a retry-storm anomaly trips the breaker of
+            # the device's fault domain (None = the fleet-wide one).
+            for anomaly in health.anomalies:
+                if anomaly.kind == "retry-storm":
+                    domain = (self.domain_of(anomaly.device)
+                              if self.domain_of is not None
+                              and anomaly.device else None)
+                    self.governor.note_retry_storm(domain, now=t)
         quarantine = [
             sample.name for sample in wave_samples
             if sample.state == "failed"

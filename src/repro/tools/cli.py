@@ -23,7 +23,8 @@ Subcommands::
                   [--delta-out BENCH_delta.json] [--delta-size BYTES]
     upkit chaos   [--points N] [--seed S] [--slots a|b]
                   [--transport push|pull] [--image-size BYTES]
-                  [--out CHAOS_report.json]
+                  [--correlated] [--devices N] [--domains N]
+                  [--grid N] [--out CHAOS_report.json]
     upkit trace   [--slots a|b|both] [--transport push|pull]
                   [--image-size BYTES] [--out trace.json]
     upkit fleetview [--devices N] [--image-size BYTES]
@@ -317,8 +318,12 @@ def cmd_bench(args: argparse.Namespace) -> int:
 def cmd_chaos(args: argparse.Namespace) -> int:
     """Run the fault-injection sweep; write CHAOS_report.json.
 
-    Exit status 1 when any fault point bricked its device — the report
-    names the offending points so they can be replayed in isolation.
+    ``--correlated`` additionally runs the correlated fleet sweep
+    (fault domains x storm severity x coordinator kills) and embeds its
+    section in the same artifact (schema v4).  Exit status 1 when any
+    fault point bricked a device, when the correlated sweep bricked a
+    fleet member, or when a coordinator-kill resume diverged from its
+    uninterrupted twin.
     """
     from . import chaos
 
@@ -332,10 +337,34 @@ def cmd_chaos(args: argparse.Namespace) -> int:
                              transport=args.transport,
                              image_size=args.image_size,
                              progress=progress)
-    path = chaos.write_report(report, args.out)
+    failed = bool(report.bricked)
     print(chaos.format_summary(report))
+
+    if args.correlated:
+        def corr_progress(done: int, total: int, result) -> None:
+            if args.verbose:
+                print("[%3d/%3d] %-28s amp=%.2fx bricked=%d"
+                      % (done, total, result.point.label,
+                         result.amplification, result.bricked))
+
+        grid = None
+        if args.domains is not None:
+            grid = chaos.build_correlated_grid(
+                domain_counts=(args.domains,))
+        if args.grid is not None:
+            grid = (grid if grid is not None
+                    else chaos.build_correlated_grid())[:args.grid]
+        correlated = chaos.run_correlated_sweep(
+            devices=args.devices, seed=args.seed, grid=grid,
+            progress=corr_progress)
+        report.correlated = correlated.to_dict()
+        print(chaos.format_correlated_summary(correlated))
+        failed = failed or bool(correlated.bricked_total) \
+            or not correlated.resume_identical_all
+
+    path = chaos.write_report(report, args.out)
     print("wrote %s" % path)
-    return 1 if report.bricked else 0
+    return 1 if failed else 0
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -559,6 +588,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="firmware image size in bytes (default: 16384)")
     chaos.add_argument("--verbose", action="store_true",
                        help="print each fault point as it completes")
+    chaos.add_argument("--correlated", action="store_true",
+                       help="additionally run the correlated fleet "
+                            "sweep (fault domains x storm severity x "
+                            "coordinator kills)")
+    chaos.add_argument("--devices", type=int, default=12,
+                       help="fleet size for --correlated (default: 12)")
+    chaos.add_argument("--domains", type=int, default=None,
+                       help="fix the correlated grid to one fault-"
+                            "domain count (default: sweep 2 and 3)")
+    chaos.add_argument("--grid", type=int, default=None,
+                       help="cap the correlated grid to its first N "
+                            "points (default: the full 72-point grid)")
     chaos.add_argument("--out", default="CHAOS_report.json",
                        help="report file (default: ./CHAOS_report.json)")
     chaos.set_defaults(func=cmd_chaos)

@@ -36,7 +36,7 @@ __all__ = [
 #: Current schema version per report kind.  Bump a kind's version when
 #: its document shape changes; teach :func:`validate_data` about the
 #: old shape so existing artifacts keep loading.
-SCHEMA_VERSIONS: Dict[str, int] = {"bench": 4, "chaos": 3, "trace": 1,
+SCHEMA_VERSIONS: Dict[str, int] = {"bench": 4, "chaos": 4, "trace": 1,
                                    "fleetview": 1, "delta": 1}
 
 
@@ -180,6 +180,38 @@ def validate_data(kind: str, version: int,
             if not isinstance(phases, dict):
                 errors.append("chaos v3 report needs an "
                               "interrupted_phases phase->count object")
+        if version >= 4:
+            if "correlated" not in data:
+                errors.append("chaos v4 report needs a 'correlated' key "
+                              "(null when the correlated sweep was not "
+                              "run)")
+            correlated = data.get("correlated")
+            if isinstance(correlated, dict):
+                errors += ["chaos correlated section missing key %r" % key
+                           for key in ("devices", "grid_points",
+                                       "domains", "results", "bricked",
+                                       "kills", "resume_identical_all",
+                                       "retry_amplification", "journal")
+                           if key not in correlated]
+                corr_results = correlated.get("results")
+                if isinstance(corr_results, list):
+                    corr_bricked = sum(
+                        int(r.get("bricked", 0)) for r in corr_results
+                        if isinstance(r, dict))
+                    if correlated.get("bricked") != corr_bricked:
+                        errors.append(
+                            "chaos correlated bricked count %r does not "
+                            "match results (%d)"
+                            % (correlated.get("bricked"), corr_bricked))
+                if correlated.get("kills") and \
+                        correlated.get("resume_identical_all") is not True:
+                    errors.append("chaos correlated coordinator-kill "
+                                  "resume reports diverged from the "
+                                  "uninterrupted twins")
+            elif correlated is not None:
+                errors.append("chaos correlated section must be an "
+                              "object or null (got %s)"
+                              % type(correlated).__name__)
     elif kind == "fleetview":
         errors += _require(data, ["devices", "slo_verdict", "campaign",
                                   "telemetry"], kind)

@@ -1,0 +1,194 @@
+"""Correlated chaos sweep: grid shape, determinism, bounded tier-1 run.
+
+Tier-1 drives a bounded slice of the correlated grid (both event
+families, a coordinator kill) and the determinism audit; the full
+>=64-point acceptance grid is opt-in via ``pytest -m chaos``.
+"""
+
+import json
+
+import pytest
+
+from repro.tools import chaos
+from repro.tools.cli import main as cli_main
+from repro.tools.report import validate_data
+
+DEVICES = 8
+
+
+# -- grid ---------------------------------------------------------------------
+
+
+def test_full_grid_meets_the_acceptance_floor():
+    grid = chaos.build_correlated_grid()
+    assert len(grid) >= 64
+    kills = [point for point in grid if point.kill is not None]
+    assert kills                                    # includes kill points
+    assert {point.kinds for point in grid} == set(chaos.CORRELATED_EVENT_KINDS)
+    assert {point.domains for point in grid} == {2, 3}
+    assert len(set(grid)) == len(grid)              # no duplicate cells
+    assert chaos.build_correlated_grid() == grid    # deterministic
+
+
+def test_point_validation():
+    with pytest.raises(ValueError):
+        chaos.CorrelatedPoint(domains=0, severity=1, kinds="storm")
+    with pytest.raises(ValueError):
+        chaos.CorrelatedPoint(domains=1, severity=0, kinds="storm")
+    with pytest.raises(ValueError):
+        chaos.CorrelatedPoint(domains=1, severity=1, kinds="hailstorm")
+    with pytest.raises(ValueError):
+        chaos.CorrelatedPoint(domains=1, severity=1, kinds="storm",
+                              kill="late")
+    point = chaos.CorrelatedPoint(domains=2, severity=4, kinds="herd",
+                                  kill="mid")
+    assert point.label == "herd/d2/s4/kill-mid"
+
+
+def test_lab_rejects_toy_fleets():
+    with pytest.raises(ValueError):
+        chaos.CorrelatedLab(devices=3)
+
+
+# -- bounded tier-1 sweep -----------------------------------------------------
+
+
+BOUNDED_GRID = chaos.build_correlated_grid(
+    domain_counts=(2,), severities=(4,), kinds=("storm", "herd"),
+    kills=(None, "early"))
+
+
+@pytest.fixture(scope="module")
+def bounded_report():
+    return chaos.run_correlated_sweep(devices=DEVICES, seed=0,
+                                      grid=BOUNDED_GRID)
+
+
+def test_bounded_sweep_never_bricks(bounded_report):
+    assert bounded_report.bricked_total == 0, \
+        chaos.format_correlated_summary(bounded_report)
+
+
+def test_bounded_sweep_resumes_are_byte_identical(bounded_report):
+    kills = [result for result in bounded_report.results
+             if result.kill is not None]
+    assert len(kills) == 2
+    for result in kills:
+        assert result.kill["resume_identical"], result.point.label
+        assert result.kill["token_parity"], result.point.label
+        assert result.kill["reflash_free"], result.point.label
+
+
+def test_governed_amplification_is_bounded_ungoverned_is_not(
+        bounded_report):
+    # The acceptance bound: with the retry budget + breakers attached,
+    # backhaul amplification stays under 2x the clean campaign.
+    assert 0.0 < bounded_report.budgeted_max < 2.0
+    # The ungoverned twin visibly amplifies the storm (the severity-4
+    # storm exhausts the transport resume budget, so every member
+    # lands on the campaign retry path).
+    storm = next(result for result in bounded_report.results
+                 if result.point.kinds == "storm"
+                 and result.point.kill is None)
+    assert storm.unbounded_amplification > storm.amplification
+    assert storm.governor["sheds"] > 0
+
+
+def test_sweep_report_serializes_and_validates_as_schema_v4(
+        bounded_report, tmp_path):
+    report = chaos.ChaosReport(
+        seed=0, slot_configuration="b", transport="push",
+        image_size=8192,
+        calibration=chaos.Calibration(ops_any=2, ops_write=1,
+                                      ops_erase=1, transfer_bytes=8192,
+                                      fed_bytes=8192))
+    report.correlated = bounded_report.to_dict()
+    path = chaos.write_report(report, str(tmp_path / "chaos.json"))
+    with open(path, encoding="utf-8") as fh:
+        data = json.load(fh)
+    assert data["schema_version"] == 4
+    assert validate_data("chaos", 4, data) == []
+    correlated = data["correlated"]
+    assert correlated["grid_points"] == len(BOUNDED_GRID)
+    assert correlated["resume_identical_all"] is True
+    assert correlated["journal"]["appends"] > 0
+    # Every embedded plan replays: domains + events round-trip.
+    from repro.faults import DomainPlan
+    for entry in correlated["results"]:
+        restored = DomainPlan.from_dict(entry["plan"])
+        assert restored.to_dict() == entry["plan"]
+        if entry["kill"] is not None:
+            assert restored.coordinator_kills() \
+                == [entry["kill"]["append_index"]]
+
+
+def test_schema_v4_validation_catches_divergence():
+    base = {"calibration": {}, "results": [], "bricked": 0,
+            "interrupted_phases": {}}
+    assert any("correlated" in problem
+               for problem in validate_data("chaos", 4, dict(base)))
+    assert validate_data("chaos", 4, dict(base, correlated=None)) == []
+    bad = dict(base, correlated={
+        "devices": 4, "grid_points": 1, "domains": [2],
+        "results": [{"bricked": 1}], "bricked": 0, "kills": 1,
+        "resume_identical_all": False,
+        "retry_amplification": {}, "journal": {}})
+    problems = validate_data("chaos", 4, bad)
+    assert any("bricked" in problem for problem in problems)
+    assert any("diverged" in problem for problem in problems)
+
+
+# -- determinism audit (satellite) --------------------------------------------
+
+
+def test_same_seed_sweeps_serialize_identically():
+    grid = chaos.build_correlated_grid(
+        domain_counts=(2,), severities=(4,), kinds=("storm",),
+        kills=(None, "early"))
+    one = chaos.run_correlated_sweep(devices=DEVICES, seed=11, grid=grid)
+    two = chaos.run_correlated_sweep(devices=DEVICES, seed=11, grid=grid)
+    assert json.dumps(one.to_dict(), sort_keys=True) \
+        == json.dumps(two.to_dict(), sort_keys=True)
+    # A different seed reaches the domain and attacker RNGs: the
+    # reports differ (coordinates move, scalars shift).
+    three = chaos.run_correlated_sweep(devices=DEVICES, seed=12,
+                                       grid=grid)
+    assert json.dumps(three.to_dict(), sort_keys=True) \
+        != json.dumps(one.to_dict(), sort_keys=True)
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+def test_cli_chaos_correlated_writes_v4_artifact(tmp_path, capsys):
+    out = str(tmp_path / "CHAOS_report.json")
+    status = cli_main(["chaos", "--points", "16", "--image-size", "8192",
+                       "--correlated", "--devices", str(DEVICES),
+                       "--domains", "2", "--grid", "2", "--out", out])
+    assert status == 0
+    captured = capsys.readouterr().out
+    assert "correlated sweep:" in captured
+    assert "resumes byte-identical" in captured
+    status = cli_main(["report", "--validate", out])
+    assert status == 0
+
+
+# -- the full acceptance grid (opt-in) ----------------------------------------
+
+
+@pytest.mark.chaos
+def test_full_correlated_grid_meets_acceptance():
+    """>=64 grid points incl. coordinator kills: 0 bricked, byte-exact
+    resumes, governed amplification < 2x, ungoverned above it."""
+    report = chaos.run_correlated_sweep()
+    assert len(report.results) >= 64
+    assert report.bricked_total == 0, \
+        chaos.format_correlated_summary(report)
+    assert report.kill_count >= 16
+    assert report.resume_identical_all
+    for result in report.results:
+        if result.kill is not None:
+            assert result.kill["token_parity"], result.point.label
+            assert result.kill["reflash_free"], result.point.label
+    assert 0.0 < report.budgeted_max < 2.0
+    assert report.unbounded_max > report.budgeted_max

@@ -16,7 +16,7 @@ PACKAGES = [
     "repro.delta", "repro.memory", "repro.net", "repro.sim",
     "repro.platform", "repro.footprint", "repro.baselines",
     "repro.workload", "repro.fleet", "repro.suit", "repro.analysis",
-    "repro.tools", "repro.obs",
+    "repro.tools", "repro.obs", "repro.faults",
 ]
 
 

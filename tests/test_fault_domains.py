@@ -1,0 +1,193 @@
+"""Correlated fault domains: membership, determinism, serialization.
+
+The property under test everywhere: correlation means every member of
+one domain sees the *same* fault coordinates, and the whole structure
+replays bit-identically from ``(plan, seed)``.
+"""
+
+import pytest
+
+from repro.faults import (
+    CORRELATED_KINDS,
+    DomainEvent,
+    DomainPlan,
+    FaultDomain,
+    FaultKind,
+    derive_seed,
+)
+from repro.net import BLE_GATT, COAP_6LOWPAN
+
+
+def make_plan(seed=7, assignment="block", sweep=0.0):
+    domains = [FaultDomain("eu-west", kind="region"),
+               FaultDomain("us-east", kind="region"),
+               FaultDomain("ap-south", kind="region")]
+    events = [DomainEvent(FaultKind.LINK_STORM, at=10.0, duration=30.0,
+                          severity=3, sweep=sweep),
+              DomainEvent(FaultKind.LOSS_FRONT, at=50.0, duration=20.0,
+                          severity=2, sweep=sweep)]
+    return DomainPlan(domains, events, seed=seed, assignment=assignment)
+
+
+# -- derive_seed --------------------------------------------------------------
+
+
+def test_derive_seed_is_stable_and_label_sensitive():
+    assert derive_seed(1, "a", 2) == derive_seed(1, "a", 2)
+    assert derive_seed(1, "a", 2) != derive_seed(1, "b", 2)
+    assert derive_seed(1, "a", 2) != derive_seed(2, "a", 2)
+    assert 0 <= derive_seed(0xFFFFFFFF, "x") <= 0xFFFFFFFF
+
+
+# -- membership ---------------------------------------------------------------
+
+
+def test_block_assignment_gives_contiguous_equal_slices():
+    plan = make_plan(assignment="block")
+    members = plan.members(9)
+    assert members == {"eu-west": [0, 1, 2], "us-east": [3, 4, 5],
+                       "ap-south": [6, 7, 8]}
+
+
+def test_hash_assignment_scatters_but_replays():
+    plan = make_plan(assignment="hash")
+    members = plan.members(64)
+    # Every domain gets someone, and the mapping replays exactly.
+    assert all(members[d.name] for d in plan.domains)
+    assert plan.members(64) == members
+    # Different seed, different scatter.
+    other = DomainPlan(list(plan.domains), list(plan.events),
+                       seed=plan.seed + 1, assignment="hash")
+    assert other.members(64) != members
+
+
+def test_domain_of_rejects_out_of_range_index():
+    plan = make_plan()
+    with pytest.raises(ValueError):
+        plan.domain_of(5, 5)
+    with pytest.raises(KeyError):
+        plan.position_of("no-such-domain")
+
+
+# -- event windows and sweep --------------------------------------------------
+
+
+def test_sweep_staggers_windows_per_domain_position():
+    event = DomainEvent(FaultKind.LINK_STORM, at=100.0, duration=60.0,
+                        sweep=30.0)
+    assert event.window(0) == (100.0, 160.0)
+    assert event.window(2) == (160.0, 220.0)
+    # The front has not reached position 2 at t=120 but has hit 0.
+    assert event.active_at(0, 120.0)
+    assert not event.active_at(2, 120.0)
+    # t=None ignores the clock entirely (whole-campaign events).
+    assert event.active_at(2, None)
+
+
+def test_fault_plan_filters_by_admit_time():
+    plan = make_plan()
+    # At t=15 only the storm window is open; at t=55 only the front.
+    storm_only = plan.fault_plan_for(0, 4096, at_time=15.0)
+    front_only = plan.fault_plan_for(0, 4096, at_time=55.0)
+    assert [p.kind for p in storm_only.points] == [FaultKind.LINK_STORM]
+    assert [p.kind for p in front_only.points] == [FaultKind.LOSS_FRONT]
+    assert len(plan.fault_plan_for(0, 4096, at_time=200.0)) == 0
+    # No filter: both events land.
+    assert len(plan.fault_plan_for(0, 4096)) == 2
+
+
+# -- correlation: shared coordinates ------------------------------------------
+
+
+def test_members_of_one_domain_share_coordinates():
+    plan = make_plan()
+    first = plan.fault_plan_for(1, 8192)
+    again = plan.fault_plan_for(1, 8192)
+    assert first.points == again.points     # deterministic
+    other = plan.fault_plan_for(2, 8192)
+    assert first.points != other.points     # domains differ
+
+
+def test_links_within_a_domain_replay_identically():
+    plan = make_plan()
+    one = plan.link_for(0, 8192, profile=COAP_6LOWPAN)
+    two = plan.link_for(0, 8192, profile=COAP_6LOWPAN)
+    assert one is not two
+    # Drive both through identical transfers: byte-identical behaviour
+    # (same outages at the same cumulative bytes).
+    def drain(link):
+        trace = []
+        for _ in range(12):
+            try:
+                report = link.transfer(1024)
+                trace.append(("ok", report.retransmissions))
+            except Exception as exc:
+                trace.append(("down", type(exc).__name__))
+        return trace
+    assert drain(one) == drain(two)
+
+
+def test_link_for_returns_none_when_no_event_active():
+    plan = make_plan()
+    assert plan.link_for(0, 4096, at_time=500.0) is None
+    assert plan.link_for(0, 4096, profile=BLE_GATT,
+                         at_time=15.0) is not None
+
+
+# -- coordinator kills --------------------------------------------------------
+
+
+def test_coordinator_kills_extracts_append_indices():
+    plan = DomainPlan(
+        [FaultDomain("only")],
+        [DomainEvent(FaultKind.COORDINATOR_CRASH, duration=1.0,
+                     severity=4),
+         DomainEvent(FaultKind.LINK_STORM, duration=1.0, severity=2)],
+        seed=3)
+    assert plan.coordinator_kills() == [4]
+    # The crash event never lands on member links.
+    assert [p.kind for p in plan.fault_plan_for(0, 4096).points] \
+        == [FaultKind.LINK_STORM]
+
+
+def test_domain_event_rejects_non_correlated_kinds():
+    with pytest.raises(ValueError):
+        DomainEvent(FaultKind.BIT_ROT)
+    with pytest.raises(ValueError):
+        DomainEvent(FaultKind.LINK_STORM, duration=0.0)
+    with pytest.raises(ValueError):
+        DomainEvent(FaultKind.LINK_STORM, severity=0)
+
+
+# -- serialization ------------------------------------------------------------
+
+
+def test_plan_roundtrips_through_json_dict():
+    import json
+
+    plan = make_plan(seed=42, assignment="hash", sweep=15.0)
+    data = json.loads(json.dumps(plan.to_dict(), sort_keys=True))
+    restored = DomainPlan.from_dict(data)
+    assert restored.to_dict() == plan.to_dict()
+    assert restored.members(30) == plan.members(30)
+    assert restored.fault_plan_for(1, 4096).points \
+        == plan.fault_plan_for(1, 4096).points
+
+
+def test_plan_validation():
+    with pytest.raises(ValueError):
+        DomainPlan([], [])
+    with pytest.raises(ValueError):
+        DomainPlan([FaultDomain("a"), FaultDomain("a")], [])
+    with pytest.raises(ValueError):
+        DomainPlan([FaultDomain("a")], [], assignment="random")
+    with pytest.raises(ValueError):
+        make_plan().fault_plan_for(9, 4096)
+    with pytest.raises(ValueError):
+        make_plan().fault_plan_for(0, 0)
+
+
+def test_correlated_kinds_cover_the_new_fault_families():
+    assert set(CORRELATED_KINDS) == {FaultKind.LINK_STORM,
+                                     FaultKind.LOSS_FRONT,
+                                     FaultKind.HERD_REBOOT}

@@ -1,0 +1,222 @@
+"""Retry-storm actuation: budget bucket, breakers, governor gate."""
+
+import pytest
+
+from repro.fleet import (
+    BreakerPolicy,
+    BreakerState,
+    CircuitBreaker,
+    RetryBudget,
+    RetryGovernor,
+)
+
+
+# -- token bucket -------------------------------------------------------------
+
+
+def test_budget_spends_to_empty_then_sheds():
+    budget = RetryBudget(capacity=2)
+    assert budget.take(0.0)
+    assert budget.take(0.0)
+    assert not budget.take(0.0)
+    assert budget.spent == 2
+    assert budget.exhausted == 1
+
+
+def test_budget_refills_over_virtual_time():
+    budget = RetryBudget(capacity=2, refill_per_second=0.5)
+    assert budget.take(0.0) and budget.take(0.0)
+    assert not budget.take(1.0)      # only 0.5 tokens back
+    assert budget.take(4.0)          # 2.0 refilled, one spent
+    assert budget.take(3.0)          # non-monotonic now: clamped, the
+    assert not budget.take(3.5)      # leftover token spends, 0.25 isn't 1
+    budget2 = RetryBudget(capacity=2, refill_per_second=100.0)
+    budget2.take(0.0)
+    budget2.take(1.0)
+    assert budget2.tokens <= budget2.capacity
+
+
+def test_budget_state_roundtrip():
+    budget = RetryBudget(capacity=4, refill_per_second=0.25)
+    budget.take(1.0)
+    budget.take(2.0)
+    budget.take(2.0)
+    state = budget.state_dict()
+    twin = RetryBudget(capacity=4, refill_per_second=0.25)
+    twin.load_state(state)
+    assert twin.state_dict() == budget.state_dict()
+    assert twin.take(10.0) == budget.take(10.0)
+
+
+def test_budget_validation():
+    with pytest.raises(ValueError):
+        RetryBudget(capacity=0)
+    with pytest.raises(ValueError):
+        RetryBudget(refill_per_second=-1.0)
+
+
+# -- circuit breaker ----------------------------------------------------------
+
+
+def test_breaker_lifecycle_closed_open_half_open():
+    breaker = CircuitBreaker(BreakerPolicy(pressure_threshold=3,
+                                           open_seconds=30.0))
+    assert breaker.admit(0.0) is None
+    assert not breaker.suspect
+    breaker.note_pressure(2, 0.0)
+    assert breaker.state is BreakerState.CLOSED
+    breaker.note_pressure(1, 5.0)              # threshold reached
+    assert breaker.state is BreakerState.OPEN
+    assert breaker.admit(10.0) == pytest.approx(35.0)  # deferred
+    # Past the horizon: half-open, the caller becomes the probe.
+    assert breaker.admit(40.0) is None
+    assert breaker.state is BreakerState.HALF_OPEN
+    assert breaker.suspect
+    # Any pressure in half-open re-opens immediately.
+    breaker.note_pressure(1, 41.0)
+    assert breaker.state is BreakerState.OPEN
+    assert breaker.opened_count == 2
+    # A successful probe closes and clears pressure.
+    assert breaker.admit(100.0) is None
+    breaker.note_success()
+    assert breaker.state is BreakerState.CLOSED
+    assert breaker.pressure == 0
+
+
+def test_breaker_state_roundtrip():
+    policy = BreakerPolicy(pressure_threshold=2, open_seconds=10.0)
+    breaker = CircuitBreaker(policy)
+    breaker.note_pressure(2, 7.0)
+    twin = CircuitBreaker(policy)
+    twin.load_state(breaker.state_dict())
+    assert twin.state is BreakerState.OPEN
+    assert twin.admit(8.0) == breaker.admit(8.0)
+
+
+# -- governor gate ------------------------------------------------------------
+
+
+def governor(capacity=2, threshold=3, open_seconds=30.0):
+    return RetryGovernor(
+        budget=RetryBudget(capacity=capacity),
+        breaker_policy=BreakerPolicy(pressure_threshold=threshold,
+                                     open_seconds=open_seconds))
+
+
+def test_first_attempts_on_healthy_domain_are_free():
+    gov = governor(capacity=1)
+    for _ in range(5):
+        decision = gov.admit("dom-a", 0.0, retry=False)
+        assert decision.allow and not decision.caution
+    assert gov.budget.spent == 0       # nothing charged
+    assert gov.allows == 5
+
+
+def test_retries_spend_budget_then_shed():
+    gov = governor(capacity=2)
+    assert gov.admit("dom-a", 0.0, retry=True).allow
+    assert gov.admit("dom-a", 0.0, retry=True).allow
+    decision = gov.admit("dom-a", 0.0, retry=True)
+    assert not decision.allow and decision.shed
+    assert gov.sheds == 1
+
+
+def test_tripped_domain_defers_then_probes_with_caution():
+    gov = governor(capacity=4, threshold=3, open_seconds=30.0)
+    # A failed attempt with interruptions trips the domain breaker.
+    gov.note_outcome("dom-a", 1.0, success=False, interruptions=3)
+    decision = gov.admit("dom-a", 2.0)
+    assert not decision.allow and not decision.shed
+    assert decision.defer_until == pytest.approx(31.0)
+    assert gov.defers == 1
+    # Other domains stay unaffected.
+    assert gov.admit("dom-b", 2.0).allow
+    # Past the horizon: one cautious probe, charged to the budget.
+    spent_before = gov.budget.spent
+    probe = gov.admit("dom-a", 40.0)
+    assert probe.allow and probe.caution
+    assert gov.budget.spent == spent_before + 1
+    # The probe succeeding cleanly closes the breaker.
+    gov.note_outcome("dom-a", 41.0, success=True, interruptions=0)
+    clean = gov.admit("dom-a", 42.0)
+    assert clean.allow and not clean.caution
+
+
+def test_interrupted_success_can_trip_the_breaker():
+    gov = governor(threshold=4)
+    # A mildly bumpy success closes cleanly: pressure does not linger.
+    gov.note_outcome("dom-a", 1.0, success=True, interruptions=2)
+    assert gov.breakers["dom-a"].state is BreakerState.CLOSED
+    assert gov.breakers["dom-a"].pressure == 0
+    # A success that burned threshold-many resumes trips it anyway:
+    # the domain is sick even though the attempt limped through.
+    gov.note_outcome("dom-a", 2.0, success=True, interruptions=4)
+    assert gov.breakers["dom-a"].state is BreakerState.OPEN
+
+
+def test_retry_storm_signal_trips_the_breaker():
+    gov = governor(threshold=3)
+    gov.note_retry_storm("dom-a", now=5.0)
+    assert gov.storm_signals == 1
+    assert gov.breakers["dom-a"].state is BreakerState.OPEN
+    assert not gov.admit("dom-a", 6.0).allow
+
+
+def test_governor_without_domain_is_a_budget_only_gate():
+    gov = governor(capacity=1)
+    assert gov.admit(None, 0.0, retry=True).allow
+    assert gov.admit(None, 0.0, retry=True).shed
+    gov.note_outcome(None, 0.0, success=False)   # no breaker, no crash
+    assert gov.breakers == {}
+
+
+def test_governor_state_roundtrip_is_exact():
+    gov = governor(capacity=3)
+    gov.admit("dom-a", 0.0, retry=True)
+    gov.note_outcome("dom-a", 1.0, success=False, interruptions=2)
+    gov.note_retry_storm("dom-b", now=2.0)
+    gov.admit("dom-b", 3.0)
+    state = gov.state_dict()
+    twin = governor(capacity=3)
+    twin.load_state(state)
+    assert twin.state_dict() == state
+    assert twin.to_dict() == gov.to_dict()
+    # Restored governor makes the same decisions.
+    assert twin.admit("dom-b", 4.0).allow == gov.admit("dom-b", 4.0).allow
+
+
+# -- end-to-end: a governed campaign sheds a storm ----------------------------
+
+
+def test_governed_campaign_sheds_storm_instead_of_amplifying():
+    """A correlated storm point from the chaos lab: the governed run
+    must spend fewer server requests than the ungoverned twin and
+    quarantine (not brick) what it sheds."""
+    from repro.fleet import Campaign
+    from repro.tools import chaos
+
+    lab = chaos.CorrelatedLab(devices=8, image_size=4096, seed=0)
+    point = chaos.CorrelatedPoint(domains=2, severity=6, kinds="storm")
+    plan = chaos._correlated_plan(point, lab.seed)
+
+    server_u, fleet_u, _ = lab.build_fleet(plan, 4096, attacker=False)
+    Campaign(server_u, fleet_u, chaos._correlated_policy(),
+             retry=chaos._correlated_retry()).run()
+
+    server_g, fleet_g, domain_of = lab.build_fleet(plan, 4096,
+                                                   attacker=False)
+    gov = chaos.make_correlated_governor(lab.devices)
+    report = Campaign(server_g, fleet_g, chaos._correlated_policy(),
+                      retry=chaos._correlated_retry(), governor=gov,
+                      domain_of=domain_of).run()
+
+    assert server_g.stats.requests < server_u.stats.requests
+    assert gov.sheds > 0
+    summary = gov.to_dict()
+    assert any(entry["opened_count"] >= 1
+               for entry in summary["breakers"].values())
+    # Shed devices are deferred for later remediation, never lost:
+    # every fleet member is accounted updated/failed/quarantined.
+    accounted = (len(report.updated) + len(report.failed)
+                 + len(report.quarantined))
+    assert accounted == lab.devices

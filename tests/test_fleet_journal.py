@@ -1,0 +1,179 @@
+"""Campaign WAL: framing, torn tails, coordinator kills, exact resume.
+
+The durability contract under test: after a coordinator crash at ANY
+durable append boundary, ``Campaign.resume`` replays the journal and
+finishes with a report byte-identical to the uninterrupted twin —
+zero devices re-flashed, zero tokens double-issued.  All probes here
+are passive counters (server request stats, flash write stats); the
+tests never touch device flash themselves.
+"""
+
+import json
+
+import pytest
+
+from repro.fleet import (
+    Campaign,
+    CampaignJournal,
+    CoordinatorKilled,
+    JOURNAL_KINDS,
+)
+from repro.tools import chaos
+from repro.tools.chaos import CorrelatedLab, _fleet_flash_writes
+
+DEVICES = 6
+
+
+# -- framing ------------------------------------------------------------------
+
+
+def test_append_entries_roundtrip_and_kind_gate():
+    journal = CampaignJournal()
+    journal.append("campaign-start", target=2, fleet=3)
+    journal.append("wave-plan", wave=0, names=["a", "b"])
+    entries = journal.entries()
+    assert [e["kind"] for e in entries] == ["campaign-start", "wave-plan"]
+    assert entries[0]["target"] == 2
+    with pytest.raises(ValueError):
+        journal.append("not-a-kind")
+    stats = journal.stats()
+    assert stats["appends"] == stats["valid"] == 2
+    assert stats["torn_skipped"] == 0
+    assert stats["kinds"] == {"campaign-start": 1, "wave-plan": 1}
+    assert set(JOURNAL_KINDS) >= set(stats["kinds"])
+
+
+@pytest.mark.parametrize("mutation", ["truncate", "flip"])
+def test_corrupt_lines_are_skipped_never_misread(mutation):
+    journal = CampaignJournal()
+    for wave in range(4):
+        journal.append("wave-plan", wave=wave, names=[])
+    journal.corrupt_line(2, mutation)
+    entries = journal.entries()
+    assert [e["wave"] for e in entries] == [0, 1, 3]
+    assert journal.stats()["torn_skipped"] == 1
+
+
+def test_file_backed_journal_reopens_after_valid_prefix(tmp_path):
+    path = str(tmp_path / "campaign.journal")
+    first = CampaignJournal(path)
+    first.append("campaign-start", target=2, fleet=1)
+    first.append("wave-plan", wave=0, names=["x"])
+    first.close()
+    # Simulate a power cut tearing the tail on disk.
+    with open(path, "r+", encoding="utf-8") as fh:
+        raw = fh.read()
+        fh.seek(0)
+        fh.truncate()
+        fh.write(raw[:-7])
+    second = CampaignJournal(path)
+    assert [e["kind"] for e in second.entries()] == ["campaign-start"]
+    second.append("wave-plan", wave=0, names=["x"])
+    assert second.stats()["valid"] == 2
+
+
+def test_arm_kill_fires_after_the_nth_durable_append():
+    journal = CampaignJournal()
+    journal.append("campaign-start", target=2, fleet=1)
+    journal.arm_kill(2)
+    journal.append("wave-plan", wave=0, names=["a"])
+    with pytest.raises(CoordinatorKilled) as exc:
+        journal.append("device-outcome", name="a", wave=0)
+    assert exc.value.append_index == 2
+    # The armed append itself landed durably before the death.
+    assert journal.entries()[-1]["kind"] == "device-outcome"
+    with pytest.raises(ValueError):
+        journal.arm_kill(0)
+
+
+# -- campaign kill + exact resume ---------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def lab():
+    return CorrelatedLab(devices=DEVICES, image_size=4096, seed=0)
+
+
+@pytest.fixture(scope="module")
+def twin(lab):
+    """The uninterrupted journaled reference run."""
+    server, fleet, _ = lab.build_fleet(attacker=True)
+    journal = CampaignJournal()
+    report = Campaign(server, fleet, chaos._correlated_policy(),
+                      retry=chaos._correlated_retry(),
+                      journal=journal).run()
+    return {
+        "json": json.dumps(report.to_dict(), sort_keys=True),
+        "requests": server.stats.requests,
+        "writes": _fleet_flash_writes(fleet),
+        "appends": journal.stats()["appends"],
+    }
+
+
+def _kill_and_resume(lab, kill_at):
+    server, fleet, _ = lab.build_fleet(attacker=True)
+    journal = CampaignJournal()
+    journal.arm_kill(kill_at)
+    campaign = Campaign(server, fleet, chaos._correlated_policy(),
+                        retry=chaos._correlated_retry(), journal=journal)
+    with pytest.raises(CoordinatorKilled):
+        campaign.run()
+    resumed = Campaign.resume(server, fleet, journal,
+                              policy=chaos._correlated_policy(),
+                              retry=chaos._correlated_retry())
+    return resumed.run(), server, fleet, journal
+
+
+@pytest.mark.parametrize("kill_at", [1, 2, 5])
+def test_resume_is_byte_identical_with_no_reflash_no_double_token(
+        lab, twin, kill_at):
+    report, server, fleet, journal = _kill_and_resume(lab, kill_at)
+    assert json.dumps(report.to_dict(), sort_keys=True) == twin["json"]
+    # Zero double-issued tokens: the server saw exactly as many
+    # prepare_update calls as the uninterrupted twin.
+    assert server.stats.requests == twin["requests"]
+    # Zero re-flashes: fleet-wide flash write calls match exactly.
+    assert _fleet_flash_writes(fleet) == twin["writes"]
+    # The journal converges to the twin's full record stream.
+    assert journal.stats()["appends"] == twin["appends"]
+
+
+def test_resume_at_the_last_append_verifies_the_end_seal(lab, twin):
+    # Killing on the campaign-end append means everything already
+    # happened; resume must replay and *verify* the seal, not re-run.
+    report, server, fleet, journal = _kill_and_resume(
+        lab, twin["appends"])
+    assert json.dumps(report.to_dict(), sort_keys=True) == twin["json"]
+    assert server.stats.requests == twin["requests"]
+
+
+def test_resume_after_torn_tail_still_completes(lab):
+    server, fleet, _ = lab.build_fleet(attacker=True)
+    journal = CampaignJournal()
+    journal.arm_kill(5)
+    campaign = Campaign(server, fleet, chaos._correlated_policy(),
+                        retry=chaos._correlated_retry(), journal=journal)
+    with pytest.raises(CoordinatorKilled):
+        campaign.run()
+    # The crash also tore the last line mid-write: its append never
+    # becomes visible, so the journal degrades by one record.
+    journal.corrupt_line(journal.line_count - 1, "truncate")
+    report = Campaign.resume(server, fleet, journal,
+                             policy=chaos._correlated_policy(),
+                             retry=chaos._correlated_retry()).run()
+    assert journal.stats()["torn_skipped"] == 1
+    accounted = (len(report.updated) + len(report.failed)
+                 + len(report.quarantined) + len(report.skipped)
+                 + len(report.pending))
+    assert accounted == DEVICES
+
+
+def test_resume_rejects_journal_for_a_different_target(lab):
+    server, fleet, _ = lab.build_fleet(attacker=True)
+    journal = CampaignJournal()
+    journal.append("campaign-start", target=99, fleet=DEVICES)
+    campaign = Campaign.resume(server, fleet, journal,
+                               policy=chaos._correlated_policy(),
+                               retry=chaos._correlated_retry())
+    with pytest.raises(ValueError):
+        campaign.run()

@@ -93,6 +93,174 @@ def test_million_device_campaign_acceptance():
         > 100 * summary["columnar_bytes_per_row"]
 
 
+# -- columnar <-> hydrated parity under correlated chaos (PR 7) ---------------
+
+
+def _correlated_parity_fixture(device_count, image_size, plan,
+                               transfer_bytes):
+    """Both campaign flavours over the same seeded, domain-wired fleet.
+
+    The hydrated reference gives every device its own link carrying its
+    domain's correlated schedule; the columnar path carries the domain
+    in each :class:`DeviceSpec` (part of the cohort key) and lets
+    :class:`ScaleCampaign` wire the identical link onto each cohort
+    representative at hydration.
+    """
+    from repro.core import (DeviceProfile, UpdateServer, VendorServer,
+                            make_test_identities, provision_device)
+    from repro.fleet import (Campaign, ColumnarFleet, DeviceRecord,
+                             DeviceSpec, RetryPolicy, RolloutPolicy,
+                             ScaleCampaign, SerialWaveExecutor)
+    from repro.memory import MemoryLayout
+    from repro.net import BLE_GATT, COAP_6LOWPAN
+    from repro.platform import NRF52840, ZEPHYR
+    from repro.sim import SimulatedDevice
+    from repro.tools.bench import APP_ID, LINK_OFFSET
+    from repro.tools.chaos import SWEEP_TRANSPORT_RETRY
+    from repro.workload import FirmwareGenerator
+
+    generator = FirmwareGenerator(seed=b"corr-parity")
+    fw_v1 = generator.firmware(image_size, image_id=1)
+    fw_v2 = generator.os_version_change(fw_v1, revision=2)
+    vendor_id, server_id, anchors = make_test_identities()
+    vendor = VendorServer(vendor_id, app_id=APP_ID,
+                          link_offset=LINK_OFFSET)
+    release_v1 = vendor.release(fw_v1, 1)
+    release_v2 = vendor.release(fw_v2, 2)
+
+    def fresh_server():
+        server = UpdateServer(server_id)
+        server.publish(release_v1)
+        return server
+
+    def domain_name(index):
+        return plan.domain_of(index, device_count).name
+
+    def transport(index):
+        return "pull" if index % 2 else "push"
+
+    def link_for(index):
+        return plan.link_for(
+            plan.position_of(domain_name(index)), max(1, transfer_bytes),
+            profile=(BLE_GATT if transport(index) == "push"
+                     else COAP_6LOWPAN))
+
+    def make_device(server, device_id):
+        internal = NRF52840.make_internal_flash()
+        layout = MemoryLayout.configuration_a(internal, 128 * 1024)
+        profile = DeviceProfile(device_id=device_id, app_id=APP_ID,
+                                link_offset=LINK_OFFSET)
+        device = SimulatedDevice(board=NRF52840, os_profile=ZEPHYR,
+                                 layout=layout, profile=profile,
+                                 anchors=anchors)
+        provision_device(server, layout.get("a"), device_id)
+        return device
+
+    policy = RolloutPolicy(canary_fraction=0.1)
+    retry = RetryPolicy(max_attempts=2, jitter=0.0,
+                        transport_retry=SWEEP_TRANSPORT_RETRY)
+
+    # Hydrated reference --------------------------------------------------
+    hydrated_server = fresh_server()
+    hydrated_fleet = [
+        DeviceRecord(name="corr-%05d" % index,
+                     device=make_device(hydrated_server, 0x4000 + index),
+                     transport=transport(index), link=link_for(index))
+        for index in range(device_count)]
+    hydrated_server.publish(release_v2)
+    hydrated = Campaign(hydrated_server, hydrated_fleet, policy,
+                        executor=SerialWaveExecutor(), retry=retry)
+
+    # Columnar path -------------------------------------------------------
+    scale_server = fresh_server()
+    provisioning = fresh_server()
+    scale_server.publish(release_v2)
+
+    def spec_fn(index):
+        return DeviceSpec(name="corr-%05d" % index,
+                          device_id=0x4000 + index,
+                          transport=transport(index),
+                          domain=domain_name(index))
+
+    def hydrator(spec):
+        return DeviceRecord(name=spec.name,
+                            device=make_device(provisioning,
+                                               spec.device_id),
+                            transport=spec.transport)
+
+    scale = ScaleCampaign(scale_server,
+                          ColumnarFleet(device_count, spec_fn,
+                                        baseline_version=1),
+                          hydrator, policy, retry=retry,
+                          anchors=anchors, domain_plan=plan,
+                          transfer_bytes=transfer_bytes)
+    return hydrated, scale
+
+
+def _whole_campaign_plan(seed=9):
+    from repro.faults import DomainEvent, DomainPlan, FaultDomain, \
+        FaultKind
+
+    # Whole-campaign windows: activation is admit-time independent, so
+    # the hydrated path (links built up front) and the columnar path
+    # (links built at each wave's admit time) see identical schedules.
+    return DomainPlan(
+        [FaultDomain("dom-00", kind="gateway"),
+         FaultDomain("dom-01", kind="gateway")],
+        [DomainEvent(FaultKind.LINK_STORM, at=0.0, duration=3600.0,
+                     severity=2),
+         DomainEvent(FaultKind.LOSS_FRONT, at=0.0, duration=3600.0,
+                     severity=1)],
+        seed=seed)
+
+
+@pytest.mark.fleet_scale
+def test_columnar_parity_under_correlated_chaos():
+    """Satellite (PR 7): the columnar path under a domain storm stays
+    byte-identical to the hydrated reference — campaign report and
+    every per-device entry."""
+    from repro.fleet import ScaleReport
+
+    image_size = 8 * 1024
+    hydrated, scale = _correlated_parity_fixture(
+        40, image_size, _whole_campaign_plan(), image_size)
+    hydrated_report = hydrated.run()
+    scale_report = scale.run()
+
+    # The storm actually bit: members survived interruptions.
+    assert sum(r.interruptions for r in hydrated.fleet) > 0
+    assert scale_report.to_campaign_report().to_dict() \
+        == hydrated_report.to_dict()
+    for index, record in enumerate(hydrated.fleet):
+        assert scale_report.device_entry(index) \
+            == ScaleReport.record_entry(record), record.name
+
+
+@pytest.mark.fleet_scale
+def test_ten_thousand_devices_under_domain_outage():
+    """10k columnar devices through a correlated storm: domains join
+    the cohort key (transports x domains cohorts), every member still
+    updates, hydrations stay cohort-sized, never fleet-sized."""
+    image_size = 8 * 1024
+    plan = _whole_campaign_plan(seed=4)
+    _, scale = _correlated_parity_fixture(10_000, image_size, plan,
+                                          image_size)
+    report = scale.run()
+    summary = report.summary()
+    assert summary["updated"] == 10_000
+    assert not summary["aborted"]
+    assert summary["cohorts"] == 4          # 2 transports x 2 domains
+    # One hydration per (wave, cohort-present-in-wave): the block-wise
+    # domain assignment means the canary wave needn't touch every
+    # cohort, so this is bounded by cohorts*waves, not equal to it.
+    assert summary["cohorts"] <= summary["hydrations"] \
+        <= summary["cohorts"] * summary["waves"]
+    # Sampled entries replicate the representative's storm survival.
+    entry = report.device_entry(1_234)
+    assert entry["state"] == "updated"
+    assert entry["interruptions"] > 0
+
+
 # -- executor probe regression (the 1-core process_speedup inversion) ---------
 
 

@@ -70,6 +70,43 @@ def test_torn_record_is_skipped_not_misread():
     assert [r.label for r in records] == ["good_one"]
 
 
+def test_post_mortem_survives_fuzzed_flash():
+    """Satellite (PR 7): post_mortem() must *skip* torn/CRC-corrupt
+    ring records, never raise — fuzz random corruption and truncation
+    over a populated journal."""
+    import random
+
+    rng = random.Random(0x7E57)
+    for trial in range(40):
+        flash = small_flash(pages=2)
+        box = BlackBox(flash=flash)
+        for index in range(rng.randrange(1, 12)):
+            box.record("event_%d" % index,
+                       phase=rng.choice(["propagation", "loading"]),
+                       t=float(index))
+        # Corrupt 1-4 random windows: zeroed bytes model a torn write,
+        # random bytes model bit rot; occasionally clobber a whole
+        # record-sized slice (the mid-record power-cut shape).
+        for _ in range(rng.randrange(1, 5)):
+            offset = rng.randrange(0, flash.size - 4)
+            width = rng.choice([1, 2, 4, RECORD_SIZE])
+            width = min(width, flash.size - offset)
+            if rng.random() < 0.5:
+                # A torn write clears bits it never meant to (legal
+                # NOR write: 1 -> 0 only).
+                flash.write(offset, b"\x00" * width)
+            else:
+                # Bit rot flips bits regardless of NOR discipline.
+                flash.corrupt(offset, bytes(rng.randrange(256)
+                                            for _ in range(width)))
+        remounted = BlackBox(flash=flash)
+        report = remounted.post_mortem()       # must never raise
+        assert report["record_count"] == len(remounted.records())
+        for record in remounted.records():     # survivors decode sanely
+            assert record.seq >= 1
+            assert record.t >= 0.0
+
+
 def test_post_mortem_flags_unexpected_boot():
     box = BlackBox(flash=small_flash())
     box.record("token_issued", phase="propagation", t=1.0)
