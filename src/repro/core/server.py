@@ -120,6 +120,12 @@ class UpdateServer:
         """Newest published version, or 0 when nothing is published."""
         return max(self._releases) if self._releases else 0
 
+    def has_release(self, version: int) -> bool:
+        """Whether ``version`` is published (the service layer's
+        channel-resolution check, cheaper than catching the
+        :class:`ManifestFormatError` from :meth:`release_content`)."""
+        return version in self._releases
+
     def announce(self) -> "dict[str, int]":
         """The advertisement pushed to proxies (step 3 of Fig. 2)."""
         return {"latest_version": self.latest_version}

@@ -51,11 +51,15 @@ class CoapCode(enum.IntEnum):
     POST = 0x02
     PUT = 0x03
     DELETE = 0x04
+    CREATED = 0x41        # 2.01
     CONTENT = 0x45        # 2.05
     CHANGED = 0x44        # 2.04
     BAD_REQUEST = 0x80    # 4.00
     NOT_FOUND = 0x84      # 4.04
     FORBIDDEN = 0x83      # 4.03
+    CONFLICT = 0x89       # 4.09 (RFC 8132; the service faces map
+                          # HTTP 409 onto it)
+    INTERNAL_SERVER_ERROR = 0xA0  # 5.00
 
 
 class CoapOption(enum.IntEnum):

@@ -19,7 +19,8 @@ schema-versioned ``fleetview`` JSON artifact).
 
 from .blackbox import PHASE_OF_EVENT, BlackBox, BlackBoxRecord, \
     aggregate_post_mortems
-from .export import to_openmetrics, write_openmetrics
+from .export import OPENMETRICS_CONTENT_TYPE, to_openmetrics, \
+    write_openmetrics
 from .health import (
     Anomaly,
     DeviceSample,
@@ -88,6 +89,7 @@ __all__ = [
     "FleetTelemetry",
     "DEFAULT_SLOS",
     "percentile",
+    "OPENMETRICS_CONTENT_TYPE",
     "to_openmetrics",
     "write_openmetrics",
     "NULL_TRACER",

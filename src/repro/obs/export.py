@@ -21,8 +21,16 @@ from __future__ import annotations
 import re
 from typing import Any, Dict, List, Sequence, Tuple
 
-__all__ = ["metric_name", "to_openmetrics", "write_openmetrics",
-           "write_fleetview_report"]
+__all__ = ["OPENMETRICS_CONTENT_TYPE", "metric_name", "to_openmetrics",
+           "write_openmetrics", "write_fleetview_report"]
+
+#: The media type an HTTP exposition of :func:`to_openmetrics` MUST
+#: carry (OpenMetrics spec §3): plain ``text/plain`` makes Prometheus
+#: fall back to the legacy parser, which rejects the ``# EOF``
+#: terminator.  The serve plane's ``/metrics`` endpoint sends this
+#: verbatim.
+OPENMETRICS_CONTENT_TYPE = \
+    "application/openmetrics-text; version=1.0.0; charset=utf-8"
 
 _NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
 

@@ -1,0 +1,38 @@
+"""The service plane: network faces over the in-process update core.
+
+:mod:`repro.serve.service` is the protocol-agnostic brain (device
+registry, single-use tokens, channels, ranged chunks, WAL-backed
+campaign CRUD); :mod:`repro.serve.httpd` and
+:mod:`repro.serve.coapface` are its HTTP/1.1 and simulated-CoAP
+codecs.  See DESIGN.md "Service plane".
+"""
+
+from .coapface import (
+    CoapDatagramRelay,
+    CoapDeviceClient,
+    CoapFront,
+    DEFAULT_BLOCK_SIZE,
+)
+from .httpd import HttpServer
+from .service import (
+    APP_ID,
+    CHANNELS,
+    CampaignSpec,
+    DeviceFarm,
+    FleetService,
+    ServiceError,
+)
+
+__all__ = [
+    "APP_ID",
+    "CHANNELS",
+    "CampaignSpec",
+    "CoapDatagramRelay",
+    "CoapDeviceClient",
+    "CoapFront",
+    "DEFAULT_BLOCK_SIZE",
+    "DeviceFarm",
+    "FleetService",
+    "HttpServer",
+    "ServiceError",
+]

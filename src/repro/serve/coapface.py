@@ -1,0 +1,388 @@
+"""The simulated-CoAP face: block-wise named chunks, same service.
+
+Constrained clients in the paper pull over CoAP, not HTTP.  This face
+speaks real RFC 7252 datagrams (the :mod:`repro.net.coap` codec — the
+same bytes a Zoap/libcoap stack would emit) over an in-process
+datagram relay, and routes every request into the *same*
+:class:`~repro.serve.service.FleetService` the HTTP face uses.  The
+image resource follows the ICN-style named-chunk model (Gündoğan et
+al.): the resource name is the token, each Block2 exchange names an
+absolute chunk, and any block may be re-requested after a loss —
+which is exactly the service layer's overlapping-range contract.
+
+Request surface (URI paths mirror the HTTP routes)::
+
+    POST devices                    register (JSON payload)
+    POST devices/{id}/token         single-use token
+    GET  manifests/{token}          envelope + digest (JSON, Block2)
+    GET  images/{token}             payload bytes (Block2 named chunks)
+    POST reports/{token}            outcome report
+
+Errors carry the service's structured JSON body as the diagnostic
+payload with the closest CoAP code (4.00/4.03/4.04/4.09), so a client
+can branch on ``error.code`` identically over either protocol.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from collections import OrderedDict
+from hashlib import sha256
+from typing import Dict, Optional, Tuple
+
+from ..net.coap import (
+    Block,
+    CoapCode,
+    CoapError,
+    CoapMessage,
+    CoapOption,
+    CoapType,
+)
+from .service import FleetService, ServiceError
+
+__all__ = ["CoapFront", "CoapDatagramRelay", "CoapDeviceClient",
+           "DEFAULT_BLOCK_SIZE"]
+
+DEFAULT_BLOCK_SIZE = 256
+
+_STATUS_TO_COAP = {
+    400: CoapCode.BAD_REQUEST,
+    403: CoapCode.FORBIDDEN,
+    404: CoapCode.NOT_FOUND,
+    409: CoapCode.CONFLICT,
+    416: CoapCode.BAD_REQUEST,
+}
+
+
+class CoapFront:
+    """Datagram-in, datagram-out codec over one FleetService.
+
+    Implements RFC 7252 §4.2 deduplication: a CON retransmission
+    (same message ID + token — the client never got our response)
+    replays the *cached* response instead of re-executing the
+    request.  Without this, a lost response to a non-idempotent POST
+    (token issuance, outcome report) would burn the single-use token
+    and strand the device.
+    """
+
+    DEDUP_WINDOW = 1024
+
+    def __init__(self, service: FleetService) -> None:
+        self.service = service
+        self._seen: "OrderedDict[Tuple[bytes, int], bytes]" = \
+            OrderedDict()
+
+    def handle(self, datagram: bytes) -> bytes:
+        """Process one encoded request; always returns a response
+        datagram (malformed requests get a 4.00, never silence)."""
+        try:
+            request = CoapMessage.decode(datagram)
+        except CoapError as exc:
+            return CoapMessage(
+                mtype=CoapType.ACK, code=CoapCode.BAD_REQUEST,
+                message_id=0,
+                payload=_error_body("bad-datagram", 400,
+                                    str(exc))).encode()
+        key = (request.token, request.message_id)
+        cached = self._seen.get(key)
+        if cached is not None:
+            self._seen.move_to_end(key)
+            return cached
+        try:
+            response = self._route(request)
+        except ServiceError as exc:
+            response = self._error(request, exc.status,
+                                   json.dumps(exc.to_body(),
+                                              sort_keys=True)
+                                   .encode("utf-8"))
+        except Exception as exc:
+            response = CoapMessage(
+                mtype=CoapType.ACK,
+                code=CoapCode.INTERNAL_SERVER_ERROR,
+                message_id=request.message_id, token=request.token,
+                payload=_error_body(
+                    "internal", 500,
+                    "%s: %s" % (type(exc).__name__, exc))).encode()
+        self._seen[key] = response
+        while len(self._seen) > self.DEDUP_WINDOW:
+            self._seen.popitem(last=False)
+        return response
+
+    # -- routing ---------------------------------------------------------------
+
+    def _route(self, request: CoapMessage) -> bytes:
+        parts = [p for p in request.uri_path().split("/") if p]
+        service = self.service
+        if request.code == CoapCode.POST:
+            if parts == ["devices"]:
+                return self._json_reply(
+                    request, CoapCode.CREATED,
+                    service.register_device(_json_payload(request)))
+            if len(parts) == 3 and parts[0] == "devices" \
+                    and parts[2] == "token":
+                body = _json_payload(request, optional=True)
+                return self._json_reply(
+                    request, CoapCode.CHANGED,
+                    service.issue_token(
+                        _device_id(parts[1]),
+                        bool(body.get("supports_differential",
+                                      False))))
+            if len(parts) == 2 and parts[0] == "reports":
+                return self._json_reply(
+                    request, CoapCode.CHANGED,
+                    service.close_token(parts[1],
+                                        _json_payload(request)))
+        elif request.code == CoapCode.GET:
+            if len(parts) == 2 and parts[0] == "manifests":
+                body = json.dumps(
+                    service.resolve_manifest(parts[1]),
+                    sort_keys=True).encode("utf-8")
+                return self._blockwise(request, body)
+            if len(parts) == 2 and parts[0] == "images":
+                return self._image(request, parts[1])
+        raise ServiceError("unknown-route", 404,
+                           "%s %s is not a service endpoint"
+                           % (request.code.name, "/".join(parts)))
+
+    def _image(self, request: CoapMessage, token_hex: str) -> bytes:
+        """Named-chunk GET: Block2 names an absolute payload range."""
+        block = request.block2() or Block(num=0, more=False,
+                                          size=DEFAULT_BLOCK_SIZE)
+        offset = block.num * block.size
+        data, total = self.service.read_chunk(token_hex, offset,
+                                              block.size)
+        more = offset + len(data) < total
+        response = CoapMessage(
+            mtype=CoapType.ACK, code=CoapCode.CONTENT,
+            message_id=request.message_id, token=request.token,
+            payload=data)
+        response.add_option(
+            CoapOption.BLOCK2,
+            Block(num=block.num, more=more, size=block.size).encode())
+        response.add_option(CoapOption.SIZE2,
+                            total.to_bytes(4, "big"))
+        return response.encode()
+
+    def _blockwise(self, request: CoapMessage, body: bytes) -> bytes:
+        block = request.block2() or Block(num=0, more=False,
+                                          size=DEFAULT_BLOCK_SIZE)
+        start = block.num * block.size
+        if start > len(body):
+            raise ServiceError("range-unsatisfiable", 416,
+                               "block %d past end of %d-byte resource"
+                               % (block.num, len(body)))
+        chunk = body[start:start + block.size]
+        more = start + block.size < len(body)
+        response = CoapMessage(
+            mtype=CoapType.ACK, code=CoapCode.CONTENT,
+            message_id=request.message_id, token=request.token,
+            payload=chunk)
+        response.add_option(
+            CoapOption.BLOCK2,
+            Block(num=block.num, more=more, size=block.size).encode())
+        response.add_option(CoapOption.SIZE2,
+                            len(body).to_bytes(4, "big"))
+        return response.encode()
+
+    def _json_reply(self, request: CoapMessage, code: CoapCode,
+                    body: Dict[str, object]) -> bytes:
+        return CoapMessage(
+            mtype=CoapType.ACK, code=code,
+            message_id=request.message_id, token=request.token,
+            payload=json.dumps(body, sort_keys=True)
+            .encode("utf-8")).encode()
+
+    def _error(self, request: CoapMessage, status: int,
+               payload: bytes) -> bytes:
+        return CoapMessage(
+            mtype=CoapType.ACK,
+            code=_STATUS_TO_COAP.get(status,
+                                     CoapCode.INTERNAL_SERVER_ERROR),
+            message_id=request.message_id, token=request.token,
+            payload=payload).encode()
+
+
+class CoapDatagramRelay:
+    """The in-process virtual network between client and front.
+
+    One async hop per direction; a real UDP socket pair would carry
+    identical bytes.  ``drop_every`` drops every Nth *response*
+    datagram, which is how the tests exercise named-chunk
+    re-requests after loss.
+    """
+
+    def __init__(self, front: CoapFront,
+                 drop_every: int = 0) -> None:
+        self.front = front
+        self.drop_every = drop_every
+        self.exchanges = 0
+        self.dropped = 0
+
+    async def request(self, datagram: bytes) -> Optional[bytes]:
+        await asyncio.sleep(0)          # the uplink hop
+        response = self.front.handle(datagram)
+        self.exchanges += 1
+        if self.drop_every and self.exchanges % self.drop_every == 0:
+            self.dropped += 1
+            return None                 # the downlink datagram is lost
+        await asyncio.sleep(0)          # the downlink hop
+        return response
+
+
+class CoapDeviceClient:
+    """A constrained client driving the full session over datagrams.
+
+    ``run_session`` performs register → token → manifest → block-wise
+    named-chunk download → report and returns the device-visible
+    outcome — the same tuple the HTTP swarm client produces, which is
+    what the protocol-parity test compares.
+    """
+
+    def __init__(self, relay: CoapDatagramRelay, device_id: int,
+                 channel: str = "stable",
+                 block_size: int = DEFAULT_BLOCK_SIZE,
+                 max_retries: int = 8) -> None:
+        self.relay = relay
+        self.device_id = device_id
+        self.channel = channel
+        self.block_size = block_size
+        self.max_retries = max_retries
+        self._mid = 0
+        self._token_counter = 0
+
+    async def run_session(self) -> Dict[str, object]:
+        register = await self._post_json(
+            "devices", {"device_id": self.device_id,
+                        "channel": self.channel})
+        issued = await self._post_json(
+            "devices/%d/token" % self.device_id, {})
+        token_hex = str(issued["token"])
+        manifest = json.loads((await self._get_blockwise(
+            "manifests/%s" % token_hex)).decode("utf-8"))
+        payload = await self._get_blockwise(
+            "images/%s" % token_hex,
+            expected=int(manifest["payload_size"]))
+        digest_ok = (sha256(payload).hexdigest()
+                     == manifest["payload_sha256"])
+        report = await self._post_json(
+            "reports/%s" % token_hex,
+            {"status": "updated" if digest_ok else "failed"})
+        return {
+            "register": register,
+            "token": token_hex,
+            "envelope": manifest["envelope"],
+            "version": manifest["version"],
+            "payload": payload,
+            "digest_ok": digest_ok,
+            "report": report,
+        }
+
+    # -- exchanges -------------------------------------------------------------
+
+    async def _exchange(self, request: CoapMessage) -> CoapMessage:
+        """CON semantics: retransmit until a response datagram lands."""
+        datagram = request.encode()
+        for _attempt in range(self.max_retries):
+            response = await self.relay.request(datagram)
+            if response is not None:
+                return CoapMessage.decode(response)
+        raise CoapError("no response after %d retransmissions"
+                        % self.max_retries)
+
+    def _request(self, code: CoapCode, path: str) -> CoapMessage:
+        self._mid = (self._mid + 1) & 0xFFFF
+        self._token_counter += 1
+        message = CoapMessage(
+            mtype=CoapType.CON, code=code, message_id=self._mid,
+            token=self._token_counter.to_bytes(4, "big"))
+        for segment in path.split("/"):
+            message.add_option(CoapOption.URI_PATH,
+                               segment.encode("utf-8"))
+        return message
+
+    async def _post_json(self, path: str,
+                         body: Dict[str, object]) -> Dict[str, object]:
+        request = self._request(CoapCode.POST, path)
+        request.payload = json.dumps(body, sort_keys=True) \
+            .encode("utf-8")
+        response = await self._exchange(request)
+        parsed = json.loads(response.payload.decode("utf-8")) \
+            if response.payload else {}
+        if response.code not in (CoapCode.CONTENT, CoapCode.CHANGED,
+                                 CoapCode.CREATED):
+            raise ServiceError(
+                str(parsed.get("error", {}).get("code", "coap")),
+                int(parsed.get("error", {}).get("status", 500)),
+                str(parsed.get("error", {}).get("detail",
+                                                response.code.name)))
+        return parsed
+
+    async def _get_blockwise(self, path: str,
+                             expected: Optional[int] = None) -> bytes:
+        """Named-chunk download; lost responses re-request the same
+        absolute block — overlap the service must (and does) allow."""
+        chunks: Dict[int, bytes] = {}
+        num = 0
+        total: Optional[int] = expected
+        while True:
+            request = self._request(CoapCode.GET, path)
+            request.add_option(
+                CoapOption.BLOCK2,
+                Block(num=num, more=False,
+                      size=self.block_size).encode())
+            response = await self._exchange(request)
+            if response.code != CoapCode.CONTENT:
+                parsed = json.loads(
+                    response.payload.decode("utf-8")) \
+                    if response.payload else {}
+                error = parsed.get("error", {})
+                raise ServiceError(str(error.get("code", "coap")),
+                                   int(error.get("status", 500)),
+                                   str(error.get("detail",
+                                                 response.code.name)))
+            chunks[num] = response.payload
+            size2 = response.option(CoapOption.SIZE2)
+            if size2 is not None:
+                total = int.from_bytes(size2, "big")
+            block = response.block2()
+            if block is None or not block.more:
+                break
+            num += 1
+        body = b"".join(chunks[i] for i in sorted(chunks))
+        if total is not None and len(body) != total:
+            raise CoapError("assembled %d bytes, resource is %d"
+                            % (len(body), total))
+        return body
+
+
+def _json_payload(request: CoapMessage,
+                  optional: bool = False) -> Dict[str, object]:
+    if not request.payload:
+        if optional:
+            return {}
+        raise ServiceError("invalid-body", 400,
+                           "a JSON payload is required")
+    try:
+        parsed = json.loads(request.payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ServiceError("invalid-body", 400,
+                           "payload is not valid JSON: %s" % exc)
+    if not isinstance(parsed, dict):
+        raise ServiceError("invalid-body", 400,
+                           "payload must be a JSON object")
+    return parsed
+
+
+def _device_id(raw: str) -> int:
+    try:
+        return int(raw)
+    except ValueError:
+        raise ServiceError("invalid-device-id", 400,
+                           "device id must be an integer")
+
+
+def _error_body(code: str, status: int, detail: str) -> bytes:
+    return json.dumps({"error": {"code": code, "status": status,
+                                 "detail": detail}},
+                      sort_keys=True).encode("utf-8")

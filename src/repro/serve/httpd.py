@@ -1,0 +1,412 @@
+"""The HTTP/1.1 face of the fleet service: stdlib asyncio, no deps.
+
+A deliberately small server — request line, headers, Content-Length
+bodies, keep-alive — because constrained-device update traffic *is*
+small: five JSON endpoints and one binary range endpoint per session.
+Every route is a thin codec over :class:`~repro.serve.service
+.FleetService`; no behaviour lives here.
+
+Routes (management shapes modeled on moonraker's update_manager)::
+
+    GET    /                          service + endpoint directory
+    GET    /channels                  release channels + server stats
+    POST   /devices                   register {device_id, channel, ...}
+    GET    /devices/{id}              registry entry
+    POST   /devices/{id}/token        single-use token (409 on a race)
+    GET    /manifests/{token}         double-signed envelope + digest
+    GET    /images/{token}            payload bytes; Range honoured
+    POST   /reports/{token}           outcome report (burns the token)
+    GET    /campaigns[/{name}]        campaign list / status
+    POST   /campaigns                 create + start (WAL-backed)
+    POST   /campaigns/{name}/refresh  re-drive a paused remainder
+    POST   /campaigns/{name}/resume   resurrect from the WAL
+    DELETE /campaigns/{name}          drop a finished campaign
+    GET    /metrics                   OpenMetrics (chunked, typed)
+
+Errors are :class:`~repro.serve.service.ServiceError` bodies verbatim:
+``{"error": {"code", "status", "detail"}}`` — the CoAP face serializes
+the same object, so a client's error handling is protocol-portable.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Dict, List, Optional, Tuple
+
+from ..obs.export import OPENMETRICS_CONTENT_TYPE
+from .service import FleetService, ServiceError
+
+__all__ = ["HttpServer", "MAX_BODY_BYTES"]
+
+MAX_BODY_BYTES = 1 << 20
+_STATUS_TEXT = {200: "OK", 201: "Created", 206: "Partial Content",
+                400: "Bad Request", 403: "Forbidden", 404: "Not Found",
+                405: "Method Not Allowed", 409: "Conflict",
+                413: "Payload Too Large",
+                416: "Range Not Satisfiable",
+                500: "Internal Server Error"}
+#: /metrics flows through chunked transfer-encoding on purpose: the
+#: OpenMetrics conformance test asserts the ``# EOF`` terminator
+#: survives re-assembly from chunk frames.
+METRICS_CHUNK_BYTES = 512
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, code: str, detail: str) -> None:
+        super().__init__(detail)
+        self.status = status
+        self.body = {"error": {"code": code, "status": status,
+                               "detail": detail}}
+
+
+class HttpServer:
+    """``asyncio.start_server`` front end over one FleetService."""
+
+    def __init__(self, service: FleetService,
+                 host: str = "127.0.0.1", port: int = 0) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._conn_tasks: "set[asyncio.Task]" = set()
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        """Close the listener and every live connection task — after
+        this returns, the server has left ``asyncio.all_tasks()``."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks,
+                                 return_exceptions=True)
+        self._conn_tasks.clear()
+
+    async def __aenter__(self) -> "HttpServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # -- connection loop -------------------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        try:
+            while True:
+                try:
+                    request = await self._read_request(reader)
+                except (asyncio.IncompleteReadError,
+                        ConnectionResetError, asyncio.LimitOverrunError):
+                    break
+                if request is None:
+                    break
+                method, path, headers, body = request
+                close = headers.get("connection", "").lower() == "close"
+                try:
+                    status, payload, extra = self._dispatch(
+                        method, path, headers, body)
+                except _HttpError as exc:
+                    status, payload, extra = exc.status, exc.body, {}
+                except ServiceError as exc:
+                    status, payload, extra = (exc.status, exc.to_body(),
+                                              {})
+                except Exception as exc:
+                    status = 500
+                    payload = {"error": {
+                        "code": "internal", "status": 500,
+                        "detail": "%s: %s"
+                                  % (type(exc).__name__, exc)}}
+                    extra = {}
+                try:
+                    if extra.pop("_chunked", False):
+                        await self._write_chunked(
+                            writer, status, payload, extra, close)
+                    else:
+                        await self._write_response(
+                            writer, status, payload, extra, close)
+                except (ConnectionResetError, BrokenPipeError):
+                    break
+                if close:
+                    break
+        except asyncio.CancelledError:
+            pass
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _read_request(
+            self, reader: asyncio.StreamReader
+    ) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+        line = await reader.readline()
+        if not line or line in (b"\r\n", b"\n"):
+            return None
+        try:
+            method, path, _version = \
+                line.decode("ascii").strip().split(" ", 2)
+        except (UnicodeDecodeError, ValueError):
+            raise _HttpError(400, "bad-request-line",
+                             "unparseable request line")
+        headers: Dict[str, str] = {}
+        while True:
+            raw = await reader.readline()
+            if not raw:
+                raise asyncio.IncompleteReadError(raw, None)
+            if raw in (b"\r\n", b"\n"):
+                break
+            name, _sep, value = raw.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > MAX_BODY_BYTES:
+            raise _HttpError(413, "body-too-large",
+                             "body exceeds %d bytes" % MAX_BODY_BYTES)
+        body = await reader.readexactly(length) if length else b""
+        return method.upper(), path, headers, body
+
+    # -- routing ---------------------------------------------------------------
+
+    def _dispatch(self, method: str, target: str,
+                  headers: Dict[str, str], body: bytes
+                  ) -> Tuple[int, object, Dict[str, str]]:
+        path, _sep, query = target.partition("?")
+        parts = [p for p in path.split("/") if p]
+        service = self.service
+        if not parts:
+            return 200, self._directory(), {}
+        if parts == ["metrics"] and method == "GET":
+            return 200, service.openmetrics(), {"_chunked": True}
+        if parts == ["channels"] and method == "GET":
+            return 200, service.channel_status(), {}
+        if parts[0] == "devices":
+            return self._dispatch_devices(method, parts, body)
+        if parts[0] == "manifests" and len(parts) == 2 \
+                and method == "GET":
+            return 200, service.resolve_manifest(parts[1]), {}
+        if parts[0] == "images" and len(parts) == 2 and method == "GET":
+            return self._dispatch_image(parts[1], headers, query)
+        if parts[0] == "reports" and len(parts) == 2 \
+                and method == "POST":
+            return 200, service.close_token(parts[1],
+                                            _json_body(body)), {}
+        if parts[0] == "campaigns":
+            return self._dispatch_campaigns(method, parts, body)
+        raise _HttpError(404, "unknown-route",
+                         "%s %s is not a service endpoint"
+                         % (method, path))
+
+    def _dispatch_devices(self, method: str, parts: List[str],
+                          body: bytes
+                          ) -> Tuple[int, object, Dict[str, str]]:
+        service = self.service
+        if len(parts) == 1 and method == "POST":
+            return 201, service.register_device(_json_body(body)), {}
+        if len(parts) >= 2:
+            try:
+                device_id = int(parts[1])
+            except ValueError:
+                raise _HttpError(400, "invalid-device-id",
+                                 "device id must be an integer")
+            if len(parts) == 2 and method == "GET":
+                return 200, service.device_status(device_id), {}
+            if len(parts) == 3 and parts[2] == "token" \
+                    and method == "POST":
+                req = _json_body(body) if body else {}
+                return 201, service.issue_token(
+                    device_id,
+                    bool(req.get("supports_differential", False))), {}
+        raise _HttpError(405, "method-not-allowed",
+                         "unsupported device operation")
+
+    def _dispatch_image(self, token_hex: str, headers: Dict[str, str],
+                        query: str
+                        ) -> Tuple[int, object, Dict[str, str]]:
+        offset, length, ranged = _parse_range(headers.get("range"),
+                                              query)
+        try:
+            data, total = self.service.read_chunk(token_hex, offset,
+                                                  length)
+        except ServiceError as exc:
+            if exc.status == 416:
+                raise _RangeError(exc)
+            raise
+        if not ranged:
+            return 200, data, {"Content-Type":
+                               "application/octet-stream"}
+        if data:
+            content_range = "bytes %d-%d/%d" % (
+                offset, offset + len(data) - 1, total)
+        else:
+            content_range = "bytes */%d" % total
+        return 206, data, {"Content-Type": "application/octet-stream",
+                           "Content-Range": content_range}
+
+    def _dispatch_campaigns(self, method: str, parts: List[str],
+                            body: bytes
+                            ) -> Tuple[int, object, Dict[str, str]]:
+        service = self.service
+        if len(parts) == 1:
+            if method == "GET":
+                return 200, service.list_campaigns(), {}
+            if method == "POST":
+                return 201, service.create_campaign(
+                    _json_body(body)), {}
+        elif len(parts) == 2:
+            name = parts[1]
+            if method == "GET":
+                return 200, service.campaign_status(name), {}
+            if method == "DELETE":
+                return 200, service.delete_campaign(name), {}
+        elif len(parts) == 3 and method == "POST":
+            name, action = parts[1], parts[2]
+            if action == "refresh":
+                req = _json_body(body) if body else {}
+                return 200, service.refresh_campaign(name, req), {}
+            if action == "resume":
+                req = _json_body(body) if body else {}
+                return 200, service.resume_campaign(
+                    name, wait=bool(req.get("wait", False))), {}
+        raise _HttpError(405, "method-not-allowed",
+                         "unsupported campaign operation")
+
+    def _directory(self) -> Dict[str, object]:
+        return {
+            "service": "upkit-serve",
+            "endpoints": [
+                "GET /channels", "POST /devices",
+                "GET /devices/{id}", "POST /devices/{id}/token",
+                "GET /manifests/{token}", "GET /images/{token}",
+                "POST /reports/{token}", "GET /campaigns",
+                "POST /campaigns", "GET /campaigns/{name}",
+                "POST /campaigns/{name}/refresh",
+                "POST /campaigns/{name}/resume",
+                "DELETE /campaigns/{name}", "GET /metrics",
+            ],
+        }
+
+    # -- response writing ------------------------------------------------------
+
+    async def _write_response(self, writer: asyncio.StreamWriter,
+                              status: int, payload: object,
+                              extra: Dict[str, str],
+                              close: bool) -> None:
+        if isinstance(payload, (bytes, bytearray)):
+            body = bytes(payload)
+            content_type = extra.pop("Content-Type",
+                                     "application/octet-stream")
+        else:
+            body = (json.dumps(payload, sort_keys=True) + "\n") \
+                .encode("utf-8")
+            content_type = extra.pop("Content-Type",
+                                     "application/json; charset=utf-8")
+        headers = ["HTTP/1.1 %d %s"
+                   % (status, _STATUS_TEXT.get(status, "Unknown")),
+                   "Content-Type: %s" % content_type,
+                   "Content-Length: %d" % len(body)]
+        headers += ["%s: %s" % item for item in extra.items()]
+        headers.append("Connection: %s"
+                       % ("close" if close else "keep-alive"))
+        writer.write(("\r\n".join(headers) + "\r\n\r\n")
+                     .encode("latin-1") + body)
+        await writer.drain()
+
+    async def _write_chunked(self, writer: asyncio.StreamWriter,
+                             status: int, payload: object,
+                             extra: Dict[str, str],
+                             close: bool) -> None:
+        text = payload if isinstance(payload, str) \
+            else json.dumps(payload, sort_keys=True)
+        body = text.encode("utf-8")
+        headers = ["HTTP/1.1 %d %s"
+                   % (status, _STATUS_TEXT.get(status, "Unknown")),
+                   "Content-Type: %s"
+                   % extra.pop("Content-Type",
+                               OPENMETRICS_CONTENT_TYPE),
+                   "Transfer-Encoding: chunked",
+                   "Connection: %s"
+                   % ("close" if close else "keep-alive")]
+        writer.write(("\r\n".join(headers) + "\r\n\r\n")
+                     .encode("latin-1"))
+        for start in range(0, len(body), METRICS_CHUNK_BYTES):
+            chunk = body[start:start + METRICS_CHUNK_BYTES]
+            writer.write(b"%x\r\n%s\r\n" % (len(chunk), chunk))
+        writer.write(b"0\r\n\r\n")
+        await writer.drain()
+
+
+class _RangeError(_HttpError):
+    def __init__(self, err: ServiceError) -> None:
+        super().__init__(err.status, err.code, err.detail)
+        self.body = err.to_body()
+
+
+def _json_body(body: bytes) -> Dict[str, object]:
+    if not body:
+        raise _HttpError(400, "invalid-body", "a JSON body is required")
+    try:
+        parsed = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise _HttpError(400, "invalid-body",
+                         "body is not valid JSON: %s" % exc)
+    if not isinstance(parsed, dict):
+        raise _HttpError(400, "invalid-body",
+                         "body must be a JSON object")
+    return parsed
+
+
+def _parse_range(header: Optional[str], query: str
+                 ) -> Tuple[int, Optional[int], bool]:
+    """``(offset, length, was_ranged)`` from a Range header or an
+    ``offset=&length=`` query string (header wins)."""
+    if header:
+        spec = header.strip().lower()
+        if not spec.startswith("bytes="):
+            raise _HttpError(400, "invalid-range",
+                             "only bytes= ranges are supported")
+        first = spec[len("bytes="):].split(",")[0].strip()
+        start_s, sep, end_s = first.partition("-")
+        if not sep or not start_s:
+            raise _HttpError(400, "invalid-range",
+                             "suffix ranges are not supported")
+        try:
+            start = int(start_s)
+            end = int(end_s) if end_s else None
+        except ValueError:
+            raise _HttpError(400, "invalid-range",
+                             "unparseable Range header")
+        if end is not None and end < start:
+            raise _HttpError(400, "invalid-range",
+                             "range end precedes range start")
+        length = None if end is None else end - start + 1
+        return start, length, True
+    if query:
+        params = {}
+        for pair in query.split("&"):
+            key, _sep, value = pair.partition("=")
+            params[key] = value
+        if "offset" in params or "length" in params:
+            try:
+                offset = int(params.get("offset", "0"))
+                length = (int(params["length"])
+                          if "length" in params else None)
+            except ValueError:
+                raise _HttpError(400, "invalid-range",
+                                 "offset/length must be integers")
+            return offset, length, True
+    return 0, None, False

@@ -109,6 +109,9 @@ __all__ = [
     "DELTA_GATE_METRICS",
     "FLEET_SCALE_HIGHER_IS_BETTER",
     "FLEET_SCALE_LOWER_IS_BETTER",
+    "SERVER_GATE_HIGHER_IS_BETTER",
+    "SERVER_GATE_LOWER_IS_BETTER",
+    "SERVER_WORKLOAD_KEYS",
     "DEFAULT_TOLERANCE",
 ]
 
@@ -661,6 +664,17 @@ DELTA_GATE_METRICS = ("bsdiff_seconds", "lzss_seconds", "total_seconds")
 FLEET_SCALE_HIGHER_IS_BETTER = ("devices_per_s",)
 FLEET_SCALE_LOWER_IS_BETTER = ("peak_rss_kb",)
 
+#: Swarm-bench (``server`` section, bench schema v5) gate: session
+#: p99 and peak RSS must not grow past tolerance, and request
+#: throughput must not drop past it — regressions fail in both
+#: comparison directions.  Workload-match guards first: a baseline
+#: from a different session count, image/chunk size or endpoint mix
+#: is not comparable.
+SERVER_GATE_LOWER_IS_BETTER = ("p99_session_ms", "peak_rss_kb")
+SERVER_GATE_HIGHER_IS_BETTER = ("req_per_s",)
+SERVER_WORKLOAD_KEYS = ("sessions", "image_bytes", "chunk_bytes",
+                        "endpoint_mix")
+
 #: Allowed slowdown before the gate trips (0.20 = +20 %); generous
 #: because wall-clock benches on shared CI hosts are noisy.
 DEFAULT_TOLERANCE = 0.20
@@ -684,6 +698,15 @@ def compare_to_baseline(results: Dict[str, object],
     current = results.get("campaign")
     base = baseline.get("campaign")
     if not isinstance(current, dict) or not isinstance(base, dict):
+        # Server-only artifacts (the swarm bench) carry no campaign
+        # section at all — gate their `server` sections against each
+        # other instead.
+        cur_server = results.get("server")
+        base_server = baseline.get("server")
+        if isinstance(cur_server, dict) and isinstance(base_server,
+                                                       dict):
+            _gate_server(problems, cur_server, base_server, tolerance)
+            return problems
         return ["baseline or current results carry no campaign section"]
     for key in ("devices", "image_bytes"):
         if current.get(key) != base.get(key):
@@ -754,7 +777,42 @@ def compare_to_baseline(results: Dict[str, object],
                         "(-%.0f%%, tolerance %.0f%%)"
                         % (metric, new, old, 100.0 * (old - new) / old,
                            100.0 * tolerance))
+    cur_server = results.get("server")
+    base_server = baseline.get("server")
+    if isinstance(cur_server, dict) and isinstance(base_server, dict):
+        _gate_server(problems, cur_server, base_server, tolerance)
     return problems
+
+
+def _gate_server(problems: List[str], current: Dict[str, object],
+                 base: Dict[str, object], tolerance: float) -> None:
+    """Gate the swarm bench's ``server`` section (schema v5)."""
+    for key in SERVER_WORKLOAD_KEYS:
+        if current.get(key) != base.get(key):
+            problems.append(
+                "server baseline ran %s=%r but this run used %r — "
+                "regenerate the baseline for this workload"
+                % (key, base.get(key), current.get(key)))
+            return
+    _gate_section(problems, current, base,
+                  SERVER_GATE_LOWER_IS_BETTER, tolerance,
+                  prefix="server ")
+    for metric in SERVER_GATE_HIGHER_IS_BETTER:
+        old = base.get(metric)
+        new = current.get(metric)
+        if not isinstance(old, (int, float)) or old <= 0:
+            problems.append("baseline has no usable server %r"
+                            % metric)
+            continue
+        if not isinstance(new, (int, float)):
+            problems.append("this run produced no server %r" % metric)
+            continue
+        if new < old * (1.0 - tolerance):
+            problems.append(
+                "server %s regressed: %.1f vs baseline %.1f "
+                "(-%.0f%%, tolerance %.0f%%)"
+                % (metric, new, old, 100.0 * (old - new) / old,
+                   100.0 * tolerance))
 
 
 def _gate_section(problems: List[str], current: Dict[str, object],

@@ -411,6 +411,90 @@ def cmd_fleetview(args: argparse.Namespace) -> int:
     return 1 if result.telemetry.breached else 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the fleet API server (HTTP face) until interrupted.
+
+    Stands up one :class:`~repro.serve.service.FleetService` with the
+    demo release channels seeded, journaling network-created campaigns
+    under ``--journal-dir`` so a killed server resumes them
+    byte-identically (``POST /campaigns/{name}/resume``).
+    """
+    import asyncio
+
+    from ..serve import FleetService, HttpServer
+
+    service = FleetService(journal_dir=args.journal_dir,
+                           chunk_size=args.chunk_size)
+    service.seed_channels(image_size=args.image_size)
+
+    async def run() -> None:
+        async with HttpServer(service, host=args.host,
+                              port=args.port) as server:
+            print("upkit serve: http://%s:%d (channels: %s)"
+                  % (args.host, server.port,
+                     ", ".join(sorted(service.channels))))
+            if args.journal_dir:
+                print("campaign WAL dir: %s" % args.journal_dir)
+            try:
+                await asyncio.Event().wait()
+            except asyncio.CancelledError:
+                pass
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("upkit serve: shutting down")
+    return 0
+
+
+def cmd_swarm(args: argparse.Namespace) -> int:
+    """Swarm-bench the fleet API server; write BENCH_server.json.
+
+    Self-hosts a server in-process and drives ``--sessions`` full
+    register → token → manifest → chunked download → report flows
+    against it, recording per-endpoint p50/p99, req/s and peak RSS
+    (bench schema v5).  Exit status 1 when any session failed, or —
+    with ``--baseline`` — when p99/RSS grew or req/s dropped by more
+    than ``--tolerance`` against a previous artifact.
+    """
+    from . import bench, report as report_mod, swarm
+
+    results = swarm.run_benchmark(sessions=args.sessions,
+                                  concurrency=args.concurrency,
+                                  image_size=args.image_size,
+                                  chunk_bytes=args.chunk_bytes)
+    path = swarm.write_results(results, args.out)
+    print(swarm.format_summary(results))
+    print("wrote %s" % path)
+    server = results.get("server", {})
+    failed = server.get("failed_sessions", 0)
+    if failed:
+        for failure in server.get("failures", []):
+            print("FAILED: %s" % failure)
+        print("%d of %d sessions failed" % (failed,
+                                            server.get("sessions", 0)))
+        return 1
+    if args.baseline is None:
+        return 0
+    try:
+        kind, _version, baseline = report_mod.load_report(args.baseline)
+    except (report_mod.ReportError, OSError, ValueError) as exc:
+        print("baseline %s: UNUSABLE (%s)" % (args.baseline, exc))
+        return 1
+    if kind != "bench":
+        print("baseline %s is a %r report, not bench"
+              % (args.baseline, kind))
+        return 1
+    problems = bench.compare_to_baseline(results, baseline,
+                                         tolerance=args.tolerance)
+    for problem in problems:
+        print("REGRESSION: %s" % problem)
+    if not problems:
+        print("within %.0f%% of baseline %s"
+              % (100.0 * args.tolerance, args.baseline))
+    return 1 if problems else 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     """Inspect (and optionally validate) schema-stamped JSON artifacts.
 
@@ -643,6 +727,35 @@ def build_parser() -> argparse.ArgumentParser:
                            help="OpenMetrics text file "
                                 "(default: ./FLEET_metrics.prom)")
     fleetview.set_defaults(func=cmd_fleetview)
+
+    serve = sub.add_parser(
+        "serve", help="run the fleet API server (HTTP face)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8777)
+    serve.add_argument("--chunk-size", type=int, default=2048,
+                       help="advertised image chunk size (bytes)")
+    serve.add_argument("--image-size", type=int, default=8 * 1024,
+                       help="demo channel firmware size (bytes)")
+    serve.add_argument("--journal-dir", default=None,
+                       help="directory for campaign WALs + specs "
+                            "(enables kill-and-resume)")
+    serve.set_defaults(func=cmd_serve)
+
+    swarm = sub.add_parser(
+        "swarm", help="swarm-bench the fleet API server")
+    swarm.add_argument("--sessions", type=int, default=1000,
+                       help="concurrent device sessions to drive")
+    swarm.add_argument("--concurrency", type=int, default=256,
+                       help="simultaneous open connections")
+    swarm.add_argument("--image-size", type=int, default=8 * 1024)
+    swarm.add_argument("--chunk-bytes", type=int, default=2048,
+                       help="ranged-download chunk size")
+    swarm.add_argument("--out", default="BENCH_server.json")
+    swarm.add_argument("--baseline", default=None,
+                       help="bench artifact to regression-gate "
+                            "against (exit 1 on regression)")
+    swarm.add_argument("--tolerance", type=float, default=0.20)
+    swarm.set_defaults(func=cmd_swarm)
 
     report = sub.add_parser(
         "report", help="inspect/validate schema-stamped JSON artifacts")

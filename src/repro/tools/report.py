@@ -36,8 +36,16 @@ __all__ = [
 #: Current schema version per report kind.  Bump a kind's version when
 #: its document shape changes; teach :func:`validate_data` about the
 #: old shape so existing artifacts keep loading.
-SCHEMA_VERSIONS: Dict[str, int] = {"bench": 4, "chaos": 4, "trace": 1,
+SCHEMA_VERSIONS: Dict[str, int] = {"bench": 5, "chaos": 4, "trace": 1,
                                    "fleetview": 1, "delta": 1}
+
+#: Keys every bench-v5 ``server`` section (the swarm bench artifact,
+#: ``BENCH_server.json``) must carry.
+SERVER_SECTION_KEYS = ("sessions", "failed_sessions", "concurrency",
+                       "requests", "elapsed_seconds", "req_per_s",
+                       "p50_session_ms", "p99_session_ms", "endpoints",
+                       "endpoint_mix", "peak_rss_kb", "image_bytes",
+                       "chunk_bytes")
 
 
 class ReportError(ValueError):
@@ -114,37 +122,71 @@ def validate_data(kind: str, version: int,
         return errors
 
     if kind == "bench":
-        errors += _require(data, ["sha256", "ecdsa_verify",
-                                  "delta_generation", "campaign"], kind)
-        campaign = data.get("campaign")
-        if isinstance(campaign, dict):
-            if campaign.get("reports_identical") is not True:
-                errors.append("bench campaign reports diverged between "
-                              "engine configurations")
-        if version >= 2:
-            errors += _require(data, ["crypto_stats", "server_stats",
-                                      "metrics"], kind)
-        if version >= 3:
-            errors += _require(data, ["campaign_io", "calibration"], kind)
-            campaign_io = data.get("campaign_io")
-            if isinstance(campaign_io, dict):
-                if campaign_io.get("reports_identical") is not True:
-                    errors.append("bench campaign_io reports diverged "
-                                  "between executor configurations")
-        if version >= 4:
-            errors += _require(data, ["fleet_scale"], kind)
-            fleet_scale = data.get("fleet_scale")
-            if isinstance(fleet_scale, dict):
-                errors += ["bench fleet_scale missing key %r" % key
-                           for key in ("devices", "devices_per_s",
-                                       "peak_rss_kb",
-                                       "columnar_bytes_per_row",
-                                       "pickle_bytes_per_record")
-                           if key not in fleet_scale]
-                if fleet_scale.get("sampled_parity") is not True:
-                    errors.append("bench fleet_scale sampled per-device "
-                                  "entries diverged from the hydrated "
-                                  "path")
+        # v5 introduced *server-only* bench artifacts (the swarm bench,
+        # BENCH_server.json): a `server` section and none of the core
+        # in-process sections.  Those skip the campaign requirements.
+        server_only = (version >= 5 and "server" in data
+                       and "campaign" not in data)
+        if not server_only:
+            errors += _require(data, ["sha256", "ecdsa_verify",
+                                      "delta_generation", "campaign"],
+                               kind)
+            campaign = data.get("campaign")
+            if isinstance(campaign, dict):
+                if campaign.get("reports_identical") is not True:
+                    errors.append("bench campaign reports diverged "
+                                  "between engine configurations")
+            if version >= 2:
+                errors += _require(data, ["crypto_stats",
+                                          "server_stats", "metrics"],
+                                   kind)
+            if version >= 3:
+                errors += _require(data, ["campaign_io",
+                                          "calibration"], kind)
+                campaign_io = data.get("campaign_io")
+                if isinstance(campaign_io, dict):
+                    if campaign_io.get("reports_identical") is not True:
+                        errors.append("bench campaign_io reports "
+                                      "diverged between executor "
+                                      "configurations")
+            if version >= 4:
+                errors += _require(data, ["fleet_scale"], kind)
+                fleet_scale = data.get("fleet_scale")
+                if isinstance(fleet_scale, dict):
+                    errors += ["bench fleet_scale missing key %r" % key
+                               for key in ("devices", "devices_per_s",
+                                           "peak_rss_kb",
+                                           "columnar_bytes_per_row",
+                                           "pickle_bytes_per_record")
+                               if key not in fleet_scale]
+                    if fleet_scale.get("sampled_parity") is not True:
+                        errors.append("bench fleet_scale sampled "
+                                      "per-device entries diverged "
+                                      "from the hydrated path")
+        if version >= 5 and "server" in data:
+            server = data.get("server")
+            if not isinstance(server, dict):
+                errors.append("bench server section must be an object "
+                              "(got %s)" % type(server).__name__)
+            else:
+                errors += ["bench server section missing key %r" % key
+                           for key in SERVER_SECTION_KEYS
+                           if key not in server]
+                if server.get("failed_sessions") != 0:
+                    errors.append(
+                        "bench server run had %r failed sessions — "
+                        "latency/throughput figures are only "
+                        "meaningful over a fully correct run"
+                        % server.get("failed_sessions"))
+                endpoints = server.get("endpoints")
+                if isinstance(endpoints, dict):
+                    for cls, entry in sorted(endpoints.items()):
+                        if not isinstance(entry, dict) or not {
+                                "count", "p50_ms",
+                                "p99_ms"} <= set(entry):
+                            errors.append(
+                                "bench server endpoint %r needs "
+                                "count/p50_ms/p99_ms" % cls)
     elif kind == "delta":
         errors += _require(data, ["delta_fastpath"], kind)
         fastpath = data.get("delta_fastpath")

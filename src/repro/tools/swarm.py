@@ -1,0 +1,356 @@
+"""Swarm bench: tens of thousands of device sessions, one server.
+
+The serve plane's load proof.  Each session is the paper's full pull
+flow spoken over real HTTP/1.1 on a keep-alive connection: register →
+token → manifest → chunked ranged download (digest-verified) → report.
+Sessions run concurrently under a semaphore against a single
+:class:`~repro.serve.httpd.HttpServer` process, and the harness
+records what CI gates on: per-endpoint-class p50/p99 latency,
+end-to-end session latency, aggregate req/s, and peak RSS — the
+``server`` section of the ``BENCH_server.json`` artifact (bench
+schema v5), wired into ``cli report --validate`` and the
+``--baseline`` regression gate in :mod:`repro.tools.bench`.
+
+A session that deviates anywhere — unexpected status, digest
+mismatch, short read — counts as *failed*, and schema v5 refuses
+artifacts with ``failed_sessions != 0``: the bench is only meaningful
+over a fully correct run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import resource
+import time
+from hashlib import sha256
+from typing import Dict, List, Optional, Tuple
+
+from ..obs.slo import percentile
+
+__all__ = [
+    "DEFAULT_SESSIONS",
+    "DEFAULT_CONCURRENCY",
+    "DEFAULT_IMAGE_SIZE",
+    "DEFAULT_CHUNK_BYTES",
+    "ENDPOINT_CLASSES",
+    "SwarmHttpClient",
+    "SwarmError",
+    "run_swarm",
+    "run_benchmark",
+    "write_results",
+    "format_summary",
+]
+
+DEFAULT_SESSIONS = 1000
+DEFAULT_CONCURRENCY = 256
+DEFAULT_IMAGE_SIZE = 8 * 1024
+DEFAULT_CHUNK_BYTES = 2048
+DEVICE_ID_BASE = 0x40000000
+ENDPOINT_CLASSES = ("register", "token", "manifest", "chunk",
+                    "report")
+
+
+class SwarmError(RuntimeError):
+    """A session deviated from the expected flow."""
+
+
+class SwarmHttpClient:
+    """Minimal keep-alive HTTP/1.1 client on raw asyncio streams.
+
+    Deliberately not a generic HTTP client: exactly what the swarm
+    (and the protocol-parity tests) need — JSON requests, binary
+    ranged reads, chunked-response re-assembly for ``/metrics``.
+    """
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    async def connect(self) -> "SwarmHttpClient":
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port)
+        return self
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+            self._writer = None
+            self._reader = None
+
+    async def __aenter__(self) -> "SwarmHttpClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    async def request(self, method: str, path: str,
+                      body: Optional[Dict[str, object]] = None,
+                      headers: Optional[Dict[str, str]] = None
+                      ) -> Tuple[int, Dict[str, str], bytes]:
+        """One round-trip; returns ``(status, headers, body)``."""
+        if self._writer is None or self._reader is None:
+            raise SwarmError("client is not connected")
+        payload = b"" if body is None else json.dumps(
+            body, sort_keys=True).encode("utf-8")
+        lines = ["%s %s HTTP/1.1" % (method, path),
+                 "Host: %s:%d" % (self.host, self.port)]
+        if payload:
+            lines.append("Content-Type: application/json")
+        lines.append("Content-Length: %d" % len(payload))
+        for name, value in (headers or {}).items():
+            lines.append("%s: %s" % (name, value))
+        self._writer.write(("\r\n".join(lines) + "\r\n\r\n")
+                           .encode("latin-1") + payload)
+        await self._writer.drain()
+        return await self._read_response()
+
+    async def _read_response(
+            self) -> Tuple[int, Dict[str, str], bytes]:
+        assert self._reader is not None
+        status_line = await self._reader.readline()
+        if not status_line:
+            raise SwarmError("server closed the connection")
+        parts = status_line.decode("latin-1").split(" ", 2)
+        if len(parts) < 2 or not parts[1].isdigit():
+            raise SwarmError("unparseable status line %r"
+                             % status_line)
+        status = int(parts[1])
+        headers: Dict[str, str] = {}
+        while True:
+            raw = await self._reader.readline()
+            if not raw:
+                raise SwarmError("connection died inside headers")
+            if raw in (b"\r\n", b"\n"):
+                break
+            name, _sep, value = raw.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        if headers.get("transfer-encoding", "").lower() == "chunked":
+            body = await self._read_chunked()
+        else:
+            length = int(headers.get("content-length", "0") or "0")
+            body = await self._reader.readexactly(length) \
+                if length else b""
+        return status, headers, body
+
+    async def _read_chunked(self) -> bytes:
+        assert self._reader is not None
+        body = bytearray()
+        while True:
+            size_line = await self._reader.readline()
+            size = int(size_line.strip().split(b";")[0], 16)
+            if size == 0:
+                await self._reader.readline()   # trailing CRLF
+                return bytes(body)
+            body.extend(await self._reader.readexactly(size))
+            await self._reader.readexactly(2)   # chunk CRLF
+
+
+async def run_http_session(client: SwarmHttpClient, device_id: int,
+                           chunk_bytes: int,
+                           channel: str = "stable",
+                           timings: Optional[
+                               Dict[str, List[float]]] = None
+                           ) -> Dict[str, object]:
+    """The full device flow on an open client; returns the
+    device-visible outcome (same shape as the CoAP client's)."""
+
+    async def timed(cls: str, method: str, path: str,
+                    body=None, headers=None, expect=(200, 201)):
+        start = time.perf_counter()
+        status, resp_headers, resp = await client.request(
+            method, path, body, headers)
+        if timings is not None:
+            timings[cls].append(
+                (time.perf_counter() - start) * 1000.0)
+        if status not in expect:
+            raise SwarmError("%s %s -> %d: %s"
+                             % (method, path, status,
+                                resp[:200].decode("utf-8", "replace")))
+        return status, resp_headers, resp
+
+    _s, _h, raw = await timed(
+        "register", "POST", "/devices",
+        {"device_id": device_id, "channel": channel,
+         "current_version": 1})
+    register = json.loads(raw)
+    _s, _h, raw = await timed(
+        "token", "POST", "/devices/%d/token" % device_id, {})
+    token_hex = str(json.loads(raw)["token"])
+    _s, _h, raw = await timed("manifest", "GET",
+                              "/manifests/%s" % token_hex)
+    manifest = json.loads(raw)
+    total = int(manifest["payload_size"])
+    payload = bytearray()
+    offset = 0
+    while offset < total:
+        end = min(total, offset + chunk_bytes) - 1
+        _s, _h, raw = await timed(
+            "chunk", "GET", "/images/%s" % token_hex,
+            headers={"Range": "bytes=%d-%d" % (offset, end)},
+            expect=(206,))
+        if not raw:
+            raise SwarmError("empty chunk at offset %d" % offset)
+        payload.extend(raw)
+        offset += len(raw)
+    digest_ok = (sha256(bytes(payload)).hexdigest()
+                 == manifest["payload_sha256"])
+    if not digest_ok:
+        raise SwarmError("payload digest mismatch for device %d"
+                         % device_id)
+    _s, _h, raw = await timed("report", "POST",
+                              "/reports/%s" % token_hex,
+                              {"status": "updated"})
+    report = json.loads(raw)
+    if report.get("acknowledged") is not True:
+        raise SwarmError("report was not acknowledged")
+    return {
+        "register": register,
+        "token": token_hex,
+        "envelope": manifest["envelope"],
+        "version": int(manifest["version"]),
+        "payload": bytes(payload),
+        "digest_ok": digest_ok,
+        "report": report,
+    }
+
+
+async def run_swarm(host: str, port: int,
+                    sessions: int = DEFAULT_SESSIONS,
+                    concurrency: int = DEFAULT_CONCURRENCY,
+                    chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+                    device_id_base: int = DEVICE_ID_BASE
+                    ) -> Dict[str, object]:
+    """Drive ``sessions`` full device flows; returns the ``server``
+    metrics section (see module docstring for the contract)."""
+    if sessions < 1:
+        raise ValueError("sessions must be at least 1")
+    if concurrency < 1:
+        raise ValueError("concurrency must be at least 1")
+    semaphore = asyncio.Semaphore(concurrency)
+    timings: Dict[str, List[float]] = {cls: []
+                                       for cls in ENDPOINT_CLASSES}
+    session_ms: List[float] = []
+    failures: List[str] = []
+
+    async def one(index: int) -> None:
+        async with semaphore:
+            start = time.perf_counter()
+            client = SwarmHttpClient(host, port)
+            try:
+                await client.connect()
+                await run_http_session(client,
+                                       device_id_base + index,
+                                       chunk_bytes, timings=timings)
+                session_ms.append(
+                    (time.perf_counter() - start) * 1000.0)
+            except (SwarmError, OSError, asyncio.IncompleteReadError,
+                    json.JSONDecodeError, KeyError) as exc:
+                if len(failures) < 5:
+                    failures.append("session %d: %s" % (index, exc))
+                else:
+                    failures.append("session %d" % index)
+            finally:
+                await client.close()
+
+    started = time.perf_counter()
+    await asyncio.gather(*(one(index) for index in range(sessions)))
+    elapsed = time.perf_counter() - started
+
+    requests = sum(len(values) for values in timings.values())
+    endpoints: Dict[str, object] = {}
+    mix: Dict[str, int] = {}
+    for cls in ENDPOINT_CLASSES:
+        values = timings[cls]
+        endpoints[cls] = {
+            "count": len(values),
+            "p50_ms": round(percentile(values, 50.0), 3)
+            if values else None,
+            "p99_ms": round(percentile(values, 99.0), 3)
+            if values else None,
+        }
+        # Sessions are identical by construction, so the per-session
+        # request count per class is exact — the workload fingerprint
+        # the baseline gate matches on.
+        mix[cls] = len(values) // sessions
+    return {
+        "sessions": sessions,
+        "failed_sessions": len(failures),
+        "failures": failures[:5],
+        "concurrency": concurrency,
+        "chunk_bytes": chunk_bytes,
+        "requests": requests,
+        "elapsed_seconds": round(elapsed, 3),
+        "req_per_s": round(requests / elapsed, 1) if elapsed else 0.0,
+        "p50_session_ms": round(percentile(session_ms, 50.0), 3)
+        if session_ms else None,
+        "p99_session_ms": round(percentile(session_ms, 99.0), 3)
+        if session_ms else None,
+        "endpoints": endpoints,
+        "endpoint_mix": mix,
+        "peak_rss_kb": resource.getrusage(
+            resource.RUSAGE_SELF).ru_maxrss,
+    }
+
+
+def run_benchmark(sessions: int = DEFAULT_SESSIONS,
+                  concurrency: int = DEFAULT_CONCURRENCY,
+                  image_size: int = DEFAULT_IMAGE_SIZE,
+                  chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+                  host: str = "127.0.0.1") -> Dict[str, object]:
+    """Self-hosted bench: stand up one server process' worth of
+    service + HTTP face, swarm it, tear it down.  Returns the full
+    artifact document (``{"server": ...}``)."""
+    from ..serve import FleetService, HttpServer
+
+    async def main() -> Dict[str, object]:
+        service = FleetService()
+        service.seed_channels(image_size=image_size)
+        async with HttpServer(service, host=host) as server:
+            section = await run_swarm(
+                host, server.port, sessions=sessions,
+                concurrency=concurrency, chunk_bytes=chunk_bytes)
+        section["image_bytes"] = image_size
+        section["served_devices"] = service.device_count()
+        return {"server": section}
+
+    return asyncio.run(main())
+
+
+def write_results(results: Dict[str, object], path: str) -> str:
+    from .report import write_report
+    return write_report(results, path, "bench")
+
+
+def format_summary(results: Dict[str, object]) -> str:
+    server = results.get("server")
+    if not isinstance(server, dict):
+        return "swarm: no server section"
+    endpoints = server.get("endpoints", {})
+    lines = [
+        "swarm: %d sessions (%d failed), %d requests in %.1fs "
+        "-> %.0f req/s"
+        % (server.get("sessions", 0),
+           server.get("failed_sessions", 0),
+           server.get("requests", 0),
+           server.get("elapsed_seconds", 0.0),
+           server.get("req_per_s", 0.0)),
+        "  session latency p50 %.1f ms  p99 %.1f ms   peak RSS %d kB"
+        % (server.get("p50_session_ms") or 0.0,
+           server.get("p99_session_ms") or 0.0,
+           server.get("peak_rss_kb", 0)),
+    ]
+    for cls in ENDPOINT_CLASSES:
+        entry = endpoints.get(cls)
+        if isinstance(entry, dict) and entry.get("count"):
+            lines.append(
+                "  %-9s %6d reqs  p50 %8.2f ms  p99 %8.2f ms"
+                % (cls, entry["count"], entry.get("p50_ms") or 0.0,
+                   entry.get("p99_ms") or 0.0))
+    return "\n".join(lines)

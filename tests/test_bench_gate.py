@@ -228,6 +228,91 @@ def test_fleet_scale_missing_metrics_are_reported():
                         "'devices_per_s'"]
 
 
+# -- the swarm-bench `server` section (bench schema v5) -----------------------
+
+
+def synthetic_server(sessions=1000, req_per_s=900.0, p99=120.0,
+                     rss=180_000):
+    """A server-only artifact, as `cli swarm` writes it."""
+    return {"server": {
+        "sessions": sessions,
+        "image_bytes": 8192,
+        "chunk_bytes": 2048,
+        "endpoint_mix": {"register": 1, "token": 1, "manifest": 1,
+                         "chunk": 5, "report": 1},
+        "req_per_s": req_per_s,
+        "p99_session_ms": p99,
+        "peak_rss_kb": rss,
+    }}
+
+
+def test_server_only_artifacts_gate_each_other():
+    assert compare_to_baseline(synthetic_server(),
+                               synthetic_server()) == []
+
+
+def test_server_p99_and_rss_gate_lower_is_better():
+    slow = synthetic_server(p99=120.0 * 1.5)
+    problems = compare_to_baseline(slow, synthetic_server())
+    assert len(problems) == 1
+    assert "server p99_session_ms regressed" in problems[0]
+    fat = synthetic_server(rss=int(180_000 * 1.5))
+    problems = compare_to_baseline(fat, synthetic_server())
+    assert "server peak_rss_kb regressed" in problems[0]
+    # Leaner/faster passes.
+    assert compare_to_baseline(synthetic_server(p99=60.0, rss=90_000),
+                               synthetic_server()) == []
+
+
+def test_server_throughput_gates_higher_is_better():
+    slow = synthetic_server(req_per_s=900.0 * 0.7)
+    problems = compare_to_baseline(slow, synthetic_server())
+    assert len(problems) == 1
+    assert "server req_per_s regressed" in problems[0]
+    assert "-30%" in problems[0]
+    assert compare_to_baseline(synthetic_server(req_per_s=2000.0),
+                               synthetic_server()) == []
+
+
+def test_server_workload_mismatch_demands_a_fresh_baseline():
+    other = synthetic_server(sessions=500)
+    problems = compare_to_baseline(other, synthetic_server())
+    assert len(problems) == 1
+    assert "server baseline ran sessions" in problems[0]
+    assert "regenerate the baseline" in problems[0]
+    mixed = synthetic_server()
+    mixed["server"]["endpoint_mix"] = {"register": 1}
+    problems = compare_to_baseline(mixed, synthetic_server())
+    assert "endpoint_mix" in problems[0]
+
+
+def test_server_section_gates_inside_full_documents():
+    """A future combined artifact (campaign + server) gates both."""
+    base = synthetic()
+    base.update(synthetic_server())
+    fresh = synthetic()
+    fresh.update(synthetic_server(req_per_s=900.0 * 0.5))
+    problems = compare_to_baseline(fresh, base)
+    assert len(problems) == 1
+    assert "server req_per_s regressed" in problems[0]
+    # Server section on one side only: campaign still gates cleanly.
+    assert compare_to_baseline(base, synthetic()) == []
+
+
+def test_server_missing_metrics_are_reported():
+    broken = synthetic_server()
+    del broken["server"]["req_per_s"]
+    problems = compare_to_baseline(synthetic_server(), broken)
+    assert problems == ["baseline has no usable server 'req_per_s'"]
+
+
+def test_mixed_kind_artifacts_keep_the_legacy_error():
+    assert compare_to_baseline(synthetic_server(), synthetic()) \
+        == ["baseline or current results carry no campaign section"]
+    assert compare_to_baseline(synthetic(), synthetic_server()) \
+        == ["baseline or current results carry no campaign section"]
+
+
 # -- executor inversion detection ---------------------------------------------
 
 

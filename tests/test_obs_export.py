@@ -4,8 +4,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.obs.export import metric_name, to_openmetrics, \
-    write_openmetrics
+from repro.obs.export import OPENMETRICS_CONTENT_TYPE, metric_name, \
+    to_openmetrics, write_openmetrics
 from repro.obs.metrics import MetricsRegistry
 
 
@@ -86,6 +86,31 @@ def test_kind_conflicts_across_devices_raise():
     second.gauge("x").set(1)
     with pytest.raises(ValueError):
         to_openmetrics([("d0", first), ("d1", second)])
+
+
+def test_openmetrics_content_type_is_the_versioned_media_type():
+    """Scrapers negotiate on this exact string (OpenMetrics 1.0);
+    the HTTP face serves it verbatim on /metrics."""
+    assert OPENMETRICS_CONTENT_TYPE \
+        == "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+
+def test_eof_terminator_survives_chunked_writes():
+    """Conformance: slicing the exposition into transfer chunks of
+    any size and re-assembling them must preserve the single trailing
+    ``# EOF`` record — the terminator may never straddle into loss."""
+    registry = MetricsRegistry()
+    for index in range(64):
+        registry.counter("c%02d" % index, "padding").inc(index)
+    text = to_openmetrics([("d", registry)])
+    for chunk_size in (1, 7, 512):
+        chunks = [text[start:start + chunk_size]
+                  for start in range(0, len(text), chunk_size)]
+        assert all(chunks)
+        reassembled = "".join(chunks)
+        assert reassembled == text
+        assert reassembled.endswith("# EOF\n")
+        assert reassembled.count("# EOF") == 1
 
 
 def test_write_openmetrics_round_trip(tmp_path):

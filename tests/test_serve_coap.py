@@ -1,0 +1,145 @@
+"""The simulated-CoAP face: named chunks, dedup, protocol parity.
+
+The headline test here is parity: the same device session spoken over
+HTTP/1.1 and over CoAP block-wise datagrams against one shared
+:class:`FleetService` must surface identical payload bytes, versions
+and outcomes — the two faces are codecs over one service, and this is
+where that claim is checked rather than asserted.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.net.coap import Block, CoapCode, CoapMessage, CoapOption, \
+    CoapType
+from repro.serve import (
+    CoapDatagramRelay,
+    CoapDeviceClient,
+    CoapFront,
+    FleetService,
+    HttpServer,
+)
+from repro.tools.swarm import SwarmHttpClient, run_http_session
+
+DEVICE = 0x40CC0001
+
+
+def coap_service():
+    service = FleetService(chunk_size=1024)
+    service.seed_channels(image_size=4096)
+    return service, CoapFront(service)
+
+
+def test_full_session_over_datagrams():
+    service, front = coap_service()
+    relay = CoapDatagramRelay(front)
+    client = CoapDeviceClient(relay, DEVICE, block_size=256)
+    outcome = asyncio.run(client.run_session())
+    assert outcome["digest_ok"] is True
+    assert outcome["version"] == 2
+    assert outcome["report"]["acknowledged"] is True
+    assert service.device_status(DEVICE)["current_version"] == 2
+
+
+@pytest.mark.parametrize("drop_every", [2, 3, 5])
+def test_lossy_relay_retransmissions_are_deduplicated(drop_every):
+    """Every Nth response datagram is lost; CON retransmission plus
+    RFC 7252 §4.2 dedup must finish the session without ever burning
+    the single-use token on a replayed POST."""
+    service, front = coap_service()
+    relay = CoapDatagramRelay(front, drop_every=drop_every)
+    client = CoapDeviceClient(relay, DEVICE, block_size=256)
+    outcome = asyncio.run(client.run_session())
+    assert outcome["digest_ok"] is True
+    assert relay.dropped > 0
+    assert service.metrics.counter("serve.token_replays") \
+        .to_value() == 0
+    assert service.device_status(DEVICE)["current_version"] == 2
+
+
+def test_http_and_coap_sessions_are_byte_identical():
+    """Protocol parity: one service, two faces, same device-visible
+    bytes (acceptance criterion)."""
+    async def main():
+        service = FleetService(chunk_size=1024)
+        service.seed_channels(image_size=4096)
+        front = CoapFront(service)
+        relay = CoapDatagramRelay(front)
+        async with HttpServer(service) as server:
+            async with SwarmHttpClient("127.0.0.1",
+                                       server.port) as http_client:
+                http = await run_http_session(http_client, DEVICE,
+                                              1024)
+        coap = await CoapDeviceClient(relay, DEVICE + 1,
+                                      block_size=256).run_session()
+        return http, coap
+
+    http, coap = asyncio.run(main())
+    assert http["payload"] == coap["payload"]
+    assert http["version"] == coap["version"] == 2
+    assert http["digest_ok"] and coap["digest_ok"]
+    for outcome in (http, coap):
+        assert outcome["report"]["status"] == "updated"
+        assert outcome["report"]["acknowledged"] is True
+    # Envelopes bind per-token nonces, so they differ by design —
+    # but both must be well-formed manifests of the same length.
+    assert http["envelope"] != coap["envelope"]
+    assert len(http["envelope"]) == len(coap["envelope"])
+
+
+def test_errors_map_to_coap_codes_with_structured_bodies():
+    service, front = coap_service()
+    relay = CoapDatagramRelay(front)
+    client = CoapDeviceClient(relay, DEVICE)
+
+    async def main():
+        outcome = await client.run_session()
+        # Replay the burnt token: 4.03 with the same error body the
+        # HTTP face serves.
+        request = client._request(CoapCode.GET,
+                                  "images/%s" % outcome["token"])
+        request.add_option(CoapOption.BLOCK2,
+                           Block(num=0, more=False, size=256).encode())
+        response = CoapMessage.decode(front.handle(request.encode()))
+        assert response.code == CoapCode.FORBIDDEN
+        error = json.loads(response.payload)["error"]
+        assert error["code"] == "token-replayed"
+        assert error["status"] == 403
+        # Unknown route: 4.04.
+        request = client._request(CoapCode.GET, "bogus/route")
+        response = CoapMessage.decode(front.handle(request.encode()))
+        assert response.code == CoapCode.NOT_FOUND
+        # Malformed datagram: 4.00, never silence.
+        response = CoapMessage.decode(front.handle(b"\x00"))
+        assert response.code == CoapCode.BAD_REQUEST
+
+    asyncio.run(main())
+
+
+def test_dedup_cache_replays_responses_not_requests():
+    """The same CON datagram twice executes the request once."""
+    service, front = coap_service()
+    service.register_device({"device_id": DEVICE, "channel": "stable",
+                             "current_version": 1})
+    request = CoapMessage(mtype=CoapType.CON, code=CoapCode.POST,
+                          message_id=7, token=b"\x01\x02")
+    for segment in ("devices", str(DEVICE), "token"):
+        request.add_option(CoapOption.URI_PATH,
+                           segment.encode("utf-8"))
+    datagram = request.encode()
+    first = front.handle(datagram)
+    second = front.handle(datagram)
+    assert first == second                   # cached, not re-executed
+    body = json.loads(CoapMessage.decode(first).payload)
+    assert body["nonce"] == 1
+    # A genuinely new message ID is a new request — and loses the
+    # single-open-token race as it should.
+    request.message_id = 8
+    response = CoapMessage.decode(front.handle(request.encode()))
+    assert response.code == CoapCode.CONFLICT
+    error = json.loads(response.payload)["error"]
+    assert error["code"] == "token-outstanding"

@@ -1,0 +1,285 @@
+"""The HTTP/1.1 face: routes, races, ranges, and /metrics framing.
+
+Satellite regressions pinned here:
+  * two concurrent token requests never BOTH succeed (the single-use
+    guarantee holds across real TCP connections);
+  * a replayed token on the chunk endpoint is a structured 403;
+  * ranged edge cases map to 206/416 with correct Content-Range;
+  * /metrics is OpenMetrics-typed and its ``# EOF`` terminator
+    survives chunked transfer-encoding re-assembly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.obs.export import OPENMETRICS_CONTENT_TYPE
+from repro.serve import FleetService, HttpServer
+from repro.tools.swarm import SwarmHttpClient, run_http_session
+
+DEVICE = 0x40BB0001
+
+
+def serve(coro_fn, **service_kwargs):
+    """Run ``coro_fn(service, client)`` against a live server."""
+    async def main():
+        service = FleetService(chunk_size=1024, **service_kwargs)
+        service.seed_channels(image_size=4096)
+        async with HttpServer(service) as server:
+            async with SwarmHttpClient("127.0.0.1",
+                                       server.port) as client:
+                return await coro_fn(service, server, client)
+
+    return asyncio.run(main())
+
+
+async def prepared_token(client, device_id=DEVICE):
+    await client.request("POST", "/devices",
+                         {"device_id": device_id,
+                          "channel": "stable", "current_version": 1})
+    _s, _h, raw = await client.request(
+        "POST", "/devices/%d/token" % device_id, {})
+    token = json.loads(raw)["token"]
+    _s, _h, raw = await client.request("GET", "/manifests/%s" % token)
+    return token, json.loads(raw)
+
+
+# -- routes -------------------------------------------------------------------
+
+
+def test_directory_channels_and_error_routes():
+    async def scenario(_service, _server, client):
+        status, _h, raw = await client.request("GET", "/")
+        assert status == 200
+        assert "GET /metrics" in json.loads(raw)["endpoints"]
+        status, _h, raw = await client.request("GET", "/channels")
+        assert status == 200
+        channels = json.loads(raw)
+        assert channels["stable"]["latest_version"] == 2
+        assert channels["developer"]["latest_version"] == 3
+        status, _h, raw = await client.request("GET", "/nope")
+        assert status == 404
+        assert json.loads(raw)["error"]["code"] == "unknown-route"
+        status, _h, raw = await client.request("PUT", "/devices")
+        assert status == 405
+        status, _h, raw = await client.request("POST", "/devices")
+        assert status == 400
+        assert json.loads(raw)["error"]["code"] == "invalid-body"
+
+    serve(scenario)
+
+
+def test_service_errors_arrive_as_structured_bodies():
+    async def scenario(_service, _server, client):
+        status, _h, raw = await client.request(
+            "POST", "/devices/12345/token", {})
+        assert status == 404
+        error = json.loads(raw)["error"]
+        assert error == {"code": "unknown-device", "status": 404,
+                         "detail": error["detail"]}
+        assert "12345" in error["detail"]
+
+    serve(scenario)
+
+
+# -- satellite: the concurrent token race -------------------------------------
+
+
+def test_concurrent_token_requests_never_both_succeed():
+    """Two TCP connections race POST /devices/{id}/token; exactly one
+    may win, every time."""
+    async def main():
+        service = FleetService(chunk_size=1024)
+        service.seed_channels(image_size=4096)
+        async with HttpServer(service) as server:
+            for round_index in range(5):
+                device_id = DEVICE + 100 + round_index
+                async with SwarmHttpClient(
+                        "127.0.0.1", server.port) as register_client:
+                    await register_client.request(
+                        "POST", "/devices",
+                        {"device_id": device_id, "channel": "stable",
+                         "current_version": 1})
+
+                async def one_attempt():
+                    async with SwarmHttpClient(
+                            "127.0.0.1", server.port) as client:
+                        status, _h, raw = await client.request(
+                            "POST", "/devices/%d/token" % device_id,
+                            {})
+                        return status, json.loads(raw)
+
+                outcomes = await asyncio.gather(one_attempt(),
+                                                one_attempt())
+                statuses = sorted(status for status, _body in outcomes)
+                assert statuses == [201, 409], outcomes
+                loser = next(body for status, body in outcomes
+                             if status == 409)
+                assert loser["error"]["code"] == "token-outstanding"
+
+    asyncio.run(main())
+
+
+# -- satellite: replayed token on the chunk endpoint --------------------------
+
+
+def test_replayed_token_on_chunk_endpoint_is_structured_403():
+    async def scenario(_service, _server, client):
+        outcome = await run_http_session(client, DEVICE, 1024)
+        token = outcome["token"]
+        status, _h, raw = await client.request(
+            "GET", "/images/%s" % token,
+            headers={"Range": "bytes=0-1023"})
+        assert status == 403
+        error = json.loads(raw)["error"]
+        assert error["code"] == "token-replayed"
+        assert error["status"] == 403
+        # The manifest and report endpoints reject the replay too.
+        status, _h, _raw = await client.request("GET",
+                                                "/manifests/%s" % token)
+        assert status == 403
+        status, _h, _raw = await client.request(
+            "POST", "/reports/%s" % token, {"status": "updated"})
+        assert status == 403
+
+    serve(scenario)
+
+
+# -- satellite: ranged chunk edge cases over HTTP -----------------------------
+
+
+def test_range_semantics_on_the_wire():
+    async def scenario(_service, _server, client):
+        token, manifest = await prepared_token(client)
+        total = manifest["payload_size"]
+        # Unranged GET: the whole payload, 200, octet-stream.
+        status, headers, body = await client.request(
+            "GET", "/images/%s" % token)
+        assert (status, len(body)) == (200, total)
+        assert headers["content-type"] == "application/octet-stream"
+        # Ranged GET: 206 with an exact Content-Range.
+        status, headers, first = await client.request(
+            "GET", "/images/%s" % token,
+            headers={"Range": "bytes=0-511"})
+        assert status == 206
+        assert headers["content-range"] == "bytes 0-511/%d" % total
+        assert first == body[:512]
+        # Zero-length range at EOF: satisfiable, empty, 206.
+        status, headers, empty = await client.request(
+            "GET", "/images/%s?offset=%d&length=0" % (token, total))
+        assert (status, empty) == (206, b"")
+        assert headers["content-range"] == "bytes */%d" % total
+        # Nonzero range past EOF: 416 with a structured body.
+        status, _h, raw = await client.request(
+            "GET", "/images/%s" % token,
+            headers={"Range": "bytes=%d-%d" % (total, total + 99)})
+        assert status == 416
+        assert json.loads(raw)["error"]["code"] == "range-unsatisfiable"
+        # Range ending past EOF truncates to the real tail.
+        status, headers, tail = await client.request(
+            "GET", "/images/%s" % token,
+            headers={"Range": "bytes=%d-%d" % (total - 10,
+                                               total + 4096)})
+        assert (status, len(tail)) == (206, 10)
+        assert headers["content-range"] \
+            == "bytes %d-%d/%d" % (total - 10, total - 1, total)
+        assert tail == body[-10:]
+        # Overlapping re-request after a simulated disconnect.
+        status, _h, overlap = await client.request(
+            "GET", "/images/%s" % token,
+            headers={"Range": "bytes=256-767"})
+        assert status == 206
+        assert overlap == body[256:768]
+        # Malformed ranges are 400s, not crashes.
+        for bad in ("bytes=-100", "chars=0-1", "bytes=9-1"):
+            status, _h, raw = await client.request(
+                "GET", "/images/%s" % token, headers={"Range": bad})
+            assert status == 400
+            assert json.loads(raw)["error"]["code"] == "invalid-range"
+
+    serve(scenario)
+
+
+# -- satellite: /metrics conformance ------------------------------------------
+
+
+def test_metrics_is_openmetrics_typed_and_chunk_safe():
+    """The exposition arrives via chunked transfer-encoding; after
+    re-assembly the document still terminates with ``# EOF``."""
+    async def scenario(_service, _server, client):
+        await run_http_session(client, DEVICE, 1024)
+        status, headers, body = await client.request("GET", "/metrics")
+        assert status == 200
+        assert headers["content-type"] == OPENMETRICS_CONTENT_TYPE
+        assert headers["transfer-encoding"] == "chunked"
+        text = body.decode("utf-8")
+        assert text.endswith("# EOF\n")
+        assert text.count("# EOF") == 1
+        assert "upkit_serve_sessions_closed_total" in text
+        assert 'device="channel-stable"' in text
+
+    serve(scenario)
+
+
+# -- campaign CRUD over the wire ----------------------------------------------
+
+
+def test_campaign_lifecycle_over_http(tmp_path):
+    async def scenario(_service, _server, client):
+        status, _h, raw = await client.request(
+            "POST", "/campaigns",
+            {"name": "wire", "devices": 4, "image_size": 2048,
+             "wait": True})
+        assert status == 201
+        created = json.loads(raw)
+        assert created["state"] == "done"
+        assert len(created["report"]["updated"]) == 4
+        assert created["journal"]["appends"] > 0
+        status, _h, raw = await client.request("GET",
+                                               "/campaigns/wire")
+        assert status == 200
+        assert json.loads(raw)["state"] == "done"
+        status, _h, raw = await client.request("GET", "/campaigns")
+        assert [c["name"] for c in json.loads(raw)["campaigns"]] \
+            == ["wire"]
+        # Duplicate create: structured 409.
+        status, _h, raw = await client.request(
+            "POST", "/campaigns", {"name": "wire"})
+        assert status == 409
+        assert json.loads(raw)["error"]["code"] == "campaign-exists"
+        # Bad spec: structured 400.
+        status, _h, raw = await client.request(
+            "POST", "/campaigns", {"name": "wire2", "bogus": 1})
+        assert status == 400
+        assert json.loads(raw)["error"]["code"] == "invalid-spec"
+        status, _h, raw = await client.request("DELETE",
+                                               "/campaigns/wire")
+        assert status == 200
+        status, _h, _raw = await client.request("GET",
+                                                "/campaigns/wire")
+        assert status == 404
+
+    serve(scenario, journal_dir=str(tmp_path))
+
+
+def test_paused_campaign_status_and_refresh_over_http():
+    async def scenario(_service, _server, client):
+        status, _h, raw = await client.request(
+            "POST", "/campaigns",
+            {"name": "slohttp", "devices": 8, "image_size": 2048,
+             "slo_p95_seconds": 0.0001, "wait": True})
+        assert status == 201
+        paused = json.loads(raw)
+        assert paused["state"] == "paused"
+        assert paused["slo"]["verdict"] == "breached"
+        assert "pause" in paused["slo"]["wave_actions"]
+        status, _h, raw = await client.request(
+            "POST", "/campaigns/slohttp/refresh",
+            {"clear_slos": True, "wait": True})
+        assert status == 200
+        done = json.loads(raw)
+        assert done["state"] == "done"
+        assert len(done["report"]["updated"]) == 8
+
+    serve(scenario)

@@ -1,0 +1,127 @@
+"""Kill-and-resume parity through the network layer (acceptance).
+
+PR 7 proved the WAL contract for in-process campaigns; this file
+proves it *through the service plane*: a campaign created via the
+API, SIGKILL'd at an arbitrary durable append, resumed by a brand-new
+:class:`FleetService` (fresh token tables, fresh threads — only the
+:class:`DeviceFarm` world and the journal directory survive, exactly
+the crash model) finishes with a report byte-identical to the
+uninterrupted twin, zero devices re-flashed, zero tokens
+double-issued.  One sweep also drives the resume over HTTP.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve import DeviceFarm, FleetService, HttpServer
+from repro.tools.chaos import _fleet_flash_writes
+from repro.tools.swarm import SwarmHttpClient
+
+SPEC = {"name": "kr", "devices": 6, "image_size": 4096}
+
+
+def run_twin(tmp_path):
+    """The uninterrupted journaled reference run."""
+    farm = DeviceFarm()
+    service = FleetService(farm=farm,
+                           journal_dir=str(tmp_path / "twin"))
+    status = service.create_campaign(dict(SPEC, wait=True))
+    assert status["state"] == "done"
+    run = service._campaigns["kr"]
+    return {
+        "json": json.dumps(status["report"], sort_keys=True),
+        "requests": run.server.stats.requests,
+        "writes": _fleet_flash_writes(run.fleet),
+        "appends": status["journal"]["appends"],
+    }
+
+
+@pytest.fixture(scope="module")
+def twin(tmp_path_factory):
+    return run_twin(tmp_path_factory.mktemp("twin"))
+
+
+def kill_at(tmp_path, kill_after):
+    """Create via the API, die at the Nth durable append; return the
+    surviving world (farm + journal dir)."""
+    farm = DeviceFarm()
+    journal_dir = str(tmp_path)
+    service = FleetService(farm=farm, journal_dir=journal_dir)
+    status = service.create_campaign(dict(SPEC, wait=True),
+                                     kill_after_appends=kill_after)
+    assert status["state"] == "killed"
+    assert "append" in status["error"]
+    return farm, journal_dir
+
+
+def assert_parity(twin, status, run):
+    assert status["state"] == "done"
+    assert json.dumps(status["report"], sort_keys=True) \
+        == twin["json"]
+    # Zero double-issued tokens: the resumed world served exactly as
+    # many update requests as the uninterrupted twin.
+    assert run.server.stats.requests == twin["requests"]
+    # Zero re-flashes: same flash write count as the twin.
+    assert _fleet_flash_writes(run.fleet) == twin["writes"]
+    assert run.journal.stats()["appends"] == twin["appends"]
+
+
+@pytest.mark.parametrize("kill_after", [1, 3, 7])
+def test_fresh_service_resumes_byte_identically(tmp_path, twin,
+                                                kill_after):
+    farm, journal_dir = kill_at(tmp_path, kill_after)
+    # The coordinator's RAM is gone: a NEW service over the surviving
+    # farm + journal directory must pick the campaign up from disk.
+    reborn = FleetService(farm=farm, journal_dir=journal_dir)
+    status = reborn.resume_campaign("kr", wait=True)
+    assert_parity(twin, status, reborn._campaigns["kr"])
+
+
+def test_kill_at_the_seal_resumes_to_the_same_report(tmp_path, twin):
+    """Dying on the very last append (the campaign-end seal) is the
+    nastiest point: resume must replay, not re-run."""
+    farm, journal_dir = kill_at(tmp_path, twin["appends"])
+    reborn = FleetService(farm=farm, journal_dir=journal_dir)
+    status = reborn.resume_campaign("kr", wait=True)
+    assert_parity(twin, status, reborn._campaigns["kr"])
+
+
+def test_resume_over_http_after_a_kill(tmp_path, twin):
+    """The acceptance path: kill, then resurrect the campaign through
+    POST /campaigns/kr/resume on a freshly started server process."""
+    farm, journal_dir = kill_at(tmp_path, 4)
+    reborn = FleetService(farm=farm, journal_dir=journal_dir)
+
+    async def main():
+        async with HttpServer(reborn) as server:
+            async with SwarmHttpClient("127.0.0.1",
+                                       server.port) as client:
+                # The dead coordinator's campaign is not in RAM yet —
+                # only its spec + journal on disk.
+                status, _h, _raw = await client.request(
+                    "GET", "/campaigns/kr")
+                assert status == 404
+                status, _h, raw = await client.request(
+                    "POST", "/campaigns/kr/resume", {"wait": True})
+                assert status == 200
+                resumed = json.loads(raw)
+                status, _h, raw = await client.request(
+                    "GET", "/campaigns/kr")
+                assert status == 200
+                assert json.loads(raw)["state"] == "done"
+                return resumed
+
+    resumed = asyncio.run(main())
+    assert_parity(twin, resumed, reborn._campaigns["kr"])
+
+
+def test_resume_without_a_persisted_spec_is_404(tmp_path):
+    service = FleetService(journal_dir=str(tmp_path))
+    from repro.serve import ServiceError
+    with pytest.raises(ServiceError) as exc:
+        service.resume_campaign("ghost")
+    assert exc.value.status == 404

@@ -1,0 +1,61 @@
+"""Tier-1 smoke: one real TCP session, clean shutdown, no leaks.
+
+The bounded always-on proof that the serve plane works end to end:
+an ephemeral-port :class:`HttpServer`, one full device session over
+the swarm's own HTTP client, then shutdown — after which the event
+loop must hold no stray tasks (``asyncio.all_tasks()``), which is the
+regression trap for forgotten connection handlers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.serve import FleetService, HttpServer
+from repro.tools.swarm import SwarmHttpClient, run_http_session
+
+DEVICE = 0x40AA0001
+
+
+def test_one_session_clean_shutdown_no_leaked_tasks():
+    async def main():
+        service = FleetService(chunk_size=1024)
+        service.seed_channels(image_size=4096)
+        async with HttpServer(service) as server:
+            assert server.port != 0          # ephemeral port resolved
+            async with SwarmHttpClient("127.0.0.1",
+                                       server.port) as client:
+                outcome = await run_http_session(client, DEVICE, 1024)
+        assert outcome["digest_ok"] is True
+        assert outcome["version"] == 2
+        assert len(outcome["payload"]) > 0
+        assert outcome["report"]["acknowledged"] is True
+        assert service.device_status(DEVICE)["current_version"] == 2
+        # The server context exited: every connection task it spawned
+        # must be gone from the loop.
+        leaked = [task for task in asyncio.all_tasks()
+                  if task is not asyncio.current_task()]
+        assert leaked == []
+
+    asyncio.run(main())
+
+
+def test_stop_is_idempotent_and_survives_live_connections():
+    async def main():
+        service = FleetService(chunk_size=1024)
+        service.seed_channels(image_size=4096)
+        server = HttpServer(service)
+        await server.start()
+        # A connection left open mid-conversation: stop() must cancel
+        # its handler rather than hang on it.
+        client = SwarmHttpClient("127.0.0.1", server.port)
+        await client.connect()
+        await client.request("GET", "/")
+        await server.stop()
+        await server.stop()                  # second stop: no-op
+        await client.close()
+        leaked = [task for task in asyncio.all_tasks()
+                  if task is not asyncio.current_task()]
+        assert leaked == []
+
+    asyncio.run(main())

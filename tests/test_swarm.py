@@ -1,0 +1,172 @@
+"""The swarm bench: bounded tier-1 run, schema v5, baseline gate.
+
+Tier-1 drives a small-but-real swarm (hundreds of full sessions over
+TCP) and pins the artifact contract: zero failed sessions, the exact
+endpoint mix, `cli report --validate` acceptance, and the `server`
+section regression gate in both directions.  The acceptance-scale 10k
+swarm rides behind ``-m serve``.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.tools import swarm
+from repro.tools.bench import compare_to_baseline
+from repro.tools.cli import main
+from repro.tools.report import load_report, validate_data
+
+SESSIONS = 150
+
+
+@pytest.fixture(scope="module")
+def bench_doc():
+    return swarm.run_benchmark(sessions=SESSIONS, concurrency=32,
+                               image_size=4096, chunk_bytes=1024)
+
+
+def test_bounded_swarm_has_zero_failed_sessions(bench_doc):
+    server = bench_doc["server"]
+    assert server["sessions"] == SESSIONS
+    assert server["failed_sessions"] == 0
+    assert server["failures"] == []
+    assert server["served_devices"] == SESSIONS
+    # Every session is the identical flow: register, token, manifest,
+    # N ranged chunks (payload = image + manifest overhead), report.
+    mix = server["endpoint_mix"]
+    assert {cls: mix[cls] for cls in ("register", "token", "manifest",
+                                      "report")} \
+        == {"register": 1, "token": 1, "manifest": 1, "report": 1}
+    assert mix["chunk"] >= 4096 // 1024
+    assert server["requests"] == SESSIONS * sum(mix.values())
+    assert server["req_per_s"] > 0
+    assert server["p50_session_ms"] <= server["p99_session_ms"]
+    for cls in swarm.ENDPOINT_CLASSES:
+        entry = server["endpoints"][cls]
+        assert entry["count"] == SESSIONS * server["endpoint_mix"][cls]
+        assert entry["p50_ms"] <= entry["p99_ms"]
+    assert server["peak_rss_kb"] > 0
+
+
+def test_artifact_round_trips_through_validate(bench_doc, tmp_path):
+    path = str(tmp_path / "BENCH_server.json")
+    swarm.write_results(copy.deepcopy(bench_doc), path)
+    kind, version, data = load_report(path)
+    assert (kind, version) == ("bench", 5)
+    assert validate_data(kind, version, data) == []
+    assert main(["report", "--validate", path]) == 0
+
+
+def test_validate_rejects_failed_sessions(bench_doc):
+    broken = copy.deepcopy(bench_doc)
+    broken["server"]["failed_sessions"] = 3
+    errors = validate_data("bench", 5, broken)
+    assert any("failed sessions" in error for error in errors)
+    missing = copy.deepcopy(bench_doc)
+    del missing["server"]["req_per_s"]
+    errors = validate_data("bench", 5, missing)
+    assert any("req_per_s" in error for error in errors)
+
+
+def test_gate_passes_against_itself(bench_doc):
+    assert compare_to_baseline(bench_doc, bench_doc) == []
+
+
+def test_gate_names_regressions_in_both_directions(bench_doc):
+    # Latency/RSS growth (lower-is-better metrics).
+    for metric in ("p99_session_ms", "peak_rss_kb"):
+        slower = copy.deepcopy(bench_doc)
+        slower["server"][metric] = bench_doc["server"][metric] * 2.0
+        problems = compare_to_baseline(slower, bench_doc)
+        assert any("server %s regressed" % metric in p
+                   for p in problems), (metric, problems)
+    # Throughput drop (higher-is-better, inverted comparison).
+    slower = copy.deepcopy(bench_doc)
+    slower["server"]["req_per_s"] = \
+        bench_doc["server"]["req_per_s"] * 0.5
+    problems = compare_to_baseline(slower, bench_doc)
+    assert len(problems) == 1
+    assert "server req_per_s regressed" in problems[0]
+    # Getting faster/leaner never trips the gate.
+    faster = copy.deepcopy(bench_doc)
+    faster["server"]["req_per_s"] *= 2.0
+    faster["server"]["p99_session_ms"] *= 0.5
+    assert compare_to_baseline(faster, bench_doc) == []
+
+
+def test_gate_demands_matching_workloads(bench_doc):
+    for key, value in (("sessions", SESSIONS * 2),
+                       ("image_bytes", 8192),
+                       ("chunk_bytes", 512)):
+        other = copy.deepcopy(bench_doc)
+        other["server"][key] = value
+        problems = compare_to_baseline(other, bench_doc)
+        assert len(problems) == 1
+        assert "regenerate the baseline" in problems[0]
+    mixed = copy.deepcopy(bench_doc)
+    mixed["server"]["endpoint_mix"]["chunk"] = 9
+    problems = compare_to_baseline(mixed, bench_doc)
+    assert "endpoint_mix" in problems[0]
+    assert "regenerate the baseline" in problems[0]
+
+
+def test_server_only_vs_campaign_docs_keep_the_legacy_error(bench_doc):
+    campaign_doc = {"campaign": {"devices": 5}}
+    assert compare_to_baseline(bench_doc, campaign_doc) \
+        == ["baseline or current results carry no campaign section"]
+    assert compare_to_baseline(campaign_doc, bench_doc) \
+        == ["baseline or current results carry no campaign section"]
+
+
+def test_cli_swarm_writes_and_gates(tmp_path, capsys):
+    out = str(tmp_path / "BENCH_server.json")
+    rc = main(["swarm", "--sessions", "40", "--concurrency", "16",
+               "--image-size", "4096", "--chunk-bytes", "1024",
+               "--out", out])
+    assert rc == 0
+    assert "swarm: 40 sessions (0 failed)" in capsys.readouterr().out
+    assert main(["report", "--validate", out]) == 0
+    # Gate the run against its own artifact: clean pass.
+    rc = main(["swarm", "--sessions", "40", "--concurrency", "16",
+               "--image-size", "4096", "--chunk-bytes", "1024",
+               "--out", str(tmp_path / "fresh.json"),
+               "--baseline", out, "--tolerance", "5.0"])
+    assert rc == 0
+    assert "within" in capsys.readouterr().out
+
+
+def test_cli_swarm_fails_on_workload_mismatched_baseline(tmp_path,
+                                                         capsys):
+    baseline = str(tmp_path / "baseline.json")
+    rc = main(["swarm", "--sessions", "20", "--concurrency", "8",
+               "--image-size", "4096", "--chunk-bytes", "1024",
+               "--out", baseline])
+    assert rc == 0
+    capsys.readouterr()
+    rc = main(["swarm", "--sessions", "30", "--concurrency", "8",
+               "--image-size", "4096", "--chunk-bytes", "1024",
+               "--out", str(tmp_path / "fresh.json"),
+               "--baseline", baseline])
+    assert rc == 1
+    assert "REGRESSION:" in capsys.readouterr().out
+
+
+# -- acceptance scale (opt-in) ------------------------------------------------
+
+
+@pytest.mark.serve
+def test_ten_thousand_session_swarm_is_fully_correct(tmp_path):
+    """The acceptance run: 10k sessions, zero failures, artifact
+    accepted by validate and self-gating."""
+    doc = swarm.run_benchmark(sessions=10_000, concurrency=256,
+                              image_size=8192, chunk_bytes=2048)
+    server = doc["server"]
+    assert server["failed_sessions"] == 0
+    assert server["sessions"] == 10_000
+    path = str(tmp_path / "BENCH_server.json")
+    swarm.write_results(copy.deepcopy(doc), path)
+    assert main(["report", "--validate", path]) == 0
+    assert compare_to_baseline(doc, doc) == []
