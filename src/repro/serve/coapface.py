@@ -64,17 +64,25 @@ class CoapFront:
     request.  Without this, a lost response to a non-idempotent POST
     (token issuance, outcome report) would burn the single-use token
     and strand the device.
+
+    Message IDs are scoped *per endpoint* (RFC 7252 §4.4): the dedup
+    key includes the source endpoint passed into :meth:`handle`, so
+    two clients that happen to emit the same token/MID sequence —
+    deterministic client stacks do — never see each other's cached
+    responses.
     """
 
     DEDUP_WINDOW = 1024
 
     def __init__(self, service: FleetService) -> None:
         self.service = service
-        self._seen: "OrderedDict[Tuple[bytes, int], bytes]" = \
+        self._seen: "OrderedDict[Tuple[bytes, bytes, int], bytes]" = \
             OrderedDict()
 
-    def handle(self, datagram: bytes) -> bytes:
-        """Process one encoded request; always returns a response
+    def handle(self, datagram: bytes,
+               endpoint: bytes = b"") -> bytes:
+        """Process one encoded request from ``endpoint`` (the source
+        address on a real UDP socket); always returns a response
         datagram (malformed requests get a 4.00, never silence)."""
         try:
             request = CoapMessage.decode(datagram)
@@ -84,7 +92,7 @@ class CoapFront:
                 message_id=0,
                 payload=_error_body("bad-datagram", 400,
                                     str(exc))).encode()
-        key = (request.token, request.message_id)
+        key = (endpoint, request.token, request.message_id)
         cached = self._seen.get(key)
         if cached is not None:
             self._seen.move_to_end(key)
@@ -207,7 +215,9 @@ class CoapDatagramRelay:
     """The in-process virtual network between client and front.
 
     One async hop per direction; a real UDP socket pair would carry
-    identical bytes.  ``drop_every`` drops every Nth *response*
+    identical bytes.  ``endpoint`` plays the role of the datagram's
+    source address and is forwarded into the front's per-endpoint
+    dedup scope.  ``drop_every`` drops every Nth *response*
     datagram, which is how the tests exercise named-chunk
     re-requests after loss.
     """
@@ -219,9 +229,10 @@ class CoapDatagramRelay:
         self.exchanges = 0
         self.dropped = 0
 
-    async def request(self, datagram: bytes) -> Optional[bytes]:
+    async def request(self, datagram: bytes,
+                      endpoint: bytes = b"") -> Optional[bytes]:
         await asyncio.sleep(0)          # the uplink hop
-        response = self.front.handle(datagram)
+        response = self.front.handle(datagram, endpoint)
         self.exchanges += 1
         if self.drop_every and self.exchanges % self.drop_every == 0:
             self.dropped += 1
@@ -248,6 +259,10 @@ class CoapDeviceClient:
         self.channel = channel
         self.block_size = block_size
         self.max_retries = max_retries
+        # The client's source address: every client must present a
+        # distinct endpoint, because its deterministic token/MID
+        # sequence is only unique within that scope.
+        self.endpoint = b"coap-ep-%d" % device_id
         self._mid = 0
         self._token_counter = 0
 
@@ -284,7 +299,8 @@ class CoapDeviceClient:
         """CON semantics: retransmit until a response datagram lands."""
         datagram = request.encode()
         for _attempt in range(self.max_retries):
-            response = await self.relay.request(datagram)
+            response = await self.relay.request(datagram,
+                                                self.endpoint)
             if response is not None:
                 return CoapMessage.decode(response)
         raise CoapError("no response after %d retransmissions"

@@ -31,6 +31,7 @@ the same object, so a client's error handling is protocol-portable.
 from __future__ import annotations
 
 import asyncio
+import functools
 import json
 from typing import Dict, List, Optional, Tuple
 
@@ -111,12 +112,22 @@ class HttpServer:
                 except (asyncio.IncompleteReadError,
                         ConnectionResetError, asyncio.LimitOverrunError):
                     break
+                except _HttpError as exc:
+                    # The request never framed (bad request line, bad
+                    # or oversized Content-Length), so the stream
+                    # position is unknown: answer and close.
+                    try:
+                        await self._write_response(
+                            writer, exc.status, exc.body, {}, True)
+                    except (ConnectionResetError, BrokenPipeError):
+                        pass
+                    break
                 if request is None:
                     break
                 method, path, headers, body = request
                 close = headers.get("connection", "").lower() == "close"
                 try:
-                    status, payload, extra = self._dispatch(
+                    status, payload, extra = await self._dispatch(
                         method, path, headers, body)
                 except _HttpError as exc:
                     status, payload, extra = exc.status, exc.body, {}
@@ -173,7 +184,14 @@ class HttpServer:
                 break
             name, _sep, value = raw.decode("latin-1").partition(":")
             headers[name.strip().lower()] = value.strip()
-        length = int(headers.get("content-length", "0") or "0")
+        try:
+            length = int(headers.get("content-length", "0") or "0")
+        except ValueError:
+            raise _HttpError(400, "invalid-content-length",
+                             "Content-Length must be an integer")
+        if length < 0:
+            raise _HttpError(400, "invalid-content-length",
+                             "Content-Length must be non-negative")
         if length > MAX_BODY_BYTES:
             raise _HttpError(413, "body-too-large",
                              "body exceeds %d bytes" % MAX_BODY_BYTES)
@@ -182,9 +200,9 @@ class HttpServer:
 
     # -- routing ---------------------------------------------------------------
 
-    def _dispatch(self, method: str, target: str,
-                  headers: Dict[str, str], body: bytes
-                  ) -> Tuple[int, object, Dict[str, str]]:
+    async def _dispatch(self, method: str, target: str,
+                        headers: Dict[str, str], body: bytes
+                        ) -> Tuple[int, object, Dict[str, str]]:
         path, _sep, query = target.partition("?")
         parts = [p for p in path.split("/") if p]
         service = self.service
@@ -206,10 +224,23 @@ class HttpServer:
             return 200, service.close_token(parts[1],
                                             _json_body(body)), {}
         if parts[0] == "campaigns":
-            return self._dispatch_campaigns(method, parts, body)
+            return await self._dispatch_campaigns(method, parts, body)
         raise _HttpError(404, "unknown-route",
                          "%s %s is not a service endpoint"
                          % (method, path))
+
+    @staticmethod
+    async def _offload(fn, *args, **kwargs):
+        """Run a potentially long service call on the default
+        executor.  Device-session calls are sub-millisecond in-memory
+        operations and stay on the loop; campaign calls build worlds
+        (up to 100k simulated devices), replay WALs, and honour
+        ``wait: true`` joins — any of which would stall every other
+        connection if run on the loop thread."""
+        loop = asyncio.get_running_loop()
+        if kwargs:
+            fn = functools.partial(fn, **kwargs)
+        return await loop.run_in_executor(None, fn, *args)
 
     def _dispatch_devices(self, method: str, parts: List[str],
                           body: bytes
@@ -249,39 +280,48 @@ class HttpServer:
         if not ranged:
             return 200, data, {"Content-Type":
                                "application/octet-stream"}
-        if data:
-            content_range = "bytes %d-%d/%d" % (
-                offset, offset + len(data) - 1, total)
-        else:
-            content_range = "bytes */%d" % total
+        if not data:
+            # A satisfied zero-length range has no valid Content-Range
+            # (RFC 7233 reserves 'bytes */N' for 416 responses), so it
+            # degrades to a plain 200 with an empty body.
+            return 200, b"", {"Content-Type":
+                              "application/octet-stream"}
+        content_range = "bytes %d-%d/%d" % (
+            offset, offset + len(data) - 1, total)
         return 206, data, {"Content-Type": "application/octet-stream",
                            "Content-Range": content_range}
 
-    def _dispatch_campaigns(self, method: str, parts: List[str],
-                            body: bytes
-                            ) -> Tuple[int, object, Dict[str, str]]:
+    async def _dispatch_campaigns(self, method: str, parts: List[str],
+                                  body: bytes
+                                  ) -> Tuple[int, object,
+                                             Dict[str, str]]:
         service = self.service
         if len(parts) == 1:
             if method == "GET":
-                return 200, service.list_campaigns(), {}
+                return 200, await self._offload(
+                    service.list_campaigns), {}
             if method == "POST":
-                return 201, service.create_campaign(
-                    _json_body(body)), {}
+                return 201, await self._offload(
+                    service.create_campaign, _json_body(body)), {}
         elif len(parts) == 2:
             name = parts[1]
             if method == "GET":
-                return 200, service.campaign_status(name), {}
+                return 200, await self._offload(
+                    service.campaign_status, name), {}
             if method == "DELETE":
-                return 200, service.delete_campaign(name), {}
+                return 200, await self._offload(
+                    service.delete_campaign, name), {}
         elif len(parts) == 3 and method == "POST":
             name, action = parts[1], parts[2]
             if action == "refresh":
                 req = _json_body(body) if body else {}
-                return 200, service.refresh_campaign(name, req), {}
+                return 200, await self._offload(
+                    service.refresh_campaign, name, req), {}
             if action == "resume":
                 req = _json_body(body) if body else {}
-                return 200, service.resume_campaign(
-                    name, wait=bool(req.get("wait", False))), {}
+                return 200, await self._offload(
+                    service.resume_campaign, name,
+                    wait=bool(req.get("wait", False))), {}
         raise _HttpError(405, "method-not-allowed",
                          "unsupported campaign operation")
 

@@ -287,6 +287,10 @@ class FleetService:
     lock, not any property of a particular transport.
     """
 
+    #: Upper bound on a ``wait: true`` campaign join; callers holding
+    #: a network thread get control back and poll status instead.
+    WAIT_TIMEOUT_SECONDS = 600.0
+
     def __init__(self, farm: Optional[DeviceFarm] = None,
                  journal_dir: Optional[str] = None,
                  chunk_size: int = 2048) -> None:
@@ -671,7 +675,10 @@ class FleetService:
         run.thread = thread
         thread.start()
         if wait:
-            thread.join()
+            # Bounded: a hung campaign must not pin the caller (an
+            # HTTP executor thread) forever — the status stays
+            # "running"/busy and the client can poll.
+            thread.join(self.WAIT_TIMEOUT_SECONDS)
 
     def _run(self, name: str) -> _CampaignRun:
         with self._lock:

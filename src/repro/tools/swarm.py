@@ -144,7 +144,13 @@ class SwarmHttpClient:
         body = bytearray()
         while True:
             size_line = await self._reader.readline()
-            size = int(size_line.strip().split(b";")[0], 16)
+            try:
+                size = int(size_line.strip().split(b";")[0], 16)
+            except ValueError:
+                # An empty line means the server closed mid-body; a
+                # SwarmError fails just this session instead of
+                # detonating the whole gather.
+                raise SwarmError("bad chunk-size line %r" % size_line)
             if size == 0:
                 await self._reader.readline()   # trailing CRLF
                 return bytes(body)

@@ -61,6 +61,28 @@ def test_lossy_relay_retransmissions_are_deduplicated(drop_every):
     assert service.device_status(DEVICE)["current_version"] == 2
 
 
+def test_shared_front_keeps_client_sessions_distinct():
+    """Two clients behind one front emit identical deterministic
+    token/MID sequences; per-endpoint dedup scope (RFC 7252 §4.4)
+    must keep their sessions fully separate — without it the second
+    client would be served the first client's cached responses."""
+    service, front = coap_service()
+    relay = CoapDatagramRelay(front)
+
+    async def main():
+        first = CoapDeviceClient(relay, DEVICE, block_size=256)
+        second = CoapDeviceClient(relay, DEVICE + 1, block_size=256)
+        return await first.run_session(), await second.run_session()
+
+    one, two = asyncio.run(main())
+    assert one["register"]["device_id"] == DEVICE
+    assert two["register"]["device_id"] == DEVICE + 1
+    assert one["token"] != two["token"]
+    assert one["digest_ok"] and two["digest_ok"]
+    assert service.device_status(DEVICE)["current_version"] == 2
+    assert service.device_status(DEVICE + 1)["current_version"] == 2
+
+
 def test_http_and_coap_sessions_are_byte_identical():
     """Protocol parity: one service, two faces, same device-visible
     bytes (acceptance criterion)."""

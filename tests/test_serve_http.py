@@ -83,6 +83,39 @@ def test_service_errors_arrive_as_structured_bodies():
     serve(scenario)
 
 
+def test_malformed_request_framing_gets_an_error_response():
+    """A request that never frames — garbled request line, bad or
+    oversized Content-Length — must be answered with a structured
+    400/413 before the close, not a bare connection drop."""
+    async def main():
+        service = FleetService(chunk_size=1024)
+        service.seed_channels(image_size=4096)
+        async with HttpServer(service) as server:
+            async def raw(request_bytes):
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port)
+                writer.write(request_bytes)
+                await writer.drain()
+                data = await reader.read()
+                writer.close()
+                await writer.wait_closed()
+                return data
+
+            garbled = await raw(b"NONSENSE\r\n\r\n")
+            assert garbled.startswith(b"HTTP/1.1 400 ")
+            assert b'"bad-request-line"' in garbled
+            huge = await raw(b"POST /devices HTTP/1.1\r\n"
+                             b"Content-Length: 9999999999\r\n\r\n")
+            assert huge.startswith(b"HTTP/1.1 413 ")
+            assert b'"body-too-large"' in huge
+            bad_length = await raw(b"POST /devices HTTP/1.1\r\n"
+                                   b"Content-Length: banana\r\n\r\n")
+            assert bad_length.startswith(b"HTTP/1.1 400 ")
+            assert b'"invalid-content-length"' in bad_length
+
+    asyncio.run(main())
+
+
 # -- satellite: the concurrent token race -------------------------------------
 
 
@@ -165,11 +198,13 @@ def test_range_semantics_on_the_wire():
         assert status == 206
         assert headers["content-range"] == "bytes 0-511/%d" % total
         assert first == body[:512]
-        # Zero-length range at EOF: satisfiable, empty, 206.
+        # Zero-length range at EOF: satisfiable, empty — served as a
+        # plain 200 because RFC 7233 has no valid Content-Range for
+        # an empty satisfied range ('bytes */N' is 416-only).
         status, headers, empty = await client.request(
             "GET", "/images/%s?offset=%d&length=0" % (token, total))
-        assert (status, empty) == (206, b"")
-        assert headers["content-range"] == "bytes */%d" % total
+        assert (status, empty) == (200, b"")
+        assert "content-range" not in headers
         # Nonzero range past EOF: 416 with a structured body.
         status, _h, raw = await client.request(
             "GET", "/images/%s" % token,

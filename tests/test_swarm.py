@@ -9,6 +9,7 @@ swarm rides behind ``-m serve``.
 
 from __future__ import annotations
 
+import asyncio
 import copy
 import json
 
@@ -152,6 +153,25 @@ def test_cli_swarm_fails_on_workload_mismatched_baseline(tmp_path,
                "--baseline", baseline])
     assert rc == 1
     assert "REGRESSION:" in capsys.readouterr().out
+
+
+def test_mid_body_close_is_a_session_failure_not_an_abort():
+    """A server that dies between chunk frames makes the chunk-size
+    readline return b''; that must surface as SwarmError (which
+    ``run_swarm`` counts as one failed session), not an uncaught
+    ValueError that detonates the whole gather."""
+    async def main():
+        client = swarm.SwarmHttpClient("127.0.0.1", 1)
+        reader = asyncio.StreamReader()
+        reader.feed_data(b"HTTP/1.1 200 OK\r\n"
+                         b"Transfer-Encoding: chunked\r\n\r\n"
+                         b"4\r\nabcd\r\n")      # one chunk lands...
+        reader.feed_eof()                       # ...then the peer dies
+        client._reader = reader
+        with pytest.raises(swarm.SwarmError):
+            await client._read_response()
+
+    asyncio.run(main())
 
 
 # -- acceptance scale (opt-in) ------------------------------------------------
