@@ -72,6 +72,10 @@ class CoapOption(enum.IntEnum):
     BLOCK2 = 23
     BLOCK1 = 27
     SIZE2 = 28
+    #: W3C traceparent carried as a CoAP option: experimental-use
+    #: number (RFC 7252 §12.2), even → elective, so a stack that does
+    #: not trace silently ignores it instead of rejecting the request.
+    TRACEPARENT = 65000
 
 
 @dataclass(frozen=True)

@@ -3,6 +3,8 @@
 The flight-recorder layer of the reproduction (the FOTA survey's
 "campaign monitoring" requirement): :mod:`repro.obs.trace` records
 virtual-clock spans exportable as Chrome-trace JSON,
+:mod:`repro.obs.asynctrace` is its wall-clock sibling for the serve
+plane (contextvars span context, W3C-style traceparent propagation),
 :mod:`repro.obs.metrics` is a dependency-free counter/gauge/histogram
 registry that also *surfaces* the existing bespoke stats objects, and
 :mod:`repro.obs.blackbox` persists lifecycle events through simulated
@@ -48,6 +50,15 @@ from .slo import (
     SLOBreach,
     WaveVerdict,
     percentile,
+)
+from .asynctrace import (
+    AsyncSpan,
+    AsyncTracer,
+    NULL_ASYNC_TRACER,
+    TRACEPARENT_HEADER,
+    format_traceparent,
+    new_trace_id,
+    parse_traceparent,
 )
 from .timeseries import FleetScraper, Point, Series, TimeSeriesStore
 from .trace import (
@@ -97,4 +108,11 @@ __all__ = [
     "Tracer",
     "containment_errors",
     "merge_chrome_traces",
+    "AsyncSpan",
+    "AsyncTracer",
+    "NULL_ASYNC_TRACER",
+    "TRACEPARENT_HEADER",
+    "format_traceparent",
+    "new_trace_id",
+    "parse_traceparent",
 ]

@@ -1,0 +1,361 @@
+"""Concurrent wall-clock tracing for the serve plane.
+
+The PR 3 :class:`~repro.obs.trace.Tracer` nests spans with a single
+stack, which is exactly right for one device on one virtual clock and
+exactly wrong for an asyncio server where dozens of requests interleave
+on one thread.  :class:`AsyncTracer` replaces the stack with a
+:mod:`contextvars` context: each asyncio task (and each
+``contextvars.copy_context()``-wrapped executor call) sees its own
+"current span", so concurrent requests nest independently without ever
+observing each other.
+
+What carries over from the virtual-clock tracer, on purpose:
+
+* **Zero perturbation when off.**  :data:`NULL_ASYNC_TRACER` answers
+  :meth:`~AsyncTracer.span` with a shared null context and
+  :meth:`~AsyncTracer.current_traceparent` with ``None``; the serve hot
+  path pays one attribute check.
+* **Explicit parentage.**  Exported spans carry ``span_id`` /
+  ``parent_id`` / ``trace_id`` in ``args`` so
+  :func:`~repro.obs.trace.containment_errors` can verify nesting and
+  :mod:`repro.tools.report` can verify the cross-plane trace_id join.
+* **Chrome-trace export.**  One ``tid`` lane per *root* span (i.e. per
+  request or per device session), so Perfetto draws concurrent requests
+  as parallel tracks instead of a false single stack.
+
+What is new: every span belongs to a **trace** — a W3C-traceparent
+style hex ``trace_id`` minted at the root and inherited by children.
+:func:`format_traceparent` / :func:`parse_traceparent` move that
+context across the wire (HTTP header, CoAP option), so a device-side
+session span and the server-side request spans it caused merge into a
+single trace.  Remote parentage is deliberately recorded as
+``args["remote_parent_id"]`` rather than ``parent_id``: the parent
+lives in another process's export (another ``pid``), and containment
+checking stays local to a pid while the join is made on ``trace_id``.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import threading
+import time
+import uuid
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from .trace import _NULL_CONTEXT, _US
+
+__all__ = ["AsyncSpan", "AsyncTracer", "NULL_ASYNC_TRACER",
+           "TRACEPARENT_HEADER", "new_trace_id", "format_traceparent",
+           "parse_traceparent"]
+
+#: Header (HTTP) / option payload prefix semantics follow W3C Trace
+#: Context: ``00-<32 hex trace-id>-<16 hex parent-id>-01``.
+TRACEPARENT_HEADER = "traceparent"
+
+_TRACEPARENT_VERSION = "00"
+_HEX_DIGITS = frozenset("0123456789abcdef")
+
+
+def new_trace_id() -> str:
+    """Mint a 32-hex-digit W3C trace id."""
+    return uuid.uuid4().hex
+
+
+def format_traceparent(trace_id: str, span_id: int) -> str:
+    """Render ``00-<trace_id>-<span_id as 16 hex>-01``."""
+    return "%s-%s-%016x-01" % (_TRACEPARENT_VERSION, trace_id, span_id)
+
+
+def parse_traceparent(value: str) -> Optional[Tuple[str, int]]:
+    """Parse a traceparent into ``(trace_id, parent_span_id)``.
+
+    Returns ``None`` for anything malformed — a bad header from a
+    stranger must never fail a request, it just starts a fresh trace.
+    """
+    parts = value.strip().lower().split("-")
+    if len(parts) != 4:
+        return None
+    version, trace_id, parent_id, _flags = parts
+    if version == "ff" or len(version) != 2:
+        return None
+    if len(trace_id) != 32 or not set(trace_id) <= _HEX_DIGITS:
+        return None
+    if len(parent_id) != 16 or not set(parent_id) <= _HEX_DIGITS:
+        return None
+    if trace_id == "0" * 32 or parent_id == "0" * 16:
+        return None
+    return trace_id, int(parent_id, 16)
+
+
+class AsyncSpan:
+    """One closed wall-clock interval within a trace.
+
+    ``lane`` is the export ``tid``: children inherit their root's lane
+    so each request renders as one horizontal track.
+    """
+
+    __slots__ = ("name", "category", "start", "end", "span_id",
+                 "parent_id", "trace_id", "lane", "args")
+
+    def __init__(self, name: str, category: str, start: float,
+                 span_id: int, parent_id: Optional[int], trace_id: str,
+                 lane: int, args: Dict[str, Any]) -> None:
+        self.name = name
+        self.category = category
+        self.start = start
+        self.end = start
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.trace_id = trace_id
+        self.lane = lane
+        self.args = args
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "AsyncSpan(%r, %.6f..%.6f, id=%d, parent=%r, trace=%s)" % (
+            self.name, self.start, self.end, self.span_id,
+            self.parent_id, self.trace_id[:8])
+
+
+class _AsyncSpanContext:
+    """Binds a span as the context's current span for the with-block."""
+
+    __slots__ = ("_tracer", "_span", "_token")
+
+    def __init__(self, tracer: "AsyncTracer", span: AsyncSpan) -> None:
+        self._tracer = tracer
+        self._span = span
+        self._token = None
+
+    def __enter__(self) -> AsyncSpan:
+        self._token = self._tracer._current.set(self._span)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self._span.args.setdefault("error", exc_type.__name__)
+        if self._token is not None:
+            self._tracer._current.reset(self._token)
+            self._token = None
+        self._tracer._close(self._span)
+        return False
+
+
+class AsyncTracer:
+    """Span recorder safe for interleaved asyncio tasks.
+
+    The current span lives in a :class:`contextvars.ContextVar`, so
+    every task nests independently; the span *list* is shared and
+    guarded by a lock because executor threads (campaign offloads)
+    close spans too.  Timestamps default to :func:`time.perf_counter`
+    — this tracer measures the host, not the virtual clock.
+    """
+
+    def __init__(self, now_fn: Optional[Callable[[], float]] = None,
+                 enabled: bool = False,
+                 trace_id_fn: Optional[Callable[[], str]] = None) -> None:
+        self.now_fn = now_fn or time.perf_counter
+        self.enabled = enabled
+        self.trace_id_fn = trace_id_fn or new_trace_id
+        self.spans: List[AsyncSpan] = []
+        self.instants: List[Dict[str, Any]] = []
+        self._current: "contextvars.ContextVar[Optional[AsyncSpan]]" = \
+            contextvars.ContextVar("upkit_current_span", default=None)
+        self._lock = threading.Lock()
+        self._next_id = 1
+        self._next_lane = 1
+
+    # -- recording ----------------------------------------------------------
+
+    def span(self, name: str, category: str = "serve",
+             start: Optional[float] = None,
+             trace_id: Optional[str] = None,
+             **args: Any) -> Any:
+        """Open a span under the context's current span.
+
+        ``start`` backdates the open (e.g. a request span opened only
+        after its header was parsed); ``trace_id`` grafts the span into
+        a remote trace (from a parsed traceparent) — both only make
+        sense on roots, children always inherit the parent's trace and
+        lane.
+        """
+        if not self.enabled:
+            return _NULL_CONTEXT
+        parent: Optional[AsyncSpan] = self._current.get()
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+            if parent is not None:
+                lane = parent.lane
+            else:
+                lane = self._next_lane
+                self._next_lane += 1
+        if parent is not None:
+            parent_id: Optional[int] = parent.span_id
+            span_trace = parent.trace_id
+        else:
+            parent_id = None
+            span_trace = trace_id or self.trace_id_fn()
+        opened = self.now_fn() if start is None else start
+        span = AsyncSpan(name, category, opened, span_id, parent_id,
+                         span_trace, lane, args)
+        return _AsyncSpanContext(self, span)
+
+    def _close(self, span: AsyncSpan) -> None:
+        span.end = self.now_fn()
+        with self._lock:
+            self.spans.append(span)
+
+    def record_span(self, name: str, start: float, end: float,
+                    category: str = "serve", **args: Any) -> None:
+        """Record an already-closed child of the current span.
+
+        For phases measured before their parent span existed — e.g.
+        request parsing, timed before the traceparent header it yields
+        is known.  The parent's backdated ``start`` keeps containment.
+        """
+        if not self.enabled:
+            return
+        parent: Optional[AsyncSpan] = self._current.get()
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+            if parent is not None:
+                lane = parent.lane
+            else:
+                lane = self._next_lane
+                self._next_lane += 1
+        if parent is not None:
+            parent_id: Optional[int] = parent.span_id
+            span_trace = parent.trace_id
+        else:
+            parent_id = None
+            span_trace = self.trace_id_fn()
+        span = AsyncSpan(name, category, start, span_id, parent_id,
+                         span_trace, lane, args)
+        span.end = end
+        with self._lock:
+            self.spans.append(span)
+
+    def instant(self, name: str, category: str = "mark",
+                args: Optional[Dict[str, Any]] = None) -> None:
+        """Record a zero-duration mark in the current span's lane."""
+        if not self.enabled:
+            return
+        parent: Optional[AsyncSpan] = self._current.get()
+        with self._lock:
+            lane = parent.lane if parent is not None else self._next_lane
+        self.instants.append({
+            "name": name,
+            "category": category,
+            "t": self.now_fn(),
+            "parent_id": parent.span_id if parent is not None else None,
+            "lane": lane,
+            "args": dict(args) if args else {},
+        })
+
+    def clear(self) -> None:
+        with self._lock:
+            self.spans.clear()
+            self.instants.clear()
+            self._next_id = 1
+            self._next_lane = 1
+
+    # -- context introspection ----------------------------------------------
+
+    def current_span(self) -> Optional[AsyncSpan]:
+        """The innermost open span of *this* context, or ``None``."""
+        if not self.enabled:
+            return None
+        return self._current.get()
+
+    def current_traceparent(self) -> Optional[str]:
+        """Wire form of the current span, ready for a header/option."""
+        span = self.current_span()
+        if span is None:
+            return None
+        return format_traceparent(span.trace_id, span.span_id)
+
+    def subtree(self, root: AsyncSpan) -> List[Dict[str, Any]]:
+        """Closed spans of ``root``'s trace tree, for slow-request logs.
+
+        Walks recorded spans by parentage starting at ``root`` (which
+        may itself still be open); returns dicts sorted by start time.
+        """
+        with self._lock:
+            recorded = list(self.spans)
+        children: Dict[int, List[AsyncSpan]] = {}
+        for span in recorded:
+            if span.parent_id is not None:
+                children.setdefault(span.parent_id, []).append(span)
+        tree: List[AsyncSpan] = []
+        frontier = [root]
+        while frontier:
+            node = frontier.pop()
+            if node is not root:
+                tree.append(node)
+            frontier.extend(children.get(node.span_id, ()))
+        tree.sort(key=lambda s: (s.start, s.span_id))
+        root_end = root.end if root.end > root.start else self.now_fn()
+        out = [{"name": root.name, "span_id": root.span_id,
+                "start": root.start, "duration_ms":
+                round((root_end - root.start) * 1000.0, 3)}]
+        out.extend({"name": span.name, "span_id": span.span_id,
+                    "parent_id": span.parent_id,
+                    "start": span.start,
+                    "duration_ms": round(span.duration * 1000.0, 3)}
+                   for span in tree)
+        return out
+
+    # -- export -------------------------------------------------------------
+
+    def to_chrome_trace(self, pid: int = 1,
+                        process_name: Optional[str] = None
+                        ) -> Dict[str, Any]:
+        """Chrome-trace document; each root span owns a ``tid`` lane."""
+        with self._lock:
+            recorded = sorted(self.spans,
+                              key=lambda s: (s.start, s.span_id))
+            instants = list(self.instants)
+        events: List[Dict[str, Any]] = []
+        if process_name:
+            events.append({
+                "ph": "M", "pid": pid, "tid": 1,
+                "name": "process_name",
+                "args": {"name": process_name},
+            })
+        for span in recorded:
+            args = dict(span.args)
+            args["span_id"] = span.span_id
+            args["parent_id"] = span.parent_id
+            args["trace_id"] = span.trace_id
+            events.append({
+                "name": span.name,
+                "cat": span.category,
+                "ph": "X",
+                "ts": round(span.start * _US, 3),
+                "dur": round(span.duration * _US, 3),
+                "pid": pid,
+                "tid": span.lane,
+                "args": args,
+            })
+        for instant in instants:
+            events.append({
+                "name": instant["name"],
+                "cat": instant["category"],
+                "ph": "i",
+                "s": "t",
+                "ts": round(instant["t"] * _US, 3),
+                "pid": pid,
+                "tid": instant["lane"],
+                "args": dict(instant["args"],
+                             parent_id=instant["parent_id"]),
+            })
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+#: Shared disabled tracer — the serve plane's default.
+NULL_ASYNC_TRACER = AsyncTracer(enabled=False)

@@ -25,7 +25,9 @@ Design constraints:
 
 A tracer is single-threaded by design: span nesting is a stack.  The
 fleet executors never enable per-device tracers, so the parallel path
-is unaffected.
+is unaffected.  The serve plane's interleaved asyncio requests need
+the :mod:`repro.obs.asynctrace` tracer instead, whose span context is
+a :mod:`contextvars` variable rather than a stack.
 """
 
 from __future__ import annotations
@@ -234,11 +236,18 @@ def containment_errors(trace_events: List[Dict[str, Any]],
     """Check parent/child containment of exported ``X`` spans.
 
     Every span naming a ``parent_id`` must lie within its parent's
-    ``[ts, ts + dur]`` window (same pid/tid), up to rounding tolerance.
+    ``[ts, ts + dur]`` window, up to rounding tolerance.  Parents are
+    resolved per ``pid`` but across ``tid`` lanes: the async tracer
+    exports one lane per request/task, and concurrent siblings in
+    different lanes legitimately share a parent (span ids are unique
+    per exporting process, i.e. per pid).  Cross-process parentage is
+    carried as ``args.remote_parent_id`` and deliberately *not*
+    checked here — merged documents join on ``trace_id`` instead.
     Returns human-readable violations; empty means the trace nests.
     """
     errors: List[str] = []
-    spans: Dict[tuple, Dict[str, Any]] = {}
+    spans: List[tuple] = []
+    by_id: Dict[tuple, Dict[str, Any]] = {}
     for event in trace_events:
         if event.get("ph") != "X":
             continue
@@ -247,12 +256,13 @@ def containment_errors(trace_events: List[Dict[str, Any]],
             errors.append("X event %r lacks args.span_id"
                           % event.get("name"))
             continue
-        spans[(event["pid"], event["tid"], span_id)] = event
-    for (pid, tid, span_id), event in spans.items():
+        spans.append((event["pid"], span_id, event))
+        by_id[(event["pid"], span_id)] = event
+    for pid, span_id, event in spans:
         parent_id = event["args"].get("parent_id")
         if parent_id is None:
             continue
-        parent = spans.get((pid, tid, parent_id))
+        parent = by_id.get((pid, parent_id))
         if parent is None:
             errors.append("span %r (id %d) names missing parent %d"
                           % (event["name"], span_id, parent_id))

@@ -4,7 +4,10 @@
 registry, single-use tokens, channels, ranged chunks, WAL-backed
 campaign CRUD); :mod:`repro.serve.httpd` and
 :mod:`repro.serve.coapface` are its HTTP/1.1 and simulated-CoAP
-codecs.  See DESIGN.md "Service plane".
+codecs; :mod:`repro.serve.telemetry` is the faces' shared
+request-scoped observability (access log, per-route histograms,
+event-loop watchdog).  See DESIGN.md "Service plane" and
+"Observability architecture".
 """
 
 from .coapface import (
@@ -22,6 +25,7 @@ from .service import (
     FleetService,
     ServiceError,
 )
+from .telemetry import EventLoopWatchdog, ServeTelemetry
 
 __all__ = [
     "APP_ID",
@@ -32,7 +36,9 @@ __all__ = [
     "CoapFront",
     "DEFAULT_BLOCK_SIZE",
     "DeviceFarm",
+    "EventLoopWatchdog",
     "FleetService",
     "HttpServer",
+    "ServeTelemetry",
     "ServiceError",
 ]

@@ -17,10 +17,21 @@ Request surface (URI paths mirror the HTTP routes)::
     GET  manifests/{token}          envelope + digest (JSON, Block2)
     GET  images/{token}             payload bytes (Block2 named chunks)
     POST reports/{token}            outcome report
+    GET  healthz                    liveness (same body as HTTP)
 
 Errors carry the service's structured JSON body as the diagnostic
 payload with the closest CoAP code (4.00/4.03/4.04/4.09), so a client
 can branch on ``error.code`` identically over either protocol.
+
+Observability (PR 9): requests land in the same
+:class:`~repro.serve.telemetry.ServeTelemetry` shape as the HTTP face
+(route/status access-log lines, per-route histograms into the
+service's registry), and trace context crosses the datagram as the
+elective :data:`~repro.net.coap.CoapOption.TRACEPARENT` option.  A
+CON retransmission reuses the *encoded* datagram, so one logical
+request keeps one trace_id no matter how many times the response was
+lost; a §4.2 dedup replay is counted (``serve.coap_dedup_hits``) and
+marked as an instant, never re-traced as fresh work.
 """
 
 from __future__ import annotations
@@ -39,7 +50,9 @@ from ..net.coap import (
     CoapOption,
     CoapType,
 )
+from ..obs.asynctrace import NULL_ASYNC_TRACER, parse_traceparent
 from .service import FleetService, ServiceError
+from .telemetry import ServeTelemetry
 
 __all__ = ["CoapFront", "CoapDatagramRelay", "CoapDeviceClient",
            "DEFAULT_BLOCK_SIZE"]
@@ -52,6 +65,20 @@ _STATUS_TO_COAP = {
     404: CoapCode.NOT_FOUND,
     409: CoapCode.CONFLICT,
     416: CoapCode.BAD_REQUEST,
+}
+
+#: Access-log statuses derived from the encoded response's code byte
+#: (byte 1 of any RFC 7252 header) — HTTP-ish numbers keep the two
+#: faces' log lines directly comparable.
+_COAP_CODE_TO_STATUS = {
+    int(CoapCode.CREATED): 201,
+    int(CoapCode.CHANGED): 200,
+    int(CoapCode.CONTENT): 200,
+    int(CoapCode.BAD_REQUEST): 400,
+    int(CoapCode.FORBIDDEN): 403,
+    int(CoapCode.NOT_FOUND): 404,
+    int(CoapCode.CONFLICT): 409,
+    int(CoapCode.INTERNAL_SERVER_ERROR): 500,
 }
 
 
@@ -74,8 +101,16 @@ class CoapFront:
 
     DEDUP_WINDOW = 1024
 
-    def __init__(self, service: FleetService) -> None:
+    def __init__(self, service: FleetService,
+                 telemetry: Optional[ServeTelemetry] = None,
+                 tracer=None) -> None:
         self.service = service
+        self.telemetry = telemetry \
+            or ServeTelemetry(service.metrics)
+        self.tracer = tracer or NULL_ASYNC_TRACER
+        self._dedup_hits = service.metrics.counter(
+            "serve.coap_dedup_hits",
+            "retransmissions answered from the dedup cache")
         self._seen: "OrderedDict[Tuple[bytes, bytes, int], bytes]" = \
             OrderedDict()
 
@@ -84,37 +119,77 @@ class CoapFront:
         """Process one encoded request from ``endpoint`` (the source
         address on a real UDP socket); always returns a response
         datagram (malformed requests get a 4.00, never silence)."""
+        started = self.telemetry.now_fn()
         try:
             request = CoapMessage.decode(datagram)
         except CoapError as exc:
-            return CoapMessage(
+            response = CoapMessage(
                 mtype=CoapType.ACK, code=CoapCode.BAD_REQUEST,
                 message_id=0,
                 payload=_error_body("bad-datagram", 400,
                                     str(exc))).encode()
+            self.telemetry.request_started()
+            self.telemetry.observe_request(
+                "coap", "<bad-datagram>", 400, len(response),
+                self.telemetry.now_fn() - started)
+            return response
         key = (endpoint, request.token, request.message_id)
         cached = self._seen.get(key)
         if cached is not None:
+            # A replay is *not* new work: count the cache hit, mark it
+            # in the trace, and keep the original request's accounting.
             self._seen.move_to_end(key)
+            self._dedup_hits.inc()
+            if self.tracer.enabled:
+                self.tracer.instant("coap.dedup",
+                                    category="serve.coap",
+                                    args={"mid": request.message_id})
             return cached
-        try:
-            response = self._route(request)
-        except ServiceError as exc:
-            response = self._error(request, exc.status,
-                                   json.dumps(exc.to_body(),
-                                              sort_keys=True)
-                                   .encode("utf-8"))
-        except Exception as exc:
-            response = CoapMessage(
-                mtype=CoapType.ACK,
-                code=CoapCode.INTERNAL_SERVER_ERROR,
-                message_id=request.message_id, token=request.token,
-                payload=_error_body(
-                    "internal", 500,
-                    "%s: %s" % (type(exc).__name__, exc))).encode()
+        tracer = self.tracer
+        route = _coap_route_label(request)
+        remote = None
+        if tracer.enabled:
+            raw = request.option(CoapOption.TRACEPARENT)
+            if raw:
+                try:
+                    remote = parse_traceparent(raw.decode("ascii"))
+                except UnicodeDecodeError:
+                    remote = None
+        span_args = {"route": route}
+        if remote is not None:
+            span_args["remote_parent_id"] = remote[1]
+        self.telemetry.request_started()
+        with tracer.span("coap.request", category="serve.coap",
+                         start=started,
+                         trace_id=remote[0] if remote else None,
+                         **span_args) as root:
+            try:
+                response = self._route(request)
+                status = _COAP_CODE_TO_STATUS.get(response[1], 200)
+            except ServiceError as exc:
+                status = exc.status
+                response = self._error(request, exc.status,
+                                       json.dumps(exc.to_body(),
+                                                  sort_keys=True)
+                                       .encode("utf-8"))
+            except Exception as exc:
+                status = 500
+                response = CoapMessage(
+                    mtype=CoapType.ACK,
+                    code=CoapCode.INTERNAL_SERVER_ERROR,
+                    message_id=request.message_id, token=request.token,
+                    payload=_error_body(
+                        "internal", 500,
+                        "%s: %s" % (type(exc).__name__, exc))).encode()
+            if root is not None:
+                root.args["status"] = status
         self._seen[key] = response
         while len(self._seen) > self.DEDUP_WINDOW:
             self._seen.popitem(last=False)
+        self.telemetry.observe_request(
+            "coap", route, status, len(response),
+            self.telemetry.now_fn() - started,
+            trace_id=root.trace_id if root is not None else None)
         return response
 
     # -- routing ---------------------------------------------------------------
@@ -126,25 +201,31 @@ class CoapFront:
             if parts == ["devices"]:
                 return self._json_reply(
                     request, CoapCode.CREATED,
-                    service.register_device(_json_payload(request)))
+                    self._call(service.register_device,
+                               _json_payload(request)))
             if len(parts) == 3 and parts[0] == "devices" \
                     and parts[2] == "token":
                 body = _json_payload(request, optional=True)
                 return self._json_reply(
                     request, CoapCode.CHANGED,
-                    service.issue_token(
-                        _device_id(parts[1]),
-                        bool(body.get("supports_differential",
-                                      False))))
+                    self._call(service.issue_token,
+                               _device_id(parts[1]),
+                               bool(body.get("supports_differential",
+                                             False))))
             if len(parts) == 2 and parts[0] == "reports":
                 return self._json_reply(
                     request, CoapCode.CHANGED,
-                    service.close_token(parts[1],
-                                        _json_payload(request)))
+                    self._call(service.close_token, parts[1],
+                               _json_payload(request)))
         elif request.code == CoapCode.GET:
+            if parts == ["healthz"]:
+                body = json.dumps(
+                    service.health_snapshot(self.telemetry),
+                    sort_keys=True).encode("utf-8")
+                return self._blockwise(request, body)
             if len(parts) == 2 and parts[0] == "manifests":
                 body = json.dumps(
-                    service.resolve_manifest(parts[1]),
+                    self._call(service.resolve_manifest, parts[1]),
                     sort_keys=True).encode("utf-8")
                 return self._blockwise(request, body)
             if len(parts) == 2 and parts[0] == "images":
@@ -153,13 +234,20 @@ class CoapFront:
                            "%s %s is not a service endpoint"
                            % (request.code.name, "/".join(parts)))
 
+    def _call(self, fn, *args):
+        """A service call traced as ``service.<name>`` (same span
+        naming as the HTTP face, so merged traces read uniformly)."""
+        with self.tracer.span("service.%s" % fn.__name__,
+                              category="serve.service"):
+            return fn(*args)
+
     def _image(self, request: CoapMessage, token_hex: str) -> bytes:
         """Named-chunk GET: Block2 names an absolute payload range."""
         block = request.block2() or Block(num=0, more=False,
                                           size=DEFAULT_BLOCK_SIZE)
         offset = block.num * block.size
-        data, total = self.service.read_chunk(token_hex, offset,
-                                              block.size)
+        data, total = self._call(self.service.read_chunk, token_hex,
+                                 offset, block.size)
         more = offset + len(data) < total
         response = CoapMessage(
             mtype=CoapType.ACK, code=CoapCode.CONTENT,
@@ -253,12 +341,13 @@ class CoapDeviceClient:
     def __init__(self, relay: CoapDatagramRelay, device_id: int,
                  channel: str = "stable",
                  block_size: int = DEFAULT_BLOCK_SIZE,
-                 max_retries: int = 8) -> None:
+                 max_retries: int = 8, tracer=None) -> None:
         self.relay = relay
         self.device_id = device_id
         self.channel = channel
         self.block_size = block_size
         self.max_retries = max_retries
+        self.tracer = tracer or NULL_ASYNC_TRACER
         # The client's source address: every client must present a
         # distinct endpoint, because its deterministic token/MID
         # sequence is only unique within that scope.
@@ -267,6 +356,12 @@ class CoapDeviceClient:
         self._token_counter = 0
 
     async def run_session(self) -> Dict[str, object]:
+        with self.tracer.span("device.session", category="device",
+                              device_id=self.device_id,
+                              proto="coap"):
+            return await self._run_session()
+
+    async def _run_session(self) -> Dict[str, object]:
         register = await self._post_json(
             "devices", {"device_id": self.device_id,
                         "channel": self.channel})
@@ -315,14 +410,23 @@ class CoapDeviceClient:
         for segment in path.split("/"):
             message.add_option(CoapOption.URI_PATH,
                                segment.encode("utf-8"))
+        # Trace context rides in the datagram itself; because
+        # _exchange retransmits the already-encoded bytes, a lost
+        # response never mints a second trace_id for the same request.
+        traceparent = self.tracer.current_traceparent()
+        if traceparent is not None:
+            message.add_option(CoapOption.TRACEPARENT,
+                               traceparent.encode("ascii"))
         return message
 
     async def _post_json(self, path: str,
                          body: Dict[str, object]) -> Dict[str, object]:
-        request = self._request(CoapCode.POST, path)
-        request.payload = json.dumps(body, sort_keys=True) \
-            .encode("utf-8")
-        response = await self._exchange(request)
+        with self.tracer.span("coap.post", category="device",
+                              resource=path.split("/")[0]):
+            request = self._request(CoapCode.POST, path)
+            request.payload = json.dumps(body, sort_keys=True) \
+                .encode("utf-8")
+            response = await self._exchange(request)
         parsed = json.loads(response.payload.decode("utf-8")) \
             if response.payload else {}
         if response.code not in (CoapCode.CONTENT, CoapCode.CHANGED,
@@ -338,6 +442,12 @@ class CoapDeviceClient:
                              expected: Optional[int] = None) -> bytes:
         """Named-chunk download; lost responses re-request the same
         absolute block — overlap the service must (and does) allow."""
+        with self.tracer.span("coap.get", category="device",
+                              resource=path.split("/")[0]):
+            return await self._get_blocks(path, expected)
+
+    async def _get_blocks(self, path: str,
+                          expected: Optional[int] = None) -> bytes:
         chunks: Dict[int, bytes] = {}
         num = 0
         total: Optional[int] = expected
@@ -388,6 +498,28 @@ def _json_payload(request: CoapMessage,
         raise ServiceError("invalid-body", 400,
                            "payload must be a JSON object")
     return parsed
+
+
+def _coap_route_label(request: CoapMessage) -> str:
+    """Bounded route label for access logs/metrics (no token hex)."""
+    try:
+        method = CoapCode(request.code).name
+    except ValueError:             # pragma: no cover - codec rejects
+        method = str(int(request.code))
+    parts = [p for p in request.uri_path().split("/") if p]
+    if not parts:
+        return "%s <other>" % method
+    head = parts[0]
+    if head == "healthz" and len(parts) == 1:
+        return "%s healthz" % method
+    if head == "devices":
+        if len(parts) == 1:
+            return "%s devices" % method
+        if len(parts) == 3 and parts[2] == "token":
+            return "%s devices/{id}/token" % method
+    if head in ("manifests", "images", "reports") and len(parts) == 2:
+        return "%s %s/{token}" % (method, head)
+    return "%s <other>" % method
 
 
 def _device_id(raw: str) -> int:

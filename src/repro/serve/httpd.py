@@ -22,21 +22,40 @@ Routes (management shapes modeled on moonraker's update_manager)::
     POST   /campaigns/{name}/resume   resurrect from the WAL
     DELETE /campaigns/{name}          drop a finished campaign
     GET    /metrics                   OpenMetrics (chunked, typed)
+    GET    /healthz                   liveness + loop-lag p99
 
 Errors are :class:`~repro.serve.service.ServiceError` bodies verbatim:
 ``{"error": {"code", "status", "detail"}}`` — the CoAP face serializes
 the same object, so a client's error handling is protocol-portable.
+
+Observability (PR 9): every request is measured into a
+:class:`~repro.serve.telemetry.ServeTelemetry` (access log, per-route
+histograms, in-flight gauge) and — when an
+:class:`~repro.obs.asynctrace.AsyncTracer` is enabled — traced as a
+``parse -> handle -> service.* -> respond`` span tree.  An incoming
+W3C ``traceparent`` header grafts the request into the caller's trace
+(same trace_id, remote parent recorded in args), and
+:meth:`HttpServer._offload` copies the contextvars context into the
+executor so campaign calls appear as children of their request.  An
+:class:`~repro.serve.telemetry.EventLoopWatchdog` runs for the
+server's lifetime, sampling scheduling lag into ``/metrics`` and
+``/healthz``.
 """
 
 from __future__ import annotations
 
 import asyncio
+import contextvars
 import functools
 import json
+import time
 from typing import Dict, List, Optional, Tuple
 
+from ..obs.asynctrace import NULL_ASYNC_TRACER, TRACEPARENT_HEADER, \
+    parse_traceparent
 from ..obs.export import OPENMETRICS_CONTENT_TYPE
 from .service import FleetService, ServiceError
+from .telemetry import EventLoopWatchdog, ServeTelemetry
 
 __all__ = ["HttpServer", "MAX_BODY_BYTES"]
 
@@ -65,10 +84,16 @@ class HttpServer:
     """``asyncio.start_server`` front end over one FleetService."""
 
     def __init__(self, service: FleetService,
-                 host: str = "127.0.0.1", port: int = 0) -> None:
+                 host: str = "127.0.0.1", port: int = 0,
+                 telemetry: Optional[ServeTelemetry] = None,
+                 tracer=None) -> None:
         self.service = service
         self.host = host
         self.port = port
+        self.telemetry = telemetry \
+            or ServeTelemetry(service.metrics)
+        self.tracer = tracer or NULL_ASYNC_TRACER
+        self._watchdog = EventLoopWatchdog(self.telemetry)
         self._server: Optional[asyncio.AbstractServer] = None
         self._conn_tasks: "set[asyncio.Task]" = set()
 
@@ -76,10 +101,12 @@ class HttpServer:
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port)
         self.port = self._server.sockets[0].getsockname()[1]
+        self._watchdog.start()
 
     async def stop(self) -> None:
         """Close the listener and every live connection task — after
         this returns, the server has left ``asyncio.all_tasks()``."""
+        await self._watchdog.stop()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -116,59 +143,117 @@ class HttpServer:
                     # The request never framed (bad request line, bad
                     # or oversized Content-Length), so the stream
                     # position is unknown: answer and close.
+                    self.telemetry.request_started()
+                    nbytes = 0
                     try:
-                        await self._write_response(
+                        nbytes = await self._write_response(
                             writer, exc.status, exc.body, {}, True)
                     except (ConnectionResetError, BrokenPipeError):
                         pass
+                    self.telemetry.observe_request(
+                        "http", "<bad-request>", exc.status, nbytes,
+                        0.0)
                     break
                 if request is None:
                     break
-                method, path, headers, body = request
-                close = headers.get("connection", "").lower() == "close"
-                try:
-                    status, payload, extra = await self._dispatch(
-                        method, path, headers, body)
-                except _HttpError as exc:
-                    status, payload, extra = exc.status, exc.body, {}
-                except ServiceError as exc:
-                    status, payload, extra = (exc.status, exc.to_body(),
-                                              {})
-                except Exception as exc:
-                    status = 500
-                    payload = {"error": {
-                        "code": "internal", "status": 500,
-                        "detail": "%s: %s"
-                                  % (type(exc).__name__, exc)}}
-                    extra = {}
-                try:
-                    if extra.pop("_chunked", False):
-                        await self._write_chunked(
-                            writer, status, payload, extra, close)
-                    else:
-                        await self._write_response(
-                            writer, status, payload, extra, close)
-                except (ConnectionResetError, BrokenPipeError):
-                    break
-                if close:
+                if not await self._serve_request(writer, request):
                     break
         except asyncio.CancelledError:
             pass
         finally:
-            if task is not None:
-                self._conn_tasks.discard(task)
             writer.close()
             try:
                 await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError, OSError):
+            except (ConnectionResetError, BrokenPipeError, OSError,
+                    asyncio.CancelledError):
+                # Swallowing a cancel here is safe: the handler is
+                # about to finish anyway, and stop() must be able to
+                # gather this task to completion.
                 pass
+            # Deregister only once fully done — stop() snapshots
+            # _conn_tasks, and a task that removed itself before its
+            # last await could linger past stop() unobserved.
+            if task is not None:
+                self._conn_tasks.discard(task)
+
+    async def _serve_request(self, writer: asyncio.StreamWriter,
+                             request: Tuple[str, str, Dict[str, str],
+                                            bytes, float]) -> bool:
+        """Dispatch one framed request: trace it, write the response,
+        account it into the access log.  Returns False when the
+        connection must close (explicit Connection: close or a broken
+        peer)."""
+        method, path, headers, body, started = request
+        parsed_at = time.perf_counter()
+        close = headers.get("connection", "").lower() == "close"
+        route = _route_label(method, path)
+        tracer = self.tracer
+        self.telemetry.request_started()
+        remote = None
+        if tracer.enabled:
+            header = headers.get(TRACEPARENT_HEADER)
+            remote = parse_traceparent(header) if header else None
+        span_args = {"method": method, "route": route}
+        if remote is not None:
+            span_args["remote_parent_id"] = remote[1]
+        status = 500
+        nbytes = 0
+        alive = not close
+        with tracer.span("http.request", category="serve.http",
+                         start=started,
+                         trace_id=remote[0] if remote else None,
+                         **span_args) as root:
+            tracer.record_span("parse", started, parsed_at,
+                               category="serve.http")
+            try:
+                with tracer.span("handle", category="serve.http"):
+                    status, payload, extra = await self._dispatch(
+                        method, path, headers, body)
+            except _HttpError as exc:
+                status, payload, extra = exc.status, exc.body, {}
+            except ServiceError as exc:
+                status, payload, extra = (exc.status, exc.to_body(),
+                                          {})
+            except Exception as exc:
+                status = 500
+                payload = {"error": {
+                    "code": "internal", "status": 500,
+                    "detail": "%s: %s"
+                              % (type(exc).__name__, exc)}}
+                extra = {}
+            try:
+                with tracer.span("respond", category="serve.http"):
+                    if extra.pop("_chunked", False):
+                        nbytes = await self._write_chunked(
+                            writer, status, payload, extra, close)
+                    else:
+                        nbytes = await self._write_response(
+                            writer, status, payload, extra, close)
+            except (ConnectionResetError, BrokenPipeError):
+                alive = False
+            if root is not None:
+                root.args["status"] = status
+        duration = time.perf_counter() - started
+        span_tree = None
+        if root is not None and duration * 1000.0 \
+                >= self.telemetry.slow_request_ms:
+            span_tree = tracer.subtree(root)
+        self.telemetry.observe_request(
+            "http", route, status, nbytes, duration,
+            trace_id=root.trace_id if root is not None else None,
+            span_tree=span_tree)
+        return alive
 
     async def _read_request(
             self, reader: asyncio.StreamReader
-    ) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+    ) -> Optional[Tuple[str, str, Dict[str, str], bytes, float]]:
         line = await reader.readline()
         if not line or line in (b"\r\n", b"\n"):
             return None
+        # Timestamp the moment the request line lands, not when the
+        # keep-alive connection went idle — parse time and request
+        # duration both anchor here.
+        started = time.perf_counter()
         try:
             method, path, _version = \
                 line.decode("ascii").strip().split(" ", 2)
@@ -196,7 +281,7 @@ class HttpServer:
             raise _HttpError(413, "body-too-large",
                              "body exceeds %d bytes" % MAX_BODY_BYTES)
         body = await reader.readexactly(length) if length else b""
-        return method.upper(), path, headers, body
+        return method.upper(), path, headers, body, started
 
     # -- routing ---------------------------------------------------------------
 
@@ -209,45 +294,73 @@ class HttpServer:
         if not parts:
             return 200, self._directory(), {}
         if parts == ["metrics"] and method == "GET":
-            return 200, service.openmetrics(), {"_chunked": True}
+            return 200, self._call(service.openmetrics), \
+                {"_chunked": True}
+        if parts == ["healthz"] and method == "GET":
+            return 200, service.health_snapshot(self.telemetry), {}
         if parts == ["channels"] and method == "GET":
-            return 200, service.channel_status(), {}
+            return 200, self._call(service.channel_status), {}
         if parts[0] == "devices":
             return self._dispatch_devices(method, parts, body)
         if parts[0] == "manifests" and len(parts) == 2 \
                 and method == "GET":
-            return 200, service.resolve_manifest(parts[1]), {}
+            return 200, self._call(service.resolve_manifest,
+                                   parts[1]), {}
         if parts[0] == "images" and len(parts) == 2 and method == "GET":
             return self._dispatch_image(parts[1], headers, query)
         if parts[0] == "reports" and len(parts) == 2 \
                 and method == "POST":
-            return 200, service.close_token(parts[1],
-                                            _json_body(body)), {}
+            return 200, self._call(service.close_token, parts[1],
+                                   _json_body(body)), {}
         if parts[0] == "campaigns":
             return await self._dispatch_campaigns(method, parts, body)
         raise _HttpError(404, "unknown-route",
                          "%s %s is not a service endpoint"
                          % (method, path))
 
-    @staticmethod
-    async def _offload(fn, *args, **kwargs):
+    def _call(self, fn, *args):
+        """An inline (on-loop) service call, traced as a
+        ``service.<name>`` child span of the current request."""
+        with self.tracer.span("service.%s" % fn.__name__,
+                              category="serve.service"):
+            return fn(*args)
+
+    async def _offload(self, fn, *args, **kwargs):
         """Run a potentially long service call on the default
         executor.  Device-session calls are sub-millisecond in-memory
         operations and stay on the loop; campaign calls build worlds
         (up to 100k simulated devices), replay WALs, and honour
         ``wait: true`` joins — any of which would stall every other
-        connection if run on the loop thread."""
+        connection if run on the loop thread.
+
+        The call runs inside a copy of the *current* contextvars
+        context (``run_in_executor``, unlike ``asyncio.to_thread``,
+        does not copy it), so the tracer's span context crosses the
+        thread hop and the campaign call records as a child span of
+        its request."""
         loop = asyncio.get_running_loop()
         if kwargs:
             fn = functools.partial(fn, **kwargs)
-        return await loop.run_in_executor(None, fn, *args)
+        tracer = self.tracer
+        if tracer.enabled:
+            name = getattr(fn, "func", fn).__name__
+            inner = fn
+
+            def fn(*call_args):
+                with tracer.span("service.%s" % name,
+                                 category="serve.service"):
+                    return inner(*call_args)
+
+        ctx = contextvars.copy_context()
+        return await loop.run_in_executor(None, ctx.run, fn, *args)
 
     def _dispatch_devices(self, method: str, parts: List[str],
                           body: bytes
                           ) -> Tuple[int, object, Dict[str, str]]:
         service = self.service
         if len(parts) == 1 and method == "POST":
-            return 201, service.register_device(_json_body(body)), {}
+            return 201, self._call(service.register_device,
+                                   _json_body(body)), {}
         if len(parts) >= 2:
             try:
                 device_id = int(parts[1])
@@ -255,12 +368,13 @@ class HttpServer:
                 raise _HttpError(400, "invalid-device-id",
                                  "device id must be an integer")
             if len(parts) == 2 and method == "GET":
-                return 200, service.device_status(device_id), {}
+                return 200, self._call(service.device_status,
+                                       device_id), {}
             if len(parts) == 3 and parts[2] == "token" \
                     and method == "POST":
                 req = _json_body(body) if body else {}
-                return 201, service.issue_token(
-                    device_id,
+                return 201, self._call(
+                    service.issue_token, device_id,
                     bool(req.get("supports_differential", False))), {}
         raise _HttpError(405, "method-not-allowed",
                          "unsupported device operation")
@@ -271,8 +385,8 @@ class HttpServer:
         offset, length, ranged = _parse_range(headers.get("range"),
                                               query)
         try:
-            data, total = self.service.read_chunk(token_hex, offset,
-                                                  length)
+            data, total = self._call(self.service.read_chunk,
+                                     token_hex, offset, length)
         except ServiceError as exc:
             if exc.status == 416:
                 raise _RangeError(exc)
@@ -337,6 +451,7 @@ class HttpServer:
                 "POST /campaigns/{name}/refresh",
                 "POST /campaigns/{name}/resume",
                 "DELETE /campaigns/{name}", "GET /metrics",
+                "GET /healthz",
             ],
         }
 
@@ -345,7 +460,7 @@ class HttpServer:
     async def _write_response(self, writer: asyncio.StreamWriter,
                               status: int, payload: object,
                               extra: Dict[str, str],
-                              close: bool) -> None:
+                              close: bool) -> int:
         if isinstance(payload, (bytes, bytearray)):
             body = bytes(payload)
             content_type = extra.pop("Content-Type",
@@ -365,11 +480,12 @@ class HttpServer:
         writer.write(("\r\n".join(headers) + "\r\n\r\n")
                      .encode("latin-1") + body)
         await writer.drain()
+        return len(body)
 
     async def _write_chunked(self, writer: asyncio.StreamWriter,
                              status: int, payload: object,
                              extra: Dict[str, str],
-                             close: bool) -> None:
+                             close: bool) -> int:
         text = payload if isinstance(payload, str) \
             else json.dumps(payload, sort_keys=True)
         body = text.encode("utf-8")
@@ -388,12 +504,45 @@ class HttpServer:
             writer.write(b"%x\r\n%s\r\n" % (len(chunk), chunk))
         writer.write(b"0\r\n\r\n")
         await writer.drain()
+        return len(body)
 
 
 class _RangeError(_HttpError):
     def __init__(self, err: ServiceError) -> None:
         super().__init__(err.status, err.code, err.detail)
         self.body = err.to_body()
+
+
+def _route_label(method: str, target: str) -> str:
+    """Collapse a request target to a bounded route label.
+
+    Access-log lines and per-route metric families must never carry
+    token hex or device ids — cardinality would grow with traffic —
+    so paths fold onto the endpoint directory's templates."""
+    path = target.partition("?")[0]
+    parts = [p for p in path.split("/") if p]
+    if not parts:
+        return "%s /" % method
+    head = parts[0]
+    if head in ("metrics", "healthz", "channels") and len(parts) == 1:
+        return "%s /%s" % (method, head)
+    if head in ("manifests", "images", "reports") and len(parts) == 2:
+        return "%s /%s/{token}" % (method, head)
+    if head == "devices":
+        if len(parts) == 1:
+            return "%s /devices" % method
+        if len(parts) == 2:
+            return "%s /devices/{id}" % method
+        if len(parts) == 3 and parts[2] == "token":
+            return "%s /devices/{id}/token" % method
+    if head == "campaigns":
+        if len(parts) == 1:
+            return "%s /campaigns" % method
+        if len(parts) == 2:
+            return "%s /campaigns/{name}" % method
+        if len(parts) == 3 and parts[2] in ("refresh", "resume"):
+            return "%s /campaigns/{name}/%s" % (method, parts[2])
+    return "%s <other>" % method
 
 
 def _json_body(body: bytes) -> Dict[str, object]:

@@ -835,6 +835,33 @@ class FleetService:
 
     # -- metrics ---------------------------------------------------------------
 
+    def health_snapshot(self, telemetry: Optional[object] = None
+                        ) -> Dict[str, object]:
+        """The liveness body shared by ``GET /healthz`` (HTTP) and the
+        ``healthz`` CoAP resource — the parity test compares the two
+        faces' payload shape.  A face passes its
+        :class:`~repro.serve.telemetry.ServeTelemetry` to contribute
+        uptime, in-flight requests and event-loop lag; a bare service
+        reports zeros for those so the shape never varies."""
+        with self._lock:
+            snapshot: Dict[str, object] = {
+                "status": "ok",
+                "devices_registered": len(self._devices),
+                "campaigns": len(self._campaigns),
+                "open_tokens": sum(
+                    1 for record in self._tokens.values()
+                    if record.state != TOKEN_CLOSED),
+                "requests_total": int(self._requests.value),
+            }
+        if telemetry is not None:
+            snapshot.update(telemetry.health())
+        else:
+            snapshot.update({"uptime_seconds": 0.0,
+                             "in_flight_requests": 0,
+                             "event_loop_lag_p99_ms": 0.0,
+                             "slow_requests": 0, "loop_stalls": 0})
+        return snapshot
+
     def openmetrics(self) -> str:
         from ..obs.export import to_openmetrics
         registries: List[Tuple[str, MetricsRegistry]] = [

@@ -813,6 +813,13 @@ def _gate_server(problems: List[str], current: Dict[str, object],
                 "(-%.0f%%, tolerance %.0f%%)"
                 % (metric, new, old, 100.0 * (old - new) / old,
                    100.0 * tolerance))
+    if isinstance(current.get("trace_overhead"), dict):
+        # Tracing-overhead budget (PR 9): when the current run measured
+        # an on-vs-off pair (`cli swarm --trace`), hold tracing-on to
+        # within its req/s budget regardless of what the baseline ran.
+        from .swarm import trace_overhead_problems
+        problems.extend("server " + p
+                        for p in trace_overhead_problems(current))
 
 
 def _gate_section(problems: List[str], current: Dict[str, object],

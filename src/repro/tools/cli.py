@@ -417,24 +417,30 @@ def cmd_serve(args: argparse.Namespace) -> int:
     Stands up one :class:`~repro.serve.service.FleetService` with the
     demo release channels seeded, journaling network-created campaigns
     under ``--journal-dir`` so a killed server resumes them
-    byte-identically (``POST /campaigns/{name}/resume``).
+    byte-identically (``POST /campaigns/{name}/resume``).  With
+    ``--access-log`` every request is appended to a JSON-lines file
+    (route, status, bytes, duration, trace_id).
     """
     import asyncio
 
-    from ..serve import FleetService, HttpServer
+    from ..serve import FleetService, HttpServer, ServeTelemetry
 
     service = FleetService(journal_dir=args.journal_dir,
                            chunk_size=args.chunk_size)
     service.seed_channels(image_size=args.image_size)
+    telemetry = ServeTelemetry(service.metrics,
+                               access_log_path=args.access_log)
 
     async def run() -> None:
-        async with HttpServer(service, host=args.host,
-                              port=args.port) as server:
+        async with HttpServer(service, host=args.host, port=args.port,
+                              telemetry=telemetry) as server:
             print("upkit serve: http://%s:%d (channels: %s)"
                   % (args.host, server.port,
                      ", ".join(sorted(service.channels))))
             if args.journal_dir:
                 print("campaign WAL dir: %s" % args.journal_dir)
+            if args.access_log:
+                print("access log: %s" % args.access_log)
             try:
                 await asyncio.Event().wait()
             except asyncio.CancelledError:
@@ -444,6 +450,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         asyncio.run(run())
     except KeyboardInterrupt:
         print("upkit serve: shutting down")
+    finally:
+        telemetry.close()
     return 0
 
 
@@ -456,16 +464,35 @@ def cmd_swarm(args: argparse.Namespace) -> int:
     (bench schema v5).  Exit status 1 when any session failed, or —
     with ``--baseline`` — when p99/RSS grew or req/s dropped by more
     than ``--tolerance`` against a previous artifact.
+
+    With ``--trace`` the swarm runs twice — tracing off for the gated
+    numbers, then on — writing one merged device+server Chrome-trace
+    (``--trace-out``, trace schema v2) and a ``trace_overhead`` block
+    into the bench artifact; the run fails when tracing-on costs more
+    than ``--trace-budget`` of req/s.
     """
     from . import bench, report as report_mod, swarm
 
-    results = swarm.run_benchmark(sessions=args.sessions,
-                                  concurrency=args.concurrency,
-                                  image_size=args.image_size,
-                                  chunk_bytes=args.chunk_bytes)
+    trace_problems: list = []
+    if args.trace:
+        results, trace_doc = swarm.run_traced_benchmark(
+            sessions=args.sessions, concurrency=args.concurrency,
+            image_size=args.image_size, chunk_bytes=args.chunk_bytes)
+        trace_path = report_mod.write_report(trace_doc, args.trace_out,
+                                             "trace")
+        trace_problems = swarm.trace_overhead_problems(
+            results.get("server", {}), budget=args.trace_budget)
+    else:
+        results = swarm.run_benchmark(sessions=args.sessions,
+                                      concurrency=args.concurrency,
+                                      image_size=args.image_size,
+                                      chunk_bytes=args.chunk_bytes)
+        trace_path = None
     path = swarm.write_results(results, args.out)
     print(swarm.format_summary(results))
     print("wrote %s" % path)
+    if trace_path is not None:
+        print("wrote %s" % trace_path)
     server = results.get("server", {})
     failed = server.get("failed_sessions", 0)
     if failed:
@@ -473,6 +500,10 @@ def cmd_swarm(args: argparse.Namespace) -> int:
             print("FAILED: %s" % failure)
         print("%d of %d sessions failed" % (failed,
                                             server.get("sessions", 0)))
+        return 1
+    for problem in trace_problems:
+        print("TRACE OVERHEAD: %s" % problem)
+    if trace_problems:
         return 1
     if args.baseline is None:
         return 0
@@ -736,6 +767,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="advertised image chunk size (bytes)")
     serve.add_argument("--image-size", type=int, default=8 * 1024,
                        help="demo channel firmware size (bytes)")
+    serve.add_argument("--access-log", default=None,
+                       help="append one JSON line per request "
+                            "(route, status, bytes, duration, trace_id)")
     serve.add_argument("--journal-dir", default=None,
                        help="directory for campaign WALs + specs "
                             "(enables kill-and-resume)")
@@ -755,6 +789,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="bench artifact to regression-gate "
                             "against (exit 1 on regression)")
     swarm.add_argument("--tolerance", type=float, default=0.20)
+    swarm.add_argument("--trace", action="store_true",
+                       help="also run with distributed tracing on and "
+                            "write a merged device+server Chrome trace")
+    swarm.add_argument("--trace-out", default="SWARM_trace.json")
+    swarm.add_argument("--trace-budget", type=float, default=0.15,
+                       help="max fraction of req/s tracing may cost "
+                            "before the run fails")
     swarm.set_defaults(func=cmd_swarm)
 
     report = sub.add_parser(

@@ -36,7 +36,7 @@ __all__ = [
 #: Current schema version per report kind.  Bump a kind's version when
 #: its document shape changes; teach :func:`validate_data` about the
 #: old shape so existing artifacts keep loading.
-SCHEMA_VERSIONS: Dict[str, int] = {"bench": 5, "chaos": 4, "trace": 1,
+SCHEMA_VERSIONS: Dict[str, int] = {"bench": 5, "chaos": 4, "trace": 2,
                                    "fleetview": 1, "delta": 1}
 
 #: Keys every bench-v5 ``server`` section (the swarm bench artifact,
@@ -282,15 +282,75 @@ def validate_data(kind: str, version: int,
                     "fleet has %d" % (accounted, data["devices"]))
     elif kind == "trace":
         # The trace artifact *is* a Chrome-trace document (Perfetto and
-        # chrome://tracing ignore the extra top-level keys).
-        errors += _require(data, ["traceEvents", "metrics",
-                                  "configurations"], kind)
+        # chrome://tracing ignore the extra top-level keys).  v1 wrote
+        # device-plane documents (`configurations` + `metrics`); v2
+        # additionally recognises *merged* device+server documents from
+        # ``cli swarm --trace``, stamped with a ``join`` section naming
+        # the pid lane of each plane so the trace_id join can be
+        # checked.
+        errors += _require(data, ["traceEvents"], kind)
+        if version >= 2 and "join" in data:
+            join = data.get("join")
+            if not isinstance(join, dict) or not {
+                    "device_pid", "server_pid"} <= set(join):
+                errors.append("trace join section needs "
+                              "device_pid/server_pid")
+                join = None
+        else:
+            # Device-plane document: the v1 shape stays valid under v2.
+            errors += _require(data, ["metrics", "configurations"], kind)
+            join = None
         events = data.get("traceEvents")
         if isinstance(events, list):
             from ..obs.trace import containment_errors
             errors += containment_errors(events)
+            if join is not None:
+                errors += _trace_join_errors(events, join)
         elif events is not None:
             errors.append("trace report traceEvents must be a list")
+    return errors
+
+
+def _trace_join_errors(events: List[Dict[str, object]],
+                       join: Dict[str, object]) -> List[str]:
+    """Check that server-plane spans join device sessions by trace_id.
+
+    A merged swarm trace carries one ``device.session`` root span per
+    simulated device (``join["device_pid"]``) and one request root span
+    per server-side request (``join["server_pid"]``).  Cross-process
+    parentage is deliberately *not* expressed via parent_id (pids are
+    separate span namespaces); the join contract is that every server
+    root's ``args.trace_id`` was minted by some device session.
+    """
+    device_pid = join.get("device_pid")
+    server_pid = join.get("server_pid")
+    device_ids = set()
+    server_roots = []
+    for event in events:
+        if not isinstance(event, dict) or event.get("ph") != "X":
+            continue
+        args = event.get("args")
+        if not isinstance(args, dict) or args.get("parent_id") is not None:
+            continue  # only root spans carry the join contract
+        trace_id = args.get("trace_id")
+        if event.get("pid") == device_pid and trace_id is not None:
+            device_ids.add(trace_id)
+        elif event.get("pid") == server_pid:
+            server_roots.append((event.get("name"), trace_id))
+    errors = []
+    if not device_ids:
+        errors.append("trace join: no device-plane root spans with a "
+                      "trace_id under pid %r" % device_pid)
+    if not server_roots:
+        errors.append("trace join: no server-plane root spans under "
+                      "pid %r" % server_pid)
+    orphans = sorted({str(tid) for name, tid in server_roots
+                      if tid not in device_ids})
+    if orphans:
+        errors.append(
+            "trace join: %d server root span(s) carry trace_ids minted "
+            "by no device session (e.g. %s)"
+            % (len(orphans), ", ".join(orphans[:3])))
     return errors
 
 

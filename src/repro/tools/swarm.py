@@ -15,6 +15,16 @@ A session that deviates anywhere — unexpected status, digest
 mismatch, short read — counts as *failed*, and schema v5 refuses
 artifacts with ``failed_sessions != 0``: the bench is only meaningful
 over a fully correct run.
+
+Tracing (PR 9): ``run_traced_benchmark`` runs the bench twice —
+tracing off (the gated numbers) then tracing on — and records the
+overhead (req/s and p99 delta) into the ``server`` section's
+``trace_overhead`` block, gated against
+:data:`TRACE_OVERHEAD_BUDGET` by ``--baseline`` comparisons.  The
+traced run also yields one *merged* Chrome-trace document: device
+session spans (pid 1) and the server request spans they caused
+(pid 2), joined by the trace_id each session propagated through its
+``traceparent`` headers.
 """
 
 from __future__ import annotations
@@ -26,18 +36,26 @@ import time
 from hashlib import sha256
 from typing import Dict, List, Optional, Tuple
 
+from ..obs.asynctrace import AsyncTracer, NULL_ASYNC_TRACER, \
+    TRACEPARENT_HEADER
 from ..obs.slo import percentile
+from ..obs.trace import merge_chrome_traces
 
 __all__ = [
     "DEFAULT_SESSIONS",
     "DEFAULT_CONCURRENCY",
     "DEFAULT_IMAGE_SIZE",
     "DEFAULT_CHUNK_BYTES",
+    "DEVICE_TRACE_PID",
+    "SERVER_TRACE_PID",
+    "TRACE_OVERHEAD_BUDGET",
     "ENDPOINT_CLASSES",
     "SwarmHttpClient",
     "SwarmError",
     "run_swarm",
     "run_benchmark",
+    "run_traced_benchmark",
+    "trace_overhead_problems",
     "write_results",
     "format_summary",
 ]
@@ -49,6 +67,13 @@ DEFAULT_CHUNK_BYTES = 2048
 DEVICE_ID_BASE = 0x40000000
 ENDPOINT_CLASSES = ("register", "token", "manifest", "chunk",
                     "report")
+
+#: Export pids of the merged swarm trace: device plane vs serve plane.
+DEVICE_TRACE_PID = 1
+SERVER_TRACE_PID = 2
+
+#: Tracing-on must keep at least (1 - budget) of tracing-off req/s.
+TRACE_OVERHEAD_BUDGET = 0.15
 
 
 class SwarmError(RuntimeError):
@@ -162,16 +187,38 @@ async def run_http_session(client: SwarmHttpClient, device_id: int,
                            chunk_bytes: int,
                            channel: str = "stable",
                            timings: Optional[
-                               Dict[str, List[float]]] = None
+                               Dict[str, List[float]]] = None,
+                           tracer: Optional[AsyncTracer] = None
                            ) -> Dict[str, object]:
     """The full device flow on an open client; returns the
-    device-visible outcome (same shape as the CoAP client's)."""
+    device-visible outcome (same shape as the CoAP client's).
 
+    With an enabled ``tracer``, the session becomes a
+    ``device.session`` root span, each request a child span whose
+    traceparent rides the HTTP header — the server grafts its request
+    spans onto that trace_id, which is the cross-plane join the trace
+    validator checks."""
+    tracer = tracer or NULL_ASYNC_TRACER
+    with tracer.span("device.session", category="device",
+                     device_id=device_id, proto="http"):
+        return await _run_http_flow(client, device_id, chunk_bytes,
+                                    channel, timings, tracer)
+
+
+async def _run_http_flow(client: SwarmHttpClient, device_id: int,
+                         chunk_bytes: int, channel: str,
+                         timings: Optional[Dict[str, List[float]]],
+                         tracer: AsyncTracer) -> Dict[str, object]:
     async def timed(cls: str, method: str, path: str,
                     body=None, headers=None, expect=(200, 201)):
-        start = time.perf_counter()
-        status, resp_headers, resp = await client.request(
-            method, path, body, headers)
+        with tracer.span("http.%s" % cls, category="device"):
+            traceparent = tracer.current_traceparent()
+            if traceparent is not None:
+                headers = dict(headers or {})
+                headers[TRACEPARENT_HEADER] = traceparent
+            start = time.perf_counter()
+            status, resp_headers, resp = await client.request(
+                method, path, body, headers)
         if timings is not None:
             timings[cls].append(
                 (time.perf_counter() - start) * 1000.0)
@@ -231,7 +278,8 @@ async def run_swarm(host: str, port: int,
                     sessions: int = DEFAULT_SESSIONS,
                     concurrency: int = DEFAULT_CONCURRENCY,
                     chunk_bytes: int = DEFAULT_CHUNK_BYTES,
-                    device_id_base: int = DEVICE_ID_BASE
+                    device_id_base: int = DEVICE_ID_BASE,
+                    tracer: Optional[AsyncTracer] = None
                     ) -> Dict[str, object]:
     """Drive ``sessions`` full device flows; returns the ``server``
     metrics section (see module docstring for the contract)."""
@@ -253,7 +301,8 @@ async def run_swarm(host: str, port: int,
                 await client.connect()
                 await run_http_session(client,
                                        device_id_base + index,
-                                       chunk_bytes, timings=timings)
+                                       chunk_bytes, timings=timings,
+                                       tracer=tracer)
                 session_ms.append(
                     (time.perf_counter() - start) * 1000.0)
             except (SwarmError, OSError, asyncio.IncompleteReadError,
@@ -313,20 +362,117 @@ def run_benchmark(sessions: int = DEFAULT_SESSIONS,
     """Self-hosted bench: stand up one server process' worth of
     service + HTTP face, swarm it, tear it down.  Returns the full
     artifact document (``{"server": ...}``)."""
+    return _run_benchmark(sessions, concurrency, image_size,
+                          chunk_bytes, host)
+
+
+def _run_benchmark(sessions: int, concurrency: int, image_size: int,
+                   chunk_bytes: int, host: str,
+                   client_tracer: Optional[AsyncTracer] = None,
+                   server_tracer: Optional[AsyncTracer] = None
+                   ) -> Dict[str, object]:
     from ..serve import FleetService, HttpServer
 
     async def main() -> Dict[str, object]:
         service = FleetService()
         service.seed_channels(image_size=image_size)
-        async with HttpServer(service, host=host) as server:
+        async with HttpServer(service, host=host,
+                              tracer=server_tracer) as server:
             section = await run_swarm(
                 host, server.port, sessions=sessions,
-                concurrency=concurrency, chunk_bytes=chunk_bytes)
+                concurrency=concurrency, chunk_bytes=chunk_bytes,
+                tracer=client_tracer)
         section["image_bytes"] = image_size
         section["served_devices"] = service.device_count()
         return {"server": section}
 
     return asyncio.run(main())
+
+
+def run_traced_benchmark(sessions: int = DEFAULT_SESSIONS,
+                         concurrency: int = DEFAULT_CONCURRENCY,
+                         image_size: int = DEFAULT_IMAGE_SIZE,
+                         chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+                         host: str = "127.0.0.1"
+                         ) -> Tuple[Dict[str, object],
+                                    Dict[str, object]]:
+    """The overhead-accounted bench: tracing off, then tracing on.
+
+    Returns ``(results, trace_doc)``.  ``results`` is the tracing-off
+    artifact (so ``--baseline`` comparisons against plain runs stay
+    apples-to-apples) with a ``server.trace_overhead`` block recording
+    both runs' req/s and p99; ``trace_doc`` is the merged Chrome-trace
+    document (device plane at :data:`DEVICE_TRACE_PID`, server at
+    :data:`SERVER_TRACE_PID`, ``join`` metadata for the validator's
+    trace_id-join check).
+    """
+    results = _run_benchmark(sessions, concurrency, image_size,
+                             chunk_bytes, host)
+    client_tracer = AsyncTracer(enabled=True)
+    server_tracer = AsyncTracer(enabled=True)
+    traced = _run_benchmark(sessions, concurrency, image_size,
+                            chunk_bytes, host,
+                            client_tracer=client_tracer,
+                            server_tracer=server_tracer)
+    server = results["server"]
+    on_server = traced["server"]
+    off_rps = float(server.get("req_per_s") or 0.0)
+    on_rps = float(on_server.get("req_per_s") or 0.0)
+    off_p99 = float(server.get("p99_session_ms") or 0.0)
+    on_p99 = float(on_server.get("p99_session_ms") or 0.0)
+    server["trace_overhead"] = {
+        "req_per_s_off": off_rps,
+        "req_per_s_on": on_rps,
+        "req_per_s_delta_pct":
+            round(100.0 * (off_rps - on_rps) / off_rps, 1)
+            if off_rps else 0.0,
+        "p99_session_ms_off": off_p99,
+        "p99_session_ms_on": on_p99,
+        "p99_session_delta_pct":
+            round(100.0 * (on_p99 - off_p99) / off_p99, 1)
+            if off_p99 else 0.0,
+        "failed_sessions_on": on_server.get("failed_sessions", 0),
+    }
+    trace_doc = merge_chrome_traces([
+        client_tracer.to_chrome_trace(pid=DEVICE_TRACE_PID,
+                                      process_name="swarm-devices"),
+        server_tracer.to_chrome_trace(pid=SERVER_TRACE_PID,
+                                      process_name="upkit-serve"),
+    ])
+    trace_doc["join"] = {"device_pid": DEVICE_TRACE_PID,
+                         "server_pid": SERVER_TRACE_PID}
+    return results, trace_doc
+
+
+def trace_overhead_problems(server: Dict[str, object],
+                            budget: float = TRACE_OVERHEAD_BUDGET
+                            ) -> List[str]:
+    """Gate problems from a ``server`` section's ``trace_overhead``
+    block; empty when the block is absent or within budget."""
+    overhead = server.get("trace_overhead") \
+        if isinstance(server, dict) else None
+    if not isinstance(overhead, dict):
+        return []
+    problems: List[str] = []
+    try:
+        off = float(overhead["req_per_s_off"])     # type: ignore
+        on = float(overhead["req_per_s_on"])       # type: ignore
+    except (KeyError, TypeError, ValueError):
+        return ["trace_overhead lacks numeric req_per_s_off/"
+                "req_per_s_on"]
+    if off <= 0.0:
+        return ["trace_overhead records non-positive tracing-off "
+                "req/s"]
+    if on < off * (1.0 - budget):
+        problems.append(
+            "tracing overhead exceeds %.0f%% req/s budget: "
+            "%.1f req/s on vs %.1f off (-%.1f%%)"
+            % (budget * 100.0, on, off, 100.0 * (off - on) / off))
+    failed = overhead.get("failed_sessions_on")
+    if failed:
+        problems.append("tracing-on run had %s failed sessions"
+                        % failed)
+    return problems
 
 
 def write_results(results: Dict[str, object], path: str) -> str:
@@ -359,4 +505,14 @@ def format_summary(results: Dict[str, object]) -> str:
                 "  %-9s %6d reqs  p50 %8.2f ms  p99 %8.2f ms"
                 % (cls, entry["count"], entry.get("p50_ms") or 0.0,
                    entry.get("p99_ms") or 0.0))
+    overhead = server.get("trace_overhead")
+    if isinstance(overhead, dict):
+        lines.append(
+            "  tracing overhead: %.0f req/s on vs %.0f off "
+            "(%.1f%% drop)  p99 %.1f -> %.1f ms"
+            % (overhead.get("req_per_s_on") or 0.0,
+               overhead.get("req_per_s_off") or 0.0,
+               overhead.get("req_per_s_delta_pct") or 0.0,
+               overhead.get("p99_session_ms_off") or 0.0,
+               overhead.get("p99_session_ms_on") or 0.0))
     return "\n".join(lines)
