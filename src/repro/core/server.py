@@ -86,11 +86,18 @@ class UpdateServer:
     def __init__(self, identity: SigningIdentity,
                  cipher: Optional[StreamCipher] = None,
                  delta_cache_size: int = DEFAULT_DELTA_CACHE_SIZE,
-                 artifacts: Optional[ArtifactCache] = None) -> None:
+                 artifacts: Optional[ArtifactCache] = None,
+                 sign_fn=None) -> None:
         if delta_cache_size < 1:
             raise ValueError("delta_cache_size must be at least 1")
         self.identity = identity
         self.cipher = cipher
+        #: Envelope-signing override: the serve plane's signer pool
+        #: passes a closure that signs through the shared fast engine
+        #: and the single-flight signature cache.  Byte-identical to
+        #: ``identity.sign`` by the engine-parity contract; not pickled
+        #: (process-pool workers fall back to ``identity.sign``).
+        self._sign_fn = sign_fn
         self.delta_cache_size = delta_cache_size
         self.stats = ServerStats()
         #: Content-addressed layer under the version-pair LRU: deltas
@@ -180,12 +187,13 @@ class UpdateServer:
         # bound manifest (interrupted transfers, flaky links) reuses
         # the signature instead of re-running scalar multiplication.
         message = manifest.pack() + release.vendor_signature
+        sign = self._sign_fn or self.identity.sign
         envelope = SignedManifest(
             manifest=manifest,
             vendor_signature=release.vendor_signature,
             server_signature=self.artifacts.get_or_create(
                 message, b"", b"ecdsa-envelope:" + self.identity.role.encode(),
-                lambda: self.identity.sign(message)),
+                lambda: sign(message)),
         )
         image = UpdateImage(envelope=envelope, payload=payload)
         with self._stats_lock:
@@ -287,9 +295,13 @@ class UpdateServer:
         state = self.__dict__.copy()
         del state["_stats_lock"]
         del state["_delta_lock"]
+        # Signer-pool closures hold an executor; workers re-sign via the
+        # identity (byte-identical output, so parity is unaffected).
+        state["_sign_fn"] = None
         return state
 
     def __setstate__(self, state: dict) -> None:
         self.__dict__.update(state)
         self._stats_lock = threading.Lock()
         self._delta_lock = threading.Lock()
+        self.__dict__.setdefault("_sign_fn", None)

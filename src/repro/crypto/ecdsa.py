@@ -9,9 +9,10 @@ that constrained verifiers prefer over DER.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from .ecc import P256, CurveError, Point
-from .engine import get_engine
+from .engine import CryptoEngine, get_engine
 from .rfc6979 import deterministic_nonce, hmac_sha256
 
 __all__ = [
@@ -101,23 +102,33 @@ class PrivateKey:
     def public_key(self) -> PublicKey:
         return PublicKey(get_engine().multiply_base(self.scalar))
 
-    def sign(self, message: bytes) -> Signature:
-        """Deterministic (RFC 6979) ECDSA signature over SHA-256(message)."""
-        return self.sign_digest(get_engine().sha256(message))
+    def sign(self, message: bytes,
+             engine: Optional[CryptoEngine] = None) -> Signature:
+        """Deterministic (RFC 6979) ECDSA signature over SHA-256(message).
 
-    def sign_digest(self, digest: bytes) -> Signature:
+        ``engine`` pins a specific crypto engine for this signature (the
+        signer pool signs through a shared fast engine this way); the
+        default is the process-global engine.  Output bytes are identical
+        either way — engine parity is contractual.
+        """
+        engine = engine or get_engine()
+        return self.sign_digest(engine.sha256(message), engine)
+
+    def sign_digest(self, digest: bytes,
+                    engine: Optional[CryptoEngine] = None) -> Signature:
+        engine = engine or get_engine()
         e = int.from_bytes(digest, "big") % P256.n
         while True:
-            k = deterministic_nonce(self.scalar, digest, P256.n)
-            point = get_engine().multiply_base(k)
+            k = deterministic_nonce(self.scalar, digest, P256.n, engine)
+            point = engine.multiply_base(k)
             r = point.x % P256.n
             if r == 0:
-                digest = get_engine().sha256(digest)
+                digest = engine.sha256(digest)
                 continue
             k_inv = pow(k, P256.n - 2, P256.n)
             s = (k_inv * (e + r * self.scalar)) % P256.n
             if s == 0:
-                digest = get_engine().sha256(digest)
+                digest = engine.sha256(digest)
                 continue
             # Enforce low-s normalisation so signatures are non-malleable.
             if s > P256.n // 2:

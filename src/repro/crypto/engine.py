@@ -48,6 +48,8 @@ __all__ = [
     "FastEngine",
     "ContentVerifyCache",
     "ContentCacheStats",
+    "SignatureCache",
+    "SignatureCacheStats",
     "available_engines",
     "get_engine",
     "set_engine",
@@ -175,6 +177,130 @@ class ContentVerifyCache:
     def stats_snapshot(self) -> ContentCacheStats:
         with self._lock:
             return ContentCacheStats(**self.stats.to_dict())
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.stats.reset()
+
+
+@dataclass
+class SignatureCacheStats:
+    """Exact hit/miss/coalesce accounting for the signing memo.
+
+    The invariant the perf_smoke suite audits: every ``get_or_sign``
+    call is counted exactly once as a hit or a miss, and every hit that
+    waited on an in-flight producer is additionally counted as
+    coalesced — so ``hits + misses == calls`` and ``misses`` equals the
+    number of producer executions, even under signer-pool contention.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    coalesced: int = 0
+    evictions: int = 0
+
+    @property
+    def calls(self) -> int:
+        return self.hits + self.misses
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.coalesced = 0
+        self.evictions = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "coalesced": self.coalesced,
+            "evictions": self.evictions,
+        }
+
+
+class SignatureCache:
+    """Single-flight memo for deterministic (RFC 6979) signatures.
+
+    Signing is deterministic, so ``(private key, digest)`` maps to
+    exactly one signature — memoising the bytes is sound the same way
+    the :class:`ContentVerifyCache` verdict memo is.  The serve plane's
+    signer pool shares one instance across its worker threads: when a
+    wave of devices resolves manifests for the same release payload,
+    the first worker pays the scalar multiplication and every
+    concurrent duplicate *waits on the in-flight result* instead of
+    re-deriving the nonce — the accounting distinguishes those
+    coalesced waiters from plain cache hits.
+
+    A failed producer never poisons the cache: its waiters wake, see no
+    entry, and re-run the producer themselves.
+    """
+
+    def __init__(self, max_entries: int = 4096) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self.stats = SignatureCacheStats()
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[tuple, bytes]" = OrderedDict()
+        self._inflight: Dict[tuple, threading.Event] = {}
+
+    def get_or_sign(self, key: tuple, producer) -> bytes:
+        """Return the cached signature for ``key`` or produce it once.
+
+        Concurrent callers with the same key block on the producing
+        thread's event rather than signing redundantly (single-flight).
+        """
+        while True:
+            with self._lock:
+                cached = self._entries.get(key)
+                if cached is not None:
+                    self._entries.move_to_end(key)
+                    self.stats.hits += 1
+                    return cached
+                event = self._inflight.get(key)
+                if event is None:
+                    event = threading.Event()
+                    self._inflight[key] = event
+                    producing = True
+                else:
+                    producing = False
+            if not producing:
+                event.wait(timeout=60.0)
+                with self._lock:
+                    cached = self._entries.get(key)
+                    if cached is not None:
+                        self._entries.move_to_end(key)
+                        self.stats.hits += 1
+                        self.stats.coalesced += 1
+                        return cached
+                # The producer failed (or the entry was evicted before we
+                # woke); loop and contend for the producer role ourselves.
+                continue
+            try:
+                value = producer()
+            except BaseException:
+                with self._lock:
+                    self._inflight.pop(key, None)
+                event.set()
+                raise
+            with self._lock:
+                self._entries[key] = value
+                self._inflight.pop(key, None)
+                self.stats.misses += 1
+                while len(self._entries) > self.max_entries:
+                    self._entries.popitem(last=False)
+                    self.stats.evictions += 1
+            event.set()
+            return value
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats_snapshot(self) -> SignatureCacheStats:
+        with self._lock:
+            return SignatureCacheStats(**self.stats.to_dict())
 
     def clear(self) -> None:
         with self._lock:

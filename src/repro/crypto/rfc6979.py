@@ -9,19 +9,24 @@ suite and the differential-update benchmarks rely on.
 
 from __future__ import annotations
 
-from .engine import get_engine
+from typing import Optional
+
+from .engine import CryptoEngine, get_engine
 
 __all__ = ["hmac_sha256", "deterministic_nonce"]
 
 
-def hmac_sha256(key: bytes, message: bytes) -> bytes:
+def hmac_sha256(key: bytes, message: bytes,
+                engine: Optional[CryptoEngine] = None) -> bytes:
     """HMAC-SHA256 (RFC 2104), via the active crypto engine.
 
     The reference engine keeps the original construction over the local
     SHA-256; the fast engine delegates to :mod:`hmac`/:mod:`hashlib`.
-    Output is identical either way.
+    Output is identical either way.  Passing ``engine`` pins a specific
+    engine instead of the process-global one; worker threads use this to
+    sign through a shared fast engine without flipping global state.
     """
-    return get_engine().hmac_sha256(key, message)
+    return (engine or get_engine()).hmac_sha256(key, message)
 
 
 def _bits2int(data: bytes, qlen: int) -> int:
@@ -44,7 +49,8 @@ def _bits2octets(data: bytes, order: int, qlen: int, rlen: int) -> bytes:
     return _int2octets(z2, rlen)
 
 
-def deterministic_nonce(private_key: int, digest: bytes, order: int) -> int:
+def deterministic_nonce(private_key: int, digest: bytes, order: int,
+                        engine: Optional[CryptoEngine] = None) -> int:
     """RFC 6979 section 3.2: derive k from the key and message digest."""
     qlen = order.bit_length()
     rlen = (qlen + 7) // 8
@@ -52,18 +58,18 @@ def deterministic_nonce(private_key: int, digest: bytes, order: int) -> int:
 
     v = b"\x01" * 32
     k = b"\x00" * 32
-    k = hmac_sha256(k, v + b"\x00" + bx)
-    v = hmac_sha256(k, v)
-    k = hmac_sha256(k, v + b"\x01" + bx)
-    v = hmac_sha256(k, v)
+    k = hmac_sha256(k, v + b"\x00" + bx, engine)
+    v = hmac_sha256(k, v, engine)
+    k = hmac_sha256(k, v + b"\x01" + bx, engine)
+    v = hmac_sha256(k, v, engine)
 
     while True:
         t = b""
         while len(t) * 8 < qlen:
-            v = hmac_sha256(k, v)
+            v = hmac_sha256(k, v, engine)
             t += v
         candidate = _bits2int(t, qlen)
         if 1 <= candidate < order:
             return candidate
-        k = hmac_sha256(k, v + b"\x00")
-        v = hmac_sha256(k, v)
+        k = hmac_sha256(k, v + b"\x00", engine)
+        v = hmac_sha256(k, v, engine)

@@ -6,8 +6,9 @@ campaign CRUD); :mod:`repro.serve.httpd` and
 :mod:`repro.serve.coapface` are its HTTP/1.1 and simulated-CoAP
 codecs; :mod:`repro.serve.telemetry` is the faces' shared
 request-scoped observability (access log, per-route histograms,
-event-loop watchdog).  See DESIGN.md "Service plane" and
-"Observability architecture".
+event-loop watchdog); :mod:`repro.serve.signing` is the off-loop
+signer pool both faces dispatch ECDSA work through.  See DESIGN.md
+"Service plane" and "Serve-plane fast path".
 """
 
 from .coapface import (
@@ -25,6 +26,7 @@ from .service import (
     FleetService,
     ServiceError,
 )
+from .signing import SignerPool, SignerPoolStats, shared_signer_pool
 from .telemetry import EventLoopWatchdog, ServeTelemetry
 
 __all__ = [
@@ -41,4 +43,7 @@ __all__ = [
     "HttpServer",
     "ServeTelemetry",
     "ServiceError",
+    "SignerPool",
+    "SignerPoolStats",
+    "shared_signer_pool",
 ]

@@ -49,6 +49,7 @@ from ..net.coap import (
     CoapMessage,
     CoapOption,
     CoapType,
+    VERSION,
 )
 from ..obs.asynctrace import NULL_ASYNC_TRACER, parse_traceparent
 from .service import FleetService, ServiceError
@@ -113,15 +114,81 @@ class CoapFront:
             "retransmissions answered from the dedup cache")
         self._seen: "OrderedDict[Tuple[bytes, bytes, int], bytes]" = \
             OrderedDict()
+        #: Encoded Block2+Size2 option bytes keyed by
+        #: (num, more, size, total): every image response for the same
+        #: block geometry reuses the serialized prefix instead of
+        #: re-running delta option encoding (see :meth:`_image`).
+        self._block_options: Dict[Tuple[int, bool, int, int], bytes] \
+            = {}
 
     def handle(self, datagram: bytes,
                endpoint: bytes = b"") -> bytes:
         """Process one encoded request from ``endpoint`` (the source
         address on a real UDP socket); always returns a response
-        datagram (malformed requests get a 4.00, never silence)."""
+        datagram (malformed requests get a 4.00, never silence).
+
+        Synchronous — everything (including any ECDSA) runs on the
+        calling thread.  The relay's async path
+        (:meth:`handle_datagram`) offloads signing routes to the
+        service's signer pool instead.
+        """
         started = self.telemetry.now_fn()
+        request, error = self._decode(datagram, started)
+        if request is None:
+            return error
+        key, cached = self._dedup_lookup(endpoint, request)
+        if cached is not None:
+            return cached
+        route = _coap_route_label(request)
+        self.telemetry.request_started()
+        response, status, trace_id = self._execute(request, started,
+                                                   route)
+        self._finish(key, response, status, route, started, trace_id)
+        return response
+
+    async def handle_datagram(self, datagram: bytes,
+                              endpoint: bytes = b"") -> bytes:
+        """:meth:`handle`, but signing routes (manifest resolution)
+        run on the service's signer pool so the event loop never
+        blocks on scalar multiplication.
+
+        Dedup bookkeeping stays on the loop thread.  A retransmission
+        arriving *while* the original is still signing re-executes the
+        route — safe, because manifest resolution is idempotent while
+        the token is open (concurrent resolutions await one in-flight
+        preparation in the service); non-idempotent POSTs keep the
+        strictly atomic inline path.
+        """
+        started = self.telemetry.now_fn()
+        request, error = self._decode(datagram, started)
+        if request is None:
+            return error
+        key, cached = self._dedup_lookup(endpoint, request)
+        if cached is not None:
+            return cached
+        route = _coap_route_label(request)
+        self.telemetry.request_started()
+        if self._needs_signer(request):
+            response, status, trace_id = \
+                await self.service.signer.dispatch(
+                    self._execute, request, started, route)
+        else:
+            response, status, trace_id = self._execute(request,
+                                                       started, route)
+        self._finish(key, response, status, route, started, trace_id)
+        return response
+
+    @staticmethod
+    def _needs_signer(request: CoapMessage) -> bool:
+        if request.code != CoapCode.GET:
+            return False
+        parts = [p for p in request.uri_path().split("/") if p]
+        return len(parts) == 2 and parts[0] == "manifests"
+
+    def _decode(self, datagram: bytes, started: float
+                ) -> Tuple[Optional[CoapMessage], Optional[bytes]]:
         try:
-            request = CoapMessage.decode(datagram)
+            return CoapMessage.decode(datagram), None
         except CoapError as exc:
             response = CoapMessage(
                 mtype=CoapType.ACK, code=CoapCode.BAD_REQUEST,
@@ -132,7 +199,11 @@ class CoapFront:
             self.telemetry.observe_request(
                 "coap", "<bad-datagram>", 400, len(response),
                 self.telemetry.now_fn() - started)
-            return response
+            return None, response
+
+    def _dedup_lookup(self, endpoint: bytes, request: CoapMessage
+                      ) -> Tuple[Tuple[bytes, bytes, int],
+                                 Optional[bytes]]:
         key = (endpoint, request.token, request.message_id)
         cached = self._seen.get(key)
         if cached is not None:
@@ -144,9 +215,14 @@ class CoapFront:
                 self.tracer.instant("coap.dedup",
                                     category="serve.coap",
                                     args={"mid": request.message_id})
-            return cached
+            return key, cached
+        return key, None
+
+    def _execute(self, request: CoapMessage, started: float,
+                 route: str) -> Tuple[bytes, int, Optional[str]]:
+        """Route the request and build its response under the request
+        span — runs inline (sync path) or on a signer-pool worker."""
         tracer = self.tracer
-        route = _coap_route_label(request)
         remote = None
         if tracer.enabled:
             raw = request.option(CoapOption.TRACEPARENT)
@@ -158,7 +234,6 @@ class CoapFront:
         span_args = {"route": route}
         if remote is not None:
             span_args["remote_parent_id"] = remote[1]
-        self.telemetry.request_started()
         with tracer.span("coap.request", category="serve.coap",
                          start=started,
                          trace_id=remote[0] if remote else None,
@@ -183,14 +258,18 @@ class CoapFront:
                         "%s: %s" % (type(exc).__name__, exc))).encode()
             if root is not None:
                 root.args["status"] = status
+        return response, status, \
+            (root.trace_id if root is not None else None)
+
+    def _finish(self, key: Tuple[bytes, bytes, int], response: bytes,
+                status: int, route: str, started: float,
+                trace_id: Optional[str]) -> None:
         self._seen[key] = response
         while len(self._seen) > self.DEDUP_WINDOW:
             self._seen.popitem(last=False)
         self.telemetry.observe_request(
             "coap", route, status, len(response),
-            self.telemetry.now_fn() - started,
-            trace_id=root.trace_id if root is not None else None)
-        return response
+            self.telemetry.now_fn() - started, trace_id=trace_id)
 
     # -- routing ---------------------------------------------------------------
 
@@ -224,9 +303,11 @@ class CoapFront:
                     sort_keys=True).encode("utf-8")
                 return self._blockwise(request, body)
             if len(parts) == 2 and parts[0] == "manifests":
-                body = json.dumps(
-                    self._call(service.resolve_manifest, parts[1]),
-                    sort_keys=True).encode("utf-8")
+                # The service pre-serializes the canonical
+                # (sort_keys) JSON once per token; both faces serve
+                # those exact bytes.
+                body = self._call(service.resolve_manifest_encoded,
+                                  parts[1])
                 return self._blockwise(request, body)
             if len(parts) == 2 and parts[0] == "images":
                 return self._image(request, parts[1])
@@ -242,23 +323,54 @@ class CoapFront:
             return fn(*args)
 
     def _image(self, request: CoapMessage, token_hex: str) -> bytes:
-        """Named-chunk GET: Block2 names an absolute payload range."""
+        """Named-chunk GET: Block2 names an absolute payload range.
+
+        The hot path of a swarm download.  The payload slice arrives
+        as a :class:`memoryview` (no copy in the service) and the
+        encoded Block2+Size2 option bytes are cached per block
+        geometry, so the response datagram is assembled with a single
+        ``join`` — header, token, cached options, marker, slice —
+        instead of re-encoding a :class:`CoapMessage` per chunk.
+        """
         block = request.block2() or Block(num=0, more=False,
                                           size=DEFAULT_BLOCK_SIZE)
         offset = block.num * block.size
         data, total = self._call(self.service.read_chunk, token_hex,
                                  offset, block.size)
         more = offset + len(data) < total
-        response = CoapMessage(
-            mtype=CoapType.ACK, code=CoapCode.CONTENT,
-            message_id=request.message_id, token=request.token,
-            payload=data)
-        response.add_option(
-            CoapOption.BLOCK2,
-            Block(num=block.num, more=more, size=block.size).encode())
-        response.add_option(CoapOption.SIZE2,
-                            total.to_bytes(4, "big"))
-        return response.encode()
+        options = self._block_option_bytes(block.num, more,
+                                           block.size, total)
+        header = bytes((
+            (VERSION << 6) | (int(CoapType.ACK) << 4)
+            | len(request.token),
+            int(CoapCode.CONTENT))) \
+            + request.message_id.to_bytes(2, "big")
+        if len(data):
+            return b"".join((header, request.token, options,
+                             b"\xff", data))
+        return b"".join((header, request.token, options))
+
+    def _block_option_bytes(self, num: int, more: bool, size: int,
+                            total: int) -> bytes:
+        """Encoded Block2+Size2 options for one block geometry,
+        built once via the codec and reused (the codec's own output:
+        a probe message with an empty token encodes as a 4-byte
+        header followed by exactly the option bytes)."""
+        key = (num, more, size, total)
+        cached = self._block_options.get(key)
+        if cached is None:
+            probe = CoapMessage(mtype=CoapType.ACK,
+                                code=CoapCode.CONTENT, message_id=0)
+            probe.add_option(CoapOption.BLOCK2,
+                             Block(num=num, more=more,
+                                   size=size).encode())
+            probe.add_option(CoapOption.SIZE2,
+                             total.to_bytes(4, "big"))
+            cached = bytes(probe.encode()[4:])
+            if len(self._block_options) >= 4096:
+                self._block_options.clear()
+            self._block_options[key] = cached
+        return cached
 
     def _blockwise(self, request: CoapMessage, body: bytes) -> bytes:
         block = request.block2() or Block(num=0, more=False,
@@ -320,7 +432,8 @@ class CoapDatagramRelay:
     async def request(self, datagram: bytes,
                       endpoint: bytes = b"") -> Optional[bytes]:
         await asyncio.sleep(0)          # the uplink hop
-        response = self.front.handle(datagram, endpoint)
+        response = await self.front.handle_datagram(datagram,
+                                                    endpoint)
         self.exchanges += 1
         if self.drop_every and self.exchanges % self.drop_every == 0:
             self.dropped += 1

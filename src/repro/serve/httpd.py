@@ -96,6 +96,11 @@ class HttpServer:
         self._watchdog = EventLoopWatchdog(self.telemetry)
         self._server: Optional[asyncio.AbstractServer] = None
         self._conn_tasks: "set[asyncio.Task]" = set()
+        #: Pre-serialized response-header skeletons keyed by
+        #: (status, content type, close): the hot JSON endpoints write
+        #: a cached prefix + the length digits instead of rebuilding
+        #: the header block per request.
+        self._header_cache: Dict[Tuple[int, str, bool], bytes] = {}
 
     async def start(self) -> None:
         self._server = await asyncio.start_server(
@@ -247,26 +252,32 @@ class HttpServer:
     async def _read_request(
             self, reader: asyncio.StreamReader
     ) -> Optional[Tuple[str, str, Dict[str, str], bytes, float]]:
-        line = await reader.readline()
-        if not line or line in (b"\r\n", b"\n"):
-            return None
-        # Timestamp the moment the request line lands, not when the
+        # One readuntil for the whole head instead of a readline per
+        # header: at 10k-session swarm scale the per-await event-loop
+        # trips dominate header parsing, so the hot path takes exactly
+        # one scheduling round for head plus one for the body.
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.IncompleteReadError as exc:
+            if not exc.partial or exc.partial in (b"\r\n", b"\n"):
+                return None          # clean keep-alive close
+            raise
+        except asyncio.LimitOverrunError:
+            raise _HttpError(400, "bad-request-line",
+                             "request head exceeds the stream limit")
+        # Timestamp the moment the request head lands, not when the
         # keep-alive connection went idle — parse time and request
         # duration both anchor here.
         started = time.perf_counter()
+        raw_lines = head[:-4].split(b"\r\n")
         try:
             method, path, _version = \
-                line.decode("ascii").strip().split(" ", 2)
+                raw_lines[0].decode("ascii").strip().split(" ", 2)
         except (UnicodeDecodeError, ValueError):
             raise _HttpError(400, "bad-request-line",
                              "unparseable request line")
         headers: Dict[str, str] = {}
-        while True:
-            raw = await reader.readline()
-            if not raw:
-                raise asyncio.IncompleteReadError(raw, None)
-            if raw in (b"\r\n", b"\n"):
-                break
+        for raw in raw_lines[1:]:
             name, _sep, value = raw.decode("latin-1").partition(":")
             headers[name.strip().lower()] = value.strip()
         try:
@@ -304,8 +315,13 @@ class HttpServer:
             return self._dispatch_devices(method, parts, body)
         if parts[0] == "manifests" and len(parts) == 2 \
                 and method == "GET":
-            return 200, self._call(service.resolve_manifest,
-                                   parts[1]), {}
+            # Manifest resolution signs (P-256): run it on the signer
+            # pool, never on the event loop.  The service returns the
+            # pre-serialized canonical JSON, so the face only frames.
+            encoded = await self._sign_dispatch(
+                service.resolve_manifest_encoded, parts[1])
+            return 200, encoded + b"\n", \
+                {"Content-Type": "application/json; charset=utf-8"}
         if parts[0] == "images" and len(parts) == 2 and method == "GET":
             return self._dispatch_image(parts[1], headers, query)
         if parts[0] == "reports" and len(parts) == 2 \
@@ -353,6 +369,27 @@ class HttpServer:
 
         ctx = contextvars.copy_context()
         return await loop.run_in_executor(None, ctx.run, fn, *args)
+
+    async def _sign_dispatch(self, fn, *args):
+        """Run an ECDSA-bearing service call on the signer pool.
+
+        Like :meth:`_offload`, but through the service's dedicated
+        signer executor: the pool drains waves of simultaneous token
+        resolutions in batches, shares the fast engine's P-256 tables
+        across its workers, and (when tracing) records the queue wait
+        as a ``sign.queue`` span under this request."""
+        tracer = self.tracer
+        if tracer.enabled:
+            name = fn.__name__
+            inner = fn
+
+            def fn(*call_args):
+                with tracer.span("service.%s" % name,
+                                 category="serve.service"):
+                    return inner(*call_args)
+
+        return await self.service.signer.dispatch(fn, *args,
+                                                  tracer=tracer)
 
     def _dispatch_devices(self, method: str, parts: List[str],
                           body: bytes
@@ -457,29 +494,68 @@ class HttpServer:
 
     # -- response writing ------------------------------------------------------
 
+    def _header_prefix(self, status: int, content_type: str,
+                       close: bool) -> bytes:
+        """The response header block up to the Content-Length digits,
+        pre-serialized once per (status, content type, close)."""
+        key = (status, content_type, close)
+        prefix = self._header_cache.get(key)
+        if prefix is None:
+            prefix = ("HTTP/1.1 %d %s\r\n"
+                      "Content-Type: %s\r\n"
+                      "Connection: %s\r\n"
+                      "Content-Length: "
+                      % (status, _STATUS_TEXT.get(status, "Unknown"),
+                         content_type,
+                         "close" if close else "keep-alive")
+                      ).encode("latin-1")
+            self._header_cache[key] = prefix
+        return prefix
+
     async def _write_response(self, writer: asyncio.StreamWriter,
                               status: int, payload: object,
                               extra: Dict[str, str],
                               close: bool) -> int:
-        if isinstance(payload, (bytes, bytearray)):
-            body = bytes(payload)
-            content_type = extra.pop("Content-Type",
-                                     "application/octet-stream")
-        else:
-            body = (json.dumps(payload, sort_keys=True) + "\n") \
-                .encode("utf-8")
-            content_type = extra.pop("Content-Type",
-                                     "application/json; charset=utf-8")
-        headers = ["HTTP/1.1 %d %s"
-                   % (status, _STATUS_TEXT.get(status, "Unknown")),
-                   "Content-Type: %s" % content_type,
-                   "Content-Length: %d" % len(body)]
-        headers += ["%s: %s" % item for item in extra.items()]
-        headers.append("Connection: %s"
-                       % ("close" if close else "keep-alive"))
-        writer.write(("\r\n".join(headers) + "\r\n\r\n")
-                     .encode("latin-1") + body)
-        await writer.drain()
+        tracer = self.tracer
+        with tracer.span("serialize", category="serve.http"):
+            if isinstance(payload, (bytes, bytearray, memoryview)):
+                # Zero-copy: ranged chunks arrive as memoryview slices
+                # and pre-serialized manifests as bytes; neither is
+                # joined with the header — both buffers go straight to
+                # the transport.
+                body = payload
+                content_type = extra.pop("Content-Type",
+                                         "application/octet-stream")
+            else:
+                body = (json.dumps(payload, sort_keys=True) + "\n") \
+                    .encode("utf-8")
+                content_type = extra.pop(
+                    "Content-Type", "application/json; charset=utf-8")
+            if extra:
+                headers = ["HTTP/1.1 %d %s"
+                           % (status,
+                              _STATUS_TEXT.get(status, "Unknown")),
+                           "Content-Type: %s" % content_type,
+                           "Content-Length: %d" % len(body)]
+                headers += ["%s: %s" % item for item in extra.items()]
+                headers.append("Connection: %s"
+                               % ("close" if close else "keep-alive"))
+                header_bytes = ("\r\n".join(headers) + "\r\n\r\n") \
+                    .encode("latin-1")
+            else:
+                header_bytes = self._header_prefix(
+                    status, content_type, close) \
+                    + b"%d\r\n\r\n" % len(body)
+        with tracer.span("write", category="serve.http"):
+            # writelines hands both buffers to the transport in one
+            # call, so header and body leave in a single send()
+            # syscall — two writes cost two syscalls on an empty
+            # buffer, which at swarm scale is measurable CPU.
+            if body:
+                writer.writelines((header_bytes, body))
+            else:
+                writer.write(header_bytes)
+            await writer.drain()
         return len(body)
 
     async def _write_chunked(self, writer: asyncio.StreamWriter,

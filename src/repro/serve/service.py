@@ -16,16 +16,31 @@ tests compare their device-visible bytes).
 
 Token lifecycle (single-use, enforced server-side)::
 
-    issue_token  ->  ISSUED  --resolve_manifest-->  PREPARED
+    issue_token  ->  ISSUED  --resolve_manifest-->  PREPARING
+                                                       |
+                               (ECDSA runs OUTSIDE the registry lock;
+                                concurrent re-fetches await the
+                                in-flight result)
+                                                       v
+                                                   PREPARED
                                                        |
                  chunk reads (any ranges, re-requests) |
                                                        v
                                report  ->  CLOSED  (replay => 403)
 
-Only one token may be *open* (ISSUED or PREPARED) per (device, target
-version) at a time: a concurrent second request races on one lock and
-loses with a structured 409, no matter which protocol face it arrived
-through.
+Only one token may be *open* (ISSUED, PREPARING or PREPARED) per
+(device, target version) at a time: a concurrent second request races
+on one lock and loses with a structured 409, no matter which protocol
+face it arrived through.
+
+The registry lock guards only short critical sections (table lookups
+and state flips).  The expensive work — the P-256 envelope signature
+in ``UpdateServer.prepare_update`` — runs outside it, through the
+:mod:`repro.serve.signing` pool's shared fast engine, so a wave of
+token resolutions never convoys registers and reports behind scalar
+multiplication (that convoy was the whole serve-plane latency story
+before: manifest p50 at 684 ms dragging every other endpoint's p99 to
+~800 ms).
 
 Crash model: :class:`DeviceFarm` is the simulation's stand-in for the
 physical world — devices and their flash survive a service-process
@@ -76,6 +91,7 @@ from ..obs import (
 from ..platform import NRF52840, ZEPHYR
 from ..sim import SimulatedDevice
 from ..workload import FirmwareGenerator
+from .signing import SignerPool, shared_signer_pool
 
 __all__ = [
     "APP_ID",
@@ -92,6 +108,7 @@ CHANNELS = ("stable", "developer")
 
 #: Token lifecycle states (see module docstring).
 TOKEN_ISSUED = "issued"
+TOKEN_PREPARING = "preparing"
 TOKEN_PREPARED = "prepared"
 TOKEN_CLOSED = "closed"
 
@@ -261,6 +278,13 @@ class _TokenRecord:
     envelope: bytes = b""
     payload: bytes = b""
     payload_sha256: str = ""
+    #: Manifest document + its canonical JSON, cached at PREPARED so
+    #: re-fetches and both protocol faces serve pre-serialized bytes.
+    manifest: Optional[Dict[str, object]] = None
+    manifest_bytes: bytes = b""
+    #: Set by the thread that owns the PREPARING transition; concurrent
+    #: resolutions of the same token wait on it instead of re-signing.
+    ready: Optional[threading.Event] = None
 
 
 @dataclass
@@ -282,18 +306,27 @@ class FleetService:
     """Everything the protocol faces expose, in one object.
 
     Thread model: HTTP/CoAP handlers call in from the event loop
-    thread; campaign runs execute on worker threads.  One lock guards
-    the registry/token tables — the single-use token guarantee is this
-    lock, not any property of a particular transport.
+    thread or the signer pool's workers; campaign runs execute on
+    worker threads.  One short-critical-section lock guards the
+    registry/token tables — the single-use token guarantee is this
+    lock, not any property of a particular transport.  Expensive work
+    (the envelope signature) happens *outside* the lock under the
+    per-token PREPARING state, so the lock is never held across
+    scalar multiplication.
     """
 
     #: Upper bound on a ``wait: true`` campaign join; callers holding
     #: a network thread get control back and poll status instead.
     WAIT_TIMEOUT_SECONDS = 600.0
 
+    #: Upper bound on awaiting another thread's in-flight manifest
+    #: preparation before giving up with a 503.
+    PREPARE_TIMEOUT_SECONDS = 60.0
+
     def __init__(self, farm: Optional[DeviceFarm] = None,
                  journal_dir: Optional[str] = None,
-                 chunk_size: int = 2048) -> None:
+                 chunk_size: int = 2048,
+                 signer: Optional[SignerPool] = None) -> None:
         if chunk_size < 16:
             raise ValueError("chunk_size must be at least 16")
         self.farm = farm or DeviceFarm()
@@ -301,12 +334,17 @@ class FleetService:
         self.chunk_size = chunk_size
         self.metrics = MetricsRegistry()
         self.artifacts = ArtifactCache()
+        #: Dedicated ECDSA executor shared with the protocol faces;
+        #: channel servers sign through its shared fast engine and
+        #: single-flight signature cache.
+        self.signer = signer or shared_signer_pool()
         vendor_id, identity, anchors = make_test_identities()
         self.anchors = anchors
         self._vendor = VendorServer(vendor_id, app_id=APP_ID,
                                     link_offset=LINK_OFFSET)
         self.channels: Dict[str, UpdateServer] = {
-            name: UpdateServer(identity, artifacts=self.artifacts)
+            name: UpdateServer(identity, artifacts=self.artifacts,
+                               sign_fn=self.signer.signer_for(identity))
             for name in CHANNELS}
         self._channel_registries: Dict[str, MetricsRegistry] = {}
         for name, server in self.channels.items():
@@ -340,13 +378,26 @@ class FleetService:
         base = generator.firmware(image_size, image_id=1)
         v2 = generator.os_version_change(base, revision=2)
         v3 = generator.os_version_change(base, revision=3)
-        releases = {version: self._vendor.release(firmware, version)
-                    for version, firmware
-                    in ((1, base), (2, v2), (3, v3))
-                    if not self.channels["developer"]
-                    .has_release(version)}
         train = {name: (1, 2) for name in CHANNELS}
         train["developer"] = (1, 2, 3)
+        # Build a release for every version missing from *any* channel:
+        # keying off one channel alone (the old behaviour keyed off
+        # "developer") crashed a restarted server whose stable channel
+        # lost a version its developer channel still had.
+        needed = {version
+                  for name, versions in train.items()
+                  for version in versions
+                  if not self.channels[name].has_release(version)}
+        # The vendor refuses to re-mint a version, so a re-seed reuses
+        # its recorded release (deterministic signing makes it the
+        # identical artifact anyway).
+        releases = {version: (self._vendor.get_release(version)
+                              if version in self._vendor.versions
+                              else self._vendor.release(firmware,
+                                                        version))
+                    for version, firmware
+                    in ((1, base), (2, v2), (3, v3))
+                    if version in needed}
         for name, versions in train.items():
             server = self.channels[name]
             for version in versions:
@@ -470,31 +521,96 @@ class FleetService:
     def resolve_manifest(self, token_hex: str) -> Dict[str, object]:
         """Bind the token into a double-signed manifest (idempotent
         while the token is open — a device may re-fetch after a
-        disconnect without burning its single use)."""
+        disconnect without burning its single use).
+
+        The registry lock is held only to flip the token into
+        PREPARING; the signature itself runs outside it.  Concurrent
+        resolutions of the same token await the in-flight result
+        instead of re-signing or blocking unrelated endpoints.
+        """
         self._requests.inc()
+        manifest, _ = self._prepare_token(token_hex)
+        return dict(manifest)
+
+    def resolve_manifest_encoded(self, token_hex: str) -> bytes:
+        """:meth:`resolve_manifest` as canonical (sorted-keys) JSON
+        bytes, pre-serialized once at PREPARED — the hot path both
+        protocol faces write from without re-encoding per request."""
+        self._requests.inc()
+        _, encoded = self._prepare_token(token_hex)
+        return encoded
+
+    def _prepare_token(
+            self, token_hex: str
+    ) -> Tuple[Dict[str, object], bytes]:
+        """Return the token's ``(manifest, canonical JSON)``, preparing
+        it first if needed.  Exactly one caller runs
+        ``prepare_update`` (the ECDSA work) for an ISSUED token — and
+        runs it *outside* the registry lock."""
+        while True:
+            with self._lock:
+                record = self._token_record(token_hex)
+                if record.state == TOKEN_PREPARED:
+                    assert record.manifest is not None
+                    return record.manifest, record.manifest_bytes
+                if record.state == TOKEN_PREPARING:
+                    waiter = record.ready
+                else:  # TOKEN_ISSUED: this thread becomes the preparer.
+                    record.state = TOKEN_PREPARING
+                    record.ready = threading.Event()
+                    waiter = None
+                    server = self.channels[record.channel]
+            if waiter is None:
+                break
+            if not waiter.wait(self.PREPARE_TIMEOUT_SECONDS):
+                raise self._reject(
+                    "prepare-timeout", 503,
+                    "in-flight manifest preparation did not finish "
+                    "within %.0f s" % self.PREPARE_TIMEOUT_SECONDS)
+            # Re-examine under the lock: PREPARED returns the cached
+            # result; a failed preparer reset the token to ISSUED (we
+            # retry as the preparer); a concurrent close raises 403.
+            continue
+        ready = record.ready
+        try:
+            image = server.prepare_update(record.token)
+            envelope = image.envelope.pack()
+            payload = self.artifacts.get_or_create(
+                envelope, b"", b"serve:image-payload",
+                lambda: image.payload)
+            digest = sha256(payload).hexdigest()
+        except BaseException:
+            with self._lock:
+                if record.state == TOKEN_PREPARING:
+                    record.state = TOKEN_ISSUED
+                    record.ready = None
+            ready.set()          # waiters wake and retry as preparers
+            raise
+        manifest: Dict[str, object] = {
+            "envelope": envelope.hex(),
+            "version": record.version,
+            "payload_size": len(payload),
+            "payload_sha256": digest,
+            "chunk_size": self.chunk_size,
+        }
+        encoded = json.dumps(manifest, sort_keys=True).encode("utf-8")
         with self._lock:
-            record = self._token_record(token_hex)
-            if record.state == TOKEN_ISSUED:
-                server = self.channels[record.channel]
-                image = server.prepare_update(record.token)
-                record.envelope = image.envelope.pack()
-                record.payload = self.artifacts.get_or_create(
-                    record.envelope, b"", b"serve:image-payload",
-                    lambda: image.payload)
-                record.payload_sha256 = sha256(
-                    record.payload).hexdigest()
+            if record.state == TOKEN_PREPARING:
+                record.envelope = envelope
+                record.payload = payload
+                record.payload_sha256 = digest
+                record.manifest = manifest
+                record.manifest_bytes = encoded
                 record.state = TOKEN_PREPARED
-            return {
-                "envelope": record.envelope.hex(),
-                "version": record.version,
-                "payload_size": len(record.payload),
-                "payload_sha256": record.payload_sha256,
-                "chunk_size": self.chunk_size,
-            }
+            # A concurrent close (report racing the resolve) wins: the
+            # token stays CLOSED — never resurrected — but this caller
+            # still gets the manifest its accepted request produced.
+        ready.set()
+        return manifest, encoded
 
     def read_chunk(self, token_hex: str, offset: int = 0,
                    length: Optional[int] = None
-                   ) -> Tuple[bytes, int]:
+                   ) -> Tuple[memoryview, int]:
         """A byte range of the prepared payload: ``(data, total)``.
 
         Range semantics (shared verbatim by both faces): a negative
@@ -503,6 +619,11 @@ class FleetService:
         or past EOF is a 416; a range *ending* past EOF truncates.
         Re-requesting an overlapping range is always allowed — that is
         how a transport resumes after a disconnect.
+
+        The returned data is a :class:`memoryview` slice over the
+        cached payload — zero-copy all the way to the socket; the view
+        keeps the underlying bytes alive even if the token closes
+        mid-transfer.
         """
         self._requests.inc()
         with self._lock:
@@ -528,14 +649,14 @@ class FleetService:
                     "range-unsatisfiable", 416,
                     "offset %d past end of %d-byte payload"
                     % (offset, total))
-            return b"", total
+            return memoryview(b""), total
         if offset >= total:
             raise self._reject(
                 "range-unsatisfiable", 416,
                 "offset %d past end of %d-byte payload"
                 % (offset, total))
         end = total if length is None else min(total, offset + length)
-        return payload[offset:end], total
+        return memoryview(payload)[offset:end], total
 
     def close_token(self, token_hex: str, body: Dict[str, object]
                     ) -> Dict[str, object]:
@@ -554,6 +675,8 @@ class FleetService:
             record.state = TOKEN_CLOSED
             record.envelope = b""
             record.payload = b""
+            record.manifest = None
+            record.manifest_bytes = b""
             self._open.pop((record.device_id, record.version), None)
             entry = self._devices.get(record.device_id)
             if status == "updated" and entry is not None:

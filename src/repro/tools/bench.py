@@ -675,6 +675,13 @@ SERVER_GATE_HIGHER_IS_BETTER = ("req_per_s",)
 SERVER_WORKLOAD_KEYS = ("sessions", "image_bytes", "chunk_bytes",
                         "endpoint_mix")
 
+#: Per-endpoint latency gate (bench schema v6): every endpoint class
+#: present in *both* artifacts has its p50/p99 held to tolerance, so a
+#: regression that hides inside the aggregate (e.g. manifest latency
+#: convoying behind signing while cheap chunk requests keep req/s up)
+#: still trips the gate.
+SERVER_ENDPOINT_GATE_METRICS = ("p50_ms", "p99_ms")
+
 #: Allowed slowdown before the gate trips (0.20 = +20 %); generous
 #: because wall-clock benches on shared CI hosts are noisy.
 DEFAULT_TOLERANCE = 0.20
@@ -786,7 +793,7 @@ def compare_to_baseline(results: Dict[str, object],
 
 def _gate_server(problems: List[str], current: Dict[str, object],
                  base: Dict[str, object], tolerance: float) -> None:
-    """Gate the swarm bench's ``server`` section (schema v5)."""
+    """Gate the swarm bench's ``server`` section (schema v5/v6)."""
     for key in SERVER_WORKLOAD_KEYS:
         if current.get(key) != base.get(key):
             problems.append(
@@ -797,6 +804,7 @@ def _gate_server(problems: List[str], current: Dict[str, object],
     _gate_section(problems, current, base,
                   SERVER_GATE_LOWER_IS_BETTER, tolerance,
                   prefix="server ")
+    _gate_server_endpoints(problems, current, base, tolerance)
     for metric in SERVER_GATE_HIGHER_IS_BETTER:
         old = base.get(metric)
         new = current.get(metric)
@@ -820,6 +828,41 @@ def _gate_server(problems: List[str], current: Dict[str, object],
         from .swarm import trace_overhead_problems
         problems.extend("server " + p
                         for p in trace_overhead_problems(current))
+
+
+def _gate_server_endpoints(problems: List[str],
+                           current: Dict[str, object],
+                           base: Dict[str, object],
+                           tolerance: float) -> None:
+    """Per-endpoint p50/p99 latency gate over the classes both
+    artifacts broke out (the endpoint_mix workload guard already
+    matched, so the classes carry comparable traffic)."""
+    cur_eps = current.get("endpoints")
+    base_eps = base.get("endpoints")
+    if not isinstance(cur_eps, dict) or not isinstance(base_eps, dict):
+        return
+    for cls in sorted(set(cur_eps) & set(base_eps)):
+        cur_entry = cur_eps.get(cls)
+        base_entry = base_eps.get(cls)
+        if not isinstance(cur_entry, dict) \
+                or not isinstance(base_entry, dict):
+            continue
+        for metric in SERVER_ENDPOINT_GATE_METRICS:
+            old = base_entry.get(metric)
+            new = cur_entry.get(metric)
+            if not isinstance(old, (int, float)) or old <= 0:
+                continue      # v5 baselines may lack a class's numbers
+            if not isinstance(new, (int, float)):
+                problems.append(
+                    "this run produced no server endpoint %s %s"
+                    % (cls, metric))
+                continue
+            if new > old * (1.0 + tolerance):
+                problems.append(
+                    "server endpoint %s %s regressed: %.3f ms vs "
+                    "baseline %.3f ms (+%.0f%%, tolerance %.0f%%)"
+                    % (cls, metric, new, old,
+                       100.0 * (new - old) / old, 100.0 * tolerance))
 
 
 def _gate_section(problems: List[str], current: Dict[str, object],

@@ -470,10 +470,17 @@ def cmd_swarm(args: argparse.Namespace) -> int:
     (``--trace-out``, trace schema v2) and a ``trace_overhead`` block
     into the bench artifact; the run fails when tracing-on costs more
     than ``--trace-budget`` of req/s.
+
+    With ``--profile`` a server-traced re-run is aggregated into a
+    ``server.profile`` block: per endpoint class, where the
+    milliseconds went (parse / signer-pool queue wait / sign /
+    serialize / socket write).  The gated numbers stay from the
+    untraced run.
     """
     from . import bench, report as report_mod, swarm
 
     trace_problems: list = []
+    trace_path = None
     if args.trace:
         results, trace_doc = swarm.run_traced_benchmark(
             sessions=args.sessions, concurrency=args.concurrency,
@@ -482,12 +489,20 @@ def cmd_swarm(args: argparse.Namespace) -> int:
                                              "trace")
         trace_problems = swarm.trace_overhead_problems(
             results.get("server", {}), budget=args.trace_budget)
+        if args.profile:
+            results["server"]["profile"] = swarm.profile_section(
+                sessions=args.sessions, concurrency=args.concurrency,
+                image_size=args.image_size,
+                chunk_bytes=args.chunk_bytes)
+    elif args.profile:
+        results = swarm.run_profiled_benchmark(
+            sessions=args.sessions, concurrency=args.concurrency,
+            image_size=args.image_size, chunk_bytes=args.chunk_bytes)
     else:
         results = swarm.run_benchmark(sessions=args.sessions,
                                       concurrency=args.concurrency,
                                       image_size=args.image_size,
                                       chunk_bytes=args.chunk_bytes)
-        trace_path = None
     path = swarm.write_results(results, args.out)
     print(swarm.format_summary(results))
     print("wrote %s" % path)
@@ -793,6 +808,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also run with distributed tracing on and "
                             "write a merged device+server Chrome trace")
     swarm.add_argument("--trace-out", default="SWARM_trace.json")
+    swarm.add_argument("--profile", action="store_true",
+                       help="re-run with the server tracer on and "
+                            "write a per-endpoint phase breakdown "
+                            "(queue wait/sign/serialize/write) into "
+                            "the artifact")
     swarm.add_argument("--trace-budget", type=float, default=0.15,
                        help="max fraction of req/s tracing may cost "
                             "before the run fails")

@@ -36,16 +36,21 @@ __all__ = [
 #: Current schema version per report kind.  Bump a kind's version when
 #: its document shape changes; teach :func:`validate_data` about the
 #: old shape so existing artifacts keep loading.
-SCHEMA_VERSIONS: Dict[str, int] = {"bench": 5, "chaos": 4, "trace": 2,
+SCHEMA_VERSIONS: Dict[str, int] = {"bench": 6, "chaos": 4, "trace": 2,
                                    "fleetview": 1, "delta": 1}
 
-#: Keys every bench-v5 ``server`` section (the swarm bench artifact,
+#: Keys every bench-v5+ ``server`` section (the swarm bench artifact,
 #: ``BENCH_server.json``) must carry.
 SERVER_SECTION_KEYS = ("sessions", "failed_sessions", "concurrency",
                        "requests", "elapsed_seconds", "req_per_s",
                        "p50_session_ms", "p99_session_ms", "endpoints",
                        "endpoint_mix", "peak_rss_kb", "image_bytes",
                        "chunk_bytes")
+
+#: Endpoint classes a bench-v6 server-only artifact must break out —
+#: the per-endpoint p50/p99 sections the ``--baseline`` gate compares.
+SERVER_ENDPOINT_CLASSES = ("register", "token", "manifest", "chunk",
+                           "report")
 
 
 class ReportError(ValueError):
@@ -187,6 +192,25 @@ def validate_data(kind: str, version: int,
                             errors.append(
                                 "bench server endpoint %r needs "
                                 "count/p50_ms/p99_ms" % cls)
+                    if version >= 6:
+                        # v6: the per-endpoint gate needs every class
+                        # broken out with real numbers, not just
+                        # whatever classes happened to be present.
+                        for cls in SERVER_ENDPOINT_CLASSES:
+                            entry = endpoints.get(cls)
+                            if not isinstance(entry, dict):
+                                errors.append(
+                                    "bench v6 server section must "
+                                    "break out endpoint %r" % cls)
+                                continue
+                            for metric in ("p50_ms", "p99_ms"):
+                                if not isinstance(entry.get(metric),
+                                                  (int, float)):
+                                    errors.append(
+                                        "bench v6 server endpoint %r "
+                                        "needs a numeric %s"
+                                        % (cls, metric))
+                errors += _server_profile_errors(server)
     elif kind == "delta":
         errors += _require(data, ["delta_fastpath"], kind)
         fastpath = data.get("delta_fastpath")
@@ -308,6 +332,36 @@ def validate_data(kind: str, version: int,
                 errors += _trace_join_errors(events, join)
         elif events is not None:
             errors.append("trace report traceEvents must be a list")
+    return errors
+
+
+def _server_profile_errors(server: Dict[str, object]) -> List[str]:
+    """Validate the optional ``server.profile`` block (v6, from
+    ``cli swarm --profile``): a per-endpoint phase breakdown aggregated
+    from asynctrace spans.  Absent is fine — profiling is opt-in."""
+    profile = server.get("profile")
+    if profile is None:
+        return []
+    if not isinstance(profile, dict):
+        return ["bench server profile must be an object (got %s)"
+                % type(profile).__name__]
+    errors: List[str] = []
+    endpoints = profile.get("endpoints")
+    if not isinstance(endpoints, dict):
+        return ["bench server profile needs an 'endpoints' object"]
+    for cls, entry in sorted(endpoints.items()):
+        if not isinstance(entry, dict) or "requests" not in entry \
+                or not isinstance(entry.get("phases"), dict):
+            errors.append("bench server profile endpoint %r needs "
+                          "requests + phases" % cls)
+            continue
+        for phase, stats in sorted(entry["phases"].items()):
+            if not isinstance(stats, dict) or not {
+                    "count", "p50_ms", "p99_ms",
+                    "total_ms"} <= set(stats):
+                errors.append(
+                    "bench server profile phase %s.%s needs "
+                    "count/p50_ms/p99_ms/total_ms" % (cls, phase))
     return errors
 
 

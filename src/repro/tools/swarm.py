@@ -50,11 +50,15 @@ __all__ = [
     "SERVER_TRACE_PID",
     "TRACE_OVERHEAD_BUDGET",
     "ENDPOINT_CLASSES",
+    "PROFILE_PHASES",
     "SwarmHttpClient",
     "SwarmError",
     "run_swarm",
     "run_benchmark",
     "run_traced_benchmark",
+    "run_profiled_benchmark",
+    "profile_section",
+    "aggregate_server_profile",
     "trace_overhead_problems",
     "write_results",
     "format_summary",
@@ -74,6 +78,26 @@ SERVER_TRACE_PID = 2
 
 #: Tracing-on must keep at least (1 - budget) of tracing-off req/s.
 TRACE_OVERHEAD_BUDGET = 0.15
+
+#: Request phases ``cli swarm --profile`` breaks out per endpoint
+#: class, aggregated from the server tracer's spans: header parse,
+#: signer-pool queue wait (``sign.queue``), service execution
+#: (``service.*`` — ECDSA-dominated on manifests, hence "sign"),
+#: response serialization, and the socket write.
+PROFILE_PHASES = ("parse", "queue_wait", "sign", "serialize", "write")
+
+#: Server-side HTTP route labels folded onto swarm endpoint classes.
+_ROUTE_TO_CLASS = {
+    "POST /devices": "register",
+    "POST /devices/{id}/token": "token",
+    "GET /manifests/{token}": "manifest",
+    "GET /images/{token}": "chunk",
+    "POST /reports/{token}": "report",
+}
+
+#: Direct span-name -> phase folds; ``service.*`` folds to "sign".
+_SPAN_TO_PHASE = {"parse": "parse", "sign.queue": "queue_wait",
+                  "serialize": "serialize", "write": "write"}
 
 
 class SwarmError(RuntimeError):
@@ -139,21 +163,24 @@ class SwarmHttpClient:
     async def _read_response(
             self) -> Tuple[int, Dict[str, str], bytes]:
         assert self._reader is not None
-        status_line = await self._reader.readline()
-        if not status_line:
-            raise SwarmError("server closed the connection")
-        parts = status_line.decode("latin-1").split(" ", 2)
+        # The whole head in one readuntil: one event-loop trip for
+        # headers plus one for the body, instead of a readline per
+        # header line (the per-await scheduling cost dominates at
+        # swarm concurrency).
+        try:
+            head = await self._reader.readuntil(b"\r\n\r\n")
+        except asyncio.IncompleteReadError as exc:
+            if not exc.partial:
+                raise SwarmError("server closed the connection")
+            raise SwarmError("connection died inside headers")
+        raw_lines = head[:-4].split(b"\r\n")
+        parts = raw_lines[0].decode("latin-1").split(" ", 2)
         if len(parts) < 2 or not parts[1].isdigit():
             raise SwarmError("unparseable status line %r"
-                             % status_line)
+                             % raw_lines[0])
         status = int(parts[1])
         headers: Dict[str, str] = {}
-        while True:
-            raw = await self._reader.readline()
-            if not raw:
-                raise SwarmError("connection died inside headers")
-            if raw in (b"\r\n", b"\n"):
-                break
+        for raw in raw_lines[1:]:
             name, _sep, value = raw.decode("latin-1").partition(":")
             headers[name.strip().lower()] = value.strip()
         if headers.get("transfer-encoding", "").lower() == "chunked":
@@ -376,6 +403,9 @@ def _run_benchmark(sessions: int, concurrency: int, image_size: int,
     async def main() -> Dict[str, object]:
         service = FleetService()
         service.seed_channels(image_size=image_size)
+        pool_before = service.signer.stats_snapshot().to_dict()
+        cache_before = service.signer.signatures \
+            .stats_snapshot().to_dict()
         async with HttpServer(service, host=host,
                               tracer=server_tracer) as server:
             section = await run_swarm(
@@ -384,6 +414,18 @@ def _run_benchmark(sessions: int, concurrency: int, image_size: int,
                 tracer=client_tracer)
         section["image_bytes"] = image_size
         section["served_devices"] = service.device_count()
+        # The signer pool (and its signature cache) are process-wide,
+        # so report this run's *delta*, not the cumulative counters.
+        pool_after = service.signer.stats_snapshot().to_dict()
+        cache_after = service.signer.signatures \
+            .stats_snapshot().to_dict()
+        section["signer_pool"] = {
+            key: pool_after[key] - pool_before[key]
+            for key in ("signs", "jobs", "batches")}
+        section["signer_pool"]["max_batch"] = pool_after["max_batch"]
+        section["signer_pool"]["signature_cache"] = {
+            key: cache_after[key] - cache_before[key]
+            for key in ("hits", "misses", "coalesced", "evictions")}
         return {"server": section}
 
     return asyncio.run(main())
@@ -442,6 +484,99 @@ def run_traced_benchmark(sessions: int = DEFAULT_SESSIONS,
     trace_doc["join"] = {"device_pid": DEVICE_TRACE_PID,
                          "server_pid": SERVER_TRACE_PID}
     return results, trace_doc
+
+
+def aggregate_server_profile(tracer: AsyncTracer) -> Dict[str, object]:
+    """Fold a server tracer's spans into a per-endpoint phase profile.
+
+    Each ``http.request`` root span is classed by its route label;
+    every descendant span folds onto one of :data:`PROFILE_PHASES`
+    (``service.*`` counts as the "sign" phase — on manifests it is
+    the ECDSA-bearing resolution, on control endpoints the in-memory
+    service call).  Phases report count/p50/p99/total in ms, which is
+    what makes "where did the milliseconds go" answerable per
+    endpoint class straight from ``BENCH_server.json``.
+    """
+    with tracer._lock:
+        spans = list(tracer.spans)
+    by_parent: Dict[int, List[object]] = {}
+    roots = []
+    for span in spans:
+        if span.parent_id is None:
+            if span.name == "http.request":
+                roots.append(span)
+        else:
+            by_parent.setdefault(span.parent_id, []).append(span)
+    per_class: Dict[str, Dict[str, object]] = {}
+    for root in roots:
+        cls = _ROUTE_TO_CLASS.get(root.args.get("route"))
+        if cls is None:
+            continue
+        entry = per_class.setdefault(
+            cls, {"requests": 0,
+                  "phases": {phase: [] for phase in PROFILE_PHASES}})
+        entry["requests"] += 1
+        frontier = list(by_parent.get(root.span_id, ()))
+        while frontier:
+            node = frontier.pop()
+            phase = _SPAN_TO_PHASE.get(node.name)
+            if phase is None and node.name.startswith("service."):
+                phase = "sign"
+            if phase is not None:
+                entry["phases"][phase].append(node.duration * 1000.0)
+            frontier.extend(by_parent.get(node.span_id, ()))
+    endpoints: Dict[str, object] = {}
+    for cls, entry in sorted(per_class.items()):
+        phases: Dict[str, object] = {}
+        for phase in PROFILE_PHASES:
+            values = entry["phases"][phase]
+            if not values:
+                continue
+            phases[phase] = {
+                "count": len(values),
+                "p50_ms": round(percentile(values, 50.0), 3),
+                "p99_ms": round(percentile(values, 99.0), 3),
+                "total_ms": round(sum(values), 3),
+            }
+        endpoints[cls] = {"requests": entry["requests"],
+                          "phases": phases}
+    return {"endpoints": endpoints}
+
+
+def run_profiled_benchmark(sessions: int = DEFAULT_SESSIONS,
+                           concurrency: int = DEFAULT_CONCURRENCY,
+                           image_size: int = DEFAULT_IMAGE_SIZE,
+                           chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+                           host: str = "127.0.0.1"
+                           ) -> Dict[str, object]:
+    """The phase-profiled bench: plain run for the gated numbers,
+    then a re-run with the *server* tracer on, aggregated into a
+    ``server.profile`` block (the gated req/s and latencies never
+    carry tracer overhead)."""
+    results = _run_benchmark(sessions, concurrency, image_size,
+                             chunk_bytes, host)
+    results["server"]["profile"] = profile_section(
+        sessions, concurrency, image_size, chunk_bytes, host)
+    return results
+
+
+def profile_section(sessions: int = DEFAULT_SESSIONS,
+                    concurrency: int = DEFAULT_CONCURRENCY,
+                    image_size: int = DEFAULT_IMAGE_SIZE,
+                    chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+                    host: str = "127.0.0.1") -> Dict[str, object]:
+    """One server-traced swarm run, aggregated into a ``profile``
+    block (req/s of the profiled run recorded for context only)."""
+    server_tracer = AsyncTracer(enabled=True)
+    profiled = _run_benchmark(sessions, concurrency, image_size,
+                              chunk_bytes, host,
+                              server_tracer=server_tracer)
+    profile = aggregate_server_profile(server_tracer)
+    profile["req_per_s_profiled"] = \
+        profiled["server"].get("req_per_s")
+    profile["failed_sessions_profiled"] = \
+        profiled["server"].get("failed_sessions", 0)
+    return profile
 
 
 def trace_overhead_problems(server: Dict[str, object],
@@ -505,6 +640,17 @@ def format_summary(results: Dict[str, object]) -> str:
                 "  %-9s %6d reqs  p50 %8.2f ms  p99 %8.2f ms"
                 % (cls, entry["count"], entry.get("p50_ms") or 0.0,
                    entry.get("p99_ms") or 0.0))
+    pool = server.get("signer_pool")
+    if isinstance(pool, dict):
+        cache = pool.get("signature_cache") or {}
+        lines.append(
+            "  signer pool: %d signs, %d jobs in %d batches "
+            "(max %d)  sig-cache %d hits / %d misses "
+            "(%d coalesced)"
+            % (pool.get("signs", 0), pool.get("jobs", 0),
+               pool.get("batches", 0), pool.get("max_batch", 0),
+               cache.get("hits", 0), cache.get("misses", 0),
+               cache.get("coalesced", 0)))
     overhead = server.get("trace_overhead")
     if isinstance(overhead, dict):
         lines.append(
@@ -515,4 +661,18 @@ def format_summary(results: Dict[str, object]) -> str:
                overhead.get("req_per_s_delta_pct") or 0.0,
                overhead.get("p99_session_ms_off") or 0.0,
                overhead.get("p99_session_ms_on") or 0.0))
+    profile = server.get("profile")
+    if isinstance(profile, dict):
+        for cls, entry in sorted(
+                (profile.get("endpoints") or {}).items()):
+            if not isinstance(entry, dict):
+                continue
+            parts = []
+            for phase in PROFILE_PHASES:
+                stats = (entry.get("phases") or {}).get(phase)
+                if isinstance(stats, dict):
+                    parts.append("%s p50 %.2f" % (
+                        phase, stats.get("p50_ms") or 0.0))
+            lines.append("  profile %-9s %s ms"
+                         % (cls, "  ".join(parts)))
     return "\n".join(lines)

@@ -21,10 +21,17 @@ update path*:
 from __future__ import annotations
 
 from ..crypto import hmac_sha256
+from ..crypto.engine import available_engines
 
 __all__ = ["FirmwareGenerator"]
 
 _BLOCK = 256
+
+# Engine parity is contractual (byte-identical output), so the
+# generator always derives through the hashlib-backed fast engine:
+# synthesizing a 10k-swarm's firmware through the pure-Python
+# reference SHA-256 costs whole seconds of setup for identical bytes.
+_ENGINE = available_engines()["fast"]
 
 
 class FirmwareGenerator:
@@ -55,10 +62,11 @@ class FirmwareGenerator:
         material = hmac_sha256(
             self.seed,
             b"block" + image_id.to_bytes(4, "big") + index.to_bytes(4, "big"),
+            engine=_ENGINE,
         )
         body = bytearray()
         while len(body) < _BLOCK - 32:
-            material = hmac_sha256(self.seed, material)
+            material = hmac_sha256(self.seed, material, engine=_ENGINE)
             body.extend(material)
         # A compressible literal pool closes every block (strings,
         # zero-initialised data), mirroring real firmware sections.
@@ -88,6 +96,7 @@ class FirmwareGenerator:
                 self.seed,
                 b"evolve" + revision.to_bytes(4, "big")
                 + rank.to_bytes(4, "big"),
+                engine=_ENGINE,
             )
             block = int.from_bytes(choice[:4], "big") % block_count
             start = block * _BLOCK
@@ -125,7 +134,8 @@ class FirmwareGenerator:
             raise ValueError("changed_bytes must be positive")
         data = bytearray(firmware)
         anchor = int.from_bytes(
-            hmac_sha256(self.seed, b"app" + revision.to_bytes(4, "big"))[:4],
+            hmac_sha256(self.seed, b"app" + revision.to_bytes(4, "big"),
+                        engine=_ENGINE)[:4],
             "big",
         ) % max(1, len(data) - changed_bytes)
         patch = self.firmware(changed_bytes, image_id=0x7FFD0000 | revision)

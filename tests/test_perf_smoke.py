@@ -47,3 +47,54 @@ def test_run_delta_document_validates():
     document["report_kind"] = "delta"
     document["schema_version"] = 1
     assert validate_data("delta", 1, document) == []
+
+
+def test_signature_cache_accounting_is_exact_under_pool_contention():
+    """Four signer-pool workers hammer a shared SignatureCache over a
+    small keyspace; the accounting must stay *exact* (mirroring the
+    PR 5 verify-LRU audit): every logical sign is either a hit or a
+    miss, misses equal producer executions (one per distinct digest —
+    single-flight means contention never re-signs), and every worker
+    observes byte-identical signatures."""
+    import threading
+
+    from repro.crypto import generate_keypair
+    from repro.crypto.engine import SignatureCache, available_engines
+    from repro.serve.signing import SignerPool
+
+    engine = available_engines()["fast"]
+    key = generate_keypair(b"perf-smoke-sign-cache")
+    cache = SignatureCache()
+    pool = SignerPool(workers=4, engine=engine, signature_cache=cache)
+    producers = [0] * 8
+    producer_lock = threading.Lock()
+    digests = [engine.sha256(b"message %d" % i) for i in range(8)]
+
+    def sign_via_cache(index: int) -> bytes:
+        digest = digests[index % 8]
+
+        def produce() -> bytes:
+            with producer_lock:
+                producers[index % 8] += 1
+            return key.sign_digest(digest, engine).encode()
+
+        return cache.get_or_sign((key.scalar, digest), produce)
+
+    rounds = 64
+    futures = [pool.submit(sign_via_cache, i)
+               for i in range(rounds)]
+    results = [future.result(timeout=60) for future in futures]
+    pool.close()
+
+    expected = {i: key.sign_digest(digests[i], engine).encode()
+                for i in range(8)}
+    for i, signature in enumerate(results):
+        assert signature == expected[i % 8]
+    stats = cache.stats_snapshot()
+    assert stats.calls == rounds
+    assert stats.hits + stats.misses == rounds
+    assert stats.misses == sum(producers)     # misses == executions
+    assert [count for count in producers] == [1] * 8
+    assert stats.hits == rounds - 8
+    assert stats.evictions == 0
+    assert len(cache) == 8

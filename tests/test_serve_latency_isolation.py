@@ -1,0 +1,259 @@
+"""Latency isolation: a slow signer must not convoy fast endpoints.
+
+This is the regression test for the serve-plane unconvoy work.  Before
+the signer pool, the per-token P-256 envelope signature ran on the
+event loop *inside* the global service lock, so a single in-flight
+``resolve_manifest`` pushed ``register``/``token``/``report`` p99 to
+the signature's latency.  Here the signer is slowed to hundreds of
+milliseconds on purpose; control-plane calls racing a pending manifest
+resolution must still complete in milliseconds, asserted over real
+sockets on both faces — TCP for the HTTP/1.1 face, UDP datagrams for
+the CoAP face (the same bytes the in-process relay carries).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+
+import pytest
+
+from repro.crypto.engine import SignatureCache
+from repro.serve import CoapDeviceClient, CoapFront, FleetService, \
+    HttpServer
+from repro.serve.signing import SignerPool
+from repro.tools.swarm import SwarmHttpClient
+
+DEVICE = 0x51160001
+SIGN_DELAY = 0.6         # injected ECDSA latency, seconds
+FAST_BUDGET = 0.3        # ceiling for the *whole* fast-path sequence
+
+
+class SlowSignerPool(SignerPool):
+    """A private pool whose ECDSA path sleeps on the worker thread.
+
+    ``delay`` starts at zero so ``seed_channels`` stays instant; the
+    test arms it once the fixture fleet exists.  The sleep sits inside
+    ``sign`` — exactly where scalar multiplication burns time — so the
+    slowness lands wherever the serve plane runs its signing, and the
+    test fails if that ever moves back onto the event loop.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(workers=2, signature_cache=SignatureCache())
+        self.delay = 0.0
+
+    def sign(self, identity, message):
+        if self.delay:
+            time.sleep(self.delay)
+        return super().sign(identity, message)
+
+
+def slow_service():
+    service = FleetService(chunk_size=1024, signer=SlowSignerPool())
+    service.seed_channels(image_size=4096)
+    service.signer.delay = SIGN_DELAY
+    return service
+
+
+async def assert_isolated(slow_elapsed_fn, fast_elapsed, pending):
+    assert pending, \
+        "manifest resolution finished before the fast sequence — " \
+        "the signer was never actually slow; the test proves nothing"
+    assert fast_elapsed < FAST_BUDGET, \
+        "register/token/report took %.3fs behind a pending sign — " \
+        "the convoy is back" % fast_elapsed
+    slow_elapsed = await slow_elapsed_fn
+    assert slow_elapsed >= SIGN_DELAY * 0.9
+
+
+# -- the HTTP/1.1 face, over real TCP -----------------------------------------
+
+
+def test_http_control_plane_is_isolated_from_a_slow_signer():
+    async def main():
+        service = slow_service()
+        async with HttpServer(service) as server:
+            async with SwarmHttpClient("127.0.0.1", server.port) \
+                    as slow_client, \
+                    SwarmHttpClient("127.0.0.1", server.port) \
+                    as fast_client:
+                await slow_client.request(
+                    "POST", "/devices",
+                    {"device_id": DEVICE, "channel": "stable",
+                     "current_version": 1})
+                _s, _h, raw = await slow_client.request(
+                    "POST", "/devices/%d/token" % DEVICE, {})
+                token = json.loads(raw)["token"]
+
+                async def fetch_manifest():
+                    started = time.perf_counter()
+                    status, _h, raw = await slow_client.request(
+                        "GET", "/manifests/%s" % token)
+                    assert status == 200
+                    assert json.loads(raw)["version"] == 2
+                    return time.perf_counter() - started
+
+                manifest_task = asyncio.ensure_future(
+                    fetch_manifest())
+                await asyncio.sleep(0.05)   # let it reach the signer
+
+                started = time.perf_counter()
+                other = DEVICE + 1
+                status, _h, _raw = await fast_client.request(
+                    "POST", "/devices",
+                    {"device_id": other, "channel": "stable",
+                     "current_version": 1})
+                assert status == 201
+                _s, _h, raw = await fast_client.request(
+                    "POST", "/devices/%d/token" % other, {})
+                other_token = json.loads(raw)["token"]
+                status, _h, _raw = await fast_client.request(
+                    "POST", "/reports/%s" % other_token,
+                    {"status": "failed"})
+                assert status == 200
+                fast_elapsed = time.perf_counter() - started
+
+                await assert_isolated(manifest_task, fast_elapsed,
+                                      not manifest_task.done())
+
+    asyncio.run(main())
+
+
+# -- the CoAP face, over real UDP datagrams -----------------------------------
+
+
+class _UdpCoapServer(asyncio.DatagramProtocol):
+    """The CoAP front behind a real UDP socket.
+
+    The client's source address *is* the dedup endpoint, which is the
+    scope RFC 7252 §4.4 prescribes for deployed CoAP — the in-process
+    relay merely simulates this with an explicit ``endpoint`` string.
+    """
+
+    def __init__(self, front: CoapFront) -> None:
+        self.front = front
+        self.transport = None
+
+    def connection_made(self, transport) -> None:
+        self.transport = transport
+
+    def datagram_received(self, data: bytes, addr) -> None:
+        asyncio.get_running_loop().create_task(self._serve(data, addr))
+
+    async def _serve(self, data: bytes, addr) -> None:
+        response = await self.front.handle_datagram(
+            data, ("%s:%d" % addr[:2]).encode("utf-8"))
+        self.transport.sendto(response, addr)
+
+
+class _UdpCoapRelay(asyncio.DatagramProtocol):
+    """Client-side socket with the relay's ``request`` interface, so
+    ``CoapDeviceClient`` drives real datagrams unchanged.  Exchanges on
+    one socket are sequential (CON semantics), so a single pending
+    waiter suffices; the kernel-assigned source port supersedes the
+    client's simulated ``endpoint`` argument."""
+
+    def __init__(self) -> None:
+        self.transport = None
+        self._waiter = None
+
+    def connection_made(self, transport) -> None:
+        self.transport = transport
+
+    def datagram_received(self, data: bytes, addr) -> None:
+        if self._waiter is not None and not self._waiter.done():
+            self._waiter.set_result(data)
+
+    async def request(self, datagram: bytes,
+                      endpoint: bytes = b"") -> bytes:
+        self._waiter = asyncio.get_running_loop().create_future()
+        self.transport.sendto(datagram)
+        return await asyncio.wait_for(self._waiter, timeout=10.0)
+
+    def close(self) -> None:
+        if self.transport is not None:
+            self.transport.close()
+
+
+async def _udp_client(loop, port: int) -> "_UdpCoapRelay":
+    _transport, relay = await loop.create_datagram_endpoint(
+        _UdpCoapRelay, remote_addr=("127.0.0.1", port))
+    return relay
+
+
+def test_coap_control_plane_is_isolated_from_a_slow_signer():
+    async def main():
+        service = slow_service()
+        front = CoapFront(service)
+        loop = asyncio.get_running_loop()
+        transport, _server = await loop.create_datagram_endpoint(
+            lambda: _UdpCoapServer(front),
+            local_addr=("127.0.0.1", 0))
+        port = transport.get_extra_info("sockname")[1]
+        slow_relay = await _udp_client(loop, port)
+        fast_relay = await _udp_client(loop, port)
+        try:
+            slow = CoapDeviceClient(slow_relay, DEVICE + 16,
+                                    block_size=256)
+            fast = CoapDeviceClient(fast_relay, DEVICE + 17,
+                                    block_size=256)
+            await slow._post_json(
+                "devices", {"device_id": slow.device_id,
+                            "channel": "stable"})
+            issued = await slow._post_json(
+                "devices/%d/token" % slow.device_id, {})
+            token = str(issued["token"])
+
+            async def fetch_manifest():
+                started = time.perf_counter()
+                body = await slow._get_blockwise(
+                    "manifests/%s" % token)
+                assert json.loads(body.decode("utf-8"))["version"] \
+                    == 2
+                return time.perf_counter() - started
+
+            manifest_task = asyncio.ensure_future(fetch_manifest())
+            await asyncio.sleep(0.05)       # let it reach the signer
+
+            started = time.perf_counter()
+            await fast._post_json(
+                "devices", {"device_id": fast.device_id,
+                            "channel": "stable"})
+            issued = await fast._post_json(
+                "devices/%d/token" % fast.device_id, {})
+            report = await fast._post_json(
+                "reports/%s" % issued["token"],
+                {"status": "failed"})
+            assert report["acknowledged"] is True
+            fast_elapsed = time.perf_counter() - started
+
+            await assert_isolated(manifest_task, fast_elapsed,
+                                  not manifest_task.done())
+        finally:
+            slow_relay.close()
+            fast_relay.close()
+            transport.close()
+
+    asyncio.run(main())
+
+
+# -- the pool itself ----------------------------------------------------------
+
+
+def test_signer_pool_output_matches_identity_sign():
+    """Engine parity is contractual: the pool's cached fast-engine
+    signatures must be byte-identical to ``identity.sign``."""
+    service = FleetService()
+    pool = SignerPool(workers=2, signature_cache=SignatureCache())
+    try:
+        identity = service.channels["stable"].identity
+        message = b"parity probe"
+        assert pool.sign(identity, message) == identity.sign(message)
+        # Second call is a cache hit with identical bytes.
+        assert pool.sign(identity, message) == identity.sign(message)
+        stats = pool.signatures.stats_snapshot()
+        assert (stats.hits, stats.misses) == (1, 1)
+    finally:
+        pool.close()

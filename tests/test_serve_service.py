@@ -47,6 +47,24 @@ def test_seed_channels_is_idempotent_and_staggered():
     assert status["developer"]["latest_version"] == 3
 
 
+def test_reseed_rebuilds_a_channel_that_lost_versions():
+    """Regression: the releases dict used to be keyed off versions
+    missing from the *developer* channel alone, so a restarted server
+    whose stable channel lost its releases while developer stayed
+    fully seeded crashed with a KeyError instead of re-publishing."""
+    from repro.core import UpdateServer
+
+    svc = service()
+    identity = svc.channels["stable"].identity
+    svc.channels["stable"] = UpdateServer(
+        identity, artifacts=svc.artifacts,
+        sign_fn=svc.signer.signer_for(identity))
+    svc.seed_channels(image_size=4096)     # KeyError before the fix
+    status = svc.channel_status()
+    assert status["stable"]["latest_version"] == 2
+    assert status["developer"]["latest_version"] == 3
+
+
 # -- device registry ----------------------------------------------------------
 
 
